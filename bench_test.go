@@ -1,0 +1,282 @@
+package dsks_test
+
+// One benchmark per table and figure of the paper's evaluation (Section
+// 5). Each bench regenerates its figure through the experiment driver at
+// a laptop-friendly scale and reports the figure's headline numbers as
+// custom metrics, so `go test -bench=.` reproduces the whole evaluation
+// and prints the same series the paper plots.
+//
+// Shapes to expect (matching the paper):
+//   - Fig 6/7/8: IR slowest by a multiple; IF above SIF above SIF-P, gaps
+//     widening with more keywords and larger ranges.
+//   - Fig 9: SIF-P false hits fall as the cut budget grows, below SIF-G
+//     at a tenth of its space.
+//   - Fig 10: Real ≈ Freq < Rand < no partitioning.
+//   - Fig 11–16: COM at or below SEQ, the gap widening with the candidate
+//     count; SEQ insensitive to k and λ while COM degrades with k and
+//     improves with λ.
+
+import (
+	"strings"
+	"testing"
+
+	"dsks/internal/experiments"
+)
+
+// benchCfg keeps a full `go test -bench=.` run in the minutes range.
+// Raise Queries / lower Scale (e.g. via cmd/expts) for paper-closer runs.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 400, Queries: 25, Seed: 1}
+}
+
+// reportSeries publishes each series' mean as a benchmark metric. Metric
+// units must be whitespace-free, so series names are slugged.
+func reportSeries(b *testing.B, r *experiments.Result, unit string, names ...string) {
+	b.Helper()
+	for _, n := range names {
+		if s, ok := r.Series[n]; ok {
+			b.ReportMetric(s.Mean(), metricSlug(n)+"_"+unit)
+		}
+	}
+}
+
+func metricSlug(name string) string {
+	repl := strings.NewReplacer(" ", "-", "(", "", ")", "", "\t", "-")
+	return repl.Replace(name)
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "objs", "objects/SYN", "objects/NA", "objects/TW", "objects/SF")
+	}
+}
+
+func BenchmarkFig06SKDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "time/IR", "time/IF", "time/SIF", "time/SIF-P")
+	}
+}
+
+func BenchmarkFig06Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "build/IR", "build/IF", "build/SIF", "build/SIF-P")
+		reportSeries(b, r, "bytes", "size/IF", "size/SIF", "size/SIF-P")
+	}
+}
+
+func BenchmarkFig07QueryKeywords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "io", "io/IF", "io/SIF", "io/SIF-P")
+	}
+}
+
+func BenchmarkFig08SearchRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "io", "io/IF", "io/SIF", "io/SIF-P")
+		reportSeries(b, r, "cand", "cand/NA", "cand/SF", "cand/SYN", "cand/TW")
+	}
+}
+
+func BenchmarkFig09SpaceCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "falsehits", "SIF", "SIF-P", "SIF-G")
+	}
+}
+
+func BenchmarkFig10QueryLogs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "time/SIF", "time/SIF-P-Rand", "time/SIF-P-Freq", "time/SIF-P-Real")
+	}
+}
+
+func BenchmarkFig11DivDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig12DivKeywords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig13DivRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig14DivK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+		reportSeries(b, r, "cand", "cand/SEQ", "cand/COM")
+	}
+}
+
+func BenchmarkFig15DivLambda(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig16aZipf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16a(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig16bObjects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16b(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig16cKeywordsPerObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16c(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+func BenchmarkFig16dVocabulary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16d(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "SEQ", "COM")
+	}
+}
+
+// --- ablation benches (design choices DESIGN.md calls out) -----------------
+
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPruning(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "dist", "dist/COM (both rules)", "dist/COM no pruning")
+	}
+}
+
+func BenchmarkAblationPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPartition(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "build/greedy", "build/DP (Algorithm 4)")
+		reportSeries(b, r, "hits", "hits/greedy", "hits/DP (Algorithm 4)")
+	}
+}
+
+func BenchmarkAblationDijkstra(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDijkstra(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "ms", "accumulated", "per-object")
+	}
+}
+
+func BenchmarkAblationCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCompaction(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "bytes", "flat/TW", "compact/TW")
+	}
+}
+
+func BenchmarkExtraQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtraQuality(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "f", "f/nearest-k", "f/random-k", "f/SEQ", "f/COM")
+	}
+}
+
+func BenchmarkExtraBufferSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtraBufferSweep(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "io", "io")
+	}
+}
+
+func BenchmarkExtraThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExtraThroughput(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, r, "qps", "qps")
+	}
+}

@@ -1,0 +1,179 @@
+// Command dsks runs spatial keyword and diversified spatial keyword
+// queries against a dataset — either a preset analogue generated on the
+// fly or a dataset frozen to disk by command datagen.
+//
+// Usage:
+//
+//	dsks -preset SYN -scale 200 -terms 3,7 -deltamax 1500           # boolean SK query
+//	dsks -preset NA -terms 1,2,5 -k 10 -lambda 0.8 -algo COM        # diversified
+//	dsks -load ./data/na -terms 4 -index SIF-P -queries 5
+//
+// Keywords are term IDs of the generated vocabulary (0 = most frequent).
+// Without -terms the tool anchors each query at a random object and uses
+// its keywords, printing the chosen terms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsks/internal/core"
+	"dsks/internal/dataset"
+	"dsks/internal/harness"
+	"dsks/internal/index"
+	"dsks/internal/obj"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	preset := flag.String("preset", "SYN", "dataset preset (SYN, NA, TW, SF); ignored with -load")
+	load := flag.String("load", "", "load a datagen-written dataset by path prefix")
+	scale := flag.Int("scale", 200, "scale denominator for generated presets")
+	seed := flag.Int64("seed", 1, "random seed")
+	kind := flag.String("index", "SIF", "object index: IR, IF, SIF, SIF-P")
+	terms := flag.String("terms", "", "comma-separated query term IDs (empty: use a random object's keywords)")
+	nterms := flag.Int("l", 2, "number of keywords taken from the anchor object when -terms is empty")
+	deltaMax := flag.Float64("deltamax", 1500, "maximal network distance δmax")
+	k := flag.Int("k", 0, "diversified result size k (0 = plain SK query)")
+	lambda := flag.Float64("lambda", 0.8, "relevance/diversity trade-off λ")
+	algo := flag.String("algo", "COM", "diversified algorithm: SEQ or COM")
+	knn := flag.Int("knn", 0, "k-nearest-neighbor mode: return the knn closest matches (overrides -k)")
+	alpha := flag.Float64("alpha", -1, "ranked mode: spatial weight α in [0,1] (overrides -k and -knn)")
+	queries := flag.Int("queries", 1, "number of queries to run")
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	var err error
+	if *load != "" {
+		ds, err = dataset.Load(*load)
+	} else {
+		ds, err = dataset.GeneratePreset(dataset.Preset(*preset), *scale, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	st := ds.Stats()
+	fmt.Printf("dataset %s: %d nodes, %d edges, %d objects, |V|=%d\n",
+		ds.Name, st.Nodes, st.Edges, st.Objects, st.VocabSize)
+
+	ik := harness.IndexKind(*kind)
+	sys, err := harness.Build(ds, []harness.IndexKind{ik}, harness.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("index %s: %.2f MB, built in %v\n\n", ik,
+		float64(sys.IndexSize[ik])/(1<<20), sys.BuildTime[ik].Round(0))
+
+	rng := rand.New(rand.NewSource(*seed + 100))
+	for qi := 0; qi < *queries; qi++ {
+		anchor := ds.Objects.Get(obj.ID(rng.Intn(ds.Objects.Len())))
+		var queryTerms []obj.TermID
+		if *terms != "" {
+			for _, part := range strings.Split(*terms, ",") {
+				t, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || t < 0 || t >= ds.VocabSize {
+					return fmt.Errorf("bad term %q (vocabulary is 0..%d)", part, ds.VocabSize-1)
+				}
+				queryTerms = append(queryTerms, obj.TermID(t))
+			}
+		} else {
+			n := *nterms
+			if n > len(anchor.Terms) {
+				n = len(anchor.Terms)
+			}
+			perm := rng.Perm(len(anchor.Terms))
+			for _, pi := range perm[:n] {
+				queryTerms = append(queryTerms, anchor.Terms[pi])
+			}
+		}
+		queryTerms = obj.NormalizeTerms(queryTerms)
+
+		skq := core.SKQuery{Pos: anchor.Pos, Terms: queryTerms, DeltaMax: *deltaMax}
+		fmt.Printf("query %d: edge %d offset %.1f, terms %v, δmax %.0f\n",
+			qi+1, skq.Pos.Edge, skq.Pos.Offset, skq.Terms, skq.DeltaMax)
+
+		switch {
+		case *alpha >= 0:
+			loader, err := sys.Loader(ik)
+			if err != nil {
+				return err
+			}
+			ul, ok := loader.(index.UnionLoader)
+			if !ok {
+				return fmt.Errorf("index %s does not support ranked queries", ik)
+			}
+			kk := *k
+			if kk <= 0 {
+				kk = 10
+			}
+			res, stats, err := core.SearchRanked(sys.Net, ul, core.RankedQuery{
+				Pos: skq.Pos, Terms: skq.Terms, K: kk, Alpha: *alpha, DeltaMax: skq.DeltaMax,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  ranked top-%d (α=%.2f); %d candidates seen, early-stop=%v\n",
+				kk, *alpha, stats.Candidates, stats.EarlyTerminate)
+			for i, r := range res {
+				fmt.Printf("  #%d object %d score %.3f (%d/%d keywords, %.1f away)\n",
+					i+1, r.Ref.ID, r.Score, r.Matched, len(skq.Terms), r.Dist)
+			}
+		case *knn > 0:
+			loader, err := sys.Loader(ik)
+			if err != nil {
+				return err
+			}
+			cands, stats, err := core.SearchKNN(sys.Net, loader, core.KNNQuery{
+				Pos: skq.Pos, Terms: skq.Terms, K: *knn, MaxDist: skq.DeltaMax,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %d nearest matches (%d nodes expanded)\n", len(cands), stats.NodesPopped)
+			for i, c := range cands {
+				fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
+					i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
+			}
+		case *k <= 0:
+			res, err := sys.RunSK(ik, skq)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %d candidates in %v (%d disk reads, %d nodes expanded)\n",
+				len(res.Candidates), res.Elapsed.Round(0), res.DiskReads, res.Stats.NodesPopped)
+			for i, c := range res.Candidates {
+				if i == 10 {
+					fmt.Printf("  ... %d more\n", len(res.Candidates)-10)
+					break
+				}
+				fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
+					i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
+			}
+		default:
+			res, err := sys.RunDiv(ik, harness.DivAlgo(*algo), harness.DivQueryOf(
+				dataset.Query{Pos: skq.Pos, Terms: skq.Terms, DeltaMax: skq.DeltaMax}, *k, *lambda))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %s chose %d objects (f = %.4f) in %v; %d disk reads, %d candidates seen, %d pruned, early-stop=%v\n",
+				*algo, len(res.Div.Objects), res.Div.F, res.Elapsed.Round(0),
+				res.DiskReads, res.Stats.Candidates, res.Stats.Pruned, res.Stats.EarlyTerminate)
+			for i, c := range res.Div.Objects {
+				fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
+					i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

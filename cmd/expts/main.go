@@ -1,0 +1,109 @@
+// Command expts regenerates the tables and figures of the paper's
+// evaluation (Section 5) over the synthetic dataset analogues.
+//
+// Usage:
+//
+//	expts -fig all                 # every figure at the default scale
+//	expts -fig 7,11,16a            # selected figures
+//	expts -fig table2 -scale 50    # closer to paper scale (slower)
+//	expts -queries 200 -iolat 100us
+//
+// The scale flag divides the paper's dataset sizes; -scale 1 is full paper
+// scale (hours), -scale 100 is the default (minutes), -scale 400 runs in
+// seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dsks/internal/experiments"
+)
+
+var figures = map[string]func(experiments.Config) (*experiments.Result, error){
+	"table2": experiments.Table2,
+	"6":      experiments.Fig6,
+	"7":      experiments.Fig7,
+	"8":      experiments.Fig8,
+	"9":      experiments.Fig9,
+	"10":     experiments.Fig10,
+	"11":     experiments.Fig11,
+	"12":     experiments.Fig12,
+	"13":     experiments.Fig13,
+	"14":     experiments.Fig14,
+	"15":     experiments.Fig15,
+	"16a":    experiments.Fig16a,
+	"16b":    experiments.Fig16b,
+	"16c":    experiments.Fig16c,
+	"16d":    experiments.Fig16d,
+	// Ablations of the design choices (not figures of the paper).
+	"buffer":               experiments.ExtraBufferSweep,
+	"quality":              experiments.ExtraQuality,
+	"throughput":           experiments.ExtraThroughput,
+	"ablation-pruning":     experiments.AblationPruning,
+	"ablation-partition":   experiments.AblationPartition,
+	"ablation-dijkstra":    experiments.AblationDijkstra,
+	"ablation-compaction":  experiments.AblationCompaction,
+	"ablation-selectivity": experiments.AblationSelectivity,
+	"ablation-c1":          experiments.AblationC1,
+}
+
+// figureOrder renders "all" deterministically.
+var figureOrder = []string{
+	"table2", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+	"16a", "16b", "16c", "16d",
+	"buffer", "quality", "throughput",
+	"ablation-pruning", "ablation-partition", "ablation-dijkstra", "ablation-compaction",
+	"ablation-selectivity", "ablation-c1",
+}
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated figure ids ("+strings.Join(figureOrder, ", ")+") or 'all'")
+	scale := flag.Int("scale", 100, "dataset scale denominator (1 = paper scale)")
+	queries := flag.Int("queries", 50, "workload size (paper: 500)")
+	seed := flag.Int64("seed", 1, "random seed")
+	iolat := flag.Duration("iolat", 0, "synthetic per-miss I/O latency (e.g. 100us)")
+	plot := flag.Bool("plot", false, "print unicode sparklines for each figure's series")
+	flag.Parse()
+
+	var ids []string
+	if *fig == "all" {
+		ids = figureOrder
+	} else {
+		ids = strings.Split(*fig, ",")
+	}
+	cfg := experiments.Config{
+		Scale:     *scale,
+		Queries:   *queries,
+		Seed:      *seed,
+		IOLatency: *iolat,
+		Out:       os.Stdout,
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fn, ok := figures[id]
+		if !ok {
+			known := make([]string, 0, len(figures))
+			for k := range figures {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "unknown figure %q (known: %s)\n", id, strings.Join(known, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		r, err := fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *plot {
+			r.FprintSparks(os.Stdout)
+		}
+		fmt.Printf("(figure %s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

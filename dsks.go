@@ -1,0 +1,440 @@
+// Package dsks is a library for diversified spatial keyword search on road
+// networks, reproducing Zhang et al., "Diversified Spatial Keyword Search
+// On Road Networks" (EDBT 2014).
+//
+// A database is built from a road network (a weighted graph whose edges
+// are road segments) and a set of spatio-textual objects lying on those
+// edges. Boolean spatial keyword queries retrieve the objects within a
+// network-distance range that contain every query keyword (Search);
+// diversified queries additionally select the k results maximizing a
+// bi-criteria objective that trades network-distance relevance against
+// pairwise spatial diversity (SearchDiversified).
+//
+// The disk-resident setting of the paper is simulated faithfully: the
+// network is stored in CCAM pages, objects in a signature-enhanced
+// inverted file, and all page reads flow through an LRU buffer pool whose
+// misses are reported as disk accesses.
+//
+// Quick start:
+//
+//	g := dsks.NewGraph()
+//	a := g.AddNode(dsks.Point{X: 0, Y: 0})
+//	b := g.AddNode(dsks.Point{X: 100, Y: 0})
+//	road, _ := g.AddEdge(a, b, 100)
+//	g.Freeze()
+//
+//	vocab := dsks.NewVocabulary()
+//	objects := dsks.NewCollection()
+//	objects.Add(dsks.Position{Edge: road, Offset: 40},
+//	    vocab.InternAll([]string{"pancake", "lobster"}))
+//
+//	db, _ := dsks.Open(g, objects, vocab.Size(), dsks.Options{})
+//	terms, _ := vocab.LookupAll([]string{"pancake", "lobster"})
+//	res, _ := db.SearchDiversified(dsks.DivQuery{
+//	    SKQuery: dsks.SKQuery{
+//	        Pos: dsks.Position{Edge: road, Offset: 0}, Terms: terms, DeltaMax: 500,
+//	    },
+//	    K: 2, Lambda: 0.8,
+//	})
+package dsks
+
+import (
+	"fmt"
+	"time"
+
+	"dsks/internal/core"
+	"dsks/internal/dataset"
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/harness"
+	"dsks/internal/index"
+	"dsks/internal/invindex"
+	"dsks/internal/obj"
+	"dsks/internal/sig"
+)
+
+// Re-exported building blocks. The aliases keep one canonical definition
+// in the internal packages while giving library users a single import.
+type (
+	// Point is a planar location in the [0, 10000]² world space.
+	Point = geo.Point
+	// Graph is the road network under construction or query.
+	Graph = graph.Graph
+	// NodeID identifies a road intersection.
+	NodeID = graph.NodeID
+	// EdgeID identifies a road segment.
+	EdgeID = graph.EdgeID
+	// Position locates a point on the network: an edge plus the geometric
+	// offset from the edge's reference node.
+	Position = graph.Position
+	// TermID identifies a keyword in a Vocabulary.
+	TermID = obj.TermID
+	// ObjectID identifies a spatio-textual object in a Collection.
+	ObjectID = obj.ID
+	// Vocabulary maps keyword strings to TermIDs.
+	Vocabulary = obj.Vocabulary
+	// Collection is the object set of a database.
+	Collection = obj.Collection
+	// SKQuery is a boolean spatial keyword query.
+	SKQuery = core.SKQuery
+	// DivQuery is a diversified spatial keyword query.
+	DivQuery = core.DivQuery
+	// Candidate is a qualifying object with its network distance.
+	Candidate = core.Candidate
+	// SearchStats are the per-query cost counters.
+	SearchStats = core.SearchStats
+)
+
+// NewGraph returns an empty road network; add nodes and edges, then call
+// Freeze before opening a database over it.
+func NewGraph() *Graph { return graph.New() }
+
+// Snapper maps arbitrary planar points (e.g. raw POI coordinates) to
+// their closest road segment, the preprocessing the paper applies before
+// indexing. Build one per network and reuse it across points.
+type Snapper = graph.Snapper
+
+// NewSnapper builds the network R-tree used for snapping.
+func NewSnapper(g *Graph) (*Snapper, error) { return graph.NewSnapper(g) }
+
+// NewVocabulary returns an empty keyword dictionary.
+func NewVocabulary() *Vocabulary { return obj.NewVocabulary() }
+
+// NewCollection returns an empty object set.
+func NewCollection() *Collection { return obj.NewCollection() }
+
+// IndexKind selects the object index structure backing a database.
+type IndexKind = harness.IndexKind
+
+// The available index structures, in increasing pruning power: the
+// Euclidean inverted R-tree baseline, the plain inverted file, the
+// signature-enhanced inverted file, and the partition-refined signatures.
+const (
+	IndexIR   = harness.KindIR
+	IndexIF   = harness.KindIF
+	IndexSIF  = harness.KindSIF
+	IndexSIFP = harness.KindSIFP
+)
+
+// Algo selects the diversified search algorithm: the incremental COM
+// (default) or the retrieve-everything SEQ baseline.
+type Algo = harness.DivAlgo
+
+// The two diversified search algorithms.
+const (
+	AlgoCOM = harness.AlgoCOM
+	AlgoSEQ = harness.AlgoSEQ
+)
+
+// Options configures a database.
+type Options struct {
+	// Index picks the object index structure; empty defaults to SIF-P.
+	Index IndexKind
+	// BufferFraction sizes the LRU buffer pools as a fraction of each
+	// page file (default 0.02, the paper's setting).
+	BufferFraction float64
+	// IOLatency injects a synthetic delay per buffer miss, making
+	// response times I/O-dominated like a spinning-disk testbed.
+	IOLatency time.Duration
+	// PartitionCuts is the SIF-P per-edge cut budget (default 3).
+	PartitionCuts int
+	// QueryLog trains the SIF-P edge partitioning on an expected workload
+	// (each entry one query's keywords). Nil uses the frequency model.
+	QueryLog [][]TermID
+	// DiskDir, when set, stores every page file on real disk under this
+	// directory instead of the in-memory page simulation.
+	DiskDir string
+	// SelectivityOrder probes the rarest query keyword first, usually
+	// discovering empty intersections after one list read. Off by default
+	// to match the paper's baselines.
+	SelectivityOrder bool
+}
+
+// DB is an opened database: the disk-resident road network and object
+// index, ready for queries. Queries may run concurrently (the shared
+// buffer pools serialize page access internally); ResetIO must not race
+// with in-flight queries.
+type DB struct {
+	sys  *harness.System
+	kind IndexKind
+}
+
+// Open builds the disk-resident structures for the given road network and
+// object collection. vocabSize must be at least one greater than the
+// largest TermID used by the collection.
+func Open(g *Graph, objects *Collection, vocabSize int, opts Options) (*DB, error) {
+	if g == nil || objects == nil {
+		return nil, fmt.Errorf("dsks: nil graph or collection")
+	}
+	if opts.Index == "" {
+		opts.Index = IndexSIFP
+	}
+	hOpts := harness.Options{
+		BufferFraction:   opts.BufferFraction,
+		IOLatency:        opts.IOLatency,
+		SIFPCuts:         opts.PartitionCuts,
+		DiskDir:          opts.DiskDir,
+		SelectivityOrder: opts.SelectivityOrder,
+	}
+	if opts.QueryLog != nil {
+		hOpts.SIFPLog = sig.NewRealLog(opts.QueryLog)
+	}
+	ds := &dataset.Dataset{Name: "user", Graph: g, Objects: objects, VocabSize: vocabSize}
+	sys, err := harness.Build(ds, []harness.IndexKind{opts.Index}, hOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{sys: sys, kind: opts.Index}, nil
+}
+
+// Result is a query outcome with its cost metrics.
+type Result struct {
+	// Candidates are the qualifying objects in non-decreasing network
+	// distance (boolean queries) or the chosen diversified set (in pair
+	// order, diversified queries).
+	Candidates []Candidate
+	// F is the diversification objective value f(S); zero for boolean
+	// queries.
+	F float64
+	// Elapsed is the query's wall-clock time.
+	Elapsed time.Duration
+	// DiskReads counts buffer-pool misses during the query.
+	DiskReads int64
+	// Stats are the detailed cost counters.
+	Stats SearchStats
+}
+
+// Search runs a boolean spatial keyword query: all objects within
+// q.DeltaMax network distance containing every keyword of q.Terms,
+// in non-decreasing distance order.
+func (db *DB) Search(q SKQuery) (Result, error) {
+	r, err := db.sys.RunSK(db.kind, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Candidates: r.Candidates,
+		Elapsed:    r.Elapsed,
+		DiskReads:  r.DiskReads,
+		Stats:      r.Stats,
+	}, nil
+}
+
+// SearchDiversified runs a diversified spatial keyword query with the
+// incremental COM algorithm (Algorithm 6 of the paper).
+func (db *DB) SearchDiversified(q DivQuery) (Result, error) {
+	return db.SearchDiversifiedWith(AlgoCOM, q)
+}
+
+// SearchDiversifiedWith runs a diversified query with an explicit
+// algorithm choice (COM or the SEQ baseline).
+func (db *DB) SearchDiversifiedWith(algo Algo, q DivQuery) (Result, error) {
+	r, err := db.sys.RunDiv(db.kind, algo, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Candidates: r.Div.Objects,
+		F:          r.Div.F,
+		Elapsed:    r.Elapsed,
+		DiskReads:  r.DiskReads,
+		Stats:      r.Stats,
+	}, nil
+}
+
+// KNNQuery is a k-nearest-neighbor boolean spatial keyword query: the K
+// closest objects containing every keyword, with an optional distance cap.
+type KNNQuery = core.KNNQuery
+
+// SearchKNN returns the k nearest objects containing every query keyword,
+// in non-decreasing network distance. The expansion stops as soon as the
+// k-th match is emitted.
+func (db *DB) SearchKNN(q KNNQuery) (Result, error) {
+	loader, err := db.sys.Loader(db.kind)
+	if err != nil {
+		return Result{}, err
+	}
+	before := db.sys.DiskReads(db.kind)
+	start := time.Now()
+	cands, stats, err := core.SearchKNN(db.sys.Net, loader, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Candidates: cands,
+		Elapsed:    time.Since(start),
+		DiskReads:  db.sys.DiskReads(db.kind) - before,
+		Stats:      stats,
+	}, nil
+}
+
+// RankedQuery is a top-k ranked spatial keyword query: objects scored by
+// α·spatial-proximity + (1−α)·keyword-overlap, OR semantics.
+type RankedQuery = core.RankedQuery
+
+// RankedResult is one scored object of a ranked query.
+type RankedResult = core.RankedResult
+
+// SearchRanked runs the top-k ranked spatial keyword query. It requires
+// an index with OR-semantics support (IF, SIF or SIF-P).
+func (db *DB) SearchRanked(q RankedQuery) ([]RankedResult, SearchStats, error) {
+	loader, err := db.sys.Loader(db.kind)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	ul, ok := loader.(index.UnionLoader)
+	if !ok {
+		return nil, SearchStats{}, fmt.Errorf("dsks: index %s does not support ranked queries", db.kind)
+	}
+	return core.SearchRanked(db.sys.Net, ul, q)
+}
+
+// CollectiveQuery asks for a *group* of objects that together cover every
+// query keyword at minimal total network distance (the collective spatial
+// keyword search of Cao et al., which the paper's related work discusses).
+type CollectiveQuery = core.CollectiveQuery
+
+// CollectiveResult is a chosen keyword-covering group.
+type CollectiveResult = core.CollectiveResult
+
+// SearchCollective finds a keyword-covering group with the ln|T|-
+// approximate weighted set-cover greedy. It requires an index with
+// OR-semantics support (IF, SIF or SIF-P).
+func (db *DB) SearchCollective(q CollectiveQuery) (CollectiveResult, SearchStats, error) {
+	loader, err := db.sys.Loader(db.kind)
+	if err != nil {
+		return CollectiveResult{}, SearchStats{}, err
+	}
+	ul, ok := loader.(index.UnionLoader)
+	if !ok {
+		return CollectiveResult{}, SearchStats{}, fmt.Errorf("dsks: index %s does not support collective queries", db.kind)
+	}
+	return core.SearchCollective(db.sys.Net, ul, q)
+}
+
+// Stream is an incremental boolean search: candidates are pulled one at a
+// time in non-decreasing network distance, so a consumer can stop early
+// (the access pattern Algorithm 6 exploits internally).
+type Stream struct {
+	search *core.SKSearch
+}
+
+// Stream starts an incremental boolean search.
+func (db *DB) Stream(q SKQuery) (*Stream, error) {
+	loader, err := db.sys.Loader(db.kind)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSKSearch(db.sys.Net, loader, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{search: s}, nil
+}
+
+// Next returns the next candidate; ok is false when the stream is done.
+func (s *Stream) Next() (c Candidate, ok bool, err error) { return s.search.Next() }
+
+// Stop abandons the stream early.
+func (s *Stream) Stop() { s.search.Stop() }
+
+// Stats returns the traversal counters so far.
+func (s *Stream) Stats() SearchStats { return s.search.Stats() }
+
+// Insert adds a spatio-textual object to an open database: the object
+// joins the collection, its postings are appended to the inverted file and
+// its keywords' signature bits are set, so subsequent queries see it.
+// Supported for the IF, SIF and SIF-P indexes (IR is bulk-loaded only).
+// Terms must be below the vocabulary size the database was opened with.
+func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
+	g := db.sys.DS.Graph
+	if pos.Edge < 0 || int(pos.Edge) >= g.NumEdges() {
+		return 0, fmt.Errorf("dsks: insert on unknown edge %d", pos.Edge)
+	}
+	for _, t := range terms {
+		if t < 0 || int(t) >= db.sys.DS.VocabSize {
+			return 0, fmt.Errorf("dsks: term %d outside vocabulary of %d", t, db.sys.DS.VocabSize)
+		}
+	}
+	pos = g.Clamp(pos)
+	var sif *sig.SIF
+	switch db.kind {
+	case IndexSIF:
+		sif = db.sys.SIF
+	case IndexSIFP:
+		sif = db.sys.SIFP
+	case IndexIF:
+		// handled below
+	default:
+		return 0, fmt.Errorf("dsks: index %s does not support inserts", db.kind)
+	}
+	col := db.sys.DS.Objects
+	id := col.Add(pos, append([]TermID(nil), terms...))
+	o := col.Get(id)
+	if sif != nil {
+		if err := sif.InsertObject(id, pos.Edge, pos.Offset, o.Terms); err != nil {
+			return 0, err
+		}
+		return id, nil
+	}
+	coder := invindex.GraphZCoder{G: g}
+	if err := db.sys.Inv.InsertObject(coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, o.Terms); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Remove deletes an object from an open database: it is tombstoned in the
+// collection and its postings leave the inverted file, so queries no
+// longer see it. Signature bits are not cleared (sound: a stale bit can
+// only cost a false hit). Supported for IF, SIF and SIF-P.
+func (db *DB) Remove(id ObjectID) error {
+	col := db.sys.DS.Objects
+	if id < 0 || int(id) >= col.Len() || col.Removed(id) {
+		return fmt.Errorf("dsks: unknown or already-removed object %d", id)
+	}
+	o := col.Get(id)
+	switch db.kind {
+	case IndexSIF:
+		if err := db.sys.SIF.RemoveObject(id, o.Pos.Edge, o.Terms); err != nil {
+			return err
+		}
+	case IndexSIFP:
+		if err := db.sys.SIFP.RemoveObject(id, o.Pos.Edge, o.Terms); err != nil {
+			return err
+		}
+	case IndexIF:
+		coder := invindex.GraphZCoder{G: db.sys.DS.Graph}
+		if err := db.sys.Inv.RemoveObject(coder.EdgeZCode(o.Pos.Edge), id, o.Terms); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("dsks: index %s does not support removals", db.kind)
+	}
+	return col.Remove(id)
+}
+
+// NetworkDistance returns the exact network distance between two
+// positions (exposed for inspection and testing; computed in memory).
+func (db *DB) NetworkDistance(a, b Position) float64 {
+	return db.sys.DS.Graph.NetworkDist(a, b)
+}
+
+// Route is a least-cost path between two network positions.
+type Route = graph.Route
+
+// ShortestRoute returns the least-cost path between two positions — the
+// traversed edges in order plus the total cost — for presenting results
+// ("how do I get there") rather than just ranking them.
+func (db *DB) ShortestRoute(a, b Position) (Route, error) {
+	return db.sys.DS.Graph.ShortestRoute(a, b)
+}
+
+// IndexSizeBytes returns the on-disk footprint of the object index.
+func (db *DB) IndexSizeBytes() int64 { return db.sys.IndexSize[db.kind] }
+
+// BuildTime returns how long the object index construction took.
+func (db *DB) BuildTime() time.Duration { return db.sys.BuildTime[db.kind] }
+
+// ResetIO cools the buffer pools and zeroes the disk-access counters.
+func (db *DB) ResetIO() error { return db.sys.ResetIO() }

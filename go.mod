@@ -1,0 +1,3 @@
+module dsks
+
+go 1.22

@@ -1,0 +1,95 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: uint64(i) * 3, Value: uint64(i)}
+	}
+	tr, err := BulkLoad(newPool(1024), entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(rng.Intn(100_000)) * 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr, err := New(newPool(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(uint64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	const n = 100_000
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: uint64(i), Value: uint64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(newPool(1024), entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := tr.Scan(0, ^uint64(0), func(k, v uint64) bool {
+			count++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if count != 100_000 {
+			b.Fatalf("scanned %d", count)
+		}
+	}
+}
+
+func BenchmarkGetColdBuffer(b *testing.B) {
+	// A 3-frame pool forces nearly every access to miss.
+	entries := make([]Entry, 100_000)
+	for i := range entries {
+		entries[i] = Entry{Key: uint64(i), Value: uint64(i)}
+	}
+	pool := newPool(3)
+	tr, err := BulkLoad(pool, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(uint64(rng.Intn(100_000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pool.Stats().Snapshot().DiskRead)/float64(b.N), "reads/op")
+}

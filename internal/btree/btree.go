@@ -1,0 +1,506 @@
+// Package btree implements a disk-resident B+-tree with uint64 keys and
+// uint64 values, stored in 4KB pages behind a buffer pool. It is the spine
+// of every inverted file in the library: the key of an edge is the Z-order
+// code of its center point (disambiguated with the edge ID) and the value
+// points at the posting-list page chain for that edge.
+//
+// The tree supports point lookup, ordered range scans, single insert and
+// sorted bulk loading (the construction path of the indexes).
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dsks/internal/storage"
+)
+
+// Page layouts.
+//
+//	common header: kind uint16 (1 = leaf, 2 = internal), count uint16
+//	leaf:    next  uint32 (PageID of right sibling), count × (key u64, val u64)
+//	internal: count × key u64, (count+1) × child u32
+const (
+	kindLeaf     = 1
+	kindInternal = 2
+
+	headerSize = 4
+	leafMeta   = headerSize + 4
+	leafEntry  = 16
+	// MaxLeafEntries is the number of (key, value) pairs a leaf page holds.
+	MaxLeafEntries = (storage.PageSize - leafMeta) / leafEntry
+
+	internalMeta = headerSize
+	// MaxInternalKeys is the number of separator keys an internal page holds.
+	// Each key is 8 bytes and each of the count+1 children is 4 bytes.
+	MaxInternalKeys = (storage.PageSize - internalMeta - 4) / 12
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("btree: key not found")
+
+// ErrDuplicate is returned by Insert when the key already exists.
+var ErrDuplicate = errors.New("btree: duplicate key")
+
+// Tree is a B+-tree handle. All page access goes through the buffer pool.
+type Tree struct {
+	pool   *storage.BufferPool
+	root   storage.PageID
+	height int
+	count  int
+	pages  int
+}
+
+// New creates an empty tree (a single empty leaf as root).
+func New(pool *storage.BufferPool) (*Tree, error) {
+	t := &Tree{pool: pool}
+	leaf, err := t.newPage(kindLeaf)
+	if err != nil {
+		return nil, err
+	}
+	t.root = leaf
+	t.height = 1
+	return t, nil
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumPages returns the number of pages the tree occupies.
+func (t *Tree) NumPages() int { return t.pages }
+
+// SizeBytes returns the on-disk footprint of the tree.
+func (t *Tree) SizeBytes() int64 { return int64(t.pages) * storage.PageSize }
+
+func (t *Tree) newPage(kind uint16) (storage.PageID, error) {
+	p, err := t.pool.Allocate()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	p.PutUint16(0, kind)
+	p.PutUint16(2, 0)
+	if kind == kindLeaf {
+		p.PutUint32(headerSize, uint32(storage.InvalidPageID))
+	}
+	t.pool.MarkDirty(p.ID())
+	t.pages++
+	return p.ID(), nil
+}
+
+// --- page accessors -------------------------------------------------------
+
+func pageKind(p *storage.Page) uint16 { return p.Uint16(0) }
+func pageCount(p *storage.Page) int   { return int(p.Uint16(2)) }
+func setCount(p *storage.Page, n int) { p.PutUint16(2, uint16(n)) }
+func leafNext(p *storage.Page) storage.PageID {
+	return storage.PageID(p.Uint32(headerSize))
+}
+func setLeafNext(p *storage.Page, id storage.PageID) { p.PutUint32(headerSize, uint32(id)) }
+
+func leafKey(p *storage.Page, i int) uint64 { return p.Uint64(leafMeta + i*leafEntry) }
+func leafVal(p *storage.Page, i int) uint64 { return p.Uint64(leafMeta + i*leafEntry + 8) }
+func setLeafKV(p *storage.Page, i int, k, v uint64) {
+	p.PutUint64(leafMeta+i*leafEntry, k)
+	p.PutUint64(leafMeta+i*leafEntry+8, v)
+}
+
+func internalKey(p *storage.Page, i int) uint64       { return p.Uint64(internalMeta + i*8) }
+func setInternalKey(p *storage.Page, i int, k uint64) { p.PutUint64(internalMeta+i*8, k) }
+
+func childOff(i int) int { return internalMeta + MaxInternalKeys*8 + i*4 }
+func internalChild(p *storage.Page, i int) storage.PageID {
+	return storage.PageID(p.Uint32(childOff(i)))
+}
+func setInternalChild(p *storage.Page, i int, id storage.PageID) {
+	p.PutUint32(childOff(i), uint32(id))
+}
+
+// --- lookup ---------------------------------------------------------------
+
+// findLeaf descends to the leaf that would contain key.
+func (t *Tree) findLeaf(key uint64) (storage.PageID, error) {
+	id := t.root
+	for {
+		p, err := t.pool.Get(id)
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		if pageKind(p) == kindLeaf {
+			return id, nil
+		}
+		n := pageCount(p)
+		// First separator strictly greater than key; descend left of it.
+		i := sort.Search(n, func(i int) bool { return internalKey(p, i) > key })
+		id = internalChild(p, i)
+	}
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (t *Tree) Get(key uint64) (uint64, error) {
+	leafID, err := t.findLeaf(key)
+	if err != nil {
+		return 0, err
+	}
+	p, err := t.pool.Get(leafID)
+	if err != nil {
+		return 0, err
+	}
+	n := pageCount(p)
+	i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
+	if i < n && leafKey(p, i) == key {
+		return leafVal(p, i), nil
+	}
+	return 0, ErrNotFound
+}
+
+// Update replaces the value stored under an existing key, or returns
+// ErrNotFound. The tree shape is unchanged.
+func (t *Tree) Update(key, value uint64) error {
+	leafID, err := t.findLeaf(key)
+	if err != nil {
+		return err
+	}
+	p, err := t.pool.Get(leafID)
+	if err != nil {
+		return err
+	}
+	n := pageCount(p)
+	i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
+	if i >= n || leafKey(p, i) != key {
+		return fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	setLeafKV(p, i, key, value)
+	t.pool.MarkDirty(leafID)
+	return nil
+}
+
+// Scan calls fn for every (key, value) with lo <= key <= hi, in ascending
+// key order, until fn returns false or the range is exhausted.
+func (t *Tree) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
+	leafID, err := t.findLeaf(lo)
+	if err != nil {
+		return err
+	}
+	for leafID != storage.InvalidPageID {
+		p, err := t.pool.Get(leafID)
+		if err != nil {
+			return err
+		}
+		n := pageCount(p)
+		i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= lo })
+		next := leafNext(p)
+		for ; i < n; i++ {
+			k := leafKey(p, i)
+			if k > hi {
+				return nil
+			}
+			if !fn(k, leafVal(p, i)) {
+				return nil
+			}
+		}
+		leafID = next
+	}
+	return nil
+}
+
+// --- insert ---------------------------------------------------------------
+
+type splitResult struct {
+	split   bool
+	sepKey  uint64 // first key of the new right sibling
+	newPage storage.PageID
+}
+
+// Insert stores (key, value); inserting an existing key fails with
+// ErrDuplicate.
+func (t *Tree) Insert(key, value uint64) error {
+	res, err := t.insertInto(t.root, t.height, key, value)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		newRoot, err := t.newPage(kindInternal)
+		if err != nil {
+			return err
+		}
+		p, err := t.pool.Get(newRoot)
+		if err != nil {
+			return err
+		}
+		setCount(p, 1)
+		setInternalKey(p, 0, res.sepKey)
+		setInternalChild(p, 0, t.root)
+		setInternalChild(p, 1, res.newPage)
+		t.pool.MarkDirty(newRoot)
+		t.root = newRoot
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+func (t *Tree) insertInto(id storage.PageID, level int, key, value uint64) (splitResult, error) {
+	p, err := t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	if pageKind(p) == kindLeaf {
+		return t.insertLeaf(id, key, value)
+	}
+	n := pageCount(p)
+	i := sort.Search(n, func(i int) bool { return internalKey(p, i) > key })
+	child := internalChild(p, i)
+	res, err := t.insertInto(child, level-1, key, value)
+	if err != nil || !res.split {
+		return splitResult{}, err
+	}
+	// Re-fetch: the child insert may have evicted our frame.
+	p, err = t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	return t.insertInternalKey(id, p, res.sepKey, res.newPage)
+}
+
+func (t *Tree) insertLeaf(id storage.PageID, key, value uint64) (splitResult, error) {
+	p, err := t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	n := pageCount(p)
+	i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
+	if i < n && leafKey(p, i) == key {
+		return splitResult{}, fmt.Errorf("%w: %d", ErrDuplicate, key)
+	}
+	if n < MaxLeafEntries {
+		for j := n; j > i; j-- {
+			setLeafKV(p, j, leafKey(p, j-1), leafVal(p, j-1))
+		}
+		setLeafKV(p, i, key, value)
+		setCount(p, n+1)
+		t.pool.MarkDirty(id)
+		return splitResult{}, nil
+	}
+	// Split: gather all n+1 entries, write halves.
+	keys := make([]uint64, 0, n+1)
+	vals := make([]uint64, 0, n+1)
+	for j := 0; j < n; j++ {
+		keys = append(keys, leafKey(p, j))
+		vals = append(vals, leafVal(p, j))
+	}
+	keys = append(keys, 0)
+	vals = append(vals, 0)
+	copy(keys[i+1:], keys[i:])
+	copy(vals[i+1:], vals[i:])
+	keys[i], vals[i] = key, value
+
+	rightID, err := t.newPage(kindLeaf)
+	if err != nil {
+		return splitResult{}, err
+	}
+	// Re-fetch both pages (allocation may evict).
+	left, err := t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	mid := (n + 1) / 2
+	oldNext := leafNext(left)
+	setCount(left, mid)
+	for j := 0; j < mid; j++ {
+		setLeafKV(left, j, keys[j], vals[j])
+	}
+	setLeafNext(left, rightID)
+	t.pool.MarkDirty(id)
+
+	right, err := t.pool.Get(rightID)
+	if err != nil {
+		return splitResult{}, err
+	}
+	setCount(right, n+1-mid)
+	for j := mid; j <= n; j++ {
+		setLeafKV(right, j-mid, keys[j], vals[j])
+	}
+	setLeafNext(right, oldNext)
+	t.pool.MarkDirty(rightID)
+	return splitResult{split: true, sepKey: keys[mid], newPage: rightID}, nil
+}
+
+func (t *Tree) insertInternalKey(id storage.PageID, p *storage.Page, sep uint64, newChild storage.PageID) (splitResult, error) {
+	n := pageCount(p)
+	i := sort.Search(n, func(i int) bool { return internalKey(p, i) > sep })
+	if n < MaxInternalKeys {
+		for j := n; j > i; j-- {
+			setInternalKey(p, j, internalKey(p, j-1))
+		}
+		for j := n + 1; j > i+1; j-- {
+			setInternalChild(p, j, internalChild(p, j-1))
+		}
+		setInternalKey(p, i, sep)
+		setInternalChild(p, i+1, newChild)
+		setCount(p, n+1)
+		t.pool.MarkDirty(id)
+		return splitResult{}, nil
+	}
+	// Split internal node.
+	keys := make([]uint64, 0, n+1)
+	children := make([]storage.PageID, 0, n+2)
+	for j := 0; j < n; j++ {
+		keys = append(keys, internalKey(p, j))
+	}
+	for j := 0; j <= n; j++ {
+		children = append(children, internalChild(p, j))
+	}
+	keys = append(keys, 0)
+	copy(keys[i+1:], keys[i:])
+	keys[i] = sep
+	children = append(children, storage.InvalidPageID)
+	copy(children[i+2:], children[i+1:])
+	children[i+1] = newChild
+
+	rightID, err := t.newPage(kindInternal)
+	if err != nil {
+		return splitResult{}, err
+	}
+	left, err := t.pool.Get(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	total := n + 1
+	mid := total / 2 // keys[mid] moves up
+	setCount(left, mid)
+	for j := 0; j < mid; j++ {
+		setInternalKey(left, j, keys[j])
+	}
+	for j := 0; j <= mid; j++ {
+		setInternalChild(left, j, children[j])
+	}
+	t.pool.MarkDirty(id)
+
+	right, err := t.pool.Get(rightID)
+	if err != nil {
+		return splitResult{}, err
+	}
+	rn := total - mid - 1
+	setCount(right, rn)
+	for j := 0; j < rn; j++ {
+		setInternalKey(right, j, keys[mid+1+j])
+	}
+	for j := 0; j <= rn; j++ {
+		setInternalChild(right, j, children[mid+1+j])
+	}
+	t.pool.MarkDirty(rightID)
+	return splitResult{split: true, sepKey: keys[mid], newPage: rightID}, nil
+}
+
+// --- bulk load --------------------------------------------------------------
+
+// Entry is a (key, value) pair for bulk loading.
+type Entry struct {
+	Key   uint64
+	Value uint64
+}
+
+// BulkLoad builds a tree from entries, which must be sorted by key with no
+// duplicates. This is the construction path of the inverted indexes.
+func BulkLoad(pool *storage.BufferPool, entries []Entry) (*Tree, error) {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Key <= entries[i-1].Key {
+			return nil, fmt.Errorf("btree: bulk load input not strictly sorted at %d", i)
+		}
+	}
+	t := &Tree{pool: pool}
+	if len(entries) == 0 {
+		return New(pool)
+	}
+
+	// Fill leaves left to right.
+	type nodeRef struct {
+		id       storage.PageID
+		firstKey uint64
+	}
+	var level []nodeRef
+	perLeaf := MaxLeafEntries * 3 / 4 // leave slack for future inserts
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+	var prevLeaf storage.PageID = storage.InvalidPageID
+	for start := 0; start < len(entries); start += perLeaf {
+		end := start + perLeaf
+		if end > len(entries) {
+			end = len(entries)
+		}
+		id, err := t.newPage(kindLeaf)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pool.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		setCount(p, end-start)
+		for j := start; j < end; j++ {
+			setLeafKV(p, j-start, entries[j].Key, entries[j].Value)
+		}
+		pool.MarkDirty(id)
+		if prevLeaf != storage.InvalidPageID {
+			pp, err := pool.Get(prevLeaf)
+			if err != nil {
+				return nil, err
+			}
+			setLeafNext(pp, id)
+			pool.MarkDirty(prevLeaf)
+		}
+		prevLeaf = id
+		level = append(level, nodeRef{id, entries[start].Key})
+	}
+	t.height = 1
+
+	// Build internal levels until a single root remains.
+	perNode := MaxInternalKeys * 3 / 4
+	if perNode < 2 {
+		perNode = 2
+	}
+	for len(level) > 1 {
+		var next []nodeRef
+		for start := 0; start < len(level); start += perNode + 1 {
+			end := start + perNode + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			// Avoid a trailing group with a single child.
+			if end < len(level) && len(level)-end == 1 {
+				end--
+			}
+			id, err := t.newPage(kindInternal)
+			if err != nil {
+				return nil, err
+			}
+			p, err := pool.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			nk := end - start - 1
+			setCount(p, nk)
+			for j := 0; j < nk; j++ {
+				setInternalKey(p, j, level[start+1+j].firstKey)
+			}
+			for j := 0; j <= nk; j++ {
+				setInternalChild(p, j, level[start+j].id)
+			}
+			pool.MarkDirty(id)
+			next = append(next, nodeRef{id, level[start].firstKey})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].id
+	t.count = len(entries)
+	if err := pool.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

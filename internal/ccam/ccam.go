@@ -1,0 +1,241 @@
+// Package ccam implements the connectivity-clustered access method of
+// Shekhar & Liu, the disk-based road-network representation the paper
+// adopts: node adjacency lists are clustered into 4KB pages by the Z-order
+// of the node locations, recursively two-way-partitioned until each group's
+// adjacency lists fit into one page. Traversal fetches pages through an LRU
+// buffer pool, so spatially/topologically close nodes tend to share pages
+// and the expansion enjoys access locality.
+package ccam
+
+import (
+	"fmt"
+	"sort"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/storage"
+)
+
+// AdjEntry is one record of a node's adjacency list as stored on disk.
+type AdjEntry struct {
+	Edge   graph.EdgeID
+	Other  graph.NodeID
+	Length float64
+	Weight float64
+}
+
+// EdgeInfo describes an edge as needed to anchor mid-edge positions during
+// distance computation: its end-nodes and cost.
+type EdgeInfo struct {
+	N1, N2 graph.NodeID
+	Length float64
+	Weight float64
+}
+
+// Network is the access interface the search algorithms traverse: a node
+// count, adjacency-list lookup, and edge resolution. Both the disk-resident
+// File and the zero-I/O InMemory satisfy it.
+type Network interface {
+	NumNodes() int
+	Adjacency(n graph.NodeID) ([]AdjEntry, error)
+	// EdgeInfo resolves an edge's end-nodes and cost. Like the node->page
+	// directory, the edge directory is memory-resident metadata.
+	EdgeInfo(e graph.EdgeID) (EdgeInfo, error)
+}
+
+// On-page encoding:
+//
+//	page header:  numNodes uint16
+//	node entry:   nodeID uint32, degree uint16, degree × adjRecord
+//	adjRecord:    edgeID uint32, other uint32, length float64, weight float64
+const (
+	pageHeaderSize = 2
+	nodeHeaderSize = 6
+	adjRecordSize  = 24
+)
+
+func nodeEntrySize(degree int) int { return nodeHeaderSize + degree*adjRecordSize }
+
+// File is the disk-resident CCAM structure. The node→page directory is
+// kept in memory (as in the original design, where it is small and hot);
+// adjacency lists live on pages and every lookup goes through the buffer
+// pool.
+type File struct {
+	pool     *storage.BufferPool
+	dir      []storage.PageID // node -> page holding its adjacency list
+	edges    []EdgeInfo       // edge directory (memory-resident metadata)
+	numNodes int
+	numPages int
+}
+
+// Build lays out g's adjacency lists into pages of the pool's file and
+// returns the resulting File. Nodes are sorted by the Z-order code of their
+// locations and the ordered sequence is recursively split in two until each
+// group fits into a single page.
+func Build(g *Graph, pool *storage.BufferPool) (*File, error) {
+	n := g.NumNodes()
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	codes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		codes[i] = geo.ZCode(g.Node(graph.NodeID(i)).Loc)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := codes[order[i]], codes[order[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+
+	f := &File{pool: pool, dir: make([]storage.PageID, n), numNodes: n}
+	f.edges = make([]EdgeInfo, g.NumEdges())
+	for i := range f.edges {
+		e := g.Edge(graph.EdgeID(i))
+		f.edges[i] = EdgeInfo{N1: e.N1, N2: e.N2, Length: e.Length, Weight: e.Weight}
+	}
+
+	var emit func(group []graph.NodeID) error
+	emit = func(group []graph.NodeID) error {
+		if len(group) == 0 {
+			return nil
+		}
+		size := pageHeaderSize
+		for _, nd := range group {
+			size += nodeEntrySize(g.Degree(nd))
+		}
+		if size > storage.PageSize {
+			if len(group) == 1 {
+				return fmt.Errorf("ccam: node %d adjacency list (%d edges) exceeds one page",
+					group[0], g.Degree(group[0]))
+			}
+			mid := len(group) / 2
+			if err := emit(group[:mid]); err != nil {
+				return err
+			}
+			return emit(group[mid:])
+		}
+		return f.writeGroup(g, group)
+	}
+	if err := emit(order); err != nil {
+		return nil, err
+	}
+	if err := pool.Flush(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) writeGroup(g *Graph, group []graph.NodeID) error {
+	page, err := f.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	page.PutUint16(0, uint16(len(group)))
+	off := pageHeaderSize
+	for _, nd := range group {
+		adj := g.Adjacent(nd)
+		page.PutUint32(off, uint32(nd))
+		page.PutUint16(off+4, uint16(len(adj)))
+		off += nodeHeaderSize
+		for _, eid := range adj {
+			e := g.Edge(eid)
+			page.PutUint32(off, uint32(eid))
+			page.PutUint32(off+4, uint32(e.OtherEnd(nd)))
+			page.PutFloat64(off+8, e.Length)
+			page.PutFloat64(off+16, e.Weight)
+			off += adjRecordSize
+		}
+		f.dir[nd] = page.ID()
+	}
+	f.pool.MarkDirty(page.ID())
+	f.numPages++
+	return nil
+}
+
+// NumNodes returns the number of nodes in the network.
+func (f *File) NumNodes() int { return f.numNodes }
+
+// NumPages returns the number of pages the adjacency lists occupy.
+func (f *File) NumPages() int { return f.numPages }
+
+// SizeBytes returns the on-disk footprint of the structure.
+func (f *File) SizeBytes() int64 { return int64(f.numPages) * storage.PageSize }
+
+// Adjacency fetches node n's adjacency list from disk (through the buffer
+// pool, counting a disk access on a miss).
+func (f *File) Adjacency(n graph.NodeID) ([]AdjEntry, error) {
+	if n < 0 || int(n) >= f.numNodes {
+		return nil, fmt.Errorf("ccam: unknown node %d", n)
+	}
+	page, err := f.pool.Get(f.dir[n])
+	if err != nil {
+		return nil, err
+	}
+	count := int(page.Uint16(0))
+	off := pageHeaderSize
+	for i := 0; i < count; i++ {
+		id := graph.NodeID(page.Uint32(off))
+		deg := int(page.Uint16(off + 4))
+		off += nodeHeaderSize
+		if id != n {
+			off += deg * adjRecordSize
+			continue
+		}
+		out := make([]AdjEntry, deg)
+		for j := 0; j < deg; j++ {
+			out[j] = AdjEntry{
+				Edge:   graph.EdgeID(page.Uint32(off)),
+				Other:  graph.NodeID(page.Uint32(off + 4)),
+				Length: page.Float64(off + 8),
+				Weight: page.Float64(off + 16),
+			}
+			off += adjRecordSize
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ccam: node %d missing from its directory page", n)
+}
+
+// EdgeInfo implements Network.
+func (f *File) EdgeInfo(e graph.EdgeID) (EdgeInfo, error) {
+	if e < 0 || int(e) >= len(f.edges) {
+		return EdgeInfo{}, fmt.Errorf("ccam: unknown edge %d", e)
+	}
+	return f.edges[e], nil
+}
+
+// Graph is a minimal alias used by Build; it matches *graph.Graph.
+type Graph = graph.Graph
+
+// InMemory adapts a *graph.Graph to the Network interface with zero I/O
+// cost; it is used by tests and by CPU-only distance computations.
+type InMemory struct{ G *graph.Graph }
+
+// NumNodes implements Network.
+func (m InMemory) NumNodes() int { return m.G.NumNodes() }
+
+// Adjacency implements Network.
+func (m InMemory) Adjacency(n graph.NodeID) ([]AdjEntry, error) {
+	if n < 0 || int(n) >= m.G.NumNodes() {
+		return nil, fmt.Errorf("ccam: unknown node %d", n)
+	}
+	adj := m.G.Adjacent(n)
+	out := make([]AdjEntry, len(adj))
+	for i, eid := range adj {
+		e := m.G.Edge(eid)
+		out[i] = AdjEntry{Edge: eid, Other: e.OtherEnd(n), Length: e.Length, Weight: e.Weight}
+	}
+	return out, nil
+}
+
+// EdgeInfo implements Network.
+func (m InMemory) EdgeInfo(e graph.EdgeID) (EdgeInfo, error) {
+	if e < 0 || int(e) >= m.G.NumEdges() {
+		return EdgeInfo{}, fmt.Errorf("ccam: unknown edge %d", e)
+	}
+	ed := m.G.Edge(e)
+	return EdgeInfo{N1: ed.N1, N2: ed.N2, Length: ed.Length, Weight: ed.Weight}, nil
+}

@@ -1,0 +1,188 @@
+package ccam
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/storage"
+)
+
+func randomGraph(t testing.TB, n, extra int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * geo.WorldMax, Y: rng.Float64() * geo.WorldMax})
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1+rng.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		a, b := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if a != b {
+			_, _ = g.AddEdge(a, b, 1+rng.Float64()*10)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+func newPool(frames int) *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewPageFile(), frames, nil)
+}
+
+func TestBuildAndReadBack(t *testing.T) {
+	g := randomGraph(t, 500, 700, 1)
+	pool := newPool(64)
+	f, err := Build(g, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != g.NumNodes() {
+		t.Fatalf("NumNodes = %d", f.NumNodes())
+	}
+	if f.NumPages() == 0 {
+		t.Fatal("no pages written")
+	}
+	// Every node's adjacency must round-trip exactly.
+	for n := 0; n < g.NumNodes(); n++ {
+		nd := graph.NodeID(n)
+		got, err := f.Adjacency(nd)
+		if err != nil {
+			t.Fatalf("Adjacency(%d): %v", n, err)
+		}
+		want := g.Adjacent(nd)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d entries, want %d", n, len(got), len(want))
+		}
+		for i, eid := range want {
+			e := g.Edge(eid)
+			if got[i].Edge != eid || got[i].Other != e.OtherEnd(nd) ||
+				got[i].Weight != e.Weight || got[i].Length != e.Length {
+				t.Fatalf("node %d entry %d mismatch: %+v vs edge %+v", n, i, got[i], e)
+			}
+		}
+	}
+}
+
+func TestAdjacencyCountsIO(t *testing.T) {
+	g := randomGraph(t, 300, 300, 2)
+	stats := &storage.IOStats{}
+	pool := storage.NewBufferPool(storage.NewPageFile(), 4, stats)
+	f, err := Build(g, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	stats.Reset()
+	if _, err := f.Adjacency(0); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot().DiskRead != 1 {
+		t.Errorf("cold adjacency read cost %d disk I/Os", stats.Snapshot().DiskRead)
+	}
+	if _, err := f.Adjacency(0); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot().DiskRead != 1 {
+		t.Error("warm adjacency read should not hit disk")
+	}
+}
+
+func TestZOrderClusteringLocality(t *testing.T) {
+	// CCAM's point: spatially close nodes should share pages more often
+	// than random assignment would. We check that the number of pages is
+	// close to the packing optimum (within 2x), which only happens when
+	// groups are filled densely.
+	g := randomGraph(t, 2000, 2000, 3)
+	pool := newPool(256)
+	f, err := Build(g, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalBytes := pageHeaderSize
+	for n := 0; n < g.NumNodes(); n++ {
+		totalBytes += nodeEntrySize(g.Degree(graph.NodeID(n)))
+	}
+	minPages := (totalBytes + storage.PageSize - 1) / storage.PageSize
+	if f.NumPages() > 2*minPages+1 {
+		t.Errorf("poor packing: %d pages vs optimum %d", f.NumPages(), minPages)
+	}
+}
+
+func TestAdjacencyUnknownNode(t *testing.T) {
+	g := randomGraph(t, 10, 5, 4)
+	f, err := Build(g, newPool(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Adjacency(graph.NodeID(-1)); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := f.Adjacency(graph.NodeID(10)); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestInMemoryMatchesFile(t *testing.T) {
+	g := randomGraph(t, 100, 150, 5)
+	f, err := Build(g, newPool(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := InMemory{G: g}
+	if mem.NumNodes() != f.NumNodes() {
+		t.Fatal("node count mismatch")
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		a, err := f.Adjacency(graph.NodeID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mem.Adjacency(graph.NodeID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("node %d: file %d vs mem %d entries", n, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d entry %d: %+v vs %+v", n, i, a[i], b[i])
+			}
+		}
+	}
+	if _, err := mem.Adjacency(graph.NodeID(1000)); err == nil {
+		t.Error("InMemory accepted unknown node")
+	}
+}
+
+func TestAdjacencyFaultPropagation(t *testing.T) {
+	g := randomGraph(t, 100, 100, 9)
+	file := storage.NewPageFile()
+	pool := storage.NewBufferPool(file, 16, nil)
+	f, err := Build(g, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("injected")
+	file.SetFault(func(op string, _ storage.PageID) error {
+		if op == "read" {
+			return wantErr
+		}
+		return nil
+	})
+	if _, err := f.Adjacency(0); !errors.Is(err, wantErr) {
+		t.Errorf("Adjacency under fault = %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"testing"
+
+	"dsks/internal/core"
+	"dsks/internal/dataset"
+	"dsks/internal/harness"
+	"dsks/internal/obj"
+)
+
+func benchWorld(b *testing.B) (*harness.System, []dataset.Query) {
+	b.Helper()
+	ds, err := dataset.GeneratePreset(dataset.PresetNA, 400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: 64, Keywords: 3, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, ws
+}
+
+func BenchmarkSKSearch(b *testing.B) {
+	sys, ws := benchWorld(b)
+	loader, err := sys.Loader(harness.KindSIF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := harness.SKQueryOf(ws[i%len(ws)])
+		s, err := core.NewSKSearch(sys.Net, loader, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchSEQ(b *testing.B) {
+	sys, ws := benchWorld(b)
+	loader, err := sys.Loader(harness.KindSIF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := harness.DivQueryOf(ws[i%len(ws)], 10, 0.8)
+		if _, err := core.SearchSEQ(sys.Net, loader, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchCOM(b *testing.B) {
+	sys, ws := benchWorld(b)
+	loader, err := sys.Loader(harness.KindSIF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := harness.DivQueryOf(ws[i%len(ws)], 10, 0.8)
+		if _, err := core.SearchCOM(sys.Net, loader, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchKNN(b *testing.B) {
+	sys, ws := benchWorld(b)
+	loader, err := sys.Loader(harness.KindSIF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wq := ws[i%len(ws)]
+		if _, _, err := core.SearchKNN(sys.Net, loader, core.KNNQuery{
+			Pos: wq.Pos, Terms: wq.Terms, K: 10, MaxDist: wq.DeltaMax,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistEngine(b *testing.B) {
+	sys, _ := benchWorld(b)
+	col := sys.DS.Objects
+	eng := core.NewDistEngine(sys.Net, 3000, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := col.Get(obj.ID(i % col.Len())).Pos
+		c := col.Get(obj.ID((i * 7) % col.Len())).Pos
+		if _, err := eng.Dist(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorePairUpdate(b *testing.B) {
+	// Synthetic θ world: measures Algorithm 5's maintenance cost alone.
+	const n = 512
+	theta := func(x, y obj.ID) float64 {
+		if x > y {
+			x, y = y, x
+		}
+		h := (uint64(x)*2654435761 + uint64(y)*40503) % 100_000
+		return float64(h) / 100_000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := core.NewCorePairSet(5)
+		ids := make([]obj.ID, 0, n)
+		for j := 0; j < n; j++ {
+			ids = append(ids, obj.ID(j))
+			if len(ids) == 10 {
+				cp.InitGreedy(ids, theta)
+			} else if len(ids) > 10 {
+				cp.Update(obj.ID(j), ids, theta)
+			}
+		}
+	}
+}
+
+func BenchmarkGreedyDiversify(b *testing.B) {
+	const n = 256
+	theta := func(i, j int) float64 {
+		return float64((i*2654435761+j*40503)%100_000) / 100_000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedyDiversify(n, 10, theta)
+	}
+}

@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsks/internal/core"
+	"dsks/internal/dataset"
+	"dsks/internal/harness"
+)
+
+// TestUnvisitedPairBoundSound verifies the soundness of Algorithm 6's
+// global pruning bound: for any two objects at distance >= gamma from the
+// query (both within DeltaMax), their true θ never exceeds
+// UnvisitedPairBound(gamma).
+func TestUnvisitedPairBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := core.DivParams{
+			K:        2 + rng.Intn(10),
+			Lambda:   rng.Float64(),
+			DeltaMax: 100 + rng.Float64()*1000,
+		}
+		gamma := rng.Float64() * p.DeltaMax
+		// Two hypothetical unvisited objects: distances in [gamma, DeltaMax],
+		// pairwise distance at most dU + dV (<= 2 DeltaMax).
+		dU := gamma + rng.Float64()*(p.DeltaMax-gamma)
+		dV := gamma + rng.Float64()*(p.DeltaMax-gamma)
+		dUV := rng.Float64() * (dU + dV)
+		return p.ThetaFromDists(dU, dV, dUV) <= p.UnvisitedPairBound(gamma)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVisitedUnvisitedBoundSound verifies the per-object pruning bound:
+// for a visited object at distance dV and any unvisited object (distance
+// >= gamma, pairwise distance <= dV + DeltaMax), the true θ never exceeds
+// VisitedUnvisitedBound(dV, gamma).
+func TestVisitedUnvisitedBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := core.DivParams{
+			K:        2 + rng.Intn(10),
+			Lambda:   rng.Float64(),
+			DeltaMax: 100 + rng.Float64()*1000,
+		}
+		gamma := rng.Float64() * p.DeltaMax
+		dVisited := rng.Float64() * p.DeltaMax
+		dU := gamma + rng.Float64()*(p.DeltaMax-gamma) // unvisited object
+		dUV := rng.Float64() * (dVisited + p.DeltaMax) // through the query
+		return p.ThetaFromDists(dVisited, dU, dUV) <= p.VisitedUnvisitedBound(dVisited, gamma)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundsOnRealExpansion checks the bounds against actual objects from
+// a real expansion: every pair of candidates arriving after the frontier
+// gamma must satisfy both bounds.
+func TestBoundsOnRealExpansion(t *testing.T) {
+	sys, ws := testWorld(t, 55)
+	g := sys.DS.Graph
+	params := core.DivParams{K: 6, Lambda: 0.7, DeltaMax: ws[0].DeltaMax}
+	checked := 0
+	for _, wq := range ws[:6] {
+		q := harness.SKQueryOf(wq)
+		res, err := sys.RunSK(harness.KindSIF, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := res.Candidates
+		params.DeltaMax = q.DeltaMax
+		for i := 0; i < len(cands); i++ {
+			gamma := cands[i].Dist
+			// All candidates from i onward are "unvisited" at frontier gamma.
+			for a := i; a < len(cands); a++ {
+				for b := a + 1; b < len(cands); b++ {
+					dAB := g.NetworkDist(cands[a].Ref.Pos(), cands[b].Ref.Pos())
+					theta := params.ThetaFromDists(cands[a].Dist, cands[b].Dist, dAB)
+					if theta > params.UnvisitedPairBound(gamma)+1e-9 {
+						t.Fatalf("unvisited pair bound violated: θ=%v > bound=%v (γ=%v)",
+							theta, params.UnvisitedPairBound(gamma), gamma)
+					}
+					checked++
+				}
+			}
+			// Visited (arrived before i) against unvisited (from i on).
+			for v := 0; v < i; v++ {
+				for u := i; u < len(cands); u++ {
+					dVU := g.NetworkDist(cands[v].Ref.Pos(), cands[u].Ref.Pos())
+					theta := params.ThetaFromDists(cands[v].Dist, cands[u].Dist, dVU)
+					bound := params.VisitedUnvisitedBound(cands[v].Dist, gamma)
+					if theta > bound+1e-9 {
+						t.Fatalf("visited/unvisited bound violated: θ=%v > bound=%v", theta, bound)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no candidate pairs to check")
+	}
+}
+
+// TestTravelTimeCostModel runs the full pipeline on a network whose edge
+// weights are travel times rather than distances — the "general cost
+// model" the paper's INE choice is motivated by.
+func TestTravelTimeCostModel(t *testing.T) {
+	g, err := dataset.GenerateNetwork(dataset.NetworkConfig{
+		Nodes: 400, EdgeFactor: 1.4, Jitter: 0.3, TravelTimeCost: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := dataset.GenerateObjects(g, dataset.ObjectConfig{
+		NumObjects: 3000, VocabSize: 300, KeywordsPerObject: 6, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &dataset.Dataset{Name: "tt", Graph: g, Objects: col, VocabSize: 300}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := dataset.GenerateWorkload(col, 300, dataset.WorkloadConfig{
+		NumQueries: 10, Keywords: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, wq := range ws {
+		q := harness.SKQueryOf(wq)
+		res, err := sys.RunSK(harness.KindSIF, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Validate against exact in-memory distances (in cost units).
+		for _, c := range res.Candidates {
+			want := g.NetworkDist(q.Pos, c.Ref.Pos())
+			if diff := c.Dist - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("travel-time dist %v, want %v", c.Dist, want)
+			}
+		}
+		if len(res.Candidates) > 0 {
+			nonEmpty++
+		}
+		// Diversified search must also run under the cost model.
+		if _, err := sys.RunDiv(harness.KindSIF, harness.AlgoCOM,
+			harness.DivQueryOf(wq, 4, 0.8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("travel-time workload produced no results; test is vacuous")
+	}
+}
+
+// TestKNNInternal exercises core.SearchKNN directly on the test world.
+func TestKNNInternal(t *testing.T) {
+	sys, ws := testWorld(t, 59)
+	loader, err := sys.Loader(harness.KindSIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wq := range ws[:5] {
+		cands, stats, err := core.SearchKNN(sys.Net, loader, core.KNNQuery{
+			Pos: wq.Pos, Terms: wq.Terms, K: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) > 5 {
+			t.Fatalf("kNN returned %d > k", len(cands))
+		}
+		if stats.EdgesVisited == 0 {
+			t.Error("no edges visited")
+		}
+	}
+}

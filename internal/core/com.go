@@ -1,0 +1,243 @@
+package core
+
+import (
+	"dsks/internal/ccam"
+	"dsks/internal/index"
+	"dsks/internal/obj"
+)
+
+// PruneOptions toggles Algorithm 6's two pruning rules individually; the
+// zero value enables both. Disabling them isolates each rule's
+// contribution (the ablation benches use this).
+type PruneOptions struct {
+	// DisableEarlyStop keeps the network expansion running to DeltaMax
+	// even when no unvisited object can enter a core pair.
+	DisableEarlyStop bool
+	// DisableObjectPrune keeps dead visited objects in the pairwise
+	// computations.
+	DisableObjectPrune bool
+}
+
+// SearchCOM is the incremental diversified spatial keyword search of
+// Algorithm 6: objects arrive from the network expansion in non-decreasing
+// network distance; the core pairs and the threshold θ_T are maintained
+// incrementally (Algorithm 5); and two diversity-based pruning rules cut
+// the work — visited objects that can never enter a core pair are dropped
+// from future pairwise computations, and the whole expansion terminates as
+// soon as no unvisited object can contribute.
+func SearchCOM(net ccam.Network, loader index.Loader, q DivQuery) (DivResult, error) {
+	return SearchCOMPruned(net, loader, q, PruneOptions{})
+}
+
+// SearchCOMPruned is SearchCOM with explicit control over the pruning
+// rules.
+func SearchCOMPruned(net ccam.Network, loader index.Loader, q DivQuery, prune PruneOptions) (DivResult, error) {
+	if err := q.Validate(); err != nil {
+		return DivResult{}, err
+	}
+	sks, err := NewSKSearch(net, loader, q.SKQuery)
+	if err != nil {
+		return DivResult{}, err
+	}
+	var distStats SearchStats
+	c := &comState{
+		params:  DivParams{K: q.K, Lambda: q.Lambda, DeltaMax: q.DeltaMax},
+		dist:    NewDistEngine(net, 2*q.DeltaMax, &distStats),
+		cands:   make(map[obj.ID]Candidate),
+		maxSeen: make(map[obj.ID]float64),
+		memo:    make(map[[2]obj.ID]float64),
+		pairs:   NewCorePairSet(q.K / 2),
+		prune:   prune,
+	}
+
+	// Line 1: collect the first k arrivals and seed the core pairs with the
+	// greedy of Algorithm 1.
+	var first []Candidate
+	for len(first) < q.K {
+		cand, ok, err := sks.Next()
+		if err != nil {
+			return DivResult{}, err
+		}
+		if !ok {
+			break
+		}
+		first = append(first, cand)
+	}
+	for _, cand := range first {
+		c.cands[cand.Ref.ID] = cand
+		c.alive = append(c.alive, cand.Ref.ID)
+	}
+	if len(first) < q.K {
+		// Fewer qualifying objects than k: everything is in the result.
+		return c.finish(first, sks, &distStats)
+	}
+	c.pairs.InitGreedy(c.alive, c.theta)
+	for i, a := range c.alive {
+		for _, b := range c.alive[i+1:] {
+			c.noteTheta(a, b, c.theta(a, b))
+		}
+	}
+	if c.err != nil {
+		return DivResult{}, c.err
+	}
+
+	// Lines 2–16: the arrival loop.
+	earlyStop := false
+	for {
+		cand, ok, err := sks.Next()
+		if err != nil {
+			return DivResult{}, err
+		}
+		if !ok {
+			break
+		}
+		if err := c.arrive(cand); err != nil {
+			return DivResult{}, err
+		}
+		if c.canTerminate(cand.Dist) && !prune.DisableEarlyStop {
+			earlyStop = true
+			sks.Stop()
+			break
+		}
+	}
+
+	// Assemble the result from the core objects (Line 17), padding to k
+	// with the most relevant non-core survivor when k is odd.
+	core := c.pairs.CoreObjects()
+	result := make([]Candidate, 0, q.K)
+	inCore := make(map[obj.ID]bool, len(core))
+	for _, id := range core {
+		result = append(result, c.cands[id])
+		inCore[id] = true
+	}
+	if len(result) < q.K {
+		best := Candidate{Dist: -1}
+		for _, id := range c.alive {
+			if inCore[id] {
+				continue
+			}
+			cand := c.cands[id]
+			if best.Dist < 0 || cand.Dist < best.Dist ||
+				(cand.Dist == best.Dist && cand.Ref.ID < best.Ref.ID) {
+				best = cand
+			}
+		}
+		if best.Dist >= 0 {
+			result = append(result, best)
+		}
+	}
+	res, err := c.finish(result, sks, &distStats)
+	res.Stats.EarlyTerminate = earlyStop
+	return res, err
+}
+
+// comState carries the arrival-loop bookkeeping of Algorithm 6.
+type comState struct {
+	params  DivParams
+	dist    *DistEngine
+	cands   map[obj.ID]Candidate
+	alive   []obj.ID
+	maxSeen map[obj.ID]float64    // largest θ each object has with any other
+	memo    map[[2]obj.ID]float64 // pairwise θ cache
+	pairs   *CorePairSet
+	prune   PruneOptions
+	pruned  int64
+	err     error
+}
+
+// theta is the memoized pairwise diversification distance. Distance-engine
+// errors are captured in c.err (the callback signature has no error path).
+func (c *comState) theta(a, b obj.ID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]obj.ID{a, b}
+	if t, ok := c.memo[key]; ok {
+		return t
+	}
+	ca, cb := c.cands[a], c.cands[b]
+	d, err := c.dist.Dist(ca.Ref.Pos(), cb.Ref.Pos())
+	if err != nil {
+		c.err = err
+		return 0
+	}
+	t := c.params.ThetaFromDists(ca.Dist, cb.Dist, d)
+	c.memo[key] = t
+	return t
+}
+
+func (c *comState) noteTheta(a, b obj.ID, t float64) {
+	if t > c.maxSeen[a] {
+		c.maxSeen[a] = t
+	}
+	if t > c.maxSeen[b] {
+		c.maxSeen[b] = t
+	}
+}
+
+// arrive processes one new candidate (Line 3 of Algorithm 6).
+func (c *comState) arrive(cand Candidate) error {
+	id := cand.Ref.ID
+	c.cands[id] = cand
+	for _, x := range c.alive {
+		c.noteTheta(id, x, c.theta(id, x))
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.alive = append(c.alive, id)
+	c.pairs.Update(id, c.alive, c.theta)
+	return c.err
+}
+
+// canTerminate evaluates the pruning rules with frontier gamma (Lines
+// 4–16): it may drop visited objects from future computation, and returns
+// true when no unvisited object can contribute to a core pair.
+func (c *comState) canTerminate(gamma float64) bool {
+	thetaT := c.pairs.ThetaT()
+	if thetaT == 0 {
+		return false
+	}
+	// Upper bound for a pair of unvisited objects (Lines 5–7).
+	terminate := c.params.UnvisitedPairBound(gamma) < thetaT
+
+	// Per-visited-object checks (Lines 8–14).
+	survivors := c.alive[:0]
+	for _, id := range c.alive {
+		cand := c.cands[id]
+		ub := c.params.VisitedUnvisitedBound(cand.Dist, gamma)
+		if ub >= thetaT {
+			// id could still pair with an unvisited object.
+			terminate = false
+			survivors = append(survivors, id)
+			continue
+		}
+		// id cannot pair with the future; if it also cannot pair with the
+		// past — and is not currently core — it is dead (Lines 13–14).
+		if !c.prune.DisableObjectPrune && c.maxSeen[id] < thetaT && !c.pairs.IsCore(id) {
+			c.pruned++
+			delete(c.cands, id)
+			delete(c.maxSeen, id)
+			continue
+		}
+		survivors = append(survivors, id)
+	}
+	c.alive = survivors
+	return terminate
+}
+
+func (c *comState) finish(result []Candidate, sks *SKSearch, distStats *SearchStats) (DivResult, error) {
+	stats := sks.Stats()
+	stats.Add(*distStats)
+	stats.Pruned = c.pruned
+	for _, cand := range result {
+		c.cands[cand.Ref.ID] = cand
+	}
+	f := SetObjective(len(result), func(i, j int) float64 {
+		return c.theta(result[i].Ref.ID, result[j].Ref.ID)
+	})
+	if c.err != nil {
+		return DivResult{}, c.err
+	}
+	return DivResult{Objects: result, F: f, Stats: stats}, nil
+}

@@ -1,0 +1,254 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"dsks/internal/core"
+	"dsks/internal/dataset"
+	"dsks/internal/graph"
+	"dsks/internal/harness"
+	"dsks/internal/obj"
+)
+
+// testWorld builds a small generated dataset with all index kinds.
+func testWorld(t testing.TB, seed int64) (*harness.System, []dataset.Query) {
+	t.Helper()
+	ds, err := dataset.GeneratePreset(dataset.PresetSYN, 2000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{
+		harness.KindIR, harness.KindIF, harness.KindSIF, harness.KindSIFP, harness.KindC1,
+	}, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: 20, Keywords: 2, DeltaMaxPerKeyword: 900, Seed: seed + 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ws
+}
+
+// bruteSK enumerates all qualifying objects by exact in-memory shortest
+// paths.
+func bruteSK(sys *harness.System, q core.SKQuery) []core.Candidate {
+	g := sys.DS.Graph
+	col := sys.DS.Objects
+	var out []core.Candidate
+	for i := 0; i < col.Len(); i++ {
+		o := col.Get(obj.ID(i))
+		if !o.HasAllTerms(q.Terms) {
+			continue
+		}
+		d := g.NetworkDist(q.Pos, o.Pos)
+		if d <= q.DeltaMax {
+			out = append(out, core.Candidate{Dist: d})
+			out[len(out)-1].Ref.ID = o.ID
+			out[len(out)-1].Ref.Edge = o.Pos.Edge
+			out[len(out)-1].Ref.Offset = o.Pos.Offset
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Ref.ID < out[j].Ref.ID
+	})
+	return out
+}
+
+func TestSKSearchMatchesBruteForce(t *testing.T) {
+	sys, ws := testWorld(t, 42)
+	nonEmpty := 0
+	for _, wq := range ws {
+		q := harness.SKQueryOf(wq)
+		want := bruteSK(sys, q)
+		got, err := sys.RunSK(harness.KindSIF, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Candidates) != len(want) {
+			t.Fatalf("query %+v: got %d candidates, want %d", q, len(got.Candidates), len(want))
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+		wantIDs := make(map[obj.ID]float64, len(want))
+		for _, c := range want {
+			wantIDs[c.Ref.ID] = c.Dist
+		}
+		prev := -1.0
+		for _, c := range got.Candidates {
+			wd, ok := wantIDs[c.Ref.ID]
+			if !ok {
+				t.Fatalf("unexpected candidate %d", c.Ref.ID)
+			}
+			if math.Abs(wd-c.Dist) > 1e-6 {
+				t.Fatalf("object %d: dist %v, want %v", c.Ref.ID, c.Dist, wd)
+			}
+			if c.Dist < prev {
+				t.Fatalf("arrival order not monotone: %v after %v", c.Dist, prev)
+			}
+			prev = c.Dist
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("workload produced no non-empty results; test is vacuous")
+	}
+}
+
+func TestAllLoadersEquivalent(t *testing.T) {
+	sys, ws := testWorld(t, 7)
+	kinds := []harness.IndexKind{harness.KindIR, harness.KindIF, harness.KindSIF, harness.KindSIFP, harness.KindC1}
+	for _, wq := range ws[:10] {
+		q := harness.SKQueryOf(wq)
+		var ref []core.Candidate
+		for i, kind := range kinds {
+			got, err := sys.RunSK(kind, q)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if i == 0 {
+				ref = got.Candidates
+				continue
+			}
+			if len(got.Candidates) != len(ref) {
+				t.Fatalf("%s returned %d candidates, %s returned %d",
+					kinds[0], len(ref), kind, len(got.Candidates))
+			}
+			for j := range ref {
+				if got.Candidates[j].Ref.ID != ref[j].Ref.ID ||
+					math.Abs(got.Candidates[j].Dist-ref[j].Dist) > 1e-9 {
+					t.Fatalf("%s candidate %d differs: %+v vs %+v",
+						kind, j, got.Candidates[j], ref[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSKSearchQueryOnEdgeWithObjects(t *testing.T) {
+	// The query's own edge must be handled specially (direct along-edge
+	// distances). Place the query exactly on an object-carrying edge.
+	sys, _ := testWorld(t, 11)
+	col := sys.DS.Objects
+	edges := col.Edges()
+	if len(edges) == 0 {
+		t.Skip("no edges with objects")
+	}
+	e := edges[0]
+	ids := col.OnEdge(e)
+	o := col.Get(ids[0])
+	q := core.SKQuery{
+		Pos:      graph.Position{Edge: e, Offset: o.Pos.Offset},
+		Terms:    o.Terms[:1],
+		DeltaMax: 500,
+	}
+	got, err := sys.RunSK(harness.KindSIF, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The co-located object must be the first candidate at distance 0.
+	if len(got.Candidates) == 0 {
+		t.Fatal("no candidates for co-located query")
+	}
+	first := got.Candidates[0]
+	if first.Dist > 1e-9 {
+		t.Fatalf("first candidate at distance %v, want 0", first.Dist)
+	}
+	want := bruteSK(sys, q)
+	if len(got.Candidates) != len(want) {
+		t.Fatalf("got %d, want %d", len(got.Candidates), len(want))
+	}
+}
+
+func TestSKSearchValidation(t *testing.T) {
+	sys, _ := testWorld(t, 13)
+	loader, err := sys.Loader(harness.KindSIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewSKSearch(sys.Net, loader, core.SKQuery{DeltaMax: 10}); err == nil {
+		t.Error("empty keyword set accepted")
+	}
+	if _, err := core.NewSKSearch(sys.Net, loader, core.SKQuery{
+		Terms: []obj.TermID{1}, DeltaMax: 0,
+	}); err == nil {
+		t.Error("zero DeltaMax accepted")
+	}
+	if _, err := core.NewSKSearch(sys.Net, loader, core.SKQuery{
+		Terms: []obj.TermID{2, 1}, DeltaMax: 10,
+	}); err == nil {
+		t.Error("unsorted terms accepted")
+	}
+}
+
+func TestDistEngineMatchesGraph(t *testing.T) {
+	sys, _ := testWorld(t, 3)
+	g := sys.DS.Graph
+	col := sys.DS.Objects
+	var stats core.SearchStats
+	eng := core.NewDistEngine(sys.Net, 1e18, &stats)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		a := col.Get(obj.ID(rng.Intn(col.Len()))).Pos
+		b := col.Get(obj.ID(rng.Intn(col.Len()))).Pos
+		got, err := eng.Dist(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.NetworkDist(a, b)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Dist(%+v, %+v) = %v, want %v", a, b, got, want)
+		}
+	}
+	if stats.SourceDijkstra == 0 {
+		t.Error("no Dijkstra runs recorded")
+	}
+	// Caching: distances from an already-used source must not launch new
+	// Dijkstra runs.
+	a := col.Get(0).Pos
+	if _, err := eng.Dist(a, col.Get(1).Pos); err != nil {
+		t.Fatal(err)
+	}
+	before := stats.SourceDijkstra
+	if _, err := eng.Dist(a, col.Get(2).Pos); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SourceDijkstra != before {
+		t.Error("cached source re-ran Dijkstra")
+	}
+}
+
+func TestDistEngineBound(t *testing.T) {
+	sys, _ := testWorld(t, 9)
+	col := sys.DS.Objects
+	g := sys.DS.Graph
+	eng := core.NewDistEngine(sys.Net, 100, nil) // tight bound
+	found := false
+	for i := 0; i < col.Len() && !found; i++ {
+		for j := i + 1; j < col.Len() && !found; j++ {
+			a, b := col.Get(obj.ID(i)).Pos, col.Get(obj.ID(j)).Pos
+			want := g.NetworkDist(a, b)
+			if want > 150 && a.Edge != b.Edge {
+				got, err := eng.Dist(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !math.IsInf(got, 1) && got < want-1e-9 {
+					t.Fatalf("bounded engine returned %v < true %v", got, want)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("no far pair found")
+	}
+}

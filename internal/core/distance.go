@@ -1,0 +1,165 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"dsks/internal/ccam"
+	"dsks/internal/graph"
+)
+
+// DistEngine computes pairwise network distances between positions on the
+// road network, on demand. Since no pre-computation (Voronoi diagrams,
+// shortcuts) is assumed by the paper, each distance is resolved by a
+// bounded Dijkstra over the disk-resident network; per-source node
+// distance maps are cached for the lifetime of one query, so the n×n
+// pairwise matrix of SEQ costs n traversals rather than n².
+//
+// The bound is sound for diversification: two objects within DeltaMax of
+// the query are within 2·DeltaMax of each other (through the query), so a
+// search bounded by 2·DeltaMax always finds the exact distance.
+type DistEngine struct {
+	net   ccam.Network
+	bound float64
+	cache map[graph.Position][]nodeDist
+	stats *SearchStats
+}
+
+type nodeDist struct {
+	node graph.NodeID
+	dist float64
+}
+
+// NewDistEngine creates an engine with the given search bound (use
+// 2·DeltaMax for diversified queries). stats may be nil.
+func NewDistEngine(net ccam.Network, bound float64, stats *SearchStats) *DistEngine {
+	if stats == nil {
+		stats = &SearchStats{}
+	}
+	return &DistEngine{
+		net:   net,
+		bound: bound,
+		cache: make(map[graph.Position][]nodeDist),
+		stats: stats,
+	}
+}
+
+// Reset drops the per-query cache.
+func (d *DistEngine) Reset() { d.cache = make(map[graph.Position][]nodeDist) }
+
+// Dist returns the exact network distance between a and b, or +Inf when it
+// exceeds the engine's bound.
+func (d *DistEngine) Dist(a, b graph.Position) (float64, error) {
+	d.stats.PairDistCalcs++
+	direct := math.Inf(1)
+	if a.Edge == b.Edge {
+		info, err := d.net.EdgeInfo(a.Edge)
+		if err != nil {
+			return 0, err
+		}
+		wa := offsetCost(info.Weight, info.Length, a.Offset)
+		wb := offsetCost(info.Weight, info.Length, b.Offset)
+		direct = math.Abs(wa - wb)
+		if direct == 0 {
+			return 0, nil
+		}
+	}
+	// Prefer a cached source.
+	src, dst := a, b
+	if _, ok := d.cache[a]; !ok {
+		if _, ok2 := d.cache[b]; ok2 {
+			src, dst = b, a
+		}
+	}
+	dists, err := d.fromSource(src)
+	if err != nil {
+		return 0, err
+	}
+	info, err := d.net.EdgeInfo(dst.Edge)
+	if err != nil {
+		return 0, err
+	}
+	w1 := offsetCost(info.Weight, info.Length, dst.Offset)
+	via := math.Inf(1)
+	if dn1, ok := lookupNodeDist(dists, info.N1); ok {
+		via = dn1 + w1
+	}
+	if dn2, ok := lookupNodeDist(dists, info.N2); ok {
+		via = math.Min(via, dn2+(info.Weight-w1))
+	}
+	return math.Min(direct, via), nil
+}
+
+// fromSource returns (computing and caching if needed) the bounded
+// node-distance table from position p.
+func (d *DistEngine) fromSource(p graph.Position) ([]nodeDist, error) {
+	if cached, ok := d.cache[p]; ok {
+		return cached, nil
+	}
+	d.stats.SourceDijkstra++
+	info, err := d.net.EdgeInfo(p.Edge)
+	if err != nil {
+		return nil, err
+	}
+	w1 := offsetCost(info.Weight, info.Length, p.Offset)
+
+	dist := make(map[graph.NodeID]float64)
+	pq := &nodePQ{}
+	relax := func(n graph.NodeID, dd float64) {
+		if dd > d.bound {
+			return
+		}
+		if cur, ok := dist[n]; !ok || dd < cur {
+			dist[n] = dd
+			heap.Push(pq, nodeEntry{node: n, dist: dd})
+		}
+	}
+	relax(info.N1, w1)
+	relax(info.N2, info.Weight-w1)
+	settled := make(map[graph.NodeID]bool)
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeEntry)
+		if settled[cur.node] || cur.dist > dist[cur.node] {
+			continue
+		}
+		settled[cur.node] = true
+		adj, err := d.net.Adjacency(cur.node)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range adj {
+			relax(a.Other, cur.dist+a.Weight)
+		}
+	}
+	out := make([]nodeDist, 0, len(dist))
+	for n, dd := range dist {
+		out = append(out, nodeDist{node: n, dist: dd})
+	}
+	sortNodeDists(out)
+	d.cache[p] = out
+	return out, nil
+}
+
+func sortNodeDists(nd []nodeDist) {
+	sort.Slice(nd, func(i, j int) bool { return nd[i].node < nd[j].node })
+}
+
+func lookupNodeDist(nd []nodeDist, n graph.NodeID) (float64, bool) {
+	lo, hi := 0, len(nd)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd[mid].node < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nd) && nd[lo].node == n {
+		return nd[lo].dist, true
+	}
+	return 0, false
+}
+
+// Stats returns the engine's counters.
+func (d *DistEngine) Stats() SearchStats { return *d.stats }

@@ -1,0 +1,58 @@
+package core
+
+// GreedyDiversify is Algorithm 1, the 2-approximate greedy for max-sum
+// diversification: it repeatedly selects the remaining pair with the
+// largest diversification distance θ until ⌊k/2⌋ pairs are chosen, adding
+// one arbitrary remaining object when k is odd (we pick the most relevant
+// remaining one, i.e. the earliest arrival, for determinism). It returns
+// the indices of the chosen objects in [0, n).
+//
+// theta(i, j) must be symmetric; ties break toward smaller indices so the
+// result is deterministic.
+func GreedyDiversify(n, k int, theta func(i, j int) float64) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	want := k
+	if want > n {
+		want = n
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	var chosen []int
+	// Pair-selection phase: even when k >= n the pairing still runs, so
+	// callers that need the pair structure (core-pair initialization) see
+	// the true greedy pairs.
+	for p := 0; p < want/2; p++ {
+		bi, bj, bt := -1, -1, 0.0
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if t := theta(i, j); bi < 0 || t > bt {
+					bi, bj, bt = i, j, t
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		chosen = append(chosen, bi, bj)
+		alive[bi], alive[bj] = false, false
+	}
+	// Fill any remainder (odd k, or fewer pairs than requested) with
+	// arbitrary remaining objects — smallest index for determinism.
+	for i := 0; i < n && len(chosen) < want; i++ {
+		if alive[i] {
+			chosen = append(chosen, i)
+			alive[i] = false
+		}
+	}
+	return chosen
+}

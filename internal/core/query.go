@@ -1,0 +1,95 @@
+// Package core implements the paper's query processing algorithms: the
+// incremental spatial keyword search on road networks (Algorithm 3 — INE
+// with accumulated Dijkstra distances plus signature-based object
+// loading), the greedy max-sum diversification (Algorithm 1), the
+// incremental core-pair maintenance (Algorithm 5), and the incremental
+// diversified SK search with diversity-based pruning (Algorithm 6, COM)
+// together with its straw-man SEQ.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dsks/internal/graph"
+	"dsks/internal/index"
+	"dsks/internal/obj"
+)
+
+// SKQuery is a boolean spatial keyword query on a road network: find the
+// objects within network distance DeltaMax of Pos that contain every
+// keyword in Terms.
+type SKQuery struct {
+	Pos      graph.Position
+	Terms    []obj.TermID // sorted, duplicate-free (obj.NormalizeTerms)
+	DeltaMax float64
+}
+
+// Validate checks the query's well-formedness.
+func (q SKQuery) Validate() error {
+	if len(q.Terms) == 0 {
+		return errors.New("core: query needs at least one keyword")
+	}
+	for i := 1; i < len(q.Terms); i++ {
+		if q.Terms[i] <= q.Terms[i-1] {
+			return errors.New("core: query terms must be sorted and unique")
+		}
+	}
+	if q.DeltaMax <= 0 {
+		return fmt.Errorf("core: DeltaMax must be positive, got %v", q.DeltaMax)
+	}
+	return nil
+}
+
+// Candidate is an object satisfying the spatial keyword constraint, with
+// its exact network distance from the query.
+type Candidate struct {
+	Ref  index.ObjectRef
+	Dist float64
+}
+
+// DivQuery extends SKQuery with the diversification parameters: the result
+// size k and the relevance/diversity trade-off λ of the paper's bi-criteria
+// objective.
+type DivQuery struct {
+	SKQuery
+	K      int
+	Lambda float64
+}
+
+// Validate checks the query's well-formedness.
+func (q DivQuery) Validate() error {
+	if err := q.SKQuery.Validate(); err != nil {
+		return err
+	}
+	if q.K < 1 {
+		return fmt.Errorf("core: k must be >= 1, got %d", q.K)
+	}
+	if q.Lambda < 0 || q.Lambda > 1 {
+		return fmt.Errorf("core: lambda must be in [0,1], got %v", q.Lambda)
+	}
+	return nil
+}
+
+// SearchStats aggregates the per-query cost counters the experiments
+// report.
+type SearchStats struct {
+	NodesPopped    int64 // l_n: nodes settled by the network expansion
+	EdgesVisited   int64 // l_e: edges whose objects were (potentially) loaded
+	Candidates     int64 // objects satisfying the spatial keyword constraint
+	PairDistCalcs  int64 // pairwise network distance evaluations
+	SourceDijkstra int64 // bounded Dijkstra runs of the distance engine
+	Pruned         int64 // objects eliminated by the diversity pruning
+	EarlyTerminate bool  // whether COM cut the expansion short
+}
+
+// Add accumulates other into s.
+func (s *SearchStats) Add(other SearchStats) {
+	s.NodesPopped += other.NodesPopped
+	s.EdgesVisited += other.EdgesVisited
+	s.Candidates += other.Candidates
+	s.PairDistCalcs += other.PairDistCalcs
+	s.SourceDijkstra += other.SourceDijkstra
+	s.Pruned += other.Pruned
+	s.EarlyTerminate = s.EarlyTerminate || other.EarlyTerminate
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"dsks/internal/ccam"
+	"dsks/internal/graph"
+	"dsks/internal/index"
+	"dsks/internal/obj"
+)
+
+// RankedQuery is the top-k ranked spatial keyword query (the road-network
+// variant studied by Rocha-Junior et al., which the paper's related work
+// discusses): instead of the boolean AND, objects are scored by a convex
+// combination of spatial proximity and textual overlap,
+//
+//	score(o) = α·(1 − δ(q,o)/DeltaMax) + (1−α)·|o.T ∩ q.T| / |q.T|
+//
+// and the K highest-scoring objects containing at least one query keyword
+// within DeltaMax are returned.
+type RankedQuery struct {
+	Pos      graph.Position
+	Terms    []obj.TermID
+	K        int
+	Alpha    float64 // spatial weight in [0,1]
+	DeltaMax float64
+}
+
+// Validate checks the query's well-formedness.
+func (q RankedQuery) Validate() error {
+	if len(q.Terms) == 0 {
+		return fmt.Errorf("core: ranked query needs at least one keyword")
+	}
+	if q.K < 1 {
+		return fmt.Errorf("core: ranked query needs k >= 1, got %d", q.K)
+	}
+	if q.Alpha < 0 || q.Alpha > 1 {
+		return fmt.Errorf("core: alpha must be in [0,1], got %v", q.Alpha)
+	}
+	if q.DeltaMax <= 0 {
+		return fmt.Errorf("core: DeltaMax must be positive, got %v", q.DeltaMax)
+	}
+	return nil
+}
+
+// RankedResult is one scored object.
+type RankedResult struct {
+	Ref     index.ObjectRef
+	Dist    float64
+	Matched int
+	Score   float64
+}
+
+// SearchRanked runs the top-k ranked search by incremental network
+// expansion: objects containing any query keyword are scored as they
+// arrive (in non-decreasing network distance), and the expansion stops as
+// soon as even a perfect textual match at the current frontier could not
+// displace the k-th best score — the spatial part of the score is monotone
+// in the arrival order.
+func SearchRanked(net ccam.Network, loader index.UnionLoader, q RankedQuery) ([]RankedResult, SearchStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	terms := obj.NormalizeTerms(append([]obj.TermID(nil), q.Terms...))
+	rs := &rankedSearch{
+		net:     net,
+		loader:  loader,
+		q:       q,
+		terms:   terms,
+		nodeDst: make(map[graph.NodeID]float64),
+		settled: make(map[graph.NodeID]bool),
+		visited: make(map[graph.EdgeID]bool),
+		best:    make(map[index.ObjectRef]RankedResult),
+	}
+	if err := rs.run(); err != nil {
+		return nil, SearchStats{}, err
+	}
+	return rs.topK(), rs.stats, nil
+}
+
+// rankedSearch mirrors SKSearch's expansion but scores with OR semantics.
+// Distances of loaded objects are finalized the same way: via settled
+// end-nodes, with the same-edge direct path handled at the start.
+type rankedSearch struct {
+	net    ccam.Network
+	loader index.UnionLoader
+	q      RankedQuery
+	terms  []obj.TermID
+
+	pq      nodePQ
+	nodeDst map[graph.NodeID]float64
+	settled map[graph.NodeID]bool
+	visited map[graph.EdgeID]bool
+
+	best  map[index.ObjectRef]RankedResult // best-known distance per object
+	stats SearchStats
+}
+
+func (r *rankedSearch) score(dist float64, matched int) float64 {
+	spatial := 1 - dist/r.q.DeltaMax
+	if spatial < 0 {
+		spatial = 0
+	}
+	textual := float64(matched) / float64(len(r.terms))
+	return r.q.Alpha*spatial + (1-r.q.Alpha)*textual
+}
+
+// kthBest returns the current k-th best score (0 if fewer than k seen).
+func (r *rankedSearch) kthBest() float64 {
+	if len(r.best) < r.q.K {
+		return -1
+	}
+	scores := make([]float64, 0, len(r.best))
+	for ref, res := range r.best {
+		_ = ref
+		scores = append(scores, res.Score)
+	}
+	sort.Float64s(scores)
+	return scores[len(scores)-r.q.K]
+}
+
+func (r *rankedSearch) run() error {
+	info, err := r.net.EdgeInfo(r.q.Pos.Edge)
+	if err != nil {
+		return err
+	}
+	wq1 := offsetCost(info.Weight, info.Length, r.q.Pos.Offset)
+	wq2 := info.Weight - wq1
+	r.relax(info.N1, wq1)
+	r.relax(info.N2, wq2)
+
+	r.visited[r.q.Pos.Edge] = true
+	r.stats.EdgesVisited++
+	matches, err := r.loader.LoadObjectsAny(r.q.Pos.Edge, r.terms)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		wo1 := offsetCost(info.Weight, info.Length, m.Ref.Offset)
+		direct := wo1 - wq1
+		if direct < 0 {
+			direct = -direct
+		}
+		r.record(m, direct)
+	}
+
+	for {
+		var cur nodeEntry
+		found := false
+		for r.pq.Len() > 0 {
+			cur = heap.Pop(&r.pq).(nodeEntry)
+			if !r.settled[cur.node] && cur.dist <= r.nodeDst[cur.node] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+		if cur.dist > r.q.DeltaMax {
+			return nil
+		}
+		// Early termination: the best possible score of any unseen object
+		// (perfect textual match at the frontier distance) cannot displace
+		// the k-th best.
+		if kth := r.kthBest(); kth >= 0 && r.score(cur.dist, len(r.terms)) <= kth {
+			r.stats.EarlyTerminate = true
+			return nil
+		}
+		r.settled[cur.node] = true
+		r.stats.NodesPopped++
+		adj, err := r.net.Adjacency(cur.node)
+		if err != nil {
+			return err
+		}
+		for _, a := range adj {
+			r.relax(a.Other, cur.dist+a.Weight)
+			settledIsRef := cur.node < a.Other
+			if !r.visited[a.Edge] {
+				r.visited[a.Edge] = true
+				r.stats.EdgesVisited++
+				matches, err := r.loader.LoadObjectsAny(a.Edge, r.terms)
+				if err != nil {
+					return err
+				}
+				for _, m := range matches {
+					r.record(m, cur.dist+objCost(a, settledIsRef, m.Ref.Offset))
+				}
+			} else {
+				// Second end settled: distances may improve.
+				for ref, res := range r.best {
+					if ref.Edge != a.Edge {
+						continue
+					}
+					if d := cur.dist + objCost(a, settledIsRef, ref.Offset); d < res.Dist {
+						res.Dist = d
+						res.Score = r.score(d, res.Matched)
+						r.best[ref] = res
+					}
+				}
+			}
+		}
+	}
+}
+
+func (r *rankedSearch) relax(n graph.NodeID, d float64) {
+	if r.settled[n] {
+		return
+	}
+	if cur, ok := r.nodeDst[n]; !ok || d < cur {
+		r.nodeDst[n] = d
+		heap.Push(&r.pq, nodeEntry{node: n, dist: d})
+	}
+}
+
+func (r *rankedSearch) record(m index.ObjectMatch, dist float64) {
+	res, ok := r.best[m.Ref]
+	if !ok || dist < res.Dist {
+		res = RankedResult{Ref: m.Ref, Dist: dist, Matched: m.Matched}
+		res.Score = r.score(dist, m.Matched)
+		r.best[m.Ref] = res
+	}
+	if !ok {
+		r.stats.Candidates++
+	}
+}
+
+// topK extracts the k best-scoring objects within range, ties broken by
+// distance then ID for determinism.
+func (r *rankedSearch) topK() []RankedResult {
+	all := make([]RankedResult, 0, len(r.best))
+	for _, res := range r.best {
+		if res.Dist <= r.q.DeltaMax {
+			all = append(all, res)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Ref.ID < all[j].Ref.ID
+	})
+	if len(all) > r.q.K {
+		all = all[:r.q.K]
+	}
+	return all
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"dsks/internal/ccam"
+	"dsks/internal/graph"
+	"dsks/internal/index"
+)
+
+// SKSearch is the incremental network expansion of Algorithm 3: it settles
+// road nodes in non-decreasing network distance from the query (Dijkstra
+// accumulated over the CCAM structure), loads the qualifying objects of
+// each newly visited edge through the object index (Algorithm 2), and
+// emits candidates in non-decreasing network distance — the arrival order
+// the diversified search (Algorithm 6) consumes.
+type SKSearch struct {
+	net    ccam.Network
+	loader index.Loader
+	q      SKQuery
+
+	pq      nodePQ
+	nodeDst map[graph.NodeID]float64 // tentative distances
+	settled map[graph.NodeID]bool    // marked nodes (final distance)
+	visited map[graph.EdgeID]bool    // edges whose objects were loaded
+
+	pending  objPQ                       // loaded, not yet emitted
+	inflight map[index.ObjectRef]*objRef // loaded objects by identity
+	byEdge   map[graph.EdgeID][]*objRef  // pending objects grouped by edge
+
+	deltaT float64 // lower bound on any future settled distance
+	done   bool
+	stats  SearchStats
+}
+
+type objRef struct {
+	ref      index.ObjectRef
+	dist     float64 // best-known distance
+	endsSeen int     // how many marked end-nodes contributed
+	emitted  bool
+	heapIdx  int
+}
+
+// NewSKSearch prepares an incremental search; it performs the first edge
+// load (the query's own edge) eagerly.
+func NewSKSearch(net ccam.Network, loader index.Loader, q SKQuery) (*SKSearch, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SKSearch{
+		net:      net,
+		loader:   loader,
+		q:        q,
+		nodeDst:  make(map[graph.NodeID]float64),
+		settled:  make(map[graph.NodeID]bool),
+		visited:  make(map[graph.EdgeID]bool),
+		inflight: make(map[index.ObjectRef]*objRef),
+		byEdge:   make(map[graph.EdgeID][]*objRef),
+	}
+	info, err := net.EdgeInfo(q.Pos.Edge)
+	if err != nil {
+		return nil, err
+	}
+	// Anchor the expansion at the two end-nodes of the query's edge.
+	wq1 := offsetCost(info.Weight, info.Length, q.Pos.Offset)
+	wq2 := info.Weight - wq1
+	s.relax(info.N1, wq1)
+	s.relax(info.N2, wq2)
+
+	// Objects on the query's own edge: their direct along-edge distance is
+	// available immediately; paths through the end-nodes are applied as
+	// the ends settle.
+	s.visited[q.Pos.Edge] = true
+	s.stats.EdgesVisited++
+	refs, err := loader.LoadObjects(q.Pos.Edge, q.Terms)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range refs {
+		wo1 := offsetCost(info.Weight, info.Length, r.Offset)
+		direct := math.Abs(wo1 - wq1)
+		s.addObject(r, direct)
+	}
+	return s, nil
+}
+
+// offsetCost converts a geometric offset from the reference node into a
+// traversal cost, per w(n1, p) = w(n1, n2) · d(n1, p)/d(n1, n2).
+func offsetCost(weight, length, offset float64) float64 {
+	if length <= 0 {
+		return 0
+	}
+	if offset < 0 {
+		offset = 0
+	} else if offset > length {
+		offset = length
+	}
+	return weight * offset / length
+}
+
+func (s *SKSearch) relax(n graph.NodeID, d float64) {
+	if s.settled[n] {
+		return
+	}
+	if cur, ok := s.nodeDst[n]; !ok || d < cur {
+		s.nodeDst[n] = d
+		heap.Push(&s.pq, nodeEntry{node: n, dist: d})
+	}
+}
+
+func (s *SKSearch) addObject(r index.ObjectRef, d float64) {
+	if o, ok := s.inflight[r]; ok {
+		if d < o.dist {
+			o.dist = d
+			heap.Fix(&s.pending, o.heapIdx)
+		}
+		o.endsSeen++
+		return
+	}
+	o := &objRef{ref: r, dist: d, endsSeen: 1}
+	s.inflight[r] = o
+	s.byEdge[r.Edge] = append(s.byEdge[r.Edge], o)
+	heap.Push(&s.pending, o)
+}
+
+// Next returns the next candidate in non-decreasing network distance. The
+// boolean is false when the search is exhausted (all qualifying objects
+// within DeltaMax have been emitted).
+func (s *SKSearch) Next() (Candidate, bool, error) {
+	for {
+		// Emit a pending object once no future relaxation can undercut it:
+		// its distance is within the expansion frontier deltaT, or the
+		// expansion is finished.
+		if len(s.pending) > 0 {
+			top := s.pending[0]
+			if top.dist <= s.q.DeltaMax && (s.done || top.dist <= s.deltaT) {
+				heap.Pop(&s.pending)
+				delete(s.inflight, top.ref)
+				top.emitted = true
+				s.stats.Candidates++
+				return Candidate{Ref: top.ref, Dist: top.dist}, true, nil
+			}
+			if s.done && top.dist > s.q.DeltaMax {
+				// Everything left is out of range.
+				return Candidate{}, false, nil
+			}
+		}
+		if s.done {
+			return Candidate{}, false, nil
+		}
+		if err := s.expandOnce(); err != nil {
+			return Candidate{}, false, err
+		}
+	}
+}
+
+// expandOnce settles one node of the network expansion (one iteration of
+// Algorithm 3's main loop).
+func (s *SKSearch) expandOnce() error {
+	// Pop the next unsettled node.
+	var cur nodeEntry
+	for {
+		if s.pq.Len() == 0 {
+			s.done = true
+			return nil
+		}
+		cur = heap.Pop(&s.pq).(nodeEntry)
+		if !s.settled[cur.node] && cur.dist <= s.nodeDst[cur.node] {
+			break
+		}
+	}
+	s.deltaT = cur.dist
+	if s.deltaT > s.q.DeltaMax {
+		// Any unsettled node — and hence any unseen object — is beyond
+		// the range (the termination test of Algorithm 3).
+		s.done = true
+		return nil
+	}
+	s.settled[cur.node] = true
+	s.stats.NodesPopped++
+
+	adj, err := s.net.Adjacency(cur.node)
+	if err != nil {
+		return err
+	}
+	for _, a := range adj {
+		s.relax(a.Other, cur.dist+a.Weight)
+
+		refNode := cur.node // reference node N1 = smaller end ID
+		if a.Other < cur.node {
+			refNode = a.Other
+		}
+		if !s.visited[a.Edge] {
+			// First visit: load qualifying objects (Algorithm 2).
+			s.visited[a.Edge] = true
+			s.stats.EdgesVisited++
+			refs, err := s.loader.LoadObjects(a.Edge, s.q.Terms)
+			if err != nil {
+				return err
+			}
+			for _, r := range refs {
+				s.addObject(r, cur.dist+objCost(a, refNode == cur.node, r.Offset))
+			}
+		} else {
+			// Edge seen before: the second settled end may shorten the
+			// distance of its pending objects.
+			for _, o := range s.pendingOnEdge(a.Edge) {
+				d := cur.dist + objCost(a, refNode == cur.node, o.ref.Offset)
+				if d < o.dist {
+					o.dist = d
+					heap.Fix(&s.pending, o.heapIdx)
+				}
+				o.endsSeen++
+			}
+		}
+	}
+	return nil
+}
+
+// objCost is the cost from a settled end-node to an object at the given
+// geometric offset from the edge's reference node.
+func objCost(a ccam.AdjEntry, settledIsRef bool, offset float64) float64 {
+	w1 := offsetCost(a.Weight, a.Length, offset)
+	if settledIsRef {
+		return w1
+	}
+	return a.Weight - w1
+}
+
+// pendingOnEdge returns the not-yet-emitted objects of edge e, compacting
+// the per-edge list as emitted entries are encountered.
+func (s *SKSearch) pendingOnEdge(e graph.EdgeID) []*objRef {
+	lst := s.byEdge[e]
+	alive := lst[:0]
+	for _, o := range lst {
+		if !o.emitted {
+			alive = append(alive, o)
+		}
+	}
+	if len(alive) == 0 {
+		delete(s.byEdge, e)
+		return nil
+	}
+	s.byEdge[e] = alive
+	return alive
+}
+
+// All drains the search, returning every candidate in distance order (the
+// non-incremental use of Algorithm 3 that SEQ relies on).
+func (s *SKSearch) All() ([]Candidate, error) {
+	var out []Candidate
+	for {
+		c, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, c)
+	}
+}
+
+// Stats returns the traversal counters so far.
+func (s *SKSearch) Stats() SearchStats { return s.stats }
+
+// Frontier returns the current expansion frontier deltaT: every not-yet-
+// emitted object is at least this far from the query.
+func (s *SKSearch) Frontier() float64 { return s.deltaT }
+
+// Stop abandons the expansion (Algorithm 6's early termination).
+func (s *SKSearch) Stop() {
+	s.done = true
+	s.pending = nil
+	s.inflight = nil
+	s.byEdge = nil
+}
+
+// --- heaps ------------------------------------------------------------------
+
+type nodeEntry struct {
+	node graph.NodeID
+	dist float64
+}
+
+type nodePQ []nodeEntry
+
+func (h nodePQ) Len() int            { return len(h) }
+func (h nodePQ) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodePQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodePQ) Push(x interface{}) { *h = append(*h, x.(nodeEntry)) }
+func (h *nodePQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type objPQ []*objRef
+
+func (h objPQ) Len() int { return len(h) }
+func (h objPQ) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].ref.ID < h[j].ref.ID
+}
+func (h objPQ) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *objPQ) Push(x interface{}) {
+	o := x.(*objRef)
+	o.heapIdx = len(*h)
+	*h = append(*h, o)
+}
+func (h *objPQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// WriteObjects encodes a collection in the text format command datagen
+// produces: a "# objects <n> vocab <v>" header followed by one object per
+// line ("<edge> <offset> <term>..."). Tombstoned (removed) objects are not
+// written, so object IDs are not stable across a save/load round trip.
+func WriteObjects(w io.Writer, col *obj.Collection, vocabSize int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# objects %d vocab %d\n", col.Live(), vocabSize)
+	for i := 0; i < col.Len(); i++ {
+		id := obj.ID(i)
+		if col.Removed(id) {
+			continue
+		}
+		o := col.Get(id)
+		fmt.Fprintf(bw, "%d %g", o.Pos.Edge, o.Pos.Offset)
+		for _, t := range o.Terms {
+			fmt.Fprintf(bw, " %d", t)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadObjects decodes a collection from the text format, returning the
+// collection and the vocabulary size.
+func ReadObjects(r io.Reader) (*obj.Collection, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("dataset: empty objects file")
+	}
+	var n, vocab int
+	if _, err := fmt.Sscanf(sc.Text(), "# objects %d vocab %d", &n, &vocab); err != nil {
+		return nil, 0, fmt.Errorf("dataset: bad objects header %q: %w", sc.Text(), err)
+	}
+	col := obj.NewCollection()
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		fields := strings.Fields(txt)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("dataset: line %d: short object record", line)
+		}
+		edge, err1 := strconv.Atoi(fields[0])
+		off, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, 0, fmt.Errorf("dataset: line %d: bad object record", line)
+		}
+		terms := make([]obj.TermID, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			t, err := strconv.Atoi(f)
+			if err != nil || t < 0 || t >= vocab {
+				return nil, 0, fmt.Errorf("dataset: line %d: bad term %q", line, f)
+			}
+			terms = append(terms, obj.TermID(t))
+		}
+		col.Add(graph.Position{Edge: graph.EdgeID(edge), Offset: off}, terms)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if col.Len() != n {
+		return nil, 0, fmt.Errorf("dataset: header claims %d objects, file has %d", n, col.Len())
+	}
+	return col, vocab, nil
+}
+
+// Load reads a dataset from the <prefix>.graph and <prefix>.objects files
+// written by command datagen.
+func Load(prefix string) (*Dataset, error) {
+	gf, err := os.Open(prefix + ".graph")
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	g, err := graph.Read(bufio.NewReader(gf))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading graph: %w", err)
+	}
+	of, err := os.Open(prefix + ".objects")
+	if err != nil {
+		return nil, err
+	}
+	defer of.Close()
+	col, vocab, err := ReadObjects(bufio.NewReader(of))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading objects: %w", err)
+	}
+	for i := 0; i < col.Len(); i++ {
+		o := col.Get(obj.ID(i))
+		if int(o.Pos.Edge) >= g.NumEdges() {
+			return nil, fmt.Errorf("dataset: object %d references unknown edge %d", i, o.Pos.Edge)
+		}
+	}
+	return &Dataset{Name: prefix, Graph: g, Objects: col, VocabSize: vocab}, nil
+}

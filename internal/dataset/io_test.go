@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+func TestObjectsRoundTrip(t *testing.T) {
+	ds, err := GeneratePreset(PresetSYN, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObjects(&buf, ds.Objects, ds.VocabSize); err != nil {
+		t.Fatal(err)
+	}
+	col, vocab, err := ReadObjects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vocab != ds.VocabSize {
+		t.Fatalf("vocab %d, want %d", vocab, ds.VocabSize)
+	}
+	if col.Len() != ds.Objects.Len() {
+		t.Fatalf("objects %d, want %d", col.Len(), ds.Objects.Len())
+	}
+	for i := 0; i < col.Len(); i++ {
+		a, b := ds.Objects.Get(obj.ID(i)), col.Get(obj.ID(i))
+		if a.Pos.Edge != b.Pos.Edge || len(a.Terms) != len(b.Terms) {
+			t.Fatalf("object %d changed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Terms {
+			if a.Terms[j] != b.Terms[j] {
+				t.Fatalf("object %d term %d changed", i, j)
+			}
+		}
+		if diff := a.Pos.Offset - b.Pos.Offset; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("object %d offset %v vs %v", i, a.Pos.Offset, b.Pos.Offset)
+		}
+	}
+}
+
+func TestReadObjectsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"nonsense\n",
+		"# objects 2 vocab 5\n0 1.5 0\n",  // count mismatch
+		"# objects 1 vocab 5\n0\n",        // short record
+		"# objects 1 vocab 5\n0 1.5 9\n",  // term out of vocab
+		"# objects 1 vocab 5\nx 1.5 0\n",  // bad edge
+		"# objects 1 vocab 5\n0 y 0\n",    // bad offset
+		"# objects 1 vocab 5\n0 1.5 -1\n", // negative term
+	}
+	for _, c := range cases {
+		if _, _, err := ReadObjects(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	ds, err := GeneratePreset(PresetSYN, 2000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "syn")
+
+	gf, err := os.Create(prefix + ".graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(gf, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	of, err := os.Create(prefix + ".objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteObjects(of, ds.Objects, ds.VocabSize); err != nil {
+		t.Fatal(err)
+	}
+	of.Close()
+
+	back, err := Load(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Graph.NumNodes() != ds.Graph.NumNodes() ||
+		back.Graph.NumEdges() != ds.Graph.NumEdges() ||
+		back.Objects.Len() != ds.Objects.Len() ||
+		back.VocabSize != ds.VocabSize {
+		t.Fatalf("loaded dataset shape differs: %+v vs %+v", back.Stats(), ds.Stats())
+	}
+}
+
+func TestLoadMissingFiles(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing files accepted")
+	}
+}
+
+func TestLoadRejectsDanglingEdges(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "bad")
+	g := graph.New()
+	g.AddNode(geo.Point{X: 0, Y: 0})
+	g.AddNode(geo.Point{X: 1, Y: 0})
+	if _, err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	gf, err := os.Create(prefix + ".graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	// Object on edge 7, which does not exist.
+	if err := os.WriteFile(prefix+".objects",
+		[]byte("# objects 1 vocab 3\n7 0.5 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(prefix); err == nil {
+		t.Error("dangling edge reference accepted")
+	}
+}

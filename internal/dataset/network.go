@@ -1,0 +1,140 @@
+// Package dataset generates the synthetic substitutes for the paper's
+// datasets (NA, SF, TW real data and the SYN workload): road networks with
+// matched node/edge ratios, spatio-textual objects with Zipf-distributed
+// keywords, and frequency-weighted query workloads. The real datasets are
+// not redistributable; the generators match the statistics the algorithms
+// actually observe (topology, weights, term-frequency skew, objects per
+// edge), so relative algorithm behaviour is preserved.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+)
+
+// NetworkConfig shapes a generated road network.
+type NetworkConfig struct {
+	// Nodes is the approximate number of road intersections; the generator
+	// rounds to a near-square grid.
+	Nodes int
+	// EdgeFactor is the target ratio |E| / |V|. A pure grid yields just
+	// under 2; higher values add random chords (NA ≈ 1.02, SF ≈ 1.27,
+	// TW's Bay Area graph ≈ 2.49).
+	EdgeFactor float64
+	// Jitter perturbs node positions by this fraction of the grid pitch,
+	// breaking the regularity of the lattice.
+	Jitter float64
+	// TravelTimeCost switches edge weights from distance to a randomized
+	// travel time (distance divided by a per-edge speed in [0.5, 1.5]).
+	TravelTimeCost bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// GenerateNetwork builds a connected road network in [0, WorldMax]²: a
+// jittered grid (guaranteeing connectivity, as real road networks are) with
+// random short chords added until the edge factor is met, and grid edges
+// randomly removed when the factor is below the grid's.
+func GenerateNetwork(cfg NetworkConfig) (*graph.Graph, error) {
+	if cfg.Nodes < 4 {
+		return nil, fmt.Errorf("dataset: need at least 4 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.EdgeFactor <= 0 {
+		cfg.EdgeFactor = 1.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := int(math.Round(math.Sqrt(float64(cfg.Nodes))))
+	if side < 2 {
+		side = 2
+	}
+	n := side * side
+	pitch := geo.WorldMax / float64(side-1)
+	g := graph.New()
+	jitter := cfg.Jitter * pitch
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			x := float64(c)*pitch + (rng.Float64()*2-1)*jitter
+			y := float64(r)*pitch + (rng.Float64()*2-1)*jitter
+			x = math.Max(0, math.Min(geo.WorldMax, x))
+			y = math.Max(0, math.Min(geo.WorldMax, y))
+			g.AddNode(geo.Point{X: x, Y: y})
+		}
+	}
+	at := func(r, c int) graph.NodeID { return graph.NodeID(r*side + c) }
+	weight := func(a, b graph.NodeID) float64 {
+		d := g.Node(a).Loc.Dist(g.Node(b).Loc)
+		if d == 0 {
+			d = pitch / 100
+		}
+		if cfg.TravelTimeCost {
+			speed := 0.5 + rng.Float64()
+			return d / speed
+		}
+		return d
+	}
+
+	target := int(cfg.EdgeFactor * float64(n))
+
+	// Spanning backbone: a serpentine path through the grid — every
+	// horizontal edge plus one vertical edge per row transition at
+	// alternating ends — guarantees connectivity (exactly n-1 edges) no
+	// matter how few extra edges the factor allows.
+	type pendingEdge struct{ a, b graph.NodeID }
+	var backbone, optional []pendingEdge
+	for r := 0; r < side; r++ {
+		for c := 0; c < side-1; c++ {
+			backbone = append(backbone, pendingEdge{at(r, c), at(r, c+1)})
+		}
+	}
+	for r := 0; r < side-1; r++ {
+		for c := 0; c < side; c++ {
+			e := pendingEdge{at(r, c), at(r+1, c)}
+			if (r%2 == 0 && c == side-1) || (r%2 == 1 && c == 0) {
+				backbone = append(backbone, e)
+			} else {
+				optional = append(optional, e)
+			}
+		}
+	}
+	for _, e := range backbone {
+		if _, err := g.AddEdge(e.a, e.b, weight(e.a, e.b)); err != nil {
+			return nil, err
+		}
+	}
+	// Add optional grid edges (shuffled) until the target is met.
+	rng.Shuffle(len(optional), func(i, j int) { optional[i], optional[j] = optional[j], optional[i] })
+	for _, e := range optional {
+		if g.NumEdges() >= target {
+			break
+		}
+		if _, err := g.AddEdge(e.a, e.b, weight(e.a, e.b)); err != nil {
+			return nil, err
+		}
+	}
+	// Still short (factor above the full grid): add random short chords.
+	for attempts := 0; g.NumEdges() < target && attempts < 50*target; attempts++ {
+		a := graph.NodeID(rng.Intn(n))
+		// Prefer nearby nodes: jump at most 3 grid cells away.
+		dr, dc := rng.Intn(7)-3, rng.Intn(7)-3
+		r, c := int(a)/side+dr, int(a)%side+dc
+		if r < 0 || r >= side || c < 0 || c >= side {
+			continue
+		}
+		b := at(r, c)
+		if a == b {
+			continue
+		}
+		if _, ok := g.EdgeBetween(a, b); ok {
+			continue
+		}
+		if _, err := g.AddEdge(a, b, weight(a, b)); err != nil {
+			return nil, err
+		}
+	}
+	g.Freeze()
+	return g, nil
+}

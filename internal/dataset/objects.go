@@ -1,0 +1,282 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// ObjectConfig shapes a generated spatio-textual object set.
+type ObjectConfig struct {
+	// NumObjects is n_o, the number of objects to place on edges.
+	NumObjects int
+	// VocabSize is |V|, the vocabulary size.
+	VocabSize int
+	// KeywordsPerObject is n_k, the mean number of keywords per object.
+	KeywordsPerObject int
+	// ZipfS is the Zipf skew z of the term frequencies (the paper sweeps
+	// 0.9–1.3, default 1.1).
+	ZipfS float64
+	// Cooccurrence in [0, 1) controls term correlation within a profile:
+	// after the first (anchor) keyword, each further keyword is drawn near
+	// the anchor's frequency rank with this probability, and fresh from
+	// the Zipf otherwise. Defaults to 0.5; set negative for fully
+	// independent draws.
+	Cooccurrence float64
+	// Profiles is the number of distinct keyword profiles objects draw
+	// from. Real spatio-textual data (business directories, geo-tweets) is
+	// categorical: many objects share near-identical keyword sets, which
+	// is what gives conjunctive (AND) queries realistic selectivity —
+	// independent per-object draws would make every multi-keyword query
+	// empty. Profile popularity follows a Zipf distribution. Zero defaults
+	// to NumObjects/25 (min 20); negative disables profiles entirely
+	// (every object draws its own terms).
+	Profiles int
+	// Hotspots clusters object placement: real POIs concentrate downtown,
+	// so a handful of heavy edges carry a large share of the objects —
+	// the skew the paper's top-10%-edge partitioning (SIF-P) exploits.
+	// Zero defaults to 5 centers; negative disables clustering (uniform
+	// placement by edge length).
+	Hotspots int
+	// HotspotBias is the fraction of objects drawn toward a hotspot
+	// (default 0.7 when Hotspots are enabled).
+	HotspotBias float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Zipf draws TermIDs with frequency proportional to 1/(rank+1)^s — the
+// term-frequency skew of the SYN dataset. It wraps math/rand.Zipf with the
+// paper's parameterization (s close to 1 allowed via a small floor).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a sampler over n ranks with skew s. math/rand requires
+// s > 1, so smaller values are floored to 1.0001; newTermSampler uses an
+// exact inverse-CDF sampler for s <= 1 instead.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Draw samples a term rank in [0, n).
+func (z *Zipf) Draw() obj.TermID { return obj.TermID(z.z.Uint64()) }
+
+// zipfWeights returns unnormalized 1/(i+1)^s weights; used when s <= 1
+// (where math/rand.Zipf is unavailable) via inverse-CDF sampling.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// termSampler abstracts the two Zipf implementations.
+type termSampler func() obj.TermID
+
+func newTermSampler(rng *rand.Rand, s float64, n int) termSampler {
+	if s > 1 {
+		z := NewZipf(rng, s, n)
+		return z.Draw
+	}
+	// Inverse-CDF over explicit weights for s <= 1.
+	w := zipfWeights(n, s)
+	cum := make([]float64, n)
+	total := 0.0
+	for i, x := range w {
+		total += x
+		cum[i] = total
+	}
+	return func() obj.TermID {
+		x := rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return obj.TermID(lo)
+	}
+}
+
+// GenerateObjects places objects uniformly along random edges of g (longer
+// edges proportionally more likely) and assigns each a keyword set drawn
+// from the Zipf vocabulary.
+func GenerateObjects(g *graph.Graph, cfg ObjectConfig) (*obj.Collection, error) {
+	if cfg.NumObjects < 0 {
+		return nil, fmt.Errorf("dataset: negative object count")
+	}
+	if cfg.VocabSize < 1 {
+		return nil, fmt.Errorf("dataset: vocabulary must be positive")
+	}
+	if cfg.KeywordsPerObject < 1 {
+		cfg.KeywordsPerObject = 1
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.Cooccurrence == 0 {
+		cfg.Cooccurrence = 0.5
+	} else if cfg.Cooccurrence < 0 {
+		cfg.Cooccurrence = 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sample := newTermSampler(rng, cfg.ZipfS, cfg.VocabSize)
+	// related draws a term near the anchor's rank (geometric offset), the
+	// co-occurrence model described in ObjectConfig.
+	related := func(anchor obj.TermID) obj.TermID {
+		off := 1
+		for rng.Float64() < 0.5 && off < cfg.VocabSize {
+			off++
+		}
+		if rng.Intn(2) == 0 {
+			off = -off
+		}
+		t := (int(anchor) + off) % cfg.VocabSize
+		if t < 0 {
+			t += cfg.VocabSize
+		}
+		return obj.TermID(t)
+	}
+
+	// Edge selection: a mixture of uniform density (by edge length) and
+	// hotspot-clustered placement (by proximity to a few random centers).
+	hotspots := cfg.Hotspots
+	if hotspots == 0 {
+		hotspots = 5
+	}
+	bias := cfg.HotspotBias
+	if bias == 0 {
+		bias = 0.7
+	}
+	if hotspots < 0 || bias < 0 {
+		hotspots, bias = 0, 0
+	}
+	centers := make([]geo.Point, hotspots)
+	for i := range centers {
+		centers[i] = geo.Point{X: rng.Float64() * geo.WorldMax, Y: rng.Float64() * geo.WorldMax}
+	}
+	const hotspotRadius = geo.WorldMax / 25
+	weight := func(e int) (uniform, hot float64) {
+		edge := g.Edge(graph.EdgeID(e))
+		uniform = edge.Length
+		if len(centers) > 0 {
+			c := g.EdgeCenter(graph.EdgeID(e))
+			for _, h := range centers {
+				hot += math.Exp(-c.Dist(h) / hotspotRadius)
+			}
+			hot *= edge.Length
+		}
+		return uniform, hot
+	}
+	cumLen := make([]float64, g.NumEdges())
+	cumHot := make([]float64, g.NumEdges())
+	var totalLen, totalHot float64
+	for i := 0; i < g.NumEdges(); i++ {
+		u, h := weight(i)
+		totalLen += u
+		totalHot += h
+		cumLen[i] = totalLen
+		cumHot[i] = totalHot
+	}
+	pickFrom := func(cum []float64, total float64) graph.EdgeID {
+		x := rng.Float64() * total
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.EdgeID(lo)
+	}
+	pickEdge := func() graph.EdgeID {
+		if totalHot > 0 && rng.Float64() < bias {
+			return pickFrom(cumHot, totalHot)
+		}
+		return pickFrom(cumLen, totalLen)
+	}
+
+	// drawTerms generates one keyword set around the mean size.
+	drawTerms := func() []obj.TermID {
+		nk := cfg.KeywordsPerObject
+		if nk > 1 {
+			nk = nk/2 + rng.Intn(nk)
+			if nk < 1 {
+				nk = 1
+			}
+		}
+		terms := make([]obj.TermID, 0, nk)
+		anchor := obj.TermID(-1)
+		for len(terms) < nk {
+			var t obj.TermID
+			if anchor >= 0 && rng.Float64() < cfg.Cooccurrence {
+				t = related(anchor)
+			} else {
+				t = sample()
+			}
+			if int(t) >= cfg.VocabSize {
+				continue
+			}
+			if anchor < 0 {
+				anchor = t
+			}
+			terms = append(terms, t)
+		}
+		return terms
+	}
+
+	// Profile pool with Zipf popularity (see ObjectConfig.Profiles).
+	numProfiles := cfg.Profiles
+	if numProfiles == 0 {
+		numProfiles = cfg.NumObjects / 25
+		if numProfiles < 20 {
+			numProfiles = 20
+		}
+	}
+	var profiles [][]obj.TermID
+	var pickProfile termSampler
+	if numProfiles > 0 {
+		profiles = make([][]obj.TermID, numProfiles)
+		for i := range profiles {
+			profiles[i] = drawTerms()
+		}
+		if numProfiles > 1 {
+			pickProfile = newTermSampler(rng, 1.07, numProfiles)
+		} else {
+			pickProfile = func() obj.TermID { return 0 }
+		}
+	}
+
+	col := obj.NewCollection()
+	for i := 0; i < cfg.NumObjects; i++ {
+		e := pickEdge()
+		pos := graph.Position{Edge: e, Offset: rng.Float64() * g.Edge(e).Length}
+		var terms []obj.TermID
+		if profiles == nil {
+			terms = drawTerms()
+		} else {
+			terms = append(terms, profiles[pickProfile()]...)
+			// Occasional extra terms individualize an object without
+			// breaking subset matches against its profile.
+			for rng.Float64() < 0.3 {
+				terms = append(terms, sample())
+			}
+		}
+		col.Add(pos, terms)
+	}
+	return col, nil
+}

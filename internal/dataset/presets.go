@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// Preset names the analogue of one of the paper's datasets (Table 2).
+type Preset string
+
+// The four datasets of the paper's evaluation.
+const (
+	// PresetSYN: 1M objects, 100K vocabulary, 15 keywords/object, SF road
+	// network (17K nodes in the paper's table; 223K edges).
+	PresetSYN Preset = "SYN"
+	// PresetNA: North America — 2.2M objects (GeoNames), 208K vocabulary,
+	// 6.8 keywords/object, 175K nodes / 179K edges.
+	PresetNA Preset = "NA"
+	// PresetTW: geo-tweets — 11.5M objects, 1.6M vocabulary, 10.8
+	// keywords/object, 321K nodes / 800K edges.
+	PresetTW Preset = "TW"
+	// PresetSF: San Francisco — 2.25M objects (20 Newsgroups tags), 81K
+	// vocabulary, 26 keywords/object, 174K nodes / 223K edges.
+	PresetSF Preset = "SF"
+)
+
+// Dataset bundles a generated road network and object set with its
+// statistics.
+type Dataset struct {
+	Name       string
+	Graph      *graph.Graph
+	Objects    *obj.Collection
+	VocabSize  int
+	ZipfS      float64
+	ScaleDenom int // how much the paper-scale counts were divided by
+}
+
+// Stats are the Table 2 statistics of a dataset.
+type Stats struct {
+	Objects     int
+	VocabSize   int
+	AvgKeywords float64
+	Nodes       int
+	Edges       int
+}
+
+// Stats computes the dataset's Table 2 row.
+func (d *Dataset) Stats() Stats {
+	return Stats{
+		Objects:     d.Objects.Len(),
+		VocabSize:   d.VocabSize,
+		AvgKeywords: d.Objects.AvgTermsPerObject(),
+		Nodes:       d.Graph.NumNodes(),
+		Edges:       d.Graph.NumEdges(),
+	}
+}
+
+// presetShape holds the paper-scale parameters of a dataset.
+type presetShape struct {
+	nodes, edges, objects, vocab int
+	keywords                     int
+	zipf                         float64
+}
+
+var presetShapes = map[Preset]presetShape{
+	PresetSYN: {nodes: 17_000, edges: 223_000, objects: 1_000_000, vocab: 100_000, keywords: 15, zipf: 1.1},
+	PresetNA:  {nodes: 175_812, edges: 179_178, objects: 2_200_000, vocab: 208_000, keywords: 7, zipf: 1.05},
+	PresetTW:  {nodes: 321_270, edges: 800_172, objects: 11_500_000, vocab: 1_600_000, keywords: 11, zipf: 1.15},
+	PresetSF:  {nodes: 174_955, edges: 223_000, objects: 2_250_000, vocab: 81_000, keywords: 26, zipf: 1.1},
+}
+
+// GeneratePreset builds the analogue of a paper dataset, scaled down by
+// scaleDenom (1 = full paper scale; benches use larger denominators to
+// stay laptop-sized). All counts scale linearly except the keyword count
+// per object, which is intrinsic.
+func GeneratePreset(p Preset, scaleDenom int, seed int64) (*Dataset, error) {
+	shape, ok := presetShapes[p]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown preset %q", p)
+	}
+	if scaleDenom < 1 {
+		scaleDenom = 1
+	}
+	nodes := shape.nodes / scaleDenom
+	if nodes < 64 {
+		nodes = 64
+	}
+	edgeFactor := float64(shape.edges) / float64(shape.nodes)
+	g, err := GenerateNetwork(NetworkConfig{
+		Nodes:      nodes,
+		EdgeFactor: edgeFactor,
+		Jitter:     0.3,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	objects := shape.objects / scaleDenom
+	if objects < 500 {
+		objects = 500
+	}
+	vocab := shape.vocab / scaleDenom
+	if vocab < 200 {
+		vocab = 200
+	}
+	col, err := GenerateObjects(g, ObjectConfig{
+		NumObjects:        objects,
+		VocabSize:         vocab,
+		KeywordsPerObject: shape.keywords,
+		ZipfS:             shape.zipf,
+		Seed:              seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:       string(p),
+		Graph:      g,
+		Objects:    col,
+		VocabSize:  vocab,
+		ZipfS:      shape.zipf,
+		ScaleDenom: scaleDenom,
+	}, nil
+}

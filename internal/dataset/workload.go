@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// WorkloadConfig shapes a generated query workload (Section 5's setup).
+type WorkloadConfig struct {
+	// NumQueries is the workload size (the paper uses 500).
+	NumQueries int
+	// Keywords is l, the number of query keywords (paper: 1–4, default 3).
+	Keywords int
+	// DeltaMaxPerKeyword sets δmax = value × l (paper default 500 × l).
+	DeltaMaxPerKeyword float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Query is one workload entry: a location, keywords, and search range.
+type Query struct {
+	Pos      graph.Position
+	Terms    []obj.TermID
+	DeltaMax float64
+}
+
+// GenerateWorkload draws query locations from the locations of the
+// underlying objects and query keywords with probability proportional to
+// their term frequency, per the paper's workload definition.
+func GenerateWorkload(col *obj.Collection, vocabSize int, cfg WorkloadConfig) ([]Query, error) {
+	if cfg.NumQueries < 1 {
+		return nil, fmt.Errorf("dataset: workload needs at least one query")
+	}
+	if cfg.Keywords < 1 {
+		cfg.Keywords = 3
+	}
+	if cfg.DeltaMaxPerKeyword <= 0 {
+		cfg.DeltaMaxPerKeyword = 500
+	}
+	if col.Len() == 0 {
+		return nil, fmt.Errorf("dataset: workload needs a non-empty object set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	freq := col.TermFrequencies(vocabSize)
+	cum := make([]int64, vocabSize)
+	var total int64
+	for i, f := range freq {
+		total += f
+		cum[i] = total
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("dataset: object set has no keywords")
+	}
+	drawTerm := func() obj.TermID {
+		x := rng.Int63n(total)
+		lo, hi := 0, vocabSize-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return obj.TermID(lo)
+	}
+
+	delta := cfg.DeltaMaxPerKeyword * float64(cfg.Keywords)
+	out := make([]Query, 0, cfg.NumQueries)
+	for len(out) < cfg.NumQueries {
+		anchor := col.Get(obj.ID(rng.Intn(col.Len())))
+		// Query keywords are primarily drawn from the anchor object's own
+		// term set: sampling a random object's terms yields the same
+		// frequency-weighted marginal distribution the paper specifies,
+		// while preserving the conjunctive (AND) selectivity real text
+		// has — independent frequency draws almost never co-occur in one
+		// object and would make every boolean query empty. Remaining
+		// slots (anchor has fewer terms than l) fall back to global
+		// frequency-weighted draws.
+		terms := make([]obj.TermID, 0, cfg.Keywords)
+		perm := rng.Perm(len(anchor.Terms))
+		for _, pi := range perm {
+			if len(terms) == cfg.Keywords {
+				break
+			}
+			terms = append(terms, anchor.Terms[pi])
+		}
+		for attempts := 0; len(terms) < cfg.Keywords && attempts < 100*cfg.Keywords; attempts++ {
+			t := drawTerm()
+			dup := false
+			for _, x := range terms {
+				if x == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				terms = append(terms, t)
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		out = append(out, Query{
+			Pos:      anchor.Pos,
+			Terms:    obj.NormalizeTerms(terms),
+			DeltaMax: delta,
+		})
+	}
+	return out, nil
+}

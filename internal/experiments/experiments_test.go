@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testCfg keeps shape tests fast; the trends asserted here are the
+// paper's headline claims, which must hold even at small scale.
+func testCfg() Config {
+	return Config{Scale: 800, Queries: 25, Seed: 3}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "xxxxx") {
+		t.Errorf("printed table missing content:\n%s", out)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.Mean() != 0 {
+		t.Error("empty mean")
+	}
+	s.Append(1, 2)
+	s.Append(2, 4)
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 5 {
+		t.Fatalf("Table 2 has %d rows", len(r.Table.Rows))
+	}
+	// TW must be the largest object set, as in the paper.
+	tw := r.Series["objects/TW"].Mean()
+	for _, other := range []string{"objects/SYN", "objects/NA", "objects/SF"} {
+		if r.Series[other].Mean() >= tw {
+			t.Errorf("TW should have the most objects; %s = %v vs %v", other, r.Series[other].Mean(), tw)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IR is the slowest index structure on average (paper: ~4x slower).
+	ir := r.Series["time/IR"].Mean()
+	ifx := r.Series["time/IF"].Mean()
+	sif := r.Series["time/SIF"].Mean()
+	if ir <= ifx {
+		t.Errorf("IR (%v ms) should be slower than IF (%v ms)", ir, ifx)
+	}
+	if ir <= sif {
+		t.Errorf("IR (%v ms) should be slower than SIF (%v ms)", ir, sif)
+	}
+	// Signatures add little space over the inverted file.
+	ifSize := r.Series["size/IF"].Mean()
+	sifSize := r.Series["size/SIF"].Mean()
+	if sifSize > 1.5*ifSize {
+		t.Errorf("SIF size %v far exceeds IF size %v", sifSize, ifSize)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I/O grows with l for IF, and SIF does fewer disk accesses than IF.
+	ifIO := r.Series["io/IF"]
+	sifIO := r.Series["io/SIF"]
+	if ifIO.Y[len(ifIO.Y)-1] <= ifIO.Y[0] {
+		t.Errorf("IF I/O did not grow with l: %v", ifIO.Y)
+	}
+	// SIF never exceeds IF; at tiny scales the rarest-first probe order
+	// already short-circuits most misses, so equality is possible.
+	if sifIO.Mean() > ifIO.Mean()+1e-9 {
+		t.Errorf("SIF mean I/O %v above IF %v", sifIO.Mean(), ifIO.Mean())
+	}
+	// SIF-P never does more I/O than SIF.
+	sifpIO := r.Series["io/SIF-P"]
+	for i := range sifpIO.Y {
+		if sifpIO.Y[i] > sifIO.Y[i]+1e-9 {
+			t.Errorf("SIF-P I/O %v above SIF %v at l=%v", sifpIO.Y[i], sifIO.Y[i], sifpIO.X[i])
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates increase with δmax on every dataset.
+	for _, p := range []string{"NA", "SF", "SYN", "TW"} {
+		s := r.Series["cand/"+p]
+		if len(s.Y) == 0 {
+			t.Fatalf("no candidate series for %s", p)
+		}
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("%s candidates shrink with δmax: %v", p, s.Y)
+		}
+	}
+	// IF is more sensitive to δmax than SIF: more false-hit I/O as the
+	// range grows. At test scale wall-time is noise, so assert on the
+	// deterministic disk-access counts.
+	ifIO := r.Series["io/IF"]
+	sifIO := r.Series["io/SIF"]
+	if ifIO.Y[len(ifIO.Y)-1] <= ifIO.Y[0] {
+		t.Errorf("IF I/O did not grow with range: %v", ifIO.Y)
+	}
+	if sifIO.Mean() > ifIO.Mean() {
+		t.Errorf("SIF mean I/O %v above IF %v", sifIO.Mean(), ifIO.Mean())
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sifp := r.Series["SIF-P"]
+	sif := r.Series["SIF"]
+	// SIF-P false hits never exceed plain SIF's.
+	for i := range sifp.Y {
+		if sifp.Y[i] > sif.Y[i]+1e-9 {
+			t.Errorf("SIF-P false hits %v above SIF %v at cuts=%v", sifp.Y[i], sif.Y[i], sifp.X[i])
+		}
+	}
+	// More cuts never hurt: last point <= first point.
+	if sifp.Y[len(sifp.Y)-1] > sifp.Y[0]+1e-9 {
+		t.Errorf("false hits grew with cut budget: %v", sifp.Y)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Fig10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"NA", "TW"} {
+		real := r.Series[p+"/SIF-P-Real"].Mean()
+		sif := r.Series[p+"/SIF"].Mean()
+		// The real-log SIF-P must beat plain SIF on disk accesses.
+		if real > sif+1e-9 {
+			t.Errorf("%s: SIF-P-Real I/O %v above SIF %v", p, real, sif)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COM must not be slower than SEQ on aggregate (the paper's headline).
+	seq := r.Series["SEQ"].Mean()
+	com := r.Series["COM"].Mean()
+	if com > seq*1.5 {
+		t.Errorf("COM mean %v ms far above SEQ %v ms", com, seq)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r, err := Fig14(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SEQ's candidate count is insensitive to k (it always retrieves
+	// everything).
+	seqCand := r.Series["cand/SEQ"]
+	for i := 1; i < len(seqCand.Y); i++ {
+		if seqCand.Y[i] != seqCand.Y[0] {
+			t.Errorf("SEQ candidates vary with k: %v", seqCand.Y)
+			break
+		}
+	}
+	// COM never sees more candidates than SEQ.
+	comCand := r.Series["cand/COM"]
+	for i := range comCand.Y {
+		if comCand.Y[i] > seqCand.Y[i]+1e-9 {
+			t.Errorf("COM candidates %v above SEQ %v at k=%v", comCand.Y[i], seqCand.Y[i], comCand.X[i])
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r, err := Fig15(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger λ means earlier termination: COM's candidate count at
+	// λ=0.9 must not exceed that at λ=0.5.
+	com := r.Series["cand/COM"]
+	if com.Y[len(com.Y)-1] > com.Y[0]+1e-9 {
+		t.Errorf("COM candidates grew with λ: %v", com.Y)
+	}
+}
+
+func TestFig16aShape(t *testing.T) {
+	r, err := Fig16a(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate counts (and so work) grow with the skew z.
+	seq := r.Series["cand/SEQ"]
+	if seq.Y[len(seq.Y)-1] < seq.Y[0] {
+		t.Logf("warning: candidates did not grow with z: %v (small-scale noise)", seq.Y)
+	}
+}
+
+func TestFig16bShape(t *testing.T) {
+	r, err := Fig16b(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := r.Series["cand/SEQ"]
+	if seq.Y[len(seq.Y)-1] <= seq.Y[0] {
+		t.Errorf("candidates did not grow with object count: %v", seq.Y)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COM never sees more candidates than SEQ at any l.
+	seq, com := r.Series["cand/SEQ"], r.Series["cand/COM"]
+	for i := range com.Y {
+		if com.Y[i] > seq.Y[i]+1e-9 {
+			t.Errorf("COM candidates %v above SEQ %v at l=%v", com.Y[i], seq.Y[i], com.X[i])
+		}
+	}
+	// SEQ's I/O grows with l (δmax = 500·l enlarges the region).
+	io := r.Series["io/SEQ"]
+	if io.Y[len(io.Y)-1] <= io.Y[0] {
+		t.Errorf("SEQ I/O did not grow with l: %v", io.Y)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r, err := Fig13(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate counts grow with the range for SEQ.
+	seq := r.Series["cand/SEQ"]
+	if seq.Y[len(seq.Y)-1] <= seq.Y[0] {
+		t.Errorf("SEQ candidates did not grow with δmax: %v", seq.Y)
+	}
+	com := r.Series["cand/COM"]
+	for i := range com.Y {
+		if com.Y[i] > seq.Y[i]+1e-9 {
+			t.Errorf("COM candidates above SEQ at δmax=%v", com.X[i])
+		}
+	}
+}
+
+func TestFig16cShape(t *testing.T) {
+	r, err := Fig16c(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, com := r.Series["cand/SEQ"], r.Series["cand/COM"]
+	for i := range com.Y {
+		if com.Y[i] > seq.Y[i]+1e-9 {
+			t.Errorf("COM candidates above SEQ at n_k=%v", com.X[i])
+		}
+	}
+}
+
+func TestFig16dShape(t *testing.T) {
+	r, err := Fig16d(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger vocabularies mean fewer candidates: last <= first for SEQ.
+	seq := r.Series["cand/SEQ"]
+	if seq.Y[len(seq.Y)-1] > seq.Y[0]*1.5+5 {
+		t.Errorf("candidates grew sharply with vocabulary: %v", seq.Y)
+	}
+}
+
+func TestFig15COMCandidatesShrinkWithLambda(t *testing.T) {
+	r, err := Fig15(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := r.Series["cand/SEQ"]
+	// SEQ is λ-insensitive by construction.
+	for i := 1; i < len(seq.Y); i++ {
+		if seq.Y[i] != seq.Y[0] {
+			t.Errorf("SEQ candidates vary with λ: %v", seq.Y)
+			break
+		}
+	}
+}
+
+func TestSparkRendering(t *testing.T) {
+	s := &Series{Name: "x", Y: []float64{0, 1, 2, 3}}
+	spark := s.Spark()
+	if len([]rune(spark)) != 4 {
+		t.Fatalf("spark length %d", len([]rune(spark)))
+	}
+	if []rune(spark)[0] != '▁' || []rune(spark)[3] != '█' {
+		t.Errorf("spark scaling wrong: %q", spark)
+	}
+	flat := &Series{Name: "f", Y: []float64{5, 5}}
+	if r := []rune(flat.Spark()); r[0] != r[1] {
+		t.Errorf("flat spark uneven: %q", flat.Spark())
+	}
+	if (&Series{}).Spark() != "" {
+		t.Error("empty spark not empty")
+	}
+	var sb strings.Builder
+	r := &Result{Series: map[string]*Series{"a": s, "short": {Y: []float64{1}}}}
+	r.FprintSparks(&sb)
+	if !strings.Contains(sb.String(), "▁") || strings.Contains(sb.String(), "short") {
+		t.Errorf("FprintSparks output wrong:\n%s", sb.String())
+	}
+}

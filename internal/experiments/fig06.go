@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dsks/internal/dataset"
+	"dsks/internal/harness"
+)
+
+// allPresets is the dataset order of the paper's multi-dataset figures.
+var allPresets = []dataset.Preset{dataset.PresetNA, dataset.PresetSF, dataset.PresetSYN, dataset.PresetTW}
+
+// skIndexKinds is the index order of Figure 6 (IR is dropped from later
+// figures, as in the paper).
+var skIndexKinds = []harness.IndexKind{harness.KindIR, harness.KindIF, harness.KindSIF, harness.KindSIFP}
+
+// buildSystem generates a preset dataset and builds the requested kinds.
+func buildSystem(cfg Config, p dataset.Preset, kinds []harness.IndexKind, hOpts harness.Options) (*harness.System, []dataset.Query, error) {
+	ds, err := dataset.GeneratePreset(p, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	hOpts.IOLatency = cfg.IOLatency
+	sys, err := harness.Build(ds, kinds, hOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: cfg.Queries,
+		Keywords:   3,
+		Seed:       cfg.Seed + 1000,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, ws, nil
+}
+
+// runSKWorkload executes the workload and returns the average response
+// time, average disk reads and average candidate count.
+func runSKWorkload(sys *harness.System, kind harness.IndexKind, ws []dataset.Query) (time.Duration, float64, float64, error) {
+	if err := sys.ResetIO(); err != nil {
+		return 0, 0, 0, err
+	}
+	var total time.Duration
+	var reads, cands int64
+	for _, wq := range ws {
+		res, err := sys.RunSK(kind, harness.SKQueryOf(wq))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		total += res.Elapsed
+		reads += res.DiskReads
+		cands += int64(len(res.Candidates))
+	}
+	n := float64(len(ws))
+	return total / time.Duration(len(ws)), float64(reads) / n, float64(cands) / n, nil
+}
+
+// Fig6 reproduces Figure 6: SK search on the four datasets — (a) average
+// query response time, (b) index construction time, (c) index size — for
+// IR, IF, SIF and SIF-P.
+func Fig6(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 6: SK search on different datasets",
+		"dataset", "index", "query ms", "build ms", "size MB")
+	for _, p := range allPresets {
+		sys, ws, err := buildSystem(cfg, p, skIndexKinds, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range skIndexKinds {
+			avg, _, _, err := runSKWorkload(sys, kind, ws)
+			if err != nil {
+				return nil, err
+			}
+			r.addRow(string(p), string(kind), ms(avg),
+				ms(sys.BuildTime[kind]), mb(sys.IndexSize[kind]))
+			r.series("time/"+string(kind)).Append(0, msf(avg))
+			r.series("build/"+string(kind)).Append(0, msf(sys.BuildTime[kind]))
+			r.series("size/"+string(kind)).Append(0, float64(sys.IndexSize[kind]))
+			r.series(fmt.Sprintf("time/%s/%s", p, kind)).Append(0, msf(avg))
+		}
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dsks/internal/dataset"
+	"dsks/internal/harness"
+)
+
+// divAlgos is the algorithm order of Figures 11–16.
+var divAlgos = []harness.DivAlgo{harness.AlgoSEQ, harness.AlgoCOM}
+
+// runDivWorkload executes the diversified workload and returns average
+// response time, disk reads and candidates.
+func runDivWorkload(sys *harness.System, ws []dataset.Query, k int, lambda float64, algo harness.DivAlgo) (time.Duration, float64, float64, error) {
+	if err := sys.ResetIO(); err != nil {
+		return 0, 0, 0, err
+	}
+	var total time.Duration
+	var reads, cands int64
+	for _, wq := range ws {
+		res, err := sys.RunDiv(harness.KindSIF, algo, harness.DivQueryOf(wq, k, lambda))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		total += res.Elapsed
+		reads += res.DiskReads
+		cands += res.Stats.Candidates
+	}
+	n := float64(len(ws))
+	return total / time.Duration(len(ws)), float64(reads) / n, float64(cands) / n, nil
+}
+
+// divSweep runs SEQ and COM over a parameter sweep, recording time and
+// candidate series under "<algo>" and "cand/<algo>".
+func divSweep(cfg Config, r *Result, sys *harness.System, label string,
+	points []float64, wsAt func(x float64) ([]dataset.Query, int, float64, error)) error {
+	for _, x := range points {
+		ws, k, lambda, err := wsAt(x)
+		if err != nil {
+			return err
+		}
+		for _, algo := range divAlgos {
+			avg, reads, cands, err := runDivWorkload(sys, ws, k, lambda, algo)
+			if err != nil {
+				return err
+			}
+			r.addRow(fmt.Sprintf("%v", x), string(algo), ms(avg), f1(reads), f1(cands))
+			r.series(string(algo)).Append(x, msf(avg))
+			r.series("io/"+string(algo)).Append(x, reads)
+			r.series("cand/"+string(algo)).Append(x, cands)
+		}
+	}
+	_ = label
+	r.Table.Fprint(cfg.Out)
+	return nil
+}
+
+// Fig11 reproduces Figure 11: the diversified SK search on the four
+// datasets — SEQ vs COM at the defaults (l = 3, k = 10, λ = 0.8).
+func Fig11(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 11: diversified SK search on different datasets",
+		"dataset", "algo", "query ms", "disk accesses", "candidates")
+	for _, p := range allPresets {
+		sys, ws, err := buildSystem(cfg, p, []harness.IndexKind{harness.KindSIF}, harness.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range divAlgos {
+			avg, reads, cands, err := runDivWorkload(sys, ws, 10, 0.8, algo)
+			if err != nil {
+				return nil, err
+			}
+			r.addRow(string(p), string(algo), ms(avg), f1(reads), f1(cands))
+			r.series(string(algo)).Append(0, msf(avg))
+			r.series(fmt.Sprintf("%s/%s", p, algo)).Append(0, msf(avg))
+		}
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}
+
+// Fig12 reproduces Figure 12: diversified search varying the number of
+// query keywords l (δmax = 500·l, as in the paper's setting).
+func Fig12(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 12: diversified search varying l (NA)",
+		"l", "algo", "query ms", "disk accesses", "candidates")
+	ds, err := dataset.GeneratePreset(dataset.PresetNA, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{IOLatency: cfg.IOLatency})
+	if err != nil {
+		return nil, err
+	}
+	err = divSweep(cfg, r, sys, "l", []float64{1, 2, 3, 4}, func(x float64) ([]dataset.Query, int, float64, error) {
+		ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+			NumQueries: cfg.Queries, Keywords: int(x), Seed: cfg.Seed + int64(x)*13,
+		})
+		return ws, 10, 0.8, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig13 reproduces Figure 13: diversified search varying the search range.
+func Fig13(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 13: diversified search varying δmax (NA)",
+		"δmax", "algo", "query ms", "disk accesses", "candidates")
+	ds, err := dataset.GeneratePreset(dataset.PresetNA, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{IOLatency: cfg.IOLatency})
+	if err != nil {
+		return nil, err
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: cfg.Queries, Keywords: 3, Seed: cfg.Seed + 41,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = divSweep(cfg, r, sys, "δmax", fig8Ranges, func(x float64) ([]dataset.Query, int, float64, error) {
+		cp := make([]dataset.Query, len(ws))
+		copy(cp, ws)
+		for i := range cp {
+			cp[i].DeltaMax = x
+		}
+		return cp, 10, 0.8, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig14 reproduces Figure 14: diversified search varying k (5–20).
+func Fig14(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 14: diversified search varying k (NA)",
+		"k", "algo", "query ms", "disk accesses", "candidates")
+	ds, err := dataset.GeneratePreset(dataset.PresetNA, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{IOLatency: cfg.IOLatency})
+	if err != nil {
+		return nil, err
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: cfg.Queries, Keywords: 3, Seed: cfg.Seed + 43,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = divSweep(cfg, r, sys, "k", []float64{5, 10, 15, 20}, func(x float64) ([]dataset.Query, int, float64, error) {
+		return ws, int(x), 0.8, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Fig15 reproduces Figure 15: diversified search varying λ (0.5–0.9).
+func Fig15(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 15: diversified search varying λ (NA)",
+		"λ", "algo", "query ms", "disk accesses", "candidates")
+	ds, err := dataset.GeneratePreset(dataset.PresetNA, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{IOLatency: cfg.IOLatency})
+	if err != nil {
+		return nil, err
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: cfg.Queries, Keywords: 3, Seed: cfg.Seed + 47,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = divSweep(cfg, r, sys, "λ", []float64{0.5, 0.6, 0.7, 0.8, 0.9}, func(x float64) ([]dataset.Query, int, float64, error) {
+		return ws, 10, x, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// fig16Variant builds a SYN dataset with one knob changed and measures
+// SEQ and COM.
+func fig16Variant(cfg Config, r *Result, x float64, objCfg dataset.ObjectConfig, netNodes int) error {
+	g, err := dataset.GenerateNetwork(dataset.NetworkConfig{
+		Nodes: netNodes, EdgeFactor: 2.2, Jitter: 0.3, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	col, err := dataset.GenerateObjects(g, objCfg)
+	if err != nil {
+		return err
+	}
+	ds := &dataset.Dataset{
+		Name: "SYN", Graph: g, Objects: col,
+		VocabSize: objCfg.VocabSize, ZipfS: objCfg.ZipfS, ScaleDenom: cfg.Scale,
+	}
+	sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, harness.Options{IOLatency: cfg.IOLatency})
+	if err != nil {
+		return err
+	}
+	ws, err := dataset.GenerateWorkload(col, objCfg.VocabSize, dataset.WorkloadConfig{
+		NumQueries: cfg.Queries, Keywords: 3, Seed: cfg.Seed + 53,
+	})
+	if err != nil {
+		return err
+	}
+	for _, algo := range divAlgos {
+		avg, reads, cands, err := runDivWorkload(sys, ws, 10, 0.8, algo)
+		if err != nil {
+			return err
+		}
+		r.addRow(fmt.Sprintf("%v", x), string(algo), ms(avg), f1(reads), f1(cands))
+		r.series(string(algo)).Append(x, msf(avg))
+		r.series("cand/"+string(algo)).Append(x, cands)
+	}
+	return nil
+}
+
+// fig16Base returns the default SYN object configuration at the config's
+// scale.
+func fig16Base(cfg Config) (dataset.ObjectConfig, int) {
+	objects := 1_000_000 / cfg.Scale
+	if objects < 500 {
+		objects = 500
+	}
+	vocab := 100_000 / cfg.Scale
+	if vocab < 200 {
+		vocab = 200
+	}
+	nodes := 17_000 / cfg.Scale
+	if nodes < 64 {
+		nodes = 64
+	}
+	return dataset.ObjectConfig{
+		NumObjects:        objects,
+		VocabSize:         vocab,
+		KeywordsPerObject: 15,
+		ZipfS:             1.1,
+		Seed:              cfg.Seed + 2,
+	}, nodes
+}
+
+// Fig16a reproduces Figure 16(a): term-frequency skew z from 0.9 to 1.3.
+func Fig16a(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 16a: varying Zipf skew z (SYN)",
+		"z", "algo", "query ms", "disk accesses", "candidates")
+	base, nodes := fig16Base(cfg)
+	for _, z := range []float64{0.9, 1.0, 1.1, 1.2, 1.3} {
+		oc := base
+		oc.ZipfS = z
+		if err := fig16Variant(cfg, r, z, oc, nodes); err != nil {
+			return nil, err
+		}
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}
+
+// Fig16b reproduces Figure 16(b): object count from 0.5M to 2M (scaled).
+func Fig16b(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 16b: varying the number of objects (SYN)",
+		"n_o (paper-scale M)", "algo", "query ms", "disk accesses", "candidates")
+	base, nodes := fig16Base(cfg)
+	for _, m := range []float64{0.5, 1.0, 1.5, 2.0} {
+		oc := base
+		oc.NumObjects = int(m * 1_000_000 / float64(cfg.Scale))
+		if oc.NumObjects < 250 {
+			oc.NumObjects = 250
+		}
+		if err := fig16Variant(cfg, r, m, oc, nodes); err != nil {
+			return nil, err
+		}
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}
+
+// Fig16c reproduces Figure 16(c): keywords per object.
+func Fig16c(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 16c: varying keywords per object (SYN)",
+		"n_k", "algo", "query ms", "disk accesses", "candidates")
+	base, nodes := fig16Base(cfg)
+	for _, nk := range []float64{5, 10, 15, 20, 25} {
+		oc := base
+		oc.KeywordsPerObject = int(nk)
+		if err := fig16Variant(cfg, r, nk, oc, nodes); err != nil {
+			return nil, err
+		}
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}
+
+// Fig16d reproduces Figure 16(d): vocabulary size from 20K to 100K (scaled).
+func Fig16d(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 16d: varying the vocabulary size (SYN)",
+		"|V| (paper-scale K)", "algo", "query ms", "disk accesses", "candidates")
+	base, nodes := fig16Base(cfg)
+	for _, v := range []float64{20, 40, 60, 80, 100} {
+		oc := base
+		oc.VocabSize = int(v * 1000 / float64(cfg.Scale))
+		if oc.VocabSize < 100 {
+			oc.VocabSize = 100
+		}
+		if err := fig16Variant(cfg, r, v, oc, nodes); err != nil {
+			return nil, err
+		}
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}
+
+// Table2 prints the Table 2 statistics of the generated dataset analogues.
+func Table2(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Table 2: dataset statistics (scaled analogues)",
+		"property", "SYN", "NA", "TW", "SF")
+	order := []dataset.Preset{dataset.PresetSYN, dataset.PresetNA, dataset.PresetTW, dataset.PresetSF}
+	stats := make([]dataset.Stats, len(order))
+	for i, p := range order {
+		ds, err := dataset.GeneratePreset(p, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		stats[i] = ds.Stats()
+		r.series("objects/"+string(p)).Append(0, float64(stats[i].Objects))
+		r.series("edges/"+string(p)).Append(0, float64(stats[i].Edges))
+	}
+	row := func(name string, get func(dataset.Stats) string) {
+		cells := []string{name}
+		for _, st := range stats {
+			cells = append(cells, get(st))
+		}
+		r.addRow(cells...)
+	}
+	row("# objects", func(s dataset.Stats) string { return fmt.Sprintf("%d", s.Objects) })
+	row("vocabulary size", func(s dataset.Stats) string { return fmt.Sprintf("%d", s.VocabSize) })
+	row("avg # keywords", func(s dataset.Stats) string { return f1(s.AvgKeywords) })
+	row("# nodes", func(s dataset.Stats) string { return fmt.Sprintf("%d", s.Nodes) })
+	row("# edges", func(s dataset.Stats) string { return fmt.Sprintf("%d", s.Edges) })
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}

@@ -1,0 +1,64 @@
+package geo
+
+// Z-order (Morton) codes interleave the bits of the two coordinates so that
+// points close in space tend to be close in the one-dimensional code. The
+// paper uses Z-ordering both to cluster road nodes into CCAM pages and as
+// the B+-tree key of an edge (the code of its center point).
+
+// zBits is the number of bits used per coordinate; 21 bits per axis keeps
+// the interleaved code within 42 bits, comfortably inside a uint64.
+const zBits = 21
+
+// zResolution is the number of cells per axis.
+const zResolution = 1 << zBits
+
+// ZCode returns the Morton code of p, assuming p lies in [0, WorldMax]².
+// Coordinates outside the world box are clamped.
+func ZCode(p Point) uint64 {
+	ix := quantize(p.X)
+	iy := quantize(p.Y)
+	return interleave(ix) | interleave(iy)<<1
+}
+
+func quantize(v float64) uint32 {
+	if v < 0 {
+		v = 0
+	}
+	if v > WorldMax {
+		v = WorldMax
+	}
+	i := uint64(v / WorldMax * (zResolution - 1))
+	return uint32(i)
+}
+
+// interleave spreads the low 21 bits of v so that bit i of v lands at bit
+// 2i of the result (the classical "Morton spread" via magic masks).
+func interleave(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// deinterleave reverses interleave.
+func deinterleave(x uint64) uint32 {
+	x &= 0x1249249249249249
+	x = (x | x>>2) & 0x10c30c30c30c30c3
+	x = (x | x>>4) & 0x100f00f00f00f00f
+	x = (x | x>>8) & 0x1f0000ff0000ff
+	x = (x | x>>16) & 0x1f00000000ffff
+	x = (x | x>>32) & 0x1fffff
+	return uint32(x)
+}
+
+// ZDecode returns the cell-center point of a Morton code. It is the
+// (lossy) inverse of ZCode: ZDecode(ZCode(p)) is within one cell of p.
+func ZDecode(code uint64) Point {
+	ix := deinterleave(code)
+	iy := deinterleave(code >> 1)
+	cell := WorldMax / (zResolution - 1)
+	return Point{float64(ix) * cell, float64(iy) * cell}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file provides exact in-memory shortest-path computation. It serves
+// as ground truth in tests and as the CPU-side of the pairwise network
+// distance engine (the disk-resident CCAM traversal is accounted
+// separately by the search algorithms).
+
+// nodeHeap is a min-priority queue of (node, dist) used by Dijkstra.
+type nodeItem struct {
+	node NodeID
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Inf is the distance reported for unreachable targets.
+var Inf = math.Inf(1)
+
+// DistancesFromNode runs Dijkstra from node src and returns the network
+// distance to every node. Distances above bound are not explored; pass
+// graph.Inf for an unbounded search. Unreached nodes report Inf.
+func (g *Graph) DistancesFromNode(src NodeID, bound float64) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	h := &nodeHeap{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nodeItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		if it.dist > bound {
+			break
+		}
+		for _, eid := range g.Adjacent(it.node) {
+			e := g.Edge(eid)
+			m := e.OtherEnd(it.node)
+			if d := it.dist + e.Weight; d < dist[m] {
+				dist[m] = d
+				heap.Push(h, nodeItem{m, d})
+			}
+		}
+	}
+	return dist
+}
+
+// multiSourceDistances runs Dijkstra seeded with several (node, cost)
+// sources, which is how distances from a mid-edge position are computed.
+func (g *Graph) multiSourceDistances(seeds []nodeItem, bound float64) []float64 {
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	h := &nodeHeap{}
+	for _, s := range seeds {
+		if s.dist < dist[s.node] {
+			dist[s.node] = s.dist
+			heap.Push(h, s)
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nodeItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.dist > bound {
+			break
+		}
+		for _, eid := range g.Adjacent(it.node) {
+			e := g.Edge(eid)
+			m := e.OtherEnd(it.node)
+			if d := it.dist + e.Weight; d < dist[m] {
+				dist[m] = d
+				heap.Push(h, nodeItem{m, d})
+			}
+		}
+	}
+	return dist
+}
+
+// DistancesFromPosition returns the network distance from position p to
+// every node, bounded by bound.
+func (g *Graph) DistancesFromPosition(p Position, bound float64) []float64 {
+	p = g.Clamp(p)
+	e := g.Edge(p.Edge)
+	w1, w2 := g.CostToEnds(p)
+	return g.multiSourceDistances([]nodeItem{{e.N1, w1}, {e.N2, w2}}, bound)
+}
+
+// NetworkDist returns the exact network distance between two positions,
+// following the paper's Equation 1: the distance to a point on edge
+// (n1, n2) is min over both end-nodes of (distance to end + offset cost),
+// with the special case of both points sharing an edge, where the direct
+// along-edge path competes with paths through the end-nodes.
+func (g *Graph) NetworkDist(a, b Position) float64 {
+	a, b = g.Clamp(a), g.Clamp(b)
+	direct := Inf
+	if a.Edge == b.Edge {
+		direct = g.SameEdgeCost(a, b)
+		if direct == 0 {
+			return 0
+		}
+	}
+	eb := g.Edge(b.Edge)
+	dist := g.DistancesFromPosition(a, Inf)
+	b1, b2 := g.CostToEnds(b)
+	viaNodes := math.Min(dist[eb.N1]+b1, dist[eb.N2]+b2)
+	return math.Min(direct, viaNodes)
+}

@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dsks/internal/geo"
+)
+
+// paperGraph builds the example road network of the paper's Figure 2 in
+// spirit: a small graph with known shortest distances.
+//
+//	n0 --10-- n1 --5-- n2
+//	 |                 |
+//	 8                 4
+//	 |                 |
+//	n3 ------12------ n4
+func paperGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.AddNode(geo.Point{X: 0, Y: 10})  // n0
+	g.AddNode(geo.Point{X: 10, Y: 10}) // n1
+	g.AddNode(geo.Point{X: 15, Y: 10}) // n2
+	g.AddNode(geo.Point{X: 0, Y: 0})   // n3
+	g.AddNode(geo.Point{X: 15, Y: 0})  // n4
+	for _, e := range [][3]float64{{0, 1, 10}, {1, 2, 5}, {0, 3, 8}, {2, 4, 4}, {3, 4, 12}} {
+		if _, err := g.AddEdge(NodeID(e[0]), NodeID(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.AddNode(geo.Point{X: 0, Y: 0})
+	b := g.AddNode(geo.Point{X: 1, Y: 0})
+	if _, err := g.AddEdge(a, a, 5); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(a, NodeID(99), 5); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := g.AddEdge(a, b, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := g.AddEdge(a, b, math.NaN()); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := g.AddEdge(b, a, 2); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	// Reference node is the smaller ID even when given reversed.
+	e := g.Edge(0)
+	if e.N1 != a || e.N2 != b {
+		t.Errorf("reference node not normalized: %+v", e)
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	g := paperGraph(t)
+	e, ok := g.EdgeBetween(0, 1)
+	if !ok || e.Weight != 10 {
+		t.Fatalf("EdgeBetween(0,1) = %+v, %v", e, ok)
+	}
+	if _, ok := g.EdgeBetween(0, 4); ok {
+		t.Error("nonexistent edge found")
+	}
+	if _, ok := g.EdgeBetween(0, NodeID(99)); ok {
+		t.Error("edge to invalid node found")
+	}
+}
+
+func TestDegreesAndAdjacency(t *testing.T) {
+	g := paperGraph(t)
+	if g.Degree(0) != 2 || g.Degree(2) != 2 || g.Degree(1) != 2 {
+		t.Errorf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(2), g.Degree(1))
+	}
+	// Adjacency sorted by the opposite end node after Freeze.
+	adj := g.Adjacent(0)
+	if g.Edge(adj[0]).OtherEnd(0) > g.Edge(adj[1]).OtherEnd(0) {
+		t.Error("adjacency not sorted by opposite node")
+	}
+}
+
+func TestWeightAtAndPointAt(t *testing.T) {
+	g := paperGraph(t)
+	e, _ := g.EdgeBetween(0, 1) // length 10 (Euclidean), weight 10
+	if got := g.WeightAt(e.ID, 5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("WeightAt mid = %v", got)
+	}
+	if got := g.WeightAt(e.ID, -3); got != 0 {
+		t.Errorf("WeightAt clamps low: %v", got)
+	}
+	if got := g.WeightAt(e.ID, 100); math.Abs(got-10) > 1e-12 {
+		t.Errorf("WeightAt clamps high: %v", got)
+	}
+	p := g.PointAt(e.ID, 5)
+	if math.Abs(p.X-5) > 1e-12 || math.Abs(p.Y-10) > 1e-12 {
+		t.Errorf("PointAt = %v", p)
+	}
+}
+
+func TestWeightAtNonDistanceCost(t *testing.T) {
+	// Travel-time cost model: weight != length. w(n1,p) must scale with
+	// the geometric offset fraction.
+	g := New()
+	a := g.AddNode(geo.Point{X: 0, Y: 0})
+	b := g.AddNode(geo.Point{X: 10, Y: 0})
+	eid, err := g.AddEdge(a, b, 60) // 60 cost units over 10 distance units
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	if got := g.WeightAt(eid, 5); math.Abs(got-30) > 1e-12 {
+		t.Errorf("WeightAt half = %v, want 30", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := paperGraph(t)
+	if !g.Connected() {
+		t.Error("paper graph should be connected")
+	}
+	g2 := New()
+	g2.AddNode(geo.Point{})
+	g2.AddNode(geo.Point{X: 1})
+	g2.AddNode(geo.Point{X: 2})
+	if _, err := g2.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g2.Freeze()
+	if g2.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if !New().Connected() {
+		t.Error("empty graph should be connected")
+	}
+}
+
+func TestDistancesFromNode(t *testing.T) {
+	g := paperGraph(t)
+	dist := g.DistancesFromNode(0, Inf)
+	want := []float64{0, 10, 15, 8, 19}
+	for i, w := range want {
+		if math.Abs(dist[i]-w) > 1e-9 {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+}
+
+func TestDistancesBound(t *testing.T) {
+	g := paperGraph(t)
+	dist := g.DistancesFromNode(0, 9)
+	if !math.IsInf(dist[2], 1) {
+		t.Errorf("node beyond bound explored: dist[2]=%v", dist[2])
+	}
+	if dist[3] != 8 {
+		t.Errorf("node within bound missing: dist[3]=%v", dist[3])
+	}
+}
+
+func TestNetworkDistSameEdge(t *testing.T) {
+	g := paperGraph(t)
+	e, _ := g.EdgeBetween(0, 1)
+	a := Position{Edge: e.ID, Offset: 2}
+	b := Position{Edge: e.ID, Offset: 7}
+	if got := g.NetworkDist(a, b); math.Abs(got-5) > 1e-9 {
+		t.Errorf("same-edge dist = %v", got)
+	}
+	if got := g.NetworkDist(a, a); got != 0 {
+		t.Errorf("identical position dist = %v", got)
+	}
+}
+
+func TestNetworkDistCrossEdge(t *testing.T) {
+	g := paperGraph(t)
+	e01, _ := g.EdgeBetween(0, 1)
+	e24, _ := g.EdgeBetween(2, 4)
+	// a at geometric offset 3 from n0 on (0,1): edge length 10, weight 10,
+	// so cost(a, n1) = 7. b at geometric offset 1 from n2 on (2,4): edge
+	// length 10, weight 4, so cost(n2, b) = 0.4.
+	a := Position{Edge: e01.ID, Offset: 3}
+	b := Position{Edge: e24.ID, Offset: 1}
+	// Best path: a->n1->n2->b = 7 + 5 + 0.4 = 12.4
+	// (vs a->n0->n3->n4->b = 3 + 8 + 12 + 3.6 = 26.6).
+	if got := g.NetworkDist(a, b); math.Abs(got-12.4) > 1e-9 {
+		t.Errorf("cross-edge dist = %v, want 12.4", got)
+	}
+	// Symmetry.
+	if got := g.NetworkDist(b, a); math.Abs(got-12.4) > 1e-9 {
+		t.Errorf("dist not symmetric: %v", got)
+	}
+}
+
+func TestNetworkDistSameEdgeDetour(t *testing.T) {
+	// When the along-edge path is longer than a detour through other
+	// edges, NetworkDist must take the detour. Construct a triangle where
+	// the long edge (weight 100) is undercut by two short ones.
+	g := New()
+	a := g.AddNode(geo.Point{X: 0, Y: 0})
+	b := g.AddNode(geo.Point{X: 100, Y: 0})
+	c := g.AddNode(geo.Point{X: 50, Y: 1})
+	long, err := g.AddEdge(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(a, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(c, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	p1 := Position{Edge: long, Offset: 1}
+	p2 := Position{Edge: long, Offset: 99}
+	// Along edge: 98. Via ends: 1 + (2+2) + 1 = 6.
+	if got := g.NetworkDist(p1, p2); math.Abs(got-6) > 1e-9 {
+		t.Errorf("detour dist = %v, want 6", got)
+	}
+}
+
+func TestPositionHelpers(t *testing.T) {
+	g := paperGraph(t)
+	e, _ := g.EdgeBetween(0, 1)
+	p := g.Clamp(Position{Edge: e.ID, Offset: 50})
+	if p.Offset != e.Length {
+		t.Errorf("Clamp high = %v", p.Offset)
+	}
+	to1, to2 := g.CostToEnds(Position{Edge: e.ID, Offset: 4})
+	if math.Abs(to1-4) > 1e-9 || math.Abs(to2-6) > 1e-9 {
+		t.Errorf("CostToEnds = %v, %v", to1, to2)
+	}
+	pos, err := g.AtNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Position must actually be at node 0's location.
+	if loc := g.Location(pos); loc.Dist(g.Node(0).Loc) > 1e-9 {
+		t.Errorf("AtNode location = %v", loc)
+	}
+	// AtNode for a node that is N2 of its first edge.
+	pos4, err := g.AtNode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc := g.Location(pos4); loc.Dist(g.Node(4).Loc) > 1e-9 {
+		t.Errorf("AtNode(4) location = %v", loc)
+	}
+}
+
+func TestGraphIORoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(EdgeID(i)), g2.Edge(EdgeID(i))
+		if a.N1 != b.N1 || a.N2 != b.N2 || math.Abs(a.Weight-b.Weight) > 1e-12 {
+			t.Errorf("edge %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGraphReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"x 5\n",
+		"n 1\nv 0 0\n",                          // short node record
+		"n 1\nv 1 0 0\n",                        // wrong id
+		"n 2\nv 0 0 0\nv 1 1 1\nm 1\ne 0 0 5\n", // self loop
+		"n 1\nv 0 0 0\nm 1\n",                   // missing edge line
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+}
+
+func TestRandomGraphDijkstraMatchesBellmanFord(t *testing.T) {
+	// Property test: Dijkstra distances equal Bellman-Ford on a random
+	// connected graph.
+	rng := rand.New(rand.NewSource(7))
+	g := New()
+	const n = 40
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	// Spanning chain plus random chords.
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(NodeID(i-1), NodeID(i), 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		_, _ = g.AddEdge(a, b, 1+rng.Float64()*9)
+	}
+	g.Freeze()
+
+	src := NodeID(0)
+	got := g.DistancesFromNode(src, Inf)
+
+	// Bellman-Ford reference.
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Inf(1)
+	}
+	want[src] = 0
+	for iter := 0; iter < n; iter++ {
+		for e := 0; e < g.NumEdges(); e++ {
+			ed := g.Edge(EdgeID(e))
+			if d := want[ed.N1] + ed.Weight; d < want[ed.N2] {
+				want[ed.N2] = d
+			}
+			if d := want[ed.N2] + ed.Weight; d < want[ed.N1] {
+				want[ed.N1] = d
+			}
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("node %d: dijkstra %v vs bellman-ford %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNetworkDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New()
+	const n = 25
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(NodeID(i-1), NodeID(i), 1+rng.Float64()*5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			_, _ = g.AddEdge(a, b, 1+rng.Float64()*5)
+		}
+	}
+	g.Freeze()
+	randPos := func() Position {
+		e := g.Edge(EdgeID(rng.Intn(g.NumEdges())))
+		return Position{Edge: e.ID, Offset: rng.Float64() * e.Length}
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randPos(), randPos(), randPos()
+		ab, bc, ac := g.NetworkDist(a, b), g.NetworkDist(b, c), g.NetworkDist(a, c)
+		if ac > ab+bc+1e-9 {
+			t.Fatalf("triangle inequality violated: d(a,c)=%v > %v+%v", ac, ab, bc)
+		}
+	}
+}

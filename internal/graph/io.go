@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dsks/internal/geo"
+)
+
+func pt(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }
+
+// The text format is a simple, diff-friendly encoding compatible with the
+// common "node / edge list" distribution format of road-network datasets:
+//
+//	n <numNodes>
+//	v <id> <x> <y>          (numNodes lines, ids must be 0..numNodes-1)
+//	m <numEdges>
+//	e <n1> <n2> <weight>    (numEdges lines)
+
+// Write encodes g into w in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		nd := g.Node(NodeID(i))
+		fmt.Fprintf(bw, "v %d %g %g\n", nd.ID, nd.Loc.X, nd.Loc.Y)
+	}
+	fmt.Fprintf(bw, "m %d\n", g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		fmt.Fprintf(bw, "e %d %d %g\n", e.N1, e.N2, e.Weight)
+	}
+	return bw.Flush()
+}
+
+// Read decodes a graph from r and freezes it.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	g := New()
+	line := 0
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line++
+			txt := strings.TrimSpace(sc.Text())
+			if txt == "" || strings.HasPrefix(txt, "#") {
+				continue
+			}
+			return strings.Fields(txt), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	hdr, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if len(hdr) != 2 || hdr[0] != "n" {
+		return nil, fmt.Errorf("graph: line %d: expected node header, got %q", line, strings.Join(hdr, " "))
+	}
+	nn, err := strconv.Atoi(hdr[1])
+	if err != nil || nn < 0 {
+		return nil, fmt.Errorf("graph: line %d: bad node count %q", line, hdr[1])
+	}
+	for i := 0; i < nn; i++ {
+		f, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		if len(f) != 4 || f[0] != "v" {
+			return nil, fmt.Errorf("graph: line %d: bad node record", line)
+		}
+		id, err1 := strconv.Atoi(f[1])
+		x, err2 := strconv.ParseFloat(f[2], 64)
+		y, err3 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || id != i {
+			return nil, fmt.Errorf("graph: line %d: bad node record", line)
+		}
+		g.AddNode(pt(x, y))
+	}
+	hdr, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading edge header: %w", err)
+	}
+	if len(hdr) != 2 || hdr[0] != "m" {
+		return nil, fmt.Errorf("graph: line %d: expected edge header", line)
+	}
+	ne, err := strconv.Atoi(hdr[1])
+	if err != nil || ne < 0 {
+		return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, hdr[1])
+	}
+	for i := 0; i < ne; i++ {
+		f, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if len(f) != 4 || f[0] != "e" {
+			return nil, fmt.Errorf("graph: line %d: bad edge record", line)
+		}
+		a, err1 := strconv.Atoi(f[1])
+		b, err2 := strconv.Atoi(f[2])
+		w, err3 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad edge record", line)
+		}
+		if _, err := g.AddEdge(NodeID(a), NodeID(b), w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+	}
+	g.Freeze()
+	return g, nil
+}

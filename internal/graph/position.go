@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+
+	"dsks/internal/geo"
+)
+
+// Position locates a point on the road network: an edge and the geometric
+// offset (distance along the segment) from the edge's reference node N1.
+// Both query locations and spatio-textual objects are Positions.
+type Position struct {
+	Edge   EdgeID
+	Offset float64
+}
+
+// AtNode returns the Position of node n on one of its incident edges
+// (offset 0 if n is the reference node, else the full edge length).
+func (g *Graph) AtNode(n NodeID) (Position, error) {
+	adj := g.Adjacent(n)
+	if len(adj) == 0 {
+		return Position{}, fmt.Errorf("graph: node %d is isolated", n)
+	}
+	e := g.Edge(adj[0])
+	if e.N1 == n {
+		return Position{Edge: e.ID, Offset: 0}, nil
+	}
+	return Position{Edge: e.ID, Offset: e.Length}, nil
+}
+
+// Clamp returns p with its offset limited to the edge's length.
+func (g *Graph) Clamp(p Position) Position {
+	e := g.Edge(p.Edge)
+	if p.Offset < 0 {
+		p.Offset = 0
+	} else if p.Offset > e.Length {
+		p.Offset = e.Length
+	}
+	return p
+}
+
+// CostToEnds returns the traversal cost from position p to the two
+// end-nodes (N1, N2) of its edge.
+func (g *Graph) CostToEnds(p Position) (toN1, toN2 float64) {
+	e := g.Edge(p.Edge)
+	toN1 = g.WeightAt(p.Edge, p.Offset)
+	return toN1, e.Weight - toN1
+}
+
+// SameEdgeCost returns the traversal cost between two positions on the same
+// edge. It panics if they are on different edges.
+func (g *Graph) SameEdgeCost(a, b Position) float64 {
+	if a.Edge != b.Edge {
+		panic("graph: SameEdgeCost on different edges")
+	}
+	wa := g.WeightAt(a.Edge, a.Offset)
+	wb := g.WeightAt(b.Edge, b.Offset)
+	if wa > wb {
+		return wa - wb
+	}
+	return wb - wa
+}
+
+// Location returns the planar location of p.
+func (g *Graph) Location(p Position) geo.Point { return g.PointAt(p.Edge, p.Offset) }

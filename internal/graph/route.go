@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Route is a least-cost path between two network positions: the traversed
+// edges in order and the total cost. The first and last edges are entered
+// or left mid-edge at the endpoint positions.
+type Route struct {
+	Edges []EdgeID
+	Cost  float64
+}
+
+// ShortestRoute computes the least-cost path from a to b with Dijkstra and
+// parent pointers. For positions on the same edge the direct along-edge
+// path competes with detours through the end-nodes.
+func (g *Graph) ShortestRoute(a, b Position) (Route, error) {
+	if int(a.Edge) >= g.NumEdges() || int(b.Edge) >= g.NumEdges() || a.Edge < 0 || b.Edge < 0 {
+		return Route{}, fmt.Errorf("graph: route endpoint on unknown edge")
+	}
+	a, b = g.Clamp(a), g.Clamp(b)
+	if a.Edge == b.Edge {
+		direct := g.SameEdgeCost(a, b)
+		if detour, ok := g.routeViaNodes(a, b); ok && detour.Cost < direct {
+			return detour, nil
+		}
+		return Route{Edges: []EdgeID{a.Edge}, Cost: direct}, nil
+	}
+	r, ok := g.routeViaNodes(a, b)
+	if !ok {
+		return Route{}, fmt.Errorf("graph: no path between the endpoints")
+	}
+	return r, nil
+}
+
+// routeViaNodes runs Dijkstra from a's end-nodes to b's end-nodes,
+// tracking the entering edge of each settled node for reconstruction.
+func (g *Graph) routeViaNodes(a, b Position) (Route, bool) {
+	ea, eb := g.Edge(a.Edge), g.Edge(b.Edge)
+	wa1, wa2 := g.CostToEnds(a)
+	wb1, wb2 := g.CostToEnds(b)
+
+	dist := make(map[NodeID]float64, 64)
+	parentEdge := make(map[NodeID]EdgeID, 64)
+	h := &nodeHeap{}
+	relax := func(n NodeID, d float64, via EdgeID) {
+		if cur, ok := dist[n]; !ok || d < cur {
+			dist[n] = d
+			parentEdge[n] = via
+			heap.Push(h, nodeItem{n, d})
+		}
+	}
+	relax(ea.N1, wa1, a.Edge)
+	relax(ea.N2, wa2, a.Edge)
+	settled := make(map[NodeID]bool, 64)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nodeItem)
+		if settled[it.node] || it.dist > dist[it.node] {
+			continue
+		}
+		settled[it.node] = true
+		for _, eid := range g.Adjacent(it.node) {
+			e := g.Edge(eid)
+			relax(e.OtherEnd(it.node), it.dist+e.Weight, eid)
+		}
+	}
+	best := math.Inf(1)
+	var endNode NodeID = InvalidNode
+	if d, ok := dist[eb.N1]; ok && d+wb1 < best {
+		best, endNode = d+wb1, eb.N1
+	}
+	if d, ok := dist[eb.N2]; ok && d+wb2 < best {
+		best, endNode = d+wb2, eb.N2
+	}
+	if endNode == InvalidNode {
+		return Route{}, false
+	}
+	// Walk the parent edges back from the reached end-node of b's edge.
+	var rev []EdgeID
+	rev = append(rev, b.Edge)
+	n := endNode
+	for {
+		via := parentEdge[n]
+		rev = append(rev, via)
+		if via == a.Edge {
+			break
+		}
+		n = g.Edge(via).OtherEnd(n)
+	}
+	edges := make([]EdgeID, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		// Collapse a duplicated first/last edge (a and b adjacent).
+		if len(edges) > 0 && edges[len(edges)-1] == rev[i] {
+			continue
+		}
+		edges = append(edges, rev[i])
+	}
+	return Route{Edges: edges, Cost: best}, true
+}

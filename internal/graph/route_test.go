@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dsks/internal/geo"
+)
+
+func TestShortestRouteMatchesNetworkDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	const n = 60
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(NodeID(i-1), NodeID(i), 1+rng.Float64()*8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 70; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			_, _ = g.AddEdge(a, b, 1+rng.Float64()*8)
+		}
+	}
+	g.Freeze()
+	randPos := func() Position {
+		e := g.Edge(EdgeID(rng.Intn(g.NumEdges())))
+		return Position{Edge: e.ID, Offset: rng.Float64() * e.Length}
+	}
+	for trial := 0; trial < 60; trial++ {
+		a, b := randPos(), randPos()
+		r, err := g.ShortestRoute(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.NetworkDist(a, b)
+		if math.Abs(r.Cost-want) > 1e-9 {
+			t.Fatalf("route cost %v, NetworkDist %v", r.Cost, want)
+		}
+		if len(r.Edges) == 0 {
+			t.Fatal("route has no edges")
+		}
+		// Endpoints' edges terminate the route.
+		if r.Edges[0] != a.Edge || r.Edges[len(r.Edges)-1] != b.Edge {
+			t.Fatalf("route %v does not start/end on the endpoint edges %d/%d",
+				r.Edges, a.Edge, b.Edge)
+		}
+		// Consecutive edges share a node.
+		for i := 1; i < len(r.Edges); i++ {
+			e1, e2 := g.Edge(r.Edges[i-1]), g.Edge(r.Edges[i])
+			if e1.N1 != e2.N1 && e1.N1 != e2.N2 && e1.N2 != e2.N1 && e1.N2 != e2.N2 {
+				t.Fatalf("route edges %d and %d not adjacent", r.Edges[i-1], r.Edges[i])
+			}
+		}
+	}
+}
+
+func TestShortestRouteSameEdge(t *testing.T) {
+	g := paperGraph(t)
+	e, _ := g.EdgeBetween(0, 1)
+	r, err := g.ShortestRoute(Position{Edge: e.ID, Offset: 2}, Position{Edge: e.ID, Offset: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) != 1 || r.Edges[0] != e.ID || math.Abs(r.Cost-6) > 1e-9 {
+		t.Fatalf("same-edge route = %+v", r)
+	}
+}
+
+func TestShortestRouteSameEdgeDetour(t *testing.T) {
+	// The long-edge triangle from the NetworkDist test: the detour must be
+	// taken and reported edge-by-edge.
+	g := New()
+	a := g.AddNode(geo.Point{X: 0, Y: 0})
+	b := g.AddNode(geo.Point{X: 100, Y: 0})
+	c := g.AddNode(geo.Point{X: 50, Y: 1})
+	long, err := g.AddEdge(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(a, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(c, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	r, err := g.ShortestRoute(Position{Edge: long, Offset: 1}, Position{Edge: long, Offset: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-6) > 1e-9 {
+		t.Fatalf("detour cost %v, want 6", r.Cost)
+	}
+	if len(r.Edges) != 4 { // long, a-c, c-b, long
+		t.Fatalf("detour route edges = %v", r.Edges)
+	}
+}
+
+func TestShortestRouteDisconnected(t *testing.T) {
+	g := New()
+	g.AddNode(geo.Point{})
+	g.AddNode(geo.Point{X: 1})
+	g.AddNode(geo.Point{X: 10})
+	g.AddNode(geo.Point{X: 11})
+	e1, err := g.AddEdge(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.AddEdge(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	if _, err := g.ShortestRoute(Position{Edge: e1}, Position{Edge: e2}); err == nil {
+		t.Error("route across components succeeded")
+	}
+	if _, err := g.ShortestRoute(Position{Edge: EdgeID(99)}, Position{Edge: e1}); err == nil {
+		t.Error("unknown edge accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dsks/internal/geo"
+)
+
+func TestSnapperExactOnEdge(t *testing.T) {
+	g := paperGraph(t)
+	s, err := NewSnapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point exactly on edge (0,1): y = 10, x in [0, 10].
+	pos, dist, err := s.Snap(geo.Point{X: 4, Y: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist > 1e-9 {
+		t.Errorf("on-edge point snapped at distance %v", dist)
+	}
+	e, _ := g.EdgeBetween(0, 1)
+	if pos.Edge != e.ID || math.Abs(pos.Offset-4) > 1e-9 {
+		t.Errorf("snap = %+v, want edge %d offset 4", pos, e.ID)
+	}
+}
+
+func TestSnapperOffEdge(t *testing.T) {
+	g := paperGraph(t)
+	s, err := NewSnapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point 3 above edge (0,1)'s midpoint.
+	pos, dist, err := s.Snap(geo.Point{X: 5, Y: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist-3) > 1e-9 {
+		t.Errorf("snap distance %v, want 3", dist)
+	}
+	if math.Abs(pos.Offset-5) > 1e-9 {
+		t.Errorf("snap offset %v, want 5", pos.Offset)
+	}
+}
+
+func TestSnapperMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New()
+	const n = 60
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(NodeID(i-1), NodeID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			_, _ = g.AddEdge(a, b, 1)
+		}
+	}
+	g.Freeze()
+	s, err := NewSnapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		p := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		_, gotDist, err := s.Snap(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for e := 0; e < g.NumEdges(); e++ {
+			ed := g.Edge(EdgeID(e))
+			d, _ := geo.PointSegment(p, g.Node(ed.N1).Loc, g.Node(ed.N2).Loc)
+			if d < best {
+				best = d
+			}
+		}
+		if math.Abs(gotDist-best) > 1e-9 {
+			t.Fatalf("snap distance %v, brute force %v", gotDist, best)
+		}
+	}
+}
+
+func TestSnapperEmptyNetwork(t *testing.T) {
+	if _, err := NewSnapper(New()); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestPointSegment(t *testing.T) {
+	a, b := geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 0}
+	d, off := geo.PointSegment(geo.Point{X: 5, Y: 4}, a, b)
+	if math.Abs(d-4) > 1e-12 || math.Abs(off-5) > 1e-12 {
+		t.Errorf("mid: d=%v off=%v", d, off)
+	}
+	// Beyond the end: clamps to b.
+	d, off = geo.PointSegment(geo.Point{X: 13, Y: 4}, a, b)
+	if math.Abs(d-5) > 1e-12 || math.Abs(off-10) > 1e-12 {
+		t.Errorf("clamp: d=%v off=%v", d, off)
+	}
+	// Degenerate segment.
+	d, off = geo.PointSegment(geo.Point{X: 3, Y: 4}, a, a)
+	if math.Abs(d-5) > 1e-12 || off != 0 {
+		t.Errorf("degenerate: d=%v off=%v", d, off)
+	}
+}

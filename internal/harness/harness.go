@@ -1,0 +1,453 @@
+// Package harness assembles a full disk-resident system instance — CCAM
+// road network plus any of the four object index structures — over a
+// generated dataset, and runs queries against it while collecting the cost
+// metrics the experiments report (response time, disk accesses, candidate
+// counts). It is the shared substrate of the experiment drivers, the
+// benchmarks, the examples and the integration tests.
+package harness
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"dsks/internal/ccam"
+	"dsks/internal/core"
+	"dsks/internal/dataset"
+	"dsks/internal/edgestore"
+	"dsks/internal/index"
+	"dsks/internal/invindex"
+	"dsks/internal/ir"
+	"dsks/internal/obj"
+	"dsks/internal/sig"
+	"dsks/internal/storage"
+)
+
+// IndexKind names one of the object index structures of the evaluation.
+type IndexKind string
+
+// The four structures of Section 5, plus the group-based SIF-G baseline.
+const (
+	KindIR   IndexKind = "IR"
+	KindIF   IndexKind = "IF"
+	KindSIF  IndexKind = "SIF"
+	KindSIFP IndexKind = "SIF-P"
+	KindSIFG IndexKind = "SIF-G"
+	// KindC1 stores objects directly with their edges (no inverted
+	// structure), the C1 baseline of the paper's Section 3.2 analysis.
+	KindC1 IndexKind = "C1"
+)
+
+// Options configures a system build.
+type Options struct {
+	// BufferFraction sizes every LRU pool as this fraction of the network
+	// dataset (the paper sets the buffer to 2% of the network dataset
+	// size, independent of which object index is attached — a bigger
+	// index must not buy itself a bigger cache). Zero defaults to 0.02,
+	// with a floor of 16 frames so tiny test datasets stay functional.
+	BufferFraction float64
+	// IOLatency injects a synthetic per-miss delay (zero = none).
+	IOLatency time.Duration
+	// SIFPCuts is the cut budget of SIF-P (paper default 3).
+	SIFPCuts int
+	// SIFPTopFraction selects which edges SIF-P partitions (paper: 0.1).
+	SIFPTopFraction float64
+	// SIFPLog overrides the query-log source for SIF-P construction; nil
+	// defaults to the frequency-based model (the paper's default).
+	SIFPLog sig.LogSource
+	// SIFPMethod picks greedy (default) or exact DP partitioning.
+	SIFPMethod sig.PartitionMethod
+	// GroupTopX is the number of frequent terms SIF-G combines pairwise.
+	GroupTopX int
+	// DiskDir, when set, places every page file on real disk under this
+	// directory instead of the in-memory simulation.
+	DiskDir string
+	// BufferFrames, when positive, fixes every pool's frame count
+	// directly, overriding BufferFraction (used by the buffer-sweep
+	// experiment).
+	BufferFrames int
+	// SelectivityOrder enables rarest-term-first probing in the inverted
+	// files (an engineering improvement over the paper's query-order
+	// baseline; see the ablation-selectivity experiment).
+	SelectivityOrder bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BufferFraction <= 0 {
+		o.BufferFraction = 0.02
+	}
+	if o.SIFPCuts == 0 {
+		o.SIFPCuts = 3
+	}
+	if o.SIFPTopFraction == 0 {
+		o.SIFPTopFraction = 0.1
+	}
+	if o.SIFPLog == nil {
+		o.SIFPLog = &sig.FreqLog{L: 3, N: 16, Seed: 99}
+	}
+	if o.GroupTopX == 0 {
+		o.GroupTopX = 10
+	}
+	return o
+}
+
+// System is a built instance: the disk-resident network and the requested
+// object indexes, each on its own page file and buffer pool.
+type System struct {
+	DS  *dataset.Dataset
+	Net *ccam.File
+
+	netStats *storage.IOStats
+	netPool  *storage.BufferPool
+
+	objStats map[IndexKind]*storage.IOStats
+	objPools map[IndexKind]*storage.BufferPool
+
+	loaders map[IndexKind]index.Loader
+
+	// BuildTime and IndexSize per index kind (Figure 6b/6c).
+	BuildTime map[IndexKind]time.Duration
+	IndexSize map[IndexKind]int64
+
+	// Direct handles for index-specific inspection.
+	Inv   *invindex.Index
+	SIF   *sig.SIF
+	SIFP  *sig.SIF
+	Group *sig.Group
+	IR    *ir.Index
+	C1    *edgestore.Store
+}
+
+// Build generates the disk layout for ds and constructs the requested
+// index kinds.
+func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	s := &System{
+		DS:        ds,
+		netStats:  &storage.IOStats{},
+		objStats:  make(map[IndexKind]*storage.IOStats),
+		objPools:  make(map[IndexKind]*storage.BufferPool),
+		loaders:   make(map[IndexKind]index.Loader),
+		BuildTime: make(map[IndexKind]time.Duration),
+		IndexSize: make(map[IndexKind]int64),
+	}
+
+	// CCAM network file.
+	netFile, err := newPageStore(opts, "network")
+	if err != nil {
+		return nil, err
+	}
+	s.netPool = storage.NewBufferPool(netFile, 1<<20, s.netStats)
+	net, err := ccam.Build(ds.Graph, s.netPool)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building CCAM: %w", err)
+	}
+	s.Net = net
+	// The paper's buffer budget: a fraction of the network dataset size,
+	// identical for every index structure (or an explicit frame count).
+	frames := opts.BufferFrames
+	if frames <= 0 {
+		frames = storage.FramesForBudget(int64(float64(netFile.SizeBytes()) * opts.BufferFraction))
+		if frames < 16 {
+			frames = 16
+		}
+	}
+	if err := shrinkPool(s.netPool, frames); err != nil {
+		return nil, err
+	}
+
+	coder := invindex.GraphZCoder{G: ds.Graph}
+
+	// The inverted file underlies IF, SIF, SIF-P and SIF-G. Each kind gets
+	// its own page file so buffer budgets and I/O counts stay comparable.
+	buildInv := func(kind IndexKind) (*invindex.Index, *storage.BufferPool, error) {
+		stats := &storage.IOStats{}
+		file, err := newPageStore(opts, string(kind))
+		if err != nil {
+			return nil, nil, err
+		}
+		pool := storage.NewBufferPool(file, 1<<20, stats)
+		start := time.Now()
+		inv, err := invindex.Build(ds.Graph, ds.Objects, ds.VocabSize, pool)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: building inverted index: %w", err)
+		}
+		s.BuildTime[kind] += time.Since(start)
+		s.objStats[kind] = stats
+		s.objPools[kind] = pool
+		if err := shrinkPool(pool, frames); err != nil {
+			return nil, nil, err
+		}
+		return inv, pool, nil
+	}
+
+	for _, kind := range kinds {
+		switch kind {
+		case KindIR:
+			stats := &storage.IOStats{}
+			file, err := newPageStore(opts, string(kind))
+			if err != nil {
+				return nil, err
+			}
+			pool := storage.NewBufferPool(file, 1<<20, stats)
+			start := time.Now()
+			idx, err := ir.Build(ds.Graph, ds.Objects, ds.VocabSize, pool)
+			if err != nil {
+				return nil, fmt.Errorf("harness: building IR: %w", err)
+			}
+			s.BuildTime[kind] = time.Since(start)
+			s.IndexSize[kind] = idx.SizeBytes()
+			s.objStats[kind] = stats
+			s.objPools[kind] = pool
+			s.loaders[kind] = idx
+			s.IR = idx
+			if err := shrinkPool(pool, frames); err != nil {
+				return nil, err
+			}
+
+		case KindIF:
+			inv, _, err := buildInv(kind)
+			if err != nil {
+				return nil, err
+			}
+			s.Inv = inv
+			s.IndexSize[kind] = inv.SizeBytes()
+			s.loaders[kind] = &invindex.Loader{Idx: inv, Coder: coder, SelectivityOrder: opts.SelectivityOrder}
+
+		case KindSIF:
+			inv, _, err := buildInv(kind)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			sifIdx, err := sig.BuildSIF(ds.Graph, ds.Objects, ds.VocabSize, inv, coder, sig.Options{
+				SelectivityOrder: opts.SelectivityOrder,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: building SIF: %w", err)
+			}
+			s.BuildTime[kind] += time.Since(start)
+			s.IndexSize[kind] = sifIdx.SizeBytes()
+			s.loaders[kind] = sifIdx
+			s.SIF = sifIdx
+
+		case KindSIFP:
+			inv, _, err := buildInv(kind)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			sifp, err := sig.BuildSIF(ds.Graph, ds.Objects, ds.VocabSize, inv, coder, sig.Options{
+				MaxCuts:          opts.SIFPCuts,
+				TopFraction:      opts.SIFPTopFraction,
+				Method:           opts.SIFPMethod,
+				Log:              opts.SIFPLog,
+				SelectivityOrder: opts.SelectivityOrder,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("harness: building SIF-P: %w", err)
+			}
+			s.BuildTime[kind] += time.Since(start)
+			s.IndexSize[kind] = sifp.SizeBytes()
+			s.loaders[kind] = sifp
+			s.SIFP = sifp
+
+		case KindC1:
+			stats := &storage.IOStats{}
+			file, err := newPageStore(opts, string(kind))
+			if err != nil {
+				return nil, err
+			}
+			pool := storage.NewBufferPool(file, 1<<20, stats)
+			start := time.Now()
+			st, err := edgestore.Build(ds.Objects, ds.VocabSize, pool)
+			if err != nil {
+				return nil, fmt.Errorf("harness: building C1 store: %w", err)
+			}
+			s.BuildTime[kind] = time.Since(start)
+			s.IndexSize[kind] = st.SizeBytes()
+			s.objStats[kind] = stats
+			s.objPools[kind] = pool
+			s.loaders[kind] = st
+			s.C1 = st
+			if err := shrinkPool(pool, frames); err != nil {
+				return nil, err
+			}
+
+		case KindSIFG:
+			inv, _, err := buildInv(kind)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			base, err := sig.BuildSIF(ds.Graph, ds.Objects, ds.VocabSize, inv, coder, sig.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("harness: building SIF-G base: %w", err)
+			}
+			grp := sig.BuildGroup(base, ds.Objects, ds.VocabSize, opts.GroupTopX)
+			s.BuildTime[kind] += time.Since(start)
+			s.IndexSize[kind] = base.SizeBytes() + grp.ExtraSizeBytes()
+			s.loaders[kind] = grp
+			s.Group = grp
+
+		default:
+			return nil, fmt.Errorf("harness: unknown index kind %q", kind)
+		}
+		if opts.IOLatency > 0 {
+			s.objPools[kind].SetIOLatency(opts.IOLatency)
+		}
+	}
+	if opts.IOLatency > 0 {
+		s.netPool.SetIOLatency(opts.IOLatency)
+	}
+	return s, nil
+}
+
+// newPageStore creates the page backing for one structure: in-memory by
+// default, a real file under opts.DiskDir when requested.
+func newPageStore(opts Options, name string) (storage.File, error) {
+	if opts.DiskDir == "" {
+		return storage.NewPageFile(), nil
+	}
+	return storage.NewDiskPageFile(filepath.Join(opts.DiskDir, name+".pages"))
+}
+
+func shrinkPool(pool *storage.BufferPool, frames int) error {
+	if err := pool.SetCapacity(frames); err != nil {
+		return err
+	}
+	return pool.DropAll()
+}
+
+// Loader returns the query loader of the given kind.
+func (s *System) Loader(kind IndexKind) (index.Loader, error) {
+	l, ok := s.loaders[kind]
+	if !ok {
+		return nil, fmt.Errorf("harness: index %q not built", kind)
+	}
+	return l, nil
+}
+
+// ResetIO zeroes all I/O counters and cools all buffers.
+func (s *System) ResetIO() error {
+	s.netStats.Reset()
+	if err := s.netPool.DropAll(); err != nil {
+		return err
+	}
+	for kind, st := range s.objStats {
+		st.Reset()
+		if err := s.objPools[kind].DropAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetCounters zeroes I/O counters without cooling buffers (for averaging
+// across a workload with warm caches, as the paper's workloads run).
+func (s *System) ResetCounters() {
+	s.netStats.Reset()
+	for _, st := range s.objStats {
+		st.Reset()
+	}
+}
+
+// DiskReads returns the disk accesses since the last reset: network +
+// the given index.
+func (s *System) DiskReads(kind IndexKind) int64 {
+	total := s.netStats.Snapshot().DiskRead
+	if st, ok := s.objStats[kind]; ok {
+		total += st.Snapshot().DiskRead
+	}
+	return total
+}
+
+// QueryResult carries the outcome and cost of one query run.
+type QueryResult struct {
+	Candidates []core.Candidate
+	Div        core.DivResult
+	Elapsed    time.Duration
+	DiskReads  int64
+	Stats      core.SearchStats
+}
+
+// RunSK executes a boolean SK query (Algorithm 3) against the given index.
+func (s *System) RunSK(kind IndexKind, q core.SKQuery) (QueryResult, error) {
+	loader, err := s.Loader(kind)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	before := s.DiskReads(kind)
+	start := time.Now()
+	search, err := core.NewSKSearch(s.Net, loader, q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	cands, err := search.All()
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Candidates: cands,
+		Elapsed:    time.Since(start),
+		DiskReads:  s.DiskReads(kind) - before,
+		Stats:      search.Stats(),
+	}, nil
+}
+
+// DivAlgo selects the diversified search algorithm.
+type DivAlgo string
+
+// The two diversified algorithms of Section 5.2.
+const (
+	AlgoSEQ DivAlgo = "SEQ"
+	AlgoCOM DivAlgo = "COM"
+)
+
+// RunDiv executes a diversified SK query with SEQ or COM over the given
+// index (the paper evaluates both over SIF).
+func (s *System) RunDiv(kind IndexKind, algo DivAlgo, q core.DivQuery) (QueryResult, error) {
+	loader, err := s.Loader(kind)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	before := s.DiskReads(kind)
+	start := time.Now()
+	var res core.DivResult
+	switch algo {
+	case AlgoSEQ:
+		res, err = core.SearchSEQ(s.Net, loader, q)
+	case AlgoCOM:
+		res, err = core.SearchCOM(s.Net, loader, q)
+	default:
+		return QueryResult{}, fmt.Errorf("harness: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{
+		Div:       res,
+		Elapsed:   time.Since(start),
+		DiskReads: s.DiskReads(kind) - before,
+		Stats:     res.Stats,
+	}, nil
+}
+
+// SKQueryOf converts a workload query into a core query.
+func SKQueryOf(q dataset.Query) core.SKQuery {
+	return core.SKQuery{Pos: q.Pos, Terms: q.Terms, DeltaMax: q.DeltaMax}
+}
+
+// DivQueryOf converts a workload query into a diversified core query.
+func DivQueryOf(q dataset.Query, k int, lambda float64) core.DivQuery {
+	return core.DivQuery{SKQuery: SKQueryOf(q), K: k, Lambda: lambda}
+}
+
+// TermsOf exposes the term sets of a workload (for building SIF-P-Real).
+func TermsOf(ws []dataset.Query) [][]obj.TermID {
+	out := make([][]obj.TermID, len(ws))
+	for i, q := range ws {
+		out[i] = q.Terms
+	}
+	return out
+}

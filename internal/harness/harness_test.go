@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"dsks/internal/dataset"
+	"dsks/internal/sig"
+)
+
+func testDataset(t testing.TB, seed int64) (*dataset.Dataset, []dataset.Query) {
+	t.Helper()
+	ds, err := dataset.GeneratePreset(dataset.PresetSYN, 2000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+		NumQueries: 10, Keywords: 2, DeltaMaxPerKeyword: 800, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, ws
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	ds, _ := testDataset(t, 1)
+	sys, err := Build(ds, []IndexKind{KindIR, KindIF, KindSIF, KindSIFP, KindSIFG}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []IndexKind{KindIR, KindIF, KindSIF, KindSIFP, KindSIFG} {
+		if _, err := sys.Loader(kind); err != nil {
+			t.Errorf("loader %s missing: %v", kind, err)
+		}
+		if sys.IndexSize[kind] <= 0 {
+			t.Errorf("index size %s not recorded", kind)
+		}
+	}
+	if _, err := sys.Loader("NOPE"); err == nil {
+		t.Error("unknown loader returned")
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	ds, _ := testDataset(t, 2)
+	if _, err := Build(ds, []IndexKind{"WAT"}, Options{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunSKCollectsMetrics(t *testing.T) {
+	ds, ws := testDataset(t, 3)
+	sys, err := Build(ds, []IndexKind{KindSIF}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	var anyIO, anyCand bool
+	var totalPops int64
+	for _, wq := range ws {
+		res, err := sys.RunSK(KindSIF, SKQueryOf(wq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DiskReads > 0 {
+			anyIO = true
+		}
+		if len(res.Candidates) > 0 {
+			anyCand = true
+		}
+		totalPops += res.Stats.NodesPopped
+	}
+	if !anyIO {
+		t.Error("no disk reads recorded across workload")
+	}
+	if !anyCand {
+		t.Error("workload produced no candidates")
+	}
+	if totalPops == 0 {
+		t.Error("no nodes popped across the whole workload")
+	}
+}
+
+func TestRunDivBothAlgorithms(t *testing.T) {
+	ds, ws := testDataset(t, 4)
+	sys, err := Build(ds, []IndexKind{KindSIF}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []DivAlgo{AlgoSEQ, AlgoCOM} {
+		res, err := sys.RunDiv(KindSIF, algo, DivQueryOf(ws[0], 6, 0.8))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: no elapsed time", algo)
+		}
+	}
+	if _, err := sys.RunDiv(KindSIF, "NOPE", DivQueryOf(ws[0], 6, 0.8)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestIOLatencyInjection(t *testing.T) {
+	ds, ws := testDataset(t, 5)
+	fast, err := Build(ds, []IndexKind{KindSIF}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Build(ds, []IndexKind{KindSIF}, Options{IOLatency: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	var fastT, slowT time.Duration
+	for _, wq := range ws {
+		rf, err := fast.RunSK(KindSIF, SKQueryOf(wq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := slow.RunSK(KindSIF, SKQueryOf(wq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastT += rf.Elapsed
+		slowT += rs.Elapsed
+	}
+	if slowT <= fastT {
+		t.Errorf("latency injection had no effect: %v vs %v", fastT, slowT)
+	}
+}
+
+func TestSIFPRealLogOption(t *testing.T) {
+	ds, ws := testDataset(t, 6)
+	real := sig.NewRealLog(TermsOf(ws))
+	sys, err := Build(ds, []IndexKind{KindSIFP}, Options{SIFPLog: real})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunSK(KindSIFP, SKQueryOf(ws[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestResetIOClearsCounters(t *testing.T) {
+	ds, ws := testDataset(t, 7)
+	sys, err := Build(ds, []IndexKind{KindIF}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunSK(KindIF, SKQueryOf(ws[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.DiskReads(KindIF); got != 0 {
+		t.Errorf("DiskReads after reset = %d", got)
+	}
+}

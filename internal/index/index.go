@@ -1,0 +1,52 @@
+// Package index defines the interface between the spatial keyword search
+// algorithm (which drives the network expansion) and the spatio-textual
+// object indexes (which load the objects lying on an edge that satisfy the
+// keyword constraint). The four index structures the paper evaluates — IR,
+// IF, SIF and SIF-P — all implement Loader.
+package index
+
+import (
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// ObjectRef is a reference to an indexed object as materialized from a
+// posting list: its ID plus its position on the road network.
+type ObjectRef struct {
+	ID     obj.ID
+	Edge   graph.EdgeID
+	Offset float64 // geometric distance from the edge's reference node
+}
+
+// Pos returns the object's network position.
+func (r ObjectRef) Pos() graph.Position { return graph.Position{Edge: r.Edge, Offset: r.Offset} }
+
+// Loader loads the objects lying on an edge that contain all query terms
+// (the paper's Algorithm 2). terms must be sorted and duplicate-free.
+// Implementations report their page reads through their buffer pool's
+// IOStats.
+type Loader interface {
+	LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]ObjectRef, error)
+}
+
+// UnionLoader additionally loads with OR semantics: the objects on an edge
+// containing at least one of the query terms, together with how many they
+// contain. The ranked spatial keyword query (top-k by combined spatial and
+// textual score) is built on it.
+type UnionLoader interface {
+	Loader
+	// LoadObjectsAny returns, for each object on e containing at least one
+	// term, the number of distinct query terms it contains.
+	LoadObjectsAny(e graph.EdgeID, terms []obj.TermID) ([]ObjectMatch, error)
+}
+
+// ObjectMatch is a union-load result: the object plus its term overlap.
+type ObjectMatch struct {
+	Ref     ObjectRef
+	Matched int // distinct query terms the object contains (>= 1)
+}
+
+// Sizer is implemented by indexes that can report their on-disk footprint.
+type Sizer interface {
+	SizeBytes() int64
+}

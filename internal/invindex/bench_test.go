@@ -1,0 +1,56 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsks/internal/obj"
+	"dsks/internal/storage"
+)
+
+func BenchmarkLoadObjects(b *testing.B) {
+	_, col, _, loader, _ := buildFixture(b, 5000, 1)
+	edges := col.Edges()
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[rng.Intn(len(edges))]
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(20)), obj.TermID(rng.Intn(20)),
+		})
+		if _, err := loader.LoadObjects(e, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadObjectsAny(b *testing.B) {
+	_, col, _, loader, _ := buildFixture(b, 5000, 3)
+	edges := col.Edges()
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[rng.Intn(len(edges))]
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(20)), obj.TermID(rng.Intn(20)),
+		})
+		if _, err := loader.LoadObjectsAny(e, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	g, col, _, _, _ := buildFixture(b, 5000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := newBenchPool()
+		if _, err := Build(g, col, 20, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchPool() *storage.BufferPool {
+	return storage.NewBufferPool(storage.NewPageFile(), 2048, nil)
+}

@@ -1,0 +1,500 @@
+// Package invindex implements the inverted indexing technique of Section
+// 3.1 (the paper's IF structure): for each keyword t, the edges carrying an
+// object with t are organized in a disk-resident B+-tree whose key is the
+// Z-ordering code of the edge's center point, and each tree entry points at
+// the posting list holding the objects (with their offset from the edge's
+// reference node).
+//
+// Posting lists are packed contiguously into a heap of 4KB pages — small
+// lists share pages, long lists span consecutive pages — so the on-disk
+// footprint matches a real inverted file rather than a page per list.
+//
+// The package also exposes the per-term posting statistics the signature
+// layer (package sig) builds on.
+package invindex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"dsks/internal/btree"
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/index"
+	"dsks/internal/obj"
+	"dsks/internal/storage"
+)
+
+// Posting is one record of an inverted list: an object containing the term,
+// on the keyed edge.
+type Posting struct {
+	Object obj.ID
+	Edge   graph.EdgeID
+	Offset float64
+}
+
+// Posting heap layout: 16-byte records (object uint32, edge uint32, offset
+// float64) packed into pages; a record never crosses a page border (the
+// tail of a page shorter than one record is padding). A list is addressed
+// by (start page, start offset, count) packed into the B+-tree value.
+const postingSize = 16
+
+// packListRef encodes a list address into a B+-tree value: page (32 bits),
+// in-page offset (12 bits), record count (20 bits).
+func packListRef(page storage.PageID, off, count int) uint64 {
+	return uint64(page)<<32 | uint64(off)<<20 | uint64(count)
+}
+
+func unpackListRef(v uint64) (page storage.PageID, off, count int) {
+	return storage.PageID(v >> 32), int(v >> 20 & 0xfff), int(v & 0xfffff)
+}
+
+// maxListRecords caps a single list at the 20-bit count field.
+const maxListRecords = 1<<20 - 1
+
+// edgeKey composes the B+-tree key of (term, edge): the term in the high
+// bits, the Z-order code of the edge's center in the low bits. Two edges of
+// a term may share a Z-cell; their postings are merged under one key and
+// disambiguated by the Edge field of each posting, preserving the paper's
+// "key of an edge is the Z-ordering code of its center point" clustering.
+func edgeKey(t obj.TermID, zcode uint64) uint64 {
+	return uint64(t)<<42 | (zcode & ((1 << 42) - 1))
+}
+
+// Index is the IF structure: one logical inverted file per keyword, all
+// sharing a single B+-tree keyed by (term, edge-Z-code) and a packed
+// posting heap. All reads go through the buffer pool, so page fetches are
+// counted as disk accesses.
+type Index struct {
+	pool *storage.BufferPool
+	tree *btree.Tree
+
+	// postingsRead counts every posting record decoded at query time (the
+	// C2/C3 of the paper's expected-load analysis).
+	postingsRead atomic.Int64
+
+	postingPages int
+	// termPostings[t] counts term t's postings; the signature layer skips
+	// terms whose inverted file fits into one page.
+	termPostings []int32
+
+	// heap write cursor (build time only).
+	curPage storage.PageID
+	curOff  int
+}
+
+// Build constructs the inverted index for all objects in c over graph g.
+// vocabSize is the vocabulary size |V|.
+func Build(g *graph.Graph, c *obj.Collection, vocabSize int, pool *storage.BufferPool) (*Index, error) {
+	idx := &Index{pool: pool, termPostings: make([]int32, vocabSize)}
+
+	// Group postings by (term, zcode) key.
+	type listEntry struct {
+		key      uint64
+		term     obj.TermID
+		postings []Posting
+	}
+	byKey := make(map[uint64]*listEntry)
+	for _, e := range c.Edges() {
+		z := geo.ZCode(g.EdgeCenter(e))
+		for _, id := range c.OnEdge(e) {
+			o := c.Get(id)
+			for _, t := range o.Terms {
+				if int(t) >= vocabSize {
+					return nil, fmt.Errorf("invindex: term %d outside vocabulary of %d", t, vocabSize)
+				}
+				k := edgeKey(t, z)
+				le := byKey[k]
+				if le == nil {
+					le = &listEntry{key: k, term: t}
+					byKey[k] = le
+				}
+				le.postings = append(le.postings, Posting{Object: id, Edge: e, Offset: o.Pos.Offset})
+				idx.termPostings[t]++
+			}
+		}
+	}
+	keys := make([]*listEntry, 0, len(byKey))
+	for _, le := range byKey {
+		keys = append(keys, le)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].key < keys[j].key })
+
+	// Write the packed posting heap and collect B+-tree entries.
+	entries := make([]btree.Entry, 0, len(keys))
+	for _, le := range keys {
+		ref, err := idx.writeList(le.postings)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, btree.Entry{Key: le.key, Value: ref})
+	}
+	tree, err := btree.BulkLoad(pool, entries)
+	if err != nil {
+		return nil, err
+	}
+	idx.tree = tree
+	if err := pool.Flush(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// writeList appends postings (sorted by edge then offset) to the heap and
+// returns the packed list reference.
+func (idx *Index) writeList(ps []Posting) (uint64, error) {
+	if len(ps) > maxListRecords {
+		return 0, fmt.Errorf("invindex: posting list of %d records exceeds the %d cap", len(ps), maxListRecords)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Edge != ps[j].Edge {
+			return ps[i].Edge < ps[j].Edge
+		}
+		if ps[i].Offset != ps[j].Offset {
+			return ps[i].Offset < ps[j].Offset
+		}
+		return ps[i].Object < ps[j].Object
+	})
+	// A list that does not fit in the current page's remainder starts on a
+	// fresh page, so that multi-page lists always occupy consecutively
+	// allocated pages — the invariant readList's pageID++ walk relies on.
+	// (During the initial build heap pages are consecutive anyway; after
+	// the build, B+-tree pages interleave in the file.)
+	remainder := (storage.PageSize - idx.curOff) / postingSize
+	if idx.curPage == storage.InvalidPageID || len(ps) > remainder {
+		if err := idx.newHeapPage(); err != nil {
+			return 0, err
+		}
+	}
+	startPage, startOff := idx.curPage, idx.curOff
+	for _, p := range ps {
+		if idx.curOff+postingSize > storage.PageSize {
+			if err := idx.newHeapPage(); err != nil {
+				return 0, err
+			}
+		}
+		page, err := idx.pool.Get(idx.curPage)
+		if err != nil {
+			return 0, err
+		}
+		page.PutUint32(idx.curOff, uint32(p.Object))
+		page.PutUint32(idx.curOff+4, uint32(p.Edge))
+		page.PutFloat64(idx.curOff+8, p.Offset)
+		idx.pool.MarkDirty(idx.curPage)
+		idx.curOff += postingSize
+	}
+	return packListRef(startPage, startOff, len(ps)), nil
+}
+
+func (idx *Index) newHeapPage() error {
+	page, err := idx.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	idx.curPage = page.ID()
+	idx.curOff = 0
+	idx.postingPages++
+	return nil
+}
+
+// readList loads the postings of a packed list that lie on edge e (the
+// list may also hold postings of Z-cell-colliding edges). Consecutive heap
+// pages are fetched through the buffer pool.
+func (idx *Index) readList(ref uint64, e graph.EdgeID) ([]Posting, error) {
+	pageID, off, count := unpackListRef(ref)
+	idx.postingsRead.Add(int64(count))
+	var out []Posting
+	for i := 0; i < count; {
+		page, err := idx.pool.Get(pageID)
+		if err != nil {
+			return nil, err
+		}
+		for ; i < count && off+postingSize <= storage.PageSize; i++ {
+			p := Posting{
+				Object: obj.ID(page.Uint32(off)),
+				Edge:   graph.EdgeID(page.Uint32(off + 4)),
+				Offset: page.Float64(off + 8),
+			}
+			if p.Edge == e {
+				out = append(out, p)
+			}
+			off += postingSize
+		}
+		pageID++
+		off = 0
+	}
+	return out, nil
+}
+
+// readListAll loads every posting of a packed list (no edge filter).
+func (idx *Index) readListAll(ref uint64) ([]Posting, error) {
+	pageID, off, count := unpackListRef(ref)
+	out := make([]Posting, 0, count)
+	for i := 0; i < count; {
+		page, err := idx.pool.Get(pageID)
+		if err != nil {
+			return nil, err
+		}
+		for ; i < count && off+postingSize <= storage.PageSize; i++ {
+			out = append(out, Posting{
+				Object: obj.ID(page.Uint32(off)),
+				Edge:   graph.EdgeID(page.Uint32(off + 4)),
+				Offset: page.Float64(off + 8),
+			})
+			off += postingSize
+		}
+		pageID++
+		off = 0
+	}
+	return out, nil
+}
+
+// InsertObject adds a new object's postings to the index after the initial
+// build. Existing lists are rewritten at the end of the posting heap (the
+// abandoned space is the usual inverted-file amplification of in-place
+// updates); the B+-tree entry is repointed or created.
+func (idx *Index) InsertObject(zcode uint64, id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
+	for _, t := range terms {
+		if int(t) >= len(idx.termPostings) {
+			return fmt.Errorf("invindex: term %d outside vocabulary of %d", t, len(idx.termPostings))
+		}
+		key := edgeKey(t, zcode)
+		p := Posting{Object: id, Edge: e, Offset: offset}
+		old, err := idx.tree.Get(key)
+		if errors.Is(err, btree.ErrNotFound) {
+			ref, err := idx.writeList([]Posting{p})
+			if err != nil {
+				return err
+			}
+			if err := idx.tree.Insert(key, ref); err != nil {
+				return err
+			}
+		} else if err != nil {
+			return err
+		} else {
+			ps, err := idx.readListAll(old)
+			if err != nil {
+				return err
+			}
+			ps = append(ps, p)
+			ref, err := idx.writeList(ps)
+			if err != nil {
+				return err
+			}
+			if err := idx.tree.Update(key, ref); err != nil {
+				return err
+			}
+		}
+		idx.termPostings[t]++
+	}
+	return idx.pool.Flush()
+}
+
+// RemoveObject deletes an object's postings from the index: each affected
+// list is rewritten at the heap tail without the object's record (the
+// abandoned space is the usual amplification of merge-on-write files).
+// Removing an object absent from a term's list is ignored for that term.
+func (idx *Index) RemoveObject(zcode uint64, id obj.ID, terms []obj.TermID) error {
+	for _, t := range terms {
+		if int(t) >= len(idx.termPostings) {
+			return fmt.Errorf("invindex: term %d outside vocabulary of %d", t, len(idx.termPostings))
+		}
+		key := edgeKey(t, zcode)
+		old, err := idx.tree.Get(key)
+		if errors.Is(err, btree.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		ps, err := idx.readListAll(old)
+		if err != nil {
+			return err
+		}
+		kept := ps[:0]
+		removed := false
+		for _, p := range ps {
+			if p.Object == id {
+				removed = true
+				continue
+			}
+			kept = append(kept, p)
+		}
+		if !removed {
+			continue
+		}
+		if len(kept) == 0 {
+			// Keep the key with an empty list reference (count 0): reads
+			// of it return nothing and never touch a page.
+			if err := idx.tree.Update(key, packListRef(storage.InvalidPageID, 0, 0)); err != nil {
+				return err
+			}
+		} else {
+			ref, err := idx.writeList(kept)
+			if err != nil {
+				return err
+			}
+			if err := idx.tree.Update(key, ref); err != nil {
+				return err
+			}
+		}
+		idx.termPostings[t]--
+	}
+	return idx.pool.Flush()
+}
+
+// TermPostings returns term t's postings on edge e (the R_t of Algorithm
+// 2), loading them from disk. zcode must be the Z-code of e's center.
+func (idx *Index) TermPostings(t obj.TermID, e graph.EdgeID, zcode uint64) ([]Posting, error) {
+	ref, err := idx.tree.Get(edgeKey(t, zcode))
+	if errors.Is(err, btree.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return idx.readList(ref, e)
+}
+
+// EdgeZCoder supplies the Z-code of an edge's center (implemented by the
+// road network graph); it is injected so that query processing does not
+// depend on the full in-memory graph.
+type EdgeZCoder interface {
+	EdgeZCode(e graph.EdgeID) uint64
+}
+
+// GraphZCoder adapts a *graph.Graph to EdgeZCoder.
+type GraphZCoder struct{ G *graph.Graph }
+
+// EdgeZCode implements EdgeZCoder.
+func (z GraphZCoder) EdgeZCode(e graph.EdgeID) uint64 { return geo.ZCode(z.G.EdgeCenter(e)) }
+
+// Loader is the query-time handle of the IF index: it resolves edge
+// Z-codes through the coder and intersects the per-term posting lists
+// with AND semantics (Algorithm 2 without the signature test).
+type Loader struct {
+	Idx   *Index
+	Coder EdgeZCoder
+	// SelectivityOrder probes the rarest query term first so empty
+	// intersections short-circuit after the cheapest list read. Off by
+	// default: the paper's baselines probe in query order, and enabling
+	// it narrows the IF-vs-SIF gap the evaluation reproduces (see the
+	// ablation-selectivity experiment).
+	SelectivityOrder bool
+}
+
+// LoadObjects implements index.Loader: it loads R_t for every query term
+// and returns the intersection (rarest-first when SelectivityOrder is on).
+func (l *Loader) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	if l.SelectivityOrder {
+		terms = l.Idx.bySelectivity(terms)
+	}
+	z := l.Coder.EdgeZCode(e)
+	var inter map[obj.ID]Posting
+	for i, t := range terms {
+		ps, err := l.Idx.TermPostings(t, e, z)
+		if err != nil {
+			return nil, err
+		}
+		if len(ps) == 0 {
+			return nil, nil
+		}
+		if i == 0 {
+			inter = make(map[obj.ID]Posting, len(ps))
+			for _, p := range ps {
+				inter[p.Object] = p
+			}
+			continue
+		}
+		next := make(map[obj.ID]Posting, len(inter))
+		for _, p := range ps {
+			if _, ok := inter[p.Object]; ok {
+				next[p.Object] = p
+			}
+		}
+		inter = next
+		if len(inter) == 0 {
+			return nil, nil
+		}
+	}
+	out := make([]index.ObjectRef, 0, len(inter))
+	for _, p := range inter {
+		out = append(out, index.ObjectRef{ID: p.Object, Edge: p.Edge, Offset: p.Offset})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// LoadObjectsAny implements index.UnionLoader: objects on e containing at
+// least one query term, with their distinct-term match counts (the OR
+// semantics of the ranked spatial keyword query).
+func (l *Loader) LoadObjectsAny(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+	if len(terms) == 0 {
+		return nil, nil
+	}
+	z := l.Coder.EdgeZCode(e)
+	found := make(map[obj.ID]*index.ObjectMatch)
+	for _, t := range terms {
+		ps, err := l.Idx.TermPostings(t, e, z)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ps {
+			m := found[p.Object]
+			if m == nil {
+				m = &index.ObjectMatch{Ref: index.ObjectRef{ID: p.Object, Edge: p.Edge, Offset: p.Offset}}
+				found[p.Object] = m
+			}
+			m.Matched++
+		}
+	}
+	out := make([]index.ObjectMatch, 0, len(found))
+	for _, m := range found {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ref.ID < out[j].Ref.ID })
+	return out, nil
+}
+
+// PostingsRead returns how many posting records queries have decoded.
+func (idx *Index) PostingsRead() int64 { return idx.postingsRead.Load() }
+
+// ResetPostingsRead zeroes the posting-read counter.
+func (idx *Index) ResetPostingsRead() { idx.postingsRead.Store(0) }
+
+// bySelectivity returns the terms ordered by ascending global posting
+// count (rarest first); the input is not modified.
+func (idx *Index) bySelectivity(terms []obj.TermID) []obj.TermID {
+	out := append([]obj.TermID(nil), terms...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return idx.termPostings[out[i]] < idx.termPostings[out[j]]
+	})
+	return out
+}
+
+// recordsPerPage is the heap packing density.
+const recordsPerPage = storage.PageSize / postingSize
+
+// ListPages returns the approximate number of heap pages term t's inverted
+// file occupies (its postings are packed at recordsPerPage density); the
+// signature layer skips terms whose file fits in a single page.
+func (idx *Index) ListPages(t obj.TermID) int {
+	n := int(idx.termPostings[t])
+	if n == 0 {
+		return 0
+	}
+	return (n + recordsPerPage - 1) / recordsPerPage
+}
+
+// SizeBytes returns the on-disk footprint (posting heap + B+-tree).
+func (idx *Index) SizeBytes() int64 {
+	return int64(idx.postingPages)*storage.PageSize + idx.tree.SizeBytes()
+}
+
+// Tree exposes the underlying B+-tree (for inspection in tests).
+func (idx *Index) Tree() *btree.Tree { return idx.tree }

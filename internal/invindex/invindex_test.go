@@ -1,0 +1,379 @@
+package invindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+	"dsks/internal/storage"
+)
+
+// buildFixture creates a small graph with objects and the index over them.
+func buildFixture(t testing.TB, nObjects int, seed int64) (*graph.Graph, *obj.Collection, *Index, *Loader, *storage.IOStats) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	const n = 50
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * geo.WorldMax, Y: rng.Float64() * geo.WorldMax})
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1+rng.Float64()*5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		a, b := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if a != b {
+			_, _ = g.AddEdge(a, b, 1+rng.Float64()*5)
+		}
+	}
+	g.Freeze()
+
+	const vocab = 20
+	col := obj.NewCollection()
+	for i := 0; i < nObjects; i++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		nt := 1 + rng.Intn(4)
+		terms := make([]obj.TermID, nt)
+		for j := range terms {
+			terms[j] = obj.TermID(rng.Intn(vocab))
+		}
+		col.Add(graph.Position{Edge: e, Offset: rng.Float64() * g.Edge(e).Length}, terms)
+	}
+	stats := &storage.IOStats{}
+	pool := storage.NewBufferPool(storage.NewPageFile(), 256, stats)
+	idx, err := Build(g, col, vocab, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, col, idx, &Loader{Idx: idx, Coder: GraphZCoder{G: g}}, stats
+}
+
+// bruteLoad is the reference implementation of Algorithm 2.
+func bruteLoad(col *obj.Collection, e graph.EdgeID, terms []obj.TermID) map[obj.ID]bool {
+	out := map[obj.ID]bool{}
+	for _, id := range col.OnEdge(e) {
+		if col.Get(id).HasAllTerms(terms) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func TestLoadObjectsMatchesBruteForce(t *testing.T) {
+	g, col, _, loader, _ := buildFixture(t, 400, 1)
+	rng := rand.New(rand.NewSource(2))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		nt := 1 + rng.Intn(3)
+		terms := make([]obj.TermID, nt)
+		for j := range terms {
+			terms[j] = obj.TermID(rng.Intn(20))
+		}
+		terms = obj.NormalizeTerms(terms)
+		want := bruteLoad(col, e, terms)
+		got, err := loader.LoadObjects(e, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("edge %d terms %v: got %d, want %d", e, terms, len(got), len(want))
+		}
+		for _, r := range got {
+			if !want[r.ID] {
+				t.Fatalf("edge %d terms %v: spurious object %d", e, terms, r.ID)
+			}
+			o := col.Get(r.ID)
+			if r.Edge != e || o.Pos.Offset != r.Offset {
+				t.Fatalf("posting mismatch for %d: %+v vs %+v", r.ID, r, o.Pos)
+			}
+		}
+		if len(want) > 0 {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("all probes empty; test is vacuous")
+	}
+}
+
+func TestLoadObjectsEmptyTerm(t *testing.T) {
+	_, _, _, loader, _ := buildFixture(t, 100, 3)
+	got, err := loader.LoadObjects(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("empty terms returned %v", got)
+	}
+}
+
+func TestLoadObjectsUnknownTerm(t *testing.T) {
+	g, _, _, loader, _ := buildFixture(t, 100, 4)
+	for e := 0; e < g.NumEdges(); e++ {
+		got, err := loader.LoadObjects(graph.EdgeID(e), []obj.TermID{19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Term 19 may or may not exist; just ensure no crash and that all
+		// returned objects really carry it.
+		for _, r := range got {
+			_ = r
+		}
+	}
+}
+
+func TestPostingChainSpansPages(t *testing.T) {
+	// Many objects with the same term on one edge forces a multi-page
+	// chain.
+	g := graph.New()
+	g.AddNode(geo.Point{X: 0, Y: 0})
+	g.AddNode(geo.Point{X: 100, Y: 0})
+	eid, err := g.AddEdge(0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	col := obj.NewCollection()
+	const many = 700 // > 255 postings per page
+	for i := 0; i < many; i++ {
+		col.Add(graph.Position{Edge: eid, Offset: float64(i) / many * 100}, []obj.TermID{0})
+	}
+	pool := storage.NewBufferPool(storage.NewPageFile(), 64, nil)
+	idx, err := Build(g, col, 1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.ListPages(0) < 3 {
+		t.Fatalf("expected multi-page chain, got %d pages", idx.ListPages(0))
+	}
+	loader := &Loader{Idx: idx, Coder: GraphZCoder{G: g}}
+	got, err := loader.LoadObjects(eid, []obj.TermID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != many {
+		t.Fatalf("chain read returned %d of %d postings", len(got), many)
+	}
+}
+
+func TestIndexCountsIO(t *testing.T) {
+	g, col, _, loader, stats := buildFixture(t, 500, 5)
+	edges := col.Edges()
+	if len(edges) == 0 {
+		t.Fatal("no object edges")
+	}
+	var nonEmptyTerm obj.TermID = -1
+	var probe graph.EdgeID
+	for _, e := range edges {
+		ids := col.OnEdge(e)
+		if len(ids) > 0 {
+			nonEmptyTerm = col.Get(ids[0]).Terms[0]
+			probe = e
+			break
+		}
+	}
+	if nonEmptyTerm < 0 {
+		t.Fatal("no term found")
+	}
+	stats.Reset()
+	if _, err := loader.LoadObjects(probe, []obj.TermID{nonEmptyTerm}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Snapshot().LogicalRead == 0 {
+		t.Error("load performed no page reads")
+	}
+	_ = g
+}
+
+func TestEdgeKeyOrderingByZCode(t *testing.T) {
+	// Keys of the same term must order primarily by Z-code so that
+	// spatially adjacent edges are adjacent in the B+-tree.
+	k1 := edgeKey(5, 100)
+	k2 := edgeKey(5, 200)
+	if k1 >= k2 {
+		t.Error("keys not ordered by z-code")
+	}
+	// Different terms never collide even with identical z-codes.
+	if edgeKey(5, 100) == edgeKey(6, 100) {
+		t.Error("term separation broken")
+	}
+}
+
+func TestSizeAndTreeExposed(t *testing.T) {
+	_, _, idx, _, _ := buildFixture(t, 300, 6)
+	if idx.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+	if idx.Tree() == nil || idx.Tree().Len() == 0 {
+		t.Error("tree empty")
+	}
+}
+
+func TestBuildRejectsOutOfVocab(t *testing.T) {
+	g := graph.New()
+	g.AddNode(geo.Point{})
+	g.AddNode(geo.Point{X: 1})
+	eid, err := g.AddEdge(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	col := obj.NewCollection()
+	col.Add(graph.Position{Edge: eid}, []obj.TermID{5})
+	pool := storage.NewBufferPool(storage.NewPageFile(), 8, nil)
+	if _, err := Build(g, col, 3, pool); err == nil {
+		t.Error("out-of-vocabulary term accepted")
+	}
+}
+
+func TestZCellCollisionHandled(t *testing.T) {
+	// Two edges whose centers share a Z-cell must keep separate postings.
+	g := graph.New()
+	g.AddNode(geo.Point{X: 0, Y: 0})
+	g.AddNode(geo.Point{X: 1e-7, Y: 0})
+	g.AddNode(geo.Point{X: 0, Y: 1e-7})
+	e1, err := g.AddEdge(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.AddEdge(0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	coder := GraphZCoder{G: g}
+	if coder.EdgeZCode(e1) != coder.EdgeZCode(e2) {
+		t.Skip("centers no longer collide; adjust epsilon")
+	}
+	col := obj.NewCollection()
+	a := col.Add(graph.Position{Edge: e1, Offset: 0}, []obj.TermID{0})
+	b := col.Add(graph.Position{Edge: e2, Offset: 0}, []obj.TermID{0})
+	pool := storage.NewBufferPool(storage.NewPageFile(), 8, nil)
+	idx, err := Build(g, col, 1, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{Idx: idx, Coder: coder}
+	got1, err := loader.LoadObjects(e1, []obj.TermID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := loader.LoadObjects(e2, []obj.TermID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != 1 || got1[0].ID != a {
+		t.Errorf("edge 1 load = %v", got1)
+	}
+	if len(got2) != 1 || got2[0].ID != b {
+		t.Errorf("edge 2 load = %v", got2)
+	}
+}
+
+func TestLoaderIntersectionOrder(t *testing.T) {
+	// Results are sorted by object ID regardless of posting order.
+	g := graph.New()
+	g.AddNode(geo.Point{})
+	g.AddNode(geo.Point{X: 10})
+	eid, err := g.AddEdge(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	col := obj.NewCollection()
+	var want []obj.ID
+	for i := 0; i < 5; i++ {
+		// Decreasing offsets: posting order is offset order, not ID order.
+		id := col.Add(graph.Position{Edge: eid, Offset: float64(10 - i)}, []obj.TermID{0, 1})
+		want = append(want, id)
+	}
+	pool := storage.NewBufferPool(storage.NewPageFile(), 8, nil)
+	idx, err := Build(g, col, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{Idx: idx, Coder: GraphZCoder{G: g}}
+	got, err := loader.LoadObjects(eid, []obj.TermID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []obj.ID
+	for _, r := range got {
+		ids = append(ids, r.ID)
+	}
+	if !reflect.DeepEqual(ids, want) {
+		t.Errorf("load order = %v, want %v", ids, want)
+	}
+}
+
+// TestDynamicModel drives random inserts and removals against a model,
+// verifying LoadObjects after every mutation batch.
+func TestDynamicModel(t *testing.T) {
+	g, col, idx, loader, _ := buildFixture(t, 200, 7)
+	coder := GraphZCoder{G: g}
+	rng := rand.New(rand.NewSource(8))
+	nextID := obj.ID(col.Len())
+	// Model: live objects (the collection tracks them too).
+	for batch := 0; batch < 20; batch++ {
+		// A few inserts.
+		for i := 0; i < 5; i++ {
+			e := graph.EdgeID(rng.Intn(g.NumEdges()))
+			nt := 1 + rng.Intn(3)
+			terms := make([]obj.TermID, nt)
+			for j := range terms {
+				terms[j] = obj.TermID(rng.Intn(20))
+			}
+			pos := graph.Position{Edge: e, Offset: rng.Float64() * g.Edge(e).Length}
+			id := col.Add(pos, terms)
+			if id != nextID {
+				t.Fatalf("collection assigned %d, expected %d", id, nextID)
+			}
+			nextID++
+			o := col.Get(id)
+			if err := idx.InsertObject(coder.EdgeZCode(e), id, e, pos.Offset, o.Terms); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A few removals of random live objects.
+		for i := 0; i < 3; i++ {
+			id := obj.ID(rng.Intn(int(nextID)))
+			if col.Removed(id) {
+				continue
+			}
+			o := col.Get(id)
+			if err := idx.RemoveObject(coder.EdgeZCode(o.Pos.Edge), id, o.Terms); err != nil {
+				t.Fatal(err)
+			}
+			if err := col.Remove(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Verify random probes against the collection.
+		for probe := 0; probe < 30; probe++ {
+			e := graph.EdgeID(rng.Intn(g.NumEdges()))
+			ts := obj.NormalizeTerms([]obj.TermID{
+				obj.TermID(rng.Intn(20)), obj.TermID(rng.Intn(20)),
+			})
+			got, err := loader.LoadObjects(e, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteLoad(col, e, ts)
+			if len(got) != len(want) {
+				t.Fatalf("batch %d edge %d terms %v: got %d, want %d",
+					batch, e, ts, len(got), len(want))
+			}
+			for _, r := range got {
+				if !want[r.ID] {
+					t.Fatalf("spurious object %d", r.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package obj
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Vocabulary is the term dictionary V: a bijection between keyword strings
+// and dense TermIDs.
+type Vocabulary struct {
+	terms []string
+	ids   map[string]TermID
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]TermID)}
+}
+
+// Intern returns the TermID for s, adding it to the vocabulary if new.
+// Terms are case-folded and trimmed.
+func (v *Vocabulary) Intern(s string) TermID {
+	s = normalizeTerm(s)
+	if id, ok := v.ids[s]; ok {
+		return id
+	}
+	id := TermID(len(v.terms))
+	v.terms = append(v.terms, s)
+	v.ids[s] = id
+	return id
+}
+
+// Lookup returns the TermID for s, if present.
+func (v *Vocabulary) Lookup(s string) (TermID, bool) {
+	id, ok := v.ids[normalizeTerm(s)]
+	return id, ok
+}
+
+// Term returns the keyword string of id.
+func (v *Vocabulary) Term(id TermID) string {
+	if id < 0 || int(id) >= len(v.terms) {
+		panic(fmt.Sprintf("obj: unknown term %d", id))
+	}
+	return v.terms[id]
+}
+
+// Size returns |V|.
+func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// InternAll interns every keyword and returns the normalized TermID set.
+func (v *Vocabulary) InternAll(words []string) []TermID {
+	ts := make([]TermID, 0, len(words))
+	for _, w := range words {
+		if strings.TrimSpace(w) == "" {
+			continue
+		}
+		ts = append(ts, v.Intern(w))
+	}
+	return NormalizeTerms(ts)
+}
+
+// LookupAll resolves every keyword; it fails if any keyword is unknown.
+func (v *Vocabulary) LookupAll(words []string) ([]TermID, error) {
+	ts := make([]TermID, 0, len(words))
+	for _, w := range words {
+		id, ok := v.Lookup(w)
+		if !ok {
+			return nil, fmt.Errorf("obj: unknown keyword %q", w)
+		}
+		ts = append(ts, id)
+	}
+	return NormalizeTerms(ts), nil
+}
+
+// TopK returns the k terms with the highest frequency (given per-term
+// frequencies, typically from Collection.TermFrequencies), most frequent
+// first. Ties break by TermID for determinism.
+func TopK(freq []int64, k int) []TermID {
+	ids := make([]TermID, len(freq))
+	for i := range ids {
+		ids[i] = TermID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		fi, fj := freq[ids[i]], freq[ids[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+func normalizeTerm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Write encodes the vocabulary, one term per line in TermID order, so that
+// ReadVocabulary reproduces identical IDs.
+func (v *Vocabulary) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vocabulary %d\n", len(v.terms))
+	for _, s := range v.terms {
+		fmt.Fprintln(bw, s)
+	}
+	return bw.Flush()
+}
+
+// ReadVocabulary decodes a vocabulary written by Write.
+func ReadVocabulary(r io.Reader) (*Vocabulary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<21)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("obj: empty vocabulary file")
+	}
+	var n int
+	if _, err := fmt.Sscanf(sc.Text(), "# vocabulary %d", &n); err != nil {
+		return nil, fmt.Errorf("obj: bad vocabulary header %q: %w", sc.Text(), err)
+	}
+	v := NewVocabulary()
+	for sc.Scan() {
+		v.Intern(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if v.Size() != n {
+		return nil, fmt.Errorf("obj: header claims %d terms, file has %d", n, v.Size())
+	}
+	return v, nil
+}

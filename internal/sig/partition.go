@@ -1,0 +1,242 @@
+package sig
+
+import (
+	"math"
+
+	"dsks/internal/obj"
+)
+
+// This file implements the edge-partitioning of Section 3.3: splitting the
+// m objects of an edge into c+1 virtual edges so that the expected number
+// of objects loaded due to false hits, ξ(Q, P), is minimized. Both the
+// exact dynamic program of Algorithm 4 and the greedy heuristic used in
+// the paper's experiments (up to two orders of magnitude faster at nearly
+// the same quality) are provided.
+
+// costTable precomputes ξ(Q, [i..j]) — the false-hit cost of the single
+// virtual edge covering objects i..j (inclusive) — for all ranges.
+type costTable struct {
+	m    int
+	cost [][]float64
+}
+
+// newCostTable evaluates every contiguous object range against the log.
+// A range incurs cost (j-i+1)·Pr(q) for each query q that passes the
+// range's signature (every query term appears in some object of the range)
+// without a true hit (no single object contains all query terms).
+func newCostTable(objTerms [][]obj.TermID, log QueryLog) *costTable {
+	m := len(objTerms)
+	ct := &costTable{m: m, cost: make([][]float64, m)}
+	for i := range ct.cost {
+		ct.cost[i] = make([]float64, m)
+	}
+	return ct.fill(objTerms, log)
+}
+
+func (ct *costTable) fill(objTerms [][]obj.TermID, log QueryLog) *costTable {
+	m := ct.m
+	for _, q := range log {
+		if len(q.Terms) == 0 || q.Prob == 0 {
+			continue
+		}
+		// perObjHas[x][ti] via bitmask over query terms (<= 64 terms).
+		nt := len(q.Terms)
+		if nt > 64 {
+			nt = 64
+		}
+		full := uint64(1)<<uint(nt) - 1
+		masks := make([]uint64, m)
+		for x, ts := range objTerms {
+			var mask uint64
+			for ti := 0; ti < nt; ti++ {
+				for _, t := range ts {
+					if t == q.Terms[ti] {
+						mask |= 1 << uint(ti)
+						break
+					}
+				}
+			}
+			masks[x] = mask
+		}
+		for i := 0; i < m; i++ {
+			var union uint64
+			trueHit := false
+			for j := i; j < m; j++ {
+				union |= masks[j]
+				if masks[j] == full {
+					trueHit = true
+				}
+				if union == full && !trueHit {
+					ct.cost[i][j] += float64(j-i+1) * q.Prob
+				}
+			}
+		}
+	}
+	return ct
+}
+
+// partitionCost sums the range costs of a partition given by cut positions
+// (cuts[i] = index of the last object of virtual edge i; strictly
+// increasing, each < m-1).
+func (ct *costTable) partitionCost(cuts []int) float64 {
+	total := 0.0
+	start := 0
+	for _, c := range cuts {
+		total += ct.cost[start][c]
+		start = c + 1
+	}
+	total += ct.cost[start][ct.m-1]
+	return total
+}
+
+// PartitionDP finds the partition of the edge's objects with at most
+// maxCuts cuts minimizing ξ(Q, P), via the dynamic program of Algorithm 4
+// (Equations 7–9). It returns the cut positions (index of the last object
+// of each virtual edge except the final one) and the optimal cost.
+// Complexity is O(c²·m³); intended for small edges and for validating the
+// greedy heuristic.
+func PartitionDP(objTerms [][]obj.TermID, log QueryLog, maxCuts int) ([]int, float64) {
+	m := len(objTerms)
+	if m == 0 {
+		return nil, 0
+	}
+	if maxCuts > m-1 {
+		maxCuts = m - 1
+	}
+	if maxCuts < 0 {
+		maxCuts = 0
+	}
+	ct := newCostTable(objTerms, log)
+
+	// best[c][i][j] = minimal cost partitioning objects i..j into c+1
+	// virtual edges; cut[c][i][j] and leftCuts[c][i][j] record the choice.
+	best := make([][][]float64, maxCuts+1)
+	cutAt := make([][][]int, maxCuts+1)
+	leftC := make([][][]int, maxCuts+1)
+	for c := 0; c <= maxCuts; c++ {
+		best[c] = make([][]float64, m)
+		cutAt[c] = make([][]int, m)
+		leftC[c] = make([][]int, m)
+		for i := 0; i < m; i++ {
+			best[c][i] = make([]float64, m)
+			cutAt[c][i] = make([]int, m)
+			leftC[c][i] = make([]int, m)
+			for j := 0; j < m; j++ {
+				if c == 0 {
+					if j >= i {
+						best[c][i][j] = ct.cost[i][j]
+					}
+					continue
+				}
+				best[c][i][j] = math.Inf(1)
+			}
+		}
+	}
+	for c := 1; c <= maxCuts; c++ {
+		for i := 0; i < m; i++ {
+			for j := i; j < m; j++ {
+				if j-i < c { // not enough cut positions (Eq. 8's ∞ case)
+					continue
+				}
+				bv, bk, bvleft := math.Inf(1), -1, 0
+				// Q*(i,j,k,c): one cut fixed at object k (Eq. 8), then
+				// exhaust all fixed positions (Eq. 9).
+				for k := i; k < j; k++ {
+					for v := 0; v <= c-1; v++ {
+						if k-i < v || j-k-1 < c-v-1 {
+							continue
+						}
+						cost := best[v][i][k] + best[c-v-1][k+1][j]
+						if cost < bv {
+							bv, bk, bvleft = cost, k, v
+						}
+					}
+				}
+				best[c][i][j] = bv
+				cutAt[c][i][j] = bk
+				leftC[c][i][j] = bvleft
+			}
+		}
+	}
+	// Since adding cuts never increases cost, the best over <= maxCuts is
+	// reported (partitioning with fewer cuts when extra cuts don't help).
+	bestC := 0
+	for c := 1; c <= maxCuts; c++ {
+		if best[c][0][m-1] < best[bestC][0][m-1] {
+			bestC = c
+		}
+	}
+	var cuts []int
+	var collect func(i, j, c int)
+	collect = func(i, j, c int) {
+		if c == 0 {
+			return
+		}
+		k, v := cutAt[c][i][j], leftC[c][i][j]
+		collect(i, k, v)
+		cuts = append(cuts, k)
+		collect(k+1, j, c-v-1)
+	}
+	collect(0, m-1, bestC)
+	return cuts, best[bestC][0][m-1]
+}
+
+// PartitionGreedy is the heuristic used in the paper's experiments:
+// starting from the whole edge, it repeatedly adds the single cut that
+// most reduces ξ(Q, P), up to maxCuts cuts, stopping early when no cut
+// improves the cost. It returns the cut positions and the final cost.
+func PartitionGreedy(objTerms [][]obj.TermID, log QueryLog, maxCuts int) ([]int, float64) {
+	m := len(objTerms)
+	if m == 0 {
+		return nil, 0
+	}
+	if maxCuts > m-1 {
+		maxCuts = m - 1
+	}
+	ct := newCostTable(objTerms, log)
+	var cuts []int
+	cost := ct.cost[0][m-1]
+	used := make([]bool, m)
+	for len(cuts) < maxCuts {
+		bestPos, bestCost := -1, cost
+		for p := 0; p < m-1; p++ {
+			if used[p] {
+				continue
+			}
+			trial := insertSorted(cuts, p)
+			if c := ct.partitionCost(trial); c < bestCost {
+				bestPos, bestCost = p, c
+			}
+		}
+		if bestPos < 0 {
+			break
+		}
+		cuts = insertSorted(cuts, bestPos)
+		used[bestPos] = true
+		cost = bestCost
+	}
+	return cuts, cost
+}
+
+func insertSorted(cuts []int, p int) []int {
+	out := make([]int, 0, len(cuts)+1)
+	added := false
+	for _, c := range cuts {
+		if !added && p < c {
+			out = append(out, p)
+			added = true
+		}
+		out = append(out, c)
+	}
+	if !added {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PartitionCost evaluates ξ(Q, P) for an explicit partition (used by tests
+// and the ablation benches).
+func PartitionCost(objTerms [][]obj.TermID, log QueryLog, cuts []int) float64 {
+	ct := newCostTable(objTerms, log)
+	return ct.partitionCost(cuts)
+}

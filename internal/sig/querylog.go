@@ -1,0 +1,191 @@
+package sig
+
+import (
+	"math/rand"
+	"sort"
+
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// LogQuery is one entry of a query log: a keyword set with the probability
+// that a query with exactly these keywords is issued.
+type LogQuery struct {
+	Terms []obj.TermID
+	Prob  float64
+}
+
+// QueryLog is the workload model the edge partitioner optimizes against
+// (the ξ(Q, P) of Section 3.3).
+type QueryLog []LogQuery
+
+// LogSource produces the query log used to partition a given edge.
+// objTerms are the term sets of the edge's objects in visiting order.
+// The three implementations mirror the paper's Figure 10 variants:
+// RealLog (SIF-P-Real), FreqLog (SIF-P-Freq) and RandLog (SIF-P-Rand).
+type LogSource interface {
+	ForEdge(e graph.EdgeID, objTerms [][]obj.TermID) QueryLog
+}
+
+// RealLog replays an actual query workload: the exact keyword sets of the
+// future query load (the paper's SIF-P-Real upper bound). Queries that
+// cannot touch the edge (a keyword absent from all its objects) are
+// filtered out, since they fail the whole-edge signature and contribute
+// zero cost to every partition.
+type RealLog struct {
+	Queries []LogQuery
+}
+
+// NewRealLog builds a RealLog from raw keyword sets, weighting each
+// distinct set by its frequency in the workload.
+func NewRealLog(keywordSets [][]obj.TermID) *RealLog {
+	counts := make(map[string]int)
+	sets := make(map[string][]obj.TermID)
+	for _, ks := range keywordSets {
+		norm := obj.NormalizeTerms(append([]obj.TermID(nil), ks...))
+		k := termKey(norm)
+		counts[k]++
+		sets[k] = norm
+	}
+	total := float64(len(keywordSets))
+	log := &RealLog{}
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		log.Queries = append(log.Queries, LogQuery{Terms: sets[k], Prob: float64(counts[k]) / total})
+	}
+	return log
+}
+
+// ForEdge implements LogSource.
+func (r *RealLog) ForEdge(_ graph.EdgeID, objTerms [][]obj.TermID) QueryLog {
+	present := make(map[obj.TermID]bool)
+	for _, ts := range objTerms {
+		for _, t := range ts {
+			present[t] = true
+		}
+	}
+	var out QueryLog
+	for _, q := range r.Queries {
+		all := true
+		for _, t := range q.Terms {
+			if !present[t] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// FreqLog generates a per-edge synthetic log under the paper's default
+// assumption (Remark 1): a frequent keyword is more likely to appear as a
+// query keyword. Keywords are drawn from the edge's own objects, weighted
+// by their local frequency.
+type FreqLog struct {
+	L    int   // keywords per generated query
+	N    int   // queries to generate per edge
+	Seed int64 // generation seed (per-edge offset keeps edges decorrelated)
+}
+
+// ForEdge implements LogSource.
+func (f *FreqLog) ForEdge(e graph.EdgeID, objTerms [][]obj.TermID) QueryLog {
+	return sampleEdgeLog(e, objTerms, f.L, f.N, f.Seed, true)
+}
+
+// RandLog generates a per-edge log by choosing keywords uniformly from the
+// edge's objects, ignoring frequency (the paper's SIF-P-Rand, whose
+// keyword distribution deviates most from the real load).
+type RandLog struct {
+	L    int
+	N    int
+	Seed int64
+}
+
+// ForEdge implements LogSource.
+func (r *RandLog) ForEdge(e graph.EdgeID, objTerms [][]obj.TermID) QueryLog {
+	return sampleEdgeLog(e, objTerms, r.L, r.N, r.Seed, false)
+}
+
+func sampleEdgeLog(e graph.EdgeID, objTerms [][]obj.TermID, l, n int, seed int64, weighted bool) QueryLog {
+	freq := make(map[obj.TermID]int)
+	var terms []obj.TermID
+	for _, ts := range objTerms {
+		for _, t := range ts {
+			if freq[t] == 0 {
+				terms = append(terms, t)
+			}
+			freq[t]++
+		}
+	}
+	if len(terms) == 0 || l <= 0 || n <= 0 {
+		return nil
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i] < terms[j] })
+	total := 0
+	for _, t := range terms {
+		total += freq[t]
+	}
+	rng := rand.New(rand.NewSource(seed + int64(e)*1_000_003))
+	draw := func() obj.TermID {
+		if !weighted {
+			return terms[rng.Intn(len(terms))]
+		}
+		x := rng.Intn(total)
+		for _, t := range terms {
+			x -= freq[t]
+			if x < 0 {
+				return t
+			}
+		}
+		return terms[len(terms)-1]
+	}
+	counts := make(map[string]int)
+	sets := make(map[string][]obj.TermID)
+	for i := 0; i < n; i++ {
+		q := make([]obj.TermID, 0, l)
+		for len(q) < l && len(q) < len(terms) {
+			t := draw()
+			if !containsTerm(q, t) {
+				q = append(q, t)
+			}
+		}
+		q = obj.NormalizeTerms(q)
+		k := termKey(q)
+		counts[k]++
+		sets[k] = q
+	}
+	var out QueryLog
+	keys := make([]string, 0, len(sets))
+	for k := range sets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, LogQuery{Terms: sets[k], Prob: float64(counts[k]) / float64(n)})
+	}
+	return out
+}
+
+func containsTerm(ts []obj.TermID, t obj.TermID) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func termKey(ts []obj.TermID) string {
+	b := make([]byte, 0, len(ts)*4)
+	for _, t := range ts {
+		b = append(b, byte(t), byte(t>>8), byte(t>>16), byte(t>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,619 @@
+package sig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsks/internal/geo"
+	"dsks/internal/graph"
+	"dsks/internal/invindex"
+	"dsks/internal/obj"
+	"dsks/internal/storage"
+)
+
+func testGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: rng.Float64() * geo.WorldMax, Y: rng.Float64() * geo.WorldMax})
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1+rng.Float64()*5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a, b := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if a != b {
+			_, _ = g.AddEdge(a, b, 1+rng.Float64()*5)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+func TestLayoutBasics(t *testing.T) {
+	g := testGraph(t, 30, 1)
+	l := NewLayout(g)
+	if l.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges = %d", l.NumEdges())
+	}
+	if int(l.NumSlots()) != g.NumEdges() {
+		t.Fatalf("NumSlots = %d before partitioning", l.NumSlots())
+	}
+	// Every edge has a unique slot.
+	seen := map[int32]bool{}
+	for e := 0; e < g.NumEdges(); e++ {
+		start, count := l.Slots(graph.EdgeID(e))
+		if count != 1 {
+			t.Fatalf("edge %d has %d slots", e, count)
+		}
+		if seen[start] {
+			t.Fatalf("slot %d reused", start)
+		}
+		seen[start] = true
+	}
+}
+
+func TestLayoutVirtualEdges(t *testing.T) {
+	g := testGraph(t, 20, 2)
+	l := NewLayout(g)
+	l.SetVirtualEdges(graph.EdgeID(3), 4)
+	l.Finalize()
+	if int(l.NumSlots()) != g.NumEdges()+3 {
+		t.Fatalf("NumSlots = %d", l.NumSlots())
+	}
+	_, count := l.Slots(graph.EdgeID(3))
+	if count != 4 {
+		t.Fatalf("edge 3 slots = %d", count)
+	}
+	if l.VirtualEdges(graph.EdgeID(3)) != 4 {
+		t.Fatal("VirtualEdges wrong")
+	}
+	// Slots remain dense and non-overlapping.
+	total := int32(0)
+	for e := 0; e < g.NumEdges(); e++ {
+		_, c := l.Slots(graph.EdgeID(e))
+		total += c
+	}
+	if total != l.NumSlots() {
+		t.Fatalf("slot total %d vs %d", total, l.NumSlots())
+	}
+}
+
+func TestLayoutKDLocality(t *testing.T) {
+	// Adjacent KD ranks should be spatially closer on average than random
+	// pairs — the property that makes compaction work.
+	g := testGraph(t, 200, 3)
+	l := NewLayout(g)
+	var adjSum, randSum float64
+	rng := rand.New(rand.NewSource(4))
+	n := l.NumEdges()
+	for i := 0; i+1 < n; i++ {
+		a, b := l.kdOrder[i], l.kdOrder[i+1]
+		adjSum += g.EdgeCenter(a).Dist(g.EdgeCenter(b))
+		c, d := l.kdOrder[rng.Intn(n)], l.kdOrder[rng.Intn(n)]
+		randSum += g.EdgeCenter(c).Dist(g.EdgeCenter(d))
+	}
+	if adjSum >= randSum {
+		t.Errorf("KD order has no locality: adjacent %g vs random %g", adjSum, randSum)
+	}
+}
+
+func TestTermSignatureTest(t *testing.T) {
+	s := NewTermSignature(100, []int32{5, 5, 50, 99})
+	for _, pos := range []int32{5, 50, 99} {
+		if !s.Test(pos) {
+			t.Errorf("bit %d should be set", pos)
+		}
+	}
+	for _, pos := range []int32{0, 6, 98} {
+		if s.Test(pos) {
+			t.Errorf("bit %d should be clear", pos)
+		}
+	}
+	if s.Ones() != 3 {
+		t.Errorf("Ones = %d (duplicates not removed?)", s.Ones())
+	}
+	if !s.TestRange(4, 3) || s.TestRange(6, 10) || !s.TestRange(95, 5) {
+		t.Error("TestRange wrong")
+	}
+}
+
+func TestSignatureCompaction(t *testing.T) {
+	// A clustered signature must compact far below a flat bitmap; a dense
+	// one compacts to nearly nothing.
+	n := int32(1 << 14)
+	allOnes := make([]int32, n)
+	for i := range allOnes {
+		allOnes[i] = int32(i)
+	}
+	dense := NewTermSignature(n, allOnes)
+	if bits := dense.CompactedBits(); bits != 2 {
+		t.Errorf("all-ones compacts to %d bits, want 2", bits)
+	}
+	empty := NewTermSignature(n, nil)
+	if bits := empty.CompactedBits(); bits != 2 {
+		t.Errorf("all-zero compacts to %d bits, want 2", bits)
+	}
+	// One cluster of 128 bits.
+	var cluster []int32
+	for i := int32(4096); i < 4096+128; i++ {
+		cluster = append(cluster, i)
+	}
+	clustered := NewTermSignature(n, cluster)
+	if bits := clustered.CompactedBits(); bits >= int64(n) {
+		t.Errorf("clustered signature (%d bits) no smaller than flat bitmap", bits)
+	}
+	// Scattered bits compact worse than clustered ones.
+	var scattered []int32
+	for i := 0; i < 128; i++ {
+		scattered = append(scattered, int32(i*128))
+	}
+	sc := NewTermSignature(n, scattered)
+	if sc.CompactedBits() <= clustered.CompactedBits() {
+		t.Errorf("scattered (%d) should cost more than clustered (%d)",
+			sc.CompactedBits(), clustered.CompactedBits())
+	}
+}
+
+func TestCompactedBitsMatchesNaiveTree(t *testing.T) {
+	// Property: CompactedBits equals a naive recursive tree computation.
+	f := func(raw []uint16, nn uint16) bool {
+		n := int32(nn%512) + 2
+		var set []int32
+		for _, r := range raw {
+			set = append(set, int32(r)%n)
+		}
+		s := NewTermSignature(n, set)
+		bitmap := make([]bool, n)
+		for _, p := range set {
+			bitmap[p] = true
+		}
+		var naive func(lo, hi int32) int64
+		naive = func(lo, hi int32) int64 {
+			all, any := true, false
+			for i := lo; i < hi; i++ {
+				if bitmap[i] {
+					any = true
+				} else {
+					all = false
+				}
+			}
+			if !any || all {
+				return 2
+			}
+			mid := (lo + hi) / 2
+			return 2 + naive(lo, mid) + naive(mid, hi)
+		}
+		return s.CompactedBits() == naive(0, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// partitionFixture: the paper's Figure 3 example. Five objects on an edge,
+// vocabulary {t1..t5} (0-indexed 0..4):
+//
+//	o1{t1,t3} o2{t2,t3} o3{t1} o4{t1} o5{t1,t4}
+func figure3Objects() [][]obj.TermID {
+	return [][]obj.TermID{
+		{0, 2}, // o1: t1, t3
+		{1, 2}, // o2: t2, t3
+		{0},    // o3: t1
+		{0},    // o4: t1
+		{0, 3}, // o5: t1, t4
+	}
+}
+
+func TestFalseHitCostFigure3(t *testing.T) {
+	objs := figure3Objects()
+	// The paper's Q with q1 = {t1,t3}, q2 = {t2,t4}, q3 = {t1,t2}.
+	q1 := LogQuery{Terms: []obj.TermID{0, 2}, Prob: 1}
+	q2 := LogQuery{Terms: []obj.TermID{1, 3}, Prob: 1}
+	q3 := LogQuery{Terms: []obj.TermID{0, 1}, Prob: 1}
+
+	// Whole edge (no cuts): ξ(q1) = 0 (true hit via o1), ξ(q2) = 5,
+	// ξ(q3) = 5 — exactly the paper's numbers.
+	if got := PartitionCost(objs, QueryLog{q1}, nil); got != 0 {
+		t.Errorf("xi(q1, whole) = %v, want 0", got)
+	}
+	if got := PartitionCost(objs, QueryLog{q2}, nil); got != 5 {
+		t.Errorf("xi(q2, whole) = %v, want 5", got)
+	}
+	if got := PartitionCost(objs, QueryLog{q3}, nil); got != 5 {
+		t.Errorf("xi(q3, whole) = %v, want 5", got)
+	}
+
+	// Partition P = {e1 = o1..o2, e2 = o3..o5} (cut after object index 1):
+	// ξ(q1,P) = 0, ξ(q2,P) = 0, ξ(q3,P) = 2 — the paper's example.
+	cuts := []int{1}
+	if got := PartitionCost(objs, QueryLog{q1}, cuts); got != 0 {
+		t.Errorf("xi(q1, P) = %v, want 0", got)
+	}
+	if got := PartitionCost(objs, QueryLog{q2}, cuts); got != 0 {
+		t.Errorf("xi(q2, P) = %v, want 0", got)
+	}
+	if got := PartitionCost(objs, QueryLog{q3}, cuts); got != 2 {
+		t.Errorf("xi(q3, P) = %v, want 2", got)
+	}
+}
+
+func TestPartitionDPOptimal(t *testing.T) {
+	objs := figure3Objects()
+	log := QueryLog{
+		{Terms: []obj.TermID{0, 2}, Prob: 0.4},
+		{Terms: []obj.TermID{1, 3}, Prob: 0.3},
+		{Terms: []obj.TermID{0, 1}, Prob: 0.3},
+	}
+	cuts, cost := PartitionDP(objs, log, 1)
+	// Exhaustive check over all single cuts.
+	best := PartitionCost(objs, log, nil)
+	for c := 0; c < len(objs)-1; c++ {
+		if v := PartitionCost(objs, log, []int{c}); v < best {
+			best = v
+		}
+	}
+	if math.Abs(cost-best) > 1e-12 {
+		t.Errorf("DP cost %v vs exhaustive %v (cuts %v)", cost, best, cuts)
+	}
+}
+
+func TestPartitionDPMatchesExhaustive(t *testing.T) {
+	// Random small instances: DP must equal brute force over all cut sets.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		m := 4 + rng.Intn(4)
+		objs := make([][]obj.TermID, m)
+		for i := range objs {
+			nt := 1 + rng.Intn(3)
+			ts := make([]obj.TermID, nt)
+			for j := range ts {
+				ts[j] = obj.TermID(rng.Intn(5))
+			}
+			objs[i] = obj.NormalizeTerms(ts)
+		}
+		var log QueryLog
+		for i := 0; i < 4; i++ {
+			ts := []obj.TermID{obj.TermID(rng.Intn(5)), obj.TermID(rng.Intn(5))}
+			log = append(log, LogQuery{Terms: obj.NormalizeTerms(ts), Prob: 0.25})
+		}
+		maxCuts := 2
+		_, dpCost := PartitionDP(objs, log, maxCuts)
+
+		// Brute force over all cut subsets of size <= maxCuts.
+		best := PartitionCost(objs, log, nil)
+		positions := m - 1
+		for mask := 1; mask < 1<<positions; mask++ {
+			var cuts []int
+			for p := 0; p < positions; p++ {
+				if mask&(1<<p) != 0 {
+					cuts = append(cuts, p)
+				}
+			}
+			if len(cuts) > maxCuts {
+				continue
+			}
+			if v := PartitionCost(objs, log, cuts); v < best {
+				best = v
+			}
+		}
+		if math.Abs(dpCost-best) > 1e-9 {
+			t.Fatalf("trial %d: DP %v vs brute force %v", trial, dpCost, best)
+		}
+	}
+}
+
+func TestPartitionGreedyNeverWorseThanNoCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		m := 5 + rng.Intn(10)
+		objs := make([][]obj.TermID, m)
+		for i := range objs {
+			ts := make([]obj.TermID, 1+rng.Intn(3))
+			for j := range ts {
+				ts[j] = obj.TermID(rng.Intn(6))
+			}
+			objs[i] = obj.NormalizeTerms(ts)
+		}
+		var log QueryLog
+		for i := 0; i < 5; i++ {
+			ts := []obj.TermID{obj.TermID(rng.Intn(6)), obj.TermID(rng.Intn(6))}
+			log = append(log, LogQuery{Terms: obj.NormalizeTerms(ts), Prob: 0.2})
+		}
+		noCuts := PartitionCost(objs, log, nil)
+		cuts, cost := PartitionGreedy(objs, log, 3)
+		if cost > noCuts+1e-12 {
+			t.Fatalf("greedy worsened cost: %v -> %v (cuts %v)", noCuts, cost, cuts)
+		}
+		// DP is at least as good as greedy.
+		_, dpCost := PartitionDP(objs, log, 3)
+		if dpCost > cost+1e-9 {
+			t.Fatalf("DP worse than greedy: %v vs %v", dpCost, cost)
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	if cuts, cost := PartitionDP(nil, nil, 3); cuts != nil || cost != 0 {
+		t.Error("empty DP should be trivial")
+	}
+	if cuts, cost := PartitionGreedy(nil, nil, 3); cuts != nil || cost != 0 {
+		t.Error("empty greedy should be trivial")
+	}
+	one := [][]obj.TermID{{0}}
+	if cuts, _ := PartitionDP(one, nil, 3); len(cuts) != 0 {
+		t.Error("single object cannot be cut")
+	}
+}
+
+func TestQueryLogModels(t *testing.T) {
+	objTerms := [][]obj.TermID{{0, 1}, {0}, {0, 2}}
+	freq := &FreqLog{L: 2, N: 50, Seed: 1}
+	fl := freq.ForEdge(0, objTerms)
+	if len(fl) == 0 {
+		t.Fatal("freq log empty")
+	}
+	total := 0.0
+	for _, q := range fl {
+		total += q.Prob
+		for _, term := range q.Terms {
+			if term != 0 && term != 1 && term != 2 {
+				t.Fatalf("log query uses term %d absent from edge", term)
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", total)
+	}
+
+	randLog := &RandLog{L: 2, N: 50, Seed: 1}
+	rl := randLog.ForEdge(0, objTerms)
+	if len(rl) == 0 {
+		t.Fatal("rand log empty")
+	}
+
+	real := NewRealLog([][]obj.TermID{{0, 1}, {0, 1}, {5, 6}})
+	if len(real.Queries) != 2 {
+		t.Fatalf("real log has %d distinct queries", len(real.Queries))
+	}
+	forEdge := real.ForEdge(0, objTerms)
+	// {5,6} can't touch this edge; only {0,1} remains.
+	if len(forEdge) != 1 || forEdge[0].Terms[0] != 0 || forEdge[0].Terms[1] != 1 {
+		t.Errorf("real log filter = %+v", forEdge)
+	}
+	if math.Abs(forEdge[0].Prob-2.0/3) > 1e-9 {
+		t.Errorf("real log prob = %v", forEdge[0].Prob)
+	}
+}
+
+// buildSIFFixture assembles graph + objects + IF + SIF variants.
+func buildSIFFixture(t testing.TB, opts Options, seed int64) (*graph.Graph, *obj.Collection, *SIF) {
+	t.Helper()
+	g := testGraph(t, 60, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	const vocab = 15
+	col := obj.NewCollection()
+	for i := 0; i < 600; i++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		ts := make([]obj.TermID, 1+rng.Intn(3))
+		for j := range ts {
+			ts[j] = obj.TermID(rng.Intn(vocab))
+		}
+		col.Add(graph.Position{Edge: e, Offset: rng.Float64() * g.Edge(e).Length}, ts)
+	}
+	pool := storage.NewBufferPool(storage.NewPageFile(), 512, nil)
+	inv, err := invindex.Build(g, col, vocab, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.MaxCuts > 0 && opts.Log == nil {
+		opts.Log = &FreqLog{L: 2, N: 10, Seed: 3}
+	}
+	s, err := BuildSIF(g, col, vocab, inv, invindex.GraphZCoder{G: g}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, col, s
+}
+
+func TestSIFNeverLosesObjects(t *testing.T) {
+	// The signature test must be sound: SIF results == IF results.
+	g, col, s := buildSIFFixture(t, Options{}, 7)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 400; trial++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
+		})
+		got, err := s.LoadObjects(e, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[obj.ID]bool{}
+		for _, id := range col.OnEdge(e) {
+			if col.Get(id).HasAllTerms(ts) {
+				want[id] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("edge %d terms %v: got %d, want %d", e, ts, len(got), len(want))
+		}
+		for _, r := range got {
+			if !want[r.ID] {
+				t.Fatalf("spurious object %d", r.ID)
+			}
+		}
+	}
+}
+
+func TestSIFPartitionedNeverLosesObjects(t *testing.T) {
+	g, col, s := buildSIFFixture(t, Options{MaxCuts: 3, TopFraction: 0.3}, 9)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 400; trial++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
+		})
+		got, err := s.LoadObjects(e, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, id := range col.OnEdge(e) {
+			if col.Get(id).HasAllTerms(ts) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("edge %d terms %v: got %d, want %d", e, ts, len(got), want)
+		}
+	}
+}
+
+func TestSIFCountsFalseHits(t *testing.T) {
+	_, col, s := buildSIFFixture(t, Options{}, 11)
+	s.ResetCounters()
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 300; trial++ {
+		e := col.Edges()[rng.Intn(len(col.Edges()))]
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
+		})
+		if _, err := s.LoadObjects(e, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := s.Counters()
+	if c.Probes != c.TrueHits+c.FalseHits {
+		t.Errorf("probe accounting broken: %+v", c)
+	}
+	if c.Probes+c.SigRejected != 300 {
+		t.Errorf("probe+reject = %d, want 300", c.Probes+c.SigRejected)
+	}
+}
+
+func TestSIFPReducesFalseHits(t *testing.T) {
+	// On the same probe workload, SIF-P's false hits must not exceed
+	// SIF's (partitioning only refines the signature).
+	_, col, sif := buildSIFFixture(t, Options{}, 13)
+	_, _, sifp := buildSIFFixture(t, Options{MaxCuts: 4, TopFraction: 1.0}, 13)
+	rng := rand.New(rand.NewSource(14))
+	edges := col.Edges()
+	for trial := 0; trial < 500; trial++ {
+		e := edges[rng.Intn(len(edges))]
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
+		})
+		if _, err := sif.LoadObjects(e, ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sifp.LoadObjects(e, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := sif.Counters(), sifp.Counters()
+	if b.FalseHits > a.FalseHits {
+		t.Errorf("SIF-P false hits %d exceed SIF's %d", b.FalseHits, a.FalseHits)
+	}
+	if b.TrueHits != a.TrueHits {
+		t.Errorf("true hits differ: SIF %d vs SIF-P %d", a.TrueHits, b.TrueHits)
+	}
+}
+
+func TestSIFGSoundAndTighter(t *testing.T) {
+	g, col, base := buildSIFFixture(t, Options{}, 15)
+	grp := BuildGroup(base, col, 15, 8)
+	if grp.NumPairs() == 0 {
+		t.Fatal("no pairs materialized")
+	}
+	if grp.ExtraSizeBytes() <= 0 {
+		t.Fatal("no extra space accounted")
+	}
+	rng := rand.New(rand.NewSource(16))
+	base.ResetCounters()
+	for trial := 0; trial < 400; trial++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
+		})
+		got, err := grp.LoadObjects(e, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, id := range col.OnEdge(e) {
+			if col.Get(id).HasAllTerms(ts) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("SIF-G lost objects: got %d, want %d", len(got), want)
+		}
+	}
+}
+
+func TestSignatureSizeSmallerThanInvertedFile(t *testing.T) {
+	// Figure 6c's key property: signatures add little over the inverted
+	// file.
+	_, _, s := buildSIFFixture(t, Options{}, 17)
+	invSize := s.inner.Idx.SizeBytes()
+	if s.SignatureBytes() >= invSize {
+		t.Errorf("signatures (%d B) not smaller than inverted file (%d B)",
+			s.SignatureBytes(), invSize)
+	}
+}
+
+func TestLoadObjectsAnyMatchesBruteForce(t *testing.T) {
+	g, col, s := buildSIFFixture(t, Options{}, 19)
+	rng := rand.New(rand.NewSource(20))
+	nonEmpty := 0
+	for trial := 0; trial < 300; trial++ {
+		e := graph.EdgeID(rng.Intn(g.NumEdges()))
+		ts := obj.NormalizeTerms([]obj.TermID{
+			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
+		})
+		got, err := s.LoadObjectsAny(e, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[obj.ID]int{}
+		for _, id := range col.OnEdge(e) {
+			matched := 0
+			for _, q := range ts {
+				if col.Get(id).HasTerm(q) {
+					matched++
+				}
+			}
+			if matched > 0 {
+				want[id] = matched
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("edge %d terms %v: got %d matches, want %d", e, ts, len(got), len(want))
+		}
+		for _, m := range got {
+			if want[m.Ref.ID] != m.Matched {
+				t.Fatalf("object %d matched %d, want %d", m.Ref.ID, m.Matched, want[m.Ref.ID])
+			}
+		}
+		if len(want) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("all union probes empty; test is vacuous")
+	}
+}
+
+func TestLoadObjectsAnyEmptyTerms(t *testing.T) {
+	_, _, s := buildSIFFixture(t, Options{}, 21)
+	got, err := s.LoadObjectsAny(0, nil)
+	if err != nil || got != nil {
+		t.Errorf("empty terms: %v, %v", got, err)
+	}
+}

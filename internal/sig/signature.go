@@ -1,0 +1,97 @@
+package sig
+
+import "sort"
+
+// TermSignature is the signature of one keyword: conceptually a bitmap with
+// one bit per slot (edge or virtual edge), I(e, t) = 1 iff some object with
+// keyword t lies on e. It is stored as the sorted positions of the set bits
+// and sized, for space accounting, as the KD-compacted tree of the paper:
+// a balanced binary tree over the slot range where any subtree whose leaves
+// share the same value collapses to a single 2-bit node.
+type TermSignature struct {
+	n   int32   // number of slots
+	set []int32 // sorted slot positions with bit = 1
+}
+
+// NewTermSignature builds a signature over n slots from the (unsorted,
+// possibly duplicated) set-bit positions.
+func NewTermSignature(n int32, positions []int32) *TermSignature {
+	ps := append([]int32(nil), positions...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	// Deduplicate.
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return &TermSignature{n: n, set: out}
+}
+
+// Set turns on the bit at position pos (no-op when already set); used by
+// dynamic inserts after the initial build.
+func (s *TermSignature) Set(pos int32) {
+	i := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= pos })
+	if i < len(s.set) && s.set[i] == pos {
+		return
+	}
+	s.set = append(s.set, 0)
+	copy(s.set[i+1:], s.set[i:])
+	s.set[i] = pos
+}
+
+// Test reports the bit at position pos.
+func (s *TermSignature) Test(pos int32) bool {
+	i := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= pos })
+	return i < len(s.set) && s.set[i] == pos
+}
+
+// TestRange reports whether any bit in [lo, lo+count) is set. For a
+// partitioned edge this answers "does any virtual edge of e contain t".
+func (s *TermSignature) TestRange(lo, count int32) bool {
+	i := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= lo })
+	return i < len(s.set) && s.set[i] < lo+count
+}
+
+// Ones returns the number of set bits.
+func (s *TermSignature) Ones() int { return len(s.set) }
+
+// rangeOnes counts set bits within [lo, hi).
+func (s *TermSignature) rangeOnes(lo, hi int32) int32 {
+	i := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= lo })
+	j := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= hi })
+	return int32(j - i)
+}
+
+// CompactedBits returns the size in bits of the KD-compacted signature
+// tree: a node is encoded in 2 bits (all-zero / all-one / mixed); the
+// subtrees of uniform nodes are elided. A flat bitmap would cost n bits;
+// sparse or clustered signatures compact far below that.
+func (s *TermSignature) CompactedBits() int64 {
+	var walk func(lo, hi int32) int64
+	walk = func(lo, hi int32) int64 {
+		ones := s.rangeOnes(lo, hi)
+		if ones == 0 || ones == hi-lo {
+			return 2 // uniform subtree collapses to one node
+		}
+		mid := (lo + hi) / 2
+		return 2 + walk(lo, mid) + walk(mid, hi)
+	}
+	if s.n == 0 {
+		return 0
+	}
+	return walk(0, s.n)
+}
+
+// SizeBytes returns the signature's storage cost in bytes: each term is
+// stored in whichever encoding is smaller — the flat bitmap (one bit per
+// slot) or the KD-compacted tree. Compaction wins when set bits are sparse
+// or spatially clustered (the common case at road-network scale); dense
+// signatures of very frequent terms fall back to the bitmap.
+func (s *TermSignature) SizeBytes() int64 {
+	bits := s.CompactedBits()
+	if flat := int64(s.n); flat < bits {
+		bits = flat
+	}
+	return (bits + 7) / 8
+}

@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// IOCounters is a point-in-time copy of a pool's I/O counters.
+type IOCounters struct {
+	LogicalRead int64 // page requests
+	DiskRead    int64 // buffer misses (the paper's "# disk accesses")
+	DiskWrite   int64 // page write-backs
+}
+
+// IOStats counts the logical and physical page accesses performed through a
+// buffer pool. Reads that hit the buffer are logical only; buffer misses
+// count as disk accesses — the metric the paper reports.
+type IOStats struct {
+	mu          sync.Mutex
+	LogicalRead int64
+	DiskRead    int64
+	DiskWrite   int64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *IOStats) Snapshot() IOCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return IOCounters{LogicalRead: s.LogicalRead, DiskRead: s.DiskRead, DiskWrite: s.DiskWrite}
+}
+
+// Reset zeroes all counters.
+func (s *IOStats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.LogicalRead, s.DiskRead, s.DiskWrite = 0, 0, 0
+}
+
+func (s *IOStats) addRead(miss bool) {
+	s.mu.Lock()
+	s.LogicalRead++
+	if miss {
+		s.DiskRead++
+	}
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addWrite() {
+	s.mu.Lock()
+	s.DiskWrite++
+	s.mu.Unlock()
+}
+
+// BufferPool is an LRU page cache in front of a PageFile. The paper uses an
+// LRU buffer sized at 2% of the network dataset; use FramesForBudget to
+// derive the frame count. BufferPool is safe for concurrent use, but a
+// *Page returned by Get must not be used after subsequent pool calls from
+// the same goroutine chain (frames are recycled on eviction). Callers that
+// mutate a page must call MarkDirty before releasing it.
+type BufferPool struct {
+	mu        sync.Mutex
+	file      File
+	frames    map[PageID]*list.Element
+	lru       *list.List // front = most recently used
+	capacity  int
+	stats     *IOStats
+	ioLatency time.Duration
+}
+
+type frame struct {
+	page  Page
+	dirty bool
+}
+
+// NewBufferPool creates a pool with the given number of frames (minimum 1)
+// over file. stats may be nil, in which case a private IOStats is created.
+func NewBufferPool(file File, capacity int, stats *IOStats) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if stats == nil {
+		stats = &IOStats{}
+	}
+	return &BufferPool{
+		file:     file,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+		capacity: capacity,
+		stats:    stats,
+	}
+}
+
+// FramesForBudget returns the number of frames an LRU buffer of
+// budgetBytes holds (at least 1).
+func FramesForBudget(budgetBytes int64) int {
+	n := int(budgetBytes / PageSize)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetIOLatency injects a synthetic delay per buffer miss, making response
+// time I/O-bound as on a spinning-disk testbed. Zero disables the delay.
+func (b *BufferPool) SetIOLatency(d time.Duration) {
+	b.mu.Lock()
+	b.ioLatency = d
+	b.mu.Unlock()
+}
+
+// SetCapacity resizes the pool (minimum 1 frame), evicting LRU frames as
+// needed. Builds run with a generous capacity, then shrink to the paper's
+// 2%-of-dataset budget before queries.
+func (b *BufferPool) SetCapacity(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity = n
+	for len(b.frames) > b.capacity {
+		el := b.lru.Back()
+		victim := el.Value.(*frame)
+		if victim.dirty {
+			if err := b.file.write(victim.page.id, victim.page.data[:]); err != nil {
+				return err
+			}
+			b.stats.addWrite()
+		}
+		delete(b.frames, victim.page.id)
+		b.lru.Remove(el)
+	}
+	return nil
+}
+
+// Capacity returns the pool's frame count.
+func (b *BufferPool) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// Stats returns the pool's I/O counters.
+func (b *BufferPool) Stats() *IOStats { return b.stats }
+
+// File returns the underlying page store.
+func (b *BufferPool) File() File { return b.file }
+
+// Allocate reserves a new page on the backing file and returns it pinned in
+// the buffer (counted as neither read nor write until flushed).
+func (b *BufferPool) Allocate() (*Page, error) {
+	id := b.file.Allocate()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fr, err := b.admit(id, false)
+	if err != nil {
+		return nil, err
+	}
+	fr.dirty = true
+	return &fr.page, nil
+}
+
+// Get returns the page with the given ID, loading it from the file on a
+// buffer miss.
+func (b *BufferPool) Get(id PageID) (*Page, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.frames[id]; ok {
+		b.lru.MoveToFront(el)
+		b.stats.addRead(false)
+		return &el.Value.(*frame).page, nil
+	}
+	b.stats.addRead(true)
+	if b.ioLatency > 0 {
+		time.Sleep(b.ioLatency)
+	}
+	fr, err := b.admit(id, true)
+	if err != nil {
+		return nil, err
+	}
+	return &fr.page, nil
+}
+
+// MarkDirty records that the page was modified so eviction writes it back.
+func (b *BufferPool) MarkDirty(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.frames[id]; ok {
+		el.Value.(*frame).dirty = true
+	}
+}
+
+// Flush writes all dirty pages back to the file without evicting them.
+func (b *BufferPool) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := b.file.write(fr.page.id, fr.page.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+			b.stats.addWrite()
+		}
+	}
+	return nil
+}
+
+// DropAll flushes and then empties the buffer, so the next reads are cold.
+// Experiments use this between the build phase and the query phase.
+func (b *BufferPool) DropAll() error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.frames = make(map[PageID]*list.Element, b.capacity)
+	b.lru.Init()
+	return nil
+}
+
+// admit loads (or creates) a frame for id, evicting the LRU frame if the
+// pool is full. Caller holds b.mu.
+func (b *BufferPool) admit(id PageID, load bool) (*frame, error) {
+	if len(b.frames) >= b.capacity {
+		el := b.lru.Back()
+		if el == nil {
+			return nil, fmt.Errorf("storage: buffer pool with no evictable frame")
+		}
+		victim := el.Value.(*frame)
+		if victim.dirty {
+			if err := b.file.write(victim.page.id, victim.page.data[:]); err != nil {
+				return nil, err
+			}
+			b.stats.addWrite()
+		}
+		delete(b.frames, victim.page.id)
+		b.lru.Remove(el)
+	}
+	fr := &frame{}
+	fr.page.id = id
+	if load {
+		if err := b.file.read(id, fr.page.data[:]); err != nil {
+			return nil, err
+		}
+	}
+	b.frames[id] = b.lru.PushFront(fr)
+	return fr, nil
+}

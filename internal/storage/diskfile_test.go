@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiskPageFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := NewDiskPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pool := NewBufferPool(f, 2, nil)
+
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		p, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.PutUint64(0, uint64(1000+i))
+		pool.MarkDirty(p.ID())
+		ids = append(ids, p.ID())
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		p, err := pool.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Uint64(0); got != uint64(1000+i) {
+			t.Fatalf("page %d = %d after disk round trip", id, got)
+		}
+	}
+	if f.NumPages() != 5 {
+		t.Errorf("NumPages = %d", f.NumPages())
+	}
+	if f.SizeBytes() != 5*PageSize {
+		t.Errorf("SizeBytes = %d", f.SizeBytes())
+	}
+}
+
+func TestDiskPageFileBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := NewDiskPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := make([]byte, PageSize)
+	if err := f.read(InvalidPageID, dst); err == nil {
+		t.Error("read of null page succeeded")
+	}
+	if err := f.read(PageID(42), dst); err == nil {
+		t.Error("read of unallocated page succeeded")
+	}
+	if err := f.write(PageID(42), dst); err == nil {
+		t.Error("write of unallocated page succeeded")
+	}
+}
+
+func TestDiskPageFileFaultHook(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := NewDiskPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pool := NewBufferPool(f, 1, nil)
+	p, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID()
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("injected")
+	f.SetFault(func(op string, _ PageID) error {
+		if op == "read" {
+			return want
+		}
+		return nil
+	})
+	if _, err := pool.Get(id); !errors.Is(err, want) {
+		t.Errorf("Get under fault = %v", err)
+	}
+}
+
+// TestBTreeOnDisk is an integration check that the whole stack works on a
+// real file (exercised via a pool here; btree-level tests construct their
+// own in-memory pools).
+func TestPoolEvictionPersistsOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := NewDiskPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pool := NewBufferPool(f, 1, nil) // single frame: every access evicts
+	a, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aid := a.ID()
+	a.PutUint32(0, 7)
+	pool.MarkDirty(aid)
+	b, err := pool.Allocate() // evicts a to disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PutUint32(0, 8)
+	pool.MarkDirty(b.ID())
+	got, err := pool.Get(aid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Uint32(0) != 7 {
+		t.Fatalf("evicted page lost on disk: %d", got.Uint32(0))
+	}
+}

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+var errInjected = errors.New("injected disk fault")
+
+func TestFaultHookReadFails(t *testing.T) {
+	f := NewPageFile()
+	pool := NewBufferPool(f, 2, nil)
+	p, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.ID()
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFault(func(op string, _ PageID) error {
+		if op == "read" {
+			return errInjected
+		}
+		return nil
+	})
+	if _, err := pool.Get(id); !errors.Is(err, errInjected) {
+		t.Errorf("Get under fault = %v, want injected error", err)
+	}
+	// Clearing the hook restores service.
+	f.SetFault(nil)
+	if _, err := pool.Get(id); err != nil {
+		t.Errorf("Get after clearing fault = %v", err)
+	}
+}
+
+func TestFaultHookWriteFails(t *testing.T) {
+	f := NewPageFile()
+	pool := NewBufferPool(f, 2, nil)
+	p, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.MarkDirty(p.ID())
+	f.SetFault(func(op string, _ PageID) error {
+		if op == "write" {
+			return errInjected
+		}
+		return nil
+	})
+	if err := pool.Flush(); !errors.Is(err, errInjected) {
+		t.Errorf("Flush under fault = %v, want injected error", err)
+	}
+}
+
+func TestFaultHookSelectivePage(t *testing.T) {
+	f := NewPageFile()
+	pool := NewBufferPool(f, 1, nil)
+	a, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aid := a.ID()
+	b, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := b.ID()
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFault(func(op string, id PageID) error {
+		if op == "read" && id == bid {
+			return errInjected
+		}
+		return nil
+	})
+	if _, err := pool.Get(aid); err != nil {
+		t.Errorf("healthy page failed: %v", err)
+	}
+	if _, err := pool.Get(bid); !errors.Is(err, errInjected) {
+		t.Errorf("faulty page returned %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+func float64bits(v float64) uint64     { return math.Float64bits(v) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// FaultHook inspects a page operation ("read" or "write") before it
+// executes; a non-nil return fails the operation. Failure-injection tests
+// use it to verify that I/O errors propagate cleanly through the index
+// structures and search algorithms.
+type FaultHook func(op string, id PageID) error
+
+// File is the page store a BufferPool manages: the in-memory simulation
+// (PageFile) or a real on-disk file (DiskPageFile).
+type File interface {
+	// Allocate reserves a fresh zeroed page and returns its ID.
+	Allocate() PageID
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// SizeBytes returns the store's total size in bytes.
+	SizeBytes() int64
+	read(id PageID, dst []byte) error
+	write(id PageID, src []byte) error
+}
+
+// PageFile is the backing "disk": an append-only collection of pages kept
+// in memory. Page 0 is reserved so that InvalidPageID can act as a null
+// reference. PageFile is safe for concurrent use.
+type PageFile struct {
+	mu    sync.RWMutex
+	pages [][]byte
+	fault FaultHook
+}
+
+// NewPageFile returns an empty page file.
+func NewPageFile() *PageFile {
+	// Reserve page 0 so that PageID 0 is never a live page.
+	return &PageFile{pages: make([][]byte, 1)}
+}
+
+// Allocate reserves a fresh zeroed page and returns its ID.
+func (f *PageFile) Allocate() PageID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := PageID(len(f.pages))
+	f.pages = append(f.pages, make([]byte, PageSize))
+	return id
+}
+
+// NumPages returns the number of allocated pages (excluding the reserved
+// null page).
+func (f *PageFile) NumPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.pages) - 1
+}
+
+// SizeBytes returns the total size of the file in bytes.
+func (f *PageFile) SizeBytes() int64 { return int64(f.NumPages()) * PageSize }
+
+// SetFault installs (or clears, with nil) the failure-injection hook.
+func (f *PageFile) SetFault(hook FaultHook) {
+	f.mu.Lock()
+	f.fault = hook
+	f.mu.Unlock()
+}
+
+// read copies the page's bytes into dst.
+func (f *PageFile) read(id PageID, dst []byte) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.fault != nil {
+		if err := f.fault("read", id); err != nil {
+			return err
+		}
+	}
+	if id == InvalidPageID || int(id) >= len(f.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(dst, f.pages[id])
+	return nil
+}
+
+// write copies src into the page's bytes.
+func (f *PageFile) write(id PageID, src []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fault != nil {
+		if err := f.fault("write", id); err != nil {
+			return err
+		}
+	}
+	if id == InvalidPageID || int(id) >= len(f.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(f.pages[id], src)
+	return nil
+}

@@ -1,0 +1,134 @@
+package dsks
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dsks/internal/dataset"
+	"dsks/internal/graph"
+	"dsks/internal/obj"
+)
+
+// Database persistence: SaveTo snapshots the road network, the live object
+// set and the database options into a directory; OpenPath restores them and
+// rebuilds the disk-resident index structures. The structures themselves
+// are bulk-built (as in the paper), so rebuild-on-open is both simple and
+// fast; note that object IDs are reassigned densely on load (tombstoned
+// objects are dropped from the snapshot).
+
+// dbMeta is the persisted configuration.
+type dbMeta struct {
+	Format         int       `json:"format"`
+	Index          IndexKind `json:"index"`
+	BufferFraction float64   `json:"bufferFraction,omitempty"`
+	PartitionCuts  int       `json:"partitionCuts,omitempty"`
+	VocabSize      int       `json:"vocabSize"`
+}
+
+const dbMetaFormat = 1
+
+// SaveTo snapshots the database into dir (created if needed): the road
+// network, every live object, and the options required to rebuild the
+// same index structure on OpenPath.
+func (db *DB) SaveTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	gf, err := os.Create(filepath.Join(dir, "graph"))
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	if err := graph.Write(gf, db.sys.DS.Graph); err != nil {
+		return fmt.Errorf("dsks: saving graph: %w", err)
+	}
+	of, err := os.Create(filepath.Join(dir, "objects"))
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := dataset.WriteObjects(of, db.sys.DS.Objects, db.sys.DS.VocabSize); err != nil {
+		return fmt.Errorf("dsks: saving objects: %w", err)
+	}
+	meta := dbMeta{
+		Format:    dbMetaFormat,
+		Index:     db.kind,
+		VocabSize: db.sys.DS.VocabSize,
+	}
+	mf, err := os.Create(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	return enc.Encode(meta)
+}
+
+// SaveVocabulary writes a Vocabulary next to a saved database (SaveTo does
+// not persist it — the index stores TermIDs only) so that keyword strings
+// resolve identically after OpenPath.
+func SaveVocabulary(dir string, v *Vocabulary) error {
+	f, err := os.Create(filepath.Join(dir, "vocabulary"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return v.Write(f)
+}
+
+// LoadVocabulary reads a vocabulary saved with SaveVocabulary.
+func LoadVocabulary(dir string) (*Vocabulary, error) {
+	f, err := os.Open(filepath.Join(dir, "vocabulary"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obj.ReadVocabulary(bufio.NewReader(f))
+}
+
+// OpenPath restores a database saved with SaveTo, rebuilding the index
+// structures. opts fields that are zero keep the persisted configuration;
+// a non-empty opts.Index overrides the saved index kind.
+func OpenPath(dir string, opts Options) (*DB, error) {
+	mf, err := os.Open(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	var meta dbMeta
+	if err := json.NewDecoder(mf).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("dsks: reading meta.json: %w", err)
+	}
+	if meta.Format != dbMetaFormat {
+		return nil, fmt.Errorf("dsks: unsupported database format %d", meta.Format)
+	}
+	gf, err := os.Open(filepath.Join(dir, "graph"))
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	g, err := graph.Read(bufio.NewReader(gf))
+	if err != nil {
+		return nil, fmt.Errorf("dsks: reading graph: %w", err)
+	}
+	of, err := os.Open(filepath.Join(dir, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	defer of.Close()
+	col, vocab, err := dataset.ReadObjects(bufio.NewReader(of))
+	if err != nil {
+		return nil, fmt.Errorf("dsks: reading objects: %w", err)
+	}
+	if vocab != meta.VocabSize {
+		return nil, fmt.Errorf("dsks: vocabulary size mismatch: objects %d vs meta %d", vocab, meta.VocabSize)
+	}
+	if opts.Index == "" {
+		opts.Index = meta.Index
+	}
+	return Open(g, col, vocab, opts)
+}

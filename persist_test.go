@@ -1,0 +1,140 @@
+package dsks_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsks"
+)
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 2000, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dsks.OpenDataset(ds, dsks.Options{Index: dsks.IndexSIF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dsks.OpenPath(dir, dsks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: 10, Keywords: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object IDs are reassigned on load; compare candidate counts and
+	// distances.
+	for _, q := range ws {
+		skq := dsks.SKQuery{Pos: q.Pos, Terms: q.Terms, DeltaMax: q.DeltaMax}
+		a, err := db.Search(skq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Search(skq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Candidates) != len(b.Candidates) {
+			t.Fatalf("reloaded DB found %d candidates, original %d",
+				len(b.Candidates), len(a.Candidates))
+		}
+		for i := range a.Candidates {
+			if math.Abs(a.Candidates[i].Dist-b.Candidates[i].Dist) > 1e-9 {
+				t.Fatalf("candidate %d distance %v vs %v",
+					i, a.Candidates[i].Dist, b.Candidates[i].Dist)
+			}
+		}
+	}
+}
+
+func TestSaveExcludesRemoved(t *testing.T) {
+	db, vocab, origin, _ := buildTinyCity(t)
+	terms, _ := vocab.LookupAll([]string{"pizza"})
+	before, err := db.Search(dsks.SKQuery{Pos: origin, Terms: terms, DeltaMax: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove(before.Candidates[0].Ref.ID); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dsks.OpenPath(dir, dsks.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := back.Search(dsks.SKQuery{Pos: origin, Terms: terms, DeltaMax: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Candidates) != len(before.Candidates)-1 {
+		t.Fatalf("reloaded DB has %d candidates, want %d",
+			len(after.Candidates), len(before.Candidates)-1)
+	}
+}
+
+func TestOpenPathIndexOverride(t *testing.T) {
+	db, _, _, _ := buildTinyCity(t)
+	dir := t.TempDir()
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dsks.OpenPath(dir, dsks.Options{Index: dsks.IndexIF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = back
+}
+
+func TestOpenPathRejectsGarbage(t *testing.T) {
+	if _, err := dsks.OpenPath(filepath.Join(t.TempDir(), "nope"), dsks.Options{}); err == nil {
+		t.Error("missing directory accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"format": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsks.OpenPath(dir, dsks.Options{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestVocabularyPersistence(t *testing.T) {
+	v := dsks.NewVocabulary()
+	ids := v.InternAll([]string{"pizza", "sushi", "café latte"})
+	dir := t.TempDir()
+	if err := dsks.SaveVocabulary(dir, v); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dsks.LoadVocabulary(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != v.Size() {
+		t.Fatalf("size %d, want %d", back.Size(), v.Size())
+	}
+	got, err := back.LookupAll([]string{"pizza", "sushi", "café latte"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("term %d id %d, want %d", i, got[i], ids[i])
+		}
+	}
+	if _, err := dsks.LoadVocabulary(t.TempDir()); err == nil {
+		t.Error("missing vocabulary accepted")
+	}
+}

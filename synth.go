@@ -1,0 +1,64 @@
+package dsks
+
+import (
+	"dsks/internal/dataset"
+)
+
+// Synthetic data generation, re-exported for examples, benchmarks and
+// downstream experimentation. The generators produce analogues of the
+// paper's evaluation datasets: road networks with matched edge/node
+// ratios and spatio-textual objects with Zipf-distributed, co-occurring
+// keywords.
+
+// Preset names one of the paper's datasets (Table 2).
+type Preset = dataset.Preset
+
+// The four evaluation datasets of the paper.
+const (
+	PresetSYN = dataset.PresetSYN
+	PresetNA  = dataset.PresetNA
+	PresetTW  = dataset.PresetTW
+	PresetSF  = dataset.PresetSF
+)
+
+// Dataset is a generated road network + object set.
+type Dataset = dataset.Dataset
+
+// GeneratePreset builds the analogue of one of the paper's datasets,
+// scaled down by scaleDenom (1 = full paper scale).
+func GeneratePreset(p Preset, scaleDenom int, seed int64) (*Dataset, error) {
+	return dataset.GeneratePreset(p, scaleDenom, seed)
+}
+
+// NetworkConfig shapes a custom generated road network.
+type NetworkConfig = dataset.NetworkConfig
+
+// GenerateNetwork builds a connected road network in the world space.
+func GenerateNetwork(cfg NetworkConfig) (*Graph, error) {
+	return dataset.GenerateNetwork(cfg)
+}
+
+// ObjectConfig shapes a custom generated object set.
+type ObjectConfig = dataset.ObjectConfig
+
+// GenerateObjects places spatio-textual objects on a network's edges.
+func GenerateObjects(g *Graph, cfg ObjectConfig) (*Collection, error) {
+	return dataset.GenerateObjects(g, cfg)
+}
+
+// WorkloadConfig shapes a generated query workload.
+type WorkloadConfig = dataset.WorkloadConfig
+
+// WorkloadQuery is one generated query: location, keywords, range.
+type WorkloadQuery = dataset.Query
+
+// GenerateWorkload draws query locations from the object locations and
+// keywords with frequency-weighted probability, per the paper's setup.
+func GenerateWorkload(col *Collection, vocabSize int, cfg WorkloadConfig) ([]WorkloadQuery, error) {
+	return dataset.GenerateWorkload(col, vocabSize, cfg)
+}
+
+// OpenDataset opens a database over a generated dataset.
+func OpenDataset(ds *Dataset, opts Options) (*DB, error) {
+	return Open(ds.Graph, ds.Objects, ds.VocabSize, opts)
+}
