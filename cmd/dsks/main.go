@@ -7,24 +7,31 @@
 //	dsks -preset SYN -scale 200 -terms 3,7 -deltamax 1500           # boolean SK query
 //	dsks -preset NA -terms 1,2,5 -k 10 -lambda 0.8 -algo COM        # diversified
 //	dsks -load ./data/na -terms 4 -index SIF-P -queries 5
+//	dsks -preset SYN -queries 20 -stats                             # metrics report
+//	dsks -preset NA -timeout 50ms -terms 1,2                        # per-query deadline
 //
 // Keywords are term IDs of the generated vocabulary (0 = most frequent).
 // Without -terms the tool anchors each query at a random object and uses
-// its keywords, printing the chosen terms.
+// its keywords, printing the chosen terms. With -stats, a metrics report
+// (per-kind query counts, latency quantiles, buffer-pool hit rates)
+// follows the query output; the bare argument "stats" does the same.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dsks/internal/core"
 	"dsks/internal/dataset"
 	"dsks/internal/harness"
-	"dsks/internal/index"
+	"dsks/internal/metrics"
 	"dsks/internal/obj"
 )
 
@@ -50,7 +57,12 @@ func run() error {
 	knn := flag.Int("knn", 0, "k-nearest-neighbor mode: return the knn closest matches (overrides -k)")
 	alpha := flag.Float64("alpha", -1, "ranked mode: spatial weight α in [0,1] (overrides -k and -knn)")
 	queries := flag.Int("queries", 1, "number of queries to run")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+	stats := flag.Bool("stats", false, "print the metrics report after the queries")
 	flag.Parse()
+	if flag.Arg(0) == "stats" {
+		*stats = true
+	}
 
 	var ds *dataset.Dataset
 	var err error
@@ -102,78 +114,113 @@ func run() error {
 		fmt.Printf("query %d: edge %d offset %.1f, terms %v, δmax %.0f\n",
 			qi+1, skq.Pos.Edge, skq.Pos.Offset, skq.Terms, skq.DeltaMax)
 
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		err := runQuery(ctx, sys, ik, skq, *k, *lambda, *algo, *knn, *alpha)
+		cancel()
 		switch {
-		case *alpha >= 0:
-			loader, err := sys.Loader(ik)
-			if err != nil {
-				return err
-			}
-			ul, ok := loader.(index.UnionLoader)
-			if !ok {
-				return fmt.Errorf("index %s does not support ranked queries", ik)
-			}
-			kk := *k
-			if kk <= 0 {
-				kk = 10
-			}
-			res, stats, err := core.SearchRanked(sys.Net, ul, core.RankedQuery{
-				Pos: skq.Pos, Terms: skq.Terms, K: kk, Alpha: *alpha, DeltaMax: skq.DeltaMax,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  ranked top-%d (α=%.2f); %d candidates seen, early-stop=%v\n",
-				kk, *alpha, stats.Candidates, stats.EarlyTerminate)
-			for i, r := range res {
-				fmt.Printf("  #%d object %d score %.3f (%d/%d keywords, %.1f away)\n",
-					i+1, r.Ref.ID, r.Score, r.Matched, len(skq.Terms), r.Dist)
-			}
-		case *knn > 0:
-			loader, err := sys.Loader(ik)
-			if err != nil {
-				return err
-			}
-			cands, stats, err := core.SearchKNN(sys.Net, loader, core.KNNQuery{
-				Pos: skq.Pos, Terms: skq.Terms, K: *knn, MaxDist: skq.DeltaMax,
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %d nearest matches (%d nodes expanded)\n", len(cands), stats.NodesPopped)
-			for i, c := range cands {
-				fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
-					i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
-			}
-		case *k <= 0:
-			res, err := sys.RunSK(ik, skq)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %d candidates in %v (%d disk reads, %d nodes expanded)\n",
-				len(res.Candidates), res.Elapsed.Round(0), res.DiskReads, res.Stats.NodesPopped)
-			for i, c := range res.Candidates {
-				if i == 10 {
-					fmt.Printf("  ... %d more\n", len(res.Candidates)-10)
-					break
-				}
-				fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
-					i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
-			}
-		default:
-			res, err := sys.RunDiv(ik, harness.DivAlgo(*algo), harness.DivQueryOf(
-				dataset.Query{Pos: skq.Pos, Terms: skq.Terms, DeltaMax: skq.DeltaMax}, *k, *lambda))
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  %s chose %d objects (f = %.4f) in %v; %d disk reads, %d candidates seen, %d pruned, early-stop=%v\n",
-				*algo, len(res.Div.Objects), res.Div.F, res.Elapsed.Round(0),
-				res.DiskReads, res.Stats.Candidates, res.Stats.Pruned, res.Stats.EarlyTerminate)
-			for i, c := range res.Div.Objects {
-				fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
-					i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
-			}
+		case errors.Is(err, core.ErrDeadlineExceeded):
+			fmt.Printf("  query aborted: deadline of %v exceeded\n", *timeout)
+		case err != nil:
+			return err
 		}
 		fmt.Println()
 	}
+	if *stats {
+		printStats(sys.Metrics.Snapshot())
+	}
 	return nil
+}
+
+// runQuery dispatches one query to the mode the flags select.
+func runQuery(ctx context.Context, sys *harness.System, ik harness.IndexKind,
+	skq core.SKQuery, k int, lambda float64, algo string, knn int, alpha float64) error {
+	switch {
+	case alpha >= 0:
+		kk := k
+		if kk <= 0 {
+			kk = 10
+		}
+		res, err := sys.RunRanked(ctx, ik, core.RankedQuery{
+			Pos: skq.Pos, Terms: skq.Terms, K: kk, Alpha: alpha, DeltaMax: skq.DeltaMax,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  ranked top-%d (α=%.2f); %d candidates seen, early-stop=%v\n",
+			kk, alpha, res.Stats.Candidates, res.Stats.EarlyTerminate)
+		for i, r := range res.Ranked {
+			fmt.Printf("  #%d object %d score %.3f (%d/%d keywords, %.1f away)\n",
+				i+1, r.Ref.ID, r.Score, r.Matched, len(skq.Terms), r.Dist)
+		}
+	case knn > 0:
+		res, err := sys.RunKNN(ctx, ik, core.KNNQuery{
+			Pos: skq.Pos, Terms: skq.Terms, K: knn, MaxDist: skq.DeltaMax,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d nearest matches (%d nodes expanded)\n",
+			len(res.Candidates), res.Stats.NodesPopped)
+		for i, c := range res.Candidates {
+			fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
+				i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
+		}
+	case k <= 0:
+		res, err := sys.RunSK(ctx, ik, skq)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d candidates in %v (%d disk reads, %d nodes expanded)\n",
+			len(res.Candidates), res.Elapsed.Round(0), res.DiskReads, res.Stats.NodesPopped)
+		for i, c := range res.Candidates {
+			if i == 10 {
+				fmt.Printf("  ... %d more\n", len(res.Candidates)-10)
+				break
+			}
+			fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
+				i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
+		}
+	default:
+		res, err := sys.RunDiv(ctx, ik, harness.DivAlgo(algo), harness.DivQueryOf(
+			dataset.Query{Pos: skq.Pos, Terms: skq.Terms, DeltaMax: skq.DeltaMax}, k, lambda))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s chose %d objects (f = %.4f) in %v; %d disk reads, %d candidates seen, %d pruned, early-stop=%v\n",
+			algo, len(res.Div.Objects), res.Div.F, res.Elapsed.Round(0),
+			res.DiskReads, res.Stats.Candidates, res.Stats.Pruned, res.Stats.EarlyTerminate)
+		for i, c := range res.Div.Objects {
+			fmt.Printf("  #%d object %d on edge %d at network distance %.1f\n",
+				i+1, c.Ref.ID, c.Ref.Edge, c.Dist)
+		}
+	}
+	return nil
+}
+
+// printStats renders the metrics snapshot: one line per active query kind,
+// then the buffer pools.
+func printStats(snap metrics.Snapshot) {
+	fmt.Printf("--- metrics (%d queries) ---\n", snap.TotalQueries())
+	for _, kind := range metrics.Kinds() {
+		q, ok := snap.Queries[kind]
+		if !ok || q.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-12s n=%-4d err=%d canceled=%d  p50=%v p95=%v p99=%v mean=%v max=%v\n",
+			kind, q.Count, q.Errors, q.Canceled,
+			q.P50.Round(time.Microsecond), q.P95.Round(time.Microsecond),
+			q.P99.Round(time.Microsecond), q.Mean.Round(time.Microsecond),
+			q.Max.Round(time.Microsecond))
+		fmt.Printf("             nodes=%d edges=%d candidates=%d pruned=%d pairdist=%d diskreads=%d\n",
+			q.NodesPopped, q.EdgesVisited, q.Candidates, q.Pruned, q.PairDistCalcs, q.DiskReads)
+	}
+	for _, name := range snap.PoolNames() {
+		p := snap.Pools[name]
+		fmt.Printf("pool %-10s logical=%-8d disk=%-8d hit-rate=%.1f%%\n",
+			name, p.LogicalReads, p.DiskReads, 100*p.HitRate)
+	}
 }

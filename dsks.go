@@ -15,6 +15,16 @@
 // inverted file, and all page reads flow through an LRU buffer pool whose
 // misses are reported as disk accesses.
 //
+// Every query has a context-aware variant (SearchCtx, SearchDiversifiedCtx,
+// ...) that honors cancellation and deadlines: the network expansion checks
+// the context between steps and before every simulated disk read, so a
+// canceled query stops promptly and returns an error matching ErrCanceled
+// or ErrDeadlineExceeded under errors.Is. The context-free methods are thin
+// wrappers over context.Background(). Per-query latencies, work counters
+// and buffer-pool hit rates are aggregated in a lock-free metrics registry
+// (Metrics, Snapshot); per-query stage timings can be observed with
+// SetTraceHook.
+//
 // Quick start:
 //
 //	g := dsks.NewGraph()
@@ -39,6 +49,8 @@
 package dsks
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -47,8 +59,8 @@ import (
 	"dsks/internal/geo"
 	"dsks/internal/graph"
 	"dsks/internal/harness"
-	"dsks/internal/index"
 	"dsks/internal/invindex"
+	"dsks/internal/metrics"
 	"dsks/internal/obj"
 	"dsks/internal/sig"
 )
@@ -83,6 +95,60 @@ type (
 	Candidate = core.Candidate
 	// SearchStats are the per-query cost counters.
 	SearchStats = core.SearchStats
+	// Trace holds one query's stage timings: network expansion, posting
+	// reads, and greedy diversification.
+	Trace = core.Trace
+)
+
+// Observability aliases: the metrics registry and its snapshot types.
+type (
+	// MetricsRegistry aggregates query samples by kind; obtain the
+	// database's registry with DB.Metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time view of the registry: per-kind
+	// latency quantiles and work counters, plus buffer-pool hit rates.
+	MetricsSnapshot = metrics.Snapshot
+	// QuerySnapshot is the aggregated view of one query kind.
+	QuerySnapshot = metrics.QuerySnapshot
+	// PoolSnapshot is the read-counter view of one buffer pool.
+	PoolSnapshot = metrics.PoolSnapshot
+	// QueryKind labels the query families the engine serves.
+	QueryKind = metrics.QueryKind
+	// TraceHook observes per-query stage timings; install with
+	// DB.SetTraceHook.
+	TraceHook = harness.TraceHook
+)
+
+// The query kinds appearing in metrics snapshots.
+const (
+	KindSearch      = metrics.KindSearch
+	KindDiversified = metrics.KindDiversified
+	KindKNN         = metrics.KindKNN
+	KindRanked      = metrics.KindRanked
+	KindCollective  = metrics.KindCollective
+	KindStream      = metrics.KindStream
+)
+
+// Sentinel errors. Query errors wrap both the dsks sentinel and the
+// underlying context error, so errors.Is(err, dsks.ErrCanceled) and
+// errors.Is(err, context.Canceled) both hold for a canceled query.
+var (
+	// ErrCanceled reports a query aborted because its context was canceled.
+	ErrCanceled = core.ErrCanceled
+	// ErrDeadlineExceeded reports a query aborted because its context's
+	// deadline passed.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrUnsupportedIndex reports an operation the database's index
+	// structure cannot serve (e.g. ranked queries on IR, inserts on IR).
+	ErrUnsupportedIndex = errors.New("dsks: operation not supported by this index")
+	// ErrUnknownObject reports an ObjectID that does not name a live object.
+	ErrUnknownObject = errors.New("dsks: unknown object")
+	// ErrUnknownEdge reports an EdgeID outside the road network.
+	ErrUnknownEdge = errors.New("dsks: unknown edge")
+	// ErrTermOutOfRange reports a TermID at or beyond the vocabulary size.
+	ErrTermOutOfRange = errors.New("dsks: term outside vocabulary")
+	// ErrBadOptions reports invalid Options passed to Open.
+	ErrBadOptions = errors.New("dsks: bad options")
 )
 
 // NewGraph returns an empty road network; add nodes and edges, then call
@@ -150,6 +216,25 @@ type Options struct {
 	SelectivityOrder bool
 }
 
+// validate rejects option values that cannot configure a database.
+func (o Options) validate() error {
+	switch o.Index {
+	case "", IndexIR, IndexIF, IndexSIF, IndexSIFP:
+	default:
+		return fmt.Errorf("%w: unknown index kind %q", ErrBadOptions, o.Index)
+	}
+	if o.BufferFraction < 0 {
+		return fmt.Errorf("%w: BufferFraction must be non-negative, got %v", ErrBadOptions, o.BufferFraction)
+	}
+	if o.IOLatency < 0 {
+		return fmt.Errorf("%w: IOLatency must be non-negative, got %v", ErrBadOptions, o.IOLatency)
+	}
+	if o.PartitionCuts < 0 {
+		return fmt.Errorf("%w: PartitionCuts must be non-negative, got %d", ErrBadOptions, o.PartitionCuts)
+	}
+	return nil
+}
+
 // DB is an opened database: the disk-resident road network and object
 // index, ready for queries. Queries may run concurrently (the shared
 // buffer pools serialize page access internally); ResetIO must not race
@@ -161,10 +246,14 @@ type DB struct {
 
 // Open builds the disk-resident structures for the given road network and
 // object collection. vocabSize must be at least one greater than the
-// largest TermID used by the collection.
+// largest TermID used by the collection. Invalid Options are rejected with
+// an error matching ErrBadOptions.
 func Open(g *Graph, objects *Collection, vocabSize int, opts Options) (*DB, error) {
 	if g == nil || objects == nil {
-		return nil, fmt.Errorf("dsks: nil graph or collection")
+		return nil, fmt.Errorf("%w: nil graph or collection", ErrBadOptions)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	if opts.Index == "" {
 		opts.Index = IndexSIFP
@@ -187,7 +276,25 @@ func Open(g *Graph, objects *Collection, vocabSize int, opts Options) (*DB, erro
 	return &DB{sys: sys, kind: opts.Index}, nil
 }
 
-// Result is a query outcome with its cost metrics.
+// Metrics returns the database's metrics registry. Queries record into it
+// automatically; Reset zeroes the aggregates.
+func (db *DB) Metrics() *MetricsRegistry { return db.sys.Metrics }
+
+// Snapshot captures the metrics registry: per-kind query counts, latency
+// quantiles (p50/p95/p99), work counters, and buffer-pool hit rates.
+func (db *DB) Snapshot() MetricsSnapshot { return db.sys.Metrics.Snapshot() }
+
+// SetTraceHook installs (or, with nil, removes) a hook observing each
+// query's stage timings. The hook runs synchronously on the query
+// goroutine, so it must be fast, and it is called concurrently if queries
+// are.
+func (db *DB) SetTraceHook(h TraceHook) { db.sys.SetTraceHook(h) }
+
+// Result is a query outcome with its cost metrics. Every query family
+// fills the shared fields (Elapsed, DiskReads, Stats, Trace); the payload
+// fields depend on the method: boolean, kNN and diversified searches fill
+// Candidates (and F for diversified), ranked searches fill Ranked, and
+// collective searches fill Collective.
 type Result struct {
 	// Candidates are the qualifying objects in non-decreasing network
 	// distance (boolean queries) or the chosen diversified set (in pair
@@ -196,19 +303,30 @@ type Result struct {
 	// F is the diversification objective value f(S); zero for boolean
 	// queries.
 	F float64
+	// Ranked are the scored objects of a ranked query, best first.
+	Ranked []RankedResult
+	// Collective is the keyword-covering group of a collective query.
+	Collective *CollectiveResult
 	// Elapsed is the query's wall-clock time.
 	Elapsed time.Duration
 	// DiskReads counts buffer-pool misses during the query.
 	DiskReads int64
 	// Stats are the detailed cost counters.
 	Stats SearchStats
+	// Trace is the query's stage-timing breakdown.
+	Trace Trace
 }
 
 // Search runs a boolean spatial keyword query: all objects within
 // q.DeltaMax network distance containing every keyword of q.Terms,
 // in non-decreasing distance order.
 func (db *DB) Search(q SKQuery) (Result, error) {
-	r, err := db.sys.RunSK(db.kind, q)
+	return db.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search honoring the context's cancellation and deadline.
+func (db *DB) SearchCtx(ctx context.Context, q SKQuery) (Result, error) {
+	r, err := db.sys.RunSK(ctx, db.kind, q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -217,19 +335,32 @@ func (db *DB) Search(q SKQuery) (Result, error) {
 		Elapsed:    r.Elapsed,
 		DiskReads:  r.DiskReads,
 		Stats:      r.Stats,
+		Trace:      r.Trace,
 	}, nil
 }
 
 // SearchDiversified runs a diversified spatial keyword query with the
 // incremental COM algorithm (Algorithm 6 of the paper).
 func (db *DB) SearchDiversified(q DivQuery) (Result, error) {
-	return db.SearchDiversifiedWith(AlgoCOM, q)
+	return db.SearchDiversifiedWithCtx(context.Background(), AlgoCOM, q)
+}
+
+// SearchDiversifiedCtx is SearchDiversified honoring the context's
+// cancellation and deadline.
+func (db *DB) SearchDiversifiedCtx(ctx context.Context, q DivQuery) (Result, error) {
+	return db.SearchDiversifiedWithCtx(ctx, AlgoCOM, q)
 }
 
 // SearchDiversifiedWith runs a diversified query with an explicit
 // algorithm choice (COM or the SEQ baseline).
 func (db *DB) SearchDiversifiedWith(algo Algo, q DivQuery) (Result, error) {
-	r, err := db.sys.RunDiv(db.kind, algo, q)
+	return db.SearchDiversifiedWithCtx(context.Background(), algo, q)
+}
+
+// SearchDiversifiedWithCtx is SearchDiversifiedWith honoring the context's
+// cancellation and deadline.
+func (db *DB) SearchDiversifiedWithCtx(ctx context.Context, algo Algo, q DivQuery) (Result, error) {
+	r, err := db.sys.RunDiv(ctx, db.kind, algo, q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -239,6 +370,7 @@ func (db *DB) SearchDiversifiedWith(algo Algo, q DivQuery) (Result, error) {
 		Elapsed:    r.Elapsed,
 		DiskReads:  r.DiskReads,
 		Stats:      r.Stats,
+		Trace:      r.Trace,
 	}, nil
 }
 
@@ -250,21 +382,22 @@ type KNNQuery = core.KNNQuery
 // in non-decreasing network distance. The expansion stops as soon as the
 // k-th match is emitted.
 func (db *DB) SearchKNN(q KNNQuery) (Result, error) {
-	loader, err := db.sys.Loader(db.kind)
-	if err != nil {
-		return Result{}, err
-	}
-	before := db.sys.DiskReads(db.kind)
-	start := time.Now()
-	cands, stats, err := core.SearchKNN(db.sys.Net, loader, q)
+	return db.SearchKNNCtx(context.Background(), q)
+}
+
+// SearchKNNCtx is SearchKNN honoring the context's cancellation and
+// deadline.
+func (db *DB) SearchKNNCtx(ctx context.Context, q KNNQuery) (Result, error) {
+	r, err := db.sys.RunKNN(ctx, db.kind, q)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
-		Candidates: cands,
-		Elapsed:    time.Since(start),
-		DiskReads:  db.sys.DiskReads(db.kind) - before,
-		Stats:      stats,
+		Candidates: r.Candidates,
+		Elapsed:    r.Elapsed,
+		DiskReads:  r.DiskReads,
+		Stats:      r.Stats,
+		Trace:      r.Trace,
 	}, nil
 }
 
@@ -275,18 +408,43 @@ type RankedQuery = core.RankedQuery
 // RankedResult is one scored object of a ranked query.
 type RankedResult = core.RankedResult
 
-// SearchRanked runs the top-k ranked spatial keyword query. It requires
-// an index with OR-semantics support (IF, SIF or SIF-P).
-func (db *DB) SearchRanked(q RankedQuery) ([]RankedResult, SearchStats, error) {
-	loader, err := db.sys.Loader(db.kind)
+// SearchRanked runs the top-k ranked spatial keyword query and returns the
+// scored objects in Result.Ranked. It requires an index with OR-semantics
+// support (IF, SIF or SIF-P); others fail with an error matching
+// ErrUnsupportedIndex.
+func (db *DB) SearchRanked(q RankedQuery) (Result, error) {
+	return db.SearchRankedCtx(context.Background(), q)
+}
+
+// SearchRankedCtx is SearchRanked honoring the context's cancellation and
+// deadline.
+func (db *DB) SearchRankedCtx(ctx context.Context, q RankedQuery) (Result, error) {
+	if _, err := db.sys.UnionLoader(db.kind); err != nil {
+		return Result{}, fmt.Errorf("dsks: ranked query on index %s: %w", db.kind, ErrUnsupportedIndex)
+	}
+	r, err := db.sys.RunRanked(ctx, db.kind, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Ranked:    r.Ranked,
+		Elapsed:   r.Elapsed,
+		DiskReads: r.DiskReads,
+		Stats:     r.Stats,
+		Trace:     r.Trace,
+	}, nil
+}
+
+// SearchRankedStats is the pre-envelope form of SearchRanked.
+//
+// Deprecated: use SearchRanked or SearchRankedCtx, which return the
+// unified Result envelope with timing and I/O metrics.
+func (db *DB) SearchRankedStats(q RankedQuery) ([]RankedResult, SearchStats, error) {
+	res, err := db.SearchRanked(q)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	ul, ok := loader.(index.UnionLoader)
-	if !ok {
-		return nil, SearchStats{}, fmt.Errorf("dsks: index %s does not support ranked queries", db.kind)
-	}
-	return core.SearchRanked(db.sys.Net, ul, q)
+	return res.Ranked, res.Stats, nil
 }
 
 // CollectiveQuery asks for a *group* of objects that together cover every
@@ -298,62 +456,134 @@ type CollectiveQuery = core.CollectiveQuery
 type CollectiveResult = core.CollectiveResult
 
 // SearchCollective finds a keyword-covering group with the ln|T|-
-// approximate weighted set-cover greedy. It requires an index with
-// OR-semantics support (IF, SIF or SIF-P).
-func (db *DB) SearchCollective(q CollectiveQuery) (CollectiveResult, SearchStats, error) {
-	loader, err := db.sys.Loader(db.kind)
+// approximate weighted set-cover greedy and returns it in
+// Result.Collective. It requires an index with OR-semantics support (IF,
+// SIF or SIF-P); others fail with an error matching ErrUnsupportedIndex.
+func (db *DB) SearchCollective(q CollectiveQuery) (Result, error) {
+	return db.SearchCollectiveCtx(context.Background(), q)
+}
+
+// SearchCollectiveCtx is SearchCollective honoring the context's
+// cancellation and deadline.
+func (db *DB) SearchCollectiveCtx(ctx context.Context, q CollectiveQuery) (Result, error) {
+	if _, err := db.sys.UnionLoader(db.kind); err != nil {
+		return Result{}, fmt.Errorf("dsks: collective query on index %s: %w", db.kind, ErrUnsupportedIndex)
+	}
+	r, err := db.sys.RunCollective(ctx, db.kind, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Collective: r.Collective,
+		Elapsed:    r.Elapsed,
+		DiskReads:  r.DiskReads,
+		Stats:      r.Stats,
+		Trace:      r.Trace,
+	}, nil
+}
+
+// SearchCollectiveStats is the pre-envelope form of SearchCollective.
+//
+// Deprecated: use SearchCollective or SearchCollectiveCtx, which return
+// the unified Result envelope with timing and I/O metrics.
+func (db *DB) SearchCollectiveStats(q CollectiveQuery) (CollectiveResult, SearchStats, error) {
+	res, err := db.SearchCollective(q)
 	if err != nil {
 		return CollectiveResult{}, SearchStats{}, err
 	}
-	ul, ok := loader.(index.UnionLoader)
-	if !ok {
-		return CollectiveResult{}, SearchStats{}, fmt.Errorf("dsks: index %s does not support collective queries", db.kind)
-	}
-	return core.SearchCollective(db.sys.Net, ul, q)
+	return *res.Collective, res.Stats, nil
 }
 
 // Stream is an incremental boolean search: candidates are pulled one at a
 // time in non-decreasing network distance, so a consumer can stop early
-// (the access pattern Algorithm 6 exploits internally).
+// (the access pattern Algorithm 6 exploits internally). A stream created
+// with StreamCtx stops with an error matching ErrCanceled or
+// ErrDeadlineExceeded once its context ends.
 type Stream struct {
 	search *core.SKSearch
+	sys    *harness.System
+	kind   IndexKind
+	start  time.Time
+	before int64
+	done   bool
 }
 
 // Stream starts an incremental boolean search.
 func (db *DB) Stream(q SKQuery) (*Stream, error) {
+	return db.StreamCtx(context.Background(), q)
+}
+
+// StreamCtx is Stream honoring the context's cancellation and deadline:
+// the context is checked on every Next.
+func (db *DB) StreamCtx(ctx context.Context, q SKQuery) (*Stream, error) {
 	loader, err := db.sys.Loader(db.kind)
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.NewSKSearch(db.sys.Net, loader, q)
+	before := db.sys.DiskReads(db.kind)
+	start := time.Now()
+	s, err := core.NewSKSearch(ctx, db.sys.Net, loader, q)
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{search: s}, nil
+	return &Stream{search: s, sys: db.sys, kind: db.kind, start: start, before: before}, nil
 }
 
 // Next returns the next candidate; ok is false when the stream is done.
-func (s *Stream) Next() (c Candidate, ok bool, err error) { return s.search.Next() }
+func (s *Stream) Next() (c Candidate, ok bool, err error) {
+	c, ok, err = s.search.Next()
+	if !ok || err != nil {
+		s.finish(err)
+	}
+	return c, ok, err
+}
 
 // Stop abandons the stream early.
-func (s *Stream) Stop() { s.search.Stop() }
+func (s *Stream) Stop() {
+	s.search.Stop()
+	s.finish(nil)
+}
 
 // Stats returns the traversal counters so far.
 func (s *Stream) Stats() SearchStats { return s.search.Stats() }
 
+// Trace returns the stream's stage timings so far.
+func (s *Stream) Trace() Trace { return s.search.Trace() }
+
+// finish records the stream's metrics sample exactly once.
+func (s *Stream) finish(err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	stats := s.search.Stats()
+	s.sys.Metrics.Record(KindStream, metrics.Sample{
+		Elapsed:       time.Since(s.start),
+		Err:           err != nil,
+		Canceled:      errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded),
+		NodesPopped:   stats.NodesPopped,
+		EdgesVisited:  stats.EdgesVisited,
+		Candidates:    stats.Candidates,
+		Pruned:        stats.Pruned,
+		PairDistCalcs: stats.PairDistCalcs,
+		DiskReads:     s.sys.DiskReads(s.kind) - s.before,
+	})
+}
+
 // Insert adds a spatio-textual object to an open database: the object
 // joins the collection, its postings are appended to the inverted file and
 // its keywords' signature bits are set, so subsequent queries see it.
-// Supported for the IF, SIF and SIF-P indexes (IR is bulk-loaded only).
-// Terms must be below the vocabulary size the database was opened with.
+// Supported for the IF, SIF and SIF-P indexes (IR is bulk-loaded only;
+// it fails with an error matching ErrUnsupportedIndex). Terms must be
+// below the vocabulary size the database was opened with.
 func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 	g := db.sys.DS.Graph
 	if pos.Edge < 0 || int(pos.Edge) >= g.NumEdges() {
-		return 0, fmt.Errorf("dsks: insert on unknown edge %d", pos.Edge)
+		return 0, fmt.Errorf("dsks: insert on edge %d: %w", pos.Edge, ErrUnknownEdge)
 	}
 	for _, t := range terms {
 		if t < 0 || int(t) >= db.sys.DS.VocabSize {
-			return 0, fmt.Errorf("dsks: term %d outside vocabulary of %d", t, db.sys.DS.VocabSize)
+			return 0, fmt.Errorf("dsks: term %d with vocabulary of %d: %w", t, db.sys.DS.VocabSize, ErrTermOutOfRange)
 		}
 	}
 	pos = g.Clamp(pos)
@@ -366,7 +596,7 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 	case IndexIF:
 		// handled below
 	default:
-		return 0, fmt.Errorf("dsks: index %s does not support inserts", db.kind)
+		return 0, fmt.Errorf("dsks: insert into index %s: %w", db.kind, ErrUnsupportedIndex)
 	}
 	col := db.sys.DS.Objects
 	id := col.Add(pos, append([]TermID(nil), terms...))
@@ -391,7 +621,7 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 func (db *DB) Remove(id ObjectID) error {
 	col := db.sys.DS.Objects
 	if id < 0 || int(id) >= col.Len() || col.Removed(id) {
-		return fmt.Errorf("dsks: unknown or already-removed object %d", id)
+		return fmt.Errorf("dsks: remove object %d: %w", id, ErrUnknownObject)
 	}
 	o := col.Get(id)
 	switch db.kind {
@@ -409,7 +639,7 @@ func (db *DB) Remove(id ObjectID) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("dsks: index %s does not support removals", db.kind)
+		return fmt.Errorf("dsks: remove from index %s: %w", db.kind, ErrUnsupportedIndex)
 	}
 	return col.Remove(id)
 }

@@ -48,23 +48,20 @@ func main() {
 		if err := db.ResetIO(); err != nil {
 			log.Fatal(err)
 		}
-		var elapsed time.Duration
-		var reads, found int64
 		for _, q := range queries {
-			res, err := db.Search(dsks.SKQuery{Pos: q.Pos, Terms: q.Terms, DeltaMax: q.DeltaMax})
-			if err != nil {
+			if _, err := db.Search(dsks.SKQuery{Pos: q.Pos, Terms: q.Terms, DeltaMax: q.DeltaMax}); err != nil {
 				log.Fatal(err)
 			}
-			elapsed += res.Elapsed
-			reads += res.DiskReads
-			found += int64(len(res.Candidates))
 		}
-		n := int64(len(queries))
+		// The per-query accounting lives in the metrics registry: latency
+		// quantiles and cost counters per query kind, hit rates per pool.
+		snap := db.Snapshot()
+		qs := snap.Queries[dsks.KindSearch]
 		fmt.Printf("  %-6s  %-10v  %6.2f MB  %12v  %8.1f\n",
 			kind, db.BuildTime().Round(time.Millisecond),
 			float64(db.IndexSizeBytes())/(1<<20),
-			(elapsed / time.Duration(n)).Round(time.Microsecond),
-			float64(reads)/float64(n))
+			qs.Mean.Round(time.Microsecond),
+			float64(qs.DiskReads)/float64(qs.Count))
 	}
 
 	// One concrete search, spelled out.
@@ -86,5 +83,15 @@ func main() {
 		}
 		fmt.Printf("  business %d on street %d, %.0fm down the road network\n",
 			c.Ref.ID, c.Ref.Edge, c.Dist)
+	}
+
+	snap := db.Snapshot()
+	qs := snap.Queries[dsks.KindSearch]
+	fmt.Printf("\nobservability: %d search queries, p50 %v, p95 %v\n",
+		qs.Count, qs.P50.Round(time.Microsecond), qs.P95.Round(time.Microsecond))
+	for _, name := range snap.PoolNames() {
+		p := snap.Pools[name]
+		fmt.Printf("  pool %-10s %6d reads, %5.1f%% served from buffer\n",
+			name, p.LogicalReads, 100*p.HitRate)
 	}
 }

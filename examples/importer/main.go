@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"strings"
+	"time"
 
 	"dsks"
 )
@@ -96,7 +98,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := db.SearchKNN(dsks.KNNQuery{Pos: luigi, Terms: terms, K: 5})
+	// A serving path would bound every lookup; the context-aware variant
+	// aborts cleanly if the deadline passes mid-expansion.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := db.SearchKNNCtx(ctx, dsks.KNNQuery{Pos: luigi, Terms: terms, K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

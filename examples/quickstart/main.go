@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"dsks"
 )
@@ -102,4 +103,11 @@ func main() {
 	}
 	pairDist := db.NetworkDistance(div.Candidates[0].Ref.Pos(), div.Candidates[1].Ref.Pos())
 	fmt.Printf("  the two picks are %.0fm apart on the road network\n", pairDist)
+
+	// Where did the time go? Every result carries a stage-timing trace.
+	fmt.Printf("\nQuery time breakdown: expansion %v, posting reads %v, diversification %v (total %v)\n",
+		div.Trace.Expansion.Round(time.Microsecond),
+		div.Trace.PostingReads.Round(time.Microsecond),
+		div.Trace.Diversify.Round(time.Microsecond),
+		div.Trace.Total.Round(time.Microsecond))
 }

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -114,4 +116,16 @@ func main() {
 			algo, (elapsed / time.Duration(n)).Round(time.Microsecond),
 			float64(reads)/float64(n), pruned, early, len(queries))
 	}
+
+	// An interactive planner wants to abandon a query the moment the user
+	// navigates away: every search has a context-aware variant.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the user already left
+	_, err = db.SearchDiversifiedCtx(ctx, dsks.DivQuery{
+		SKQuery: dsks.SKQuery{Pos: venue.Pos, Terms: venue.Terms, DeltaMax: venue.DeltaMax},
+		K:       4,
+		Lambda:  0.8,
+	})
+	fmt.Printf("\ncanceled mid-flight: errors.Is(err, dsks.ErrCanceled) = %v\n",
+		errors.Is(err, dsks.ErrCanceled))
 }

@@ -9,6 +9,7 @@
 package btree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -123,9 +124,13 @@ func setInternalChild(p *storage.Page, i int, id storage.PageID) {
 
 // findLeaf descends to the leaf that would contain key.
 func (t *Tree) findLeaf(key uint64) (storage.PageID, error) {
+	return t.findLeafCtx(context.Background(), key)
+}
+
+func (t *Tree) findLeafCtx(ctx context.Context, key uint64) (storage.PageID, error) {
 	id := t.root
 	for {
-		p, err := t.pool.Get(id)
+		p, err := t.pool.GetCtx(ctx, id)
 		if err != nil {
 			return storage.InvalidPageID, err
 		}
@@ -141,11 +146,17 @@ func (t *Tree) findLeaf(key uint64) (storage.PageID, error) {
 
 // Get returns the value stored under key, or ErrNotFound.
 func (t *Tree) Get(key uint64) (uint64, error) {
-	leafID, err := t.findLeaf(key)
+	return t.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get with cancellation: a done ctx aborts the root-to-leaf
+// descent before the next page read.
+func (t *Tree) GetCtx(ctx context.Context, key uint64) (uint64, error) {
+	leafID, err := t.findLeafCtx(ctx, key)
 	if err != nil {
 		return 0, err
 	}
-	p, err := t.pool.Get(leafID)
+	p, err := t.pool.GetCtx(ctx, leafID)
 	if err != nil {
 		return 0, err
 	}

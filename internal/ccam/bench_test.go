@@ -1,6 +1,8 @@
 package ccam
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -27,7 +29,7 @@ func BenchmarkAdjacencyWarm(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Adjacency(graph.NodeID(rng.Intn(g.NumNodes()))); err != nil {
+		if _, err := f.Adjacency(context.Background(), graph.NodeID(rng.Intn(g.NumNodes()))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -44,7 +46,7 @@ func BenchmarkAdjacencyCold(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Adjacency(graph.NodeID(rng.Intn(g.NumNodes()))); err != nil {
+		if _, err := f.Adjacency(context.Background(), graph.NodeID(rng.Intn(g.NumNodes()))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 package ccam
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,9 +38,13 @@ type EdgeInfo struct {
 // File and the zero-I/O InMemory satisfy it.
 type Network interface {
 	NumNodes() int
-	Adjacency(n graph.NodeID) ([]AdjEntry, error)
+	// Adjacency fetches node n's adjacency list. Disk-backed implementations
+	// honor ctx: a done context aborts the page read (wrapping ctx.Err())
+	// before any I/O is charged.
+	Adjacency(ctx context.Context, n graph.NodeID) ([]AdjEntry, error)
 	// EdgeInfo resolves an edge's end-nodes and cost. Like the node->page
-	// directory, the edge directory is memory-resident metadata.
+	// directory, the edge directory is memory-resident metadata, so no
+	// context is needed.
 	EdgeInfo(e graph.EdgeID) (EdgeInfo, error)
 }
 
@@ -165,12 +170,12 @@ func (f *File) NumPages() int { return f.numPages }
 func (f *File) SizeBytes() int64 { return int64(f.numPages) * storage.PageSize }
 
 // Adjacency fetches node n's adjacency list from disk (through the buffer
-// pool, counting a disk access on a miss).
-func (f *File) Adjacency(n graph.NodeID) ([]AdjEntry, error) {
+// pool, counting a disk access on a miss). A done ctx aborts the read.
+func (f *File) Adjacency(ctx context.Context, n graph.NodeID) ([]AdjEntry, error) {
 	if n < 0 || int(n) >= f.numNodes {
 		return nil, fmt.Errorf("ccam: unknown node %d", n)
 	}
-	page, err := f.pool.Get(f.dir[n])
+	page, err := f.pool.GetCtx(ctx, f.dir[n])
 	if err != nil {
 		return nil, err
 	}
@@ -217,8 +222,9 @@ type InMemory struct{ G *graph.Graph }
 // NumNodes implements Network.
 func (m InMemory) NumNodes() int { return m.G.NumNodes() }
 
-// Adjacency implements Network.
-func (m InMemory) Adjacency(n graph.NodeID) ([]AdjEntry, error) {
+// Adjacency implements Network. The in-memory adapter performs no I/O and
+// ignores ctx.
+func (m InMemory) Adjacency(_ context.Context, n graph.NodeID) ([]AdjEntry, error) {
 	if n < 0 || int(n) >= m.G.NumNodes() {
 		return nil, fmt.Errorf("ccam: unknown node %d", n)
 	}

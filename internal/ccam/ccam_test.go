@@ -1,6 +1,8 @@
 package ccam
 
 import (
+	"context"
+
 	"errors"
 	"math/rand"
 	"testing"
@@ -52,7 +54,7 @@ func TestBuildAndReadBack(t *testing.T) {
 	// Every node's adjacency must round-trip exactly.
 	for n := 0; n < g.NumNodes(); n++ {
 		nd := graph.NodeID(n)
-		got, err := f.Adjacency(nd)
+		got, err := f.Adjacency(context.Background(), nd)
 		if err != nil {
 			t.Fatalf("Adjacency(%d): %v", n, err)
 		}
@@ -82,13 +84,13 @@ func TestAdjacencyCountsIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats.Reset()
-	if _, err := f.Adjacency(0); err != nil {
+	if _, err := f.Adjacency(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Snapshot().DiskRead != 1 {
 		t.Errorf("cold adjacency read cost %d disk I/Os", stats.Snapshot().DiskRead)
 	}
-	if _, err := f.Adjacency(0); err != nil {
+	if _, err := f.Adjacency(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Snapshot().DiskRead != 1 {
@@ -123,10 +125,10 @@ func TestAdjacencyUnknownNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Adjacency(graph.NodeID(-1)); err == nil {
+	if _, err := f.Adjacency(context.Background(), graph.NodeID(-1)); err == nil {
 		t.Error("negative node accepted")
 	}
-	if _, err := f.Adjacency(graph.NodeID(10)); err == nil {
+	if _, err := f.Adjacency(context.Background(), graph.NodeID(10)); err == nil {
 		t.Error("out-of-range node accepted")
 	}
 }
@@ -142,11 +144,11 @@ func TestInMemoryMatchesFile(t *testing.T) {
 		t.Fatal("node count mismatch")
 	}
 	for n := 0; n < g.NumNodes(); n++ {
-		a, err := f.Adjacency(graph.NodeID(n))
+		a, err := f.Adjacency(context.Background(), graph.NodeID(n))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := mem.Adjacency(graph.NodeID(n))
+		b, err := mem.Adjacency(context.Background(), graph.NodeID(n))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +161,7 @@ func TestInMemoryMatchesFile(t *testing.T) {
 			}
 		}
 	}
-	if _, err := mem.Adjacency(graph.NodeID(1000)); err == nil {
+	if _, err := mem.Adjacency(context.Background(), graph.NodeID(1000)); err == nil {
 		t.Error("InMemory accepted unknown node")
 	}
 }
@@ -182,7 +184,7 @@ func TestAdjacencyFaultPropagation(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := f.Adjacency(0); !errors.Is(err, wantErr) {
+	if _, err := f.Adjacency(context.Background(), 0); !errors.Is(err, wantErr) {
 		t.Errorf("Adjacency under fault = %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"testing"
 
 	"dsks/internal/core"
@@ -37,7 +39,7 @@ func BenchmarkSKSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := harness.SKQueryOf(ws[i%len(ws)])
-		s, err := core.NewSKSearch(sys.Net, loader, q)
+		s, err := core.NewSKSearch(context.Background(), sys.Net, loader, q)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +58,7 @@ func BenchmarkSearchSEQ(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := harness.DivQueryOf(ws[i%len(ws)], 10, 0.8)
-		if _, err := core.SearchSEQ(sys.Net, loader, q); err != nil {
+		if _, err := core.SearchSEQ(context.Background(), sys.Net, loader, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +73,7 @@ func BenchmarkSearchCOM(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := harness.DivQueryOf(ws[i%len(ws)], 10, 0.8)
-		if _, err := core.SearchCOM(sys.Net, loader, q); err != nil {
+		if _, err := core.SearchCOM(context.Background(), sys.Net, loader, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,7 +88,7 @@ func BenchmarkSearchKNN(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wq := ws[i%len(ws)]
-		if _, _, err := core.SearchKNN(sys.Net, loader, core.KNNQuery{
+		if _, _, err := core.SearchKNN(context.Background(), sys.Net, loader, core.KNNQuery{
 			Pos: wq.Pos, Terms: wq.Terms, K: 10, MaxDist: wq.DeltaMax,
 		}); err != nil {
 			b.Fatal(err)
@@ -97,7 +99,7 @@ func BenchmarkSearchKNN(b *testing.B) {
 func BenchmarkDistEngine(b *testing.B) {
 	sys, _ := benchWorld(b)
 	col := sys.DS.Objects
-	eng := core.NewDistEngine(sys.Net, 3000, nil)
+	eng := core.NewDistEngine(context.Background(), sys.Net, 3000, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := col.Get(obj.ID(i % col.Len())).Pos

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -68,7 +70,7 @@ func TestBoundsOnRealExpansion(t *testing.T) {
 	checked := 0
 	for _, wq := range ws[:6] {
 		q := harness.SKQueryOf(wq)
-		res, err := sys.RunSK(harness.KindSIF, q)
+		res, err := sys.RunSK(context.Background(), harness.KindSIF, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +139,7 @@ func TestTravelTimeCostModel(t *testing.T) {
 	nonEmpty := 0
 	for _, wq := range ws {
 		q := harness.SKQueryOf(wq)
-		res, err := sys.RunSK(harness.KindSIF, q)
+		res, err := sys.RunSK(context.Background(), harness.KindSIF, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +154,7 @@ func TestTravelTimeCostModel(t *testing.T) {
 			nonEmpty++
 		}
 		// Diversified search must also run under the cost model.
-		if _, err := sys.RunDiv(harness.KindSIF, harness.AlgoCOM,
+		if _, err := sys.RunDiv(context.Background(), harness.KindSIF, harness.AlgoCOM,
 			harness.DivQueryOf(wq, 4, 0.8)); err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +172,7 @@ func TestKNNInternal(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, wq := range ws[:5] {
-		cands, stats, err := core.SearchKNN(sys.Net, loader, core.KNNQuery{
+		cands, stats, err := core.SearchKNN(context.Background(), sys.Net, loader, core.KNNQuery{
 			Pos: wq.Pos, Terms: wq.Terms, K: 5,
 		})
 		if err != nil {

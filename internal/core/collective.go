@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"dsks/internal/ccam"
 	"dsks/internal/graph"
@@ -51,10 +53,18 @@ type CollectiveResult struct {
 // DeltaMax, then objects are repeatedly chosen by the lowest
 // distance-per-newly-covered-keyword ratio until all keywords are covered
 // (ties prefer closer objects, then smaller IDs).
-func SearchCollective(net ccam.Network, loader index.UnionLoader, q CollectiveQuery) (CollectiveResult, SearchStats, error) {
+func SearchCollective(ctx context.Context, net ccam.Network, loader index.UnionLoader, q CollectiveQuery) (CollectiveResult, SearchStats, error) {
+	res, stats, _, err := SearchCollectiveTraced(ctx, net, loader, q)
+	return res, stats, err
+}
+
+// SearchCollectiveTraced is SearchCollective, additionally returning the
+// per-stage timings (the set-cover greedy is accounted to Diversify).
+func SearchCollectiveTraced(ctx context.Context, net ccam.Network, loader index.UnionLoader, q CollectiveQuery) (CollectiveResult, SearchStats, Trace, error) {
 	if err := q.Validate(); err != nil {
-		return CollectiveResult{}, SearchStats{}, err
+		return CollectiveResult{}, SearchStats{}, Trace{}, err
 	}
+	start := time.Now()
 	terms := obj.NormalizeTerms(append([]obj.TermID(nil), q.Terms...))
 
 	// Collect OR-candidates within the range via the ranked machinery's
@@ -63,6 +73,7 @@ func SearchCollective(net ccam.Network, loader index.UnionLoader, q CollectiveQu
 	// K is set beyond any possible candidate count... instead we reuse the
 	// plain expansion below).
 	rs := &rankedSearch{
+		ctx:     ctx,
 		net:     net,
 		loader:  loader,
 		q:       RankedQuery{Pos: q.Pos, Terms: terms, K: math.MaxInt32, Alpha: 1, DeltaMax: q.DeltaMax},
@@ -73,7 +84,7 @@ func SearchCollective(net ccam.Network, loader index.UnionLoader, q CollectiveQu
 		best:    make(map[index.ObjectRef]RankedResult),
 	}
 	if err := rs.run(); err != nil {
-		return CollectiveResult{}, SearchStats{}, err
+		return CollectiveResult{}, SearchStats{}, Trace{}, err
 	}
 
 	// Which keywords each candidate covers requires the term sets; the
@@ -95,11 +106,12 @@ func SearchCollective(net ccam.Network, loader index.UnionLoader, q CollectiveQu
 		cands[ref] = &cand{ref: ref, dist: res.Dist, covers: make(map[obj.TermID]bool)}
 		edges[ref.Edge] = true
 	}
+	coverStart := time.Now()
 	for e := range edges {
 		for _, t := range terms {
-			refs, err := loader.LoadObjects(e, []obj.TermID{t})
+			refs, err := loader.LoadObjects(ctx, e, []obj.TermID{t})
 			if err != nil {
-				return CollectiveResult{}, SearchStats{}, err
+				return CollectiveResult{}, SearchStats{}, Trace{}, mapCtxErr(err)
 			}
 			for _, r := range refs {
 				if c, ok := cands[r]; ok {
@@ -108,6 +120,9 @@ func SearchCollective(net ccam.Network, loader index.UnionLoader, q CollectiveQu
 			}
 		}
 	}
+	trace := rs.trace
+	trace.PostingReads += time.Since(coverStart)
+	divStart := time.Now()
 
 	// Greedy weighted set cover.
 	uncovered := make(map[obj.TermID]bool, len(terms))
@@ -166,5 +181,7 @@ func SearchCollective(net ccam.Network, loader index.UnionLoader, q CollectiveQu
 		}
 		return result.Objects[i].Ref.ID < result.Objects[j].Ref.ID
 	})
-	return result, rs.stats, nil
+	trace.Diversify = time.Since(divStart)
+	trace.Total = time.Since(start)
+	return result, rs.stats, trace, nil
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"dsks/internal/ccam"
 	"dsks/internal/index"
 	"dsks/internal/obj"
@@ -25,29 +28,42 @@ type PruneOptions struct {
 // the work — visited objects that can never enter a core pair are dropped
 // from future pairwise computations, and the whole expansion terminates as
 // soon as no unvisited object can contribute.
-func SearchCOM(net ccam.Network, loader index.Loader, q DivQuery) (DivResult, error) {
-	return SearchCOMPruned(net, loader, q, PruneOptions{})
+func SearchCOM(ctx context.Context, net ccam.Network, loader index.Loader, q DivQuery) (DivResult, error) {
+	return SearchCOMPruned(ctx, net, loader, q, PruneOptions{})
 }
 
 // SearchCOMPruned is SearchCOM with explicit control over the pruning
 // rules.
-func SearchCOMPruned(net ccam.Network, loader index.Loader, q DivQuery, prune PruneOptions) (DivResult, error) {
+func SearchCOMPruned(ctx context.Context, net ccam.Network, loader index.Loader, q DivQuery, prune PruneOptions) (DivResult, error) {
 	if err := q.Validate(); err != nil {
 		return DivResult{}, err
 	}
-	sks, err := NewSKSearch(net, loader, q.SKQuery)
+	start := time.Now()
+	sks, err := NewSKSearch(ctx, net, loader, q.SKQuery)
 	if err != nil {
 		return DivResult{}, err
 	}
 	var distStats SearchStats
 	c := &comState{
 		params:  DivParams{K: q.K, Lambda: q.Lambda, DeltaMax: q.DeltaMax},
-		dist:    NewDistEngine(net, 2*q.DeltaMax, &distStats),
+		dist:    NewDistEngine(ctx, net, 2*q.DeltaMax, &distStats),
 		cands:   make(map[obj.ID]Candidate),
 		maxSeen: make(map[obj.ID]float64),
 		memo:    make(map[[2]obj.ID]float64),
 		pairs:   NewCorePairSet(q.K / 2),
 		prune:   prune,
+	}
+	finish := func(result []Candidate) (DivResult, error) {
+		divStart := time.Now()
+		res, err := c.finish(result, sks, &distStats)
+		c.divTime += time.Since(divStart)
+		if err != nil {
+			return res, mapCtxErr(err)
+		}
+		res.Trace = sks.Trace()
+		res.Trace.Diversify = c.divTime
+		res.Trace.Total = time.Since(start)
+		return res, nil
 	}
 
 	// Line 1: collect the first k arrivals and seed the core pairs with the
@@ -69,16 +85,18 @@ func SearchCOMPruned(net ccam.Network, loader index.Loader, q DivQuery, prune Pr
 	}
 	if len(first) < q.K {
 		// Fewer qualifying objects than k: everything is in the result.
-		return c.finish(first, sks, &distStats)
+		return finish(first)
 	}
+	divStart := time.Now()
 	c.pairs.InitGreedy(c.alive, c.theta)
 	for i, a := range c.alive {
 		for _, b := range c.alive[i+1:] {
 			c.noteTheta(a, b, c.theta(a, b))
 		}
 	}
+	c.divTime += time.Since(divStart)
 	if c.err != nil {
-		return DivResult{}, c.err
+		return DivResult{}, mapCtxErr(c.err)
 	}
 
 	// Lines 2–16: the arrival loop.
@@ -91,10 +109,14 @@ func SearchCOMPruned(net ccam.Network, loader index.Loader, q DivQuery, prune Pr
 		if !ok {
 			break
 		}
-		if err := c.arrive(cand); err != nil {
-			return DivResult{}, err
+		divStart := time.Now()
+		err = c.arrive(cand)
+		stop := c.canTerminate(cand.Dist) && !prune.DisableEarlyStop
+		c.divTime += time.Since(divStart)
+		if err != nil {
+			return DivResult{}, mapCtxErr(err)
 		}
-		if c.canTerminate(cand.Dist) && !prune.DisableEarlyStop {
+		if stop {
 			earlyStop = true
 			sks.Stop()
 			break
@@ -126,7 +148,7 @@ func SearchCOMPruned(net ccam.Network, loader index.Loader, q DivQuery, prune Pr
 			result = append(result, best)
 		}
 	}
-	res, err := c.finish(result, sks, &distStats)
+	res, err := finish(result)
 	res.Stats.EarlyTerminate = earlyStop
 	return res, err
 }
@@ -142,6 +164,7 @@ type comState struct {
 	pairs   *CorePairSet
 	prune   PruneOptions
 	pruned  int64
+	divTime time.Duration
 	err     error
 }
 

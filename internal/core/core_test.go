@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"sort"
@@ -69,7 +71,7 @@ func TestSKSearchMatchesBruteForce(t *testing.T) {
 	for _, wq := range ws {
 		q := harness.SKQueryOf(wq)
 		want := bruteSK(sys, q)
-		got, err := sys.RunSK(harness.KindSIF, q)
+		got, err := sys.RunSK(context.Background(), harness.KindSIF, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +112,7 @@ func TestAllLoadersEquivalent(t *testing.T) {
 		q := harness.SKQueryOf(wq)
 		var ref []core.Candidate
 		for i, kind := range kinds {
-			got, err := sys.RunSK(kind, q)
+			got, err := sys.RunSK(context.Background(), kind, q)
 			if err != nil {
 				t.Fatalf("%s: %v", kind, err)
 			}
@@ -150,7 +152,7 @@ func TestSKSearchQueryOnEdgeWithObjects(t *testing.T) {
 		Terms:    o.Terms[:1],
 		DeltaMax: 500,
 	}
-	got, err := sys.RunSK(harness.KindSIF, q)
+	got, err := sys.RunSK(context.Background(), harness.KindSIF, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,15 +176,15 @@ func TestSKSearchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.NewSKSearch(sys.Net, loader, core.SKQuery{DeltaMax: 10}); err == nil {
+	if _, err := core.NewSKSearch(context.Background(), sys.Net, loader, core.SKQuery{DeltaMax: 10}); err == nil {
 		t.Error("empty keyword set accepted")
 	}
-	if _, err := core.NewSKSearch(sys.Net, loader, core.SKQuery{
+	if _, err := core.NewSKSearch(context.Background(), sys.Net, loader, core.SKQuery{
 		Terms: []obj.TermID{1}, DeltaMax: 0,
 	}); err == nil {
 		t.Error("zero DeltaMax accepted")
 	}
-	if _, err := core.NewSKSearch(sys.Net, loader, core.SKQuery{
+	if _, err := core.NewSKSearch(context.Background(), sys.Net, loader, core.SKQuery{
 		Terms: []obj.TermID{2, 1}, DeltaMax: 10,
 	}); err == nil {
 		t.Error("unsorted terms accepted")
@@ -194,7 +196,7 @@ func TestDistEngineMatchesGraph(t *testing.T) {
 	g := sys.DS.Graph
 	col := sys.DS.Objects
 	var stats core.SearchStats
-	eng := core.NewDistEngine(sys.Net, 1e18, &stats)
+	eng := core.NewDistEngine(context.Background(), sys.Net, 1e18, &stats)
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 40; trial++ {
 		a := col.Get(obj.ID(rng.Intn(col.Len()))).Pos
@@ -230,7 +232,7 @@ func TestDistEngineBound(t *testing.T) {
 	sys, _ := testWorld(t, 9)
 	col := sys.DS.Objects
 	g := sys.DS.Graph
-	eng := core.NewDistEngine(sys.Net, 100, nil) // tight bound
+	eng := core.NewDistEngine(context.Background(), sys.Net, 100, nil) // tight bound
 	found := false
 	for i := 0; i < col.Len() && !found; i++ {
 		for j := i + 1; j < col.Len() && !found; j++ {

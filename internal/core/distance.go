@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -20,6 +21,7 @@ import (
 // the query are within 2·DeltaMax of each other (through the query), so a
 // search bounded by 2·DeltaMax always finds the exact distance.
 type DistEngine struct {
+	ctx   context.Context // query-scoped: the engine lives for one query
 	net   ccam.Network
 	bound float64
 	cache map[graph.Position][]nodeDist
@@ -32,12 +34,14 @@ type nodeDist struct {
 }
 
 // NewDistEngine creates an engine with the given search bound (use
-// 2·DeltaMax for diversified queries). stats may be nil.
-func NewDistEngine(net ccam.Network, bound float64, stats *SearchStats) *DistEngine {
+// 2·DeltaMax for diversified queries). ctx governs every traversal the
+// engine runs; stats may be nil.
+func NewDistEngine(ctx context.Context, net ccam.Network, bound float64, stats *SearchStats) *DistEngine {
 	if stats == nil {
 		stats = &SearchStats{}
 	}
 	return &DistEngine{
+		ctx:   ctx,
 		net:   net,
 		bound: bound,
 		cache: make(map[graph.Position][]nodeDist),
@@ -119,14 +123,17 @@ func (d *DistEngine) fromSource(p graph.Position) ([]nodeDist, error) {
 	relax(info.N2, info.Weight-w1)
 	settled := make(map[graph.NodeID]bool)
 	for pq.Len() > 0 {
+		if err := ctxErr(d.ctx); err != nil {
+			return nil, err
+		}
 		cur := heap.Pop(pq).(nodeEntry)
 		if settled[cur.node] || cur.dist > dist[cur.node] {
 			continue
 		}
 		settled[cur.node] = true
-		adj, err := d.net.Adjacency(cur.node)
+		adj, err := d.net.Adjacency(d.ctx, cur.node)
 		if err != nil {
-			return nil, err
+			return nil, mapCtxErr(err)
 		}
 		for _, a := range adj {
 			relax(a.Other, cur.dist+a.Weight)

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"sort"
@@ -280,11 +282,11 @@ func TestSEQAndCOMAgree(t *testing.T) {
 	ran := 0
 	for _, wq := range ws {
 		q := harness.DivQueryOf(wq, 6, 0.8)
-		seq, err := sys.RunDiv(harness.KindSIF, harness.AlgoSEQ, q)
+		seq, err := sys.RunDiv(context.Background(), harness.KindSIF, harness.AlgoSEQ, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		com, err := sys.RunDiv(harness.KindSIF, harness.AlgoCOM, q)
+		com, err := sys.RunDiv(context.Background(), harness.KindSIF, harness.AlgoCOM, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -323,7 +325,7 @@ func TestCOMPrunesOrTerminates(t *testing.T) {
 	sawEarly := false
 	for _, wq := range ws {
 		q := harness.DivQueryOf(wq, 4, 0.9)
-		com, err := sys.RunDiv(harness.KindSIF, harness.AlgoCOM, q)
+		com, err := sys.RunDiv(context.Background(), harness.KindSIF, harness.AlgoCOM, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -346,11 +348,11 @@ func TestCOMFewerThanK(t *testing.T) {
 		SKQuery: core.SKQuery{Pos: o.Pos, Terms: o.Terms, DeltaMax: 100},
 		K:       10, Lambda: 0.8,
 	}
-	com, err := sys.RunDiv(harness.KindSIF, harness.AlgoCOM, q)
+	com, err := sys.RunDiv(context.Background(), harness.KindSIF, harness.AlgoCOM, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := sys.RunDiv(harness.KindSIF, harness.AlgoSEQ, q)
+	seq, err := sys.RunDiv(context.Background(), harness.KindSIF, harness.AlgoSEQ, q)
 	if err != nil {
 		t.Fatal(err)
 	}

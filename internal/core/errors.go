@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for interrupted queries. Both wrap the underlying
+// context error, so errors.Is matches either the sentinel or the raw
+// context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrCanceled is returned when a query's context is canceled before
+	// the search completes.
+	ErrCanceled = errors.New("core: query canceled")
+	// ErrDeadlineExceeded is returned when a query's context deadline
+	// expires before the search completes.
+	ErrDeadlineExceeded = errors.New("core: query deadline exceeded")
+)
+
+// queryError pairs a sentinel with the context error that triggered it, so
+// that errors.Is works against both (Go 1.20 multi-error unwrapping).
+type queryError struct {
+	sentinel error
+	cause    error
+}
+
+func (e *queryError) Error() string { return fmt.Sprintf("%v: %v", e.sentinel, e.cause) }
+
+func (e *queryError) Unwrap() []error { return []error{e.sentinel, e.cause} }
+
+// mapCtxErr translates an error carrying context.Canceled or
+// context.DeadlineExceeded into the corresponding typed sentinel (wrapping
+// the original), and returns every other error unchanged. Apply it at the
+// boundary where a search returns to its caller.
+func mapCtxErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCanceled), errors.Is(err, ErrDeadlineExceeded):
+		return err // already mapped
+	case errors.Is(err, context.Canceled):
+		return &queryError{sentinel: ErrCanceled, cause: err}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &queryError{sentinel: ErrDeadlineExceeded, cause: err}
+	default:
+		return err
+	}
+}
+
+// ctxErr checks ctx and returns the mapped sentinel when it is done.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return mapCtxErr(err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,7 +41,7 @@ func (q KNNQuery) Validate() error {
 // soon as k qualifying objects have been emitted (or the network is
 // exhausted). Because candidates arrive in non-decreasing network
 // distance, the first k emissions are exactly the k nearest.
-func SearchKNN(net ccam.Network, loader index.Loader, q KNNQuery) ([]Candidate, SearchStats, error) {
+func SearchKNN(ctx context.Context, net ccam.Network, loader index.Loader, q KNNQuery) ([]Candidate, SearchStats, error) {
 	if err := q.Validate(); err != nil {
 		return nil, SearchStats{}, err
 	}
@@ -48,7 +49,7 @@ func SearchKNN(net ccam.Network, loader index.Loader, q KNNQuery) ([]Candidate, 
 	if bound == 0 {
 		bound = math.Inf(1)
 	}
-	sks, err := NewSKSearch(net, loader, SKQuery{
+	sks, err := NewSKSearch(ctx, net, loader, SKQuery{
 		Pos:      q.Pos,
 		Terms:    obj.NormalizeTerms(append([]obj.TermID(nil), q.Terms...)),
 		DeltaMax: bound,

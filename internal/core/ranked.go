@@ -2,8 +2,10 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"dsks/internal/ccam"
 	"dsks/internal/graph"
@@ -59,12 +61,20 @@ type RankedResult struct {
 // soon as even a perfect textual match at the current frontier could not
 // displace the k-th best score — the spatial part of the score is monotone
 // in the arrival order.
-func SearchRanked(net ccam.Network, loader index.UnionLoader, q RankedQuery) ([]RankedResult, SearchStats, error) {
+func SearchRanked(ctx context.Context, net ccam.Network, loader index.UnionLoader, q RankedQuery) ([]RankedResult, SearchStats, error) {
+	res, stats, _, err := SearchRankedTraced(ctx, net, loader, q)
+	return res, stats, err
+}
+
+// SearchRankedTraced is SearchRanked, additionally returning the per-stage
+// timings of the expansion.
+func SearchRankedTraced(ctx context.Context, net ccam.Network, loader index.UnionLoader, q RankedQuery) ([]RankedResult, SearchStats, Trace, error) {
 	if err := q.Validate(); err != nil {
-		return nil, SearchStats{}, err
+		return nil, SearchStats{}, Trace{}, err
 	}
 	terms := obj.NormalizeTerms(append([]obj.TermID(nil), q.Terms...))
 	rs := &rankedSearch{
+		ctx:     ctx,
 		net:     net,
 		loader:  loader,
 		q:       q,
@@ -75,15 +85,16 @@ func SearchRanked(net ccam.Network, loader index.UnionLoader, q RankedQuery) ([]
 		best:    make(map[index.ObjectRef]RankedResult),
 	}
 	if err := rs.run(); err != nil {
-		return nil, SearchStats{}, err
+		return nil, SearchStats{}, Trace{}, err
 	}
-	return rs.topK(), rs.stats, nil
+	return rs.topK(), rs.stats, rs.trace, nil
 }
 
 // rankedSearch mirrors SKSearch's expansion but scores with OR semantics.
 // Distances of loaded objects are finalized the same way: via settled
 // end-nodes, with the same-edge direct path handled at the start.
 type rankedSearch struct {
+	ctx    context.Context // query-scoped: the search lives for one query
 	net    ccam.Network
 	loader index.UnionLoader
 	q      RankedQuery
@@ -96,6 +107,15 @@ type rankedSearch struct {
 
 	best  map[index.ObjectRef]RankedResult // best-known distance per object
 	stats SearchStats
+	trace Trace
+}
+
+// loadAny times a union-loader call into the trace's PostingReads stage.
+func (r *rankedSearch) loadAny(e graph.EdgeID) ([]index.ObjectMatch, error) {
+	start := time.Now()
+	matches, err := r.loader.LoadObjectsAny(r.ctx, e, r.terms)
+	r.trace.PostingReads += time.Since(start)
+	return matches, err
 }
 
 func (r *rankedSearch) score(dist float64, matched int) float64 {
@@ -122,6 +142,14 @@ func (r *rankedSearch) kthBest() float64 {
 }
 
 func (r *rankedSearch) run() error {
+	if err := ctxErr(r.ctx); err != nil {
+		return err
+	}
+	runStart := time.Now()
+	defer func() {
+		r.trace.Total = time.Since(runStart)
+		r.trace.Expansion = r.trace.Total - r.trace.PostingReads
+	}()
 	info, err := r.net.EdgeInfo(r.q.Pos.Edge)
 	if err != nil {
 		return err
@@ -133,9 +161,9 @@ func (r *rankedSearch) run() error {
 
 	r.visited[r.q.Pos.Edge] = true
 	r.stats.EdgesVisited++
-	matches, err := r.loader.LoadObjectsAny(r.q.Pos.Edge, r.terms)
+	matches, err := r.loadAny(r.q.Pos.Edge)
 	if err != nil {
-		return err
+		return mapCtxErr(err)
 	}
 	for _, m := range matches {
 		wo1 := offsetCost(info.Weight, info.Length, m.Ref.Offset)
@@ -147,6 +175,9 @@ func (r *rankedSearch) run() error {
 	}
 
 	for {
+		if err := ctxErr(r.ctx); err != nil {
+			return err
+		}
 		var cur nodeEntry
 		found := false
 		for r.pq.Len() > 0 {
@@ -171,9 +202,9 @@ func (r *rankedSearch) run() error {
 		}
 		r.settled[cur.node] = true
 		r.stats.NodesPopped++
-		adj, err := r.net.Adjacency(cur.node)
+		adj, err := r.net.Adjacency(r.ctx, cur.node)
 		if err != nil {
-			return err
+			return mapCtxErr(err)
 		}
 		for _, a := range adj {
 			r.relax(a.Other, cur.dist+a.Weight)
@@ -181,9 +212,9 @@ func (r *rankedSearch) run() error {
 			if !r.visited[a.Edge] {
 				r.visited[a.Edge] = true
 				r.stats.EdgesVisited++
-				matches, err := r.loader.LoadObjectsAny(a.Edge, r.terms)
+				matches, err := r.loadAny(a.Edge)
 				if err != nil {
-					return err
+					return mapCtxErr(err)
 				}
 				for _, m := range matches {
 					r.record(m, cur.dist+objCost(a, settledIsRef, m.Ref.Offset))

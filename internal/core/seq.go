@@ -1,18 +1,22 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"dsks/internal/ccam"
 	"dsks/internal/index"
 	"dsks/internal/obj"
 )
 
 // DivResult is the outcome of a diversified spatial keyword query: the k
-// chosen objects (fewer when fewer qualify), the objective value f(S), and
-// the cost counters.
+// chosen objects (fewer when fewer qualify), the objective value f(S), the
+// cost counters, and the per-stage timings.
 type DivResult struct {
 	Objects []Candidate
 	F       float64
 	Stats   SearchStats
+	Trace   Trace
 }
 
 // SearchSEQ is the straw-man of Section 4.1: retrieve every object
@@ -20,11 +24,12 @@ type DivResult struct {
 // pairwise diversification distances, and feed them to the greedy of
 // Algorithm 1. Its cost is dominated by loading all candidates and the
 // full pairwise network distance computation.
-func SearchSEQ(net ccam.Network, loader index.Loader, q DivQuery) (DivResult, error) {
+func SearchSEQ(ctx context.Context, net ccam.Network, loader index.Loader, q DivQuery) (DivResult, error) {
 	if err := q.Validate(); err != nil {
 		return DivResult{}, err
 	}
-	sks, err := NewSKSearch(net, loader, q.SKQuery)
+	start := time.Now()
+	sks, err := NewSKSearch(ctx, net, loader, q.SKQuery)
 	if err != nil {
 		return DivResult{}, err
 	}
@@ -34,12 +39,13 @@ func SearchSEQ(net ccam.Network, loader index.Loader, q DivQuery) (DivResult, er
 	}
 	stats := sks.Stats()
 
+	divStart := time.Now()
 	params := DivParams{K: q.K, Lambda: q.Lambda, DeltaMax: q.DeltaMax}
-	dist := NewDistEngine(net, 2*q.DeltaMax, &stats)
+	dist := NewDistEngine(ctx, net, 2*q.DeltaMax, &stats)
 
 	theta, err := pairwiseTheta(cands, params, dist)
 	if err != nil {
-		return DivResult{}, err
+		return DivResult{}, mapCtxErr(err)
 	}
 	chosen := GreedyDiversify(len(cands), q.K, theta)
 	result := make([]Candidate, len(chosen))
@@ -49,7 +55,10 @@ func SearchSEQ(net ccam.Network, loader index.Loader, q DivQuery) (DivResult, er
 	f := SetObjective(len(chosen), func(i, j int) float64 {
 		return theta(chosen[i], chosen[j])
 	})
-	return DivResult{Objects: result, F: f, Stats: stats}, nil
+	trace := sks.Trace()
+	trace.Diversify = time.Since(divStart)
+	trace.Total = time.Since(start)
+	return DivResult{Objects: result, F: f, Stats: stats, Trace: trace}, nil
 }
 
 // pairwiseTheta materializes the full pairwise θ matrix (the expensive part

@@ -2,7 +2,9 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"math"
+	"time"
 
 	"dsks/internal/ccam"
 	"dsks/internal/graph"
@@ -16,6 +18,7 @@ import (
 // emits candidates in non-decreasing network distance — the arrival order
 // the diversified search (Algorithm 6) consumes.
 type SKSearch struct {
+	ctx    context.Context // query-scoped: the search lives for one query
 	net    ccam.Network
 	loader index.Loader
 	q      SKQuery
@@ -32,6 +35,7 @@ type SKSearch struct {
 	deltaT float64 // lower bound on any future settled distance
 	done   bool
 	stats  SearchStats
+	trace  Trace
 }
 
 type objRef struct {
@@ -43,12 +47,19 @@ type objRef struct {
 }
 
 // NewSKSearch prepares an incremental search; it performs the first edge
-// load (the query's own edge) eagerly.
-func NewSKSearch(net ccam.Network, loader index.Loader, q SKQuery) (*SKSearch, error) {
+// load (the query's own edge) eagerly. ctx governs the whole lifetime of
+// the search: a context that is already done fails here before any I/O,
+// and cancellation mid-expansion surfaces from Next as ErrCanceled or
+// ErrDeadlineExceeded.
+func NewSKSearch(ctx context.Context, net ccam.Network, loader index.Loader, q SKQuery) (*SKSearch, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s := &SKSearch{
+		ctx:      ctx,
 		net:      net,
 		loader:   loader,
 		q:        q,
@@ -73,9 +84,9 @@ func NewSKSearch(net ccam.Network, loader index.Loader, q SKQuery) (*SKSearch, e
 	// the ends settle.
 	s.visited[q.Pos.Edge] = true
 	s.stats.EdgesVisited++
-	refs, err := loader.LoadObjects(q.Pos.Edge, q.Terms)
+	refs, err := s.loadObjects(q.Pos.Edge)
 	if err != nil {
-		return nil, err
+		return nil, mapCtxErr(err)
 	}
 	for _, r := range refs {
 		wo1 := offsetCost(info.Weight, info.Length, r.Offset)
@@ -83,6 +94,14 @@ func NewSKSearch(net ccam.Network, loader index.Loader, q SKQuery) (*SKSearch, e
 		s.addObject(r, direct)
 	}
 	return s, nil
+}
+
+// loadObjects times a Loader call into the trace's PostingReads stage.
+func (s *SKSearch) loadObjects(e graph.EdgeID) ([]index.ObjectRef, error) {
+	start := time.Now()
+	refs, err := s.loader.LoadObjects(s.ctx, e, s.q.Terms)
+	s.trace.PostingReads += time.Since(start)
+	return refs, err
 }
 
 // offsetCost converts a geometric offset from the reference node into a
@@ -150,14 +169,23 @@ func (s *SKSearch) Next() (Candidate, bool, error) {
 			return Candidate{}, false, nil
 		}
 		if err := s.expandOnce(); err != nil {
-			return Candidate{}, false, err
+			return Candidate{}, false, mapCtxErr(err)
 		}
 	}
 }
 
 // expandOnce settles one node of the network expansion (one iteration of
-// Algorithm 3's main loop).
+// Algorithm 3's main loop). The context is checked once per settled node,
+// so cancellation latency is bounded by a single node's work.
 func (s *SKSearch) expandOnce() error {
+	if err := ctxErr(s.ctx); err != nil {
+		return err
+	}
+	expandStart := time.Now()
+	postingBefore := s.trace.PostingReads
+	defer func() {
+		s.trace.Expansion += time.Since(expandStart) - (s.trace.PostingReads - postingBefore)
+	}()
 	// Pop the next unsettled node.
 	var cur nodeEntry
 	for {
@@ -180,7 +208,7 @@ func (s *SKSearch) expandOnce() error {
 	s.settled[cur.node] = true
 	s.stats.NodesPopped++
 
-	adj, err := s.net.Adjacency(cur.node)
+	adj, err := s.net.Adjacency(s.ctx, cur.node)
 	if err != nil {
 		return err
 	}
@@ -195,7 +223,7 @@ func (s *SKSearch) expandOnce() error {
 			// First visit: load qualifying objects (Algorithm 2).
 			s.visited[a.Edge] = true
 			s.stats.EdgesVisited++
-			refs, err := s.loader.LoadObjects(a.Edge, s.q.Terms)
+			refs, err := s.loadObjects(a.Edge)
 			if err != nil {
 				return err
 			}
@@ -264,6 +292,10 @@ func (s *SKSearch) All() ([]Candidate, error) {
 
 // Stats returns the traversal counters so far.
 func (s *SKSearch) Stats() SearchStats { return s.stats }
+
+// Trace returns the stage timings accumulated so far (Total is left for
+// the caller, which owns the end-to-end clock).
+func (s *SKSearch) Trace() Trace { return s.trace }
 
 // Frontier returns the current expansion frontier deltaT: every not-yet-
 // emitted object is at least this far from the query.

@@ -1,0 +1,30 @@
+package core
+
+import "time"
+
+// Trace breaks a query's wall-clock time down by stage. Searches accumulate
+// it as they run; callers read it after (or instead of) the result. Stages
+// that a query type does not exercise stay zero.
+type Trace struct {
+	// Expansion is the time spent inside the network expansion proper:
+	// popping nodes, fetching adjacency pages, relaxing edges.
+	Expansion time.Duration
+	// PostingReads is the time spent in Loader.LoadObjects /
+	// LoadObjectsAny calls — signature tests, B+-tree descents and
+	// posting-heap reads.
+	PostingReads time.Duration
+	// Diversify is the time spent in diversification work on top of the
+	// candidate stream: pairwise distance computation, core-pair
+	// maintenance, greedy set construction.
+	Diversify time.Duration
+	// Total is the end-to-end time of the query.
+	Total time.Duration
+}
+
+// Add accumulates other into t.
+func (t *Trace) Add(other Trace) {
+	t.Expansion += other.Expansion
+	t.PostingReads += other.PostingReads
+	t.Diversify += other.Diversify
+	t.Total += other.Total
+}

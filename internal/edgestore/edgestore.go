@@ -8,6 +8,7 @@
 package edgestore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -114,7 +115,7 @@ func (s *Store) writeEdge(c *obj.Collection, ids []obj.ID, vocabSize int) (stora
 
 // LoadObjects implements index.Loader: every object of the edge is read
 // from disk (the C1 cost), then filtered by the AND keyword constraint.
-func (s *Store) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (s *Store) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
@@ -124,7 +125,7 @@ func (s *Store) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectR
 	}
 	var out []index.ObjectRef
 	for id := head; id != storage.InvalidPageID; {
-		page, err := s.pool.Get(id)
+		page, err := s.pool.GetCtx(ctx, id)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package edgestore
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -51,7 +53,7 @@ func TestLoadObjectsMatchesBruteForce(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		got, err := st.LoadObjects(e, ts)
+		got, err := st.LoadObjects(context.Background(), e, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +108,7 @@ func TestChainSpansPages(t *testing.T) {
 	if st.NumPages() < 3 {
 		t.Fatalf("expected multi-page chain, got %d pages", st.NumPages())
 	}
-	got, err := st.LoadObjects(eid, []obj.TermID{0, 1, 2})
+	got, err := st.LoadObjects(context.Background(), eid, []obj.TermID{0, 1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +119,10 @@ func TestChainSpansPages(t *testing.T) {
 
 func TestEmptyCases(t *testing.T) {
 	_, _, st := buildFixture(t, 50, 3)
-	if got, err := st.LoadObjects(0, nil); err != nil || got != nil {
+	if got, err := st.LoadObjects(context.Background(), 0, nil); err != nil || got != nil {
 		t.Errorf("empty terms: %v, %v", got, err)
 	}
-	if got, err := st.LoadObjects(graph.EdgeID(9999), []obj.TermID{0}); err != nil || got != nil {
+	if got, err := st.LoadObjects(context.Background(), graph.EdgeID(9999), []obj.TermID{0}); err != nil || got != nil {
 		t.Errorf("unknown edge: %v, %v", got, err)
 	}
 }

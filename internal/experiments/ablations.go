@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -63,9 +65,9 @@ func AblationPruning(cfg Config) (*Result, error) {
 			var res core.DivResult
 			var err error
 			if v.seq {
-				res, err = core.SearchSEQ(sys.Net, loader, q)
+				res, err = core.SearchSEQ(context.Background(), sys.Net, loader, q)
 			} else {
-				res, err = core.SearchCOMPruned(sys.Net, loader, q, v.prune)
+				res, err = core.SearchCOMPruned(context.Background(), sys.Net, loader, q, v.prune)
 			}
 			if err != nil {
 				return nil, err
@@ -163,7 +165,7 @@ func AblationDijkstra(cfg Config) (*Result, error) {
 	var accElapsed time.Duration
 	for _, wq := range ws {
 		start := time.Now()
-		search, err := core.NewSKSearch(sys.Net, loader, harness.SKQueryOf(wq))
+		search, err := core.NewSKSearch(context.Background(), sys.Net, loader, harness.SKQueryOf(wq))
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +186,7 @@ func AblationDijkstra(cfg Config) (*Result, error) {
 	var runs, queries int64
 	for _, wq := range ws {
 		start := time.Now()
-		search, err := core.NewSKSearch(sys.Net, loader, harness.SKQueryOf(wq))
+		search, err := core.NewSKSearch(context.Background(), sys.Net, loader, harness.SKQueryOf(wq))
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +196,7 @@ func AblationDijkstra(cfg Config) (*Result, error) {
 		}
 		for _, c := range cands {
 			var st core.SearchStats
-			eng := core.NewDistEngine(sys.Net, wq.DeltaMax, &st)
+			eng := core.NewDistEngine(context.Background(), sys.Net, wq.DeltaMax, &st)
 			if _, err := eng.Dist(wq.Pos, c.Ref.Pos()); err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -46,7 +48,7 @@ func runSKWorkload(sys *harness.System, kind harness.IndexKind, ws []dataset.Que
 	var total time.Duration
 	var reads, cands int64
 	for _, wq := range ws {
-		res, err := sys.RunSK(kind, harness.SKQueryOf(wq))
+		res, err := sys.RunSK(context.Background(), kind, harness.SKQueryOf(wq))
 		if err != nil {
 			return 0, 0, 0, err
 		}

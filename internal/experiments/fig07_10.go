@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"dsks/internal/dataset"
@@ -192,7 +194,7 @@ func falseHits(sys *harness.System, kind harness.IndexKind, counted interface {
 		return 0, err
 	}
 	for _, wq := range ws {
-		if _, err := sys.RunSK(kind, harness.SKQueryOf(wq)); err != nil {
+		if _, err := sys.RunSK(context.Background(), kind, harness.SKQueryOf(wq)); err != nil {
 			return 0, err
 		}
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"time"
 
@@ -20,7 +22,7 @@ func runDivWorkload(sys *harness.System, ws []dataset.Query, k int, lambda float
 	var total time.Duration
 	var reads, cands int64
 	for _, wq := range ws {
-		res, err := sys.RunDiv(harness.KindSIF, algo, harness.DivQueryOf(wq, k, lambda))
+		res, err := sys.RunDiv(context.Background(), harness.KindSIF, algo, harness.DivQueryOf(wq, k, lambda))
 		if err != nil {
 			return 0, 0, 0, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -73,7 +75,7 @@ func ExtraQuality(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 97))
 	for _, wq := range ws {
 		params := core.DivParams{K: k, Lambda: lambda, DeltaMax: wq.DeltaMax}
-		sk, err := sys.RunSK(harness.KindSIF, harness.SKQueryOf(wq))
+		sk, err := sys.RunSK(context.Background(), harness.KindSIF, harness.SKQueryOf(wq))
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +94,7 @@ func ExtraQuality(cfg Config) (*Result, error) {
 		add("random-k", params, wq, randK)
 		// The two diversified algorithms.
 		for _, algo := range divAlgos {
-			res, err := sys.RunDiv(harness.KindSIF, algo, harness.DivQueryOf(wq, k, lambda))
+			res, err := sys.RunDiv(context.Background(), harness.KindSIF, algo, harness.DivQueryOf(wq, k, lambda))
 			if err != nil {
 				return nil, err
 			}

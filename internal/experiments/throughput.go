@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -38,7 +40,7 @@ func ExtraThroughput(cfg Config) (*Result, error) {
 	}
 	// Warm up once so every worker sees comparable buffer state.
 	for _, wq := range ws {
-		if _, err := sys.RunSK(harness.KindSIF, harness.SKQueryOf(wq)); err != nil {
+		if _, err := sys.RunSK(context.Background(), harness.KindSIF, harness.SKQueryOf(wq)); err != nil {
 			return nil, err
 		}
 	}
@@ -56,7 +58,7 @@ func ExtraThroughput(cfg Config) (*Result, error) {
 				defer wg.Done()
 				for i := w; time.Now().Before(stop); i++ {
 					wq := ws[i%len(ws)]
-					if _, err := sys.RunSK(harness.KindSIF, harness.SKQueryOf(wq)); err != nil {
+					if _, err := sys.RunSK(context.Background(), harness.KindSIF, harness.SKQueryOf(wq)); err != nil {
 						firstErr.Store(err)
 						return
 					}

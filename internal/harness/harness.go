@@ -7,8 +7,11 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"dsks/internal/ccam"
@@ -18,6 +21,7 @@ import (
 	"dsks/internal/index"
 	"dsks/internal/invindex"
 	"dsks/internal/ir"
+	"dsks/internal/metrics"
 	"dsks/internal/obj"
 	"dsks/internal/sig"
 	"dsks/internal/storage"
@@ -116,6 +120,47 @@ type System struct {
 	Group *sig.Group
 	IR    *ir.Index
 	C1    *edgestore.Store
+
+	// Metrics aggregates query counts, latency histograms and buffer-pool
+	// hit rates across every Run* call.
+	Metrics *metrics.Registry
+
+	// traceHook, when set, receives each query's stage timings.
+	traceHook atomic.Value // of TraceHook
+}
+
+// TraceHook observes per-query stage timings; install one with
+// SetTraceHook. Hooks run synchronously on the query goroutine, so they
+// must be fast and are expected to be safe for concurrent calls.
+type TraceHook func(kind metrics.QueryKind, trace core.Trace)
+
+// SetTraceHook installs (or, with nil, removes) the per-query trace hook.
+func (s *System) SetTraceHook(h TraceHook) { s.traceHook.Store(h) }
+
+func (s *System) emitTrace(kind metrics.QueryKind, trace core.Trace) {
+	if h, ok := s.traceHook.Load().(TraceHook); ok && h != nil {
+		h(kind, trace)
+	}
+}
+
+// record folds one finished query into the metrics registry.
+func (s *System) record(kind metrics.QueryKind, elapsed time.Duration, diskReads int64, stats core.SearchStats, err error) {
+	sample := metrics.Sample{
+		Elapsed:       elapsed,
+		NodesPopped:   stats.NodesPopped,
+		EdgesVisited:  stats.EdgesVisited,
+		Candidates:    stats.Candidates,
+		Pruned:        stats.Pruned,
+		PairDistCalcs: stats.PairDistCalcs,
+		DiskReads:     diskReads,
+	}
+	if err != nil {
+		sample.Err = true
+		if errors.Is(err, core.ErrCanceled) || errors.Is(err, core.ErrDeadlineExceeded) {
+			sample.Canceled = true
+		}
+	}
+	s.Metrics.Record(kind, sample)
 }
 
 // Build generates the disk layout for ds and constructs the requested
@@ -130,6 +175,7 @@ func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error
 		loaders:   make(map[IndexKind]index.Loader),
 		BuildTime: make(map[IndexKind]time.Duration),
 		IndexSize: make(map[IndexKind]int64),
+		Metrics:   metrics.NewRegistry(),
 	}
 
 	// CCAM network file.
@@ -300,7 +346,19 @@ func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error
 	if opts.IOLatency > 0 {
 		s.netPool.SetIOLatency(opts.IOLatency)
 	}
+	s.Metrics.RegisterPool("network", poolFunc(s.netStats))
+	for kind, st := range s.objStats {
+		s.Metrics.RegisterPool(string(kind), poolFunc(st))
+	}
 	return s, nil
+}
+
+// poolFunc adapts an IOStats to the registry's pull interface.
+func poolFunc(st *storage.IOStats) metrics.PoolFunc {
+	return func() (int64, int64) {
+		snap := st.Snapshot()
+		return snap.LogicalRead, snap.DiskRead
+	}
 }
 
 // newPageStore creates the page backing for one structure: in-memory by
@@ -362,36 +420,51 @@ func (s *System) DiskReads(kind IndexKind) int64 {
 	return total
 }
 
-// QueryResult carries the outcome and cost of one query run.
+// QueryResult carries the outcome and cost of one query run. Every Run*
+// method fills the envelope fields (Elapsed, DiskReads, Stats, Trace);
+// which payload field is set depends on the query family.
 type QueryResult struct {
 	Candidates []core.Candidate
 	Div        core.DivResult
+	Ranked     []core.RankedResult
+	Collective *core.CollectiveResult
 	Elapsed    time.Duration
 	DiskReads  int64
 	Stats      core.SearchStats
+	Trace      core.Trace
 }
 
 // RunSK executes a boolean SK query (Algorithm 3) against the given index.
-func (s *System) RunSK(kind IndexKind, q core.SKQuery) (QueryResult, error) {
+// ctx cancels or deadline-bounds the search (core.ErrCanceled /
+// core.ErrDeadlineExceeded).
+func (s *System) RunSK(ctx context.Context, kind IndexKind, q core.SKQuery) (QueryResult, error) {
 	loader, err := s.Loader(kind)
 	if err != nil {
 		return QueryResult{}, err
 	}
 	before := s.DiskReads(kind)
 	start := time.Now()
-	search, err := core.NewSKSearch(s.Net, loader, q)
+	search, err := core.NewSKSearch(ctx, s.Net, loader, q)
 	if err != nil {
+		s.record(metrics.KindSearch, time.Since(start), s.DiskReads(kind)-before, core.SearchStats{}, err)
 		return QueryResult{}, err
 	}
 	cands, err := search.All()
+	elapsed := time.Since(start)
+	reads := s.DiskReads(kind) - before
+	s.record(metrics.KindSearch, elapsed, reads, search.Stats(), err)
 	if err != nil {
 		return QueryResult{}, err
 	}
+	trace := search.Trace()
+	trace.Total = elapsed
+	s.emitTrace(metrics.KindSearch, trace)
 	return QueryResult{
 		Candidates: cands,
-		Elapsed:    time.Since(start),
-		DiskReads:  s.DiskReads(kind) - before,
+		Elapsed:    elapsed,
+		DiskReads:  reads,
 		Stats:      search.Stats(),
+		Trace:      trace,
 	}, nil
 }
 
@@ -406,7 +479,7 @@ const (
 
 // RunDiv executes a diversified SK query with SEQ or COM over the given
 // index (the paper evaluates both over SIF).
-func (s *System) RunDiv(kind IndexKind, algo DivAlgo, q core.DivQuery) (QueryResult, error) {
+func (s *System) RunDiv(ctx context.Context, kind IndexKind, algo DivAlgo, q core.DivQuery) (QueryResult, error) {
 	loader, err := s.Loader(kind)
 	if err != nil {
 		return QueryResult{}, err
@@ -416,20 +489,119 @@ func (s *System) RunDiv(kind IndexKind, algo DivAlgo, q core.DivQuery) (QueryRes
 	var res core.DivResult
 	switch algo {
 	case AlgoSEQ:
-		res, err = core.SearchSEQ(s.Net, loader, q)
+		res, err = core.SearchSEQ(ctx, s.Net, loader, q)
 	case AlgoCOM:
-		res, err = core.SearchCOM(s.Net, loader, q)
+		res, err = core.SearchCOM(ctx, s.Net, loader, q)
 	default:
 		return QueryResult{}, fmt.Errorf("harness: unknown algorithm %q", algo)
 	}
+	elapsed := time.Since(start)
+	reads := s.DiskReads(kind) - before
+	s.record(metrics.KindDiversified, elapsed, reads, res.Stats, err)
 	if err != nil {
 		return QueryResult{}, err
 	}
+	s.emitTrace(metrics.KindDiversified, res.Trace)
 	return QueryResult{
 		Div:       res,
-		Elapsed:   time.Since(start),
-		DiskReads: s.DiskReads(kind) - before,
+		Elapsed:   elapsed,
+		DiskReads: reads,
 		Stats:     res.Stats,
+		Trace:     res.Trace,
+	}, nil
+}
+
+// RunKNN executes a boolean kNN spatial keyword query.
+func (s *System) RunKNN(ctx context.Context, kind IndexKind, q core.KNNQuery) (QueryResult, error) {
+	loader, err := s.Loader(kind)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	before := s.DiskReads(kind)
+	start := time.Now()
+	cands, stats, err := core.SearchKNN(ctx, s.Net, loader, q)
+	elapsed := time.Since(start)
+	reads := s.DiskReads(kind) - before
+	s.record(metrics.KindKNN, elapsed, reads, stats, err)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	trace := core.Trace{Total: elapsed}
+	s.emitTrace(metrics.KindKNN, trace)
+	return QueryResult{
+		Candidates: cands,
+		Elapsed:    elapsed,
+		DiskReads:  reads,
+		Stats:      stats,
+		Trace:      trace,
+	}, nil
+}
+
+// UnionLoader returns the union-capable loader of the given kind, or an
+// error when the index supports only boolean AND loads.
+func (s *System) UnionLoader(kind IndexKind) (index.UnionLoader, error) {
+	loader, err := s.Loader(kind)
+	if err != nil {
+		return nil, err
+	}
+	ul, ok := loader.(index.UnionLoader)
+	if !ok {
+		return nil, fmt.Errorf("harness: index %q does not support union (OR) loads", kind)
+	}
+	return ul, nil
+}
+
+// RunRanked executes a top-k ranked spatial keyword query. The index must
+// provide union (OR) loads.
+func (s *System) RunRanked(ctx context.Context, kind IndexKind, q core.RankedQuery) (QueryResult, error) {
+	ul, err := s.UnionLoader(kind)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	before := s.DiskReads(kind)
+	start := time.Now()
+	ranked, stats, trace, err := core.SearchRankedTraced(ctx, s.Net, ul, q)
+	elapsed := time.Since(start)
+	reads := s.DiskReads(kind) - before
+	s.record(metrics.KindRanked, elapsed, reads, stats, err)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	trace.Total = elapsed
+	s.emitTrace(metrics.KindRanked, trace)
+	return QueryResult{
+		Ranked:    ranked,
+		Elapsed:   elapsed,
+		DiskReads: reads,
+		Stats:     stats,
+		Trace:     trace,
+	}, nil
+}
+
+// RunCollective executes a collective (group keyword cover) query. The
+// index must provide union (OR) loads.
+func (s *System) RunCollective(ctx context.Context, kind IndexKind, q core.CollectiveQuery) (QueryResult, error) {
+	ul, err := s.UnionLoader(kind)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	before := s.DiskReads(kind)
+	start := time.Now()
+	res, stats, trace, err := core.SearchCollectiveTraced(ctx, s.Net, ul, q)
+	elapsed := time.Since(start)
+	reads := s.DiskReads(kind) - before
+	s.record(metrics.KindCollective, elapsed, reads, stats, err)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	trace.Total = elapsed
+	s.emitTrace(metrics.KindCollective, trace)
+	return QueryResult{
+		Collective: &res,
+		Elapsed:    elapsed,
+		DiskReads:  reads,
+		Stats:      stats,
+		Trace:      trace,
 	}, nil
 }
 

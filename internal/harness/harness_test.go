@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"testing"
 	"time"
 
@@ -61,7 +63,7 @@ func TestRunSKCollectsMetrics(t *testing.T) {
 	var anyIO, anyCand bool
 	var totalPops int64
 	for _, wq := range ws {
-		res, err := sys.RunSK(KindSIF, SKQueryOf(wq))
+		res, err := sys.RunSK(context.Background(), KindSIF, SKQueryOf(wq))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +93,7 @@ func TestRunDivBothAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, algo := range []DivAlgo{AlgoSEQ, AlgoCOM} {
-		res, err := sys.RunDiv(KindSIF, algo, DivQueryOf(ws[0], 6, 0.8))
+		res, err := sys.RunDiv(context.Background(), KindSIF, algo, DivQueryOf(ws[0], 6, 0.8))
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -99,7 +101,7 @@ func TestRunDivBothAlgorithms(t *testing.T) {
 			t.Errorf("%s: no elapsed time", algo)
 		}
 	}
-	if _, err := sys.RunDiv(KindSIF, "NOPE", DivQueryOf(ws[0], 6, 0.8)); err == nil {
+	if _, err := sys.RunDiv(context.Background(), KindSIF, "NOPE", DivQueryOf(ws[0], 6, 0.8)); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -122,11 +124,11 @@ func TestIOLatencyInjection(t *testing.T) {
 	}
 	var fastT, slowT time.Duration
 	for _, wq := range ws {
-		rf, err := fast.RunSK(KindSIF, SKQueryOf(wq))
+		rf, err := fast.RunSK(context.Background(), KindSIF, SKQueryOf(wq))
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := slow.RunSK(KindSIF, SKQueryOf(wq))
+		rs, err := slow.RunSK(context.Background(), KindSIF, SKQueryOf(wq))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +147,7 @@ func TestSIFPRealLogOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.RunSK(KindSIFP, SKQueryOf(ws[0]))
+	res, err := sys.RunSK(context.Background(), KindSIFP, SKQueryOf(ws[0]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func TestResetIOClearsCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.RunSK(KindIF, SKQueryOf(ws[0])); err != nil {
+	if _, err := sys.RunSK(context.Background(), KindIF, SKQueryOf(ws[0])); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.ResetIO(); err != nil {

@@ -6,6 +6,8 @@
 package index
 
 import (
+	"context"
+
 	"dsks/internal/graph"
 	"dsks/internal/obj"
 )
@@ -24,9 +26,10 @@ func (r ObjectRef) Pos() graph.Position { return graph.Position{Edge: r.Edge, Of
 // Loader loads the objects lying on an edge that contain all query terms
 // (the paper's Algorithm 2). terms must be sorted and duplicate-free.
 // Implementations report their page reads through their buffer pool's
-// IOStats.
+// IOStats, and honor ctx: a done context aborts the load (wrapping
+// ctx.Err()) before further I/O is charged.
 type Loader interface {
-	LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]ObjectRef, error)
+	LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]ObjectRef, error)
 }
 
 // UnionLoader additionally loads with OR semantics: the objects on an edge
@@ -37,7 +40,7 @@ type UnionLoader interface {
 	Loader
 	// LoadObjectsAny returns, for each object on e containing at least one
 	// term, the number of distinct query terms it contains.
-	LoadObjectsAny(e graph.EdgeID, terms []obj.TermID) ([]ObjectMatch, error)
+	LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]ObjectMatch, error)
 }
 
 // ObjectMatch is a union-load result: the object plus its term overlap.

@@ -1,6 +1,8 @@
 package invindex
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -18,7 +20,7 @@ func BenchmarkLoadObjects(b *testing.B) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(20)), obj.TermID(rng.Intn(20)),
 		})
-		if _, err := loader.LoadObjects(e, ts); err != nil {
+		if _, err := loader.LoadObjects(context.Background(), e, ts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -34,7 +36,7 @@ func BenchmarkLoadObjectsAny(b *testing.B) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(20)), obj.TermID(rng.Intn(20)),
 		})
-		if _, err := loader.LoadObjectsAny(e, ts); err != nil {
+		if _, err := loader.LoadObjectsAny(context.Background(), e, ts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@
 package invindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -202,12 +203,12 @@ func (idx *Index) newHeapPage() error {
 // readList loads the postings of a packed list that lie on edge e (the
 // list may also hold postings of Z-cell-colliding edges). Consecutive heap
 // pages are fetched through the buffer pool.
-func (idx *Index) readList(ref uint64, e graph.EdgeID) ([]Posting, error) {
+func (idx *Index) readList(ctx context.Context, ref uint64, e graph.EdgeID) ([]Posting, error) {
 	pageID, off, count := unpackListRef(ref)
 	idx.postingsRead.Add(int64(count))
 	var out []Posting
 	for i := 0; i < count; {
-		page, err := idx.pool.Get(pageID)
+		page, err := idx.pool.GetCtx(ctx, pageID)
 		if err != nil {
 			return nil, err
 		}
@@ -348,14 +349,20 @@ func (idx *Index) RemoveObject(zcode uint64, id obj.ID, terms []obj.TermID) erro
 // TermPostings returns term t's postings on edge e (the R_t of Algorithm
 // 2), loading them from disk. zcode must be the Z-code of e's center.
 func (idx *Index) TermPostings(t obj.TermID, e graph.EdgeID, zcode uint64) ([]Posting, error) {
-	ref, err := idx.tree.Get(edgeKey(t, zcode))
+	return idx.TermPostingsCtx(context.Background(), t, e, zcode)
+}
+
+// TermPostingsCtx is TermPostings with cancellation: a done ctx aborts the
+// B+-tree descent or the posting-heap walk before the next page read.
+func (idx *Index) TermPostingsCtx(ctx context.Context, t obj.TermID, e graph.EdgeID, zcode uint64) ([]Posting, error) {
+	ref, err := idx.tree.GetCtx(ctx, edgeKey(t, zcode))
 	if errors.Is(err, btree.ErrNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	return idx.readList(ref, e)
+	return idx.readList(ctx, ref, e)
 }
 
 // EdgeZCoder supplies the Z-code of an edge's center (implemented by the
@@ -387,7 +394,7 @@ type Loader struct {
 
 // LoadObjects implements index.Loader: it loads R_t for every query term
 // and returns the intersection (rarest-first when SelectivityOrder is on).
-func (l *Loader) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (l *Loader) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
@@ -397,7 +404,7 @@ func (l *Loader) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.Object
 	z := l.Coder.EdgeZCode(e)
 	var inter map[obj.ID]Posting
 	for i, t := range terms {
-		ps, err := l.Idx.TermPostings(t, e, z)
+		ps, err := l.Idx.TermPostingsCtx(ctx, t, e, z)
 		if err != nil {
 			return nil, err
 		}
@@ -433,14 +440,14 @@ func (l *Loader) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.Object
 // LoadObjectsAny implements index.UnionLoader: objects on e containing at
 // least one query term, with their distinct-term match counts (the OR
 // semantics of the ranked spatial keyword query).
-func (l *Loader) LoadObjectsAny(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+func (l *Loader) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
 	z := l.Coder.EdgeZCode(e)
 	found := make(map[obj.ID]*index.ObjectMatch)
 	for _, t := range terms {
-		ps, err := l.Idx.TermPostings(t, e, z)
+		ps, err := l.Idx.TermPostingsCtx(ctx, t, e, z)
 		if err != nil {
 			return nil, err
 		}

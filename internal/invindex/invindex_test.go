@@ -1,6 +1,8 @@
 package invindex
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"testing"
@@ -77,7 +79,7 @@ func TestLoadObjectsMatchesBruteForce(t *testing.T) {
 		}
 		terms = obj.NormalizeTerms(terms)
 		want := bruteLoad(col, e, terms)
-		got, err := loader.LoadObjects(e, terms)
+		got, err := loader.LoadObjects(context.Background(), e, terms)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +106,7 @@ func TestLoadObjectsMatchesBruteForce(t *testing.T) {
 
 func TestLoadObjectsEmptyTerm(t *testing.T) {
 	_, _, _, loader, _ := buildFixture(t, 100, 3)
-	got, err := loader.LoadObjects(0, nil)
+	got, err := loader.LoadObjects(context.Background(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestLoadObjectsEmptyTerm(t *testing.T) {
 func TestLoadObjectsUnknownTerm(t *testing.T) {
 	g, _, _, loader, _ := buildFixture(t, 100, 4)
 	for e := 0; e < g.NumEdges(); e++ {
-		got, err := loader.LoadObjects(graph.EdgeID(e), []obj.TermID{19})
+		got, err := loader.LoadObjects(context.Background(), graph.EdgeID(e), []obj.TermID{19})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +155,7 @@ func TestPostingChainSpansPages(t *testing.T) {
 		t.Fatalf("expected multi-page chain, got %d pages", idx.ListPages(0))
 	}
 	loader := &Loader{Idx: idx, Coder: GraphZCoder{G: g}}
-	got, err := loader.LoadObjects(eid, []obj.TermID{0})
+	got, err := loader.LoadObjects(context.Background(), eid, []obj.TermID{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +184,7 @@ func TestIndexCountsIO(t *testing.T) {
 		t.Fatal("no term found")
 	}
 	stats.Reset()
-	if _, err := loader.LoadObjects(probe, []obj.TermID{nonEmptyTerm}); err != nil {
+	if _, err := loader.LoadObjects(context.Background(), probe, []obj.TermID{nonEmptyTerm}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Snapshot().LogicalRead == 0 {
@@ -260,11 +262,11 @@ func TestZCellCollisionHandled(t *testing.T) {
 		t.Fatal(err)
 	}
 	loader := &Loader{Idx: idx, Coder: coder}
-	got1, err := loader.LoadObjects(e1, []obj.TermID{0})
+	got1, err := loader.LoadObjects(context.Background(), e1, []obj.TermID{0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got2, err := loader.LoadObjects(e2, []obj.TermID{0})
+	got2, err := loader.LoadObjects(context.Background(), e2, []obj.TermID{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +301,7 @@ func TestLoaderIntersectionOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	loader := &Loader{Idx: idx, Coder: GraphZCoder{G: g}}
-	got, err := loader.LoadObjects(eid, []obj.TermID{0, 1})
+	got, err := loader.LoadObjects(context.Background(), eid, []obj.TermID{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +362,7 @@ func TestDynamicModel(t *testing.T) {
 			ts := obj.NormalizeTerms([]obj.TermID{
 				obj.TermID(rng.Intn(20)), obj.TermID(rng.Intn(20)),
 			})
-			got, err := loader.LoadObjects(e, ts)
+			got, err := loader.LoadObjects(context.Background(), e, ts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -11,6 +11,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -109,11 +110,11 @@ func Build(g *graph.Graph, c *obj.Collection, vocabSize int, pool *storage.Buffe
 
 // fetchRecord reads an object's (edge, offset) from the disk-resident
 // object table.
-func (idx *Index) fetchRecord(id obj.ID) (graph.EdgeID, float64, error) {
+func (idx *Index) fetchRecord(ctx context.Context, id obj.ID) (graph.EdgeID, float64, error) {
 	if id < 0 || int(id) >= idx.numObjects {
 		return 0, 0, fmt.Errorf("ir: unknown object %d", id)
 	}
-	page, err := idx.pool.Get(idx.tablePages[int(id)/recordsPerPage])
+	page, err := idx.pool.GetCtx(ctx, idx.tablePages[int(id)/recordsPerPage])
 	if err != nil {
 		return 0, 0, err
 	}
@@ -126,7 +127,7 @@ func (idx *Index) fetchRecord(id obj.ID) (graph.EdgeID, float64, error) {
 // the object table (one record fetch) to keep only the objects that
 // actually lie on the edge, then the per-keyword results are intersected
 // with AND semantics.
-func (idx *Index) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (idx *Index) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
@@ -138,7 +139,7 @@ func (idx *Index) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.Objec
 			return nil, nil
 		}
 		var candidates []obj.ID
-		err := tr.Search(mbr, func(ent rtree.Entry) bool {
+		err := tr.SearchCtx(ctx, mbr, func(ent rtree.Entry) bool {
 			candidates = append(candidates, obj.ID(ent.Ref))
 			return true
 		})
@@ -147,7 +148,7 @@ func (idx *Index) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.Objec
 		}
 		found := make(map[obj.ID]index.ObjectRef)
 		for _, id := range candidates {
-			oe, off, err := idx.fetchRecord(id)
+			oe, off, err := idx.fetchRecord(ctx, id)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package ir
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -58,7 +60,7 @@ func TestIRMatchesBruteForce(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(12)), obj.TermID(rng.Intn(12)),
 		})
-		got, err := idx.LoadObjects(e, ts)
+		got, err := idx.LoadObjects(context.Background(), e, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,11 +95,11 @@ func TestIRMatchesBruteForce(t *testing.T) {
 
 func TestIREmptyAndUnknownTerms(t *testing.T) {
 	_, _, idx := buildFixture(t, 3)
-	got, err := idx.LoadObjects(0, nil)
+	got, err := idx.LoadObjects(context.Background(), 0, nil)
 	if err != nil || got != nil {
 		t.Errorf("empty terms: %v, %v", got, err)
 	}
-	got, err = idx.LoadObjects(0, []obj.TermID{999})
+	got, err = idx.LoadObjects(context.Background(), 0, []obj.TermID{999})
 	if err != nil || got != nil {
 		t.Errorf("unknown term: %v, %v", got, err)
 	}

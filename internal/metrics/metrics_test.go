@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{4, 2},
+		{1023, 9},
+		{1024, 10},
+		{time.Second, 29}, // 1e9 ns, 2^29 ≈ 5.4e8, 2^30 ≈ 1.1e9
+		{1 << 40 * time.Nanosecond, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond,
+		40 * time.Microsecond, 50 * time.Microsecond,
+	}
+	var sum time.Duration
+	for _, d := range durations {
+		h.Observe(d)
+		sum += d
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(durations)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(durations))
+	}
+	if s.Sum != sum {
+		t.Errorf("sum = %v, want %v", s.Sum, sum)
+	}
+	if s.Max != 50*time.Microsecond {
+		t.Errorf("max = %v, want 50µs", s.Max)
+	}
+	if mean := s.Mean(); mean != sum/5 {
+		t.Errorf("mean = %v, want %v", mean, sum/5)
+	}
+	// The quantile estimate must stay within the true value's power-of-two
+	// bucket: no more than 2x off, and never above the observed max.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		v := s.Quantile(q)
+		if v <= 0 || v > s.Max {
+			t.Errorf("quantile(%v) = %v outside (0, %v]", q, v, s.Max)
+		}
+	}
+
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("reset left %+v", s)
+	}
+}
+
+func TestHistogramQuantileSingleValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := s.Quantile(q)
+		// All mass in one power-of-two bucket: the estimate must land
+		// inside it — within 2x below the true value, never above Max.
+		if v < time.Millisecond/2 || v > time.Millisecond {
+			t.Errorf("quantile(%v) = %v, want within [0.5ms, 1ms]", q, v)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if v := h.Snapshot().Quantile(0.5); v != 0 {
+		t.Errorf("empty quantile = %v, want 0", v)
+	}
+}
+
+func TestRegistryRecordAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Record(KindSearch, Sample{
+		Elapsed: time.Millisecond, NodesPopped: 10, EdgesVisited: 20,
+		Candidates: 3, DiskReads: 7,
+	})
+	r.Record(KindSearch, Sample{
+		Elapsed: 2 * time.Millisecond, Err: true, Canceled: true,
+		NodesPopped: 5, DiskReads: 1,
+	})
+	r.Record(KindDiversified, Sample{Elapsed: time.Millisecond, Pruned: 4, PairDistCalcs: 9})
+
+	snap := r.Snapshot()
+	qs := snap.Queries[KindSearch]
+	if qs.Count != 2 || qs.Errors != 1 || qs.Canceled != 1 {
+		t.Fatalf("search counts = %+v", qs)
+	}
+	if qs.NodesPopped != 15 || qs.EdgesVisited != 20 || qs.Candidates != 3 || qs.DiskReads != 8 {
+		t.Errorf("search work counters = %+v", qs)
+	}
+	if qs.Max != 2*time.Millisecond {
+		t.Errorf("search max = %v", qs.Max)
+	}
+	dv := snap.Queries[KindDiversified]
+	if dv.Count != 1 || dv.Pruned != 4 || dv.PairDistCalcs != 9 {
+		t.Errorf("diversified counters = %+v", dv)
+	}
+	if got := snap.TotalQueries(); got != 3 {
+		t.Errorf("TotalQueries = %d, want 3", got)
+	}
+
+	// Unknown kinds fold into the search bucket rather than being dropped.
+	r.Record(QueryKind("martian"), Sample{Elapsed: time.Millisecond})
+	if got := r.Snapshot().Queries[KindSearch].Count; got != 3 {
+		t.Errorf("unknown-kind fold: search count = %d, want 3", got)
+	}
+
+	r.Reset()
+	if got := r.Snapshot().TotalQueries(); got != 0 {
+		t.Errorf("after reset TotalQueries = %d", got)
+	}
+}
+
+func TestRegistryPools(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterPool("network", func() (int64, int64) { return 100, 25 })
+	r.RegisterPool("cold", func() (int64, int64) { return 0, 0 })
+	snap := r.Snapshot()
+	p := snap.Pools["network"]
+	if p.LogicalReads != 100 || p.DiskReads != 25 || p.HitRate != 0.75 {
+		t.Errorf("network pool = %+v", p)
+	}
+	if c := snap.Pools["cold"]; c.HitRate != 0 {
+		t.Errorf("cold pool hit rate = %v, want 0", c.HitRate)
+	}
+	if names := snap.PoolNames(); len(names) != 2 || names[0] != "cold" || names[1] != "network" {
+		t.Errorf("PoolNames = %v", names)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// with -race this checks the recording path is genuinely lock-free safe.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := Kinds()[w%len(Kinds())]
+			for i := 0; i < perWorker; i++ {
+				r.Record(kind, Sample{
+					Elapsed: time.Duration(i+1) * time.Microsecond,
+					NodesPopped: 1, DiskReads: 2,
+				})
+			}
+		}(w)
+	}
+	// Snapshots race with recording by design; they must simply not crash
+	// or trip the race detector.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	snap := r.Snapshot()
+	if got := snap.TotalQueries(); got != workers*perWorker {
+		t.Fatalf("TotalQueries = %d, want %d", got, workers*perWorker)
+	}
+	var nodes, disk int64
+	for _, q := range snap.Queries {
+		nodes += q.NodesPopped
+		disk += q.DiskReads
+		if q.Latency.Count != q.Count {
+			t.Errorf("latency count %d != query count %d", q.Latency.Count, q.Count)
+		}
+	}
+	if nodes != workers*perWorker || disk != 2*workers*perWorker {
+		t.Errorf("summed counters nodes=%d disk=%d", nodes, disk)
+	}
+}

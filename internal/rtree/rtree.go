@@ -11,6 +11,7 @@ package rtree
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -479,12 +480,18 @@ func linearSplit(all []Entry) (left, right []Entry) {
 // Search calls fn for every stored entry whose rectangle intersects query,
 // until fn returns false.
 func (t *Tree) Search(query geo.Rect, fn func(Entry) bool) error {
-	_, err := t.search(t.root, query, fn)
+	return t.SearchCtx(context.Background(), query, fn)
+}
+
+// SearchCtx is Search with cancellation: a done ctx aborts the traversal
+// before the next page read.
+func (t *Tree) SearchCtx(ctx context.Context, query geo.Rect, fn func(Entry) bool) error {
+	_, err := t.search(ctx, t.root, query, fn)
 	return err
 }
 
-func (t *Tree) search(id storage.PageID, query geo.Rect, fn func(Entry) bool) (bool, error) {
-	p, err := t.pool.Get(id)
+func (t *Tree) search(ctx context.Context, id storage.PageID, query geo.Rect, fn func(Entry) bool) (bool, error) {
+	p, err := t.pool.GetCtx(ctx, id)
 	if err != nil {
 		return false, err
 	}
@@ -498,7 +505,7 @@ func (t *Tree) search(id storage.PageID, query geo.Rect, fn func(Entry) bool) (b
 					return false, nil
 				}
 				// fn may have triggered pool activity; re-fetch.
-				p, err = t.pool.Get(id)
+				p, err = t.pool.GetCtx(ctx, id)
 				if err != nil {
 					return false, err
 				}
@@ -514,7 +521,7 @@ func (t *Tree) search(id storage.PageID, query geo.Rect, fn func(Entry) bool) (b
 		}
 	}
 	for _, c := range children {
-		cont, err := t.search(c, query, fn)
+		cont, err := t.search(ctx, c, query, fn)
 		if err != nil || !cont {
 			return cont, err
 		}

@@ -1,6 +1,8 @@
 package sig
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -84,7 +86,7 @@ func BenchmarkSIFLoadObjects(b *testing.B) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		if _, err := s.LoadObjects(e, ts); err != nil {
+		if _, err := s.LoadObjects(context.Background(), e, ts); err != nil {
 			b.Fatal(err)
 		}
 	}

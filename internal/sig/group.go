@@ -1,6 +1,7 @@
 package sig
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -85,7 +86,7 @@ func BuildGroup(base *SIF, c *obj.Collection, vocabSize, topX int) *Group {
 // LoadObjects implements index.Loader: the single-term signature test of
 // the base SIF runs first, then every in-query pair with a group signature
 // must also pass.
-func (g *Group) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (g *Group) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
@@ -94,7 +95,7 @@ func (g *Group) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectR
 		return nil, nil
 	}
 	g.probes.Add(1)
-	refs, err := g.base.inner.LoadObjects(e, terms)
+	refs, err := g.base.inner.LoadObjects(ctx, e, terms)
 	if err != nil {
 		return nil, err
 	}

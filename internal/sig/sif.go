@@ -1,6 +1,7 @@
 package sig
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -216,7 +217,7 @@ func (s *SIF) RemoveObject(id obj.ID, e graph.EdgeID, terms []obj.TermID) error 
 // LoadObjects implements index.Loader (Algorithm 2 with the signature
 // test): the edge is rejected without I/O if no (virtual) edge slot has
 // every query keyword's bit set.
-func (s *SIF) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (s *SIF) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
@@ -225,7 +226,7 @@ func (s *SIF) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef
 		return nil, nil
 	}
 	s.probes.Add(1)
-	refs, err := s.inner.LoadObjects(e, terms)
+	refs, err := s.inner.LoadObjects(ctx, e, terms)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +242,7 @@ func (s *SIF) LoadObjects(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef
 // LoadObjectsAny implements index.UnionLoader (the OR semantics of the
 // ranked query): the signature test filters each term independently — a
 // term whose bit is clear on every slot of e triggers no I/O at all.
-func (s *SIF) LoadObjectsAny(e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+func (s *SIF) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
@@ -258,7 +259,7 @@ func (s *SIF) LoadObjectsAny(e graph.EdgeID, terms []obj.TermID) ([]index.Object
 		return nil, nil
 	}
 	s.probes.Add(1)
-	matches, err := s.inner.LoadObjectsAny(e, probe)
+	matches, err := s.inner.LoadObjectsAny(ctx, e, probe)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package sig
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -430,7 +432,7 @@ func TestSIFNeverLosesObjects(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		got, err := s.LoadObjects(e, ts)
+		got, err := s.LoadObjects(context.Background(), e, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -459,7 +461,7 @@ func TestSIFPartitionedNeverLosesObjects(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		got, err := s.LoadObjects(e, ts)
+		got, err := s.LoadObjects(context.Background(), e, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -484,7 +486,7 @@ func TestSIFCountsFalseHits(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		if _, err := s.LoadObjects(e, ts); err != nil {
+		if _, err := s.LoadObjects(context.Background(), e, ts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -509,10 +511,10 @@ func TestSIFPReducesFalseHits(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		if _, err := sif.LoadObjects(e, ts); err != nil {
+		if _, err := sif.LoadObjects(context.Background(), e, ts); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sifp.LoadObjects(e, ts); err != nil {
+		if _, err := sifp.LoadObjects(context.Background(), e, ts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -541,7 +543,7 @@ func TestSIFGSoundAndTighter(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		got, err := grp.LoadObjects(e, ts)
+		got, err := grp.LoadObjects(context.Background(), e, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -577,7 +579,7 @@ func TestLoadObjectsAnyMatchesBruteForce(t *testing.T) {
 		ts := obj.NormalizeTerms([]obj.TermID{
 			obj.TermID(rng.Intn(15)), obj.TermID(rng.Intn(15)),
 		})
-		got, err := s.LoadObjectsAny(e, ts)
+		got, err := s.LoadObjectsAny(context.Background(), e, ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -612,7 +614,7 @@ func TestLoadObjectsAnyMatchesBruteForce(t *testing.T) {
 
 func TestLoadObjectsAnyEmptyTerms(t *testing.T) {
 	_, _, s := buildSIFFixture(t, Options{}, 21)
-	got, err := s.LoadObjectsAny(0, nil)
+	got, err := s.LoadObjectsAny(context.Background(), 0, nil)
 	if err != nil || got != nil {
 		t.Errorf("empty terms: %v, %v", got, err)
 	}

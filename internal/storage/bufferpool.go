@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -165,6 +166,19 @@ func (b *BufferPool) Allocate() (*Page, error) {
 // Get returns the page with the given ID, loading it from the file on a
 // buffer miss.
 func (b *BufferPool) Get(id PageID) (*Page, error) {
+	return b.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get with cancellation: a context that is already done fails
+// before any counter is touched (no logical or disk read is recorded), and
+// the injected IOLatency sleep of a buffer miss is interrupted when the
+// context is canceled or its deadline expires mid-wait. The returned error
+// wraps ctx.Err(), so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold.
+func (b *BufferPool) GetCtx(ctx context.Context, id PageID) (*Page, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("storage: page %d read aborted: %w", id, err)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if el, ok := b.frames[id]; ok {
@@ -174,13 +188,33 @@ func (b *BufferPool) Get(id PageID) (*Page, error) {
 	}
 	b.stats.addRead(true)
 	if b.ioLatency > 0 {
-		time.Sleep(b.ioLatency)
+		if err := sleepCtx(ctx, b.ioLatency); err != nil {
+			return nil, fmt.Errorf("storage: page %d read interrupted: %w", id, err)
+		}
 	}
 	fr, err := b.admit(id, true)
 	if err != nil {
 		return nil, err
 	}
 	return &fr.page, nil
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first. A
+// context that can never be canceled sleeps directly, avoiding the timer
+// allocation on the common Background path.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // MarkDirty records that the page was modified so eviction writes it back.

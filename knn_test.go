@@ -1,6 +1,7 @@
 package dsks_test
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -187,12 +188,13 @@ func TestPublicRanked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := db.SearchRanked(dsks.RankedQuery{
+	r, err := db.SearchRanked(dsks.RankedQuery{
 		Pos: origin, Terms: terms, K: 3, Alpha: 0.5, DeltaMax: 500,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := r.Ranked
 	if len(res) != 3 {
 		t.Fatalf("ranked returned %d results", len(res))
 	}
@@ -225,10 +227,10 @@ func TestPublicRankedUnsupportedIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	terms, _ := vocab.LookupAll([]string{"x"})
-	if _, _, err := db.SearchRanked(dsks.RankedQuery{
+	if _, err := db.SearchRanked(dsks.RankedQuery{
 		Pos: dsks.Position{Edge: e}, Terms: terms, K: 1, Alpha: 0.5, DeltaMax: 100,
-	}); err == nil {
-		t.Error("IR accepted a ranked query")
+	}); !errors.Is(err, dsks.ErrUnsupportedIndex) {
+		t.Errorf("IR ranked query error = %v, want ErrUnsupportedIndex", err)
 	}
 }
 
@@ -240,12 +242,13 @@ func TestPublicCollective(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := db.SearchCollective(dsks.CollectiveQuery{
+	cr, err := db.SearchCollective(dsks.CollectiveQuery{
 		Pos: origin, Terms: terms, DeltaMax: 500,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := cr.Collective
 	if !res.Covered {
 		t.Fatalf("group not covered: %+v", res)
 	}
