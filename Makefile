@@ -1,0 +1,36 @@
+# Developer entry points mirroring the CI jobs (.github/workflows/ci.yml).
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint fuzz-smoke
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs go vet, the project's own analyzers (cmd/dsks-lint) and their
+# self-tests; staticcheck runs too when it is on PATH (CI installs it, the
+# offline dev container may not have it).
+lint:
+	$(GO) vet ./...
+	$(GO) build -o $(CURDIR)/bin/dsks-lint ./cmd/dsks-lint
+	$(CURDIR)/bin/dsks-lint ./...
+	$(GO) test ./internal/analysis/...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+fuzz-smoke:
+	$(GO) test -run FuzzZOrder -fuzz FuzzZOrder -fuzztime $(FUZZTIME) ./internal/geo/
+	$(GO) test -run FuzzLoadGraph -fuzz FuzzLoadGraph -fuzztime $(FUZZTIME) ./internal/graph/
+	$(GO) test -run FuzzPageRoundTrip -fuzz FuzzPageRoundTrip -fuzztime $(FUZZTIME) ./internal/storage/

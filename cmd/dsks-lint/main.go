@@ -1,0 +1,115 @@
+// Command dsks-lint is the project's multichecker: it runs the five
+// dsks-specific analyzers (see docs/LINTING.md) over the packages
+// matching the given patterns and exits non-zero when any invariant is
+// violated. With -vet it additionally delegates to `go vet` on the same
+// patterns, so one invocation covers both the stock and the
+// project-specific passes.
+//
+// Usage:
+//
+//	dsks-lint [-list] [-run name,...] [-vet] [packages]
+//
+// Findings print as file:line:col: message (analyzer). Suppress a
+// deliberate violation with a trailing or preceding comment:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"dsks/internal/analysis"
+	"dsks/internal/analysis/countedio"
+	"dsks/internal/analysis/ctxpair"
+	"dsks/internal/analysis/detrand"
+	"dsks/internal/analysis/errsentinel"
+	"dsks/internal/analysis/lockio"
+)
+
+var analyzers = []*analysis.Analyzer{
+	ctxpair.Analyzer,
+	errsentinel.Analyzer,
+	lockio.Analyzer,
+	detrand.Analyzer,
+	countedio.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	vet := flag.Bool("vet", false, "also run 'go vet' on the same patterns")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dsks-lint [-list] [-run name,...] [-vet] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *run != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("unknown analyzer %q (try -list)", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			findings, err := analysis.RunAnalyzer(pkg, a)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for _, f := range findings {
+				failed = true
+				fmt.Printf("%s: %s\n", f.Pos, f.Message)
+			}
+		}
+	}
+
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsks-lint: "+format+"\n", args...)
+	os.Exit(2)
+}

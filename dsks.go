@@ -149,6 +149,12 @@ var (
 	ErrTermOutOfRange = errors.New("dsks: term outside vocabulary")
 	// ErrBadOptions reports invalid Options passed to Open.
 	ErrBadOptions = errors.New("dsks: bad options")
+	// ErrBadSnapshot reports a saved database directory that OpenPath
+	// cannot restore (unknown format version, corrupt or mismatched files).
+	ErrBadSnapshot = errors.New("dsks: invalid database snapshot")
+	// ErrNoPath reports a route request between positions that no chain of
+	// road segments connects.
+	ErrNoPath = graph.ErrNoPath
 )
 
 // NewGraph returns an empty road network; add nodes and edges, then call

@@ -1,0 +1,12 @@
+package countedio_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/countedio"
+)
+
+func TestCountedIO(t *testing.T) {
+	analysistest.Run(t, "testdata", countedio.Analyzer, "dsks/internal/storage")
+}

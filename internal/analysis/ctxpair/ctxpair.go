@@ -1,0 +1,168 @@
+// Package ctxpair enforces the context pairing convention of the public
+// dsks API: every exported query entry point on DB has a ...Ctx variant,
+// and the context-free form is a thin context.Background() wrapper over
+// a Ctx variant, never a reimplementation that could drift from the
+// cancellable path.
+package ctxpair
+
+import (
+	"go/ast"
+	"strings"
+
+	"dsks/internal/analysis"
+)
+
+// Analyzer flags DB query methods that break the Ctx-pairing convention.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpair",
+	Doc: "Every exported Search*/Stream* method on DB must have a ...Ctx " +
+		"variant, and the context-free form must delegate to a Ctx variant " +
+		"with context.Background() in a single return statement. Ctx " +
+		"variants must take a context.Context first. Methods documented as " +
+		"Deprecated are exempt.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != "dsks" {
+		return nil
+	}
+	methods := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if receiverName(fd) != "DB" {
+				continue
+			}
+			methods[fd.Name.Name] = fd
+		}
+	}
+	for name, fd := range methods {
+		if !ast.IsExported(name) {
+			continue
+		}
+		if strings.HasSuffix(name, "Ctx") {
+			if !firstParamIsContext(pass, fd) {
+				pass.Reportf(fd.Name.Pos(),
+					"ctxpair: %s must take a context.Context as its first parameter", name)
+			}
+			continue
+		}
+		if isDeprecated(fd.Doc) {
+			continue
+		}
+		if _, ok := methods[name+"Ctx"]; ok {
+			if !isThinCtxWrapper(fd) {
+				pass.Reportf(fd.Name.Pos(),
+					"ctxpair: %s has a Ctx variant but is not a single-return context.Background() delegation to it", name)
+			}
+			continue
+		}
+		if isQueryEntry(name) && !firstParamIsContext(pass, fd) {
+			pass.Reportf(fd.Name.Pos(),
+				"ctxpair: exported query entry point %s has no %sCtx variant", name, name)
+		}
+	}
+	return nil
+}
+
+// isDeprecated reports whether a doc comment carries a "Deprecated:"
+// paragraph, exempting pre-Ctx-convention methods kept for
+// compatibility.
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// isQueryEntry reports whether a DB method name denotes a query entry
+// point that must come in a Ctx pair.
+func isQueryEntry(name string) bool {
+	return strings.HasPrefix(name, "Search") || strings.HasPrefix(name, "Stream")
+}
+
+// receiverName returns the name of the receiver's (possibly pointed-to)
+// type.
+func receiverName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// firstParamIsContext reports whether fd's first parameter has type
+// context.Context.
+func firstParamIsContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[params.List[0].Type]
+	if !ok {
+		return false
+	}
+	return analysis.IsContextType(tv.Type)
+}
+
+// isThinCtxWrapper reports whether fd's body is exactly
+//
+//	return recv.SomethingCtx(context.Background(), ...)
+func isThinCtxWrapper(fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Ctx") {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || recv.Name != receiverIdent(fd) {
+		return false
+	}
+	return isContextBackground(call.Args[0])
+}
+
+// receiverIdent returns the name the receiver is bound to ("" when
+// anonymous).
+func receiverIdent(fd *ast.FuncDecl) string {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0].Name
+}
+
+// isContextBackground reports whether e is the call context.Background().
+func isContextBackground(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Background" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}

@@ -1,0 +1,12 @@
+package ctxpair_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/ctxpair"
+)
+
+func TestCtxPair(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpair.Analyzer, "dsks")
+}

@@ -1,0 +1,71 @@
+package dsks
+
+import "context"
+
+type Result struct{}
+
+type SKQuery struct{}
+
+type DB struct{}
+
+// Search is correctly paired: a single-return delegation with
+// context.Background to its Ctx variant.
+func (db *DB) Search(q SKQuery) (Result, error) {
+	return db.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is the cancellable form.
+func (db *DB) SearchCtx(ctx context.Context, q SKQuery) (Result, error) {
+	_ = ctx
+	return Result{}, nil
+}
+
+// SearchKNN has a Ctx variant but reimplements the query instead of
+// delegating, so the two paths can drift.
+func (db *DB) SearchKNN(q SKQuery) (Result, error) { // want `ctxpair: SearchKNN has a Ctx variant`
+	return Result{}, nil
+}
+
+// SearchKNNCtx is the cancellable form.
+func (db *DB) SearchKNNCtx(ctx context.Context, q SKQuery) (Result, error) {
+	_ = ctx
+	return Result{}, nil
+}
+
+// SearchRanked is a new query entry point with no Ctx variant at all.
+func (db *DB) SearchRanked(q SKQuery) (Result, error) { // want `ctxpair: exported query entry point SearchRanked has no SearchRankedCtx variant`
+	return Result{}, nil
+}
+
+// SearchAllCtx claims to be a Ctx variant but does not take a context.
+func (db *DB) SearchAllCtx(q SKQuery) (Result, error) { // want `ctxpair: SearchAllCtx must take a context.Context as its first parameter`
+	return Result{}, nil
+}
+
+// SearchOld predates the Ctx convention and is exempt.
+//
+// Deprecated: use Search.
+func (db *DB) SearchOld(q SKQuery) (Result, error) {
+	r, err := db.Search(q)
+	return r, err
+}
+
+// Metrics is not a query entry point; no Ctx variant is required.
+func (db *DB) Metrics() int { return 0 }
+
+// SearchDiversified delegates to a *different* Ctx variant — allowed, as
+// long as it is a thin context.Background delegation.
+func (db *DB) SearchDiversified(q SKQuery) (Result, error) {
+	return db.SearchDiversifiedWithCtx(context.Background(), 0, q)
+}
+
+// SearchDiversifiedCtx is the cancellable form.
+func (db *DB) SearchDiversifiedCtx(ctx context.Context, q SKQuery) (Result, error) {
+	return db.SearchDiversifiedWithCtx(ctx, 0, q)
+}
+
+// SearchDiversifiedWithCtx is the fully-parameterized cancellable form.
+func (db *DB) SearchDiversifiedWithCtx(ctx context.Context, algo int, q SKQuery) (Result, error) {
+	_, _, _ = ctx, algo, q
+	return Result{}, nil
+}

@@ -1,0 +1,117 @@
+// Package detrand guards the bit-reproducibility of the experiment
+// pipeline: the synthetic datasets, workloads and experiment drivers
+// must derive every random stream from a configured seed and must not
+// consult the wall clock, or the paper's tables stop being reproducible
+// run to run. It applies to internal/dataset, internal/experiments, and
+// the root package's synth.go.
+//
+// Latency measurements inside internal/experiments are the one
+// legitimate use of time.Now; annotate each with
+//
+//	//lint:ignore detrand <why this wall-clock read cannot affect results>
+package detrand
+
+import (
+	"go/ast"
+	"path/filepath"
+
+	"dsks/internal/analysis"
+)
+
+// Analyzer flags nondeterminism sources in the deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "Dataset generation, workload generation and experiment drivers " +
+		"must seed math/rand from configuration (constants or config " +
+		"fields) and must not call time.Now or the process-seeded " +
+		"package-level math/rand functions.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgTarget := analysis.PathHasSuffix(pass.Pkg.Path(), "internal/experiments") ||
+		analysis.PathHasSuffix(pass.Pkg.Path(), "internal/dataset")
+	for _, f := range pass.Files {
+		if !pkgTarget && !isRootSynth(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isRootSynth reports whether f is the root package's synth.go.
+func isRootSynth(pass *analysis.Pass, f *ast.File) bool {
+	if pass.Pkg.Path() != "dsks" {
+		return false
+	}
+	return filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "synth.go"
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if analysis.ReceiverTypeName(fn) != "" {
+		return // methods on *rand.Rand / *rand.Zipf carry their own source
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"detrand: time.Now in a deterministic package; derive values from the configured seed, or annotate a pure latency measurement with //lint:ignore detrand <reason>")
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewZipf":
+			// Constructors over an explicit source: the source call is
+			// checked on its own.
+		case "NewSource", "NewPCG", "NewChaCha8":
+			for _, a := range call.Args {
+				if !deterministic(pass, a) {
+					pass.Reportf(a.Pos(),
+						"detrand: rand seed is not derived from configuration; use a constant or a config seed field so experiment tables stay reproducible")
+					break
+				}
+			}
+		default:
+			pass.Reportf(call.Pos(),
+				"detrand: package-level math/rand.%s uses the process-global source; build a *rand.Rand from a configured seed instead", fn.Name())
+		}
+	}
+}
+
+// deterministic reports whether e is built only from literals,
+// identifiers, field selections, operators and conversions — i.e.
+// contains no function call whose result could vary between runs.
+func deterministic(pass *analysis.Pass, e ast.Expr) bool {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		return true // compile-time constant
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit, *ast.Ident, *ast.SelectorExpr:
+		return true
+	case *ast.ParenExpr:
+		return deterministic(pass, e.X)
+	case *ast.UnaryExpr:
+		return deterministic(pass, e.X)
+	case *ast.BinaryExpr:
+		return deterministic(pass, e.X) && deterministic(pass, e.Y)
+	case *ast.CallExpr:
+		// A conversion such as int64(cfg.Seed) is fine; a real call is not.
+		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return deterministic(pass, e.Args[0])
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,13 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer,
+		"dsks/internal/dataset", "dsks")
+}

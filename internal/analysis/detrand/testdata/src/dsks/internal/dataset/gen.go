@@ -1,0 +1,27 @@
+// Package dataset stubs the deterministic data generator: every random
+// stream must be seeded from configuration.
+package dataset
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Config struct {
+	Seed int64
+}
+
+// Generate seeds correctly from configuration.
+func Generate(cfg Config) int {
+	rng := rand.New(rand.NewSource(cfg.Seed + 97)) // config-derived: ok
+	alt := rand.New(rand.NewSource(int64(len("x")) + cfg.Seed))
+	return rng.Intn(10) + alt.Intn(10)
+}
+
+// GenerateBad consults the wall clock and the process-global source.
+func GenerateBad(cfg Config) int {
+	now := time.Now()                               // want `detrand: time.Now in a deterministic package`
+	rng := rand.New(rand.NewSource(now.UnixNano())) // want `detrand: rand seed is not derived from configuration`
+	n := rand.Intn(10)                              // want `detrand: package-level math/rand.Intn uses the process-global source`
+	return rng.Intn(10) + n
+}

@@ -1,0 +1,9 @@
+package dsks
+
+import "time"
+
+// SynthSeedFromClock seeds generation from the wall clock: flagged, the
+// root package's synth.go is part of the deterministic surface.
+func SynthSeedFromClock() int64 {
+	return time.Now().UnixNano() // want `detrand: time.Now in a deterministic package`
+}

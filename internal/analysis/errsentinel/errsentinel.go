@@ -1,0 +1,75 @@
+// Package errsentinel guards the error contract of the public dsks API:
+// errors returned across the API boundary must be matchable with
+// errors.Is, so an exported function may only return fmt.Errorf values
+// that wrap a sentinel with %w. Bare fmt.Errorf calls at exported
+// return sites produce opaque errors that break callers' error
+// handling, and are flagged.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"dsks/internal/analysis"
+)
+
+// Analyzer flags unwrapped fmt.Errorf returns from exported functions
+// of the root dsks package.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: "Exported functions of the root dsks package must not return " +
+		"fmt.Errorf values that fail to wrap a sentinel with %w; use one " +
+		"of the declared sentinels (dsks.go, internal/core/errors.go) so " +
+		"errors.Is keeps working across the API boundary.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != "dsks" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// A closure's returns are not API return sites.
+					return false
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						checkResult(pass, res)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkResult flags res when it is a fmt.Errorf call whose constant
+// format string lacks a %w verb.
+func checkResult(pass *analysis.Pass, res ast.Expr) {
+	call, ok := res.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format string: nothing to prove
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"errsentinel: fmt.Errorf at an exported return site does not wrap a sentinel with %%w; callers cannot match this error with errors.Is")
+}

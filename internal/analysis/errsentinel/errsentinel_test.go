@@ -1,0 +1,12 @@
+package errsentinel_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "dsks")
+}

@@ -1,0 +1,46 @@
+package dsks
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput is a declared sentinel usable with errors.Is.
+var ErrBadInput = errors.New("dsks: bad input")
+
+// Validate is exported: its fmt.Errorf returns must wrap a sentinel.
+func Validate(x int) error {
+	if x < 0 {
+		return fmt.Errorf("dsks: negative value %d", x) // want `errsentinel: fmt.Errorf at an exported return site`
+	}
+	if x == 0 {
+		return fmt.Errorf("%w: zero value", ErrBadInput) // wraps: ok
+	}
+	return nil
+}
+
+// Describe returns a wrapped dynamic cause; %w anywhere satisfies the
+// contract.
+func Describe(x int, cause error) error {
+	return fmt.Errorf("dsks: value %d: %w", x, cause)
+}
+
+// internalCheck is unexported; its errors never cross the API boundary.
+func internalCheck(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative %d", x)
+	}
+	return nil
+}
+
+// Run only flags the exported function's own return sites, not the
+// returns of closures it builds.
+func Run(x int) error {
+	check := func() error {
+		return fmt.Errorf("closure-internal detail %d", x)
+	}
+	if err := check(); err != nil {
+		return fmt.Errorf("dsks: running check: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package lockio guards the engine's latch discipline: simulated disk
+// I/O — page reads and writes on the storage layer, buffer-pool
+// operations, and the injected IOLatency sleep — must not run while a
+// sync.Mutex or sync.RWMutex acquired in the same function is held.
+// Holding a latch across a (possibly millisecond-scale) I/O serializes
+// every concurrent query behind one page miss, the exact bug class the
+// buffer pool is designed to avoid.
+//
+// The analysis is intraprocedural and flow-aware along straight-line
+// code: Lock/RLock adds the mutex to the held set, Unlock/RUnlock
+// removes it, defer Unlock keeps it held to the end of the function,
+// and branch bodies are analyzed with a copy of the held set (an unlock
+// inside a branch does not release the mutex for the code after it).
+package lockio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dsks/internal/analysis"
+)
+
+// Analyzer flags storage I/O performed under a locally-acquired mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockio",
+	Doc: "Page I/O (storage File read/write, BufferPool operations that " +
+		"can touch the file or sleep for IOLatency) must not happen while " +
+		"a sync.Mutex/RWMutex acquired in the enclosing function is held.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkStmts(pass, fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+// walkStmts scans a statement sequence, tracking which mutexes are held.
+// held maps the mutex expression (printed form) to the position of its
+// Lock call.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if op, lockExpr, ok := mutexOp(pass, s.X); ok {
+				key := types.ExprString(lockExpr)
+				switch op {
+				case "Lock", "RLock":
+					held[key] = s.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				continue
+			}
+			checkExpr(pass, s.X, held)
+		case *ast.DeferStmt:
+			if op, _, ok := mutexOp(pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				continue // released only at return: stays held below
+			}
+			// The deferred call's arguments are evaluated here.
+			for _, a := range s.Call.Args {
+				checkExpr(pass, a, held)
+			}
+		case *ast.BlockStmt:
+			walkStmts(pass, s.List, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			checkExpr(pass, s.Cond, held)
+			walkStmts(pass, s.Body.List, cloned(held))
+			if s.Else != nil {
+				walkStmts(pass, []ast.Stmt{s.Else}, cloned(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walkStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			if s.Cond != nil {
+				checkExpr(pass, s.Cond, held)
+			}
+			walkStmts(pass, s.Body.List, cloned(held))
+		case *ast.RangeStmt:
+			checkExpr(pass, s.X, held)
+			walkStmts(pass, s.Body.List, cloned(held))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				walkStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			if s.Tag != nil {
+				checkExpr(pass, s.Tag, held)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(pass, cc.Body, cloned(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(pass, cc.Body, cloned(held))
+				}
+			}
+		case *ast.GoStmt:
+			// The goroutine body runs outside this lock region; only the
+			// call's arguments are evaluated here.
+			for _, a := range s.Call.Args {
+				checkExpr(pass, a, held)
+			}
+		default:
+			checkStmtExprs(pass, s, held)
+		}
+	}
+}
+
+// checkStmtExprs inspects any other statement form for blocking calls.
+func checkStmtExprs(pass *analysis.Pass, s ast.Stmt, held map[string]token.Pos) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			reportIfBlocking(pass, n, held)
+		}
+		return true
+	})
+}
+
+// checkExpr inspects one expression for blocking calls.
+func checkExpr(pass *analysis.Pass, e ast.Expr, held map[string]token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			reportIfBlocking(pass, n, held)
+		}
+		return true
+	})
+}
+
+func reportIfBlocking(pass *analysis.Pass, call *ast.CallExpr, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	desc, ok := blockingIO(pass, call)
+	if !ok {
+		return
+	}
+	for mu := range held {
+		pass.Reportf(call.Pos(),
+			"lockio: %s while %s is held; page I/O and the IOLatency sleep must run outside the latch", desc, mu)
+		return // one report per call is enough
+	}
+}
+
+// blockingIO reports whether call can perform page I/O or block on the
+// injected IOLatency.
+func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || !analysis.InPackage(fn, "internal/storage") {
+		return "", false
+	}
+	recv := analysis.ReceiverTypeName(fn)
+	switch {
+	case isPageStoreIO(fn):
+		return "page " + fn.Name() + " on the storage file", true
+	case recv == "BufferPool":
+		switch fn.Name() {
+		case "Get", "GetCtx", "Allocate", "Flush", "DropAll", "SetCapacity":
+			return "buffer-pool " + fn.Name(), true
+		}
+	case recv == "" && fn.Name() == "sleepCtx":
+		return "IOLatency sleep", true
+	}
+	return "", false
+}
+
+// isPageStoreIO reports whether fn is a raw page read/write: a method
+// named read or write taking (PageID, []byte) on a storage type.
+func isPageStoreIO(fn *types.Func) bool {
+	if fn.Name() != "read" && fn.Name() != "write" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "PageID"
+}
+
+// mutexOp recognizes a call x.Lock / x.RLock / x.Unlock / x.RUnlock on a
+// sync.Mutex or sync.RWMutex and returns the operation and x.
+func mutexOp(pass *analysis.Pass, e ast.Expr) (string, ast.Expr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", nil, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	recv := analysis.ReceiverTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", nil, false
+	}
+	return sel.Sel.Name, sel.X, true
+}
+
+func cloned(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

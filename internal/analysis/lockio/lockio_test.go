@@ -1,0 +1,13 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, "testdata", lockio.Analyzer,
+		"dsks/internal/storage", "dsks/internal/edgestore")
+}

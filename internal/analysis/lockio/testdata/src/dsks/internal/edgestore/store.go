@@ -1,0 +1,50 @@
+// Package edgestore stubs a storage consumer: a structure with its own
+// mutex that reads pages through a shared buffer pool.
+package edgestore
+
+import (
+	"sync"
+
+	"dsks/internal/storage"
+)
+
+type Store struct {
+	mu   sync.RWMutex
+	pool *storage.BufferPool
+	hot  map[storage.PageID]int
+}
+
+// BadRead performs a page read while holding the store's own lock,
+// serializing every concurrent query behind one page miss.
+func (s *Store) BadRead(id storage.PageID) (*storage.Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hot[id]++
+	return s.pool.Get(id) // want `lockio: buffer-pool Get while s.mu is held`
+}
+
+// BadReadRLocked: a read lock serializes against writers all the same.
+func (s *Store) BadReadRLocked(id storage.PageID) (*storage.Page, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pool.Get(id) // want `lockio: buffer-pool Get while s.mu is held`
+}
+
+// GoodRead updates bookkeeping under the lock and reads after releasing
+// it.
+func (s *Store) GoodRead(id storage.PageID) (*storage.Page, error) {
+	s.mu.Lock()
+	s.hot[id]++
+	s.mu.Unlock()
+	return s.pool.Get(id)
+}
+
+// Maintenance holds the lock across a read on purpose; the suppression
+// documents why that is safe here.
+func (s *Store) Maintenance(id storage.PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockio maintenance runs single-threaded before queries start
+	_, err := s.pool.Get(id)
+	return err
+}

@@ -1,0 +1,75 @@
+// Package storage is a reduced stub of the real dsks/internal/storage,
+// just enough surface for the lockio analyzer to recognize: the File
+// page-store interface, the BufferPool, and the sleepCtx latency sleep.
+package storage
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type PageID uint32
+
+type File interface {
+	read(id PageID, dst []byte) error
+	write(id PageID, src []byte) error
+}
+
+type Page struct{ data [16]byte }
+
+type BufferPool struct {
+	mu   sync.Mutex
+	file File
+}
+
+// Get delegates without holding any lock: clean.
+func (b *BufferPool) Get(id PageID) (*Page, error) {
+	return b.GetCtx(context.Background(), id)
+}
+
+func (b *BufferPool) GetCtx(ctx context.Context, id PageID) (*Page, error) {
+	_ = ctx
+	return nil, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	_ = ctx
+	_ = d
+	return nil
+}
+
+// badFlush writes a page back while the pool latch is held.
+func (b *BufferPool) badFlush(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.file.write(id, buf) // want `lockio: page write on the storage file while b.mu is held`
+}
+
+// goodFlush releases the latch before touching the file.
+func (b *BufferPool) goodFlush(id PageID, buf []byte) error {
+	b.mu.Lock()
+	cp := append([]byte(nil), buf...)
+	b.mu.Unlock()
+	return b.file.write(id, cp)
+}
+
+// badSleep blocks on the injected IOLatency under the latch.
+func (b *BufferPool) badSleep(ctx context.Context) {
+	b.mu.Lock()
+	_ = sleepCtx(ctx, time.Millisecond) // want `lockio: IOLatency sleep while b.mu is held`
+	b.mu.Unlock()
+}
+
+// branchUnlock unlocks only on one branch; code after the branch still
+// holds the latch.
+func (b *BufferPool) branchUnlock(id PageID, hit bool, buf []byte) error {
+	b.mu.Lock()
+	if hit {
+		b.mu.Unlock()
+		return b.file.read(id, buf) // clean: latch released on this path
+	}
+	err := b.file.read(id, buf) // want `lockio: page read on the storage file while b.mu is held`
+	b.mu.Unlock()
+	return err
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// LoadTestdata loads one package from a GOPATH-style testdata tree
+// (root/src/<path>/*.go), the layout analysistest uses. Imports resolve
+// against the tree first — so testdata can stub module packages such as
+// dsks/internal/storage — and fall back to real export data obtained
+// with `go list -export` for standard-library packages.
+func LoadTestdata(root, path string) (*Package, error) {
+	src := filepath.Join(root, "src")
+	ld := &treeLoader{
+		fset:    token.NewFileSet(),
+		src:     src,
+		cache:   map[string]*types.Package{},
+		exports: map[string]string{},
+	}
+	if err := ld.prefetchExports(); err != nil {
+		return nil, err
+	}
+	ld.gc = exportImporter(ld.fset, ld.exports)
+	dir := filepath.Join(src, filepath.FromSlash(path))
+	files, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := check(path, ld.fset, files, ld)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// treeLoader resolves imports for a testdata tree: source packages under
+// src/, everything else through compiler export data.
+type treeLoader struct {
+	fset    *token.FileSet
+	src     string
+	cache   map[string]*types.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+// Import implements types.Importer.
+func (ld *treeLoader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		files, err := ld.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, _, err := check(path, ld.fset, files, ld)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking testdata import %s: %w", path, err)
+		}
+		ld.cache[path] = pkg
+		return pkg, nil
+	}
+	p, err := ld.gc.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errNotInTree, err)
+	}
+	ld.cache[path] = p
+	return p, nil
+}
+
+// parseDir parses every non-test Go file of dir.
+func (ld *treeLoader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// prefetchExports scans every import spec under the tree, and resolves
+// the paths that no source directory covers with one `go list -export`
+// invocation, recording their export-data files.
+func (ld *treeLoader) prefetchExports() error {
+	external := map[string]bool{}
+	err := filepath.WalkDir(ld.src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(ld.fset, p, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parsing imports of %s: %w", p, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			dir := filepath.Join(ld.src, filepath.FromSlash(path))
+			if st, err := os.Stat(dir); err == nil && st.IsDir() {
+				continue // stubbed in the tree
+			}
+			external[path] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(external) == 0 {
+		return nil
+	}
+	args := []string{"list", "-e", "-json", "-export", "-deps"}
+	for p := range external {
+		args = append(args, p)
+	}
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list for testdata imports: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			ld.exports[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}

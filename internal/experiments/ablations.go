@@ -61,6 +61,7 @@ func AblationPruning(cfg Config) (*Result, error) {
 		var stats core.SearchStats
 		for _, wq := range ws {
 			q := harness.DivQueryOf(wq, 10, 0.8)
+			//lint:ignore detrand wall-clock latency measurement, not a data source
 			start := time.Now()
 			var res core.DivResult
 			var err error
@@ -164,6 +165,7 @@ func AblationDijkstra(cfg Config) (*Result, error) {
 	}
 	var accElapsed time.Duration
 	for _, wq := range ws {
+		//lint:ignore detrand wall-clock latency measurement, not a data source
 		start := time.Now()
 		search, err := core.NewSKSearch(context.Background(), sys.Net, loader, harness.SKQueryOf(wq))
 		if err != nil {
@@ -185,6 +187,7 @@ func AblationDijkstra(cfg Config) (*Result, error) {
 	var perElapsed time.Duration
 	var runs, queries int64
 	for _, wq := range ws {
+		//lint:ignore detrand wall-clock latency measurement, not a data source
 		start := time.Now()
 		search, err := core.NewSKSearch(context.Background(), sys.Net, loader, harness.SKQueryOf(wq))
 		if err != nil {

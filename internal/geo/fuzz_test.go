@@ -1,0 +1,56 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzZOrder checks the Morton-code invariants for arbitrary float64
+// inputs, including infinities and NaN: ZCode never panics, always stays
+// within the 42-bit key space, its bit layout round-trips exactly through
+// deinterleave, and ZDecode lands within two cells of the clamped input.
+func FuzzZOrder(f *testing.F) {
+	f.Add(0.0, 0.0)
+	f.Add(WorldMax, WorldMax)
+	f.Add(-1.5, WorldMax*2)
+	f.Add(1234.5678, 9876.5432)
+	f.Add(math.Inf(1), math.Inf(-1))
+	f.Add(math.NaN(), 42.0)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		code := ZCode(Point{X: x, Y: y})
+		if code >= 1<<(2*zBits) {
+			t.Fatalf("ZCode(%g, %g) = %#x exceeds %d bits", x, y, code, 2*zBits)
+		}
+		// The even/odd bit planes must reassemble into the same code.
+		ix, iy := deinterleave(code), deinterleave(code>>1)
+		if back := interleave(ix) | interleave(iy)<<1; back != code {
+			t.Fatalf("interleave/deinterleave mismatch: %#x -> (%d,%d) -> %#x", code, ix, iy, back)
+		}
+		if ix >= zResolution || iy >= zResolution {
+			t.Fatalf("deinterleave produced out-of-range cell (%d,%d)", ix, iy)
+		}
+		p := ZDecode(code)
+		if p.X < 0 || p.X > WorldMax || p.Y < 0 || p.Y > WorldMax {
+			t.Fatalf("ZDecode(%#x) = %v outside the world box", code, p)
+		}
+		// Quantization loses at most one cell per axis for finite inputs.
+		const cell = WorldMax / (zResolution - 1)
+		cx, cy := clampWorld(x), clampWorld(y)
+		if !math.IsNaN(x) && math.Abs(p.X-cx) > 2*cell {
+			t.Fatalf("ZDecode X drifted: in=%g clamped=%g out=%g", x, cx, p.X)
+		}
+		if !math.IsNaN(y) && math.Abs(p.Y-cy) > 2*cell {
+			t.Fatalf("ZDecode Y drifted: in=%g clamped=%g out=%g", y, cy, p.Y)
+		}
+	})
+}
+
+func clampWorld(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > WorldMax {
+		return WorldMax
+	}
+	return v
+}

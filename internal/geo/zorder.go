@@ -32,26 +32,29 @@ func quantize(v float64) uint32 {
 }
 
 // interleave spreads the low 21 bits of v so that bit i of v lands at bit
-// 2i of the result (the classical "Morton spread" via magic masks).
+// 2i of the result (the classical "Morton spread" via magic masks). A
+// fuzz-found regression previously used the three-dimensional stride-3
+// masks here, inflating codes to 62 bits; the pairwise masks below keep
+// two interleaved axes within the documented 42-bit key space.
 func interleave(v uint32) uint64 {
 	x := uint64(v) & 0x1fffff
-	x = (x | x<<32) & 0x1f00000000ffff
-	x = (x | x<<16) & 0x1f0000ff0000ff
-	x = (x | x<<8) & 0x100f00f00f00f00f
-	x = (x | x<<4) & 0x10c30c30c30c30c3
-	x = (x | x<<2) & 0x1249249249249249
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
 	return x
 }
 
 // deinterleave reverses interleave.
 func deinterleave(x uint64) uint32 {
-	x &= 0x1249249249249249
-	x = (x | x>>2) & 0x10c30c30c30c30c3
-	x = (x | x>>4) & 0x100f00f00f00f00f
-	x = (x | x>>8) & 0x1f0000ff0000ff
-	x = (x | x>>16) & 0x1f00000000ffff
-	x = (x | x>>32) & 0x1fffff
-	return uint32(x)
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x & 0x1fffff)
 }
 
 // ZDecode returns the cell-center point of a Morton code. It is the

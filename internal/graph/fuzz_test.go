@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadGraph feeds arbitrary bytes to the text-format reader. Read must
+// never panic; when it accepts an input, the graph must survive a
+// Write/Read round trip with identical node and edge counts.
+func FuzzLoadGraph(f *testing.F) {
+	f.Add([]byte("n 2\nv 0 1 2\nv 1 3 4\nm 1\ne 0 1 5\n"))
+	f.Add([]byte("n 0\nm 0\n"))
+	f.Add([]byte("# comment\nn 1\nv 0 0 0\nm 0\n"))
+	f.Add([]byte("n 2\nv 0 1 2\nv 1 3 4\nm 1\ne 0 4294967296 5\n"))
+	f.Add([]byte("n 9999999999999999999\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of accepted graph failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of written graph failed: %v\ninput: %q", err, data)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

@@ -12,6 +12,10 @@ import (
 
 func pt(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }
 
+// maxNodeID bounds parsed node counts and edge endpoints so narrowing to
+// the int32-backed NodeID can never wrap.
+const maxNodeID = 1<<31 - 1
+
 // The text format is a simple, diff-friendly encoding compatible with the
 // common "node / edge list" distribution format of road-network datasets:
 //
@@ -64,7 +68,7 @@ func Read(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: line %d: expected node header, got %q", line, strings.Join(hdr, " "))
 	}
 	nn, err := strconv.Atoi(hdr[1])
-	if err != nil || nn < 0 {
+	if err != nil || nn < 0 || int64(nn) > int64(maxNodeID) {
 		return nil, fmt.Errorf("graph: line %d: bad node count %q", line, hdr[1])
 	}
 	for i := 0; i < nn; i++ {
@@ -107,6 +111,11 @@ func Read(r io.Reader) (*Graph, error) {
 		w, err3 := strconv.ParseFloat(f[3], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("graph: line %d: bad edge record", line)
+		}
+		// Range-check before narrowing to NodeID: a value beyond int32
+		// would wrap and could alias a valid node.
+		if a < 0 || a >= nn || b < 0 || b >= nn {
+			return nil, fmt.Errorf("graph: line %d: edge endpoint out of range", line)
 		}
 		if _, err := g.AddEdge(NodeID(a), NodeID(b), w); err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", line, err)

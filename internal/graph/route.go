@@ -19,7 +19,7 @@ type Route struct {
 // path competes with detours through the end-nodes.
 func (g *Graph) ShortestRoute(a, b Position) (Route, error) {
 	if int(a.Edge) >= g.NumEdges() || int(b.Edge) >= g.NumEdges() || a.Edge < 0 || b.Edge < 0 {
-		return Route{}, fmt.Errorf("graph: route endpoint on unknown edge")
+		return Route{}, fmt.Errorf("%w: route endpoint out of range", ErrUnknownEdge)
 	}
 	a, b = g.Clamp(a), g.Clamp(b)
 	if a.Edge == b.Edge {
@@ -31,7 +31,7 @@ func (g *Graph) ShortestRoute(a, b Position) (Route, error) {
 	}
 	r, ok := g.routeViaNodes(a, b)
 	if !ok {
-		return Route{}, fmt.Errorf("graph: no path between the endpoints")
+		return Route{}, fmt.Errorf("%w: edges %d and %d are not connected", ErrNoPath, a.Edge, b.Edge)
 	}
 	return r, nil
 }

@@ -22,7 +22,7 @@ type Snapper struct {
 // its I/O is not charged to query accounting.
 func NewSnapper(g *Graph) (*Snapper, error) {
 	if g.NumEdges() == 0 {
-		return nil, fmt.Errorf("graph: cannot snap onto an empty network")
+		return nil, fmt.Errorf("%w: cannot snap onto a network with no edges", ErrEmptyNetwork)
 	}
 	entries := make([]rtree.Entry, g.NumEdges())
 	for i := 0; i < g.NumEdges(); i++ {
@@ -44,7 +44,7 @@ func (s *Snapper) Snap(p geo.Point) (Position, float64, error) {
 		return d
 	})
 	if !ok {
-		return Position{}, 0, fmt.Errorf("graph: snap found no edge")
+		return Position{}, 0, fmt.Errorf("%w: snap found no edge", ErrEmptyNetwork)
 	}
 	eid := EdgeID(best.Ref)
 	_, off := s.segDist(eid, p)

@@ -164,7 +164,7 @@ func TestRegistryConcurrent(t *testing.T) {
 			kind := Kinds()[w%len(Kinds())]
 			for i := 0; i < perWorker; i++ {
 				r.Record(kind, Sample{
-					Elapsed: time.Duration(i+1) * time.Microsecond,
+					Elapsed:     time.Duration(i+1) * time.Microsecond,
 					NodesPopped: 1, DiskReads: 2,
 				})
 			}

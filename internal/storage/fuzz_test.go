@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzPageRoundTrip drives Page.WriteAt/ReadAt with arbitrary offsets and
+// payloads: out-of-range accesses must return ErrPageBounds (never panic,
+// even for offsets that would overflow off+len), and accepted writes must
+// read back byte-identical without disturbing neighbouring bytes.
+func FuzzPageRoundTrip(f *testing.F) {
+	f.Add(0, []byte("hello"))
+	f.Add(PageSize-3, []byte("overrun"))
+	f.Add(-1, []byte{1})
+	f.Add(int(^uint(0)>>1)-2, []byte{1, 2, 3}) // off near MaxInt: off+len overflows
+	f.Add(PageSize, []byte{})
+	f.Fuzz(func(t *testing.T, off int, data []byte) {
+		var p Page
+		err := p.WriteAt(off, data)
+		inBounds := off >= 0 && off <= PageSize && len(data) <= PageSize-off
+		if inBounds != (err == nil) {
+			t.Fatalf("WriteAt(off=%d, len=%d): err=%v, want in-bounds=%v", off, len(data), err, inBounds)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrPageBounds) {
+				t.Fatalf("WriteAt error %v does not wrap ErrPageBounds", err)
+			}
+			if p.ReadAt(off, make([]byte, len(data))) == nil {
+				t.Fatalf("ReadAt accepted bounds WriteAt rejected: off=%d len=%d", off, len(data))
+			}
+			return
+		}
+		got := make([]byte, len(data))
+		if err := p.ReadAt(off, got); err != nil {
+			t.Fatalf("ReadAt after successful WriteAt failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch at off=%d: wrote %q, read %q", off, data, got)
+		}
+		// Bytes outside the written window must stay zero.
+		for i, b := range p.Data() {
+			if (i < off || i >= off+len(data)) && b != 0 {
+				t.Fatalf("WriteAt(off=%d, len=%d) disturbed byte %d", off, len(data), i)
+			}
+		}
+	})
+}

@@ -70,7 +70,9 @@ func (p *Page) Float64(off int) float64 { return float64frombits(p.Uint64(off)) 
 
 // WriteAt copies b into the page at offset off.
 func (p *Page) WriteAt(off int, b []byte) error {
-	if off < 0 || off+len(b) > PageSize {
+	// off > PageSize is checked before the subtraction so that off+len(b)
+	// can never be computed in overflowing form.
+	if off < 0 || off > PageSize || len(b) > PageSize-off {
 		return fmt.Errorf("%w: off=%d len=%d", ErrPageBounds, off, len(b))
 	}
 	copy(p.data[off:], b)
@@ -79,7 +81,7 @@ func (p *Page) WriteAt(off int, b []byte) error {
 
 // ReadAt copies len(b) bytes from the page at offset off into b.
 func (p *Page) ReadAt(off int, b []byte) error {
-	if off < 0 || off+len(b) > PageSize {
+	if off < 0 || off > PageSize || len(b) > PageSize-off {
 		return fmt.Errorf("%w: off=%d len=%d", ErrPageBounds, off, len(b))
 	}
 	copy(b, p.data[off:off+len(b)])

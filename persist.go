@@ -104,7 +104,7 @@ func OpenPath(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("dsks: reading meta.json: %w", err)
 	}
 	if meta.Format != dbMetaFormat {
-		return nil, fmt.Errorf("dsks: unsupported database format %d", meta.Format)
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadSnapshot, meta.Format)
 	}
 	gf, err := os.Open(filepath.Join(dir, "graph"))
 	if err != nil {
@@ -125,7 +125,7 @@ func OpenPath(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("dsks: reading objects: %w", err)
 	}
 	if vocab != meta.VocabSize {
-		return nil, fmt.Errorf("dsks: vocabulary size mismatch: objects %d vs meta %d", vocab, meta.VocabSize)
+		return nil, fmt.Errorf("%w: vocabulary size mismatch: objects %d vs meta %d", ErrBadSnapshot, vocab, meta.VocabSize)
 	}
 	if opts.Index == "" {
 		opts.Index = meta.Index
