@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke
+.PHONY: all build test race lint fuzz-smoke serve serve-smoke
 
 all: build test lint
 
@@ -34,3 +34,14 @@ fuzz-smoke:
 	$(GO) test -run FuzzZOrder -fuzz FuzzZOrder -fuzztime $(FUZZTIME) ./internal/geo/
 	$(GO) test -run FuzzLoadGraph -fuzz FuzzLoadGraph -fuzztime $(FUZZTIME) ./internal/graph/
 	$(GO) test -run FuzzPageRoundTrip -fuzz FuzzPageRoundTrip -fuzztime $(FUZZTIME) ./internal/storage/
+
+# serve boots the HTTP query server on a generated dataset (docs/SERVING.md).
+serve:
+	$(GO) run ./cmd/dsks-serve -addr :8080 -preset SYN -scale 200 -index SIF
+
+# serve-smoke mirrors the CI job: boot a deliberately under-provisioned
+# server, hammer it asserting zero 5xx + warm cache + load shedding, then
+# SIGTERM it and require a clean drain (exit 0).
+serve-smoke:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/serve-smoke.sh $(CURDIR)/bin/dsks-serve

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsks"
+)
+
+// The load driver: replays a synthetic query mix against a running
+// dsks-serve and prints throughput, latency percentiles, status counts
+// and the server's cache behavior. The mix is derived from the same
+// preset/scale/seed the server was booted with, so every query lands on
+// real edges and keywords; a bounded set of distinct queries (-distinct)
+// makes the result cache observable.
+
+var (
+	hammerTarget   *string
+	hammerN        *int
+	hammerC        *int
+	hammerDistinct *int
+	hammerMix      *string
+	hammerStrict   *bool
+	hammerWant429  *bool
+	hammerTimeout  *time.Duration
+)
+
+// hammerFlags registers the load-driver flags.
+func hammerFlags(fs *flag.FlagSet) {
+	hammerTarget = fs.String("target", "http://127.0.0.1:8080", "server base URL for -hammer")
+	hammerN = fs.Int("n", 1000, "hammer: total requests")
+	hammerC = fs.Int("c", 8, "hammer: concurrent workers")
+	hammerDistinct = fs.Int("distinct", 32, "hammer: distinct queries in the mix (repeats exercise the cache)")
+	hammerMix = fs.String("mix", "search:4,diversified:3,knn:2,ranked:1", "hammer: endpoint mix as kind:weight pairs")
+	hammerStrict = fs.Bool("strict", false, "hammer: exit non-zero on any 5xx or a cold cache")
+	hammerWant429 = fs.Bool("expect-429", false, "hammer: exit non-zero unless load shedding (429 + Retry-After) was observed")
+	hammerTimeout = fs.Duration("client-timeout", 30*time.Second, "hammer: per-request client timeout")
+}
+
+// hammerResult is one request's outcome.
+type hammerResult struct {
+	status     int
+	latency    time.Duration
+	cacheHit   bool
+	retryAfter bool
+}
+
+// runHammer drives the load and reports.
+func runHammer(preset string, scale int, seed int64) error {
+	urls, err := hammerURLs(preset, scale, seed)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*hammerTarget, "/")
+	client := &http.Client{Timeout: *hammerTimeout}
+
+	if err := waitHealthy(client, base); err != nil {
+		return err
+	}
+
+	n, c := *hammerN, *hammerC
+	if c < 1 {
+		c = 1
+	}
+	results := make([]hammerResult, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = issue(client, base+urls[i%len(urls)])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return report(client, base, results, elapsed)
+}
+
+// issue performs one request.
+func issue(client *http.Client, url string) hammerResult {
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return hammerResult{status: 0, latency: time.Since(t0)}
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return hammerResult{
+		status:     resp.StatusCode,
+		latency:    time.Since(t0),
+		cacheHit:   resp.Header.Get("X-Dsks-Cache") == "hit",
+		retryAfter: resp.Header.Get("Retry-After") != "",
+	}
+}
+
+// waitHealthy polls /healthz until the server answers (or ~5s pass).
+func waitHealthy(client *http.Client, base string) error {
+	var last error
+	for i := 0; i < 50; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("healthz: status %d", resp.StatusCode)
+		} else {
+			last = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s never became healthy: %w", base, last)
+}
+
+// hammerURLs builds the weighted request mix over the preset's workload.
+func hammerURLs(preset string, scale int, seed int64) ([]string, error) {
+	ds, err := dsks.GeneratePreset(dsks.Preset(preset), scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	distinct := *hammerDistinct
+	if distinct < 1 {
+		distinct = 1
+	}
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: distinct, Keywords: 2, Seed: seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	builders := map[string]func(q dsks.WorkloadQuery) string{
+		"search": func(q dsks.WorkloadQuery) string {
+			return fmt.Sprintf("/v1/search?edge=%d&offset=%g&terms=%s&deltaMax=%g",
+				q.Pos.Edge, q.Pos.Offset, terms(q.Terms), q.DeltaMax)
+		},
+		"diversified": func(q dsks.WorkloadQuery) string {
+			return fmt.Sprintf("/v1/diversified?edge=%d&offset=%g&terms=%s&deltaMax=%g&k=5&lambda=0.8",
+				q.Pos.Edge, q.Pos.Offset, terms(q.Terms), q.DeltaMax)
+		},
+		"knn": func(q dsks.WorkloadQuery) string {
+			return fmt.Sprintf("/v1/knn?edge=%d&offset=%g&terms=%s&k=5",
+				q.Pos.Edge, q.Pos.Offset, terms(q.Terms))
+		},
+		"ranked": func(q dsks.WorkloadQuery) string {
+			return fmt.Sprintf("/v1/ranked?edge=%d&offset=%g&terms=%s&deltaMax=%g&k=5&alpha=0.5",
+				q.Pos.Edge, q.Pos.Offset, terms(q.Terms), q.DeltaMax)
+		},
+		"collective": func(q dsks.WorkloadQuery) string {
+			return fmt.Sprintf("/v1/collective?edge=%d&offset=%g&terms=%s&deltaMax=%g",
+				q.Pos.Edge, q.Pos.Offset, terms(q.Terms), q.DeltaMax)
+		},
+	}
+
+	var urls []string
+	qi := 0
+	for _, part := range strings.Split(*hammerMix, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		build, ok := builders[kv[0]]
+		if !ok {
+			return nil, fmt.Errorf("unknown mix kind %q (want %s)", kv[0], keys(builders))
+		}
+		weight := 1
+		if len(kv) == 2 {
+			if _, err := fmt.Sscanf(kv[1], "%d", &weight); err != nil {
+				return nil, fmt.Errorf("mix weight %q: %w", kv[1], err)
+			}
+		}
+		for i := 0; i < weight; i++ {
+			urls = append(urls, build(ws[qi%len(ws)]))
+			qi++
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("empty mix %q", *hammerMix)
+	}
+	return urls, nil
+}
+
+func terms(ts []dsks.TermID) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprint(t)
+	}
+	return strings.Join(parts, ",")
+}
+
+func keys(m map[string]func(dsks.WorkloadQuery) string) string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+// report prints the run summary and enforces the strict assertions.
+func report(client *http.Client, base string, results []hammerResult, elapsed time.Duration) error {
+	statuses := map[int]int{}
+	var lats []time.Duration
+	var hits, five, shed429, retryAfter int
+	for _, r := range results {
+		statuses[r.status]++
+		lats = append(lats, r.latency)
+		if r.cacheHit {
+			hits++
+		}
+		if r.status >= 500 {
+			five++
+		}
+		if r.status == http.StatusTooManyRequests {
+			shed429++
+			if r.retryAfter {
+				retryAfter++
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	n := len(results)
+	fmt.Printf("hammer: %d requests in %v (%.0f req/s)\n", n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+	var codes []int
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		label := fmt.Sprint(code)
+		if code == 0 {
+			label = "transport-error"
+		}
+		fmt.Printf("  status %s: %d\n", label, statuses[code])
+	}
+	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99), lats[n-1])
+	fmt.Printf("  client-observed cache hits: %d/%d\n", hits, n)
+	if shed429 > 0 {
+		fmt.Printf("  shed with 429: %d (Retry-After present on %d)\n", shed429, retryAfter)
+	}
+
+	// The server's own view, for the cache counters.
+	var varz struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"Counters"`
+		} `json:"metrics"`
+	}
+	if resp, err := client.Get(base + "/varz"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(body, &varz); err == nil {
+			fmt.Printf("  server cache: %d hits, %d misses, %d stale evictions\n",
+				varz.Metrics.Counters["server_cache_hits_total"],
+				varz.Metrics.Counters["server_cache_misses_total"],
+				varz.Metrics.Counters["server_cache_stale_evictions_total"])
+		}
+	}
+
+	if *hammerStrict {
+		if five > 0 {
+			return fmt.Errorf("strict: %d 5xx responses", five)
+		}
+		if statuses[0] > 0 {
+			return fmt.Errorf("strict: %d transport errors", statuses[0])
+		}
+		if hits == 0 {
+			return fmt.Errorf("strict: no cache hits observed over %d requests", n)
+		}
+	}
+	if *hammerWant429 {
+		if shed429 == 0 {
+			return fmt.Errorf("expect-429: no load shedding observed")
+		}
+		if retryAfter != shed429 {
+			return fmt.Errorf("expect-429: %d of %d 429s missing Retry-After", shed429-retryAfter, shed429)
+		}
+	}
+	return nil
+}
+
+// pct reads the q-quantile of sorted latencies.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,159 @@
+// Command dsks-serve is the production query server: it opens (or
+// generates) a database and serves the HTTP/JSON query API of
+// internal/server, with admission control, a version-checked result
+// cache, and live observability on /healthz, /varz and /metricsz.
+//
+// Serve a generated dataset:
+//
+//	dsks-serve -addr :8080 -preset SYN -scale 200 -index SIF
+//
+// Serve a snapshot written with dsks.SaveTo:
+//
+//	dsks-serve -addr :8080 -db ./snap
+//
+// Replay a synthetic query mix against a running server (the load
+// driver reports throughput, latency percentiles and cache behavior):
+//
+//	dsks-serve -hammer -target http://localhost:8080 -n 2000 -c 16
+//
+// The process drains cleanly on SIGINT/SIGTERM: the listener closes,
+// in-flight queries finish (up to -drain-timeout), and the exit code is 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsks"
+	"dsks/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsks-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dbDir   = flag.String("db", "", "open a database snapshot (dsks.SaveTo directory) instead of generating")
+		preset  = flag.String("preset", "SYN", "generated dataset preset (SYN, NA, TW, SF); ignored with -db")
+		scale   = flag.Int("scale", 200, "scale denominator for generated presets")
+		seed    = flag.Int64("seed", 1, "random seed for generated presets")
+		kind    = flag.String("index", "SIF", "object index: IR, IF, SIF, SIF-P")
+		iolat   = flag.Duration("iolat", 0, "synthetic I/O latency per buffer miss")
+		buffer  = flag.Float64("buffer", 0, "buffer pool fraction (0 = library default)")
+		maxIn   = flag.Int("max-inflight", 16, "queries executing concurrently")
+		queue   = flag.Int("queue-depth", 64, "requests waiting for an execution slot (beyond: 429)")
+		defTO   = flag.Duration("default-timeout", 2*time.Second, "per-request deadline when the client sends none")
+		maxTO   = flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+		cache   = flag.Int("cache-size", 4096, "result cache capacity in entries (negative disables)")
+		drainTO = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight queries")
+
+		hammer = flag.Bool("hammer", false, "run the load driver against -target instead of serving")
+	)
+	hammerFlags(flag.CommandLine)
+	flag.Parse()
+
+	opts := dsks.Options{
+		Index:          indexKind(*kind),
+		IOLatency:      *iolat,
+		BufferFraction: *buffer,
+	}
+
+	if *hammer {
+		return runHammer(*preset, *scale, *seed)
+	}
+
+	db, desc, err := openDB(*dbDir, *preset, *scale, *seed, opts)
+	if err != nil {
+		return err
+	}
+	srv := server.New(db, server.Config{
+		Addr:           *addr,
+		MaxInflight:    *maxIn,
+		QueueDepth:     *queue,
+		DefaultTimeout: *defTO,
+		MaxTimeout:     *maxTO,
+		CacheSize:      cacheSize(*cache),
+	})
+	errc, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dsks-serve: serving %s on %s (index %s, max-inflight %d, queue %d, cache %d)\n",
+		desc, srv.Addr(), opts.Index, *maxIn, *queue, *cache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("dsks-serve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Println("dsks-serve: drained cleanly")
+	return nil
+}
+
+// openDB opens the snapshot directory, or generates the preset dataset.
+func openDB(dir, preset string, scale int, seed int64, opts dsks.Options) (*dsks.DB, string, error) {
+	if dir != "" {
+		db, err := dsks.OpenPath(dir, opts)
+		if err != nil {
+			return nil, "", fmt.Errorf("opening snapshot %s: %w", dir, err)
+		}
+		return db, "snapshot " + dir, nil
+	}
+	ds, err := dsks.GeneratePreset(dsks.Preset(preset), scale, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	db, err := dsks.OpenDataset(ds, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%s/%d seed %d (%d objects)", preset, scale, seed, ds.Objects.Live())
+	return db, desc, nil
+}
+
+// indexKind maps the flag spelling to the library constant.
+func indexKind(s string) dsks.IndexKind {
+	switch s {
+	case "IR":
+		return dsks.IndexIR
+	case "IF":
+		return dsks.IndexIF
+	case "SIF":
+		return dsks.IndexSIF
+	case "SIF-P", "SIFP":
+		return dsks.IndexSIFP
+	default:
+		return dsks.IndexKind(s) // let Open reject it with ErrBadOptions
+	}
+}
+
+// cacheSize maps the flag to the server convention (0 = default there, so
+// a user's explicit 0 becomes "disabled").
+func cacheSize(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}

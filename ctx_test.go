@@ -375,6 +375,33 @@ func TestTypedErrors(t *testing.T) {
 	if err := db.Remove(dsks.ObjectID(12345)); !errors.Is(err, dsks.ErrUnknownObject) {
 		t.Errorf("remove unknown object: err = %v, want ErrUnknownObject", err)
 	}
+
+	// The query paths classify the same violations instead of letting the
+	// index structures hit them unguarded (a term beyond the vocabulary
+	// used to panic inside the SIF signature test).
+	badEdge := dsks.SKQuery{Pos: dsks.Position{Edge: 999, Offset: 0}, Terms: terms, DeltaMax: 100}
+	if _, err := db.Search(badEdge); !errors.Is(err, dsks.ErrUnknownEdge) {
+		t.Errorf("search on bad edge: err = %v, want ErrUnknownEdge", err)
+	}
+	badTerm := dsks.SKQuery{Pos: dsks.Position{Edge: edges[0], Offset: 0}, Terms: []dsks.TermID{9999}, DeltaMax: 100}
+	if _, err := db.Search(badTerm); !errors.Is(err, dsks.ErrTermOutOfRange) {
+		t.Errorf("search with bad term: err = %v, want ErrTermOutOfRange", err)
+	}
+	if _, err := db.SearchDiversified(dsks.DivQuery{SKQuery: badTerm, K: 2, Lambda: 0.5}); !errors.Is(err, dsks.ErrTermOutOfRange) {
+		t.Errorf("diversified search with bad term: err = %v, want ErrTermOutOfRange", err)
+	}
+	if _, err := db.SearchKNN(dsks.KNNQuery{Pos: badTerm.Pos, Terms: badTerm.Terms, K: 2}); !errors.Is(err, dsks.ErrTermOutOfRange) {
+		t.Errorf("kNN search with bad term: err = %v, want ErrTermOutOfRange", err)
+	}
+	if _, err := db.SearchRanked(dsks.RankedQuery{Pos: badTerm.Pos, Terms: badTerm.Terms, K: 2, Alpha: 0.5, DeltaMax: 100}); !errors.Is(err, dsks.ErrTermOutOfRange) {
+		t.Errorf("ranked search with bad term: err = %v, want ErrTermOutOfRange", err)
+	}
+	if _, err := db.SearchCollective(dsks.CollectiveQuery{Pos: badTerm.Pos, Terms: badTerm.Terms, DeltaMax: 100}); !errors.Is(err, dsks.ErrTermOutOfRange) {
+		t.Errorf("collective search with bad term: err = %v, want ErrTermOutOfRange", err)
+	}
+	if _, err := db.Stream(badTerm); !errors.Is(err, dsks.ErrTermOutOfRange) {
+		t.Errorf("stream with bad term: err = %v, want ErrTermOutOfRange", err)
+	}
 }
 
 // TestInsertClampRegression: inserting with an out-of-range offset must

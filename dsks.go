@@ -52,6 +52,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dsks/internal/core"
@@ -243,11 +246,22 @@ func (o Options) validate() error {
 
 // DB is an opened database: the disk-resident road network and object
 // index, ready for queries. Queries may run concurrently (the shared
-// buffer pools serialize page access internally); ResetIO must not race
-// with in-flight queries.
+// buffer pools serialize page access internally), and Insert/Remove/ResetIO
+// may run concurrently with queries: mutations take the database's write
+// latch, queries its read latch, so a query observes the index either
+// entirely before or entirely after any mutation. Streams are the one
+// exception — a live Stream must not race with Insert or Remove.
 type DB struct {
 	sys  *harness.System
 	kind IndexKind
+
+	// mu orders queries (readers) against Insert/Remove/ResetIO (writers).
+	// The latch protects the in-memory collection and index directories;
+	// page-level access is serialized by the buffer pools underneath it.
+	mu sync.RWMutex
+	// version counts committed mutations (Insert/Remove). Result caches
+	// key on it to invalidate across mutations; read with Version.
+	version atomic.Uint64
 }
 
 // Open builds the disk-resident structures for the given road network and
@@ -323,6 +337,23 @@ type Result struct {
 	Trace Trace
 }
 
+// checkQuery validates the parts of a query the index structures index
+// into without bounds checks of their own: the query position's edge must
+// exist in the road network and every term must fall inside the
+// vocabulary. Violations fail with errors matching ErrUnknownEdge and
+// ErrTermOutOfRange — the same classification Insert gives them.
+func (db *DB) checkQuery(pos Position, terms []TermID) error {
+	if pos.Edge < 0 || int(pos.Edge) >= db.sys.DS.Graph.NumEdges() {
+		return fmt.Errorf("dsks: query on edge %d: %w", pos.Edge, ErrUnknownEdge)
+	}
+	for _, t := range terms {
+		if t < 0 || int(t) >= db.sys.DS.VocabSize {
+			return fmt.Errorf("dsks: term %d with vocabulary of %d: %w", t, db.sys.DS.VocabSize, ErrTermOutOfRange)
+		}
+	}
+	return nil
+}
+
 // Search runs a boolean spatial keyword query: all objects within
 // q.DeltaMax network distance containing every keyword of q.Terms,
 // in non-decreasing distance order.
@@ -332,6 +363,11 @@ func (db *DB) Search(q SKQuery) (Result, error) {
 
 // SearchCtx is Search honoring the context's cancellation and deadline.
 func (db *DB) SearchCtx(ctx context.Context, q SKQuery) (Result, error) {
+	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
+		return Result{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.sys.RunSK(ctx, db.kind, q)
 	if err != nil {
 		return Result{}, err
@@ -366,6 +402,11 @@ func (db *DB) SearchDiversifiedWith(algo Algo, q DivQuery) (Result, error) {
 // SearchDiversifiedWithCtx is SearchDiversifiedWith honoring the context's
 // cancellation and deadline.
 func (db *DB) SearchDiversifiedWithCtx(ctx context.Context, algo Algo, q DivQuery) (Result, error) {
+	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
+		return Result{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.sys.RunDiv(ctx, db.kind, algo, q)
 	if err != nil {
 		return Result{}, err
@@ -394,6 +435,11 @@ func (db *DB) SearchKNN(q KNNQuery) (Result, error) {
 // SearchKNNCtx is SearchKNN honoring the context's cancellation and
 // deadline.
 func (db *DB) SearchKNNCtx(ctx context.Context, q KNNQuery) (Result, error) {
+	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
+		return Result{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.sys.RunKNN(ctx, db.kind, q)
 	if err != nil {
 		return Result{}, err
@@ -428,6 +474,11 @@ func (db *DB) SearchRankedCtx(ctx context.Context, q RankedQuery) (Result, error
 	if _, err := db.sys.UnionLoader(db.kind); err != nil {
 		return Result{}, fmt.Errorf("dsks: ranked query on index %s: %w", db.kind, ErrUnsupportedIndex)
 	}
+	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
+		return Result{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.sys.RunRanked(ctx, db.kind, q)
 	if err != nil {
 		return Result{}, err
@@ -439,18 +490,6 @@ func (db *DB) SearchRankedCtx(ctx context.Context, q RankedQuery) (Result, error
 		Stats:     r.Stats,
 		Trace:     r.Trace,
 	}, nil
-}
-
-// SearchRankedStats is the pre-envelope form of SearchRanked.
-//
-// Deprecated: use SearchRanked or SearchRankedCtx, which return the
-// unified Result envelope with timing and I/O metrics.
-func (db *DB) SearchRankedStats(q RankedQuery) ([]RankedResult, SearchStats, error) {
-	res, err := db.SearchRanked(q)
-	if err != nil {
-		return nil, SearchStats{}, err
-	}
-	return res.Ranked, res.Stats, nil
 }
 
 // CollectiveQuery asks for a *group* of objects that together cover every
@@ -475,6 +514,11 @@ func (db *DB) SearchCollectiveCtx(ctx context.Context, q CollectiveQuery) (Resul
 	if _, err := db.sys.UnionLoader(db.kind); err != nil {
 		return Result{}, fmt.Errorf("dsks: collective query on index %s: %w", db.kind, ErrUnsupportedIndex)
 	}
+	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
+		return Result{}, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, err := db.sys.RunCollective(ctx, db.kind, q)
 	if err != nil {
 		return Result{}, err
@@ -488,23 +532,15 @@ func (db *DB) SearchCollectiveCtx(ctx context.Context, q CollectiveQuery) (Resul
 	}, nil
 }
 
-// SearchCollectiveStats is the pre-envelope form of SearchCollective.
-//
-// Deprecated: use SearchCollective or SearchCollectiveCtx, which return
-// the unified Result envelope with timing and I/O metrics.
-func (db *DB) SearchCollectiveStats(q CollectiveQuery) (CollectiveResult, SearchStats, error) {
-	res, err := db.SearchCollective(q)
-	if err != nil {
-		return CollectiveResult{}, SearchStats{}, err
-	}
-	return *res.Collective, res.Stats, nil
-}
-
 // Stream is an incremental boolean search: candidates are pulled one at a
 // time in non-decreasing network distance, so a consumer can stop early
 // (the access pattern Algorithm 6 exploits internally). A stream created
 // with StreamCtx stops with an error matching ErrCanceled or
 // ErrDeadlineExceeded once its context ends.
+//
+// A live stream reads the index incrementally without the database latch,
+// so it must not run concurrently with Insert or Remove; the one-shot
+// Search* methods have no such restriction.
 type Stream struct {
 	search *core.SKSearch
 	sys    *harness.System
@@ -522,6 +558,9 @@ func (db *DB) Stream(q SKQuery) (*Stream, error) {
 // StreamCtx is Stream honoring the context's cancellation and deadline:
 // the context is checked on every Next.
 func (db *DB) StreamCtx(ctx context.Context, q SKQuery) (*Stream, error) {
+	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
+		return nil, err
+	}
 	loader, err := db.sys.Loader(db.kind)
 	if err != nil {
 		return nil, err
@@ -582,7 +621,12 @@ func (s *Stream) finish(err error) {
 // Supported for the IF, SIF and SIF-P indexes (IR is bulk-loaded only;
 // it fails with an error matching ErrUnsupportedIndex). Terms must be
 // below the vocabulary size the database was opened with.
+//
+// Insert takes the database's write latch, so it is safe to call
+// concurrently with queries; a successful insert bumps Version.
 func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	g := db.sys.DS.Graph
 	if pos.Edge < 0 || int(pos.Edge) >= g.NumEdges() {
 		return 0, fmt.Errorf("dsks: insert on edge %d: %w", pos.Edge, ErrUnknownEdge)
@@ -611,12 +655,13 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 		if err := sif.InsertObject(id, pos.Edge, pos.Offset, o.Terms); err != nil {
 			return 0, err
 		}
-		return id, nil
+	} else {
+		coder := invindex.GraphZCoder{G: g}
+		if err := db.sys.Inv.InsertObject(coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, o.Terms); err != nil {
+			return 0, err
+		}
 	}
-	coder := invindex.GraphZCoder{G: g}
-	if err := db.sys.Inv.InsertObject(coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, o.Terms); err != nil {
-		return 0, err
-	}
+	db.version.Add(1)
 	return id, nil
 }
 
@@ -624,7 +669,12 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 // collection and its postings leave the inverted file, so queries no
 // longer see it. Signature bits are not cleared (sound: a stale bit can
 // only cost a false hit). Supported for IF, SIF and SIF-P.
+//
+// Remove takes the database's write latch, so it is safe to call
+// concurrently with queries; a successful remove bumps Version.
 func (db *DB) Remove(id ObjectID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	col := db.sys.DS.Objects
 	if id < 0 || int(id) >= col.Len() || col.Removed(id) {
 		return fmt.Errorf("dsks: remove object %d: %w", id, ErrUnknownObject)
@@ -647,13 +697,53 @@ func (db *DB) Remove(id ObjectID) error {
 	default:
 		return fmt.Errorf("dsks: remove from index %s: %w", db.kind, ErrUnsupportedIndex)
 	}
-	return col.Remove(id)
+	if err := col.Remove(id); err != nil {
+		return err
+	}
+	db.version.Add(1)
+	return nil
 }
+
+// Version returns the database's mutation counter: the number of
+// successful Insert and Remove calls since Open. Result caches key on it
+// so that entries filled before a mutation are never served after it.
+func (db *DB) Version() uint64 { return db.version.Load() }
 
 // NetworkDistance returns the exact network distance between two
 // positions (exposed for inspection and testing; computed in memory).
+// Unreachable pairs report +Inf; use NetworkDistanceCtx for an error-
+// carrying form.
+//
+//lint:ignore ctxpair the arities differ: this form folds every error into +Inf
 func (db *DB) NetworkDistance(a, b Position) float64 {
-	return db.sys.DS.Graph.NetworkDist(a, b)
+	d, err := db.NetworkDistanceCtx(context.Background(), a, b)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// NetworkDistanceCtx returns the exact network distance between two
+// positions, honoring the context and reporting unreachable pairs: a pair
+// no chain of road segments connects fails with an error matching
+// ErrNoPath, and a done context fails with an error matching ErrCanceled
+// or ErrDeadlineExceeded. Positions on edges outside the network fail
+// with an error matching ErrUnknownEdge.
+func (db *DB) NetworkDistanceCtx(ctx context.Context, a, b Position) (float64, error) {
+	if err := core.CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	g := db.sys.DS.Graph
+	for _, p := range [2]Position{a, b} {
+		if p.Edge < 0 || int(p.Edge) >= g.NumEdges() {
+			return 0, fmt.Errorf("dsks: network distance at edge %d: %w", p.Edge, ErrUnknownEdge)
+		}
+	}
+	d := g.NetworkDist(a, b)
+	if math.IsInf(d, 1) {
+		return 0, fmt.Errorf("dsks: network distance between edges %d and %d: %w", a.Edge, b.Edge, ErrNoPath)
+	}
+	return d, nil
 }
 
 // Route is a least-cost path between two network positions.
@@ -672,5 +762,11 @@ func (db *DB) IndexSizeBytes() int64 { return db.sys.IndexSize[db.kind] }
 // BuildTime returns how long the object index construction took.
 func (db *DB) BuildTime() time.Duration { return db.sys.BuildTime[db.kind] }
 
-// ResetIO cools the buffer pools and zeroes the disk-access counters.
-func (db *DB) ResetIO() error { return db.sys.ResetIO() }
+// ResetIO cools the buffer pools and zeroes the disk-access counters. It
+// takes the database's write latch, so it is safe to call concurrently
+// with queries (they serialize around the reset).
+func (db *DB) ResetIO() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.sys.ResetIO()
+}

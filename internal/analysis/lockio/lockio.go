@@ -6,6 +6,12 @@
 // every concurrent query behind one page miss, the exact bug class the
 // buffer pool is designed to avoid.
 //
+// The same discipline covers the serving layer: a dsks.DB query or
+// mutation entry point (Search*, Stream*, Insert, Remove) runs network
+// expansion and page I/O internally, so holding any local latch — the
+// server's result-cache mutex in particular — across such a call stalls
+// every concurrent request behind one query.
+//
 // The analysis is intraprocedural and flow-aware along straight-line
 // code: Lock/RLock adds the mutex to the held set, Unlock/RUnlock
 // removes it, defer Unlock keeps it held to the end of the function,
@@ -17,6 +23,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"dsks/internal/analysis"
 )
@@ -25,8 +32,9 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lockio",
 	Doc: "Page I/O (storage File read/write, BufferPool operations that " +
-		"can touch the file or sleep for IOLatency) must not happen while " +
-		"a sync.Mutex/RWMutex acquired in the enclosing function is held.",
+		"can touch the file or sleep for IOLatency, and dsks.DB query/" +
+		"mutation entry points) must not happen while a sync.Mutex/RWMutex " +
+		"acquired in the enclosing function is held.",
 	Run: run,
 }
 
@@ -166,7 +174,13 @@ func reportIfBlocking(pass *analysis.Pass, call *ast.CallExpr, held map[string]t
 // injected IOLatency.
 func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	fn := analysis.CalleeFunc(pass.Info, call)
-	if fn == nil || !analysis.InPackage(fn, "internal/storage") {
+	if fn == nil {
+		return "", false
+	}
+	if desc, ok := dbEntryPoint(fn); ok {
+		return desc, true
+	}
+	if !analysis.InPackage(fn, "internal/storage") {
 		return "", false
 	}
 	recv := analysis.ReceiverTypeName(fn)
@@ -180,6 +194,25 @@ func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 		}
 	case recv == "" && fn.Name() == "sleepCtx":
 		return "IOLatency sleep", true
+	}
+	return "", false
+}
+
+// dbEntryPoint recognizes the dsks.DB query and mutation entry points:
+// every Search*/Stream* method plus Insert and Remove runs network
+// expansion, page I/O and possibly the IOLatency sleep internally, so it
+// is as blocking as a raw page read. The serving layer's locking
+// discipline (never hold the result-cache latch across a query) hangs on
+// this classification.
+func dbEntryPoint(fn *types.Func) (string, bool) {
+	if analysis.ReceiverTypeName(fn) != "DB" || !analysis.InPackage(fn, "dsks") {
+		return "", false
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "Search"), strings.HasPrefix(name, "Stream"),
+		name == "Insert", name == "Remove":
+		return "database " + name + " call", true
 	}
 	return "", false
 }

@@ -1,0 +1,65 @@
+// Package dsks is a reduced stub of the real library root, just enough
+// surface for the lockio analyzer to recognize the DB query and mutation
+// entry points that the serving layer must never call under a latch.
+package dsks
+
+import "context"
+
+type (
+	EdgeID int32
+	TermID int32
+	ObjectID int32
+)
+
+type Position struct {
+	Edge   EdgeID
+	Offset float64
+}
+
+type SKQuery struct {
+	Pos      Position
+	Terms    []TermID
+	DeltaMax float64
+}
+
+type DivQuery struct {
+	SKQuery
+	K      int
+	Lambda float64
+}
+
+type Candidate struct {
+	ID   ObjectID
+	Dist float64
+}
+
+type Result struct {
+	Candidates []Candidate
+}
+
+type DB struct{}
+
+func (db *DB) SearchCtx(ctx context.Context, q SKQuery) (Result, error) {
+	_ = ctx
+	_ = q
+	return Result{}, nil
+}
+
+func (db *DB) SearchDiversifiedCtx(ctx context.Context, q DivQuery) (Result, error) {
+	_ = ctx
+	_ = q
+	return Result{}, nil
+}
+
+func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
+	_ = pos
+	_ = terms
+	return 0, nil
+}
+
+func (db *DB) Remove(id ObjectID) error {
+	_ = id
+	return nil
+}
+
+func (db *DB) Version() uint64 { return 0 }

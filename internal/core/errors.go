@@ -55,3 +55,9 @@ func ctxErr(ctx context.Context) error {
 	}
 	return nil
 }
+
+// CtxErr reports a done context as the matching typed sentinel (ErrCanceled
+// or ErrDeadlineExceeded, wrapping the context error so errors.Is matches
+// both); nil while the context is live. Exported for the API layers that
+// check a context before entering the core search loop.
+func CtxErr(ctx context.Context) error { return ctxErr(ctx) }

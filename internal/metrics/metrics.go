@@ -192,12 +192,16 @@ type queryMetrics struct {
 type PoolFunc func() (logical, disk int64)
 
 // Registry aggregates query samples by kind and tracks registered buffer
-// pools. Safe for concurrent use.
+// pools and named counters. Safe for concurrent use.
 type Registry struct {
 	queries map[QueryKind]*queryMetrics
 
 	mu    sync.Mutex
 	pools map[string]PoolFunc
+
+	// counters holds the named counters; the sync.Map makes Counter
+	// lock-free on the hot path after a name's first registration.
+	counters sync.Map // string -> *atomic.Int64
 }
 
 // NewRegistry creates a registry with every query kind pre-registered.
@@ -210,6 +214,19 @@ func NewRegistry() *Registry {
 		r.queries[k] = &queryMetrics{}
 	}
 	return r
+}
+
+// Counter returns the named cumulative counter, creating it on first use.
+// Callers should cache the returned pointer for hot paths; Add/Load on it
+// are plain atomics. Counter values appear in snapshots and in the
+// Prometheus rendering (the name is used verbatim as the metric name, so
+// use prometheus-style snake_case names such as "server_cache_hits").
+func (r *Registry) Counter(name string) *atomic.Int64 {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := r.counters.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
 }
 
 // RegisterPool attaches a named buffer pool; its hit rate appears in
@@ -243,9 +260,13 @@ func (r *Registry) Record(kind QueryKind, s Sample) {
 	qm.diskReads.Add(s.DiskReads)
 }
 
-// Reset zeroes every query aggregate (pool counters are owned by the pools
-// themselves and are not touched).
+// Reset zeroes every query aggregate and named counter (pool counters are
+// owned by the pools themselves and are not touched).
 func (r *Registry) Reset() {
+	r.counters.Range(func(_, c any) bool {
+		c.(*atomic.Int64).Store(0)
+		return true
+	})
 	for _, qm := range r.queries {
 		qm.count.Store(0)
 		qm.errors.Store(0)
@@ -295,6 +316,8 @@ type PoolSnapshot struct {
 type Snapshot struct {
 	Queries map[QueryKind]QuerySnapshot
 	Pools   map[string]PoolSnapshot
+	// Counters are the named counters registered with Registry.Counter.
+	Counters map[string]int64 `json:",omitempty"`
 }
 
 // TotalQueries sums the per-kind query counts.
@@ -316,12 +339,27 @@ func (s Snapshot) PoolNames() []string {
 	return names
 }
 
+// CounterNames lists the named counters in sorted order.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Snapshot captures the registry.
 func (r *Registry) Snapshot() Snapshot {
 	out := Snapshot{
-		Queries: make(map[QueryKind]QuerySnapshot, len(r.queries)),
-		Pools:   make(map[string]PoolSnapshot),
+		Queries:  make(map[QueryKind]QuerySnapshot, len(r.queries)),
+		Pools:    make(map[string]PoolSnapshot),
+		Counters: make(map[string]int64),
 	}
+	r.counters.Range(func(name, c any) bool {
+		out.Counters[name.(string)] = c.(*atomic.Int64).Load()
+		return true
+	})
 	for kind, qm := range r.queries {
 		lat := qm.latency.Snapshot()
 		out.Queries[kind] = QuerySnapshot{

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Admission control: a fixed pool of execution slots plus a bounded wait
+// queue. A request first tries to take a slot; if none is free it joins
+// the queue (bounded by depth) and waits until a slot frees or its
+// context ends. A full queue sheds the request immediately — the caller
+// turns errQueueFull into 429 + Retry-After — so the server's memory and
+// goroutine count stay bounded no matter the offered load.
+
+// errQueueFull reports a request shed because the wait queue was at
+// capacity.
+var errQueueFull = errors.New("server: admission queue full")
+
+// limiter is the concurrency gate. Slots are a buffered channel (send =
+// acquire, receive = release); the queue is just a counter since waiting
+// requests park in the channel send's FIFO anyway.
+type limiter struct {
+	slots  chan struct{}
+	queued atomic.Int64
+	depth  int64
+}
+
+// newLimiter admits up to maxInflight concurrent holders with at most
+// queueDepth waiters.
+func newLimiter(maxInflight, queueDepth int) *limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &limiter{slots: make(chan struct{}, maxInflight), depth: int64(queueDepth)}
+}
+
+// acquire takes an execution slot, waiting in the bounded queue if
+// necessary. It fails with errQueueFull when the queue is at capacity and
+// with the (mapped) context error when ctx ends while waiting. On success
+// the caller must release exactly once.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.depth {
+		l.queued.Add(-1)
+		return errQueueFull
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (l *limiter) release() { <-l.slots }
+
+// inflight reports the currently admitted requests (for /varz).
+func (l *limiter) inflight() int { return len(l.slots) }
+
+// waiting reports the queued requests (for /varz).
+func (l *limiter) waiting() int64 { return l.queued.Load() }

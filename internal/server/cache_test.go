@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestCache(capacity int) (*resultCache, *atomic.Int64, *atomic.Int64, *atomic.Int64) {
+	hits, misses, stale := new(atomic.Int64), new(atomic.Int64), new(atomic.Int64)
+	return newResultCache(capacity, hits, misses, stale), hits, misses, stale
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, hits, misses, _ := newTestCache(2)
+	c.put("a", 0, []byte("A"))
+	c.put("b", 0, []byte("B"))
+	if _, ok := c.get("a", 0); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", 0, []byte("C")) // evicts b
+	if _, ok := c.get("b", 0); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get("c", 0); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	if hits.Load() != 2 || misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", hits.Load(), misses.Load())
+	}
+}
+
+func TestCacheVersionInvalidation(t *testing.T) {
+	c, hits, misses, stale := newTestCache(8)
+	c.put("q", 3, []byte("old"))
+	if _, ok := c.get("q", 4); ok {
+		t.Fatal("stale entry served across a version bump")
+	}
+	if stale.Load() != 1 || misses.Load() != 1 {
+		t.Fatalf("stale=%d misses=%d, want 1/1", stale.Load(), misses.Load())
+	}
+	// The stale entry was evicted: even the old version misses now.
+	if _, ok := c.get("q", 3); ok {
+		t.Fatal("stale entry not evicted")
+	}
+	c.put("q", 4, []byte("new"))
+	if body, ok := c.get("q", 4); !ok || string(body) != "new" {
+		t.Fatalf("refilled entry: %q %v", body, ok)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits=%d, want 1", hits.Load())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c, _, misses, _ := newTestCache(0)
+	c.put("q", 0, []byte("x"))
+	if _, ok := c.get("q", 0); ok {
+		t.Fatal("capacity-0 cache stored an entry")
+	}
+	if misses.Load() != 1 {
+		t.Fatalf("misses=%d, want 1", misses.Load())
+	}
+}
+
+func TestLimiterQueueBounds(t *testing.T) {
+	l := newLimiter(1, 1)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue...
+	waited := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		waited <- l.acquire(ctx)
+	}()
+	for l.waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...the next is shed immediately.
+	if err := l.acquire(context.Background()); err != errQueueFull {
+		t.Fatalf("acquire = %v, want errQueueFull", err)
+	}
+
+	l.release() // hands the slot to the waiter
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	l.release()
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after drain = %v", err)
+	}
+	l.release()
+}
+
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := newLimiter(1, 4)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := l.acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("acquire = %v, want context.DeadlineExceeded", err)
+	}
+	if l.waiting() != 0 {
+		t.Fatalf("waiting = %d after timeout, want 0", l.waiting())
+	}
+}

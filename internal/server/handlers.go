@@ -1,0 +1,504 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dsks"
+	"dsks/internal/obj"
+)
+
+// The /v1 endpoints. Every query endpoint shares one flow: parse →
+// canonical cache key → cache lookup (hits bypass admission entirely) →
+// admission (bounded queue, 429 + Retry-After when full) → deadline-bound
+// Search*Ctx call → serialize, fill cache, respond. The database version
+// is read before the query runs, so a mutation landing mid-query can only
+// make the stored entry conservatively stale — never fresh-looking.
+
+// errBadRequest marks client errors (malformed or invalid queries).
+var errBadRequest = errors.New("bad request")
+
+// badRequest wraps a validation failure for the 400 mapping.
+func badRequest(err error) error {
+	return fmt.Errorf("%w: %v", errBadRequest, err)
+}
+
+// queryRequest is the shared request shape of the /v1 query endpoints; each
+// endpoint reads the fields it needs. GET requests carry the fields as URL
+// parameters (terms comma-separated), POSTs as a JSON document.
+type queryRequest struct {
+	Edge     int64         `json:"edge"`
+	Offset   float64       `json:"offset"`
+	BEdge    int64         `json:"bEdge"`   // second position (distance)
+	BOffset  float64       `json:"bOffset"` // second position (distance)
+	Terms    []dsks.TermID `json:"terms"`
+	DeltaMax float64       `json:"deltaMax"`
+	K        int           `json:"k"`
+	Lambda   float64       `json:"lambda"`
+	Alpha    float64       `json:"alpha"`
+	MaxDist  float64       `json:"maxDist"`
+	Algo     string        `json:"algo"`
+	Timeout  string        `json:"timeout"`
+}
+
+// pos returns the primary query position.
+func (q *queryRequest) pos() dsks.Position {
+	return dsks.Position{Edge: dsks.EdgeID(q.Edge), Offset: q.Offset}
+}
+
+// posB returns the secondary position of a distance request.
+func (q *queryRequest) posB() dsks.Position {
+	return dsks.Position{Edge: dsks.EdgeID(q.BEdge), Offset: q.BOffset}
+}
+
+// cacheKey is the canonical encoding of the request: terms are normalized
+// at parse time, floats rendered with full precision, so two requests for
+// the same logical query share an entry regardless of JSON field order or
+// term duplication. The Timeout field is deliberately excluded — it shapes
+// execution, not the result.
+func (q *queryRequest) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "e%d|o%s|E%d|O%s|d%s|k%d|l%s|a%s|m%s|g%s|t",
+		q.Edge, canonFloat(q.Offset), q.BEdge, canonFloat(q.BOffset),
+		canonFloat(q.DeltaMax), q.K, canonFloat(q.Lambda), canonFloat(q.Alpha),
+		canonFloat(q.MaxDist), q.Algo)
+	for i, t := range q.Terms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(t)))
+	}
+	return b.String()
+}
+
+// canonFloat renders a float for the cache key.
+func canonFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// parseQueryRequest reads a queryRequest from URL parameters (GET) or the
+// JSON body (POST) and normalizes the term list.
+func parseQueryRequest(r *http.Request) (*queryRequest, error) {
+	q := &queryRequest{Lambda: 0.8, Alpha: 0.5}
+	switch r.Method {
+	case http.MethodGet:
+		if err := parseParams(r, q); err != nil {
+			return nil, err
+		}
+	case http.MethodPost:
+		body := http.MaxBytesReader(nil, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(q); err != nil {
+			return nil, fmt.Errorf("decoding request body: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	q.Terms = obj.NormalizeTerms(q.Terms)
+	return q, nil
+}
+
+// parseParams fills q from URL parameters.
+func parseParams(r *http.Request, q *queryRequest) error {
+	vals := r.URL.Query()
+	for name, set := range map[string]func(string) error{
+		"edge":     paramInt64(&q.Edge),
+		"offset":   paramFloat(&q.Offset),
+		"bEdge":    paramInt64(&q.BEdge),
+		"bOffset":  paramFloat(&q.BOffset),
+		"deltaMax": paramFloat(&q.DeltaMax),
+		"k":        paramInt(&q.K),
+		"lambda":   paramFloat(&q.Lambda),
+		"alpha":    paramFloat(&q.Alpha),
+		"maxDist":  paramFloat(&q.MaxDist),
+		"algo":     paramString(&q.Algo),
+		"timeout":  paramString(&q.Timeout),
+		"terms": func(v string) error {
+			for _, part := range strings.Split(v, ",") {
+				t, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return fmt.Errorf("term %q: %w", part, err)
+				}
+				q.Terms = append(q.Terms, dsks.TermID(t))
+			}
+			return nil
+		},
+	} {
+		if v := vals.Get(name); v != "" {
+			if err := set(v); err != nil {
+				return fmt.Errorf("parameter %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func paramInt64(dst *int64) func(string) error {
+	return func(v string) (err error) { *dst, err = strconv.ParseInt(v, 10, 64); return }
+}
+
+func paramInt(dst *int) func(string) error {
+	return func(v string) (err error) { *dst, err = strconv.Atoi(v); return }
+}
+
+func paramFloat(dst *float64) func(string) error {
+	return func(v string) (err error) { *dst, err = strconv.ParseFloat(v, 64); return }
+}
+
+func paramString(dst *string) func(string) error {
+	return func(v string) error { *dst = v; return nil }
+}
+
+// deadlineFor resolves the request's deadline: the client's timeout
+// parameter clamped to MaxTimeout, or DefaultTimeout when absent.
+func (s *Server) deadlineFor(timeout string) (time.Duration, error) {
+	if timeout == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(timeout)
+	if err != nil {
+		return 0, fmt.Errorf("timeout %q: %w", timeout, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout must be positive, got %v", d)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// candidatePayload is one result object on the wire.
+type candidatePayload struct {
+	ID     dsks.ObjectID `json:"id"`
+	Edge   dsks.EdgeID   `json:"edge"`
+	Offset float64       `json:"offset"`
+	Dist   float64       `json:"dist"`
+}
+
+// rankedPayload is one scored object of a ranked query.
+type rankedPayload struct {
+	ID      dsks.ObjectID `json:"id"`
+	Edge    dsks.EdgeID   `json:"edge"`
+	Offset  float64       `json:"offset"`
+	Dist    float64       `json:"dist"`
+	Matched int           `json:"matched"`
+	Score   float64       `json:"score"`
+}
+
+// collectivePayload is the keyword-covering group of a collective query.
+type collectivePayload struct {
+	Objects   []candidatePayload `json:"objects"`
+	Cost      float64            `json:"cost"`
+	Covered   bool               `json:"covered"`
+	Uncovered []dsks.TermID      `json:"uncovered,omitempty"`
+}
+
+// queryResponse is the shared response envelope of the query endpoints.
+type queryResponse struct {
+	Kind          string             `json:"kind"`
+	Candidates    []candidatePayload `json:"candidates,omitempty"`
+	F             float64            `json:"f,omitempty"`
+	Ranked        []rankedPayload    `json:"ranked,omitempty"`
+	Collective    *collectivePayload `json:"collective,omitempty"`
+	Distance      *float64           `json:"distance,omitempty"`
+	ElapsedMicros int64              `json:"elapsedMicros"`
+	DiskReads     int64              `json:"diskReads"`
+}
+
+// candidates converts a result slice to the wire shape.
+func candidates(cs []dsks.Candidate) []candidatePayload {
+	out := make([]candidatePayload, len(cs))
+	for i, c := range cs {
+		out[i] = candidatePayload{ID: c.Ref.ID, Edge: c.Ref.Edge, Offset: c.Ref.Offset, Dist: c.Dist}
+	}
+	return out
+}
+
+// envelope fills the shared response fields from a query Result.
+func envelope(kind string, res dsks.Result) *queryResponse {
+	return &queryResponse{
+		Kind:          kind,
+		ElapsedMicros: res.Elapsed.Microseconds(),
+		DiskReads:     res.DiskReads,
+	}
+}
+
+// runner executes one parsed query under an admitted, deadline-bound
+// context and returns the response payload.
+type runner func(ctx context.Context, req *queryRequest) (any, error)
+
+// queryEndpoint wraps a runner in the shared serving flow.
+func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, err := parseQueryRequest(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		budget, err := s.deadlineFor(req.Timeout)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+
+		key := kind + "|" + req.cacheKey()
+		version := s.db.Version()
+		if body, ok := s.cache.get(key, version); ok {
+			w.Header().Set("X-Dsks-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(body)
+			return
+		}
+		w.Header().Set("X-Dsks-Cache", "miss")
+
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		if err := s.admit(w, ctx); err != nil {
+			return
+		}
+		defer s.lim.release()
+
+		payload, err := run(ctx, req)
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		body, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		body = append(body, '\n')
+		s.cache.put(key, version, body)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}
+}
+
+// admit runs the admission gate, writing the rejection response itself:
+// 429 + Retry-After when the wait queue is full, 504 when the request's
+// deadline expired while queued, 499 when the client went away. A nil
+// return means a slot is held and must be released.
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context) error {
+	err := s.lim.acquire(ctx)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, errQueueFull):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlines.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "deadline expired while queued for admission")
+	default: // client canceled
+		writeError(w, statusClientClosedRequest, "client closed request")
+	}
+	return err
+}
+
+// statusClientClosedRequest is nginx's non-standard 499, the least-wrong
+// status for a client that vanished mid-request.
+const statusClientClosedRequest = 499
+
+// writeQueryError maps an engine error to its HTTP status.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, dsks.ErrUnknownEdge),
+		errors.Is(err, dsks.ErrTermOutOfRange):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, dsks.ErrDeadlineExceeded):
+		s.deadlines.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, dsks.ErrCanceled):
+		writeError(w, statusClientClosedRequest, err.Error())
+	case errors.Is(err, dsks.ErrUnsupportedIndex):
+		writeError(w, http.StatusNotImplemented, err.Error())
+	case errors.Is(err, dsks.ErrNoPath), errors.Is(err, dsks.ErrUnknownObject):
+		writeError(w, http.StatusNotFound, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// runSearch serves /v1/search.
+func (s *Server) runSearch(ctx context.Context, req *queryRequest) (any, error) {
+	q := dsks.SKQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax}
+	if err := q.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	res, err := s.db.SearchCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	out := envelope("search", res)
+	out.Candidates = candidates(res.Candidates)
+	return out, nil
+}
+
+// runDiversified serves /v1/diversified.
+func (s *Server) runDiversified(ctx context.Context, req *queryRequest) (any, error) {
+	q := dsks.DivQuery{
+		SKQuery: dsks.SKQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax},
+		K:       req.K,
+		Lambda:  req.Lambda,
+	}
+	if err := q.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	algo := dsks.AlgoCOM
+	switch strings.ToUpper(req.Algo) {
+	case "", "COM":
+	case "SEQ":
+		algo = dsks.AlgoSEQ
+	default:
+		return nil, badRequest(fmt.Errorf("unknown algo %q (want COM or SEQ)", req.Algo))
+	}
+	res, err := s.db.SearchDiversifiedWithCtx(ctx, algo, q)
+	if err != nil {
+		return nil, err
+	}
+	out := envelope("diversified", res)
+	out.Candidates = candidates(res.Candidates)
+	out.F = res.F
+	return out, nil
+}
+
+// runKNN serves /v1/knn.
+func (s *Server) runKNN(ctx context.Context, req *queryRequest) (any, error) {
+	q := dsks.KNNQuery{Pos: req.pos(), Terms: req.Terms, K: req.K, MaxDist: req.MaxDist}
+	if err := q.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	res, err := s.db.SearchKNNCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	out := envelope("knn", res)
+	out.Candidates = candidates(res.Candidates)
+	return out, nil
+}
+
+// runRanked serves /v1/ranked.
+func (s *Server) runRanked(ctx context.Context, req *queryRequest) (any, error) {
+	q := dsks.RankedQuery{
+		Pos: req.pos(), Terms: req.Terms, K: req.K,
+		Alpha: req.Alpha, DeltaMax: req.DeltaMax,
+	}
+	if err := q.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	res, err := s.db.SearchRankedCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	out := envelope("ranked", res)
+	out.Ranked = make([]rankedPayload, len(res.Ranked))
+	for i, rr := range res.Ranked {
+		out.Ranked[i] = rankedPayload{
+			ID: rr.Ref.ID, Edge: rr.Ref.Edge, Offset: rr.Ref.Offset,
+			Dist: rr.Dist, Matched: rr.Matched, Score: rr.Score,
+		}
+	}
+	return out, nil
+}
+
+// runCollective serves /v1/collective.
+func (s *Server) runCollective(ctx context.Context, req *queryRequest) (any, error) {
+	q := dsks.CollectiveQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax}
+	if err := q.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	res, err := s.db.SearchCollectiveCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	out := envelope("collective", res)
+	if res.Collective != nil {
+		out.Collective = &collectivePayload{
+			Objects:   candidates(res.Collective.Objects),
+			Cost:      res.Collective.Cost,
+			Covered:   res.Collective.Covered,
+			Uncovered: res.Collective.Uncovered,
+		}
+	}
+	return out, nil
+}
+
+// runDistance serves /v1/distance: the exact network distance between two
+// positions, 404 when no path connects them.
+func (s *Server) runDistance(ctx context.Context, req *queryRequest) (any, error) {
+	d, err := s.db.NetworkDistanceCtx(ctx, req.pos(), req.posB())
+	if err != nil {
+		return nil, err
+	}
+	return &queryResponse{Kind: "distance", Distance: &d}, nil
+}
+
+// insertRequest is the /v1/insert body.
+type insertRequest struct {
+	Edge   int64         `json:"edge"`
+	Offset float64       `json:"offset"`
+	Terms  []dsks.TermID `json:"terms"`
+}
+
+// handleInsert serves /v1/insert: add one object, bumping the database
+// version (which invalidates the result cache).
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	if err := s.admit(w, ctx); err != nil {
+		return
+	}
+	defer s.lim.release()
+	id, err := s.db.Insert(dsks.Position{Edge: dsks.EdgeID(req.Edge), Offset: req.Offset}, req.Terms)
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "version": s.db.Version()})
+}
+
+// removeRequest is the /v1/remove body.
+type removeRequest struct {
+	ID dsks.ObjectID `json:"id"`
+}
+
+// handleRemove serves /v1/remove: tombstone one object, bumping the
+// database version (which invalidates the result cache).
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req removeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	if err := s.admit(w, ctx); err != nil {
+		return
+	}
+	defer s.lim.release()
+	if err := s.db.Remove(req.ID); err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": req.ID, "version": s.db.Version()})
+}

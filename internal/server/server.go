@@ -1,0 +1,258 @@
+// Package server is the production query-serving layer over a *dsks.DB:
+// an HTTP/JSON API exposing every query family plus mutations, with
+// admission control (a bounded concurrency limiter that sheds load with
+// 429 + Retry-After), per-request deadlines plumbed into the Search*Ctx
+// engine so rejected and expired queries stop doing disk reads, an
+// invalidation-correct LRU result cache versioned by the database's
+// mutation counter, panic isolation per request, and live observability
+// (/healthz, /varz JSON, /metricsz Prometheus text) rendered from the
+// engine's own metrics registry. Everything is standard library only,
+// like the rest of the repository.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"dsks"
+	"dsks/internal/metrics"
+)
+
+// Config sizes the server. Zero values take the documented defaults, so
+// Config{} is a usable development configuration.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// MaxInflight bounds the queries executing concurrently (default 16).
+	MaxInflight int
+	// QueueDepth bounds the requests waiting for an execution slot;
+	// beyond it requests are shed with 429 (default 64).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// none (default 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the client-requested deadline (default 30s).
+	MaxTimeout time.Duration
+	// CacheSize is the result cache capacity in entries; 0 keeps the
+	// default (4096), negative disables caching.
+	CacheSize int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server serves spatial keyword queries over HTTP. Create with New, wire
+// the Handler into an http.Server (or use Start/Shutdown), and share one
+// Server per DB — the admission limiter and cache are per-Server.
+type Server struct {
+	db    *dsks.DB
+	cfg   Config
+	lim   *limiter
+	cache *resultCache
+	mux   *http.ServeMux
+
+	started time.Time
+	http    *http.Server
+	ln      net.Listener
+
+	// Serving counters, folded into the DB's metrics registry so /varz
+	// and /metricsz render them alongside the engine's own aggregates.
+	requests    *atomic.Int64
+	rejected    *atomic.Int64
+	deadlines   *atomic.Int64
+	panics      *atomic.Int64
+	cacheHits   *atomic.Int64
+	cacheMisses *atomic.Int64
+}
+
+// New builds a server over an open database.
+func New(db *dsks.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := db.Metrics()
+	s := &Server{
+		db:          db,
+		cfg:         cfg,
+		lim:         newLimiter(cfg.MaxInflight, cfg.QueueDepth),
+		started:     time.Now(),
+		requests:    reg.Counter("server_requests_total"),
+		rejected:    reg.Counter("server_admission_rejected_total"),
+		deadlines:   reg.Counter("server_deadline_exceeded_total"),
+		panics:      reg.Counter("server_panics_total"),
+		cacheHits:   reg.Counter("server_cache_hits_total"),
+		cacheMisses: reg.Counter("server_cache_misses_total"),
+	}
+	s.cache = newResultCache(cfg.CacheSize, s.cacheHits, s.cacheMisses,
+		reg.Counter("server_cache_stale_evictions_total"))
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// routes wires the endpoints.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/varz", s.handleVarz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/v1/search", s.queryEndpoint("search", s.runSearch))
+	s.mux.HandleFunc("/v1/diversified", s.queryEndpoint("diversified", s.runDiversified))
+	s.mux.HandleFunc("/v1/knn", s.queryEndpoint("knn", s.runKNN))
+	s.mux.HandleFunc("/v1/ranked", s.queryEndpoint("ranked", s.runRanked))
+	s.mux.HandleFunc("/v1/collective", s.queryEndpoint("collective", s.runCollective))
+	s.mux.HandleFunc("/v1/distance", s.queryEndpoint("distance", s.runDistance))
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/remove", s.handleRemove)
+}
+
+// Handler returns the server's HTTP handler: the route mux wrapped in the
+// panic-isolation middleware, so one bad request cannot take down the
+// process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				// The handler may have written nothing yet; try to fail the
+				// request cleanly and keep the process alive.
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", v))
+				debug.PrintStack()
+			}
+		}()
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Start listens on cfg.Addr and serves in a background goroutine. It
+// returns once the listener is bound (so callers know the port is live);
+// serve errors after that surface through the returned channel, which
+// closes on clean shutdown.
+func (s *Server) Start() (<-chan error, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		defer close(errc)
+		if err := s.http.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	return errc, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server: the listener closes immediately, in-flight
+// requests run to completion, and once ctx ends remaining connections are
+// cut. A nil http server (never started) is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Shutdown(ctx)
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.started).String(),
+		"version": s.db.Version(),
+	})
+}
+
+// varzPayload is the /varz document: the serving state plus the full
+// metrics snapshot.
+type varzPayload struct {
+	Uptime     string               `json:"uptime"`
+	DBVersion  uint64               `json:"dbVersion"`
+	Inflight   int                  `json:"inflight"`
+	Queued     int64                `json:"queued"`
+	CacheLen   int                  `json:"cacheLen"`
+	CacheCap   int                  `json:"cacheCap"`
+	MaxInflight int                 `json:"maxInflight"`
+	QueueDepth int                  `json:"queueDepth"`
+	Metrics    dsks.MetricsSnapshot `json:"metrics"`
+}
+
+// handleVarz serves the JSON metrics snapshot.
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, varzPayload{
+		Uptime:      time.Since(s.started).String(),
+		DBVersion:   s.db.Version(),
+		Inflight:    s.lim.inflight(),
+		Queued:      s.lim.waiting(),
+		CacheLen:    s.cache.len(),
+		CacheCap:    s.cfg.CacheSize,
+		MaxInflight: s.cfg.MaxInflight,
+		QueueDepth:  s.cfg.QueueDepth,
+		Metrics:     s.db.Snapshot(),
+	})
+}
+
+// handleMetricsz serves the Prometheus text rendering of the registry.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := metrics.WritePrometheus(w, s.db.Snapshot()); err != nil {
+		// The connection is gone mid-write; nothing sensible to send.
+		return
+	}
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
