@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke serve serve-smoke
+.PHONY: all build test race lint fuzz-smoke serve serve-smoke chaos-smoke
 
 all: build test lint
 
@@ -45,3 +45,11 @@ serve:
 serve-smoke:
 	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
 	./scripts/serve-smoke.sh $(CURDIR)/bin/dsks-serve
+
+# chaos-smoke mirrors the CI job: boot a checksummed, chaos-enabled server,
+# inject read faults over /v1/chaos, and assert the breaker sheds (503 +
+# Retry-After), never serves corrupt bytes, and recovers after the faults
+# clear (docs/ROBUSTNESS.md).
+chaos-smoke:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/chaos-smoke.sh $(CURDIR)/bin/dsks-serve

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,14 +24,16 @@ import (
 // makes the result cache observable.
 
 var (
-	hammerTarget   *string
-	hammerN        *int
-	hammerC        *int
-	hammerDistinct *int
-	hammerMix      *string
-	hammerStrict   *bool
-	hammerWant429  *bool
-	hammerTimeout  *time.Duration
+	hammerTarget    *string
+	hammerN         *int
+	hammerC         *int
+	hammerDistinct  *int
+	hammerMix       *string
+	hammerStrict    *bool
+	hammerWant429   *bool
+	hammerTimeout   *time.Duration
+	hammerChaos     *bool
+	hammerChaosSpec *string
 )
 
 // hammerFlags registers the load-driver flags.
@@ -43,6 +46,8 @@ func hammerFlags(fs *flag.FlagSet) {
 	hammerStrict = fs.Bool("strict", false, "hammer: exit non-zero on any 5xx or a cold cache")
 	hammerWant429 = fs.Bool("expect-429", false, "hammer: exit non-zero unless load shedding (429 + Retry-After) was observed")
 	hammerTimeout = fs.Duration("client-timeout", 30*time.Second, "hammer: per-request client timeout")
+	hammerChaos = fs.Bool("chaos", false, "hammer: run the chaos campaign (server must be started with -enable-chaos)")
+	hammerChaosSpec = fs.String("chaos-spec", "read:every=1", "hammer: fault spec installed during the chaos phase")
 }
 
 // hammerResult is one request's outcome.
@@ -64,6 +69,10 @@ func runHammer(preset string, scale int, seed int64) error {
 
 	if err := waitHealthy(client, base); err != nil {
 		return err
+	}
+
+	if *hammerChaos {
+		return runChaos(client, base, urls)
 	}
 
 	n, c := *hammerN, *hammerC
@@ -91,6 +100,157 @@ func runHammer(preset string, scale int, seed int64) error {
 	elapsed := time.Since(start)
 
 	return report(client, base, results, elapsed)
+}
+
+// runChaos drives the fault-injection campaign: warm up, install the
+// fault spec through /v1/chaos, assert the server degrades into 503 +
+// Retry-After shedding (never corrupt output), heal the spec, and assert
+// the half-open probe restores service. Any violated invariant is a
+// non-zero exit.
+func runChaos(client *http.Client, base string, urls []string) error {
+	fmt.Printf("chaos: warmup against %s\n", base)
+	warm := urls[0]
+	for i := 0; i < 10; i++ {
+		status, body, _ := issueBody(client, base+warm)
+		if status != http.StatusOK {
+			return fmt.Errorf("chaos warmup: query status %d: %s", status, body)
+		}
+		if !json.Valid(body) {
+			return fmt.Errorf("chaos warmup: query returned invalid JSON: %q", body)
+		}
+	}
+
+	spec := *hammerChaosSpec
+	fmt.Printf("chaos: installing fault spec %q\n", spec)
+	if err := postChaos(client, base, spec); err != nil {
+		return err
+	}
+	// Make sure the faults are cleared even if an assertion below fails,
+	// so a -chaos run never leaves the target server broken.
+	defer postChaos(client, base, "")
+
+	// Chaos phase: walk the full mix so most requests miss the result
+	// cache and hit faulting storage. Every response must be a storage
+	// failure (500), a breaker shed (503 + Retry-After), or an intact
+	// 200 that provably touched no storage (a cache hit, or a query
+	// reporting zero disk reads) — never a corrupt or truncated body.
+	var saw500, saw503, sawRetryAfter, noStorage int
+	for i := 0; i < 100 && saw503 < 5; i++ {
+		status, body, hdr := issueBody(client, base+urls[i%len(urls)])
+		switch status {
+		case http.StatusInternalServerError:
+			saw500++
+		case http.StatusServiceUnavailable:
+			saw503++
+			if hdr.Get("Retry-After") != "" {
+				sawRetryAfter++
+			}
+		case http.StatusOK:
+			var reads struct {
+				DiskReads int64 `json:"diskReads"`
+			}
+			if err := json.Unmarshal(body, &reads); err != nil {
+				return fmt.Errorf("chaos: 200 with invalid JSON body %q: %v", body, err)
+			}
+			if hdr.Get("X-Dsks-Cache") != "hit" && reads.DiskReads != 0 {
+				return fmt.Errorf("chaos: uncached 200 with %d disk reads for %s under a %q campaign",
+					reads.DiskReads, urls[i%len(urls)], spec)
+			}
+			noStorage++
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusTooManyRequests:
+			// Client-class outcomes (malformed mix entries, admission
+			// shedding) say nothing about storage; skip them.
+		default:
+			return fmt.Errorf("chaos: unexpected status %d: %s", status, body)
+		}
+	}
+	fmt.Printf("chaos: degraded phase: %d storage errors, %d shed (Retry-After on %d), %d storage-free 200s\n",
+		saw500, saw503, sawRetryAfter, noStorage)
+	if saw500 == 0 {
+		return fmt.Errorf("chaos: no storage errors observed — is the spec %q reaching the pools?", spec)
+	}
+	if saw503 == 0 {
+		return fmt.Errorf("chaos: circuit breaker never opened (no 503s in %d requests)", saw500+noStorage)
+	}
+	if sawRetryAfter != saw503 {
+		return fmt.Errorf("chaos: %d of %d 503s missing Retry-After", saw503-sawRetryAfter, saw503)
+	}
+
+	fmt.Println("chaos: clearing fault spec")
+	if err := postChaos(client, base, ""); err != nil {
+		return err
+	}
+	// Recovery must come from storage, not the result cache: only an
+	// uncached 200 proves the half-open probe ran and closed the breaker.
+	deadline := time.Now().Add(30 * time.Second)
+	recovered := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		status, body, hdr := issueBody(client, base+urls[i%len(urls)])
+		if status == http.StatusOK && hdr.Get("X-Dsks-Cache") != "hit" {
+			if !json.Valid(body) {
+				return fmt.Errorf("chaos: post-recovery query returned invalid JSON: %q", body)
+			}
+			recovered = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !recovered {
+		return fmt.Errorf("chaos: server did not recover within 30s of clearing faults")
+	}
+	if status, body, _ := issueBody(client, base+"/healthz"); status != http.StatusOK {
+		return fmt.Errorf("chaos: healthz after recovery: status %d: %s", status, body)
+	}
+
+	var varz struct {
+		Health  string `json:"health"`
+		Metrics struct {
+			Counters map[string]int64 `json:"Counters"`
+		} `json:"metrics"`
+	}
+	if status, body, _ := issueBody(client, base+"/varz"); status == http.StatusOK {
+		if err := json.Unmarshal(body, &varz); err == nil {
+			fmt.Printf("chaos: recovered (health %q); breaker opened %d times, shed %d requests\n",
+				varz.Health,
+				varz.Metrics.Counters["server_breaker_opened_total"],
+				varz.Metrics.Counters["server_breaker_shed_total"])
+			if varz.Metrics.Counters["server_breaker_opened_total"] == 0 {
+				return fmt.Errorf("chaos: server_breaker_opened_total stayed zero")
+			}
+		}
+	}
+	fmt.Println("chaos: PASS — shed under faults, recovered after heal, no corrupt responses")
+	return nil
+}
+
+// postChaos installs (or, with an empty spec, clears) the server's fault
+// injection through POST /v1/chaos.
+func postChaos(client *http.Client, base, spec string) error {
+	payload, _ := json.Marshal(map[string]string{"spec": spec})
+	resp, err := client.Post(base+"/v1/chaos", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("chaos: POST /v1/chaos: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("chaos: /v1/chaos not found — start the server with -enable-chaos")
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("chaos: POST /v1/chaos spec %q: status %d: %s", spec, resp.StatusCode, body)
+	}
+	return nil
+}
+
+// issueBody performs one GET and returns status, body and headers.
+func issueBody(client *http.Client, url string) (int, []byte, http.Header) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, []byte(err.Error()), http.Header{}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, resp.Header
 }
 
 // issue performs one request.

@@ -57,6 +57,13 @@ func run() error {
 		cache   = flag.Int("cache-size", 4096, "result cache capacity in entries (negative disables)")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight queries")
 
+		checksums  = flag.Bool("checksums", false, "verify per-page CRC32C checksums on every buffer miss")
+		faultSpec  = flag.String("fault", "", "install a fault-injection spec at startup (see internal/fault)")
+		chaos      = flag.Bool("enable-chaos", false, "expose POST /v1/chaos for runtime fault injection (testing only)")
+		degradeN   = flag.Int("degrade-after", 3, "consecutive storage errors before the server reports degraded")
+		breakN     = flag.Int("break-after", 5, "consecutive storage errors before the circuit breaker opens")
+		breakerTO  = flag.Duration("breaker-cooldown", time.Second, "open-circuit cooldown before a half-open probe")
+
 		hammer = flag.Bool("hammer", false, "run the load driver against -target instead of serving")
 	)
 	hammerFlags(flag.CommandLine)
@@ -66,6 +73,7 @@ func run() error {
 		Index:          indexKind(*kind),
 		IOLatency:      *iolat,
 		BufferFraction: *buffer,
+		Checksums:      *checksums,
 	}
 
 	if *hammer {
@@ -76,13 +84,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *faultSpec != "" {
+		if err := db.SetFaultSpec(*faultSpec); err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		fmt.Printf("dsks-serve: fault injection active: %s\n", *faultSpec)
+	}
 	srv := server.New(db, server.Config{
-		Addr:           *addr,
-		MaxInflight:    *maxIn,
-		QueueDepth:     *queue,
-		DefaultTimeout: *defTO,
-		MaxTimeout:     *maxTO,
-		CacheSize:      cacheSize(*cache),
+		Addr:            *addr,
+		MaxInflight:     *maxIn,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *defTO,
+		MaxTimeout:      *maxTO,
+		CacheSize:       cacheSize(*cache),
+		DegradeAfter:    *degradeN,
+		BreakAfter:      *breakN,
+		BreakerCooldown: *breakerTO,
+		EnableChaos:     *chaos,
 	})
 	errc, err := srv.Start()
 	if err != nil {

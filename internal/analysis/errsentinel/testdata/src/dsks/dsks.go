@@ -44,3 +44,35 @@ func Run(x int) error {
 	}
 	return nil
 }
+
+// ErrBadSnapshot mirrors the snapshot-loading sentinel.
+var ErrBadSnapshot = errors.New("dsks: bad snapshot")
+
+// Load double-wraps (Go 1.20 multiple %w): the sentinel for errors.Is
+// plus the typed cause for errors.As both stay matchable.
+func Load(cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w: reading manifest: %w", ErrBadSnapshot, cause)
+	}
+	return nil
+}
+
+// faultError models a typed error (op, page, transient) like
+// internal/fault.Error; returning one directly is fine — the analyzer
+// polices only opaque fmt.Errorf construction, not typed errors, which
+// errors.As can always match.
+type faultError struct {
+	op   string
+	page uint32
+}
+
+func (e *faultError) Error() string { return fmt.Sprintf("fault: %s on page %d", e.op, e.page) }
+
+// Inject returns the typed error bare and wrapped; both keep the chain
+// intact, and only an unwrapped fmt.Errorf would be flagged.
+func Inject(op string, page uint32, wrap bool) error {
+	if wrap {
+		return fmt.Errorf("dsks: injecting: %w", &faultError{op: op, page: page})
+	}
+	return &faultError{op: op, page: page}
+}

@@ -74,6 +74,11 @@ type Options struct {
 	// files (an engineering improvement over the paper's query-order
 	// baseline; see the ablation-selectivity experiment).
 	SelectivityOrder bool
+	// Checksums enables per-page CRC32C verification in every buffer
+	// pool: stamped on write-back, checked on miss, a mismatch failing
+	// the read with storage.ErrCorruptPage. Off by default so the
+	// paper's byte-exact I/O accounting is unchanged.
+	Checksums bool
 }
 
 func (o Options) withDefaults() Options {
@@ -346,6 +351,9 @@ func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error
 	if opts.IOLatency > 0 {
 		s.netPool.SetIOLatency(opts.IOLatency)
 	}
+	if opts.Checksums {
+		s.SetChecksums(true)
+	}
 	s.Metrics.RegisterPool("network", poolFunc(s.netStats))
 	for kind, st := range s.objStats {
 		s.Metrics.RegisterPool(string(kind), poolFunc(st))
@@ -353,11 +361,44 @@ func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error
 	return s, nil
 }
 
+// Pools returns every buffer pool of the system: the network pool first,
+// then one per built object index (iteration order unspecified).
+func (s *System) Pools() []*storage.BufferPool {
+	pools := []*storage.BufferPool{s.netPool}
+	for _, p := range s.objPools {
+		pools = append(pools, p)
+	}
+	return pools
+}
+
+// SetChecksums toggles per-page CRC32C verification on every pool.
+func (s *System) SetChecksums(on bool) {
+	for _, p := range s.Pools() {
+		p.SetChecksums(on)
+	}
+}
+
+// SetInjector installs (or clears, with nil) a fault injector on every
+// page store of the system — the network file and each object index file.
+// One injector sees the interleaved operation stream of all stores, so a
+// deterministic campaign spans the whole database.
+func (s *System) SetInjector(in storage.Injector) {
+	for _, p := range s.Pools() {
+		p.File().SetInjector(in)
+	}
+}
+
 // poolFunc adapts an IOStats to the registry's pull interface.
 func poolFunc(st *storage.IOStats) metrics.PoolFunc {
-	return func() (int64, int64) {
+	return func() metrics.PoolCounters {
 		snap := st.Snapshot()
-		return snap.LogicalRead, snap.DiskRead
+		return metrics.PoolCounters{
+			LogicalReads: snap.LogicalRead,
+			DiskReads:    snap.DiskRead,
+			DiskWrites:   snap.DiskWrite,
+			ReadRetries:  snap.ReadRetries,
+			CorruptPages: snap.CorruptPage,
+		}
 	}
 }
 

@@ -187,9 +187,19 @@ type queryMetrics struct {
 	diskReads     atomic.Int64
 }
 
-// PoolFunc reports a buffer pool's cumulative (logical, disk) read
-// counters; the registry pulls it at snapshot time.
-type PoolFunc func() (logical, disk int64)
+// PoolCounters is what a registered buffer pool reports when the
+// registry pulls it at snapshot time.
+type PoolCounters struct {
+	LogicalReads int64 // page requests
+	DiskReads    int64 // buffer misses
+	DiskWrites   int64 // page write-backs
+	ReadRetries  int64 // transient read faults absorbed by the retry loop
+	CorruptPages int64 // checksum failures detected on miss
+}
+
+// PoolFunc reports a buffer pool's cumulative counters; the registry
+// pulls it at snapshot time.
+type PoolFunc func() PoolCounters
 
 // Registry aggregates query samples by kind and tracks registered buffer
 // pools and named counters. Safe for concurrent use.
@@ -303,10 +313,16 @@ type QuerySnapshot struct {
 	Latency HistogramSnapshot
 }
 
-// PoolSnapshot is the read-counter view of one buffer pool.
+// PoolSnapshot is the counter view of one buffer pool.
 type PoolSnapshot struct {
 	LogicalReads int64
 	DiskReads    int64
+	DiskWrites   int64
+	// ReadRetries counts transient read faults the pool retried away;
+	// CorruptPages counts checksum failures it detected. Both stay zero
+	// in a healthy run.
+	ReadRetries  int64
+	CorruptPages int64
 	// HitRate is the fraction of page requests served from the buffer
 	// (0 when the pool has seen no requests).
 	HitRate float64
@@ -387,10 +403,16 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Unlock()
 	for name, fn := range pools {
-		logical, disk := fn()
-		ps := PoolSnapshot{LogicalReads: logical, DiskReads: disk}
-		if logical > 0 {
-			ps.HitRate = float64(logical-disk) / float64(logical)
+		c := fn()
+		ps := PoolSnapshot{
+			LogicalReads: c.LogicalReads,
+			DiskReads:    c.DiskReads,
+			DiskWrites:   c.DiskWrites,
+			ReadRetries:  c.ReadRetries,
+			CorruptPages: c.CorruptPages,
+		}
+		if c.LogicalReads > 0 {
+			ps.HitRate = float64(c.LogicalReads-c.DiskReads) / float64(c.LogicalReads)
 		}
 		out.Pools[name] = ps
 	}

@@ -135,12 +135,17 @@ func TestRegistryRecordAndSnapshot(t *testing.T) {
 
 func TestRegistryPools(t *testing.T) {
 	r := NewRegistry()
-	r.RegisterPool("network", func() (int64, int64) { return 100, 25 })
-	r.RegisterPool("cold", func() (int64, int64) { return 0, 0 })
+	r.RegisterPool("network", func() PoolCounters {
+		return PoolCounters{LogicalReads: 100, DiskReads: 25, DiskWrites: 4, ReadRetries: 2, CorruptPages: 1}
+	})
+	r.RegisterPool("cold", func() PoolCounters { return PoolCounters{} })
 	snap := r.Snapshot()
 	p := snap.Pools["network"]
 	if p.LogicalReads != 100 || p.DiskReads != 25 || p.HitRate != 0.75 {
 		t.Errorf("network pool = %+v", p)
+	}
+	if p.DiskWrites != 4 || p.ReadRetries != 2 || p.CorruptPages != 1 {
+		t.Errorf("network pool robustness counters = %+v", p)
 	}
 	if c := snap.Pools["cold"]; c.HitRate != 0 {
 		t.Errorf("cold pool hit rate = %v, want 0", c.HitRate)

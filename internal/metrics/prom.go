@@ -69,6 +69,21 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, name := range s.PoolNames() {
 		bw.printf("dsks_pool_disk_reads_total{pool=%q} %d\n", name, s.Pools[name].DiskReads)
 	}
+	bw.printf("# HELP dsks_pool_disk_writes_total Dirty pages a buffer pool wrote back.\n")
+	bw.printf("# TYPE dsks_pool_disk_writes_total counter\n")
+	for _, name := range s.PoolNames() {
+		bw.printf("dsks_pool_disk_writes_total{pool=%q} %d\n", name, s.Pools[name].DiskWrites)
+	}
+	bw.printf("# HELP dsks_pool_read_retries_total Transient read faults absorbed by the retry loop.\n")
+	bw.printf("# TYPE dsks_pool_read_retries_total counter\n")
+	for _, name := range s.PoolNames() {
+		bw.printf("dsks_pool_read_retries_total{pool=%q} %d\n", name, s.Pools[name].ReadRetries)
+	}
+	bw.printf("# HELP dsks_pool_corrupt_pages_total Page checksum failures detected on buffer miss.\n")
+	bw.printf("# TYPE dsks_pool_corrupt_pages_total counter\n")
+	for _, name := range s.PoolNames() {
+		bw.printf("dsks_pool_corrupt_pages_total{pool=%q} %d\n", name, s.Pools[name].CorruptPages)
+	}
 	bw.printf("# HELP dsks_pool_hit_rate Fraction of page requests served from the buffer.\n")
 	bw.printf("# TYPE dsks_pool_hit_rate gauge\n")
 	for _, name := range s.PoolNames() {

@@ -11,7 +11,9 @@ func TestWritePrometheus(t *testing.T) {
 	r.Record(KindSearch, Sample{Elapsed: 3 * time.Millisecond, DiskReads: 7})
 	r.Record(KindSearch, Sample{Elapsed: 5 * time.Millisecond, Err: true})
 	r.Record(KindDiversified, Sample{Elapsed: time.Second, Canceled: true, Err: true})
-	r.RegisterPool("net", func() (int64, int64) { return 100, 25 })
+	r.RegisterPool("net", func() PoolCounters {
+		return PoolCounters{LogicalReads: 100, DiskReads: 25, ReadRetries: 3, CorruptPages: 1}
+	})
 	r.Counter("server_cache_hits").Add(3)
 	r.Counter("server_cache_misses").Add(9)
 
@@ -31,6 +33,8 @@ func TestWritePrometheus(t *testing.T) {
 		`dsks_query_latency_seconds_bucket{kind="search",le="+Inf"} 2`,
 		`dsks_pool_logical_reads_total{pool="net"} 100`,
 		`dsks_pool_disk_reads_total{pool="net"} 25`,
+		`dsks_pool_read_retries_total{pool="net"} 3`,
+		`dsks_pool_corrupt_pages_total{pool="net"} 1`,
 		`dsks_pool_hit_rate{pool="net"} 0.75`,
 		"# TYPE server_cache_hits counter",
 		"server_cache_hits 3",

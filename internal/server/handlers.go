@@ -255,18 +255,36 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 		}
 		w.Header().Set("X-Dsks-Cache", "miss")
 
+		// Degraded-mode gate: with the circuit open, storage is failing
+		// and every query would hit it — shed with 503 except the single
+		// half-open probe, whose outcome decides whether to close. Cache
+		// hits were already served above; they touch no storage.
+		probe, admitted := s.health.allow()
+		if !admitted {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown.Seconds()+0.5)))
+			writeError(w, http.StatusServiceUnavailable, "storage degraded: circuit breaker open")
+			return
+		}
+
 		ctx, cancel := context.WithTimeout(r.Context(), budget)
 		defer cancel()
 		if err := s.admit(w, ctx); err != nil {
+			s.health.recordNeutral(probe)
 			return
 		}
 		defer s.lim.release()
 
 		payload, err := run(ctx, req)
 		if err != nil {
+			if statusFor(err) == http.StatusInternalServerError {
+				s.health.recordStorageError(probe)
+			} else {
+				s.health.recordNeutral(probe)
+			}
 			s.writeQueryError(w, err)
 			return
 		}
+		s.health.recordSuccess(probe)
 		body, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
@@ -305,25 +323,37 @@ func (s *Server) admit(w http.ResponseWriter, ctx context.Context) error {
 // status for a client that vanished mid-request.
 const statusClientClosedRequest = 499
 
-// writeQueryError maps an engine error to its HTTP status.
-func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+// statusFor maps an engine error to its HTTP status. The 500 class is
+// exactly the storage-class failures (injected faults, detected page
+// corruption, anything unclassified) that drive the health breaker;
+// everything else is a client-attributable or capability error and is
+// neutral for health purposes.
+func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, dsks.ErrUnknownEdge),
 		errors.Is(err, dsks.ErrTermOutOfRange):
-		writeError(w, http.StatusBadRequest, err.Error())
+		return http.StatusBadRequest
 	case errors.Is(err, dsks.ErrDeadlineExceeded):
-		s.deadlines.Add(1)
-		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return http.StatusGatewayTimeout
 	case errors.Is(err, dsks.ErrCanceled):
-		writeError(w, statusClientClosedRequest, err.Error())
+		return statusClientClosedRequest
 	case errors.Is(err, dsks.ErrUnsupportedIndex):
-		writeError(w, http.StatusNotImplemented, err.Error())
+		return http.StatusNotImplemented
 	case errors.Is(err, dsks.ErrNoPath), errors.Is(err, dsks.ErrUnknownObject):
-		writeError(w, http.StatusNotFound, err.Error())
+		return http.StatusNotFound
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		return http.StatusInternalServerError
 	}
+}
+
+// writeQueryError maps an engine error to its HTTP response.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusGatewayTimeout {
+		s.deadlines.Add(1)
+	}
+	writeError(w, status, err.Error())
 }
 
 // runSearch serves /v1/search.

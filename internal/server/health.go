@@ -1,0 +1,164 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Degraded-mode serving: a circuit breaker driven by consecutive
+// storage-class failures (injected faults, detected corruption, any
+// unclassified internal error). The state machine is
+//
+//	healthy ──(DegradeAfter consecutive storage errors)──► degraded
+//	degraded ──(BreakAfter consecutive storage errors)──► open
+//	open ──(cooldown elapses)──► half-open: ONE probe query runs
+//	probe succeeds ──► healthy        probe fails ──► open again
+//
+// While the breaker is open, query endpoints shed with 503 + Retry-After
+// instead of hammering a failing storage layer; cache hits still serve
+// (they touch no storage). Client-class errors (bad request, not found,
+// canceled, deadline) are neutral: they neither trip nor heal the
+// breaker. Any success closes it.
+
+// healthState is the server's degradation level.
+type healthState int32
+
+const (
+	stateHealthy healthState = iota
+	stateDegraded
+	stateOpen
+)
+
+// String renders the state for /healthz and /varz.
+func (st healthState) String() string {
+	switch st {
+	case stateHealthy:
+		return "healthy"
+	case stateDegraded:
+		return "degraded"
+	case stateOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is the health state machine. All methods are safe for
+// concurrent use; the mutex guards transitions only — the hot path
+// (healthy, no errors) is one lock/unlock around two integer reads.
+type breaker struct {
+	mu           sync.Mutex
+	state        healthState
+	consecutive  int  // consecutive storage-class errors
+	probing      bool // a half-open probe is in flight
+	openedAt     time.Time
+	degradeAfter int
+	breakAfter   int
+	cooldown     time.Duration
+
+	// now is stubbed in tests to drive the cooldown clock.
+	now func() time.Time
+
+	// Counters surfaced through /varz and /metricsz.
+	opened    *atomic.Int64 // times the circuit opened
+	shed      *atomic.Int64 // requests shed with 503
+	stateVarz *atomic.Int64 // current state as an integer gauge
+}
+
+func newBreaker(degradeAfter, breakAfter int, cooldown time.Duration,
+	opened, shed, stateVarz *atomic.Int64) *breaker {
+	return &breaker{
+		degradeAfter: degradeAfter,
+		breakAfter:   breakAfter,
+		cooldown:     cooldown,
+		now:          time.Now,
+		opened:       opened,
+		shed:         shed,
+		stateVarz:    stateVarz,
+	}
+}
+
+// currentState reports the state for observability endpoints.
+func (b *breaker) currentState() healthState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setStateLocked transitions the state and mirrors it into the gauge.
+func (b *breaker) setStateLocked(st healthState) {
+	b.state = st
+	b.stateVarz.Store(int64(st))
+}
+
+// allow decides whether a query may run. The second return is true when
+// the request was admitted; the first is true when it was admitted as the
+// half-open probe, whose outcome alone drives the open breaker's next
+// transition. A false admit means the caller must shed with 503.
+func (b *breaker) allow() (probe, admitted bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateOpen {
+		return false, true
+	}
+	if !b.probing && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.probing = true
+		return true, true
+	}
+	b.shed.Add(1)
+	return false, false
+}
+
+// recordSuccess notes a query that completed without error: the breaker
+// closes fully (a half-open probe succeeding proves storage recovered).
+func (b *breaker) recordSuccess(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if probe {
+		b.probing = false
+	}
+	if b.state != stateHealthy && (b.state != stateOpen || probe) {
+		// An open breaker only closes through its probe; degraded heals
+		// on any success.
+		b.setStateLocked(stateHealthy)
+	}
+}
+
+// recordStorageError notes a storage-class failure and advances the state
+// machine; a failed probe re-opens the breaker for a fresh cooldown.
+func (b *breaker) recordStorageError(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if probe {
+		b.probing = false
+		b.openedAt = b.now()
+		return // stays open
+	}
+	switch {
+	case b.consecutive >= b.breakAfter:
+		if b.state != stateOpen {
+			b.opened.Add(1)
+			b.openedAt = b.now()
+		}
+		b.setStateLocked(stateOpen)
+	case b.consecutive >= b.degradeAfter:
+		if b.state == stateHealthy {
+			b.setStateLocked(stateDegraded)
+		}
+	}
+}
+
+// recordNeutral notes an outcome that says nothing about storage (client
+// errors, cancellations). A neutral probe releases the probe slot without
+// closing or re-arming the breaker, so the next request probes again.
+func (b *breaker) recordNeutral(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}

@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +45,20 @@ type Config struct {
 	CacheSize int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// DegradeAfter is the count of consecutive storage-class errors that
+	// moves health from healthy to degraded (default 3).
+	DegradeAfter int
+	// BreakAfter is the count of consecutive storage-class errors that
+	// opens the circuit: queries are shed with 503 + Retry-After until a
+	// half-open probe succeeds (default 5).
+	BreakAfter int
+	// BreakerCooldown is how long the breaker stays open before it lets
+	// one probe query through (default 1s).
+	BreakerCooldown time.Duration
+	// EnableChaos exposes POST /v1/chaos, which installs a fault-injection
+	// campaign on the database's storage layer (body {"spec": "..."},
+	// empty spec clears). Off by default: never enable in production.
+	EnableChaos bool
 }
 
 // withDefaults fills the zero fields.
@@ -72,6 +87,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
+	}
+	if c.BreakAfter <= 0 {
+		c.BreakAfter = 5
+	}
+	if c.BreakAfter < c.DegradeAfter {
+		c.BreakAfter = c.DegradeAfter
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 	return c
 }
 
@@ -79,11 +106,12 @@ func (c Config) withDefaults() Config {
 // the Handler into an http.Server (or use Start/Shutdown), and share one
 // Server per DB — the admission limiter and cache are per-Server.
 type Server struct {
-	db    *dsks.DB
-	cfg   Config
-	lim   *limiter
-	cache *resultCache
-	mux   *http.ServeMux
+	db     *dsks.DB
+	cfg    Config
+	lim    *limiter
+	cache  *resultCache
+	health *breaker
+	mux    *http.ServeMux
 
 	started time.Time
 	http    *http.Server
@@ -117,6 +145,10 @@ func New(db *dsks.DB, cfg Config) *Server {
 	}
 	s.cache = newResultCache(cfg.CacheSize, s.cacheHits, s.cacheMisses,
 		reg.Counter("server_cache_stale_evictions_total"))
+	s.health = newBreaker(cfg.DegradeAfter, cfg.BreakAfter, cfg.BreakerCooldown,
+		reg.Counter("server_breaker_opened_total"),
+		reg.Counter("server_breaker_shed_total"),
+		reg.Counter("server_health_state"))
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -135,6 +167,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/distance", s.queryEndpoint("distance", s.runDistance))
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
 	s.mux.HandleFunc("/v1/remove", s.handleRemove)
+	if s.cfg.EnableChaos {
+		s.mux.HandleFunc("/v1/chaos", s.handleChaos)
+	}
 }
 
 // Handler returns the server's HTTP handler: the route mux wrapped in the
@@ -196,13 +231,59 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.http.Shutdown(ctx)
 }
 
-// handleHealthz reports liveness.
+// handleHealthz reports liveness and the degradation state: 200 while the
+// server is healthy or degraded (it is still serving), 503 while the
+// circuit is open (queries are being shed).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+	st := s.health.currentState()
+	status := http.StatusOK
+	if st == stateOpen {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown.Seconds()+0.5)))
+	}
+	writeJSON(w, status, map[string]any{
+		"status":  st.String(),
 		"uptime":  time.Since(s.started).String(),
 		"version": s.db.Version(),
 	})
+}
+
+// chaosRequest is the /v1/chaos body.
+type chaosRequest struct {
+	Spec string `json:"spec"`
+}
+
+// handleChaos serves POST /v1/chaos (only wired when Config.EnableChaos):
+// a non-empty spec installs a deterministic fault-injection campaign on
+// the database's storage layer, an empty spec clears it. The breaker is
+// left to discover the faults on its own — that is the point.
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req chaosRequest
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	if req.Spec == "" {
+		s.db.ClearFaults()
+		writeJSON(w, http.StatusOK, map[string]any{"chaos": "cleared"})
+		return
+	}
+	if err := s.db.SetFaultSpec(req.Spec); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Cool the buffer pools so the campaign bites immediately: faults
+	// live on the page stores, and a fully warm pool would never reach
+	// them. Chaos runs give up the paper's I/O accounting anyway.
+	if err := s.db.ResetIO(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("cooling buffer pools: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"chaos": req.Spec})
 }
 
 // varzPayload is the /varz document: the serving state plus the full
@@ -210,6 +291,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type varzPayload struct {
 	Uptime     string               `json:"uptime"`
 	DBVersion  uint64               `json:"dbVersion"`
+	Health     string               `json:"health"`
 	Inflight   int                  `json:"inflight"`
 	Queued     int64                `json:"queued"`
 	CacheLen   int                  `json:"cacheLen"`
@@ -224,6 +306,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, varzPayload{
 		Uptime:      time.Since(s.started).String(),
 		DBVersion:   s.db.Version(),
+		Health:      s.health.currentState().String(),
 		Inflight:    s.lim.inflight(),
 		Queued:      s.lim.waiting(),
 		CacheLen:    s.cache.len(),

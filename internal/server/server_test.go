@@ -306,7 +306,7 @@ func TestObservabilityEndpoints(t *testing.T) {
 	var health struct {
 		Status string `json:"status"`
 	}
-	if rec := get(t, h, "/healthz", &health); rec.Code != http.StatusOK || health.Status != "ok" {
+	if rec := get(t, h, "/healthz", &health); rec.Code != http.StatusOK || health.Status != "healthy" {
 		t.Fatalf("healthz: %d %q", rec.Code, health.Status)
 	}
 

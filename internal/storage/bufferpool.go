@@ -3,9 +3,27 @@ package storage
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
+)
+
+// ErrCorruptPage reports a page whose bytes failed checksum verification
+// on a buffer miss: the store returned data that differs from what the
+// pool last wrote back (a bit flip, a torn write, or any other silent
+// media corruption). The page's data is never returned to the caller.
+var ErrCorruptPage = errors.New("storage: corrupt page (checksum mismatch)")
+
+// castagnoli is the CRC32C polynomial table used for page checksums —
+// the same polynomial storage engines use for on-disk block checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Default retry policy for transient read faults.
+const (
+	defaultRetryMax  = 3
+	defaultRetryBase = 200 * time.Microsecond
 )
 
 // IOCounters is a point-in-time copy of a pool's I/O counters.
@@ -13,23 +31,35 @@ type IOCounters struct {
 	LogicalRead int64 // page requests
 	DiskRead    int64 // buffer misses (the paper's "# disk accesses")
 	DiskWrite   int64 // page write-backs
+	ReadRetries int64 // transient read faults retried
+	CorruptPage int64 // checksum failures detected
 }
 
 // IOStats counts the logical and physical page accesses performed through a
 // buffer pool. Reads that hit the buffer are logical only; buffer misses
-// count as disk accesses — the metric the paper reports.
+// count as disk accesses — the metric the paper reports. ReadRetries and
+// CorruptPages track the robustness machinery: transient faults absorbed
+// by the retry loop and checksum failures detected on miss.
 type IOStats struct {
-	mu          sync.Mutex
-	LogicalRead int64
-	DiskRead    int64
-	DiskWrite   int64
+	mu           sync.Mutex
+	LogicalRead  int64
+	DiskRead     int64
+	DiskWrite    int64
+	ReadRetries  int64
+	CorruptPages int64
 }
 
 // Snapshot returns a copy of the counters.
 func (s *IOStats) Snapshot() IOCounters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return IOCounters{LogicalRead: s.LogicalRead, DiskRead: s.DiskRead, DiskWrite: s.DiskWrite}
+	return IOCounters{
+		LogicalRead: s.LogicalRead,
+		DiskRead:    s.DiskRead,
+		DiskWrite:   s.DiskWrite,
+		ReadRetries: s.ReadRetries,
+		CorruptPage: s.CorruptPages,
+	}
 }
 
 // Reset zeroes all counters.
@@ -37,6 +67,7 @@ func (s *IOStats) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.LogicalRead, s.DiskRead, s.DiskWrite = 0, 0, 0
+	s.ReadRetries, s.CorruptPages = 0, 0
 }
 
 func (s *IOStats) addRead(miss bool) {
@@ -54,12 +85,41 @@ func (s *IOStats) addWrite() {
 	s.mu.Unlock()
 }
 
+func (s *IOStats) addRetry() {
+	s.mu.Lock()
+	s.ReadRetries++
+	s.mu.Unlock()
+}
+
+func (s *IOStats) addCorrupt() {
+	s.mu.Lock()
+	s.CorruptPages++
+	s.mu.Unlock()
+}
+
+// transientFault reports whether err marks itself retryable — the
+// contract fault.Error (internal/fault) satisfies through its
+// TransientFault method. The anonymous interface keeps storage free of
+// a fault-package dependency.
+func transientFault(err error) bool {
+	var t interface{ TransientFault() bool }
+	return errors.As(err, &t) && t.TransientFault()
+}
+
 // BufferPool is an LRU page cache in front of a PageFile. The paper uses an
 // LRU buffer sized at 2% of the network dataset; use FramesForBudget to
 // derive the frame count. BufferPool is safe for concurrent use, but a
 // *Page returned by Get must not be used after subsequent pool calls from
 // the same goroutine chain (frames are recycled on eviction). Callers that
 // mutate a page must call MarkDirty before releasing it.
+//
+// With checksums enabled (SetChecksums) the pool stamps a CRC32C of every
+// page it writes back and verifies it when the page is next read on a
+// miss; a mismatch fails the read with an error matching ErrCorruptPage
+// and the corrupt bytes are never admitted to the buffer. The sums are
+// kept out-of-band (a side table, not page bytes), so the page layout and
+// the paper's byte-exact accounting are unchanged; verification is off by
+// default.
 type BufferPool struct {
 	mu        sync.Mutex
 	file      File
@@ -68,6 +128,16 @@ type BufferPool struct {
 	capacity  int
 	stats     *IOStats
 	ioLatency time.Duration
+
+	// retryMax/retryBase bound the exponential-backoff retry of
+	// transient read faults on the miss path.
+	retryMax  int
+	retryBase time.Duration
+
+	// sumMu guards sums, the out-of-band CRC32C per page written back.
+	// nil sums = checksums disabled. Taken after mu when both are held.
+	sumMu sync.Mutex
+	sums  map[PageID]uint32
 }
 
 type frame struct {
@@ -85,11 +155,13 @@ func NewBufferPool(file File, capacity int, stats *IOStats) *BufferPool {
 		stats = &IOStats{}
 	}
 	return &BufferPool{
-		file:     file,
-		frames:   make(map[PageID]*list.Element, capacity),
-		lru:      list.New(),
-		capacity: capacity,
-		stats:    stats,
+		file:      file,
+		frames:    make(map[PageID]*list.Element, capacity),
+		lru:       list.New(),
+		capacity:  capacity,
+		stats:     stats,
+		retryMax:  defaultRetryMax,
+		retryBase: defaultRetryBase,
 	}
 }
 
@@ -111,6 +183,75 @@ func (b *BufferPool) SetIOLatency(d time.Duration) {
 	b.mu.Unlock()
 }
 
+// SetChecksums enables (or disables) per-page CRC32C checksums: stamped
+// on every write-back from now on, verified on every buffer miss for
+// pages that have a stamp. Disabling drops all stamps.
+func (b *BufferPool) SetChecksums(on bool) {
+	b.sumMu.Lock()
+	if on && b.sums == nil {
+		b.sums = make(map[PageID]uint32)
+	} else if !on {
+		b.sums = nil
+	}
+	b.sumMu.Unlock()
+}
+
+// ChecksumsEnabled reports whether the pool verifies page checksums.
+func (b *BufferPool) ChecksumsEnabled() bool {
+	b.sumMu.Lock()
+	defer b.sumMu.Unlock()
+	return b.sums != nil
+}
+
+// SetRetry configures the transient-read-fault retry policy: at most max
+// retries, sleeping base, 2*base, 4*base, ... between attempts. max 0
+// disables retries; base 0 keeps the default backoff.
+func (b *BufferPool) SetRetry(max int, base time.Duration) {
+	b.mu.Lock()
+	if max < 0 {
+		max = 0
+	}
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	b.retryMax, b.retryBase = max, base
+	b.mu.Unlock()
+}
+
+// stamp records the CRC32C of a page's bytes at write-back time.
+func (b *BufferPool) stamp(id PageID, data []byte) {
+	b.sumMu.Lock()
+	if b.sums != nil {
+		b.sums[id] = crc32.Checksum(data, castagnoli)
+	}
+	b.sumMu.Unlock()
+}
+
+// verify checks freshly-read page bytes against the stamp from the last
+// write-back. A page read for the first time since checksums were enabled
+// has no stamp yet; its bytes are adopted as the baseline (stamped now),
+// so any later divergence is caught without a full-file scan at enable
+// time.
+func (b *BufferPool) verify(id PageID, data []byte) error {
+	b.sumMu.Lock()
+	defer b.sumMu.Unlock()
+	if b.sums == nil {
+		return nil
+	}
+	got := crc32.Checksum(data, castagnoli)
+	want, ok := b.sums[id]
+	if !ok {
+		b.sums[id] = got
+		return nil
+	}
+	if got != want {
+		b.stats.addCorrupt()
+		return fmt.Errorf("storage: page %d checksum mismatch (stored %08x, read %08x): %w",
+			id, want, got, ErrCorruptPage)
+	}
+	return nil
+}
+
 // SetCapacity resizes the pool (minimum 1 frame), evicting LRU frames as
 // needed. Builds run with a generous capacity, then shrink to the paper's
 // 2%-of-dataset budget before queries.
@@ -125,6 +266,7 @@ func (b *BufferPool) SetCapacity(n int) error {
 		el := b.lru.Back()
 		victim := el.Value.(*frame)
 		if victim.dirty {
+			b.stamp(victim.page.id, victim.page.data[:])
 			//lint:ignore lockio resize is a maintenance operation between build and query phases, not a query path
 			if err := b.file.write(victim.page.id, victim.page.data[:]); err != nil {
 				return err
@@ -151,9 +293,13 @@ func (b *BufferPool) Stats() *IOStats { return b.stats }
 func (b *BufferPool) File() File { return b.file }
 
 // Allocate reserves a new page on the backing file and returns it pinned in
-// the buffer (counted as neither read nor write until flushed).
+// the buffer (counted as neither read nor write until flushed). A failure
+// to extend the backing medium is the caller's error, not a deferred one.
 func (b *BufferPool) Allocate() (*Page, error) {
-	id := b.file.Allocate()
+	id, err := b.file.Allocate()
+	if err != nil {
+		return nil, err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err := b.evictForSpaceLocked(); err != nil {
@@ -177,6 +323,11 @@ func (b *BufferPool) Get(id PageID) (*Page, error) {
 // context is canceled or its deadline expires mid-wait. The returned error
 // wraps ctx.Err(), so errors.Is(err, context.Canceled) and
 // errors.Is(err, context.DeadlineExceeded) hold.
+//
+// Transient read faults (errors exposing TransientFault() == true, as the
+// fault injector's do) are retried with bounded exponential backoff; the
+// retries are counted in the pool's IOStats. Permanent faults, corruption
+// and exhausted retries fail the call.
 func (b *BufferPool) GetCtx(ctx context.Context, id PageID) (*Page, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("storage: page %d read aborted: %w", id, err)
@@ -190,7 +341,7 @@ func (b *BufferPool) GetCtx(ctx context.Context, id PageID) (*Page, error) {
 		return p, nil
 	}
 	b.stats.addRead(true)
-	lat := b.ioLatency
+	lat, retryMax, backoff := b.ioLatency, b.retryMax, b.retryBase
 	b.mu.Unlock()
 
 	// Miss path: the injected latency sleep and the physical read happen
@@ -205,8 +356,22 @@ func (b *BufferPool) GetCtx(ctx context.Context, id PageID) (*Page, error) {
 	}
 	fr := &frame{}
 	fr.page.id = id
-	if err := b.file.read(id, fr.page.data[:]); err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		err := b.file.read(id, fr.page.data[:])
+		if err == nil {
+			if err := b.verify(id, fr.page.data[:]); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if attempt >= retryMax || !transientFault(err) {
+			return nil, err
+		}
+		b.stats.addRetry()
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return nil, fmt.Errorf("storage: page %d retry aborted after transient fault (%v): %w", id, err, serr)
+		}
+		backoff *= 2
 	}
 
 	b.mu.Lock()
@@ -258,6 +423,7 @@ func (b *BufferPool) Flush() error {
 	for el := b.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
+			b.stamp(fr.page.id, fr.page.data[:])
 			//lint:ignore lockio the latch must pin every dirty frame until its bytes hit the file, or MarkDirty could race the write-back
 			if err := b.file.write(fr.page.id, fr.page.data[:]); err != nil {
 				return err
@@ -295,6 +461,7 @@ func (b *BufferPool) evictForSpaceLocked() error {
 		}
 		victim := el.Value.(*frame)
 		if victim.dirty {
+			b.stamp(victim.page.id, victim.page.data[:])
 			//lint:ignore lockio write-back of a dirty victim must complete before the page leaves the frame map
 			if err := b.file.write(victim.page.id, victim.page.data[:]); err != nil {
 				return err

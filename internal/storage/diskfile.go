@@ -14,7 +14,7 @@ type DiskPageFile struct {
 	mu    sync.Mutex
 	f     *os.File
 	pages int
-	fault FaultHook
+	inj   Injector
 	// scratch page used to extend the file on Allocate.
 	zero [PageSize]byte
 }
@@ -43,23 +43,34 @@ func (d *DiskPageFile) Close() error {
 	return d.f.Close()
 }
 
-// SetFault installs (or clears) the failure-injection hook.
+// SetFault installs (or clears, with nil) the low-level failure hook.
 func (d *DiskPageFile) SetFault(hook FaultHook) {
+	if hook == nil {
+		d.SetInjector(nil)
+		return
+	}
+	d.SetInjector(hookInjector(hook))
+}
+
+// SetInjector installs (or clears, with nil) the fault injector.
+func (d *DiskPageFile) SetInjector(in Injector) {
 	d.mu.Lock()
-	d.fault = hook
+	d.inj = in
 	d.mu.Unlock()
 }
 
-// Allocate implements File.
-func (d *DiskPageFile) Allocate() PageID {
+// Allocate implements File: the file is extended with a zero page, and a
+// failure to extend it (a full disk, most likely) surfaces here rather
+// than on the page's first use.
+func (d *DiskPageFile) Allocate() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := PageID(d.pages)
-	// Extend the file with a zero page; allocation failures surface on
-	// the first read/write of the page.
-	_, _ = d.f.WriteAt(d.zero[:], int64(id)*PageSize)
+	if _, err := d.f.WriteAt(d.zero[:], int64(id)*PageSize); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: extending page file to page %d: %w", id, err)
+	}
 	d.pages++
-	return id
+	return id, nil
 }
 
 // NumPages implements File.
@@ -74,32 +85,39 @@ func (d *DiskPageFile) SizeBytes() int64 { return int64(d.NumPages()) * PageSize
 
 func (d *DiskPageFile) read(id PageID, dst []byte) error {
 	d.mu.Lock()
-	fault, pages := d.fault, d.pages
+	inj, pages := d.inj, d.pages
 	d.mu.Unlock()
-	if fault != nil {
-		if err := fault("read", id); err != nil {
+	if inj != nil {
+		if err := inj.BeforeOp("read", uint32(id)); err != nil {
 			return err
 		}
 	}
 	if id == InvalidPageID || int(id) >= pages {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
-	_, err := d.f.ReadAt(dst[:PageSize], int64(id)*PageSize)
-	return err
+	if _, err := d.f.ReadAt(dst[:PageSize], int64(id)*PageSize); err != nil {
+		return err
+	}
+	if inj != nil {
+		inj.CorruptRead(uint32(id), dst[:PageSize])
+	}
+	return nil
 }
 
 func (d *DiskPageFile) write(id PageID, src []byte) error {
 	d.mu.Lock()
-	fault, pages := d.fault, d.pages
+	inj, pages := d.inj, d.pages
 	d.mu.Unlock()
-	if fault != nil {
-		if err := fault("write", id); err != nil {
+	limit := PageSize
+	if inj != nil {
+		if err := inj.BeforeOp("write", uint32(id)); err != nil {
 			return err
 		}
+		limit = inj.WriteLimit(uint32(id), PageSize)
 	}
 	if id == InvalidPageID || int(id) >= pages {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
-	_, err := d.f.WriteAt(src[:PageSize], int64(id)*PageSize)
+	_, err := d.f.WriteAt(src[:limit], int64(id)*PageSize)
 	return err
 }

@@ -10,16 +10,49 @@ func float64bits(v float64) uint64     { return math.Float64bits(v) }
 func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
 
 // FaultHook inspects a page operation ("read" or "write") before it
-// executes; a non-nil return fails the operation. Failure-injection tests
-// use it to verify that I/O errors propagate cleanly through the index
-// structures and search algorithms.
+// executes; a non-nil return fails the operation. It is the low-level
+// escape hatch for tests with bespoke failure logic; structured,
+// deterministic campaigns use an Injector (internal/fault) installed
+// with SetInjector instead.
 type FaultHook func(op string, id PageID) error
+
+// Injector intercepts page I/O on a File. It is implemented by
+// fault.Injector (internal/fault); the interface lives here, with plain
+// string/uint32 parameters, so the storage layer stays free of the fault
+// package and the fault package free of storage.
+//
+// Implementations must be safe for concurrent use.
+type Injector interface {
+	// BeforeOp is consulted before the operation; a non-nil return
+	// aborts it with that error.
+	BeforeOp(op string, page uint32) error
+	// CorruptRead may mutate buf — the bytes a successful read is about
+	// to return — and reports whether it did (silent media corruption).
+	CorruptRead(page uint32, buf []byte) bool
+	// WriteLimit reports how many of the size bytes of a page write
+	// should reach the medium (size = full write, less = a torn write
+	// that still reports success).
+	WriteLimit(page uint32, size int) int
+}
+
+// hookInjector adapts the legacy FaultHook to the Injector interface:
+// it can fail operations but never corrupts or tears.
+type hookInjector FaultHook
+
+func (h hookInjector) BeforeOp(op string, page uint32) error { return FaultHook(h)(op, PageID(page)) }
+func (h hookInjector) CorruptRead(uint32, []byte) bool       { return false }
+func (h hookInjector) WriteLimit(_ uint32, size int) int     { return size }
 
 // File is the page store a BufferPool manages: the in-memory simulation
 // (PageFile) or a real on-disk file (DiskPageFile).
 type File interface {
-	// Allocate reserves a fresh zeroed page and returns its ID.
-	Allocate() PageID
+	// Allocate reserves a fresh zeroed page and returns its ID. A
+	// failure to extend the backing medium surfaces here, not on the
+	// page's first use.
+	Allocate() (PageID, error)
+	// SetInjector installs (or clears, with nil) a fault injector
+	// intercepting the store's page I/O.
+	SetInjector(Injector)
 	// NumPages returns the number of allocated pages.
 	NumPages() int
 	// SizeBytes returns the store's total size in bytes.
@@ -34,7 +67,7 @@ type File interface {
 type PageFile struct {
 	mu    sync.RWMutex
 	pages [][]byte
-	fault FaultHook
+	inj   Injector
 }
 
 // NewPageFile returns an empty page file.
@@ -44,12 +77,12 @@ func NewPageFile() *PageFile {
 }
 
 // Allocate reserves a fresh zeroed page and returns its ID.
-func (f *PageFile) Allocate() PageID {
+func (f *PageFile) Allocate() (PageID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	id := PageID(len(f.pages))
 	f.pages = append(f.pages, make([]byte, PageSize))
-	return id
+	return id, nil
 }
 
 // NumPages returns the number of allocated pages (excluding the reserved
@@ -63,10 +96,19 @@ func (f *PageFile) NumPages() int {
 // SizeBytes returns the total size of the file in bytes.
 func (f *PageFile) SizeBytes() int64 { return int64(f.NumPages()) * PageSize }
 
-// SetFault installs (or clears, with nil) the failure-injection hook.
+// SetFault installs (or clears, with nil) the low-level failure hook.
 func (f *PageFile) SetFault(hook FaultHook) {
+	if hook == nil {
+		f.SetInjector(nil)
+		return
+	}
+	f.SetInjector(hookInjector(hook))
+}
+
+// SetInjector installs (or clears, with nil) the fault injector.
+func (f *PageFile) SetInjector(in Injector) {
 	f.mu.Lock()
-	f.fault = hook
+	f.inj = in
 	f.mu.Unlock()
 }
 
@@ -74,8 +116,8 @@ func (f *PageFile) SetFault(hook FaultHook) {
 func (f *PageFile) read(id PageID, dst []byte) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	if f.fault != nil {
-		if err := f.fault("read", id); err != nil {
+	if f.inj != nil {
+		if err := f.inj.BeforeOp("read", uint32(id)); err != nil {
 			return err
 		}
 	}
@@ -83,6 +125,9 @@ func (f *PageFile) read(id PageID, dst []byte) error {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
 	copy(dst, f.pages[id])
+	if f.inj != nil {
+		f.inj.CorruptRead(uint32(id), dst[:PageSize])
+	}
 	return nil
 }
 
@@ -90,14 +135,16 @@ func (f *PageFile) read(id PageID, dst []byte) error {
 func (f *PageFile) write(id PageID, src []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.fault != nil {
-		if err := f.fault("write", id); err != nil {
+	limit := PageSize
+	if f.inj != nil {
+		if err := f.inj.BeforeOp("write", uint32(id)); err != nil {
 			return err
 		}
+		limit = f.inj.WriteLimit(uint32(id), PageSize)
 	}
 	if id == InvalidPageID || int(id) >= len(f.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
-	copy(f.pages[id], src)
+	copy(f.pages[id], src[:limit])
 	return nil
 }

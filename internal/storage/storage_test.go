@@ -50,8 +50,11 @@ func TestPageFileAllocateReadWrite(t *testing.T) {
 	if f.NumPages() != 0 {
 		t.Fatalf("fresh file has %d pages", f.NumPages())
 	}
-	a := f.Allocate()
-	b := f.Allocate()
+	a, errA := f.Allocate()
+	b, errB := f.Allocate()
+	if errA != nil || errB != nil {
+		t.Fatalf("Allocate errors: %v %v", errA, errB)
+	}
 	if a == InvalidPageID || b == InvalidPageID || a == b {
 		t.Fatalf("bad ids %d %d", a, b)
 	}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,6 +20,14 @@ import (
 // are bulk-built (as in the paper), so rebuild-on-open is both simple and
 // fast; note that object IDs are reassigned densely on load (tombstoned
 // objects are dropped from the snapshot).
+//
+// Snapshots are crash-safe (format 2): SaveTo stages everything in a
+// temporary directory, fsyncs each file, records a manifest with per-file
+// CRC32C checksums, and swaps the staged directory into place with atomic
+// renames. A crash at any point leaves either the previous snapshot or a
+// complete new one — never a torn mixture — and OpenPath verifies the
+// manifest before trusting the files. Format-1 snapshots (no manifest)
+// are still readable.
 
 // dbMeta is the persisted configuration.
 type dbMeta struct {
@@ -28,56 +38,292 @@ type dbMeta struct {
 	VocabSize      int       `json:"vocabSize"`
 }
 
-const dbMetaFormat = 1
+const (
+	// dbMetaFormat is the snapshot format SaveTo writes.
+	dbMetaFormat = 2
+	// dbMetaFormatV1 is the legacy layout: same files, no manifest, no
+	// durability guarantees. OpenPath still reads it.
+	dbMetaFormatV1 = 1
+)
+
+// snapshotCRC is the CRC32C polynomial used for snapshot file checksums.
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// manifestEntry records one snapshot file's expected size and checksum.
+type manifestEntry struct {
+	Size   int64  `json:"size"`
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// manifest is the integrity record of a format-2 snapshot, written last
+// during SaveTo and verified first during OpenPath.
+type manifest struct {
+	Format int                      `json:"format"`
+	Files  map[string]manifestEntry `json:"files"`
+}
+
+// snapshotFiles are the files a manifest must cover.
+var snapshotFiles = []string{"graph", "objects", "meta.json"}
+
+// saveHook, when non-nil, is consulted at each named commit point of
+// SaveTo; a non-nil return aborts the save at exactly that point,
+// simulating a crash (staged state is deliberately left behind, as a real
+// crash would leave it). Test-only; production saves never set it.
+var saveHook func(point string) error
+
+// saveHookPoints enumerates SaveTo's crash points in execution order, for
+// tests that crash a save at every one of them.
+var saveHookPoints = []string{
+	"begin",
+	"write-graph",
+	"write-objects",
+	"write-meta",
+	"write-manifest",
+	"sync-staging",
+	"rename-prev",
+	"rename-new",
+	"sync-parent",
+	"cleanup-prev",
+}
+
+// errSimulatedCrash distinguishes a saveHook-triggered abort (leave the
+// staged wreckage for the test to inspect) from an ordinary I/O failure
+// (clean it up).
+type errSimulatedCrash struct{ err error }
+
+func (e *errSimulatedCrash) Error() string { return e.err.Error() }
+func (e *errSimulatedCrash) Unwrap() error { return e.err }
+
+func fireSaveHook(point string) error {
+	if saveHook == nil {
+		return nil
+	}
+	if err := saveHook(point); err != nil {
+		return &errSimulatedCrash{err: err}
+	}
+	return nil
+}
+
+// countingWriter tracks how many bytes passed through it.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// writeSnapshotFile creates path, streams write's output through a CRC32C
+// hasher, then flushes, fsyncs and closes the file — checking every one of
+// those returns, because a snapshot whose bytes never reached the medium
+// is worse than a failed save.
+func writeSnapshotFile(path string, write func(io.Writer) error) (manifestEntry, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return manifestEntry{}, err
+	}
+	h := crc32.New(snapshotCRC)
+	cw := &countingWriter{}
+	bw := bufio.NewWriter(io.MultiWriter(f, h, cw))
+	if err := write(bw); err != nil {
+		f.Close()
+		return manifestEntry{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return manifestEntry{}, fmt.Errorf("dsks: flushing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return manifestEntry{}, fmt.Errorf("dsks: syncing %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		return manifestEntry{}, fmt.Errorf("dsks: closing %s: %w", filepath.Base(path), err)
+	}
+	return manifestEntry{Size: cw.n, CRC32C: h.Sum32()}, nil
+}
+
+// syncDir fsyncs a directory so the entries created (or renamed) inside
+// it are durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("dsks: syncing directory %s: %w", path, serr)
+	}
+	return cerr
+}
 
 // SaveTo snapshots the database into dir (created if needed): the road
-// network, every live object, and the options required to rebuild the
-// same index structure on OpenPath.
+// network, every live object, the options required to rebuild the same
+// index structure on OpenPath, and a manifest with per-file checksums.
+//
+// The snapshot is staged in a temporary sibling directory and swapped in
+// with atomic renames, each stage fsynced, so a crash mid-save leaves the
+// previous snapshot intact (briefly under dir+".prev" during the swap
+// window; OpenPath falls back to it automatically). SaveTo takes the
+// database's read latch, so the snapshot is consistent with respect to
+// concurrent Insert and Remove.
 func (db *DB) SaveTo(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return err
 	}
-	gf, err := os.Create(filepath.Join(dir, "graph"))
+	if err := fireSaveHook("begin"); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(parent, ".dsks-save-*")
 	if err != nil {
 		return err
 	}
-	defer gf.Close()
-	if err := graph.Write(gf, db.sys.DS.Graph); err != nil {
-		return fmt.Errorf("dsks: saving graph: %w", err)
+	committed := false
+	defer func() {
+		if !committed {
+			os.RemoveAll(tmp)
+		}
+	}()
+
+	// fail routes every error return through one place: a simulated crash
+	// (saveHook firing) leaves the staged directory behind, as a real
+	// crash would, while ordinary failures let the defer clean it up.
+	fail := func(e error) error {
+		var crash *errSimulatedCrash
+		if asCrash(e, &crash) {
+			committed = true
+		}
+		return e
 	}
-	of, err := os.Create(filepath.Join(dir, "objects"))
+
+	files := make(map[string]manifestEntry, len(snapshotFiles))
+
+	if err := fireSaveHook("write-graph"); err != nil {
+		return fail(err)
+	}
+	ent, err := writeSnapshotFile(filepath.Join(tmp, "graph"), func(w io.Writer) error {
+		if err := graph.Write(w, db.sys.DS.Graph); err != nil {
+			return fmt.Errorf("dsks: saving graph: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	defer of.Close()
-	if err := dataset.WriteObjects(of, db.sys.DS.Objects, db.sys.DS.VocabSize); err != nil {
-		return fmt.Errorf("dsks: saving objects: %w", err)
+	files["graph"] = ent
+
+	if err := fireSaveHook("write-objects"); err != nil {
+		return fail(err)
+	}
+	ent, err = writeSnapshotFile(filepath.Join(tmp, "objects"), func(w io.Writer) error {
+		if err := dataset.WriteObjects(w, db.sys.DS.Objects, db.sys.DS.VocabSize); err != nil {
+			return fmt.Errorf("dsks: saving objects: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	files["objects"] = ent
+
+	if err := fireSaveHook("write-meta"); err != nil {
+		return fail(err)
 	}
 	meta := dbMeta{
 		Format:    dbMetaFormat,
 		Index:     db.kind,
 		VocabSize: db.sys.DS.VocabSize,
 	}
-	mf, err := os.Create(filepath.Join(dir, "meta.json"))
+	ent, err = writeSnapshotFile(filepath.Join(tmp, "meta.json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(meta)
+	})
 	if err != nil {
+		return fail(err)
+	}
+	files["meta.json"] = ent
+
+	if err := fireSaveHook("write-manifest"); err != nil {
+		return fail(err)
+	}
+	if _, err := writeSnapshotFile(filepath.Join(tmp, "manifest.json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(manifest{Format: dbMetaFormat, Files: files})
+	}); err != nil {
+		return fail(err)
+	}
+
+	if err := fireSaveHook("sync-staging"); err != nil {
+		return fail(err)
+	}
+	if err := syncDir(tmp); err != nil {
+		return fail(err)
+	}
+
+	// Swap: move any previous snapshot aside, move the staged one in, make
+	// the renames durable, then drop the old snapshot. A crash between the
+	// two renames leaves only dir+".prev", which OpenPath falls back to.
+	prev := dir + ".prev"
+	if err := fireSaveHook("rename-prev"); err != nil {
+		return fail(err)
+	}
+	if _, serr := os.Stat(dir); serr == nil {
+		os.RemoveAll(prev) // leftover from an earlier crashed save
+		if err := os.Rename(dir, prev); err != nil {
+			return fail(err)
+		}
+	}
+	if err := fireSaveHook("rename-new"); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fail(err)
+	}
+	committed = true
+	if err := fireSaveHook("sync-parent"); err != nil {
 		return err
 	}
-	defer mf.Close()
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	return enc.Encode(meta)
+	if err := syncDir(parent); err != nil {
+		return err
+	}
+	if err := fireSaveHook("cleanup-prev"); err != nil {
+		return err
+	}
+	return os.RemoveAll(prev)
+}
+
+// asCrash reports whether e (or anything it wraps) is a simulated crash.
+func asCrash(e error, out **errSimulatedCrash) bool {
+	for e != nil {
+		if c, ok := e.(*errSimulatedCrash); ok {
+			*out = c
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
 }
 
 // SaveVocabulary writes a Vocabulary next to a saved database (SaveTo does
 // not persist it — the index stores TermIDs only) so that keyword strings
-// resolve identically after OpenPath.
+// resolve identically after OpenPath. The write is fsynced and its Close
+// checked, like the snapshot files (the vocabulary is written after the
+// snapshot swap, so it is not covered by the manifest).
 func SaveVocabulary(dir string, v *Vocabulary) error {
-	f, err := os.Create(filepath.Join(dir, "vocabulary"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return v.Write(f)
+	_, err := writeSnapshotFile(filepath.Join(dir, "vocabulary"), func(w io.Writer) error {
+		return v.Write(w)
+	})
+	return err
 }
 
 // LoadVocabulary reads a vocabulary saved with SaveVocabulary.
@@ -90,39 +336,119 @@ func LoadVocabulary(dir string) (*Vocabulary, error) {
 	return obj.ReadVocabulary(bufio.NewReader(f))
 }
 
+// verifySnapshotFile re-reads path and checks its size and CRC32C against
+// the manifest entry.
+func verifySnapshotFile(path string, want manifestEntry) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("%w: missing snapshot file %s: %w", ErrBadSnapshot, filepath.Base(path), err)
+	}
+	defer f.Close()
+	h := crc32.New(snapshotCRC)
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return fmt.Errorf("%w: reading snapshot file %s: %w", ErrBadSnapshot, filepath.Base(path), err)
+	}
+	if n != want.Size {
+		return fmt.Errorf("%w: snapshot file %s is %d bytes, manifest says %d",
+			ErrBadSnapshot, filepath.Base(path), n, want.Size)
+	}
+	if got := h.Sum32(); got != want.CRC32C {
+		return fmt.Errorf("%w: snapshot file %s checksum %08x, manifest says %08x",
+			ErrBadSnapshot, filepath.Base(path), got, want.CRC32C)
+	}
+	return nil
+}
+
+// verifyManifest loads dir's manifest and checks every covered file
+// before any of them is parsed.
+func verifyManifest(dir string) error {
+	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("%w: missing manifest.json: %w", ErrBadSnapshot, err)
+	}
+	defer mf.Close()
+	var m manifest
+	if err := json.NewDecoder(mf).Decode(&m); err != nil {
+		return fmt.Errorf("%w: reading manifest.json: %w", ErrBadSnapshot, err)
+	}
+	if m.Format != dbMetaFormat {
+		return fmt.Errorf("%w: manifest format %d does not match snapshot format %d",
+			ErrBadSnapshot, m.Format, dbMetaFormat)
+	}
+	for _, name := range snapshotFiles {
+		want, ok := m.Files[name]
+		if !ok {
+			return fmt.Errorf("%w: manifest does not cover %s", ErrBadSnapshot, name)
+		}
+		if err := verifySnapshotFile(filepath.Join(dir, name), want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OpenPath restores a database saved with SaveTo, rebuilding the index
 // structures. opts fields that are zero keep the persisted configuration;
 // a non-empty opts.Index overrides the saved index kind.
+//
+// Format-2 snapshots are verified against their manifest (per-file size
+// and CRC32C) before anything is parsed; format-1 snapshots are read
+// without verification. Any unreadable, truncated, mismatched or
+// unrecognized snapshot fails with an error matching ErrBadSnapshot (the
+// underlying cause also remains reachable through errors.Is/As). If dir
+// itself is missing but a dir+".prev" left by a crashed save exists, the
+// previous snapshot is opened instead.
 func OpenPath(dir string, opts Options) (*DB, error) {
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		if _, perr := os.Stat(dir + ".prev"); perr == nil {
+			// A save crashed between its two renames; fall back to the
+			// snapshot it was replacing.
+			dir = dir + ".prev"
+		}
+	}
 	mf, err := os.Open(filepath.Join(dir, "meta.json"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: missing meta.json: %w", ErrBadSnapshot, err)
 	}
-	defer mf.Close()
 	var meta dbMeta
-	if err := json.NewDecoder(mf).Decode(&meta); err != nil {
-		return nil, fmt.Errorf("dsks: reading meta.json: %w", err)
+	derr := json.NewDecoder(mf).Decode(&meta)
+	mf.Close()
+	if derr != nil {
+		return nil, fmt.Errorf("%w: reading meta.json: %w", ErrBadSnapshot, derr)
 	}
-	if meta.Format != dbMetaFormat {
+	switch meta.Format {
+	case dbMetaFormatV1:
+		// Legacy layout: same files, no manifest to verify.
+	case dbMetaFormat:
+		if err := verifyManifest(dir); err != nil {
+			return nil, err
+		}
+	default:
 		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadSnapshot, meta.Format)
+	}
+	switch meta.Index {
+	case "", IndexIR, IndexIF, IndexSIF, IndexSIFP:
+	default:
+		return nil, fmt.Errorf("%w: unknown index kind %q", ErrBadSnapshot, meta.Index)
 	}
 	gf, err := os.Open(filepath.Join(dir, "graph"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: missing graph: %w", ErrBadSnapshot, err)
 	}
 	defer gf.Close()
 	g, err := graph.Read(bufio.NewReader(gf))
 	if err != nil {
-		return nil, fmt.Errorf("dsks: reading graph: %w", err)
+		return nil, fmt.Errorf("%w: reading graph: %w", ErrBadSnapshot, err)
 	}
 	of, err := os.Open(filepath.Join(dir, "objects"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: missing objects: %w", ErrBadSnapshot, err)
 	}
 	defer of.Close()
 	col, vocab, err := dataset.ReadObjects(bufio.NewReader(of))
 	if err != nil {
-		return nil, fmt.Errorf("dsks: reading objects: %w", err)
+		return nil, fmt.Errorf("%w: reading objects: %w", ErrBadSnapshot, err)
 	}
 	if vocab != meta.VocabSize {
 		return nil, fmt.Errorf("%w: vocabulary size mismatch: objects %d vs meta %d", ErrBadSnapshot, vocab, meta.VocabSize)

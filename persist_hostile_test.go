@@ -1,0 +1,154 @@
+package dsks_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsks"
+)
+
+// Hostile-input coverage for OpenPath: every torn, truncated, corrupted
+// or mismatched snapshot must fail with an error matching ErrBadSnapshot
+// — never a panic, never a silently wrong database.
+
+// saveTiny saves a small database into a fresh directory and returns it.
+func saveTiny(t *testing.T) string {
+	t.Helper()
+	db, _, _, _ := buildTinyCity(t)
+	dir := filepath.Join(t.TempDir(), "snap")
+	if err := db.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func wantBadSnapshot(t *testing.T, dir, scenario string) {
+	t.Helper()
+	_, err := dsks.OpenPath(dir, dsks.Options{})
+	if err == nil {
+		t.Fatalf("%s: accepted", scenario)
+	}
+	if !errors.Is(err, dsks.ErrBadSnapshot) {
+		t.Fatalf("%s: err = %v, want ErrBadSnapshot", scenario, err)
+	}
+}
+
+func TestOpenPathTruncatedGraph(t *testing.T) {
+	dir := saveTiny(t)
+	path := filepath.Join(dir, "graph")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	wantBadSnapshot(t, dir, "truncated graph")
+}
+
+func TestOpenPathBitFlippedObjects(t *testing.T) {
+	dir := saveTiny(t)
+	path := filepath.Join(dir, "objects")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantBadSnapshot(t, dir, "bit-flipped objects")
+}
+
+func TestOpenPathMissingManifest(t *testing.T) {
+	dir := saveTiny(t)
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	wantBadSnapshot(t, dir, "format-2 snapshot without manifest")
+}
+
+func TestOpenPathMissingFiles(t *testing.T) {
+	for _, name := range []string{"graph", "objects"} {
+		dir := saveTiny(t)
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+		wantBadSnapshot(t, dir, "missing "+name)
+	}
+}
+
+func TestOpenPathEmptyDir(t *testing.T) {
+	wantBadSnapshot(t, t.TempDir(), "empty directory")
+}
+
+func TestOpenPathUnknownFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"format": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantBadSnapshot(t, dir, "unknown format version")
+}
+
+func TestOpenPathUndecodableMeta(t *testing.T) {
+	dir := saveTiny(t)
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantBadSnapshot(t, dir, "undecodable meta.json")
+}
+
+// downgradeToV1 rewrites a saved snapshot as the legacy format-1 layout
+// (no manifest), applying edit to the decoded meta first.
+func downgradeToV1(t *testing.T, dir string, edit func(map[string]any)) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta map[string]any
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta["format"] = 1
+	if edit != nil {
+		edit(meta)
+	}
+	out, err := json.Marshal(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenPathReadsLegacyV1(t *testing.T) {
+	dir := saveTiny(t)
+	downgradeToV1(t, dir, nil)
+	if _, err := dsks.OpenPath(dir, dsks.Options{}); err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+}
+
+func TestOpenPathVocabMismatch(t *testing.T) {
+	dir := saveTiny(t)
+	downgradeToV1(t, dir, func(meta map[string]any) {
+		meta["vocabSize"] = 99999
+	})
+	wantBadSnapshot(t, dir, "vocabulary size mismatch")
+}
+
+func TestOpenPathUnknownIndexKind(t *testing.T) {
+	dir := saveTiny(t)
+	downgradeToV1(t, dir, func(meta map[string]any) {
+		meta["index"] = "B-TREE-OF-DOOM"
+	})
+	wantBadSnapshot(t, dir, "unknown index kind")
+}

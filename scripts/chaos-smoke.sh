@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Chaos smoke test (run by `make chaos-smoke` and the CI chaos-smoke job):
+# boot dsks-serve with checksums and the chaos endpoint enabled, then run
+# the hammer's -chaos campaign, which asserts
+#   - installed read faults surface as 500s and open the circuit breaker,
+#   - the open breaker sheds with 503 + Retry-After on every response,
+#   - every 200 during the campaign is intact JSON that touched no storage,
+#   - after the faults clear, a storage-backed (uncached) 200 returns and
+#     /healthz reports healthy again,
+# and finally SIGTERM the server and require a clean drain (exit 0).
+set -u
+
+BIN="${1:?usage: chaos-smoke.sh <path-to-dsks-serve>}"
+ADDR="127.0.0.1:18081"
+
+"$BIN" -addr "$ADDR" -preset SYN -scale 400 -index SIF \
+    -checksums -enable-chaos -breaker-cooldown 500ms &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null' EXIT
+
+if ! "$BIN" -hammer -chaos -target "http://$ADDR" -preset SYN -scale 400; then
+    echo "chaos-smoke: chaos campaign assertions failed" >&2
+    exit 1
+fi
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+CODE=$?
+trap - EXIT
+if [ "$CODE" -ne 0 ]; then
+    echo "chaos-smoke: server exited $CODE after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "chaos-smoke: ok (degraded under faults, recovered, clean drain)"
