@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke serve serve-smoke chaos-smoke
+.PHONY: all build test race lint fuzz-smoke serve serve-smoke chaos-smoke wal-smoke
 
 all: build test lint
 
@@ -53,3 +53,11 @@ serve-smoke:
 chaos-smoke:
 	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
 	./scripts/chaos-smoke.sh $(CURDIR)/bin/dsks-serve
+
+# wal-smoke mirrors the CI job: boot a WAL-backed server, kill -9 it
+# mid-insert-storm, reboot on the same log, and assert every acknowledged
+# write survived and the group commit batches >1 record per fsync
+# (docs/DURABILITY.md).
+wal-smoke:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/wal-smoke.sh $(CURDIR)/bin/dsks-serve

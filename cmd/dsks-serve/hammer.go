@@ -21,7 +21,11 @@ import (
 // and the server's cache behavior. The mix is derived from the same
 // preset/scale/seed the server was booted with, so every query lands on
 // real edges and keywords; a bounded set of distinct queries (-distinct)
-// makes the result cache observable.
+// makes the result cache observable. The mix may include "insert" and
+// "remove" kinds, which POST real mutations: inserts bank their acked
+// object IDs in a shared pool, removes draw from it, and -strict
+// asserts that each worker observes a strictly increasing database
+// version across its own acked mutations.
 
 var (
 	hammerTarget    *string
@@ -42,7 +46,7 @@ func hammerFlags(fs *flag.FlagSet) {
 	hammerN = fs.Int("n", 1000, "hammer: total requests")
 	hammerC = fs.Int("c", 8, "hammer: concurrent workers")
 	hammerDistinct = fs.Int("distinct", 32, "hammer: distinct queries in the mix (repeats exercise the cache)")
-	hammerMix = fs.String("mix", "search:4,diversified:3,knn:2,ranked:1", "hammer: endpoint mix as kind:weight pairs")
+	hammerMix = fs.String("mix", "search:4,diversified:3,knn:2,ranked:1", "hammer: endpoint mix as kind:weight pairs (kinds include insert and remove)")
 	hammerStrict = fs.Bool("strict", false, "hammer: exit non-zero on any 5xx or a cold cache")
 	hammerWant429 = fs.Bool("expect-429", false, "hammer: exit non-zero unless load shedding (429 + Retry-After) was observed")
 	hammerTimeout = fs.Duration("client-timeout", 30*time.Second, "hammer: per-request client timeout")
@@ -56,11 +60,44 @@ type hammerResult struct {
 	latency    time.Duration
 	cacheHit   bool
 	retryAfter bool
+	version    uint64 // database version acked with a mutation, 0 otherwise
+}
+
+// hammerReq is one entry in the weighted request mix: a GET query, or a
+// POST mutation carrying its JSON body.
+type hammerReq struct {
+	kind string
+	url  string
+	body []byte // insert body; for "remove" the fallback when no ID is banked
+}
+
+// idPool banks the object IDs acked by insert requests so remove
+// requests can target objects that actually exist.
+type idPool struct {
+	mu  sync.Mutex
+	ids []int64
+}
+
+func (p *idPool) put(id int64) {
+	p.mu.Lock()
+	p.ids = append(p.ids, id)
+	p.mu.Unlock()
+}
+
+func (p *idPool) take() (int64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return 0, false
+	}
+	id := p.ids[len(p.ids)-1]
+	p.ids = p.ids[:len(p.ids)-1]
+	return id, true
 }
 
 // runHammer drives the load and reports.
 func runHammer(preset string, scale int, seed int64) error {
-	urls, err := hammerURLs(preset, scale, seed)
+	reqs, err := hammerMixReqs(preset, scale, seed)
 	if err != nil {
 		return err
 	}
@@ -72,6 +109,15 @@ func runHammer(preset string, scale int, seed int64) error {
 	}
 
 	if *hammerChaos {
+		var urls []string
+		for _, r := range reqs {
+			if r.body == nil {
+				urls = append(urls, r.url)
+			}
+		}
+		if len(urls) == 0 {
+			return fmt.Errorf("-chaos needs at least one query kind in -mix %q", *hammerMix)
+		}
 		return runChaos(client, base, urls)
 	}
 
@@ -80,26 +126,38 @@ func runHammer(preset string, scale int, seed int64) error {
 		c = 1
 	}
 	results := make([]hammerResult, n)
-	var next atomic.Int64
+	pool := &idPool{}
+	var next, monoViolations atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker issues sequentially, and every acked mutation
+			// bumps the global version, so the versions a single worker
+			// observes across its own mutations must strictly increase.
+			var lastVer uint64
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				results[i] = issue(client, base+urls[i%len(urls)])
+				r := issue(client, base, reqs[i%len(reqs)], pool)
+				if r.version > 0 {
+					if r.version <= lastVer {
+						monoViolations.Add(1)
+					}
+					lastVer = r.version
+				}
+				results[i] = r
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	return report(client, base, results, elapsed)
+	return report(client, base, results, elapsed, monoViolations.Load())
 }
 
 // runChaos drives the fault-injection campaign: warm up, install the
@@ -253,21 +311,54 @@ func issueBody(client *http.Client, url string) (int, []byte, http.Header) {
 	return resp.StatusCode, body, resp.Header
 }
 
-// issue performs one request.
-func issue(client *http.Client, url string) hammerResult {
+// issue performs one request from the mix. Queries are GETs; insert and
+// remove are POSTs whose acked version is recorded for the monotonicity
+// check, with acked insert IDs banked in the pool for later removes.
+func issue(client *http.Client, base string, req hammerReq, pool *idPool) hammerResult {
+	body := req.body
+	if req.kind == "remove" {
+		if id, ok := pool.take(); ok {
+			body, _ = json.Marshal(map[string]int64{"id": id})
+		} else {
+			// Nothing banked yet: fall back to the insert this entry
+			// carries, so the pool fills instead of spinning on 404s.
+			req.kind, req.url = "insert", "/v1/insert"
+		}
+	}
+
 	t0 := time.Now()
-	resp, err := client.Get(url)
+	var resp *http.Response
+	var err error
+	if body != nil {
+		resp, err = client.Post(base+req.url, "application/json", bytes.NewReader(body))
+	} else {
+		resp, err = client.Get(base + req.url)
+	}
 	if err != nil {
 		return hammerResult{status: 0, latency: time.Since(t0)}
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return hammerResult{
+
+	out := hammerResult{
 		status:     resp.StatusCode,
 		latency:    time.Since(t0),
 		cacheHit:   resp.Header.Get("X-Dsks-Cache") == "hit",
 		retryAfter: resp.Header.Get("Retry-After") != "",
 	}
+	if body != nil && resp.StatusCode == http.StatusOK {
+		var ack struct {
+			ID      *int64 `json:"id"`
+			Version uint64 `json:"version"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&ack) == nil {
+			out.version = ack.Version
+			if req.kind == "insert" && ack.ID != nil {
+				pool.put(*ack.ID)
+			}
+		}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return out
 }
 
 // waitHealthy polls /healthz until the server answers (or ~5s pass).
@@ -289,8 +380,10 @@ func waitHealthy(client *http.Client, base string) error {
 	return fmt.Errorf("server at %s never became healthy: %w", base, last)
 }
 
-// hammerURLs builds the weighted request mix over the preset's workload.
-func hammerURLs(preset string, scale int, seed int64) ([]string, error) {
+// hammerMixReqs builds the weighted request mix over the preset's
+// workload: query URLs for the read kinds, pre-marshaled POST bodies for
+// insert and remove.
+func hammerMixReqs(preset string, scale int, seed int64) ([]hammerReq, error) {
 	ds, err := dsks.GeneratePreset(dsks.Preset(preset), scale, seed)
 	if err != nil {
 		return nil, err
@@ -304,6 +397,15 @@ func hammerURLs(preset string, scale int, seed int64) ([]string, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// Mutations reuse the workload's positions and keywords so inserts
+	// land on real edges with in-vocabulary terms.
+	insertBody := func(q dsks.WorkloadQuery) []byte {
+		b, _ := json.Marshal(map[string]any{
+			"edge": q.Pos.Edge, "offset": q.Pos.Offset, "terms": q.Terms,
+		})
+		return b
 	}
 
 	builders := map[string]func(q dsks.WorkloadQuery) string{
@@ -329,13 +431,14 @@ func hammerURLs(preset string, scale int, seed int64) ([]string, error) {
 		},
 	}
 
-	var urls []string
+	var reqs []hammerReq
 	qi := 0
 	for _, part := range strings.Split(*hammerMix, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
-		build, ok := builders[kv[0]]
-		if !ok {
-			return nil, fmt.Errorf("unknown mix kind %q (want %s)", kv[0], keys(builders))
+		kind := kv[0]
+		build, query := builders[kind]
+		if !query && kind != "insert" && kind != "remove" {
+			return nil, fmt.Errorf("unknown mix kind %q (want insert, remove, %s)", kind, keys(builders))
 		}
 		weight := 1
 		if len(kv) == 2 {
@@ -344,14 +447,24 @@ func hammerURLs(preset string, scale int, seed int64) ([]string, error) {
 			}
 		}
 		for i := 0; i < weight; i++ {
-			urls = append(urls, build(ws[qi%len(ws)]))
+			q := ws[qi%len(ws)]
 			qi++
+			switch kind {
+			case "insert":
+				reqs = append(reqs, hammerReq{kind: kind, url: "/v1/insert", body: insertBody(q)})
+			case "remove":
+				// The body is the fallback insert issued while the ID pool
+				// is still empty; see issue.
+				reqs = append(reqs, hammerReq{kind: kind, url: "/v1/remove", body: insertBody(q)})
+			default:
+				reqs = append(reqs, hammerReq{kind: kind, url: build(q)})
+			}
 		}
 	}
-	if len(urls) == 0 {
+	if len(reqs) == 0 {
 		return nil, fmt.Errorf("empty mix %q", *hammerMix)
 	}
-	return urls, nil
+	return reqs, nil
 }
 
 func terms(ts []dsks.TermID) string {
@@ -372,15 +485,18 @@ func keys(m map[string]func(dsks.WorkloadQuery) string) string {
 }
 
 // report prints the run summary and enforces the strict assertions.
-func report(client *http.Client, base string, results []hammerResult, elapsed time.Duration) error {
+func report(client *http.Client, base string, results []hammerResult, elapsed time.Duration, monoViolations int64) error {
 	statuses := map[int]int{}
 	var lats []time.Duration
-	var hits, five, shed429, retryAfter int
+	var hits, five, shed429, retryAfter, acked int
 	for _, r := range results {
 		statuses[r.status]++
 		lats = append(lats, r.latency)
 		if r.cacheHit {
 			hits++
+		}
+		if r.version > 0 {
+			acked++
 		}
 		if r.status >= 500 {
 			five++
@@ -412,6 +528,9 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
 		pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99), lats[n-1])
 	fmt.Printf("  client-observed cache hits: %d/%d\n", hits, n)
+	if acked > 0 {
+		fmt.Printf("  acked mutations: %d (version monotonicity violations: %d)\n", acked, monoViolations)
+	}
 	if shed429 > 0 {
 		fmt.Printf("  shed with 429: %d (Retry-After present on %d)\n", shed429, retryAfter)
 	}
@@ -440,7 +559,12 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		if statuses[0] > 0 {
 			return fmt.Errorf("strict: %d transport errors", statuses[0])
 		}
-		if hits == 0 {
+		if monoViolations > 0 {
+			return fmt.Errorf("strict: %d mutation acks with a non-increasing database version", monoViolations)
+		}
+		// Mutation mixes invalidate the result cache on every acked write,
+		// so a cold cache is expected there; only query-only runs must hit.
+		if hits == 0 && acked == 0 {
 			return fmt.Errorf("strict: no cache hits observed over %d requests", n)
 		}
 	}

@@ -57,12 +57,17 @@ func run() error {
 		cache   = flag.Int("cache-size", 4096, "result cache capacity in entries (negative disables)")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget for in-flight queries")
 
-		checksums  = flag.Bool("checksums", false, "verify per-page CRC32C checksums on every buffer miss")
-		faultSpec  = flag.String("fault", "", "install a fault-injection spec at startup (see internal/fault)")
-		chaos      = flag.Bool("enable-chaos", false, "expose POST /v1/chaos for runtime fault injection (testing only)")
-		degradeN   = flag.Int("degrade-after", 3, "consecutive storage errors before the server reports degraded")
-		breakN     = flag.Int("break-after", 5, "consecutive storage errors before the circuit breaker opens")
-		breakerTO  = flag.Duration("breaker-cooldown", time.Second, "open-circuit cooldown before a half-open probe")
+		walDir      = flag.String("wal", "", "write-ahead log directory: mutations are durable before they are acked")
+		walEvery    = flag.Int("wal-sync-every", 0, "group commit: fsync once this many mutations are batched (0 = library default)")
+		walInterval = flag.Duration("wal-sync-interval", 0, "group commit: fsync at least this often while mutations wait (0 = library default)")
+		walStrict   = flag.Bool("wal-strict", false, "fsync every mutation individually (no group commit)")
+
+		checksums = flag.Bool("checksums", false, "verify per-page CRC32C checksums on every buffer miss")
+		faultSpec = flag.String("fault", "", "install a fault-injection spec at startup (see internal/fault)")
+		chaos     = flag.Bool("enable-chaos", false, "expose POST /v1/chaos for runtime fault injection (testing only)")
+		degradeN  = flag.Int("degrade-after", 3, "consecutive storage errors before the server reports degraded")
+		breakN    = flag.Int("break-after", 5, "consecutive storage errors before the circuit breaker opens")
+		breakerTO = flag.Duration("breaker-cooldown", time.Second, "open-circuit cooldown before a half-open probe")
 
 		hammer = flag.Bool("hammer", false, "run the load driver against -target instead of serving")
 	)
@@ -70,10 +75,14 @@ func run() error {
 	flag.Parse()
 
 	opts := dsks.Options{
-		Index:          indexKind(*kind),
-		IOLatency:      *iolat,
-		BufferFraction: *buffer,
-		Checksums:      *checksums,
+		Index:           indexKind(*kind),
+		IOLatency:       *iolat,
+		BufferFraction:  *buffer,
+		Checksums:       *checksums,
+		WALDir:          *walDir,
+		WALSyncEvery:    *walEvery,
+		WALSyncInterval: *walInterval,
+		WALStrictSync:   *walStrict,
 	}
 
 	if *hammer {
@@ -108,6 +117,9 @@ func run() error {
 	}
 	fmt.Printf("dsks-serve: serving %s on %s (index %s, max-inflight %d, queue %d, cache %d)\n",
 		desc, srv.Addr(), opts.Index, *maxIn, *queue, *cache)
+	if *walDir != "" {
+		fmt.Printf("dsks-serve: write-ahead log in %s (durable LSN %d)\n", *walDir, db.DurableLSN())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,6 +137,11 @@ func run() error {
 	}
 	if err := <-errc; err != nil {
 		return err
+	}
+	// Flush and close the write-ahead log so the final group commit is on
+	// disk before the process reports a clean exit.
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("closing database: %w", err)
 	}
 	fmt.Println("dsks-serve: drained cleanly")
 	return nil

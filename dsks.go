@@ -68,6 +68,7 @@ import (
 	"dsks/internal/obj"
 	"dsks/internal/sig"
 	"dsks/internal/storage"
+	"dsks/internal/wal"
 )
 
 // Re-exported building blocks. The aliases keep one canonical definition
@@ -161,6 +162,15 @@ var (
 	// verification (with Options.Checksums enabled): the storage layer
 	// detected silent corruption and refused to serve the page.
 	ErrCorruptPage = storage.ErrCorruptPage
+	// ErrBadWAL reports a write-ahead log that cannot be trusted: a CRC
+	// mismatch or truncation before the final record, a gap in the LSN
+	// chain, or a replayed record that contradicts the snapshot it is
+	// applied over. (A torn tail — an incomplete final record a crash
+	// left behind — is repaired silently, not an error.)
+	ErrBadWAL = wal.ErrCorrupt
+	// ErrWALClosed reports a mutation on a database whose write-ahead
+	// log has been closed or poisoned by an unrecoverable log failure.
+	ErrWALClosed = wal.ErrClosed
 	// ErrNoPath reports a route request between positions that no chain of
 	// road segments connects.
 	ErrNoPath = graph.ErrNoPath
@@ -235,6 +245,22 @@ type Options struct {
 	// ErrCorruptPage instead of wrong query results. Off by default to
 	// keep the paper's byte-exact I/O accounting unchanged.
 	Checksums bool
+	// WALDir, when set, makes mutations durable through a write-ahead
+	// log in this directory: Insert and Remove append a record and are
+	// acknowledged only once a group commit has fsynced it, Open and
+	// OpenPath replay the log over the opened state, and SaveTo
+	// checkpoints it (rotating and deleting segments the snapshot made
+	// redundant). Empty disables logging (mutations live until SaveTo).
+	WALDir string
+	// WALSyncEvery caps how many mutations a group commit batches into
+	// one fsync (default 64).
+	WALSyncEvery int
+	// WALSyncInterval is the window an unfilled commit batch waits for
+	// more mutators before fsyncing (default 2ms).
+	WALSyncInterval time.Duration
+	// WALStrictSync fsyncs before every acknowledgment instead of group
+	// committing: maximum durability, one fsync per mutation.
+	WALStrictSync bool
 }
 
 // validate rejects option values that cannot configure a database.
@@ -252,6 +278,12 @@ func (o Options) validate() error {
 	}
 	if o.PartitionCuts < 0 {
 		return fmt.Errorf("%w: PartitionCuts must be non-negative, got %d", ErrBadOptions, o.PartitionCuts)
+	}
+	if o.WALSyncEvery < 0 {
+		return fmt.Errorf("%w: WALSyncEvery must be non-negative, got %d", ErrBadOptions, o.WALSyncEvery)
+	}
+	if o.WALSyncInterval < 0 {
+		return fmt.Errorf("%w: WALSyncInterval must be non-negative, got %v", ErrBadOptions, o.WALSyncInterval)
 	}
 	return nil
 }
@@ -274,13 +306,33 @@ type DB struct {
 	// version counts committed mutations (Insert/Remove). Result caches
 	// key on it to invalidate across mutations; read with Version.
 	version atomic.Uint64
+
+	// wal is the write-ahead log, nil unless Options.WALDir was set.
+	// Mutators append under mu (so LSN order equals apply order) but wait
+	// for durability outside it — an fsync never stalls queries.
+	wal *wal.Log
+	// appliedLSN is the last log record applied to the in-memory state;
+	// written under mu.Lock, read under either latch. SaveTo records it
+	// in the snapshot so replay can skip what the snapshot contains.
+	appliedLSN uint64
 }
 
 // Open builds the disk-resident structures for the given road network and
 // object collection. vocabSize must be at least one greater than the
 // largest TermID used by the collection. Invalid Options are rejected with
 // an error matching ErrBadOptions.
+//
+// With Options.WALDir set, any existing log there is replayed over the
+// built state (so a database that crashed before its first SaveTo
+// recovers by opening the same graph and collection again); an
+// untrustworthy log fails with an error matching ErrBadWAL.
 func Open(g *Graph, objects *Collection, vocabSize int, opts Options) (*DB, error) {
+	return openDB(g, objects, vocabSize, opts, 0)
+}
+
+// openDB is Open plus the write-ahead-log linkage: walFrom is the LSN the
+// opened state already includes (a snapshot's recorded LSN, or zero).
+func openDB(g *Graph, objects *Collection, vocabSize int, opts Options, walFrom uint64) (*DB, error) {
 	if g == nil || objects == nil {
 		return nil, fmt.Errorf("%w: nil graph or collection", ErrBadOptions)
 	}
@@ -306,7 +358,87 @@ func Open(g *Graph, objects *Collection, vocabSize int, opts Options) (*DB, erro
 	if err != nil {
 		return nil, err
 	}
-	return &DB{sys: sys, kind: opts.Index}, nil
+	db := &DB{sys: sys, kind: opts.Index}
+	if opts.WALDir != "" {
+		if err := db.attachWAL(opts, walFrom); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// attachWAL opens the log, replays the records past walFrom over the
+// database, and leaves the log attached for Insert/Remove to append to.
+func (db *DB) attachWAL(opts Options, walFrom uint64) error {
+	l, records, err := wal.Open(opts.WALDir, walFrom, wal.Options{
+		SyncEvery:    opts.WALSyncEvery,
+		SyncInterval: opts.WALSyncInterval,
+		Strict:       opts.WALStrictSync,
+		Metrics:      db.sys.Metrics,
+	})
+	if err != nil {
+		return fmt.Errorf("dsks: opening wal: %w", err)
+	}
+	db.wal = l
+	db.appliedLSN = walFrom
+	for _, r := range records {
+		if err := db.applyRecord(r); err != nil {
+			l.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecord replays one log record over the in-memory state. Replay
+// re-validates everything the live mutation validated and additionally
+// checks that inserts reassign exactly the object ID the log recorded —
+// any divergence means the log does not belong to the opened state, and
+// fails with an error matching ErrBadWAL.
+func (db *DB) applyRecord(r wal.Record) error {
+	switch r.Type {
+	case wal.RecInsert:
+		pos := Position{Edge: EdgeID(r.Edge), Offset: r.Offset}
+		terms := make([]TermID, len(r.Terms))
+		for i, t := range r.Terms {
+			terms[i] = TermID(t)
+		}
+		if err := db.checkInsert(pos, terms); err != nil {
+			return fmt.Errorf("%w: replaying insert at LSN %d: %w", ErrBadWAL, r.LSN, err)
+		}
+		id, err := db.applyInsert(db.sys.DS.Graph.Clamp(pos), terms)
+		if err != nil {
+			return fmt.Errorf("dsks: replaying insert at LSN %d: %w", r.LSN, err)
+		}
+		if id != ObjectID(r.ID) {
+			return fmt.Errorf("%w: replaying LSN %d assigned object %d where the log recorded %d",
+				ErrBadWAL, r.LSN, id, r.ID)
+		}
+	case wal.RecRemove:
+		id := ObjectID(r.ID)
+		if err := db.checkRemove(id); err != nil {
+			return fmt.Errorf("%w: replaying remove at LSN %d: %w", ErrBadWAL, r.LSN, err)
+		}
+		if err := db.applyRemove(id); err != nil {
+			return fmt.Errorf("dsks: replaying remove at LSN %d: %w", r.LSN, err)
+		}
+	default:
+		return fmt.Errorf("%w: record type %d at LSN %d", ErrBadWAL, r.Type, r.LSN)
+	}
+	db.appliedLSN = r.LSN
+	return nil
+}
+
+// Close releases the database's durability resources: the write-ahead
+// log is drained through a final fsync and closed (a poisoned log
+// returns its sticky error). Queries remain servable afterwards, but
+// mutations fail with an error matching ErrWALClosed. Databases opened
+// without Options.WALDir have nothing to release; Close is then a no-op.
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
 }
 
 // Metrics returns the database's metrics registry. Queries record into it
@@ -637,42 +769,95 @@ func (s *Stream) finish(err error) {
 //
 // Insert takes the database's write latch, so it is safe to call
 // concurrently with queries; a successful insert bumps Version.
+//
+// With a write-ahead log attached (Options.WALDir), the insert is logged
+// before it is applied and acknowledged only once its record is fsynced;
+// the durability wait happens after the latch is released, so an fsync
+// never stalls queries. A mutation that errors mid-flight (a log or
+// index fault) is indeterminate: it was never acknowledged, but a
+// concurrent snapshot may still capture it.
 func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	if err := db.checkInsert(pos, terms); err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	pos = db.sys.DS.Graph.Clamp(pos)
+	var lsn uint64
+	if db.wal != nil {
+		rec := wal.Record{
+			Type: wal.RecInsert,
+			// The ID the collection will assign, recorded so replay can
+			// verify it reassigns the same one.
+			ID:     int32(db.sys.DS.Objects.Len()),
+			Edge:   int32(pos.Edge),
+			Offset: pos.Offset,
+			Terms:  make([]int32, len(terms)),
+		}
+		for i, t := range terms {
+			rec.Terms[i] = int32(t)
+		}
+		var err error
+		if lsn, err = db.wal.Append(rec); err != nil {
+			db.mu.Unlock()
+			return 0, fmt.Errorf("dsks: logging insert: %w", err)
+		}
+		// The record exists whether or not the apply below succeeds, so
+		// snapshots must claim it — replaying it over a state that
+		// already allocated the ID would misnumber everything after it.
+		db.appliedLSN = lsn
+	}
+	id, err := db.applyInsert(pos, terms)
+	db.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if db.wal != nil {
+		if werr := db.wal.WaitDurable(lsn); werr != nil {
+			return id, fmt.Errorf("dsks: insert of object %d applied but not durable: %w", id, werr)
+		}
+	}
+	return id, nil
+}
+
+// checkInsert validates an insert without changing anything; callers
+// hold the write latch.
+func (db *DB) checkInsert(pos Position, terms []TermID) error {
 	g := db.sys.DS.Graph
 	if pos.Edge < 0 || int(pos.Edge) >= g.NumEdges() {
-		return 0, fmt.Errorf("dsks: insert on edge %d: %w", pos.Edge, ErrUnknownEdge)
+		return fmt.Errorf("dsks: insert on edge %d: %w", pos.Edge, ErrUnknownEdge)
 	}
 	for _, t := range terms {
 		if t < 0 || int(t) >= db.sys.DS.VocabSize {
-			return 0, fmt.Errorf("dsks: term %d with vocabulary of %d: %w", t, db.sys.DS.VocabSize, ErrTermOutOfRange)
+			return fmt.Errorf("dsks: term %d with vocabulary of %d: %w", t, db.sys.DS.VocabSize, ErrTermOutOfRange)
 		}
 	}
-	pos = g.Clamp(pos)
-	var sif *sig.SIF
 	switch db.kind {
-	case IndexSIF:
-		sif = db.sys.SIF
-	case IndexSIFP:
-		sif = db.sys.SIFP
-	case IndexIF:
-		// handled below
+	case IndexSIF, IndexSIFP, IndexIF:
+		return nil
 	default:
-		return 0, fmt.Errorf("dsks: insert into index %s: %w", db.kind, ErrUnsupportedIndex)
+		return fmt.Errorf("dsks: insert into index %s: %w", db.kind, ErrUnsupportedIndex)
 	}
+}
+
+// applyInsert performs a validated insert against the collection and the
+// index; callers hold the write latch. pos must already be clamped.
+func (db *DB) applyInsert(pos Position, terms []TermID) (ObjectID, error) {
 	col := db.sys.DS.Objects
 	id := col.Add(pos, append([]TermID(nil), terms...))
 	o := col.Get(id)
-	if sif != nil {
-		if err := sif.InsertObject(id, pos.Edge, pos.Offset, o.Terms); err != nil {
-			return 0, err
-		}
-	} else {
-		coder := invindex.GraphZCoder{G: g}
-		if err := db.sys.Inv.InsertObject(coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, o.Terms); err != nil {
-			return 0, err
-		}
+	var err error
+	switch db.kind {
+	case IndexSIF:
+		err = db.sys.SIF.InsertObject(id, pos.Edge, pos.Offset, o.Terms)
+	case IndexSIFP:
+		err = db.sys.SIFP.InsertObject(id, pos.Edge, pos.Offset, o.Terms)
+	case IndexIF:
+		coder := invindex.GraphZCoder{G: db.sys.DS.Graph}
+		err = db.sys.Inv.InsertObject(coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, o.Terms)
+	}
+	if err != nil {
+		return 0, err
 	}
 	db.version.Add(1)
 	return id, nil
@@ -684,31 +869,69 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 // only cost a false hit). Supported for IF, SIF and SIF-P.
 //
 // Remove takes the database's write latch, so it is safe to call
-// concurrently with queries; a successful remove bumps Version.
+// concurrently with queries; a successful remove bumps Version. With a
+// write-ahead log attached it follows Insert's protocol: logged before
+// applied, acknowledged once fsynced.
 func (db *DB) Remove(id ObjectID) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	if err := db.checkRemove(id); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	var lsn uint64
+	if db.wal != nil {
+		var err error
+		if lsn, err = db.wal.Append(wal.Record{Type: wal.RecRemove, ID: int32(id)}); err != nil {
+			db.mu.Unlock()
+			return fmt.Errorf("dsks: logging remove: %w", err)
+		}
+		db.appliedLSN = lsn
+	}
+	err := db.applyRemove(id)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if werr := db.wal.WaitDurable(lsn); werr != nil {
+			return fmt.Errorf("dsks: remove of object %d applied but not durable: %w", id, werr)
+		}
+	}
+	return nil
+}
+
+// checkRemove validates a remove without changing anything; callers hold
+// the write latch.
+func (db *DB) checkRemove(id ObjectID) error {
 	col := db.sys.DS.Objects
 	if id < 0 || int(id) >= col.Len() || col.Removed(id) {
 		return fmt.Errorf("dsks: remove object %d: %w", id, ErrUnknownObject)
 	}
-	o := col.Get(id)
 	switch db.kind {
-	case IndexSIF:
-		if err := db.sys.SIF.RemoveObject(id, o.Pos.Edge, o.Terms); err != nil {
-			return err
-		}
-	case IndexSIFP:
-		if err := db.sys.SIFP.RemoveObject(id, o.Pos.Edge, o.Terms); err != nil {
-			return err
-		}
-	case IndexIF:
-		coder := invindex.GraphZCoder{G: db.sys.DS.Graph}
-		if err := db.sys.Inv.RemoveObject(coder.EdgeZCode(o.Pos.Edge), id, o.Terms); err != nil {
-			return err
-		}
+	case IndexSIF, IndexSIFP, IndexIF:
+		return nil
 	default:
 		return fmt.Errorf("dsks: remove from index %s: %w", db.kind, ErrUnsupportedIndex)
+	}
+}
+
+// applyRemove performs a validated remove against the index and the
+// collection; callers hold the write latch.
+func (db *DB) applyRemove(id ObjectID) error {
+	col := db.sys.DS.Objects
+	o := col.Get(id)
+	var err error
+	switch db.kind {
+	case IndexSIF:
+		err = db.sys.SIF.RemoveObject(id, o.Pos.Edge, o.Terms)
+	case IndexSIFP:
+		err = db.sys.SIFP.RemoveObject(id, o.Pos.Edge, o.Terms)
+	case IndexIF:
+		coder := invindex.GraphZCoder{G: db.sys.DS.Graph}
+		err = db.sys.Inv.RemoveObject(coder.EdgeZCode(o.Pos.Edge), id, o.Terms)
+	}
+	if err != nil {
+		return err
 	}
 	if err := col.Remove(id); err != nil {
 		return err
@@ -718,9 +941,27 @@ func (db *DB) Remove(id ObjectID) error {
 }
 
 // Version returns the database's mutation counter: the number of
-// successful Insert and Remove calls since Open. Result caches key on it
-// so that entries filled before a mutation are never served after it.
+// successful Insert and Remove calls since Open (replayed log records
+// count too). Result caches key on it so that entries filled before a
+// mutation are never served after it.
 func (db *DB) Version() uint64 { return db.version.Load() }
+
+// LiveObjects returns the number of live (inserted and not removed)
+// objects in the database.
+func (db *DB) LiveObjects() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.sys.DS.Objects.Live()
+}
+
+// DurableLSN reports the write-ahead log's durability horizon: every
+// mutation at or below it survives a crash. Zero without a log.
+func (db *DB) DurableLSN() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.DurableLSN()
+}
 
 // NetworkDistance returns the exact network distance between two
 // positions (exposed for inspection and testing; computed in memory).
@@ -807,6 +1048,9 @@ func (db *DB) SetFaultSpec(spec string) error {
 		return fmt.Errorf("%w: fault spec %q: %v", ErrBadOptions, spec, err)
 	}
 	db.sys.SetInjector(in)
+	if db.wal != nil {
+		db.wal.SetInjector(in)
+	}
 	return nil
 }
 
@@ -816,4 +1060,7 @@ func (db *DB) SetFaultSpec(spec string) error {
 // Options.Checksums is enabled).
 func (db *DB) ClearFaults() {
 	db.sys.SetInjector(nil)
+	if db.wal != nil {
+		db.wal.SetInjector(nil)
+	}
 }

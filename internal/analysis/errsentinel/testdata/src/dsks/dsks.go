@@ -57,6 +57,33 @@ func Load(cause error) error {
 	return nil
 }
 
+// ErrBadWAL and ErrWALClosed mirror the write-ahead-log sentinels.
+var (
+	ErrBadWAL    = errors.New("dsks: bad wal")
+	ErrWALClosed = errors.New("dsks: wal closed")
+)
+
+// Replay wraps the WAL sentinel around the record position and, when
+// present, the typed cause (double-%w) — both stay matchable.
+func Replay(lsn uint64, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w: replaying record at LSN %d: %w", ErrBadWAL, lsn, cause)
+	}
+	if lsn == 0 {
+		return fmt.Errorf("dsks: replay stopped at LSN %d", lsn) // want `errsentinel: fmt.Errorf at an exported return site`
+	}
+	return nil
+}
+
+// Log reports a poisoned write-ahead log: the closed sentinel wrapping
+// the fsync failure that killed it, so callers can match either.
+func Log(cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w: %w", ErrWALClosed, cause)
+	}
+	return nil
+}
+
 // faultError models a typed error (op, page, transient) like
 // internal/fault.Error; returning one directly is fine — the analyzer
 // polices only opaque fmt.Errorf construction, not typed errors, which

@@ -12,6 +12,13 @@
 // server's result-cache mutex in particular — across such a call stalls
 // every concurrent request behind one query.
 //
+// It also covers the durability layer: a write-ahead-log fsync
+// (storage.LogFile.Sync, or the wal.Log calls that wait on one —
+// WaitDurable, Checkpoint, Close) must never run under a latch. The
+// mutation protocol appends under the DB write latch (a buffered write,
+// allowed) but releases it before blocking on group commit; holding the
+// latch across the fsync would serialize every reader behind the disk.
+//
 // The analysis is intraprocedural and flow-aware along straight-line
 // code: Lock/RLock adds the mutex to the held set, Unlock/RUnlock
 // removes it, defer Unlock keeps it held to the end of the function,
@@ -180,6 +187,16 @@ func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	if desc, ok := dbEntryPoint(fn); ok {
 		return desc, true
 	}
+	if analysis.InPackage(fn, "internal/wal") && analysis.ReceiverTypeName(fn) == "Log" {
+		// Log.Append is a buffered write and is legal under the DB latch
+		// (that is the append-before-apply protocol); anything that waits
+		// for an fsync is not.
+		switch fn.Name() {
+		case "WaitDurable", "Checkpoint", "Close":
+			return "wal " + fn.Name() + " (waits for fsync)", true
+		}
+		return "", false
+	}
 	if !analysis.InPackage(fn, "internal/storage") {
 		return "", false
 	}
@@ -192,6 +209,8 @@ func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 		case "Get", "GetCtx", "Allocate", "Flush", "DropAll", "SetCapacity":
 			return "buffer-pool " + fn.Name(), true
 		}
+	case recv == "LogFile" && fn.Name() == "Sync":
+		return "log fsync", true
 	case recv == "" && fn.Name() == "sleepCtx":
 		return "IOLatency sleep", true
 	}

@@ -61,6 +61,34 @@ func (b *BufferPool) badSleep(ctx context.Context) {
 	b.mu.Unlock()
 }
 
+// LogFile mirrors the append-only segment file: Append is a buffered
+// write (legal under a latch), Sync is an fsync (never legal).
+type LogFile struct{ mu sync.Mutex }
+
+func (f *LogFile) Append(p []byte) (int64, error) { return 0, nil }
+func (f *LogFile) Sync() error                    { return nil }
+
+// badDurable fsyncs the log while its own latch is held.
+func (f *LogFile) badDurable(p []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.Append(p); err != nil { // buffered append: clean
+		return err
+	}
+	return f.Sync() // want `lockio: log fsync while f.mu is held`
+}
+
+// goodDurable appends under the latch and fsyncs outside it.
+func (f *LogFile) goodDurable(p []byte) error {
+	f.mu.Lock()
+	_, err := f.Append(p)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 // branchUnlock unlocks only on one branch; code after the branch still
 // holds the latch.
 func (b *BufferPool) branchUnlock(id PageID, hit bool, buf []byte) error {

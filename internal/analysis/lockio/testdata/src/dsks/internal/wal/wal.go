@@ -1,0 +1,73 @@
+// Package wal is a reduced stub of the real dsks/internal/wal: the Log
+// type with the append/group-commit surface the lockio analyzer
+// classifies. Append is a buffered write and may run under the database
+// write latch (the append-before-apply protocol depends on it);
+// WaitDurable, Checkpoint and Close all block on an fsync and must not.
+package wal
+
+import "sync"
+
+type Record struct{ LSN uint64 }
+
+type Log struct{ mu sync.Mutex }
+
+func (l *Log) Append(r Record) (uint64, error) { return 0, nil }
+func (l *Log) WaitDurable(lsn uint64) error    { return nil }
+func (l *Log) Checkpoint(upto uint64) error    { return nil }
+func (l *Log) Close() error                    { return nil }
+
+// db mirrors the shape of dsks.DB's mutation path: a write latch plus
+// the log.
+type db struct {
+	mu  sync.Mutex
+	log *Log
+}
+
+// goodInsert is the real protocol: append under the latch, release it,
+// then block on group commit.
+func (d *db) goodInsert(r Record) error {
+	d.mu.Lock()
+	lsn, err := d.log.Append(r) // buffered append under the latch: clean
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.log.WaitDurable(lsn)
+}
+
+// badInsert holds the write latch across the group-commit wait: every
+// reader and writer stalls behind the fsync.
+func (d *db) badInsert(r Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lsn, err := d.log.Append(r)
+	if err != nil {
+		return err
+	}
+	return d.log.WaitDurable(lsn) // want `lockio: wal WaitDurable \(waits for fsync\) while d.mu is held`
+}
+
+// badCheckpoint compacts the log under the latch; Checkpoint drains the
+// group-commit pipeline and rotates segments, all fsync-bound.
+func (d *db) badCheckpoint(upto uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Checkpoint(upto) // want `lockio: wal Checkpoint \(waits for fsync\) while d.mu is held`
+}
+
+// goodCheckpoint snapshots the cutoff under the latch and compacts
+// outside it.
+func (d *db) goodCheckpoint(applied uint64) error {
+	d.mu.Lock()
+	upto := applied
+	d.mu.Unlock()
+	return d.log.Checkpoint(upto)
+}
+
+// badClose shuts the log down under the latch; Close drains pending
+// appends through a final fsync.
+func (d *db) badClose() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Close() // want `lockio: wal Close \(waits for fsync\) while d.mu is held`
+}

@@ -28,6 +28,10 @@ import (
 const (
 	OpRead  = "read"
 	OpWrite = "write"
+	// OpSync is the fsync of an append-only log file (internal/storage
+	// LogFile); failing it models a medium that accepts writes but cannot
+	// make them durable.
+	OpSync = "sync"
 )
 
 // ErrInjected is the sentinel every injected failure wraps, so
@@ -107,7 +111,8 @@ type Config struct {
 	// Seed feeds the injector's private PRNG; the same seed replays the
 	// same decisions. Zero means seed 1.
 	Seed int64
-	// Op restricts injection to "read" or "write"; empty targets both.
+	// Op restricts injection to "read", "write" or "sync"; empty
+	// targets every operation.
 	Op string
 	// Pages restricts injection to the listed pages; nil targets all.
 	Pages []uint32
@@ -133,9 +138,9 @@ type Config struct {
 // validate rejects configurations that can never fire or are malformed.
 func (c Config) validate() error {
 	switch c.Op {
-	case "", OpRead, OpWrite:
+	case "", OpRead, OpWrite, OpSync:
 	default:
-		return fmt.Errorf("fault: unknown op %q (want %q or %q)", c.Op, OpRead, OpWrite)
+		return fmt.Errorf("fault: unknown op %q (want %q, %q or %q)", c.Op, OpRead, OpWrite, OpSync)
 	}
 	if c.Probability < 0 || c.Probability > 1 {
 		return fmt.Errorf("fault: probability %v outside [0,1]", c.Probability)
@@ -281,7 +286,7 @@ func (in *Injector) WriteLimit(page uint32, size int) int {
 // ParseSpec builds a Config from the compact colon-separated spec the
 // CLI flags use:
 //
-//	[read|write][:p=0.01][:every=N][:max=N][:mode=fail|flip|torn]
+//	[read|write|sync][:p=0.01][:every=N][:max=N][:mode=fail|flip|torn]
 //	[:transient][:pages=1,2,3][:seed=N][:torn-bytes=N]
 //
 // Examples: "read:every=1:max=200:transient" (a bounded burst of
@@ -294,7 +299,7 @@ func ParseSpec(spec string) (Config, error) {
 		if part == "" {
 			continue
 		}
-		if i == 0 && (part == OpRead || part == OpWrite) {
+		if i == 0 && (part == OpRead || part == OpWrite || part == OpSync) {
 			cfg.Op = part
 			continue
 		}
@@ -355,7 +360,7 @@ func ParseSpec(spec string) (Config, error) {
 			}
 		default:
 			if !hasVal && i == 0 {
-				return Config{}, fmt.Errorf("fault: spec %q: unknown op %q (want %q or %q)", spec, part, OpRead, OpWrite)
+				return Config{}, fmt.Errorf("fault: spec %q: unknown op %q (want %q, %q or %q)", spec, part, OpRead, OpWrite, OpSync)
 			}
 			return Config{}, fmt.Errorf("fault: spec %q: unknown key %q", spec, key)
 		}

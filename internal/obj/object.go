@@ -128,6 +128,19 @@ func (c *Collection) Removed(id ID) bool {
 	return id >= 0 && int(id) < len(c.objects) && c.removed[id]
 }
 
+// Tombstones returns the removed IDs in ascending order — together with
+// Len, the full allocation state of the ID space, which snapshots record
+// so that replayed log records address the same IDs.
+func (c *Collection) Tombstones() []ID {
+	var ids []ID
+	for id, dead := range c.removed {
+		if dead {
+			ids = append(ids, ID(id))
+		}
+	}
+	return ids
+}
+
 // Len returns the number of allocated object IDs (including tombstones;
 // use Live for the current object count).
 func (c *Collection) Len() int { return len(c.objects) }

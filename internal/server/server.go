@@ -289,16 +289,18 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 // varzPayload is the /varz document: the serving state plus the full
 // metrics snapshot.
 type varzPayload struct {
-	Uptime     string               `json:"uptime"`
-	DBVersion  uint64               `json:"dbVersion"`
-	Health     string               `json:"health"`
-	Inflight   int                  `json:"inflight"`
-	Queued     int64                `json:"queued"`
-	CacheLen   int                  `json:"cacheLen"`
-	CacheCap   int                  `json:"cacheCap"`
-	MaxInflight int                 `json:"maxInflight"`
-	QueueDepth int                  `json:"queueDepth"`
-	Metrics    dsks.MetricsSnapshot `json:"metrics"`
+	Uptime      string               `json:"uptime"`
+	DBVersion   uint64               `json:"dbVersion"`
+	LiveObjects int                  `json:"liveObjects"`
+	DurableLSN  uint64               `json:"durableLSN"`
+	Health      string               `json:"health"`
+	Inflight    int                  `json:"inflight"`
+	Queued      int64                `json:"queued"`
+	CacheLen    int                  `json:"cacheLen"`
+	CacheCap    int                  `json:"cacheCap"`
+	MaxInflight int                  `json:"maxInflight"`
+	QueueDepth  int                  `json:"queueDepth"`
+	Metrics     dsks.MetricsSnapshot `json:"metrics"`
 }
 
 // handleVarz serves the JSON metrics snapshot.
@@ -306,6 +308,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, varzPayload{
 		Uptime:      time.Since(s.started).String(),
 		DBVersion:   s.db.Version(),
+		LiveObjects: s.db.LiveObjects(),
+		DurableLSN:  s.db.DurableLSN(),
 		Health:      s.health.currentState().String(),
 		Inflight:    s.lim.inflight(),
 		Queued:      s.lim.waiting(),

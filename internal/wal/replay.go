@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// scan reads every segment in l.dir in LSN order, verifies the records,
+// repairs a torn tail, and returns the records past fromLSN. It fills
+// l.segs / l.segFirst / l.segPath / l.next / l.written as a side effect.
+//
+// The corruption policy distinguishes what a crash can legitimately
+// leave behind from what it cannot:
+//
+//   - An incomplete final record in the FINAL segment is a torn tail: a
+//     crash interrupted the append, nothing past it was ever
+//     acknowledged, so it is truncated away. Likewise a final record
+//     whose bytes run to end-of-file but fail their CRC (a partially
+//     flushed page cache), and a tail of zero bytes.
+//   - The same damage anywhere else — before a later valid record, or in
+//     a non-final segment — cannot come from a torn append: something
+//     acknowledged after it survived, so the log is lying. That, a CRC
+//     mismatch mid-log, a gap in the LSN chain, or a log that starts
+//     after fromLSN+1 all fail with an error matching ErrCorrupt.
+func (l *Log) scan(fromLSN uint64) ([]Record, error) {
+	names, err := segNames(l.dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		records []Record
+		expect  uint64 // next LSN the chain demands; 0 = no record seen yet
+	)
+	for i, name := range names {
+		first, err := parseSegName(name)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(l.dir, name)
+		last := i == len(names)-1
+		if last {
+			l.segFirst, l.segPath = first, path
+		} else {
+			l.segs = append(l.segs, closedSeg{first: first, path: path})
+		}
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		segRecords := 0
+		for off < len(data) {
+			rest := data[off:]
+			keep, r, perr := parseNext(rest)
+			if perr != nil {
+				if last && tornTail(rest, keep) {
+					if err := l.truncateTail(path, int64(off)); err != nil {
+						return nil, err
+					}
+					break
+				}
+				return nil, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, name, off, perr)
+			}
+			if segRecords == 0 && r.LSN < first {
+				return nil, fmt.Errorf("%w: %s starts at LSN %d before its name claims %d",
+					ErrCorrupt, name, r.LSN, first)
+			}
+			if expect == 0 {
+				if r.LSN > fromLSN+1 {
+					return nil, fmt.Errorf("%w: first record is LSN %d but the snapshot only covers up to %d",
+						ErrCorrupt, r.LSN, fromLSN)
+				}
+			} else if r.LSN != expect {
+				return nil, fmt.Errorf("%w: %s has LSN %d where %d was expected",
+					ErrCorrupt, name, r.LSN, expect)
+			}
+			expect = r.LSN + 1
+			segRecords++
+			if r.LSN > fromLSN {
+				records = append(records, r)
+			}
+			off += keep
+		}
+	}
+
+	l.next = fromLSN + 1
+	if expect > l.next {
+		l.next = expect
+	}
+	l.written = l.next - 1
+	return records, nil
+}
+
+// parseNext decodes the record at the head of rest. On success it
+// returns the record and its encoded length. On failure, n is the
+// complete-record length if the framing was intact (so tornTail can
+// tell a record that runs to end-of-file from one with bytes after it),
+// or 0 if even the framing was unreadable.
+func parseNext(rest []byte) (n int, r Record, err error) {
+	if len(rest) < recHeader {
+		return 0, Record{}, fmt.Errorf("truncated header (%d bytes)", len(rest))
+	}
+	size := int(binary.LittleEndian.Uint32(rest))
+	if size < minPayload || size > maxPayload {
+		return 0, Record{}, fmt.Errorf("implausible record size %d", size)
+	}
+	if len(rest) < recHeader+size {
+		return 0, Record{}, fmt.Errorf("record of %d bytes truncated at %d", recHeader+size, len(rest))
+	}
+	payload := rest[recHeader : recHeader+size]
+	want := binary.LittleEndian.Uint32(rest[4:])
+	if got := crc32.Checksum(payload, recCRC); got != want {
+		return recHeader + size, Record{}, fmt.Errorf("CRC mismatch (%08x != %08x)", got, want)
+	}
+	r, derr := decodePayload(payload)
+	if derr != nil {
+		return recHeader + size, Record{}, derr
+	}
+	return recHeader + size, r, nil
+}
+
+// tornTail reports whether a parse failure at the tail of the final
+// segment is consistent with a torn append: the record is incomplete
+// (n == 0 and the bytes are not a later record's leavings — all zeros
+// or simply cut off), or it is complete but runs exactly to end-of-file
+// with a bad CRC (a partially flushed cache). n is parseNext's
+// complete-record length, 0 if the framing itself was short or bogus.
+func tornTail(rest []byte, n int) bool {
+	if n > 0 {
+		// Complete framing, bad content: torn only if nothing follows.
+		return n == len(rest)
+	}
+	if len(rest) < recHeader || len(rest) < recHeader+int(binary.LittleEndian.Uint32(rest)) {
+		// The record is cut off by end-of-file.
+		return true
+	}
+	// Implausible size with a full buffer behind it: torn only if the
+	// size field and everything after are preallocated zeros.
+	for _, b := range rest {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// truncateTail drops a torn tail during scan, before the segment is
+// opened for appending.
+func (l *Log) truncateTail(path string, size int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), err)
+	}
+	l.truncated.Add(st.Size() - size)
+	return nil
+}
+
+// segNames lists the segment files in dir in LSN order (the zero-padded
+// hex names sort lexicographically).
+func segNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// parseSegName extracts the first-LSN a segment's name declares.
+func parseSegName(name string) (uint64, error) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(hex) != 16 {
+		return 0, fmt.Errorf("%w: malformed segment name %q", ErrCorrupt, name)
+	}
+	first, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: malformed segment name %q", ErrCorrupt, name)
+	}
+	return first, nil
+}

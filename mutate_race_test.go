@@ -2,6 +2,7 @@ package dsks_test
 
 import (
 	"context"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -128,5 +129,118 @@ func TestMutationsRacingSearches(t *testing.T) {
 				t.Fatalf("after the churn: %d candidates, want %d", len(after.Candidates), len(base.Candidates))
 			}
 		})
+	}
+}
+
+// TestWALMutationsRacingSaveAndSearches adds the durability layer to the
+// interleaving: Insert and Remove (each append-to-log + fsync-wait)
+// racing SaveTo (snapshot + log checkpoint, with rotation and
+// compaction) racing queries, under -race. Afterwards the snapshot plus
+// the log tail must restore the exact final state.
+func TestWALMutationsRacingSaveAndSearches(t *testing.T) {
+	g, err := dsks.GenerateNetwork(dsks.NetworkConfig{Nodes: 30, EdgeFactor: 1.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := dsks.NewCollection()
+	const vocab = 8
+	for e := 0; e < g.NumEdges(); e += 3 {
+		col.Add(dsks.Position{Edge: dsks.EdgeID(e), Offset: 1},
+			[]dsks.TermID{0, dsks.TermID(1 + e%(vocab-1))})
+	}
+	tmp := t.TempDir()
+	opts := dsks.Options{Index: dsks.IndexSIF, WALDir: filepath.Join(tmp, "wal")}
+	db, err := dsks.Open(g, col, vocab, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := filepath.Join(tmp, "snap")
+
+	query := dsks.SKQuery{Pos: dsks.Position{Edge: 0, Offset: 0}, Terms: []dsks.TermID{0}, DeltaMax: 1e9}
+	const (
+		searchers  = 2
+		mutators   = 2
+		savers     = 1
+		iterations = 12
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, searchers+mutators+savers)
+	for s := 0; s < searchers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				if _, err := db.SearchCtx(context.Background(), query); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				id, err := db.Insert(dsks.Position{Edge: dsks.EdgeID(1 + m), Offset: 0.5},
+					[]dsks.TermID{0, dsks.TermID(1 + m)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := db.Remove(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations/2; i++ {
+			if err := db.SaveTo(snapDir); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := db.Version(), uint64(mutators*iterations*2); got != want {
+		t.Fatalf("Version() = %d, want %d", got, want)
+	}
+	// A final save then restore: the churn must round-trip exactly.
+	if err := db.SaveTo(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	want := db.LiveObjects()
+	base, err := db.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dsks.OpenPath(snapDir, dsks.Options{WALDir: opts.WALDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if got := back.LiveObjects(); got != want {
+		t.Fatalf("LiveObjects after restore = %d, want %d", got, want)
+	}
+	res, err := back.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != len(base.Candidates) {
+		t.Fatalf("restored query: %d candidates, want %d", len(res.Candidates), len(base.Candidates))
 	}
 }

@@ -18,16 +18,22 @@ import (
 // set and the database options into a directory; OpenPath restores them and
 // rebuilds the disk-resident index structures. The structures themselves
 // are bulk-built (as in the paper), so rebuild-on-open is both simple and
-// fast; note that object IDs are reassigned densely on load (tombstoned
-// objects are dropped from the snapshot).
+// fast.
 //
-// Snapshots are crash-safe (format 2): SaveTo stages everything in a
+// Snapshots are crash-safe (since format 2): SaveTo stages everything in a
 // temporary directory, fsyncs each file, records a manifest with per-file
 // CRC32C checksums, and swaps the staged directory into place with atomic
 // renames. A crash at any point leaves either the previous snapshot or a
 // complete new one — never a torn mixture — and OpenPath verifies the
-// manifest before trusting the files. Format-1 snapshots (no manifest)
-// are still readable.
+// manifest before trusting the files.
+//
+// Format 3 additionally records the write-ahead-log linkage: the LSN the
+// snapshot includes (so OpenPath replays only the log's tail past it, and
+// SaveTo can compact the log down to that point) and the object ID
+// allocation state (total allocated IDs plus the tombstoned ones), so
+// that objects keep their IDs across a restore and replayed log records
+// address the right ones. Format-1 (no manifest) and format-2 (dense ID
+// reassignment, no log linkage) snapshots are still readable.
 
 // dbMeta is the persisted configuration.
 type dbMeta struct {
@@ -36,11 +42,22 @@ type dbMeta struct {
 	BufferFraction float64   `json:"bufferFraction,omitempty"`
 	PartitionCuts  int       `json:"partitionCuts,omitempty"`
 	VocabSize      int       `json:"vocabSize"`
+	// WALLSN is the last write-ahead-log record this snapshot includes;
+	// replay resumes after it (format 3, zero when no log was attached).
+	WALLSN uint64 `json:"walLSN,omitempty"`
+	// Allocated and Tombstones reconstruct the object ID space: the
+	// snapshot's objects file stores live objects densely, and OpenPath
+	// reinstates the tombstoned IDs between them (format 3).
+	Allocated  int        `json:"allocated,omitempty"`
+	Tombstones []ObjectID `json:"tombstones,omitempty"`
 }
 
 const (
 	// dbMetaFormat is the snapshot format SaveTo writes.
-	dbMetaFormat = 2
+	dbMetaFormat = 3
+	// dbMetaFormatV2 adds the manifest but reassigns object IDs densely
+	// on load and carries no write-ahead-log linkage.
+	dbMetaFormatV2 = 2
 	// dbMetaFormatV1 is the legacy layout: same files, no manifest, no
 	// durability guarantees. OpenPath still reads it.
 	dbMetaFormatV1 = 1
@@ -167,20 +184,46 @@ func syncDir(path string) error {
 // window; OpenPath falls back to it automatically). SaveTo takes the
 // database's read latch, so the snapshot is consistent with respect to
 // concurrent Insert and Remove.
+//
+// With a write-ahead log attached, the snapshot records the last log
+// record it includes and then checkpoints the log: the active segment is
+// rotated and every segment the snapshot made redundant is deleted. The
+// checkpoint runs after the latch is released — a crash in between only
+// leaves extra log records that the next OpenPath replays idempotently
+// (they are at or below the snapshot's recorded LSN, so they are
+// skipped).
 func (db *DB) SaveTo(dir string) error {
+	walLSN, err := db.saveSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.Checkpoint(walLSN); err != nil {
+			return fmt.Errorf("dsks: checkpointing wal after snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// saveSnapshot writes the snapshot under the read latch and returns the
+// applied LSN it captured; the log checkpoint happens in SaveTo, after
+// the latch is released (an fsync-heavy compaction must not block
+// mutators).
+func (db *DB) saveSnapshot(dir string) (walLSN uint64, err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	walLSN = db.appliedLSN
 
 	parent := filepath.Dir(dir)
 	if err := os.MkdirAll(parent, 0o755); err != nil {
-		return err
+		return 0, err
 	}
 	if err := fireSaveHook("begin"); err != nil {
-		return err
+		return 0, err
 	}
 	tmp, err := os.MkdirTemp(parent, ".dsks-save-*")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	committed := false
 	defer func() {
@@ -203,7 +246,7 @@ func (db *DB) SaveTo(dir string) error {
 	files := make(map[string]manifestEntry, len(snapshotFiles))
 
 	if err := fireSaveHook("write-graph"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	ent, err := writeSnapshotFile(filepath.Join(tmp, "graph"), func(w io.Writer) error {
 		if err := graph.Write(w, db.sys.DS.Graph); err != nil {
@@ -212,12 +255,12 @@ func (db *DB) SaveTo(dir string) error {
 		return nil
 	})
 	if err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	files["graph"] = ent
 
 	if err := fireSaveHook("write-objects"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	ent, err = writeSnapshotFile(filepath.Join(tmp, "objects"), func(w io.Writer) error {
 		if err := dataset.WriteObjects(w, db.sys.DS.Objects, db.sys.DS.VocabSize); err != nil {
@@ -226,17 +269,21 @@ func (db *DB) SaveTo(dir string) error {
 		return nil
 	})
 	if err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	files["objects"] = ent
 
 	if err := fireSaveHook("write-meta"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
+	col := db.sys.DS.Objects
 	meta := dbMeta{
-		Format:    dbMetaFormat,
-		Index:     db.kind,
-		VocabSize: db.sys.DS.VocabSize,
+		Format:     dbMetaFormat,
+		Index:      db.kind,
+		VocabSize:  db.sys.DS.VocabSize,
+		WALLSN:     walLSN,
+		Allocated:  col.Len(),
+		Tombstones: col.Tombstones(),
 	}
 	ent, err = writeSnapshotFile(filepath.Join(tmp, "meta.json"), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -244,26 +291,26 @@ func (db *DB) SaveTo(dir string) error {
 		return enc.Encode(meta)
 	})
 	if err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	files["meta.json"] = ent
 
 	if err := fireSaveHook("write-manifest"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if _, err := writeSnapshotFile(filepath.Join(tmp, "manifest.json"), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(manifest{Format: dbMetaFormat, Files: files})
 	}); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 
 	if err := fireSaveHook("sync-staging"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if err := syncDir(tmp); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 
 	// Swap: move any previous snapshot aside, move the staged one in, make
@@ -271,31 +318,31 @@ func (db *DB) SaveTo(dir string) error {
 	// two renames leaves only dir+".prev", which OpenPath falls back to.
 	prev := dir + ".prev"
 	if err := fireSaveHook("rename-prev"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if _, serr := os.Stat(dir); serr == nil {
 		os.RemoveAll(prev) // leftover from an earlier crashed save
 		if err := os.Rename(dir, prev); err != nil {
-			return fail(err)
+			return 0, fail(err)
 		}
 	}
 	if err := fireSaveHook("rename-new"); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	if err := os.Rename(tmp, dir); err != nil {
-		return fail(err)
+		return 0, fail(err)
 	}
 	committed = true
 	if err := fireSaveHook("sync-parent"); err != nil {
-		return err
+		return 0, err
 	}
 	if err := syncDir(parent); err != nil {
-		return err
+		return 0, err
 	}
 	if err := fireSaveHook("cleanup-prev"); err != nil {
-		return err
+		return 0, err
 	}
-	return os.RemoveAll(prev)
+	return walLSN, os.RemoveAll(prev)
 }
 
 // asCrash reports whether e (or anything it wraps) is a simulated crash.
@@ -361,8 +408,9 @@ func verifySnapshotFile(path string, want manifestEntry) error {
 }
 
 // verifyManifest loads dir's manifest and checks every covered file
-// before any of them is parsed.
-func verifyManifest(dir string) error {
+// before any of them is parsed. wantFormat is the format meta.json
+// declared; the manifest must agree.
+func verifyManifest(dir string, wantFormat int) error {
 	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return fmt.Errorf("%w: missing manifest.json: %w", ErrBadSnapshot, err)
@@ -372,9 +420,9 @@ func verifyManifest(dir string) error {
 	if err := json.NewDecoder(mf).Decode(&m); err != nil {
 		return fmt.Errorf("%w: reading manifest.json: %w", ErrBadSnapshot, err)
 	}
-	if m.Format != dbMetaFormat {
+	if m.Format != wantFormat {
 		return fmt.Errorf("%w: manifest format %d does not match snapshot format %d",
-			ErrBadSnapshot, m.Format, dbMetaFormat)
+			ErrBadSnapshot, m.Format, wantFormat)
 	}
 	for _, name := range snapshotFiles {
 		want, ok := m.Files[name]
@@ -392,13 +440,19 @@ func verifyManifest(dir string) error {
 // structures. opts fields that are zero keep the persisted configuration;
 // a non-empty opts.Index overrides the saved index kind.
 //
-// Format-2 snapshots are verified against their manifest (per-file size
-// and CRC32C) before anything is parsed; format-1 snapshots are read
-// without verification. Any unreadable, truncated, mismatched or
-// unrecognized snapshot fails with an error matching ErrBadSnapshot (the
-// underlying cause also remains reachable through errors.Is/As). If dir
-// itself is missing but a dir+".prev" left by a crashed save exists, the
-// previous snapshot is opened instead.
+// Format-2 and format-3 snapshots are verified against their manifest
+// (per-file size and CRC32C) before anything is parsed; format-1
+// snapshots are read without verification. Any unreadable, truncated,
+// mismatched or unrecognized snapshot fails with an error matching
+// ErrBadSnapshot (the underlying cause also remains reachable through
+// errors.Is/As). If dir itself is missing but a dir+".prev" left by a
+// crashed save exists, the previous snapshot is opened instead.
+//
+// With opts.WALDir set, the write-ahead log there is replayed over the
+// snapshot: format-3 snapshots record the LSN they already include, so
+// only the log's tail is applied (replay is idempotent across repeated
+// crashes). A log that contradicts the snapshot fails with an error
+// matching ErrBadWAL.
 func OpenPath(dir string, opts Options) (*DB, error) {
 	if _, err := os.Stat(dir); os.IsNotExist(err) {
 		if _, perr := os.Stat(dir + ".prev"); perr == nil {
@@ -420,8 +474,8 @@ func OpenPath(dir string, opts Options) (*DB, error) {
 	switch meta.Format {
 	case dbMetaFormatV1:
 		// Legacy layout: same files, no manifest to verify.
-	case dbMetaFormat:
-		if err := verifyManifest(dir); err != nil {
+	case dbMetaFormatV2, dbMetaFormat:
+		if err := verifyManifest(dir, meta.Format); err != nil {
 			return nil, err
 		}
 	default:
@@ -453,8 +507,50 @@ func OpenPath(dir string, opts Options) (*DB, error) {
 	if vocab != meta.VocabSize {
 		return nil, fmt.Errorf("%w: vocabulary size mismatch: objects %d vs meta %d", ErrBadSnapshot, vocab, meta.VocabSize)
 	}
+	if meta.Format >= dbMetaFormat && meta.Allocated > 0 {
+		col, err = restoreIDSpace(col, meta.Allocated, meta.Tombstones)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if opts.Index == "" {
 		opts.Index = meta.Index
 	}
-	return Open(g, col, vocab, opts)
+	return openDB(g, col, vocab, opts, meta.WALLSN)
+}
+
+// restoreIDSpace rebuilds the collection with its original object IDs.
+// The snapshot's objects file stores the live objects densely (in ID
+// order); allocated and tombstones say where the holes were, so the
+// rebuilt collection assigns every surviving object its pre-snapshot ID
+// and re-tombstones the removed ones. Write-ahead-log records replayed
+// on top then address exactly the IDs they were logged against.
+func restoreIDSpace(col *Collection, allocated int, tombstones []ObjectID) (*Collection, error) {
+	if col.Len()+len(tombstones) != allocated {
+		return nil, fmt.Errorf("%w: %d live objects and %d tombstones do not fill %d allocated IDs",
+			ErrBadSnapshot, col.Len(), len(tombstones), allocated)
+	}
+	dead := make(map[ObjectID]bool, len(tombstones))
+	for _, id := range tombstones {
+		if id < 0 || int(id) >= allocated || dead[id] {
+			return nil, fmt.Errorf("%w: invalid tombstone ID %d (of %d allocated)", ErrBadSnapshot, id, allocated)
+		}
+		dead[id] = true
+	}
+	out := NewCollection()
+	next := ObjectID(0) // next dense snapshot ID to place
+	for id := 0; id < allocated; id++ {
+		if dead[ObjectID(id)] {
+			// Burn the ID: allocate a placeholder and tombstone it.
+			placeholder := out.Add(Position{}, nil)
+			if err := out.Remove(placeholder); err != nil {
+				return nil, fmt.Errorf("%w: restoring tombstone %d: %w", ErrBadSnapshot, id, err)
+			}
+			continue
+		}
+		o := col.Get(next)
+		out.Add(o.Pos, o.Terms)
+		next++
+	}
+	return out, nil
 }
