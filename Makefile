@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke serve serve-smoke chaos-smoke wal-smoke
+.PHONY: all build test race lint fuzz-smoke serve serve-smoke chaos-smoke wal-smoke bench-mixed
 
 all: build test lint
 
@@ -53,6 +53,15 @@ serve-smoke:
 chaos-smoke:
 	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
 	./scripts/chaos-smoke.sh $(CURDIR)/bin/dsks-serve
+
+# bench-mixed mirrors the CI job: boot a cache-disabled server and run
+# the two-phase read-under-write benchmark — read-only baseline, then the
+# same reads under an insert storm — writing the throughput/latency
+# trajectory to BENCH_mixed.json and asserting the mixed read p99 stays
+# within 2x of the baseline (docs/CONCURRENCY.md).
+bench-mixed:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/bench-mixed.sh $(CURDIR)/bin/dsks-serve BENCH_mixed.json
 
 # wal-smoke mirrors the CI job: boot a WAL-backed server, kill -9 it
 # mid-insert-storm, reboot on the same log, and assert every acknowledged

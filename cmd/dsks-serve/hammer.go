@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -24,8 +25,17 @@ import (
 // makes the result cache observable. The mix may include "insert" and
 // "remove" kinds, which POST real mutations: inserts bank their acked
 // object IDs in a shared pool, removes draw from it, and -strict
-// asserts that each worker observes a strictly increasing database
-// version across its own acked mutations.
+// asserts that each worker observes a strictly increasing commit LSN
+// across its own acked mutations.
+//
+// -bench-mixed FILE switches the driver into the read-under-write
+// benchmark: phase A replays the read kinds of the mix with no writers
+// (the baseline), phase B replays the identical reads while dedicated
+// mutator workers sustain an insert storm. The JSON report written to
+// FILE holds both phases' read throughput and latency percentiles, the
+// p99 ratio between them (the MVCC views' headline number: reads never
+// block on writers, so it should stay near 1), and a per-interval
+// trajectory of read throughput and p99 across the mixed phase.
 
 var (
 	hammerTarget    *string
@@ -38,6 +48,9 @@ var (
 	hammerTimeout   *time.Duration
 	hammerChaos     *bool
 	hammerChaosSpec *string
+	hammerBench     *string
+	hammerBenchMutC *int
+	hammerBenchMax  *float64
 )
 
 // hammerFlags registers the load-driver flags.
@@ -52,6 +65,9 @@ func hammerFlags(fs *flag.FlagSet) {
 	hammerTimeout = fs.Duration("client-timeout", 30*time.Second, "hammer: per-request client timeout")
 	hammerChaos = fs.Bool("chaos", false, "hammer: run the chaos campaign (server must be started with -enable-chaos)")
 	hammerChaosSpec = fs.String("chaos-spec", "read:every=1", "hammer: fault spec installed during the chaos phase")
+	hammerBench = fs.String("bench-mixed", "", "hammer: run the read-under-write benchmark, writing the JSON report to this file")
+	hammerBenchMutC = fs.Int("bench-mutators", 2, "bench-mixed: concurrent insert-storm workers during the mixed phase")
+	hammerBenchMax = fs.Float64("bench-max-ratio", 0, "bench-mixed: exit non-zero when mixed read p99 exceeds this multiple of the baseline (0 = report only)")
 }
 
 // hammerResult is one request's outcome.
@@ -60,7 +76,7 @@ type hammerResult struct {
 	latency    time.Duration
 	cacheHit   bool
 	retryAfter bool
-	version    uint64 // database version acked with a mutation, 0 otherwise
+	version    uint64 // commit LSN acked with a mutation, 0 otherwise
 }
 
 // hammerReq is one entry in the weighted request mix: a GET query, or a
@@ -121,6 +137,10 @@ func runHammer(preset string, scale int, seed int64) error {
 		return runChaos(client, base, urls)
 	}
 
+	if *hammerBench != "" {
+		return runBenchMixed(client, base, reqs, preset, scale, seed)
+	}
+
 	n, c := *hammerN, *hammerC
 	if c < 1 {
 		c = 1
@@ -135,7 +155,7 @@ func runHammer(preset string, scale int, seed int64) error {
 		go func() {
 			defer wg.Done()
 			// Each worker issues sequentially, and every acked mutation
-			// bumps the global version, so the versions a single worker
+			// publishes a fresh commit LSN, so the LSNs a single worker
 			// observes across its own mutations must strictly increase.
 			var lastVer uint64
 			for {
@@ -348,10 +368,16 @@ func issue(client *http.Client, base string, req hammerReq, pool *idPool) hammer
 	if body != nil && resp.StatusCode == http.StatusOK {
 		var ack struct {
 			ID      *int64 `json:"id"`
+			LSN     uint64 `json:"lsn"`
 			Version uint64 `json:"version"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&ack) == nil {
-			out.version = ack.Version
+			// Prefer the commit LSN; fall back to the legacy mutation
+			// counter when hammering an older server.
+			out.version = ack.LSN
+			if out.version == 0 {
+				out.version = ack.Version
+			}
 			if req.kind == "insert" && ack.ID != nil {
 				pool.put(*ack.ID)
 			}
@@ -529,7 +555,7 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99), lats[n-1])
 	fmt.Printf("  client-observed cache hits: %d/%d\n", hits, n)
 	if acked > 0 {
-		fmt.Printf("  acked mutations: %d (version monotonicity violations: %d)\n", acked, monoViolations)
+		fmt.Printf("  acked mutations: %d (LSN monotonicity violations: %d)\n", acked, monoViolations)
 	}
 	if shed429 > 0 {
 		fmt.Printf("  shed with 429: %d (Retry-After present on %d)\n", shed429, retryAfter)
@@ -560,7 +586,7 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 			return fmt.Errorf("strict: %d transport errors", statuses[0])
 		}
 		if monoViolations > 0 {
-			return fmt.Errorf("strict: %d mutation acks with a non-increasing database version", monoViolations)
+			return fmt.Errorf("strict: %d mutation acks with a non-increasing commit LSN", monoViolations)
 		}
 		// Mutation mixes invalidate the result cache on every acked write,
 		// so a cold cache is expected there; only query-only runs must hit.
@@ -577,6 +603,254 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		}
 	}
 	return nil
+}
+
+// benchPhase aggregates the read side of one benchmark phase.
+type benchPhase struct {
+	Requests    int     `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	ReadsPerSec float64 `json:"readsPerSec"`
+	P50Micros   int64   `json:"p50Micros"`
+	P95Micros   int64   `json:"p95Micros"`
+	P99Micros   int64   `json:"p99Micros"`
+	MaxMicros   int64   `json:"maxMicros"`
+}
+
+// benchBucket is one interval of the mixed phase's read trajectory.
+type benchBucket struct {
+	OffsetSeconds float64 `json:"offsetSeconds"`
+	Reads         int     `json:"reads"`
+	ReadsPerSec   float64 `json:"readsPerSec"`
+	P99Micros     int64   `json:"p99Micros"`
+}
+
+// benchReport is the -bench-mixed JSON document.
+type benchReport struct {
+	Target          string        `json:"target"`
+	Mix             string        `json:"mix"`
+	Readers         int           `json:"readers"`
+	Mutators        int           `json:"mutators"`
+	Baseline        benchPhase    `json:"baseline"`
+	Mixed           benchPhase    `json:"mixed"`
+	Mutations       int64         `json:"mutations"`
+	MutationErrors  int64         `json:"mutationErrors"`
+	MutationsPerSec float64       `json:"mutationsPerSec"`
+	ReadP99Ratio    float64       `json:"readP99Ratio"`
+	Trajectory      []benchBucket `json:"trajectory"`
+}
+
+// runBenchMixed measures read-under-write behavior in two phases: the
+// same -n reads are replayed once with no writers (baseline) and once
+// under a sustained insert storm (mixed). Under MVCC read views neither
+// phase's reads ever wait on the writer, so the p99 ratio between them
+// is the headline regression number the report and -bench-max-ratio
+// guard.
+func runBenchMixed(client *http.Client, base string, reqs []hammerReq, preset string, scale int, seed int64) error {
+	var reads []hammerReq
+	for _, r := range reqs {
+		if r.body == nil {
+			reads = append(reads, r)
+		}
+	}
+	if len(reads) == 0 {
+		return fmt.Errorf("-bench-mixed needs at least one query kind in -mix %q", *hammerMix)
+	}
+	bodies, err := benchInsertBodies(preset, scale, seed)
+	if err != nil {
+		return err
+	}
+	n, c := *hammerN, *hammerC
+	if c < 1 {
+		c = 1
+	}
+
+	fmt.Printf("bench-mixed: baseline: %d reads over %d workers, no writers\n", n, c)
+	baseline, _ := benchReads(client, base, reads, n, c, false)
+
+	mutC := *hammerBenchMutC
+	if mutC < 1 {
+		mutC = 1
+	}
+	stop := make(chan struct{})
+	var mutations, mutErrs atomic.Int64
+	var mwg sync.WaitGroup
+	for w := 0; w < mutC; w++ {
+		mwg.Add(1)
+		go func(w int) {
+			defer mwg.Done()
+			for i := w; ; i += mutC {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(base+"/v1/insert", "application/json",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					mutErrs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					mutations.Add(1)
+				} else {
+					mutErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	fmt.Printf("bench-mixed: mixed: %d reads over %d workers under %d insert-storm workers\n", n, c, mutC)
+	mixed, traj := benchReads(client, base, reads, n, c, true)
+	close(stop)
+	mwg.Wait()
+
+	rep := benchReport{
+		Target:         base,
+		Mix:            *hammerMix,
+		Readers:        c,
+		Mutators:       mutC,
+		Baseline:       baseline,
+		Mixed:          mixed,
+		Mutations:      mutations.Load(),
+		MutationErrors: mutErrs.Load(),
+		Trajectory:     traj,
+	}
+	if mixed.Seconds > 0 {
+		rep.MutationsPerSec = float64(rep.Mutations) / mixed.Seconds
+	}
+	baseP99 := baseline.P99Micros
+	if baseP99 < 1 {
+		baseP99 = 1 // a sub-microsecond baseline still yields a finite ratio
+	}
+	rep.ReadP99Ratio = float64(mixed.P99Micros) / float64(baseP99)
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*hammerBench, append(body, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", *hammerBench, err)
+	}
+	fmt.Printf("bench-mixed: baseline p99 %dµs (%.0f reads/s), mixed p99 %dµs (%.0f reads/s) under %.0f inserts/s — ratio %.2f\n",
+		baseline.P99Micros, baseline.ReadsPerSec, mixed.P99Micros, mixed.ReadsPerSec,
+		rep.MutationsPerSec, rep.ReadP99Ratio)
+	fmt.Printf("bench-mixed: report written to %s\n", *hammerBench)
+
+	if baseline.Errors > 0 || mixed.Errors > 0 {
+		return fmt.Errorf("bench-mixed: %d baseline + %d mixed read errors", baseline.Errors, mixed.Errors)
+	}
+	if rep.Mutations == 0 {
+		return fmt.Errorf("bench-mixed: the insert storm landed no mutations (%d errors)", rep.MutationErrors)
+	}
+	if max := *hammerBenchMax; max > 0 && rep.ReadP99Ratio > max {
+		return fmt.Errorf("bench-mixed: mixed read p99 is %.2fx the baseline, want <= %.2fx — reads are blocking on writers",
+			rep.ReadP99Ratio, max)
+	}
+	return nil
+}
+
+// benchReads replays n round-robin reads over c workers and aggregates
+// one phase; with trajectory set, each read's completion offset is kept
+// and bucketed into the per-interval trajectory.
+func benchReads(client *http.Client, base string, reads []hammerReq, n, c int, trajectory bool) (benchPhase, []benchBucket) {
+	lats := make([]time.Duration, n)
+	offs := make([]float64, n)
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				status, _, _ := issueBody(client, base+reads[i%len(reads)].url)
+				lats[i] = time.Since(t0)
+				offs[i] = time.Since(start).Seconds()
+				if status != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	phase := benchPhase{
+		Requests:  n,
+		Errors:    errs.Load(),
+		Seconds:   elapsed.Seconds(),
+		P50Micros: pct(sorted, 0.50).Microseconds(),
+		P95Micros: pct(sorted, 0.95).Microseconds(),
+		P99Micros: pct(sorted, 0.99).Microseconds(),
+		MaxMicros: sorted[len(sorted)-1].Microseconds(),
+	}
+	if phase.Seconds > 0 {
+		phase.ReadsPerSec = float64(n) / phase.Seconds
+	}
+	if !trajectory {
+		return phase, nil
+	}
+	return phase, benchTrajectory(offs, lats)
+}
+
+// benchTrajectory buckets reads into fixed intervals by completion time.
+func benchTrajectory(offs []float64, lats []time.Duration) []benchBucket {
+	const width = 0.5 // seconds
+	byBucket := map[int][]time.Duration{}
+	for i, o := range offs {
+		b := int(o / width)
+		byBucket[b] = append(byBucket[b], lats[i])
+	}
+	keys := make([]int, 0, len(byBucket))
+	for k := range byBucket {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]benchBucket, 0, len(keys))
+	for _, k := range keys {
+		ls := byBucket[k]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		out = append(out, benchBucket{
+			OffsetSeconds: float64(k) * width,
+			Reads:         len(ls),
+			ReadsPerSec:   float64(len(ls)) / width,
+			P99Micros:     pct(ls, 0.99).Microseconds(),
+		})
+	}
+	return out
+}
+
+// benchInsertBodies builds the insert POST bodies of the mixed phase's
+// mutation storm: workload positions and keywords from the same preset,
+// offset by a different seed so the storm does not mirror the read mix.
+func benchInsertBodies(preset string, scale int, seed int64) ([][]byte, error) {
+	ds, err := dsks.GeneratePreset(dsks.Preset(preset), scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: 256, Keywords: 2, Seed: seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, len(ws))
+	for i, q := range ws {
+		bodies[i], _ = json.Marshal(map[string]any{
+			"edge": q.Pos.Edge, "offset": q.Pos.Offset, "terms": q.Terms,
+		})
+	}
+	return bodies, nil
 }
 
 // pct reads the q-quantile of sorted latencies.

@@ -289,22 +289,42 @@ func (o Options) validate() error {
 }
 
 // DB is an opened database: the disk-resident road network and object
-// index, ready for queries. Queries may run concurrently (the shared
-// buffer pools serialize page access internally), and Insert/Remove/ResetIO
-// may run concurrently with queries: mutations take the database's write
-// latch, queries its read latch, so a query observes the index either
-// entirely before or entirely after any mutation. Streams are the one
-// exception — a live Stream must not race with Insert or Remove.
+// index, ready for queries. Reads and writes follow a single-writer /
+// many-readers MVCC protocol: every query pins an immutable version of the
+// database (a View) and runs against it latch-free, while mutations build
+// the next version off to the side — cloning only the pages and roots they
+// touch — and publish it with one atomic pointer swap stamped with the
+// commit LSN. A query therefore observes the database exactly as of one
+// published LSN, and a mutation burst never blocks the read path (see
+// docs/CONCURRENCY.md for the full protocol).
+//
+// Open a View explicitly for multi-query consistency, or call the one-shot
+// Search* methods, which open and close a view per call.
 type DB struct {
 	sys  *harness.System
 	kind IndexKind
 
-	// mu orders queries (readers) against Insert/Remove/ResetIO (writers).
-	// The latch protects the in-memory collection and index directories;
-	// page-level access is serialized by the buffer pools underneath it.
+	// mu serializes mutators (Insert/Remove and WAL replay): one writer at
+	// a time builds and publishes the next version. It also protects the
+	// in-memory collection. Queries never take it — they read the roots
+	// pointer below.
 	mu sync.RWMutex
+
+	// roots is the current published version: index root sets plus the
+	// commit LSN that produced them. Readers load it with one atomic read
+	// and pin its LSN in epochs; mutators (under mu) replace it after
+	// publishing their copy-on-write pages.
+	roots atomic.Pointer[dbRoots]
+	// epochs tracks which LSNs live views have pinned; superseded page
+	// versions are folded into the base file only once no view pins them.
+	epochs storage.Epochs
+	// foldMu serializes physical folds (reclaim), so an older fold can
+	// never overwrite the bytes of a newer one.
+	foldMu sync.Mutex
+
 	// version counts committed mutations (Insert/Remove). Result caches
-	// key on it to invalidate across mutations; read with Version.
+	// historically keyed on it; prefer View.LSN, which identifies the
+	// exact snapshot a result came from. Read with Version.
 	version atomic.Uint64
 
 	// wal is the write-ahead log, nil unless Options.WALDir was set.
@@ -312,8 +332,8 @@ type DB struct {
 	// for durability outside it — an fsync never stalls queries.
 	wal *wal.Log
 	// appliedLSN is the last log record applied to the in-memory state;
-	// written under mu.Lock, read under either latch. SaveTo records it
-	// in the snapshot so replay can skip what the snapshot contains.
+	// written under mu.Lock. SaveTo records it in the snapshot so replay
+	// can skip what the snapshot contains.
 	appliedLSN uint64
 }
 
@@ -359,12 +379,33 @@ func openDB(g *Graph, objects *Collection, vocabSize int, opts Options, walFrom 
 		return nil, err
 	}
 	db := &DB{sys: sys, kind: opts.Index}
+	db.roots.Store(db.initialRoots(walFrom))
 	if opts.WALDir != "" {
 		if err := db.attachWAL(opts, walFrom); err != nil {
 			return nil, err
 		}
 	}
 	return db, nil
+}
+
+// initialRoots captures the freshly built index state as version zero (or
+// walFrom, when the built state already includes a snapshot's mutations).
+func (db *DB) initialRoots(walFrom uint64) *dbRoots {
+	r := &dbRoots{lsn: walFrom, live: db.sys.DS.Objects.Live()}
+	switch db.kind {
+	case IndexSIF:
+		inv := db.sys.SIF.Index().Roots()
+		sr := db.sys.SIF.Roots()
+		r.inv, r.sif = &inv, &sr
+	case IndexSIFP:
+		inv := db.sys.SIFP.Index().Roots()
+		sr := db.sys.SIFP.Roots()
+		r.inv, r.sif = &inv, &sr
+	case IndexIF:
+		inv := db.sys.Inv.Roots()
+		r.inv = &inv
+	}
+	return r
 }
 
 // attachWAL opens the log, replays the records past walFrom over the
@@ -406,7 +447,7 @@ func (db *DB) applyRecord(r wal.Record) error {
 		if err := db.checkInsert(pos, terms); err != nil {
 			return fmt.Errorf("%w: replaying insert at LSN %d: %w", ErrBadWAL, r.LSN, err)
 		}
-		id, err := db.applyInsert(db.sys.DS.Graph.Clamp(pos), terms)
+		id, err := db.applyInsertAt(r.LSN, db.sys.DS.Graph.Clamp(pos), terms)
 		if err != nil {
 			return fmt.Errorf("dsks: replaying insert at LSN %d: %w", r.LSN, err)
 		}
@@ -419,7 +460,7 @@ func (db *DB) applyRecord(r wal.Record) error {
 		if err := db.checkRemove(id); err != nil {
 			return fmt.Errorf("%w: replaying remove at LSN %d: %w", ErrBadWAL, r.LSN, err)
 		}
-		if err := db.applyRemove(id); err != nil {
+		if err := db.applyRemoveAt(r.LSN, id); err != nil {
 			return fmt.Errorf("dsks: replaying remove at LSN %d: %w", r.LSN, err)
 		}
 	default:
@@ -502,32 +543,31 @@ func (db *DB) checkQuery(pos Position, terms []TermID) error {
 // Search runs a boolean spatial keyword query: all objects within
 // q.DeltaMax network distance containing every keyword of q.Terms,
 // in non-decreasing distance order.
+//
+// Deprecated-style convenience: prefer View (for multi-query consistency)
+// or SearchCtx (for cancellation); this delegates to SearchCtx with
+// context.Background().
 func (db *DB) Search(q SKQuery) (Result, error) {
 	return db.SearchCtx(context.Background(), q)
 }
 
 // SearchCtx is Search honoring the context's cancellation and deadline.
+// It opens a view for the single call; use View directly to run several
+// queries against one consistent snapshot.
 func (db *DB) SearchCtx(ctx context.Context, q SKQuery) (Result, error) {
-	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
-		return Result{}, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.sys.RunSK(ctx, db.kind, q)
+	v, err := db.View(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Candidates: r.Candidates,
-		Elapsed:    r.Elapsed,
-		DiskReads:  r.DiskReads,
-		Stats:      r.Stats,
-		Trace:      r.Trace,
-	}, nil
+	defer v.Close()
+	return v.Search(ctx, q)
 }
 
 // SearchDiversified runs a diversified spatial keyword query with the
 // incremental COM algorithm (Algorithm 6 of the paper).
+//
+// Deprecated-style convenience: prefer View or SearchDiversifiedCtx; this
+// delegates with context.Background().
 func (db *DB) SearchDiversified(q DivQuery) (Result, error) {
 	return db.SearchDiversifiedWithCtx(context.Background(), AlgoCOM, q)
 }
@@ -540,30 +580,22 @@ func (db *DB) SearchDiversifiedCtx(ctx context.Context, q DivQuery) (Result, err
 
 // SearchDiversifiedWith runs a diversified query with an explicit
 // algorithm choice (COM or the SEQ baseline).
+//
+// Deprecated-style convenience: prefer View or SearchDiversifiedWithCtx;
+// this delegates with context.Background().
 func (db *DB) SearchDiversifiedWith(algo Algo, q DivQuery) (Result, error) {
 	return db.SearchDiversifiedWithCtx(context.Background(), algo, q)
 }
 
 // SearchDiversifiedWithCtx is SearchDiversifiedWith honoring the context's
-// cancellation and deadline.
+// cancellation and deadline. It opens a view for the single call.
 func (db *DB) SearchDiversifiedWithCtx(ctx context.Context, algo Algo, q DivQuery) (Result, error) {
-	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
-		return Result{}, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.sys.RunDiv(ctx, db.kind, algo, q)
+	v, err := db.View(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Candidates: r.Div.Objects,
-		F:          r.Div.F,
-		Elapsed:    r.Elapsed,
-		DiskReads:  r.DiskReads,
-		Stats:      r.Stats,
-		Trace:      r.Trace,
-	}, nil
+	defer v.Close()
+	return v.SearchDiversifiedWith(ctx, algo, q)
 }
 
 // KNNQuery is a k-nearest-neighbor boolean spatial keyword query: the K
@@ -573,29 +605,22 @@ type KNNQuery = core.KNNQuery
 // SearchKNN returns the k nearest objects containing every query keyword,
 // in non-decreasing network distance. The expansion stops as soon as the
 // k-th match is emitted.
+//
+// Deprecated-style convenience: prefer View or SearchKNNCtx; this
+// delegates with context.Background().
 func (db *DB) SearchKNN(q KNNQuery) (Result, error) {
 	return db.SearchKNNCtx(context.Background(), q)
 }
 
 // SearchKNNCtx is SearchKNN honoring the context's cancellation and
-// deadline.
+// deadline. It opens a view for the single call.
 func (db *DB) SearchKNNCtx(ctx context.Context, q KNNQuery) (Result, error) {
-	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
-		return Result{}, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.sys.RunKNN(ctx, db.kind, q)
+	v, err := db.View(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Candidates: r.Candidates,
-		Elapsed:    r.Elapsed,
-		DiskReads:  r.DiskReads,
-		Stats:      r.Stats,
-		Trace:      r.Trace,
-	}, nil
+	defer v.Close()
+	return v.SearchKNN(ctx, q)
 }
 
 // RankedQuery is a top-k ranked spatial keyword query: objects scored by
@@ -609,32 +634,27 @@ type RankedResult = core.RankedResult
 // scored objects in Result.Ranked. It requires an index with OR-semantics
 // support (IF, SIF or SIF-P); others fail with an error matching
 // ErrUnsupportedIndex.
+//
+// Deprecated-style convenience: prefer View or SearchRankedCtx; this
+// delegates with context.Background().
 func (db *DB) SearchRanked(q RankedQuery) (Result, error) {
 	return db.SearchRankedCtx(context.Background(), q)
 }
 
 // SearchRankedCtx is SearchRanked honoring the context's cancellation and
-// deadline.
+// deadline. It opens a view for the single call.
 func (db *DB) SearchRankedCtx(ctx context.Context, q RankedQuery) (Result, error) {
-	if _, err := db.sys.UnionLoader(db.kind); err != nil {
-		return Result{}, fmt.Errorf("dsks: ranked query on index %s: %w", db.kind, ErrUnsupportedIndex)
-	}
-	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
-		return Result{}, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.sys.RunRanked(ctx, db.kind, q)
+	v, err := db.View(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Ranked:    r.Ranked,
-		Elapsed:   r.Elapsed,
-		DiskReads: r.DiskReads,
-		Stats:     r.Stats,
-		Trace:     r.Trace,
-	}, nil
+	defer v.Close()
+	return v.SearchRanked(ctx, q)
+}
+
+// errUnsupportedQuery reports a query family the index kind cannot serve.
+func errUnsupportedQuery(family string, kind IndexKind) error {
+	return fmt.Errorf("dsks: %s query on index %s: %w", family, kind, ErrUnsupportedIndex)
 }
 
 // CollectiveQuery asks for a *group* of objects that together cover every
@@ -649,32 +669,22 @@ type CollectiveResult = core.CollectiveResult
 // approximate weighted set-cover greedy and returns it in
 // Result.Collective. It requires an index with OR-semantics support (IF,
 // SIF or SIF-P); others fail with an error matching ErrUnsupportedIndex.
+//
+// Deprecated-style convenience: prefer View or SearchCollectiveCtx; this
+// delegates with context.Background().
 func (db *DB) SearchCollective(q CollectiveQuery) (Result, error) {
 	return db.SearchCollectiveCtx(context.Background(), q)
 }
 
 // SearchCollectiveCtx is SearchCollective honoring the context's
-// cancellation and deadline.
+// cancellation and deadline. It opens a view for the single call.
 func (db *DB) SearchCollectiveCtx(ctx context.Context, q CollectiveQuery) (Result, error) {
-	if _, err := db.sys.UnionLoader(db.kind); err != nil {
-		return Result{}, fmt.Errorf("dsks: collective query on index %s: %w", db.kind, ErrUnsupportedIndex)
-	}
-	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
-		return Result{}, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r, err := db.sys.RunCollective(ctx, db.kind, q)
+	v, err := db.View(ctx)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Collective: r.Collective,
-		Elapsed:    r.Elapsed,
-		DiskReads:  r.DiskReads,
-		Stats:      r.Stats,
-		Trace:      r.Trace,
-	}, nil
+	defer v.Close()
+	return v.SearchCollective(ctx, q)
 }
 
 // Stream is an incremental boolean search: candidates are pulled one at a
@@ -683,9 +693,11 @@ func (db *DB) SearchCollectiveCtx(ctx context.Context, q CollectiveQuery) (Resul
 // with StreamCtx stops with an error matching ErrCanceled or
 // ErrDeadlineExceeded once its context ends.
 //
-// A live stream reads the index incrementally without the database latch,
-// so it must not run concurrently with Insert or Remove; the one-shot
-// Search* methods have no such restriction.
+// A stream reads a pinned snapshot: one obtained from DB.Stream/StreamCtx
+// owns a private View released when the stream finishes, and one obtained
+// from View.Stream reads that view (which must stay open for the stream's
+// lifetime). Either way, concurrent Insert/Remove calls neither block the
+// stream nor change what it returns.
 type Stream struct {
 	search *core.SKSearch
 	sys    *harness.System
@@ -693,30 +705,32 @@ type Stream struct {
 	start  time.Time
 	before int64
 	done   bool
+	// view, when non-nil, is owned by the stream and closed on finish.
+	view *View
 }
 
 // Stream starts an incremental boolean search.
+//
+// Deprecated-style convenience: prefer View.Stream or StreamCtx; this
+// delegates with context.Background().
 func (db *DB) Stream(q SKQuery) (*Stream, error) {
 	return db.StreamCtx(context.Background(), q)
 }
 
 // StreamCtx is Stream honoring the context's cancellation and deadline:
-// the context is checked on every Next.
+// the context is checked on every Next. The stream owns a private view of
+// the current version and releases it when exhausted, stopped, or failed.
 func (db *DB) StreamCtx(ctx context.Context, q SKQuery) (*Stream, error) {
-	if err := db.checkQuery(q.Pos, q.Terms); err != nil {
-		return nil, err
-	}
-	loader, err := db.sys.Loader(db.kind)
+	v, err := db.View(ctx)
 	if err != nil {
 		return nil, err
 	}
-	before := db.sys.DiskReads(db.kind)
-	start := time.Now()
-	s, err := core.NewSKSearch(ctx, db.sys.Net, loader, q)
+	s, err := v.stream(ctx, q, true)
 	if err != nil {
+		v.Close()
 		return nil, err
 	}
-	return &Stream{search: s, sys: db.sys, kind: db.kind, start: start, before: before}, nil
+	return s, nil
 }
 
 // Next returns the next candidate; ok is false when the stream is done.
@@ -740,12 +754,16 @@ func (s *Stream) Stats() SearchStats { return s.search.Stats() }
 // Trace returns the stream's stage timings so far.
 func (s *Stream) Trace() Trace { return s.search.Trace() }
 
-// finish records the stream's metrics sample exactly once.
+// finish records the stream's metrics sample exactly once and releases
+// the stream-owned view, if any.
 func (s *Stream) finish(err error) {
 	if s.done {
 		return
 	}
 	s.done = true
+	if s.view != nil {
+		s.view.Close()
+	}
 	stats := s.search.Stats()
 	s.sys.Metrics.Record(KindStream, metrics.Sample{
 		Elapsed:       time.Since(s.start),
@@ -767,15 +785,20 @@ func (s *Stream) finish(err error) {
 // it fails with an error matching ErrUnsupportedIndex). Terms must be
 // below the vocabulary size the database was opened with.
 //
-// Insert takes the database's write latch, so it is safe to call
-// concurrently with queries; a successful insert bumps Version.
+// Insert builds the next database version copy-on-write — private copies
+// of every touched index page plus cloned root structures — and publishes
+// it with one atomic swap stamped with the commit LSN, so concurrent
+// queries are never blocked and never observe a half-applied mutation:
+// views opened before the swap keep reading the old version, views opened
+// after it see the new one. Concurrent Insert/Remove calls serialize on
+// the writer latch. A successful insert bumps Version.
 //
 // With a write-ahead log attached (Options.WALDir), the insert is logged
 // before it is applied and acknowledged only once its record is fsynced;
 // the durability wait happens after the latch is released, so an fsync
-// never stalls queries. A mutation that errors mid-flight (a log or
-// index fault) is indeterminate: it was never acknowledged, but a
-// concurrent snapshot may still capture it.
+// never stalls anything. A mutation that errors mid-flight after logging
+// is indeterminate: it was never acknowledged and never published, but
+// the log record exists, so a restart replays it.
 func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 	db.mu.Lock()
 	if err := db.checkInsert(pos, terms); err != nil {
@@ -783,7 +806,7 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 		return 0, err
 	}
 	pos = db.sys.DS.Graph.Clamp(pos)
-	var lsn uint64
+	lsn := db.roots.Load().lsn + 1
 	if db.wal != nil {
 		rec := wal.Record{
 			Type: wal.RecInsert,
@@ -807,11 +830,12 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 		// already allocated the ID would misnumber everything after it.
 		db.appliedLSN = lsn
 	}
-	id, err := db.applyInsert(pos, terms)
+	id, err := db.applyInsertAt(lsn, pos, terms)
 	db.mu.Unlock()
 	if err != nil {
 		return 0, err
 	}
+	db.reclaim()
 	if db.wal != nil {
 		if werr := db.wal.WaitDurable(lsn); werr != nil {
 			return id, fmt.Errorf("dsks: insert of object %d applied but not durable: %w", id, werr)
@@ -840,27 +864,75 @@ func (db *DB) checkInsert(pos Position, terms []TermID) error {
 	}
 }
 
-// applyInsert performs a validated insert against the collection and the
-// index; callers hold the write latch. pos must already be clamped.
-func (db *DB) applyInsert(pos Position, terms []TermID) (ObjectID, error) {
+// applyInsertAt performs a validated insert copy-on-write at commit LSN
+// lsn: the index mutation runs against a private page batch and cloned
+// roots with the ID the collection will assign; only after it succeeds is
+// the collection extended and the new version published. Callers hold the
+// write latch. pos must already be clamped.
+func (db *DB) applyInsertAt(lsn uint64, pos Position, terms []TermID) (ObjectID, error) {
+	cur := db.roots.Load()
 	col := db.sys.DS.Objects
-	id := col.Add(pos, append([]TermID(nil), terms...))
-	o := col.Get(id)
+	// The ID the collection will assign below; indexing it before col.Add
+	// means a failed index mutation leaves the collection untouched.
+	id := ObjectID(col.Len())
+	// Collection.Add normalizes terms; the index must see the same set.
+	normTerms := obj.NormalizeTerms(append([]TermID(nil), terms...))
+
+	pool := db.sys.ObjPool(db.kind)
+	batch := pool.NewBatch(lsn)
+	next := &dbRoots{lsn: lsn, live: cur.live + 1, inv: cur.inv, sif: cur.sif}
 	var err error
 	switch db.kind {
-	case IndexSIF:
-		err = db.sys.SIF.InsertObject(id, pos.Edge, pos.Offset, o.Terms)
-	case IndexSIFP:
-		err = db.sys.SIFP.InsertObject(id, pos.Edge, pos.Offset, o.Terms)
+	case IndexSIF, IndexSIFP:
+		s := db.sys.SIF
+		if db.kind == IndexSIFP {
+			s = db.sys.SIFP
+		}
+		inv, sr := *cur.inv, *cur.sif
+		if err = s.InsertObjectAt(batch, &inv, &sr, id, pos.Edge, pos.Offset, normTerms); err == nil {
+			next.inv, next.sif = &inv, &sr
+		}
 	case IndexIF:
 		coder := invindex.GraphZCoder{G: db.sys.DS.Graph}
-		err = db.sys.Inv.InsertObject(coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, o.Terms)
+		inv := *cur.inv
+		if err = db.sys.Inv.InsertObjectAt(batch, &inv, coder.EdgeZCode(pos.Edge), id, pos.Edge, pos.Offset, normTerms); err == nil {
+			next.inv = &inv
+		}
 	}
 	if err != nil {
+		// The batch is dropped unpublished: no reader ever saw anything.
 		return 0, err
 	}
-	db.version.Add(1)
+	got := col.Add(pos, append([]TermID(nil), terms...))
+	if got != id {
+		return 0, fmt.Errorf("dsks: insert assigned object %d where the index recorded %d", got, id)
+	}
+	db.publish(batch, next)
 	return id, nil
+}
+
+// publish installs a mutation's pages and roots as the current version:
+// pages first (invisible — no reader is pinned at the new LSN yet), then
+// the root swap that makes the LSN reachable. Callers hold the write
+// latch.
+func (db *DB) publish(batch *storage.WriteBatch, next *dbRoots) {
+	db.sys.ObjPool(db.kind).Publish(batch)
+	db.roots.Store(next)
+	db.version.Add(1)
+}
+
+// reclaim folds page versions every live view has moved past back into
+// the base file. Fold errors are ignored here: the overlay stays
+// authoritative and the next reclaim retries.
+func (db *DB) reclaim() {
+	pool := db.sys.ObjPool(db.kind)
+	if pool == nil {
+		return
+	}
+	db.foldMu.Lock()
+	defer db.foldMu.Unlock()
+	h := db.epochs.FoldHorizon(db.roots.Load().lsn)
+	_ = pool.FoldTo(h)
 }
 
 // Remove deletes an object from an open database: it is tombstoned in the
@@ -868,17 +940,18 @@ func (db *DB) applyInsert(pos Position, terms []TermID) (ObjectID, error) {
 // longer see it. Signature bits are not cleared (sound: a stale bit can
 // only cost a false hit). Supported for IF, SIF and SIF-P.
 //
-// Remove takes the database's write latch, so it is safe to call
-// concurrently with queries; a successful remove bumps Version. With a
-// write-ahead log attached it follows Insert's protocol: logged before
-// applied, acknowledged once fsynced.
+// Remove follows Insert's copy-on-write protocol: the next version is
+// built privately and published atomically, so concurrent queries are
+// never blocked and views opened earlier still see the object. A
+// successful remove bumps Version. With a write-ahead log attached it is
+// logged before applied and acknowledged once fsynced.
 func (db *DB) Remove(id ObjectID) error {
 	db.mu.Lock()
 	if err := db.checkRemove(id); err != nil {
 		db.mu.Unlock()
 		return err
 	}
-	var lsn uint64
+	lsn := db.roots.Load().lsn + 1
 	if db.wal != nil {
 		var err error
 		if lsn, err = db.wal.Append(wal.Record{Type: wal.RecRemove, ID: int32(id)}); err != nil {
@@ -887,11 +960,12 @@ func (db *DB) Remove(id ObjectID) error {
 		}
 		db.appliedLSN = lsn
 	}
-	err := db.applyRemove(id)
+	err := db.applyRemoveAt(lsn, id)
 	db.mu.Unlock()
 	if err != nil {
 		return err
 	}
+	db.reclaim()
 	if db.wal != nil {
 		if werr := db.wal.WaitDurable(lsn); werr != nil {
 			return fmt.Errorf("dsks: remove of object %d applied but not durable: %w", id, werr)
@@ -915,20 +989,35 @@ func (db *DB) checkRemove(id ObjectID) error {
 	}
 }
 
-// applyRemove performs a validated remove against the index and the
-// collection; callers hold the write latch.
-func (db *DB) applyRemove(id ObjectID) error {
+// applyRemoveAt performs a validated remove copy-on-write at commit LSN
+// lsn (see applyInsertAt); callers hold the write latch. Signature roots
+// are unchanged by removes (bits stay set), so the new version shares
+// them.
+func (db *DB) applyRemoveAt(lsn uint64, id ObjectID) error {
+	cur := db.roots.Load()
 	col := db.sys.DS.Objects
 	o := col.Get(id)
+
+	pool := db.sys.ObjPool(db.kind)
+	batch := pool.NewBatch(lsn)
+	next := &dbRoots{lsn: lsn, live: cur.live - 1, inv: cur.inv, sif: cur.sif}
 	var err error
 	switch db.kind {
-	case IndexSIF:
-		err = db.sys.SIF.RemoveObject(id, o.Pos.Edge, o.Terms)
-	case IndexSIFP:
-		err = db.sys.SIFP.RemoveObject(id, o.Pos.Edge, o.Terms)
+	case IndexSIF, IndexSIFP:
+		s := db.sys.SIF
+		if db.kind == IndexSIFP {
+			s = db.sys.SIFP
+		}
+		inv := *cur.inv
+		if err = s.RemoveObjectAt(batch, &inv, id, o.Pos.Edge, o.Terms); err == nil {
+			next.inv = &inv
+		}
 	case IndexIF:
 		coder := invindex.GraphZCoder{G: db.sys.DS.Graph}
-		err = db.sys.Inv.RemoveObject(coder.EdgeZCode(o.Pos.Edge), id, o.Terms)
+		inv := *cur.inv
+		if err = db.sys.Inv.RemoveObjectAt(batch, &inv, coder.EdgeZCode(o.Pos.Edge), id, o.Terms); err == nil {
+			next.inv = &inv
+		}
 	}
 	if err != nil {
 		return err
@@ -936,22 +1025,26 @@ func (db *DB) applyRemove(id ObjectID) error {
 	if err := col.Remove(id); err != nil {
 		return err
 	}
-	db.version.Add(1)
+	db.publish(batch, next)
 	return nil
 }
 
 // Version returns the database's mutation counter: the number of
 // successful Insert and Remove calls since Open (replayed log records
-// count too). Result caches key on it so that entries filled before a
-// mutation are never served after it.
+// count too). Prefer LSN (or View.LSN), which names the exact published
+// version a reader observes.
 func (db *DB) Version() uint64 { return db.version.Load() }
 
+// LSN returns the commit LSN of the current published version: the WAL
+// LSN of the last applied mutation (databases without a WAL count
+// mutations on the same clock). A View opened now is pinned at this LSN
+// or a later one.
+func (db *DB) LSN() uint64 { return db.roots.Load().lsn }
+
 // LiveObjects returns the number of live (inserted and not removed)
-// objects in the database.
+// objects in the current published version (latch-free).
 func (db *DB) LiveObjects() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.sys.DS.Objects.Live()
+	return db.roots.Load().live
 }
 
 // DurableLSN reports the write-ahead log's durability horizon: every
@@ -1016,12 +1109,12 @@ func (db *DB) IndexSizeBytes() int64 { return db.sys.IndexSize[db.kind] }
 // BuildTime returns how long the object index construction took.
 func (db *DB) BuildTime() time.Duration { return db.sys.BuildTime[db.kind] }
 
-// ResetIO cools the buffer pools and zeroes the disk-access counters. It
-// takes the database's write latch, so it is safe to call concurrently
-// with queries (they serialize around the reset).
+// ResetIO cools the buffer pools and zeroes the disk-access counters.
+// It is latch-free: counters are zeroed with atomic swaps and the pools
+// drop frames under their own short internal latches, so a reset never
+// stalls queries or mutations (concurrent queries may observe partially
+// reset counters, which is inherent to any reset during traffic).
 func (db *DB) ResetIO() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.sys.ResetIO()
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -75,8 +76,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Open a read view: both queries below run against the same pinned
+	// snapshot, so a concurrent insert could never make them disagree.
+	ctx := context.Background()
+	view, err := db.View(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer view.Close()
+
 	// Plain boolean search: everything serving both, nearest first.
-	res, err := db.Search(dsks.SKQuery{Pos: where, Terms: terms, DeltaMax: 800})
+	res, err := view.Search(ctx, dsks.SKQuery{Pos: where, Terms: terms, DeltaMax: 800})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +99,7 @@ func main() {
 	// p1 and p2 are only 30m apart, so even though p2 is the second
 	// closest match, the diversified result swaps it for the far cluster's
 	// p4 (the paper's S2 = {p1, p4} over S1 = {p1, p2}).
-	div, err := db.SearchDiversified(dsks.DivQuery{
+	div, err := view.SearchDiversified(ctx, dsks.DivQuery{
 		SKQuery: dsks.SKQuery{Pos: where, Terms: terms, DeltaMax: 800},
 		K:       2,
 		Lambda:  0.4,
@@ -101,7 +111,10 @@ func main() {
 	for _, c := range div.Candidates {
 		fmt.Printf("  %-18s %4.0fm away\n", names[c.Ref.ID], c.Dist)
 	}
-	pairDist := db.NetworkDistance(div.Candidates[0].Ref.Pos(), div.Candidates[1].Ref.Pos())
+	pairDist, err := view.NetworkDistance(ctx, div.Candidates[0].Ref.Pos(), div.Candidates[1].Ref.Pos())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  the two picks are %.0fm apart on the road network\n", pairDist)
 
 	// Where did the time go? Every result carries a stage-timing trace.

@@ -56,10 +56,19 @@ func main() {
 	fmt.Printf("venue on street %d; %d hotels offer amenities %v within %.0fm\n\n",
 		venue.Pos.Edge, best, venue.Terms, venue.DeltaMax)
 
-	// λ sweep: higher λ favours closeness, lower λ favours spread.
-	fmt.Println("effect of the relevance/diversity trade-off (k = 4):")
+	// λ sweep: higher λ favours closeness, lower λ favours spread. The
+	// whole sweep runs inside one read view, so every λ is scored against
+	// the same pinned snapshot even if hotels were being inserted
+	// concurrently — comparing picks across λ only makes sense when all
+	// three queries saw identical data.
+	ctx := context.Background()
+	view, err := db.View(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("effect of the relevance/diversity trade-off (k = 4, snapshot LSN %d):\n", view.LSN())
 	for _, lambda := range []float64{0.9, 0.7, 0.5} {
-		res, err := db.SearchDiversified(dsks.DivQuery{
+		res, err := view.SearchDiversified(ctx, dsks.DivQuery{
 			SKQuery: dsks.SKQuery{Pos: venue.Pos, Terms: venue.Terms, DeltaMax: venue.DeltaMax},
 			K:       4,
 			Lambda:  lambda,
@@ -72,7 +81,10 @@ func main() {
 		for i, c := range res.Candidates {
 			avgDist += c.Dist
 			for _, d := range res.Candidates[i+1:] {
-				pd := db.NetworkDistance(c.Ref.Pos(), d.Ref.Pos())
+				pd, err := view.NetworkDistance(ctx, c.Ref.Pos(), d.Ref.Pos())
+				if err != nil {
+					log.Fatal(err)
+				}
 				if minPair < 0 || pd < minPair {
 					minPair = pd
 				}
@@ -84,6 +96,7 @@ func main() {
 		fmt.Printf("  λ = %.1f: f = %.3f, avg hotel distance %5.0fm, closest pair %5.0fm apart\n",
 			lambda, res.F, avgDist, minPair)
 	}
+	view.Close() // release the pin so storage can reclaim old versions
 
 	// COM vs SEQ over the whole workload (k = 10, λ = 0.8 — the paper's
 	// defaults). COM prunes and terminates early; SEQ retrieves everything.

@@ -7,10 +7,18 @@
 // buffer pool is designed to avoid.
 //
 // The same discipline covers the serving layer: a dsks.DB query or
-// mutation entry point (Search*, Stream*, Insert, Remove) runs network
-// expansion and page I/O internally, so holding any local latch — the
-// server's result-cache mutex in particular — across such a call stalls
-// every concurrent request behind one query.
+// mutation entry point (Search*, Stream*, Insert, Remove) and every
+// dsks.View query method run network expansion and page I/O internally,
+// so holding any local latch — the server's result-cache mutex in
+// particular — across such a call stalls every concurrent request
+// behind one query.
+//
+// The MVCC read-view contract adds the inverse rule: view-scoped query
+// paths (methods on dsks.View) are latch-free by design — a view reads
+// an immutable pinned snapshot, so it never has a reason to acquire a
+// mutex, and taking the DB latch inside one would re-serialize readers
+// behind writers, defeating the whole copy-on-write design. Any
+// Lock/RLock acquisition inside a View method is flagged.
 //
 // It also covers the durability layer: a write-ahead-log fsync
 // (storage.LogFile.Sync, or the wal.Log calls that wait on one —
@@ -39,9 +47,11 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lockio",
 	Doc: "Page I/O (storage File read/write, BufferPool operations that " +
-		"can touch the file or sleep for IOLatency, and dsks.DB query/" +
-		"mutation entry points) must not happen while a sync.Mutex/RWMutex " +
-		"acquired in the enclosing function is held.",
+		"can touch the file or sleep for IOLatency, and dsks.DB/dsks.View " +
+		"query and mutation entry points) must not happen while a " +
+		"sync.Mutex/RWMutex acquired in the enclosing function is held; " +
+		"and view-scoped query paths (dsks.View methods) must acquire no " +
+		"latch at all — they read an immutable pinned MVCC snapshot.",
 	Run: run,
 }
 
@@ -52,10 +62,41 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			if viewScoped(pass, fd) {
+				checkViewLatchFree(pass, fd)
+			}
 			walkStmts(pass, fd.Body.List, map[string]token.Pos{})
 		}
 	}
 	return nil
+}
+
+// viewScoped reports whether fd is a method on dsks.View — a read-view
+// query path, latch-free by contract.
+func viewScoped(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return analysis.ReceiverTypeName(fn) == "View" && analysis.InPackage(fn, "dsks")
+}
+
+// checkViewLatchFree flags every mutex acquisition inside a View method:
+// a view reads an immutable pinned snapshot, so any Lock/RLock there —
+// above all the DB latch — re-serializes readers behind writers.
+func checkViewLatchFree(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, lockExpr, ok := mutexOp(pass, call); ok && (op == "Lock" || op == "RLock") {
+			pass.Reportf(call.Pos(),
+				"lockio: %s of %s inside view-scoped View.%s; view query paths are latch-free by contract — read the pinned MVCC snapshot instead of latching",
+				op, types.ExprString(lockExpr), fd.Name.Name)
+		}
+		return true
+	})
 }
 
 // walkStmts scans a statement sequence, tracking which mutexes are held.
@@ -217,21 +258,32 @@ func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// dbEntryPoint recognizes the dsks.DB query and mutation entry points:
-// every Search*/Stream* method plus Insert and Remove runs network
+// dbEntryPoint recognizes the dsks.DB query and mutation entry points
+// plus the dsks.View query methods: every Search*/Stream* method, Insert
+// and Remove on DB, and every query method on View runs network
 // expansion, page I/O and possibly the IOLatency sleep internally, so it
 // is as blocking as a raw page read. The serving layer's locking
 // discipline (never hold the result-cache latch across a query) hangs on
-// this classification.
+// this classification. DB.View itself is exempt: opening a view is an
+// atomic root-set load plus an epoch pin and never blocks.
 func dbEntryPoint(fn *types.Func) (string, bool) {
-	if analysis.ReceiverTypeName(fn) != "DB" || !analysis.InPackage(fn, "dsks") {
+	if !analysis.InPackage(fn, "dsks") {
 		return "", false
 	}
 	name := fn.Name()
-	switch {
-	case strings.HasPrefix(name, "Search"), strings.HasPrefix(name, "Stream"),
-		name == "Insert", name == "Remove":
-		return "database " + name + " call", true
+	switch analysis.ReceiverTypeName(fn) {
+	case "DB":
+		switch {
+		case strings.HasPrefix(name, "Search"), strings.HasPrefix(name, "Stream"),
+			name == "Insert", name == "Remove":
+			return "database " + name + " call", true
+		}
+	case "View":
+		switch {
+		case strings.HasPrefix(name, "Search"), strings.HasPrefix(name, "Stream"),
+			name == "NetworkDistance":
+			return "view " + name + " query", true
+		}
 	}
 	return "", false
 }

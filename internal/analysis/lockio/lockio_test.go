@@ -9,6 +9,6 @@ import (
 
 func TestLockIO(t *testing.T) {
 	analysistest.Run(t, "testdata", lockio.Analyzer,
-		"dsks/internal/storage", "dsks/internal/edgestore", "dsks/internal/server",
-		"dsks/internal/wal")
+		"dsks", "dsks/internal/storage", "dsks/internal/edgestore",
+		"dsks/internal/server", "dsks/internal/wal")
 }

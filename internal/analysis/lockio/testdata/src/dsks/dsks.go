@@ -1,9 +1,13 @@
 // Package dsks is a reduced stub of the real library root, just enough
 // surface for the lockio analyzer to recognize the DB query and mutation
-// entry points that the serving layer must never call under a latch.
+// entry points that the serving layer must never call under a latch, and
+// the View query methods that must themselves stay latch-free.
 package dsks
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 type (
 	EdgeID int32
@@ -63,3 +67,51 @@ func (db *DB) Remove(id ObjectID) error {
 }
 
 func (db *DB) Version() uint64 { return 0 }
+
+// View opens a read view; it is an atomic root-set load plus an epoch
+// pin, so — unlike the query entry points — it is legal under a latch.
+func (db *DB) View(ctx context.Context) (*View, error) {
+	_ = ctx
+	return &View{db: db}, nil
+}
+
+// View is the stub of the MVCC read view: its query methods are
+// latch-free by contract (they read an immutable pinned snapshot), so
+// the analyzer flags any mutex acquisition inside them.
+type View struct {
+	db *DB
+	mu sync.Mutex
+	n  int
+}
+
+func (v *View) Close()      {}
+func (v *View) LSN() uint64 { return 0 }
+
+// Search is a clean view query: no latches, snapshot reads only.
+func (v *View) Search(ctx context.Context, q SKQuery) (Result, error) {
+	_ = ctx
+	_ = q
+	return Result{}, nil
+}
+
+// BadSearchDiversified latches inside a view-scoped query path: the
+// mutex re-serializes readers behind whoever else grabs it, defeating
+// the latch-free MVCC read contract.
+func (v *View) BadSearchDiversified(ctx context.Context, q DivQuery) (Result, error) {
+	v.mu.Lock() // want `lockio: Lock of v.mu inside view-scoped View.BadSearchDiversified`
+	defer v.mu.Unlock()
+	_ = ctx
+	_ = q
+	v.n++
+	return Result{}, nil
+}
+
+// BadNetworkDistance read-latches the DB from a view method: even a
+// shared latch makes the reader wait on a writer holding it exclusively.
+func (v *View) BadNetworkDistance(dbmu *sync.RWMutex, a, b Position) float64 {
+	dbmu.RLock() // want `lockio: RLock of dbmu inside view-scoped View.BadNetworkDistance`
+	defer dbmu.RUnlock()
+	_ = a
+	_ = b
+	return 0
+}

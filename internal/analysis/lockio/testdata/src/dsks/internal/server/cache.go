@@ -67,3 +67,42 @@ func (c *cache) staleness(have uint64) bool {
 	defer c.mu.Unlock()
 	return c.db.Version() != have
 }
+
+// BadViewFill holds the cache latch across a view query: the view itself
+// never blocks on writers, but every other request still piles up on mu
+// for the query's full duration.
+func (c *cache) BadViewFill(ctx context.Context, key string, v *dsks.View, q dsks.SKQuery) (dsks.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return dsks.Result{}, nil
+	}
+	res, err := v.Search(ctx, q) // want `lockio: view Search query while c.mu is held`
+	if err != nil {
+		return dsks.Result{}, err
+	}
+	c.entries[key] = nil
+	return res, nil
+}
+
+// GoodViewFill opens the view under the latch (legal: an atomic load
+// plus an epoch pin), releases the latch for the query, and re-acquires
+// it to store the result.
+func (c *cache) GoodViewFill(ctx context.Context, key string, q dsks.SKQuery) (dsks.Result, error) {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	v, err := c.db.View(ctx)
+	c.mu.Unlock()
+	if err != nil || ok {
+		return dsks.Result{}, err
+	}
+	defer v.Close()
+	res, err := v.Search(ctx, q)
+	if err != nil {
+		return dsks.Result{}, err
+	}
+	c.mu.Lock()
+	c.entries[key] = nil
+	c.mu.Unlock()
+	return res, nil
+}

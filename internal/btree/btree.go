@@ -6,6 +6,15 @@
 //
 // The tree supports point lookup, ordered range scans, single insert and
 // sorted bulk loading (the construction path of the indexes).
+//
+// Tree state is split in two: the immutable Meta value (root page, height,
+// counts) and the page source the operation runs against. Every operation
+// exists in a form parameterized over storage.PageReader / storage.Pager —
+// GetAt, ScanAt, InsertAt, UpdateAt — so reads can run against an
+// LSN-pinned storage.PageView and mutations against a copy-on-write
+// storage.WriteBatch (the MVCC query path), while the Tree handle binds a
+// Meta to a concrete buffer pool for the single-threaded build path and
+// tests.
 package btree
 
 import (
@@ -44,52 +53,111 @@ var ErrNotFound = errors.New("btree: key not found")
 // ErrDuplicate is returned by Insert when the key already exists.
 var ErrDuplicate = errors.New("btree: duplicate key")
 
-// Tree is a B+-tree handle. All page access goes through the buffer pool.
+// Meta is the versioned root state of a tree: everything needed to read or
+// mutate it besides the pages themselves. Meta is a small value; copying
+// it is how the MVCC layer snapshots a tree — a mutation through InsertAt
+// updates the caller's copy, leaving every previously published Meta
+// reading its old root unchanged.
+type Meta struct {
+	Root   storage.PageID
+	Height int // 1 = root is a leaf
+	Count  int // number of keys stored
+	Pages  int // pages the tree occupies
+}
+
+// SizeBytes returns the on-disk footprint of the tree.
+func (m Meta) SizeBytes() int64 { return int64(m.Pages) * storage.PageSize }
+
+// Tree binds a Meta to a buffer pool: the handle of the build path and of
+// single-threaded callers. Concurrent readers use GetAt/ScanAt with a
+// pinned storage.PageView and a published Meta instead.
 type Tree struct {
-	pool   *storage.BufferPool
-	root   storage.PageID
-	height int
-	count  int
-	pages  int
+	pool *storage.BufferPool
+	m    Meta
 }
 
 // New creates an empty tree (a single empty leaf as root).
 func New(pool *storage.BufferPool) (*Tree, error) {
-	t := &Tree{pool: pool}
-	leaf, err := t.newPage(kindLeaf)
+	m, err := NewAt(pool)
 	if err != nil {
 		return nil, err
 	}
-	t.root = leaf
-	t.height = 1
-	return t, nil
+	return &Tree{pool: pool, m: m}, nil
 }
 
+// Open binds an existing tree's Meta to a pool.
+func Open(pool *storage.BufferPool, m Meta) *Tree { return &Tree{pool: pool, m: m} }
+
+// Meta returns the tree's current root state.
+func (t *Tree) Meta() Meta { return t.m }
+
 // Len returns the number of keys stored.
-func (t *Tree) Len() int { return t.count }
+func (t *Tree) Len() int { return t.m.Count }
 
 // Height returns the tree height (1 = root is a leaf).
-func (t *Tree) Height() int { return t.height }
+func (t *Tree) Height() int { return t.m.Height }
 
 // NumPages returns the number of pages the tree occupies.
-func (t *Tree) NumPages() int { return t.pages }
+func (t *Tree) NumPages() int { return t.m.Pages }
 
 // SizeBytes returns the on-disk footprint of the tree.
-func (t *Tree) SizeBytes() int64 { return int64(t.pages) * storage.PageSize }
+func (t *Tree) SizeBytes() int64 { return t.m.SizeBytes() }
 
-func (t *Tree) newPage(kind uint16) (storage.PageID, error) {
-	p, err := t.pool.Allocate()
+// Get returns the value stored under key, or ErrNotFound.
+func (t *Tree) Get(key uint64) (uint64, error) {
+	return GetAt(context.Background(), t.pool, t.m, key)
+}
+
+// GetCtx is Get with cancellation: a done ctx aborts the root-to-leaf
+// descent before the next page read.
+func (t *Tree) GetCtx(ctx context.Context, key uint64) (uint64, error) {
+	return GetAt(ctx, t.pool, t.m, key)
+}
+
+// Update replaces the value stored under an existing key, or returns
+// ErrNotFound. The tree shape is unchanged.
+func (t *Tree) Update(key, value uint64) error {
+	return UpdateAt(t.pool, t.m, key, value)
+}
+
+// Scan calls fn for every (key, value) with lo <= key <= hi, in ascending
+// key order, until fn returns false or the range is exhausted.
+func (t *Tree) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
+	return ScanAt(t.pool, t.m, lo, hi, fn)
+}
+
+// Insert stores (key, value); inserting an existing key fails with
+// ErrDuplicate.
+func (t *Tree) Insert(key, value uint64) error {
+	return InsertAt(t.pool, &t.m, key, value)
+}
+
+// NewAt writes an empty tree (a single empty leaf as root) through p and
+// returns its Meta.
+func NewAt(p storage.Pager) (Meta, error) {
+	var m Meta
+	leaf, err := newPageAt(p, &m, kindLeaf)
+	if err != nil {
+		return Meta{}, err
+	}
+	m.Root = leaf
+	m.Height = 1
+	return m, nil
+}
+
+func newPageAt(p storage.Pager, m *Meta, kind uint16) (storage.PageID, error) {
+	pg, err := p.Allocate()
 	if err != nil {
 		return storage.InvalidPageID, err
 	}
-	p.PutUint16(0, kind)
-	p.PutUint16(2, 0)
+	pg.PutUint16(0, kind)
+	pg.PutUint16(2, 0)
 	if kind == kindLeaf {
-		p.PutUint32(headerSize, uint32(storage.InvalidPageID))
+		pg.PutUint32(headerSize, uint32(storage.InvalidPageID))
 	}
-	t.pool.MarkDirty(p.ID())
-	t.pages++
-	return p.ID(), nil
+	p.MarkDirty(pg.ID())
+	m.Pages++
+	return pg.ID(), nil
 }
 
 // --- page accessors -------------------------------------------------------
@@ -122,15 +190,11 @@ func setInternalChild(p *storage.Page, i int, id storage.PageID) {
 
 // --- lookup ---------------------------------------------------------------
 
-// findLeaf descends to the leaf that would contain key.
-func (t *Tree) findLeaf(key uint64) (storage.PageID, error) {
-	return t.findLeafCtx(context.Background(), key)
-}
-
-func (t *Tree) findLeafCtx(ctx context.Context, key uint64) (storage.PageID, error) {
-	id := t.root
+// findLeafAt descends to the leaf that would contain key.
+func findLeafAt(ctx context.Context, r storage.PageReader, m Meta, key uint64) (storage.PageID, error) {
+	id := m.Root
 	for {
-		p, err := t.pool.GetCtx(ctx, id)
+		p, err := r.GetCtx(ctx, id)
 		if err != nil {
 			return storage.InvalidPageID, err
 		}
@@ -144,19 +208,15 @@ func (t *Tree) findLeafCtx(ctx context.Context, key uint64) (storage.PageID, err
 	}
 }
 
-// Get returns the value stored under key, or ErrNotFound.
-func (t *Tree) Get(key uint64) (uint64, error) {
-	return t.GetCtx(context.Background(), key)
-}
-
-// GetCtx is Get with cancellation: a done ctx aborts the root-to-leaf
-// descent before the next page read.
-func (t *Tree) GetCtx(ctx context.Context, key uint64) (uint64, error) {
-	leafID, err := t.findLeafCtx(ctx, key)
+// GetAt returns the value stored under key in the tree rooted at m, read
+// through r, or ErrNotFound. A done ctx aborts the descent before the next
+// page read.
+func GetAt(ctx context.Context, r storage.PageReader, m Meta, key uint64) (uint64, error) {
+	leafID, err := findLeafAt(ctx, r, m, key)
 	if err != nil {
 		return 0, err
 	}
-	p, err := t.pool.GetCtx(ctx, leafID)
+	p, err := r.GetCtx(ctx, leafID)
 	if err != nil {
 		return 0, err
 	}
@@ -168,36 +228,38 @@ func (t *Tree) GetCtx(ctx context.Context, key uint64) (uint64, error) {
 	return 0, ErrNotFound
 }
 
-// Update replaces the value stored under an existing key, or returns
-// ErrNotFound. The tree shape is unchanged.
-func (t *Tree) Update(key, value uint64) error {
-	leafID, err := t.findLeaf(key)
+// UpdateAt replaces the value stored under an existing key, or returns
+// ErrNotFound. The tree shape (and thus Meta) is unchanged; against a
+// WriteBatch the modified leaf becomes a copy-on-write version.
+func UpdateAt(p storage.Pager, m Meta, key, value uint64) error {
+	leafID, err := findLeafAt(context.Background(), p, m, key)
 	if err != nil {
 		return err
 	}
-	p, err := t.pool.Get(leafID)
+	pg, err := p.Get(leafID)
 	if err != nil {
 		return err
 	}
-	n := pageCount(p)
-	i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
-	if i >= n || leafKey(p, i) != key {
+	n := pageCount(pg)
+	i := sort.Search(n, func(i int) bool { return leafKey(pg, i) >= key })
+	if i >= n || leafKey(pg, i) != key {
 		return fmt.Errorf("%w: %d", ErrNotFound, key)
 	}
-	setLeafKV(p, i, key, value)
-	t.pool.MarkDirty(leafID)
+	setLeafKV(pg, i, key, value)
+	p.MarkDirty(leafID)
 	return nil
 }
 
-// Scan calls fn for every (key, value) with lo <= key <= hi, in ascending
-// key order, until fn returns false or the range is exhausted.
-func (t *Tree) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
-	leafID, err := t.findLeaf(lo)
+// ScanAt calls fn for every (key, value) with lo <= key <= hi in the tree
+// rooted at m, read through r, in ascending key order, until fn returns
+// false or the range is exhausted.
+func ScanAt(r storage.PageReader, m Meta, lo, hi uint64, fn func(key, val uint64) bool) error {
+	leafID, err := findLeafAt(context.Background(), r, m, lo)
 	if err != nil {
 		return err
 	}
 	for leafID != storage.InvalidPageID {
-		p, err := t.pool.Get(leafID)
+		p, err := r.Get(leafID)
 		if err != nil {
 			return err
 		}
@@ -226,82 +288,84 @@ type splitResult struct {
 	newPage storage.PageID
 }
 
-// Insert stores (key, value); inserting an existing key fails with
-// ErrDuplicate.
-func (t *Tree) Insert(key, value uint64) error {
-	res, err := t.insertInto(t.root, t.height, key, value)
+// InsertAt stores (key, value) in the tree rooted at *m through p,
+// updating *m in place (root, height, counts); inserting an existing key
+// fails with ErrDuplicate. Against a WriteBatch every modified page is a
+// private copy, so a failed insert leaves the published tree untouched.
+func InsertAt(p storage.Pager, m *Meta, key, value uint64) error {
+	res, err := insertIntoAt(p, m, m.Root, key, value)
 	if err != nil {
 		return err
 	}
 	if res.split {
-		newRoot, err := t.newPage(kindInternal)
+		newRoot, err := newPageAt(p, m, kindInternal)
 		if err != nil {
 			return err
 		}
-		p, err := t.pool.Get(newRoot)
+		pg, err := p.Get(newRoot)
 		if err != nil {
 			return err
 		}
-		setCount(p, 1)
-		setInternalKey(p, 0, res.sepKey)
-		setInternalChild(p, 0, t.root)
-		setInternalChild(p, 1, res.newPage)
-		t.pool.MarkDirty(newRoot)
-		t.root = newRoot
-		t.height++
+		setCount(pg, 1)
+		setInternalKey(pg, 0, res.sepKey)
+		setInternalChild(pg, 0, m.Root)
+		setInternalChild(pg, 1, res.newPage)
+		p.MarkDirty(newRoot)
+		m.Root = newRoot
+		m.Height++
 	}
-	t.count++
+	m.Count++
 	return nil
 }
 
-func (t *Tree) insertInto(id storage.PageID, level int, key, value uint64) (splitResult, error) {
-	p, err := t.pool.Get(id)
+func insertIntoAt(p storage.Pager, m *Meta, id storage.PageID, key, value uint64) (splitResult, error) {
+	pg, err := p.Get(id)
 	if err != nil {
 		return splitResult{}, err
 	}
-	if pageKind(p) == kindLeaf {
-		return t.insertLeaf(id, key, value)
+	if pageKind(pg) == kindLeaf {
+		return insertLeafAt(p, m, id, key, value)
 	}
-	n := pageCount(p)
-	i := sort.Search(n, func(i int) bool { return internalKey(p, i) > key })
-	child := internalChild(p, i)
-	res, err := t.insertInto(child, level-1, key, value)
+	n := pageCount(pg)
+	i := sort.Search(n, func(i int) bool { return internalKey(pg, i) > key })
+	child := internalChild(pg, i)
+	res, err := insertIntoAt(p, m, child, key, value)
 	if err != nil || !res.split {
 		return splitResult{}, err
 	}
 	// Re-fetch: the child insert may have evicted our frame.
-	p, err = t.pool.Get(id)
+	pg, err = p.Get(id)
 	if err != nil {
 		return splitResult{}, err
 	}
-	return t.insertInternalKey(id, p, res.sepKey, res.newPage)
+	return insertInternalKeyAt(p, m, id, pg, res.sepKey, res.newPage)
 }
 
-func (t *Tree) insertLeaf(id storage.PageID, key, value uint64) (splitResult, error) {
-	p, err := t.pool.Get(id)
+func insertLeafAt(p storage.Pager, m *Meta, id storage.PageID, key, value uint64) (splitResult, error) {
+	pg, err := p.Get(id)
 	if err != nil {
 		return splitResult{}, err
 	}
-	n := pageCount(p)
-	i := sort.Search(n, func(i int) bool { return leafKey(p, i) >= key })
-	if i < n && leafKey(p, i) == key {
+	n := pageCount(pg)
+	i := sort.Search(n, func(i int) bool { return leafKey(pg, i) >= key })
+	if i < n && leafKey(pg, i) == key {
 		return splitResult{}, fmt.Errorf("%w: %d", ErrDuplicate, key)
 	}
 	if n < MaxLeafEntries {
 		for j := n; j > i; j-- {
-			setLeafKV(p, j, leafKey(p, j-1), leafVal(p, j-1))
+			setLeafKV(pg, j, leafKey(pg, j-1), leafVal(pg, j-1))
 		}
-		setLeafKV(p, i, key, value)
-		setCount(p, n+1)
-		t.pool.MarkDirty(id)
+		setLeafKV(pg, i, key, value)
+		setCount(pg, n+1)
+		p.MarkDirty(id)
 		return splitResult{}, nil
 	}
 	// Split: gather all n+1 entries, write halves.
 	keys := make([]uint64, 0, n+1)
 	vals := make([]uint64, 0, n+1)
 	for j := 0; j < n; j++ {
-		keys = append(keys, leafKey(p, j))
-		vals = append(vals, leafVal(p, j))
+		keys = append(keys, leafKey(pg, j))
+		vals = append(vals, leafVal(pg, j))
 	}
 	keys = append(keys, 0)
 	vals = append(vals, 0)
@@ -309,12 +373,12 @@ func (t *Tree) insertLeaf(id storage.PageID, key, value uint64) (splitResult, er
 	copy(vals[i+1:], vals[i:])
 	keys[i], vals[i] = key, value
 
-	rightID, err := t.newPage(kindLeaf)
+	rightID, err := newPageAt(p, m, kindLeaf)
 	if err != nil {
 		return splitResult{}, err
 	}
 	// Re-fetch both pages (allocation may evict).
-	left, err := t.pool.Get(id)
+	left, err := p.Get(id)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -325,9 +389,9 @@ func (t *Tree) insertLeaf(id storage.PageID, key, value uint64) (splitResult, er
 		setLeafKV(left, j, keys[j], vals[j])
 	}
 	setLeafNext(left, rightID)
-	t.pool.MarkDirty(id)
+	p.MarkDirty(id)
 
-	right, err := t.pool.Get(rightID)
+	right, err := p.Get(rightID)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -336,34 +400,34 @@ func (t *Tree) insertLeaf(id storage.PageID, key, value uint64) (splitResult, er
 		setLeafKV(right, j-mid, keys[j], vals[j])
 	}
 	setLeafNext(right, oldNext)
-	t.pool.MarkDirty(rightID)
+	p.MarkDirty(rightID)
 	return splitResult{split: true, sepKey: keys[mid], newPage: rightID}, nil
 }
 
-func (t *Tree) insertInternalKey(id storage.PageID, p *storage.Page, sep uint64, newChild storage.PageID) (splitResult, error) {
-	n := pageCount(p)
-	i := sort.Search(n, func(i int) bool { return internalKey(p, i) > sep })
+func insertInternalKeyAt(p storage.Pager, m *Meta, id storage.PageID, pg *storage.Page, sep uint64, newChild storage.PageID) (splitResult, error) {
+	n := pageCount(pg)
+	i := sort.Search(n, func(i int) bool { return internalKey(pg, i) > sep })
 	if n < MaxInternalKeys {
 		for j := n; j > i; j-- {
-			setInternalKey(p, j, internalKey(p, j-1))
+			setInternalKey(pg, j, internalKey(pg, j-1))
 		}
 		for j := n + 1; j > i+1; j-- {
-			setInternalChild(p, j, internalChild(p, j-1))
+			setInternalChild(pg, j, internalChild(pg, j-1))
 		}
-		setInternalKey(p, i, sep)
-		setInternalChild(p, i+1, newChild)
-		setCount(p, n+1)
-		t.pool.MarkDirty(id)
+		setInternalKey(pg, i, sep)
+		setInternalChild(pg, i+1, newChild)
+		setCount(pg, n+1)
+		p.MarkDirty(id)
 		return splitResult{}, nil
 	}
 	// Split internal node.
 	keys := make([]uint64, 0, n+1)
 	children := make([]storage.PageID, 0, n+2)
 	for j := 0; j < n; j++ {
-		keys = append(keys, internalKey(p, j))
+		keys = append(keys, internalKey(pg, j))
 	}
 	for j := 0; j <= n; j++ {
-		children = append(children, internalChild(p, j))
+		children = append(children, internalChild(pg, j))
 	}
 	keys = append(keys, 0)
 	copy(keys[i+1:], keys[i:])
@@ -372,11 +436,11 @@ func (t *Tree) insertInternalKey(id storage.PageID, p *storage.Page, sep uint64,
 	copy(children[i+2:], children[i+1:])
 	children[i+1] = newChild
 
-	rightID, err := t.newPage(kindInternal)
+	rightID, err := newPageAt(p, m, kindInternal)
 	if err != nil {
 		return splitResult{}, err
 	}
-	left, err := t.pool.Get(id)
+	left, err := p.Get(id)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -389,9 +453,9 @@ func (t *Tree) insertInternalKey(id storage.PageID, p *storage.Page, sep uint64,
 	for j := 0; j <= mid; j++ {
 		setInternalChild(left, j, children[j])
 	}
-	t.pool.MarkDirty(id)
+	p.MarkDirty(id)
 
-	right, err := t.pool.Get(rightID)
+	right, err := p.Get(rightID)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -403,7 +467,7 @@ func (t *Tree) insertInternalKey(id storage.PageID, p *storage.Page, sep uint64,
 	for j := 0; j <= rn; j++ {
 		setInternalChild(right, j, children[mid+1+j])
 	}
-	t.pool.MarkDirty(rightID)
+	p.MarkDirty(rightID)
 	return splitResult{split: true, sepKey: keys[mid], newPage: rightID}, nil
 }
 
@@ -444,7 +508,7 @@ func BulkLoad(pool *storage.BufferPool, entries []Entry) (*Tree, error) {
 		if end > len(entries) {
 			end = len(entries)
 		}
-		id, err := t.newPage(kindLeaf)
+		id, err := newPageAt(pool, &t.m, kindLeaf)
 		if err != nil {
 			return nil, err
 		}
@@ -468,7 +532,7 @@ func BulkLoad(pool *storage.BufferPool, entries []Entry) (*Tree, error) {
 		prevLeaf = id
 		level = append(level, nodeRef{id, entries[start].Key})
 	}
-	t.height = 1
+	t.m.Height = 1
 
 	// Build internal levels until a single root remains.
 	perNode := MaxInternalKeys * 3 / 4
@@ -486,7 +550,7 @@ func BulkLoad(pool *storage.BufferPool, entries []Entry) (*Tree, error) {
 			if end < len(level) && len(level)-end == 1 {
 				end--
 			}
-			id, err := t.newPage(kindInternal)
+			id, err := newPageAt(pool, &t.m, kindInternal)
 			if err != nil {
 				return nil, err
 			}
@@ -506,10 +570,10 @@ func BulkLoad(pool *storage.BufferPool, entries []Entry) (*Tree, error) {
 			next = append(next, nodeRef{id, level[start].firstKey})
 		}
 		level = next
-		t.height++
+		t.m.Height++
 	}
-	t.root = level[0].id
-	t.count = len(entries)
+	t.m.Root = level[0].id
+	t.m.Count = len(entries)
 	if err := pool.Flush(); err != nil {
 		return nil, err
 	}

@@ -427,6 +427,14 @@ func (s *System) Loader(kind IndexKind) (index.Loader, error) {
 	return l, nil
 }
 
+// ObjPool returns the buffer pool backing the given object index, or nil
+// when the kind is not built (or, like SIF-G sharing its base's file, has
+// no pool of its own registered). The MVCC layer uses it to open page
+// views and copy-on-write batches against the index's page file.
+func (s *System) ObjPool(kind IndexKind) *storage.BufferPool {
+	return s.objPools[kind]
+}
+
 // ResetIO zeroes all I/O counters and cools all buffers.
 func (s *System) ResetIO() error {
 	s.netStats.Reset()
@@ -483,6 +491,12 @@ func (s *System) RunSK(ctx context.Context, kind IndexKind, q core.SKQuery) (Que
 	if err != nil {
 		return QueryResult{}, err
 	}
+	return s.RunSKOn(ctx, kind, loader, q)
+}
+
+// RunSKOn is RunSK against an explicit loader — a snapshot-bound reader on
+// the MVCC path — with I/O still accounted to kind's pools.
+func (s *System) RunSKOn(ctx context.Context, kind IndexKind, loader index.Loader, q core.SKQuery) (QueryResult, error) {
 	before := s.DiskReads(kind)
 	start := time.Now()
 	search, err := core.NewSKSearch(ctx, s.Net, loader, q)
@@ -525,8 +539,14 @@ func (s *System) RunDiv(ctx context.Context, kind IndexKind, algo DivAlgo, q cor
 	if err != nil {
 		return QueryResult{}, err
 	}
+	return s.RunDivOn(ctx, kind, loader, algo, q)
+}
+
+// RunDivOn is RunDiv against an explicit loader (see RunSKOn).
+func (s *System) RunDivOn(ctx context.Context, kind IndexKind, loader index.Loader, algo DivAlgo, q core.DivQuery) (QueryResult, error) {
 	before := s.DiskReads(kind)
 	start := time.Now()
+	var err error
 	var res core.DivResult
 	switch algo {
 	case AlgoSEQ:
@@ -558,6 +578,11 @@ func (s *System) RunKNN(ctx context.Context, kind IndexKind, q core.KNNQuery) (Q
 	if err != nil {
 		return QueryResult{}, err
 	}
+	return s.RunKNNOn(ctx, kind, loader, q)
+}
+
+// RunKNNOn is RunKNN against an explicit loader (see RunSKOn).
+func (s *System) RunKNNOn(ctx context.Context, kind IndexKind, loader index.Loader, q core.KNNQuery) (QueryResult, error) {
 	before := s.DiskReads(kind)
 	start := time.Now()
 	cands, stats, err := core.SearchKNN(ctx, s.Net, loader, q)
@@ -599,6 +624,11 @@ func (s *System) RunRanked(ctx context.Context, kind IndexKind, q core.RankedQue
 	if err != nil {
 		return QueryResult{}, err
 	}
+	return s.RunRankedOn(ctx, kind, ul, q)
+}
+
+// RunRankedOn is RunRanked against an explicit union loader (see RunSKOn).
+func (s *System) RunRankedOn(ctx context.Context, kind IndexKind, ul index.UnionLoader, q core.RankedQuery) (QueryResult, error) {
 	before := s.DiskReads(kind)
 	start := time.Now()
 	ranked, stats, trace, err := core.SearchRankedTraced(ctx, s.Net, ul, q)
@@ -626,6 +656,12 @@ func (s *System) RunCollective(ctx context.Context, kind IndexKind, q core.Colle
 	if err != nil {
 		return QueryResult{}, err
 	}
+	return s.RunCollectiveOn(ctx, kind, ul, q)
+}
+
+// RunCollectiveOn is RunCollective against an explicit union loader (see
+// RunSKOn).
+func (s *System) RunCollectiveOn(ctx context.Context, kind IndexKind, ul index.UnionLoader, q core.CollectiveQuery) (QueryResult, error) {
 	before := s.DiskReads(kind)
 	start := time.Now()
 	res, stats, trace, err := core.SearchCollectiveTraced(ctx, s.Net, ul, q)

@@ -11,6 +11,14 @@
 //
 // The package also exposes the per-term posting statistics the signature
 // layer (package sig) builds on.
+//
+// Index state is split in two for the MVCC query path: Roots holds the
+// versioned root set (B+-tree meta, heap write cursor, per-term counts) and
+// every operation exists in a form parameterized over a page source — a
+// storage.WriteBatch for copy-on-write mutation (InsertObjectAt /
+// RemoveObjectAt against a private *Roots), a pinned storage.PageView for
+// latch-free reads (Reader). The Index methods bind the live Roots to the
+// buffer pool for the build path and single-threaded callers.
 package invindex
 
 import (
@@ -64,32 +72,46 @@ func edgeKey(t obj.TermID, zcode uint64) uint64 {
 	return uint64(t)<<42 | (zcode & ((1 << 42) - 1))
 }
 
+// Roots is the versioned root state of the inverted file: everything a
+// reader needs to resolve queries against a fixed snapshot and a mutator
+// needs to extend the index. A published Roots value must never be mutated;
+// mutators work on a copy (InsertObjectAt / RemoveObjectAt clone the
+// TermPostings slice on first write, so a shallow struct copy is a safe
+// starting point).
+type Roots struct {
+	Tree btree.Meta
+
+	// TermPostings[t] counts term t's postings; the signature layer skips
+	// terms whose inverted file fits into one page.
+	TermPostings []int32
+
+	// Heap write cursor: lists are appended at the tail.
+	CurPage storage.PageID
+	CurOff  int
+
+	// PostingPages counts heap pages (footprint accounting).
+	PostingPages int
+}
+
 // Index is the IF structure: one logical inverted file per keyword, all
 // sharing a single B+-tree keyed by (term, edge-Z-code) and a packed
 // posting heap. All reads go through the buffer pool, so page fetches are
 // counted as disk accesses.
 type Index struct {
-	pool *storage.BufferPool
-	tree *btree.Tree
+	pool  *storage.BufferPool
+	roots Roots
 
 	// postingsRead counts every posting record decoded at query time (the
-	// C2/C3 of the paper's expected-load analysis).
+	// C2/C3 of the paper's expected-load analysis). Shared across all
+	// readers of this index regardless of which snapshot they pin.
 	postingsRead atomic.Int64
-
-	postingPages int
-	// termPostings[t] counts term t's postings; the signature layer skips
-	// terms whose inverted file fits into one page.
-	termPostings []int32
-
-	// heap write cursor (build time only).
-	curPage storage.PageID
-	curOff  int
 }
 
 // Build constructs the inverted index for all objects in c over graph g.
 // vocabSize is the vocabulary size |V|.
 func Build(g *graph.Graph, c *obj.Collection, vocabSize int, pool *storage.BufferPool) (*Index, error) {
-	idx := &Index{pool: pool, termPostings: make([]int32, vocabSize)}
+	idx := &Index{pool: pool}
+	idx.roots.TermPostings = make([]int32, vocabSize)
 
 	// Group postings by (term, zcode) key.
 	type listEntry struct {
@@ -113,7 +135,7 @@ func Build(g *graph.Graph, c *obj.Collection, vocabSize int, pool *storage.Buffe
 					byKey[k] = le
 				}
 				le.postings = append(le.postings, Posting{Object: id, Edge: e, Offset: o.Pos.Offset})
-				idx.termPostings[t]++
+				idx.roots.TermPostings[t]++
 			}
 		}
 	}
@@ -126,7 +148,7 @@ func Build(g *graph.Graph, c *obj.Collection, vocabSize int, pool *storage.Buffe
 	// Write the packed posting heap and collect B+-tree entries.
 	entries := make([]btree.Entry, 0, len(keys))
 	for _, le := range keys {
-		ref, err := idx.writeList(le.postings)
+		ref, err := writeListAt(pool, &idx.roots, le.postings)
 		if err != nil {
 			return nil, err
 		}
@@ -136,16 +158,17 @@ func Build(g *graph.Graph, c *obj.Collection, vocabSize int, pool *storage.Buffe
 	if err != nil {
 		return nil, err
 	}
-	idx.tree = tree
+	idx.roots.Tree = tree.Meta()
 	if err := pool.Flush(); err != nil {
 		return nil, err
 	}
 	return idx, nil
 }
 
-// writeList appends postings (sorted by edge then offset) to the heap and
-// returns the packed list reference.
-func (idx *Index) writeList(ps []Posting) (uint64, error) {
+// writeListAt appends postings (sorted by edge then offset) to the heap
+// through p and returns the packed list reference, advancing r's write
+// cursor.
+func writeListAt(p storage.Pager, r *Roots, ps []Posting) (uint64, error) {
 	if len(ps) > maxListRecords {
 		return 0, fmt.Errorf("invindex: posting list of %d records exceeds the %d cap", len(ps), maxListRecords)
 	}
@@ -160,55 +183,55 @@ func (idx *Index) writeList(ps []Posting) (uint64, error) {
 	})
 	// A list that does not fit in the current page's remainder starts on a
 	// fresh page, so that multi-page lists always occupy consecutively
-	// allocated pages — the invariant readList's pageID++ walk relies on.
+	// allocated pages — the invariant readListAt's pageID++ walk relies on.
 	// (During the initial build heap pages are consecutive anyway; after
 	// the build, B+-tree pages interleave in the file.)
-	remainder := (storage.PageSize - idx.curOff) / postingSize
-	if idx.curPage == storage.InvalidPageID || len(ps) > remainder {
-		if err := idx.newHeapPage(); err != nil {
+	remainder := (storage.PageSize - r.CurOff) / postingSize
+	if r.CurPage == storage.InvalidPageID || len(ps) > remainder {
+		if err := newHeapPageAt(p, r); err != nil {
 			return 0, err
 		}
 	}
-	startPage, startOff := idx.curPage, idx.curOff
-	for _, p := range ps {
-		if idx.curOff+postingSize > storage.PageSize {
-			if err := idx.newHeapPage(); err != nil {
+	startPage, startOff := r.CurPage, r.CurOff
+	for _, rec := range ps {
+		if r.CurOff+postingSize > storage.PageSize {
+			if err := newHeapPageAt(p, r); err != nil {
 				return 0, err
 			}
 		}
-		page, err := idx.pool.Get(idx.curPage)
+		page, err := p.Get(r.CurPage)
 		if err != nil {
 			return 0, err
 		}
-		page.PutUint32(idx.curOff, uint32(p.Object))
-		page.PutUint32(idx.curOff+4, uint32(p.Edge))
-		page.PutFloat64(idx.curOff+8, p.Offset)
-		idx.pool.MarkDirty(idx.curPage)
-		idx.curOff += postingSize
+		page.PutUint32(r.CurOff, uint32(rec.Object))
+		page.PutUint32(r.CurOff+4, uint32(rec.Edge))
+		page.PutFloat64(r.CurOff+8, rec.Offset)
+		p.MarkDirty(r.CurPage)
+		r.CurOff += postingSize
 	}
 	return packListRef(startPage, startOff, len(ps)), nil
 }
 
-func (idx *Index) newHeapPage() error {
-	page, err := idx.pool.Allocate()
+func newHeapPageAt(p storage.Pager, r *Roots) error {
+	page, err := p.Allocate()
 	if err != nil {
 		return err
 	}
-	idx.curPage = page.ID()
-	idx.curOff = 0
-	idx.postingPages++
+	r.CurPage = page.ID()
+	r.CurOff = 0
+	r.PostingPages++
 	return nil
 }
 
-// readList loads the postings of a packed list that lie on edge e (the
+// readListAt loads the postings of a packed list that lie on edge e (the
 // list may also hold postings of Z-cell-colliding edges). Consecutive heap
-// pages are fetched through the buffer pool.
-func (idx *Index) readList(ctx context.Context, ref uint64, e graph.EdgeID) ([]Posting, error) {
+// pages are fetched through pr; decoded records are charged to counter.
+func readListAt(ctx context.Context, pr storage.PageReader, counter *atomic.Int64, ref uint64, e graph.EdgeID) ([]Posting, error) {
 	pageID, off, count := unpackListRef(ref)
-	idx.postingsRead.Add(int64(count))
+	counter.Add(int64(count))
 	var out []Posting
 	for i := 0; i < count; {
-		page, err := idx.pool.GetCtx(ctx, pageID)
+		page, err := pr.GetCtx(ctx, pageID)
 		if err != nil {
 			return nil, err
 		}
@@ -229,12 +252,12 @@ func (idx *Index) readList(ctx context.Context, ref uint64, e graph.EdgeID) ([]P
 	return out, nil
 }
 
-// readListAll loads every posting of a packed list (no edge filter).
-func (idx *Index) readListAll(ref uint64) ([]Posting, error) {
+// readListAllAt loads every posting of a packed list (no edge filter).
+func readListAllAt(pr storage.PageReader, ref uint64) ([]Posting, error) {
 	pageID, off, count := unpackListRef(ref)
 	out := make([]Posting, 0, count)
 	for i := 0; i < count; {
-		page, err := idx.pool.Get(pageID)
+		page, err := pr.Get(pageID)
 		if err != nil {
 			return nil, err
 		}
@@ -252,76 +275,80 @@ func (idx *Index) readListAll(ref uint64) ([]Posting, error) {
 	return out, nil
 }
 
-// InsertObject adds a new object's postings to the index after the initial
-// build. Existing lists are rewritten at the end of the posting heap (the
-// abandoned space is the usual inverted-file amplification of in-place
-// updates); the B+-tree entry is repointed or created.
-func (idx *Index) InsertObject(zcode uint64, id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
+// InsertObjectAt adds a new object's postings through p, updating *r in
+// place. r must be a private copy of a published Roots (the TermPostings
+// slice is cloned internally before the first write, so a shallow struct
+// copy suffices). Existing lists are rewritten at the end of the posting
+// heap (the abandoned space is the usual inverted-file amplification of
+// in-place updates); the B+-tree entry is repointed or created.
+func (idx *Index) InsertObjectAt(p storage.Pager, r *Roots, zcode uint64, id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
+	r.TermPostings = append([]int32(nil), r.TermPostings...)
 	for _, t := range terms {
-		if int(t) >= len(idx.termPostings) {
-			return fmt.Errorf("invindex: term %d outside vocabulary of %d", t, len(idx.termPostings))
+		if int(t) >= len(r.TermPostings) {
+			return fmt.Errorf("invindex: term %d outside vocabulary of %d", t, len(r.TermPostings))
 		}
 		key := edgeKey(t, zcode)
-		p := Posting{Object: id, Edge: e, Offset: offset}
-		old, err := idx.tree.Get(key)
+		rec := Posting{Object: id, Edge: e, Offset: offset}
+		old, err := btree.GetAt(context.Background(), p, r.Tree, key)
 		if errors.Is(err, btree.ErrNotFound) {
-			ref, err := idx.writeList([]Posting{p})
+			ref, err := writeListAt(p, r, []Posting{rec})
 			if err != nil {
 				return err
 			}
-			if err := idx.tree.Insert(key, ref); err != nil {
+			if err := btree.InsertAt(p, &r.Tree, key, ref); err != nil {
 				return err
 			}
 		} else if err != nil {
 			return err
 		} else {
-			ps, err := idx.readListAll(old)
+			ps, err := readListAllAt(p, old)
 			if err != nil {
 				return err
 			}
-			ps = append(ps, p)
-			ref, err := idx.writeList(ps)
+			ps = append(ps, rec)
+			ref, err := writeListAt(p, r, ps)
 			if err != nil {
 				return err
 			}
-			if err := idx.tree.Update(key, ref); err != nil {
+			if err := btree.UpdateAt(p, r.Tree, key, ref); err != nil {
 				return err
 			}
 		}
-		idx.termPostings[t]++
+		r.TermPostings[t]++
 	}
-	return idx.pool.Flush()
+	return nil
 }
 
-// RemoveObject deletes an object's postings from the index: each affected
-// list is rewritten at the heap tail without the object's record (the
-// abandoned space is the usual amplification of merge-on-write files).
-// Removing an object absent from a term's list is ignored for that term.
-func (idx *Index) RemoveObject(zcode uint64, id obj.ID, terms []obj.TermID) error {
+// RemoveObjectAt deletes an object's postings through p, updating *r in
+// place (same contract as InsertObjectAt): each affected list is rewritten
+// at the heap tail without the object's record. Removing an object absent
+// from a term's list is ignored for that term.
+func (idx *Index) RemoveObjectAt(p storage.Pager, r *Roots, zcode uint64, id obj.ID, terms []obj.TermID) error {
+	r.TermPostings = append([]int32(nil), r.TermPostings...)
 	for _, t := range terms {
-		if int(t) >= len(idx.termPostings) {
-			return fmt.Errorf("invindex: term %d outside vocabulary of %d", t, len(idx.termPostings))
+		if int(t) >= len(r.TermPostings) {
+			return fmt.Errorf("invindex: term %d outside vocabulary of %d", t, len(r.TermPostings))
 		}
 		key := edgeKey(t, zcode)
-		old, err := idx.tree.Get(key)
+		old, err := btree.GetAt(context.Background(), p, r.Tree, key)
 		if errors.Is(err, btree.ErrNotFound) {
 			continue
 		}
 		if err != nil {
 			return err
 		}
-		ps, err := idx.readListAll(old)
+		ps, err := readListAllAt(p, old)
 		if err != nil {
 			return err
 		}
 		kept := ps[:0]
 		removed := false
-		for _, p := range ps {
-			if p.Object == id {
+		for _, rec := range ps {
+			if rec.Object == id {
 				removed = true
 				continue
 			}
-			kept = append(kept, p)
+			kept = append(kept, rec)
 		}
 		if !removed {
 			continue
@@ -329,19 +356,38 @@ func (idx *Index) RemoveObject(zcode uint64, id obj.ID, terms []obj.TermID) erro
 		if len(kept) == 0 {
 			// Keep the key with an empty list reference (count 0): reads
 			// of it return nothing and never touch a page.
-			if err := idx.tree.Update(key, packListRef(storage.InvalidPageID, 0, 0)); err != nil {
+			if err := btree.UpdateAt(p, r.Tree, key, packListRef(storage.InvalidPageID, 0, 0)); err != nil {
 				return err
 			}
 		} else {
-			ref, err := idx.writeList(kept)
+			ref, err := writeListAt(p, r, kept)
 			if err != nil {
 				return err
 			}
-			if err := idx.tree.Update(key, ref); err != nil {
+			if err := btree.UpdateAt(p, r.Tree, key, ref); err != nil {
 				return err
 			}
 		}
-		idx.termPostings[t]--
+		r.TermPostings[t]--
+	}
+	return nil
+}
+
+// InsertObject adds a new object's postings to the live roots after the
+// initial build (single-threaded path; the MVCC path goes through
+// InsertObjectAt with a WriteBatch and a private Roots copy).
+func (idx *Index) InsertObject(zcode uint64, id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
+	if err := idx.InsertObjectAt(idx.pool, &idx.roots, zcode, id, e, offset, terms); err != nil {
+		return err
+	}
+	return idx.pool.Flush()
+}
+
+// RemoveObject deletes an object's postings from the live roots
+// (single-threaded path; see InsertObject).
+func (idx *Index) RemoveObject(zcode uint64, id obj.ID, terms []obj.TermID) error {
+	if err := idx.RemoveObjectAt(idx.pool, &idx.roots, zcode, id, terms); err != nil {
+		return err
 	}
 	return idx.pool.Flush()
 }
@@ -355,14 +401,18 @@ func (idx *Index) TermPostings(t obj.TermID, e graph.EdgeID, zcode uint64) ([]Po
 // TermPostingsCtx is TermPostings with cancellation: a done ctx aborts the
 // B+-tree descent or the posting-heap walk before the next page read.
 func (idx *Index) TermPostingsCtx(ctx context.Context, t obj.TermID, e graph.EdgeID, zcode uint64) ([]Posting, error) {
-	ref, err := idx.tree.GetCtx(ctx, edgeKey(t, zcode))
+	return idx.termPostingsAt(ctx, idx.pool, &idx.roots, t, e, zcode)
+}
+
+func (idx *Index) termPostingsAt(ctx context.Context, pr storage.PageReader, r *Roots, t obj.TermID, e graph.EdgeID, zcode uint64) ([]Posting, error) {
+	ref, err := btree.GetAt(ctx, pr, r.Tree, edgeKey(t, zcode))
 	if errors.Is(err, btree.ErrNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	return idx.readList(ctx, ref, e)
+	return readListAt(ctx, pr, &idx.postingsRead, ref, e)
 }
 
 // EdgeZCoder supplies the Z-code of an edge's center (implemented by the
@@ -380,7 +430,9 @@ func (z GraphZCoder) EdgeZCode(e graph.EdgeID) uint64 { return geo.ZCode(z.G.Edg
 
 // Loader is the query-time handle of the IF index: it resolves edge
 // Z-codes through the coder and intersects the per-term posting lists
-// with AND semantics (Algorithm 2 without the signature test).
+// with AND semantics (Algorithm 2 without the signature test). Its methods
+// read the live roots through the buffer pool; At binds the same logic to
+// a pinned page view and a published Roots snapshot for latch-free reads.
 type Loader struct {
 	Idx   *Index
 	Coder EdgeZCoder
@@ -392,19 +444,53 @@ type Loader struct {
 	SelectivityOrder bool
 }
 
+// At returns a Reader running this loader's query logic against the page
+// source pr and the root snapshot r.
+func (l *Loader) At(pr storage.PageReader, r *Roots) *Reader {
+	return &Reader{Idx: l.Idx, PR: pr, Roots: r, Coder: l.Coder, SelectivityOrder: l.SelectivityOrder}
+}
+
+// LoadObjects implements index.Loader against the live roots.
+func (l *Loader) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+	return l.At(l.Idx.pool, &l.Idx.roots).LoadObjects(ctx, e, terms)
+}
+
+// LoadObjectsAny implements index.UnionLoader against the live roots.
+func (l *Loader) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+	return l.At(l.Idx.pool, &l.Idx.roots).LoadObjectsAny(ctx, e, terms)
+}
+
+// Reader is a Loader bound to an explicit page source and root snapshot:
+// with a pinned storage.PageView and a published Roots it answers queries
+// latch-free at one LSN; with the buffer pool and the live roots it is the
+// legacy read path.
+type Reader struct {
+	Idx              *Index
+	PR               storage.PageReader
+	Roots            *Roots
+	Coder            EdgeZCoder
+	SelectivityOrder bool
+}
+
+// TermPostingsCtx returns term t's postings on edge e at this reader's
+// snapshot.
+func (rd *Reader) TermPostingsCtx(ctx context.Context, t obj.TermID, e graph.EdgeID, zcode uint64) ([]Posting, error) {
+	return rd.Idx.termPostingsAt(ctx, rd.PR, rd.Roots, t, e, zcode)
+}
+
 // LoadObjects implements index.Loader: it loads R_t for every query term
 // and returns the intersection (rarest-first when SelectivityOrder is on).
-func (l *Loader) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (rd *Reader) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
-	if l.SelectivityOrder {
-		terms = l.Idx.bySelectivity(terms)
+	if rd.SelectivityOrder {
+		terms = bySelectivity(rd.Roots.TermPostings, terms)
 	}
-	z := l.Coder.EdgeZCode(e)
+	z := rd.Coder.EdgeZCode(e)
 	var inter map[obj.ID]Posting
 	for i, t := range terms {
-		ps, err := l.Idx.TermPostingsCtx(ctx, t, e, z)
+		ps, err := rd.TermPostingsCtx(ctx, t, e, z)
 		if err != nil {
 			return nil, err
 		}
@@ -440,14 +526,14 @@ func (l *Loader) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.Te
 // LoadObjectsAny implements index.UnionLoader: objects on e containing at
 // least one query term, with their distinct-term match counts (the OR
 // semantics of the ranked spatial keyword query).
-func (l *Loader) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+func (rd *Reader) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
-	z := l.Coder.EdgeZCode(e)
+	z := rd.Coder.EdgeZCode(e)
 	found := make(map[obj.ID]*index.ObjectMatch)
 	for _, t := range terms {
-		ps, err := l.Idx.TermPostingsCtx(ctx, t, e, z)
+		ps, err := rd.TermPostingsCtx(ctx, t, e, z)
 		if err != nil {
 			return nil, err
 		}
@@ -476,10 +562,10 @@ func (idx *Index) ResetPostingsRead() { idx.postingsRead.Store(0) }
 
 // bySelectivity returns the terms ordered by ascending global posting
 // count (rarest first); the input is not modified.
-func (idx *Index) bySelectivity(terms []obj.TermID) []obj.TermID {
+func bySelectivity(termPostings []int32, terms []obj.TermID) []obj.TermID {
 	out := append([]obj.TermID(nil), terms...)
 	sort.SliceStable(out, func(i, j int) bool {
-		return idx.termPostings[out[i]] < idx.termPostings[out[j]]
+		return termPostings[out[i]] < termPostings[out[j]]
 	})
 	return out
 }
@@ -491,7 +577,7 @@ const recordsPerPage = storage.PageSize / postingSize
 // file occupies (its postings are packed at recordsPerPage density); the
 // signature layer skips terms whose file fits in a single page.
 func (idx *Index) ListPages(t obj.TermID) int {
-	n := int(idx.termPostings[t])
+	n := int(idx.roots.TermPostings[t])
 	if n == 0 {
 		return 0
 	}
@@ -500,8 +586,25 @@ func (idx *Index) ListPages(t obj.TermID) int {
 
 // SizeBytes returns the on-disk footprint (posting heap + B+-tree).
 func (idx *Index) SizeBytes() int64 {
-	return int64(idx.postingPages)*storage.PageSize + idx.tree.SizeBytes()
+	return int64(idx.roots.PostingPages)*storage.PageSize + idx.roots.Tree.SizeBytes()
 }
 
+// Pool returns the index's buffer pool.
+func (idx *Index) Pool() *storage.BufferPool { return idx.pool }
+
+// Roots returns a copy of the live root set — the starting point for a
+// copy-on-write mutation or a published snapshot for readers. The embedded
+// TermPostings slice is shared until the next InsertObjectAt/RemoveObjectAt
+// clones it, which is safe because published slices are never mutated.
+func (idx *Index) Roots() Roots { return idx.roots }
+
+// SetRoots replaces the live root set (the commit step of a successful
+// copy-on-write mutation on the legacy in-place path; the DB-level MVCC
+// path keeps roots in its own atomic pointer instead).
+func (idx *Index) SetRoots(r Roots) { idx.roots = r }
+
+// CurrentRoots returns a pointer to the live root set for legacy readers.
+func (idx *Index) CurrentRoots() *Roots { return &idx.roots }
+
 // Tree exposes the underlying B+-tree (for inspection in tests).
-func (idx *Index) Tree() *btree.Tree { return idx.tree }
+func (idx *Index) Tree() *btree.Tree { return btree.Open(idx.pool, idx.roots.Tree) }

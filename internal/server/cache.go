@@ -7,17 +7,19 @@ import (
 )
 
 // Query-result cache: an LRU over serialized responses, keyed by the
-// canonical encoding of the query and versioned by the database's
-// mutation counter. An entry is served only while the database is at the
-// version the entry was computed against — the version is read *before*
-// the query runs, so a mutation that lands mid-query can only make the
-// entry conservatively stale, never silently fresh. Lookups against a
-// newer database version evict the entry and count as misses, which is
-// the invalidation rule: Insert/Remove bump the version, so post-mutation
+// canonical encoding of the query and versioned by the commit LSN of the
+// read view the response was computed against. Because each request runs
+// entirely inside one pinned MVCC view, a cached body is *exactly* the
+// answer the database gives at that LSN — not merely conservatively
+// fresh: the view the handler opens fixes the snapshot before the cache
+// lookup, the query, and the store, so a mutation landing mid-query
+// publishes a higher LSN and simply bypasses the entry. Lookups at a
+// different LSN evict the entry and count as misses, which is the
+// invalidation rule: Insert/Remove publish new LSNs, so post-mutation
 // queries can never be answered from pre-mutation state.
 //
 // Locking discipline: the cache mutex guards only the map and list.
-// Callers must never hold it across a Search*Ctx call (the lockio
+// Callers must never hold it across a view query call (the lockio
 // analyzer enforces this); the handler flow is get → query → put.
 
 // cacheEntry is one cached response body.
@@ -57,8 +59,8 @@ func newResultCache(capacity int, hits, misses, stale *atomic.Int64) *resultCach
 }
 
 // get returns the cached body for key if it was computed at the given
-// database version. An entry from an older version is evicted and the
-// lookup counts as a (stale) miss.
+// view LSN. An entry from a different LSN is evicted and the lookup
+// counts as a (stale) miss.
 func (c *resultCache) get(key string, version uint64) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -80,8 +82,8 @@ func (c *resultCache) get(key string, version uint64) ([]byte, bool) {
 	return ent.body, true
 }
 
-// put stores a response body computed at the given database version,
-// evicting the least-recently-used entry beyond capacity.
+// put stores a response body computed at the given view LSN, evicting
+// the least-recently-used entry beyond capacity.
 func (c *resultCache) put(key string, version uint64, body []byte) {
 	if c.cap == 0 {
 		return

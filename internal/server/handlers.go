@@ -14,12 +14,15 @@ import (
 	"dsks/internal/obj"
 )
 
-// The /v1 endpoints. Every query endpoint shares one flow: parse →
-// canonical cache key → cache lookup (hits bypass admission entirely) →
+// The /v1 endpoints. Every query endpoint shares one flow: parse → open
+// a read view (pinning the current commit LSN) → canonical cache key →
+// cache lookup keyed on the view's LSN (hits bypass admission entirely) →
 // admission (bounded queue, 429 + Retry-After when full) → deadline-bound
-// Search*Ctx call → serialize, fill cache, respond. The database version
-// is read before the query runs, so a mutation landing mid-query can only
-// make the stored entry conservatively stale — never fresh-looking.
+// query against the view → serialize, fill cache, respond. Because the
+// whole query runs against the pinned snapshot, the stored entry is
+// *exactly* consistent with its LSN — a mutation landing mid-query
+// publishes a higher LSN and simply misses the entry, it can never make
+// a cached body look fresher or staler than it is.
 
 // errBadRequest marks client errors (malformed or invalid queries).
 var errBadRequest = errors.New("bad request")
@@ -227,9 +230,9 @@ func envelope(kind string, res dsks.Result) *queryResponse {
 	}
 }
 
-// runner executes one parsed query under an admitted, deadline-bound
-// context and returns the response payload.
-type runner func(ctx context.Context, req *queryRequest) (any, error)
+// runner executes one parsed query against a pinned read view under an
+// admitted, deadline-bound context and returns the response payload.
+type runner func(ctx context.Context, v *dsks.View, req *queryRequest) (any, error)
 
 // queryEndpoint wraps a runner in the shared serving flow.
 func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
@@ -245,8 +248,19 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 			return
 		}
 
+		// Open the read view first: it pins the commit LSN the whole
+		// request is served at — the cache lookup, the query, and the
+		// stored entry all agree on that one snapshot. Opening never
+		// blocks on writers (an atomic root-set load plus an epoch pin).
+		v, err := s.db.View(r.Context())
+		if err != nil {
+			s.writeQueryError(w, err)
+			return
+		}
+		defer v.Close()
+
 		key := kind + "|" + req.cacheKey()
-		version := s.db.Version()
+		version := v.LSN()
 		if body, ok := s.cache.get(key, version); ok {
 			w.Header().Set("X-Dsks-Cache", "hit")
 			w.Header().Set("Content-Type", "application/json")
@@ -274,7 +288,7 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 		}
 		defer s.lim.release()
 
-		payload, err := run(ctx, req)
+		payload, err := run(ctx, v, req)
 		if err != nil {
 			if statusFor(err) == http.StatusInternalServerError {
 				s.health.recordStorageError(probe)
@@ -357,12 +371,12 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 }
 
 // runSearch serves /v1/search.
-func (s *Server) runSearch(ctx context.Context, req *queryRequest) (any, error) {
+func (s *Server) runSearch(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
 	q := dsks.SKQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax}
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
-	res, err := s.db.SearchCtx(ctx, q)
+	res, err := v.Search(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +386,7 @@ func (s *Server) runSearch(ctx context.Context, req *queryRequest) (any, error) 
 }
 
 // runDiversified serves /v1/diversified.
-func (s *Server) runDiversified(ctx context.Context, req *queryRequest) (any, error) {
+func (s *Server) runDiversified(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
 	q := dsks.DivQuery{
 		SKQuery: dsks.SKQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax},
 		K:       req.K,
@@ -389,7 +403,7 @@ func (s *Server) runDiversified(ctx context.Context, req *queryRequest) (any, er
 	default:
 		return nil, badRequest(fmt.Errorf("unknown algo %q (want COM or SEQ)", req.Algo))
 	}
-	res, err := s.db.SearchDiversifiedWithCtx(ctx, algo, q)
+	res, err := v.SearchDiversifiedWith(ctx, algo, q)
 	if err != nil {
 		return nil, err
 	}
@@ -400,12 +414,12 @@ func (s *Server) runDiversified(ctx context.Context, req *queryRequest) (any, er
 }
 
 // runKNN serves /v1/knn.
-func (s *Server) runKNN(ctx context.Context, req *queryRequest) (any, error) {
+func (s *Server) runKNN(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
 	q := dsks.KNNQuery{Pos: req.pos(), Terms: req.Terms, K: req.K, MaxDist: req.MaxDist}
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
-	res, err := s.db.SearchKNNCtx(ctx, q)
+	res, err := v.SearchKNN(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +429,7 @@ func (s *Server) runKNN(ctx context.Context, req *queryRequest) (any, error) {
 }
 
 // runRanked serves /v1/ranked.
-func (s *Server) runRanked(ctx context.Context, req *queryRequest) (any, error) {
+func (s *Server) runRanked(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
 	q := dsks.RankedQuery{
 		Pos: req.pos(), Terms: req.Terms, K: req.K,
 		Alpha: req.Alpha, DeltaMax: req.DeltaMax,
@@ -423,7 +437,7 @@ func (s *Server) runRanked(ctx context.Context, req *queryRequest) (any, error) 
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
-	res, err := s.db.SearchRankedCtx(ctx, q)
+	res, err := v.SearchRanked(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -439,12 +453,12 @@ func (s *Server) runRanked(ctx context.Context, req *queryRequest) (any, error) 
 }
 
 // runCollective serves /v1/collective.
-func (s *Server) runCollective(ctx context.Context, req *queryRequest) (any, error) {
+func (s *Server) runCollective(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
 	q := dsks.CollectiveQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax}
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
-	res, err := s.db.SearchCollectiveCtx(ctx, q)
+	res, err := v.SearchCollective(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -462,8 +476,8 @@ func (s *Server) runCollective(ctx context.Context, req *queryRequest) (any, err
 
 // runDistance serves /v1/distance: the exact network distance between two
 // positions, 404 when no path connects them.
-func (s *Server) runDistance(ctx context.Context, req *queryRequest) (any, error) {
-	d, err := s.db.NetworkDistanceCtx(ctx, req.pos(), req.posB())
+func (s *Server) runDistance(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+	d, err := v.NetworkDistance(ctx, req.pos(), req.posB())
 	if err != nil {
 		return nil, err
 	}
@@ -477,8 +491,9 @@ type insertRequest struct {
 	Terms  []dsks.TermID `json:"terms"`
 }
 
-// handleInsert serves /v1/insert: add one object, bumping the database
-// version (which invalidates the result cache).
+// handleInsert serves /v1/insert: add one object, publishing a new
+// database version under a fresh commit LSN (which invalidates the
+// result cache — entries are keyed by the LSN they were computed at).
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -500,7 +515,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "version": s.db.Version()})
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "lsn": s.db.LSN(), "version": s.db.Version()})
 }
 
 // removeRequest is the /v1/remove body.
@@ -508,8 +523,9 @@ type removeRequest struct {
 	ID dsks.ObjectID `json:"id"`
 }
 
-// handleRemove serves /v1/remove: tombstone one object, bumping the
-// database version (which invalidates the result cache).
+// handleRemove serves /v1/remove: tombstone one object, publishing a new
+// database version under a fresh commit LSN (which invalidates the
+// result cache — entries are keyed by the LSN they were computed at).
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -530,5 +546,5 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": req.ID, "version": s.db.Version()})
+	writeJSON(w, http.StatusOK, map[string]any{"removed": req.ID, "lsn": s.db.LSN(), "version": s.db.Version()})
 }

@@ -3,8 +3,10 @@
 // admission control (a bounded concurrency limiter that sheds load with
 // 429 + Retry-After), per-request deadlines plumbed into the Search*Ctx
 // engine so rejected and expired queries stop doing disk reads, an
-// invalidation-correct LRU result cache versioned by the database's
-// mutation counter, panic isolation per request, and live observability
+// invalidation-correct LRU result cache keyed by the MVCC read view's
+// commit LSN (every query runs inside a pinned view, so cached entries
+// are exactly consistent with their LSN), panic isolation per request,
+// and live observability
 // (/healthz, /varz JSON, /metricsz Prometheus text) rendered from the
 // engine's own metrics registry. Everything is standard library only,
 // like the rest of the repository.
@@ -244,6 +246,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{
 		"status":  st.String(),
 		"uptime":  time.Since(s.started).String(),
+		"lsn":     s.db.LSN(),
 		"version": s.db.Version(),
 	})
 }
@@ -291,6 +294,7 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 type varzPayload struct {
 	Uptime      string               `json:"uptime"`
 	DBVersion   uint64               `json:"dbVersion"`
+	DBLSN       uint64               `json:"dbLSN"`
 	LiveObjects int                  `json:"liveObjects"`
 	DurableLSN  uint64               `json:"durableLSN"`
 	Health      string               `json:"health"`
@@ -308,6 +312,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, varzPayload{
 		Uptime:      time.Since(s.started).String(),
 		DBVersion:   s.db.Version(),
+		DBLSN:       s.db.LSN(),
 		LiveObjects: s.db.LiveObjects(),
 		DurableLSN:  s.db.DurableLSN(),
 		Health:      s.health.currentState().String(),

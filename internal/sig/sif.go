@@ -9,6 +9,7 @@ import (
 	"dsks/internal/index"
 	"dsks/internal/invindex"
 	"dsks/internal/obj"
+	"dsks/internal/storage"
 )
 
 // Counters records the signature-level behaviour of a SIF/SIF-P index:
@@ -53,13 +54,27 @@ type Options struct {
 	SelectivityOrder bool
 }
 
+// Roots is the versioned root state of the signature layer: the per-term
+// signatures (nil for terms without one). A published Roots must never be
+// mutated; InsertObjectAt clones the slice (and, via WithBit, the touched
+// signatures) before writing, so a shallow struct copy is a safe starting
+// point for a mutation.
+type Roots struct {
+	Sigs []*TermSignature
+}
+
 // SIF is the signature-based inverted index (Section 3.1), optionally
 // enhanced with edge partitioning (SIF-P, Section 3.3). It wraps the IF
 // loader: an edge whose signature test fails for any query keyword is
 // rejected without touching the inverted file.
+//
+// The slot layout and cut bounds are build-time constants; the signatures
+// and the inner inverted file are versioned (Roots / invindex.Roots), so
+// queries can run against a pinned snapshot through ReaderAt while a
+// mutator builds the next version via InsertObjectAt.
 type SIF struct {
 	layout *Layout
-	sigs   []*TermSignature // per term; nil when the term has no signature
+	roots  Roots
 	inner  *invindex.Loader
 	opts   Options
 	// cutBounds maps a partitioned edge to the geometric offsets where its
@@ -166,7 +181,7 @@ func BuildSIF(g *graph.Graph, c *obj.Collection, vocabSize int, inv *invindex.In
 	}
 	return &SIF{
 		layout:    layout,
-		sigs:      sifs,
+		roots:     Roots{Sigs: sifs},
 		inner:     &invindex.Loader{Idx: inv, Coder: coder, SelectivityOrder: opts.SelectivityOrder},
 		opts:      opts,
 		cutBounds: cutBounds,
@@ -186,55 +201,112 @@ func (s *SIF) slotOf(e graph.EdgeID, offset float64) int32 {
 	return start + v
 }
 
-// InsertObject adds a new object after the initial build: its postings go
-// to the inverted file and its keywords' signature bits are set on the
-// covering (virtual) edge slot. Terms without a signature stay that way
-// (they are always probed, which remains sound).
-func (s *SIF) InsertObject(id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
+// InsertObjectAt adds a new object through the copy-on-write path: its
+// postings go to the inverted file via p and *inv, and its keywords'
+// signature bits are set on the covering (virtual) edge slot in *r —
+// cloning the signature slice and the touched signatures, never mutating
+// published state. Terms without a signature stay that way (they are
+// always probed, which remains sound).
+func (s *SIF) InsertObjectAt(p storage.Pager, inv *invindex.Roots, r *Roots, id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
 	terms = obj.NormalizeTerms(append([]obj.TermID(nil), terms...))
 	z := s.inner.Coder.EdgeZCode(e)
-	if err := s.inner.Idx.InsertObject(z, id, e, offset, terms); err != nil {
+	if err := s.inner.Idx.InsertObjectAt(p, inv, z, id, e, offset, terms); err != nil {
 		return err
 	}
 	slot := s.slotOf(e, offset)
+	cloned := false
 	for _, t := range terms {
-		if int(t) < len(s.sigs) && s.sigs[t] != nil {
-			s.sigs[t].Set(slot)
+		if int(t) >= len(r.Sigs) || r.Sigs[t] == nil {
+			continue
 		}
+		ns := r.Sigs[t].WithBit(slot)
+		if ns == r.Sigs[t] {
+			continue
+		}
+		if !cloned {
+			r.Sigs = append([]*TermSignature(nil), r.Sigs...)
+			cloned = true
+		}
+		r.Sigs[t] = ns
 	}
 	return nil
 }
 
-// RemoveObject deletes an object's postings from the inverted file. The
-// signature bits stay set — clearing them would require recounting every
-// other object on the slot — which keeps the test sound (a stale 1-bit
-// only costs a potential false hit, never a miss).
-func (s *SIF) RemoveObject(id obj.ID, e graph.EdgeID, terms []obj.TermID) error {
+// RemoveObjectAt deletes an object's postings from the inverted file
+// through the copy-on-write path. The signature bits stay set — clearing
+// them would require recounting every other object on the slot — which
+// keeps the test sound (a stale 1-bit only costs a potential false hit,
+// never a miss).
+func (s *SIF) RemoveObjectAt(p storage.Pager, inv *invindex.Roots, id obj.ID, e graph.EdgeID, terms []obj.TermID) error {
 	terms = obj.NormalizeTerms(append([]obj.TermID(nil), terms...))
-	return s.inner.Idx.RemoveObject(s.inner.Coder.EdgeZCode(e), id, terms)
+	return s.inner.Idx.RemoveObjectAt(p, inv, s.inner.Coder.EdgeZCode(e), id, terms)
+}
+
+// InsertObject adds a new object to the live roots (single-threaded path;
+// the MVCC path goes through InsertObjectAt with a WriteBatch and private
+// root copies).
+func (s *SIF) InsertObject(id obj.ID, e graph.EdgeID, offset float64, terms []obj.TermID) error {
+	pool := s.inner.Idx.Pool()
+	inv := s.inner.Idx.Roots()
+	r := s.roots
+	if err := s.InsertObjectAt(pool, &inv, &r, id, e, offset, terms); err != nil {
+		return err
+	}
+	s.inner.Idx.SetRoots(inv)
+	s.roots = r
+	return pool.Flush()
+}
+
+// RemoveObject deletes an object's postings from the live roots
+// (single-threaded path; see InsertObject).
+func (s *SIF) RemoveObject(id obj.ID, e graph.EdgeID, terms []obj.TermID) error {
+	pool := s.inner.Idx.Pool()
+	inv := s.inner.Idx.Roots()
+	if err := s.RemoveObjectAt(pool, &inv, id, e, terms); err != nil {
+		return err
+	}
+	s.inner.Idx.SetRoots(inv)
+	return pool.Flush()
+}
+
+// ReaderAt returns a SIFReader running the signature-filtered query logic
+// against the page source pr and the root snapshots inv (inverted file)
+// and r (signatures). With a pinned storage.PageView and published roots
+// the reader is latch-free and consistent at one LSN.
+func (s *SIF) ReaderAt(pr storage.PageReader, inv *invindex.Roots, r *Roots) *SIFReader {
+	return &SIFReader{s: s, inner: s.inner.At(pr, inv), sigs: r.Sigs}
+}
+
+// SIFReader is a SIF bound to an explicit page source and root snapshot.
+// Probe counters accumulate on the shared SIF (they are process-wide
+// statistics, not versioned state).
+type SIFReader struct {
+	s     *SIF
+	inner *invindex.Reader
+	sigs  []*TermSignature
 }
 
 // LoadObjects implements index.Loader (Algorithm 2 with the signature
 // test): the edge is rejected without I/O if no (virtual) edge slot has
 // every query keyword's bit set.
-func (s *SIF) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+func (v *SIFReader) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
-	if !s.passes(e, terms) {
-		s.sigRejected.Add(1)
+	if !v.s.passesIn(v.sigs, e, terms) {
+		v.s.sigRejected.Add(1)
 		return nil, nil
 	}
-	s.probes.Add(1)
-	refs, err := s.inner.LoadObjects(ctx, e, terms)
+	v.s.probes.Add(1)
+	refs, err := v.inner.LoadObjects(ctx, e, terms)
 	if err != nil {
 		return nil, err
 	}
 	if len(refs) == 0 {
-		s.falseHits.Add(1)
+		v.s.falseHits.Add(1)
 	} else {
-		s.trueHits.Add(1)
-		s.objectsLoaded.Add(int64(len(refs)))
+		v.s.trueHits.Add(1)
+		v.s.objectsLoaded.Add(int64(len(refs)))
 	}
 	return refs, nil
 }
@@ -242,42 +314,59 @@ func (s *SIF) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermI
 // LoadObjectsAny implements index.UnionLoader (the OR semantics of the
 // ranked query): the signature test filters each term independently — a
 // term whose bit is clear on every slot of e triggers no I/O at all.
-func (s *SIF) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+func (v *SIFReader) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
 	if len(terms) == 0 {
 		return nil, nil
 	}
-	start, count := s.layout.Slots(e)
+	start, count := v.s.layout.Slots(e)
 	probe := terms[:0:0]
 	for _, t := range terms {
-		ts := s.sigs[t]
+		ts := v.sigs[t]
 		if ts == nil || ts.TestRange(start, count) {
 			probe = append(probe, t)
 		}
 	}
 	if len(probe) == 0 {
-		s.sigRejected.Add(1)
+		v.s.sigRejected.Add(1)
 		return nil, nil
 	}
-	s.probes.Add(1)
-	matches, err := s.inner.LoadObjectsAny(ctx, e, probe)
+	v.s.probes.Add(1)
+	matches, err := v.inner.LoadObjectsAny(ctx, e, probe)
 	if err != nil {
 		return nil, err
 	}
 	if len(matches) == 0 {
-		s.falseHits.Add(1)
+		v.s.falseHits.Add(1)
 	} else {
-		s.trueHits.Add(1)
-		s.objectsLoaded.Add(int64(len(matches)))
+		v.s.trueHits.Add(1)
+		v.s.objectsLoaded.Add(int64(len(matches)))
 	}
 	return matches, nil
 }
 
-// passes evaluates the AND-semantics signature test over e's slots.
-func (s *SIF) passes(e graph.EdgeID, terms []obj.TermID) bool {
+// reader returns a SIFReader over the live roots and the buffer pool (the
+// legacy read path).
+func (s *SIF) reader() *SIFReader {
+	return s.ReaderAt(s.inner.Idx.Pool(), s.inner.Idx.CurrentRoots(), &s.roots)
+}
+
+// LoadObjects implements index.Loader against the live roots.
+func (s *SIF) LoadObjects(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectRef, error) {
+	return s.reader().LoadObjects(ctx, e, terms)
+}
+
+// LoadObjectsAny implements index.UnionLoader against the live roots.
+func (s *SIF) LoadObjectsAny(ctx context.Context, e graph.EdgeID, terms []obj.TermID) ([]index.ObjectMatch, error) {
+	return s.reader().LoadObjectsAny(ctx, e, terms)
+}
+
+// passesIn evaluates the AND-semantics signature test over e's slots
+// against an explicit signature snapshot.
+func (s *SIF) passesIn(sigs []*TermSignature, e graph.EdgeID, terms []obj.TermID) bool {
 	start, count := s.layout.Slots(e)
 	if count == 1 {
 		for _, t := range terms {
-			if ts := s.sigs[t]; ts != nil && !ts.Test(start) {
+			if ts := sigs[t]; ts != nil && !ts.Test(start) {
 				return false
 			}
 		}
@@ -287,7 +376,7 @@ func (s *SIF) passes(e graph.EdgeID, terms []obj.TermID) bool {
 	for v := int32(0); v < count; v++ {
 		ok := true
 		for _, t := range terms {
-			if ts := s.sigs[t]; ts != nil && !ts.Test(start+v) {
+			if ts := sigs[t]; ts != nil && !ts.Test(start+v) {
 				ok = false
 				break
 			}
@@ -299,8 +388,11 @@ func (s *SIF) passes(e graph.EdgeID, terms []obj.TermID) bool {
 	return false
 }
 
-// Passes exposes the signature test (used by SIF-G and by tests).
-func (s *SIF) Passes(e graph.EdgeID, terms []obj.TermID) bool { return s.passes(e, terms) }
+// Passes exposes the signature test over the live roots (used by SIF-G and
+// by tests).
+func (s *SIF) Passes(e graph.EdgeID, terms []obj.TermID) bool {
+	return s.passesIn(s.roots.Sigs, e, terms)
+}
 
 // Counters returns a snapshot of the probe statistics.
 func (s *SIF) Counters() Counters {
@@ -326,7 +418,7 @@ func (s *SIF) ResetCounters() {
 // the paper's "signature file" size.
 func (s *SIF) SignatureBytes() int64 {
 	var total int64
-	for _, ts := range s.sigs {
+	for _, ts := range s.roots.Sigs {
 		if ts != nil {
 			total += ts.SizeBytes()
 		}
@@ -340,7 +432,7 @@ func (s *SIF) SignatureBytes() int64 {
 func (s *SIF) FlatSignatureBytes() int64 {
 	perTerm := (int64(s.layout.NumSlots()) + 7) / 8
 	var total int64
-	for _, ts := range s.sigs {
+	for _, ts := range s.roots.Sigs {
 		if ts != nil {
 			total += perTerm
 		}
@@ -354,10 +446,22 @@ func (s *SIF) SizeBytes() int64 { return s.inner.Idx.SizeBytes() + s.SignatureBy
 // Index exposes the underlying inverted index (for counters and tests).
 func (s *SIF) Index() *invindex.Index { return s.inner.Idx }
 
+// Roots returns a copy of the live signature roots — the starting point
+// for a copy-on-write mutation or a published snapshot for readers.
+func (s *SIF) Roots() Roots { return s.roots }
+
+// SetRoots replaces the live signature roots (the commit step of the
+// legacy in-place path).
+func (s *SIF) SetRoots(r Roots) { s.roots = r }
+
+// CurrentRoots returns a pointer to the live signature roots for legacy
+// readers.
+func (s *SIF) CurrentRoots() *Roots { return &s.roots }
+
 // Layout exposes the slot layout (for tests and SIF-G).
 func (s *SIF) Layout() *Layout { return s.layout }
 
 // HasSignature reports whether term t carries a signature.
 func (s *SIF) HasSignature(t obj.TermID) bool {
-	return int(t) < len(s.sigs) && s.sigs[t] != nil
+	return int(t) < len(s.roots.Sigs) && s.roots.Sigs[t] != nil
 }

@@ -40,6 +40,23 @@ func (s *TermSignature) Set(pos int32) {
 	s.set[i] = pos
 }
 
+// WithBit returns a signature with the bit at pos set, never mutating the
+// receiver: when the bit is already on, the receiver itself is returned;
+// otherwise a new signature with a fresh position slice is built. This is
+// the copy-on-write counterpart of Set, used by the MVCC insert path so
+// that published signatures stay immutable under concurrent readers.
+func (s *TermSignature) WithBit(pos int32) *TermSignature {
+	i := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= pos })
+	if i < len(s.set) && s.set[i] == pos {
+		return s
+	}
+	set := make([]int32, 0, len(s.set)+1)
+	set = append(set, s.set[:i]...)
+	set = append(set, pos)
+	set = append(set, s.set[i:]...)
+	return &TermSignature{n: s.n, set: set}
+}
+
 // Test reports the bit at position pos.
 func (s *TermSignature) Test(pos int32) bool {
 	i := sort.Search(len(s.set), func(i int) bool { return s.set[i] >= pos })

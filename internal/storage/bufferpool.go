@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,62 +41,53 @@ type IOCounters struct {
 // count as disk accesses — the metric the paper reports. ReadRetries and
 // CorruptPages track the robustness machinery: transient faults absorbed
 // by the retry loop and checksum failures detected on miss.
+//
+// Every counter is a plain atomic, so recording and resetting are both
+// latch-free: a Reset is an atomic swap per counter and can never stall a
+// concurrent reader or writer. A Snapshot taken while counters move is not
+// a single consistent cut across counters, only per-counter exact — all
+// consumers aggregate deltas, for which this is sufficient.
 type IOStats struct {
-	mu           sync.Mutex
-	LogicalRead  int64
-	DiskRead     int64
-	DiskWrite    int64
-	ReadRetries  int64
-	CorruptPages int64
+	LogicalRead  atomic.Int64
+	DiskRead     atomic.Int64
+	DiskWrite    atomic.Int64
+	ReadRetries  atomic.Int64
+	CorruptPages atomic.Int64
 }
 
 // Snapshot returns a copy of the counters.
 func (s *IOStats) Snapshot() IOCounters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return IOCounters{
-		LogicalRead: s.LogicalRead,
-		DiskRead:    s.DiskRead,
-		DiskWrite:   s.DiskWrite,
-		ReadRetries: s.ReadRetries,
-		CorruptPage: s.CorruptPages,
+		LogicalRead: s.LogicalRead.Load(),
+		DiskRead:    s.DiskRead.Load(),
+		DiskWrite:   s.DiskWrite.Load(),
+		ReadRetries: s.ReadRetries.Load(),
+		CorruptPage: s.CorruptPages.Load(),
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters with one atomic swap each; no latch is taken,
+// so in-flight queries keep counting without ever blocking on the reset.
 func (s *IOStats) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.LogicalRead, s.DiskRead, s.DiskWrite = 0, 0, 0
-	s.ReadRetries, s.CorruptPages = 0, 0
+	s.LogicalRead.Swap(0)
+	s.DiskRead.Swap(0)
+	s.DiskWrite.Swap(0)
+	s.ReadRetries.Swap(0)
+	s.CorruptPages.Swap(0)
 }
 
 func (s *IOStats) addRead(miss bool) {
-	s.mu.Lock()
-	s.LogicalRead++
+	s.LogicalRead.Add(1)
 	if miss {
-		s.DiskRead++
+		s.DiskRead.Add(1)
 	}
-	s.mu.Unlock()
 }
 
-func (s *IOStats) addWrite() {
-	s.mu.Lock()
-	s.DiskWrite++
-	s.mu.Unlock()
-}
+func (s *IOStats) addWrite() { s.DiskWrite.Add(1) }
 
-func (s *IOStats) addRetry() {
-	s.mu.Lock()
-	s.ReadRetries++
-	s.mu.Unlock()
-}
+func (s *IOStats) addRetry() { s.ReadRetries.Add(1) }
 
-func (s *IOStats) addCorrupt() {
-	s.mu.Lock()
-	s.CorruptPages++
-	s.mu.Unlock()
-}
+func (s *IOStats) addCorrupt() { s.CorruptPages.Add(1) }
 
 // transientFault reports whether err marks itself retryable — the
 // contract fault.Error (internal/fault) satisfies through its
@@ -138,6 +130,15 @@ type BufferPool struct {
 	// nil sums = checksums disabled. Taken after mu when both are held.
 	sumMu sync.Mutex
 	sums  map[PageID]uint32
+
+	// verMu guards versions, the multi-version overlay: per page, the
+	// LSN-stamped copy-on-write versions published by committed WriteBatches
+	// and not yet folded back into the base file. Chains are ascending by
+	// LSN. verMu is never held together with mu (the overlay check and the
+	// base read are separate critical sections), so there is no ordering
+	// constraint between them.
+	verMu    sync.RWMutex
+	versions map[PageID][]pageVersion
 }
 
 type frame struct {

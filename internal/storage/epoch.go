@@ -1,0 +1,85 @@
+package storage
+
+import "sync"
+
+// Epochs tracks which commit LSNs are pinned by active readers, and the
+// fold horizon — the LSN up to which overlay versions have been (or are
+// being) folded back into the base file. It is the reclamation half of the
+// MVCC protocol:
+//
+//   - A reader pins the LSN of the root set it loaded. Pin re-validates
+//     under the registry lock that the LSN has not already been folded
+//     past; on failure the reader reloads the (newer) current root set and
+//     pins again — the newest published LSN is always pinnable.
+//   - FoldHorizon advances the horizon to the minimum pinned LSN (or the
+//     current commit LSN when nothing is pinned) and returns it; the
+//     caller then runs BufferPool.FoldTo with the result. Because the
+//     horizon advance and every Pin serialize on the same lock, a fold can
+//     never race a reader into pinning an LSN it is about to reclaim.
+//
+// The zero value is ready to use.
+type Epochs struct {
+	mu     sync.Mutex
+	pins   map[uint64]int
+	folded uint64
+}
+
+// Pin registers a reader at lsn. It fails (returning false, registering
+// nothing) when lsn is below the fold horizon — the versions a reader at
+// lsn would need may already be gone — in which case the caller must
+// reload the current root set and pin its newer LSN instead.
+func (e *Epochs) Pin(lsn uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if lsn < e.folded {
+		return false
+	}
+	if e.pins == nil {
+		e.pins = make(map[uint64]int)
+	}
+	e.pins[lsn]++
+	return true
+}
+
+// Unpin releases one reader registered at lsn.
+func (e *Epochs) Unpin(lsn uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n, ok := e.pins[lsn]; ok {
+		if n <= 1 {
+			delete(e.pins, lsn)
+		} else {
+			e.pins[lsn] = n - 1
+		}
+	}
+}
+
+// Pinned returns the number of active pins (observability and tests).
+func (e *Epochs) Pinned() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, c := range e.pins {
+		n += c
+	}
+	return n
+}
+
+// FoldHorizon advances the fold horizon to the minimum pinned LSN, or to
+// current when nothing is pinned, and returns the (monotone) result. The
+// caller feeds it to BufferPool.FoldTo; calls must be serialized by the
+// caller (one fold at a time), though they may race Pin/Unpin freely.
+func (e *Epochs) FoldHorizon(current uint64) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := current
+	for lsn := range e.pins {
+		if lsn < h {
+			h = lsn
+		}
+	}
+	if h > e.folded {
+		e.folded = h
+	}
+	return e.folded
+}

@@ -183,7 +183,9 @@ func syncDir(path string) error {
 // previous snapshot intact (briefly under dir+".prev" during the swap
 // window; OpenPath falls back to it automatically). SaveTo takes the
 // database's read latch, so the snapshot is consistent with respect to
-// concurrent Insert and Remove.
+// concurrent Insert and Remove; MVCC read views are unaffected — they
+// answer from pinned page versions and never touch the latch
+// (TestViewPinnedAcrossSaveAndCheckpoint races both under -race).
 //
 // With a write-ahead log attached, the snapshot records the last log
 // record it includes and then checkpoints the log: the active segment is

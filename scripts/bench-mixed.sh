@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Read-under-write benchmark (run by `make bench-mixed` and the CI
+# bench-mixed job): boot dsks-serve with the result cache disabled (so
+# every read actually walks the MVCC view into storage) and synthetic
+# per-miss I/O latency (so latencies are dominated by modeled work, not
+# scheduler noise), then drive the two-phase hammer benchmark:
+#   - phase A: read-only baseline (search/diversified/knn/ranked mix),
+#   - phase B: identical reads under a sustained insert storm.
+# The hammer writes the throughput/latency trajectory to BENCH_mixed.json
+# and asserts the mixed read p99 stays within 2x of the read-only
+# baseline — the acceptance bar for "queries never block writers".
+set -u
+
+BIN="${1:?usage: bench-mixed.sh <path-to-dsks-serve> [out.json]}"
+OUT="${2:-BENCH_mixed.json}"
+ADDR="127.0.0.1:18081"
+
+"$BIN" -addr "$ADDR" -preset SYN -scale 2000 -index SIF \
+    -max-inflight 16 -queue-depth 128 -iolat 200us -cache-size -1 &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null' EXIT
+
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 2000 \
+    -n 1200 -c 8 -distinct 48 \
+    -mix "search:4,diversified:3,knn:2,ranked:1" \
+    -bench-mixed "$OUT" -bench-mutators 4 -bench-max-ratio 2.0; then
+    echo "bench-mixed: benchmark assertions failed" >&2
+    exit 1
+fi
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+CODE=$?
+trap - EXIT
+if [ "$CODE" -ne 0 ]; then
+    echo "bench-mixed: server exited $CODE after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "bench-mixed: ok (report in $OUT)"
