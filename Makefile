@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint fuzz-smoke serve serve-smoke chaos-smoke wal-smoke bench-mixed
+.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke bench-mixed
 
 all: build test lint
 
@@ -29,6 +29,14 @@ lint:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# lint-report mirrors the CI lint-report job: the full analyzer run with
+# the machine-readable SARIF output CI uploads as an artifact
+# (docs/LINTING.md). The file is written even when findings make the
+# run fail, so it can be inspected afterwards.
+lint-report:
+	$(GO) build -o $(CURDIR)/bin/dsks-lint ./cmd/dsks-lint
+	$(CURDIR)/bin/dsks-lint -format=sarif -o dsks-lint.sarif -debug ./...
 
 fuzz-smoke:
 	$(GO) test -run FuzzZOrder -fuzz FuzzZOrder -fuzztime $(FUZZTIME) ./internal/geo/

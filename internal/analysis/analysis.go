@@ -47,6 +47,10 @@ type Pass struct {
 	Info *types.Info
 
 	diags []Diagnostic
+	// facts is the run-wide fact store; nil for fact-less runs.
+	facts *FactStore
+	// factErr records the first fact (de)serialization failure.
+	factErr error
 }
 
 // A Diagnostic is one reported violation.
@@ -73,17 +77,32 @@ type Finding struct {
 }
 
 // RunAnalyzer applies a to pkg and returns the findings that are not
-// suppressed by a //lint:ignore comment, sorted by position.
+// suppressed by a //lint:ignore comment, sorted by position. The
+// analyzer sees an empty fact store: facts it exports are discarded and
+// imports find nothing. Fact-consuming analyses use RunAnalyzerFacts
+// with a store shared across the packages of one run.
 func RunAnalyzer(pkg *Package, a *Analyzer) ([]Finding, error) {
+	return RunAnalyzerFacts(pkg, a, NewFactStore())
+}
+
+// RunAnalyzerFacts is RunAnalyzer with an explicit fact store: facts the
+// pass exports land in store, and imports resolve against everything
+// earlier passes of the same analyzer exported into it. The caller is
+// responsible for ordering packages dependencies-first (see Runner).
+func RunAnalyzerFacts(pkg *Package, a *Analyzer, store *FactStore) ([]Finding, error) {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		facts:    store,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+	}
+	if pass.factErr != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, pass.factErr)
 	}
 	sup := suppressedLines(pkg.Fset, pkg.Files, a.Name)
 	var out []Finding

@@ -28,18 +28,33 @@ import (
 
 // Run loads each package path from testdata root dir and applies a,
 // failing t on any mismatch between diagnostics and want annotations.
+//
+// Each path is loaded together with its in-tree dependency closure
+// (testdata trees may hold multiple packages importing one another), and
+// the analyzer runs over the dependencies first with a shared fact
+// store, so fact-based analyzers see exactly what they would in a real
+// dsks-lint run. Want annotations are checked only in the listed package
+// itself — diagnostics the analyzer reports in dependency stubs are
+// checked when (and only when) that dependency is listed as a path.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	for _, path := range paths {
-		pkg, err := analysis.LoadTestdata(dir, path)
+		tree, err := analysis.LoadTestdataTree(dir, path)
 		if err != nil {
 			t.Fatalf("loading testdata package %s: %v", path, err)
 		}
-		findings, err := analysis.RunAnalyzer(pkg, a)
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		store := analysis.NewFactStore()
+		var findings []analysis.Finding
+		for _, pkg := range tree {
+			fs, err := analysis.RunAnalyzerFacts(pkg, a, store)
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			if pkg.Path == path {
+				findings = fs
+			}
 		}
-		checkWants(t, pkg, findings)
+		checkWants(t, tree[len(tree)-1], findings)
 	}
 }
 

@@ -1,0 +1,369 @@
+// Package atomicfield enforces the atomic-access discipline on struct
+// fields, the companion of docs/CONCURRENCY.md's "every shared word is
+// either latched or atomic" rule:
+//
+//  1. A field touched with raw sync/atomic calls anywhere
+//     (atomic.AddUint64(&s.n, 1), atomic.LoadUint32(&s.state), ...)
+//     must never be read or written plainly — a plain access races with
+//     the atomic ones, and the race detector only catches it when both
+//     sides actually collide in a run. Which fields are atomic is
+//     discovered from usage and exported as an AtomicFieldsFact on the
+//     struct's type, so a plain access in a downstream package is
+//     caught too.
+//
+//  2. A value of a type that contains an atomic.* field (atomic.Bool,
+//     atomic.Int64, atomic.Pointer[T], atomic.Value, ... — directly or
+//     through nested by-value structs and arrays) must not be copied:
+//     not by value receiver, value parameter or result, assignment,
+//     dereference copy, range clause, or argument. The copy duplicates
+//     the atomic word; updates to one copy are invisible to the other.
+//     This propagation is structural (export data shows every field),
+//     so it crosses packages without facts.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dsks/internal/analysis"
+)
+
+// Analyzer reports plain accesses to atomically-accessed fields and
+// copies of atomic-bearing values.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "struct fields accessed with sync/atomic operations must never " +
+		"be read or written plainly (the mixed access races), and values " +
+		"of types containing atomic.* fields must not be copied — no " +
+		"value receivers, value params/results, assignments, dereference " +
+		"copies, or range copies; AtomicFieldsFact carries usage-derived " +
+		"atomic fields across packages.",
+	Run: run,
+}
+
+// AtomicFieldsFact records, on a struct type, the fields raw sync/atomic
+// calls target somewhere in the program.
+type AtomicFieldsFact struct {
+	Fields []string
+}
+
+// AFact marks AtomicFieldsFact as a fact.
+func (*AtomicFieldsFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		raw:     map[*types.TypeName]map[string]bool{},
+		atomArg: map[*ast.SelectorExpr]bool{},
+	}
+	c.collectRawAtomics()
+	c.exportFacts()
+	for _, f := range pass.Files {
+		c.checkFile(f)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// raw maps a struct type to its atomically-accessed field names
+	// (this package's usage plus imported facts).
+	raw map[*types.TypeName]map[string]bool
+	// atomArg marks the x.f selectors that appear as &x.f inside a raw
+	// atomic call — the legitimate accesses.
+	atomArg map[*ast.SelectorExpr]bool
+	// nocopyMemo caches the per-type copy verdicts.
+	nocopyMemo map[types.Type]string
+}
+
+// --- rule 1: usage-derived atomic fields ------------------------------
+
+// collectRawAtomics finds every atomic.Xxx(&s.f, ...) call and records
+// (type of s, f).
+func (c *checker) collectRawAtomics() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRawAtomicCall(c.pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tn, field, ok := c.fieldOf(sel)
+			if !ok {
+				return true
+			}
+			c.atomArg[sel] = true
+			if c.raw[tn] == nil {
+				c.raw[tn] = map[string]bool{}
+			}
+			c.raw[tn][field] = true
+			return true
+		})
+	}
+}
+
+// exportFacts merges each type's local raw-atomic fields with any
+// imported fact and exports the union.
+func (c *checker) exportFacts() {
+	for tn, fields := range c.raw {
+		var prev AtomicFieldsFact
+		if c.pass.ImportObjectFact(tn, &prev) {
+			for _, f := range prev.Fields {
+				fields[f] = true
+			}
+		}
+		names := make([]string, 0, len(fields))
+		for f := range fields {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		c.pass.ExportObjectFact(tn, &AtomicFieldsFact{Fields: names})
+	}
+}
+
+// atomicFields returns the atomically-accessed field set of tn, local
+// usage or imported fact.
+func (c *checker) atomicFields(tn *types.TypeName) map[string]bool {
+	if fields, ok := c.raw[tn]; ok {
+		return fields
+	}
+	var fact AtomicFieldsFact
+	if !c.pass.ImportObjectFact(tn, &fact) {
+		return nil
+	}
+	fields := map[string]bool{}
+	for _, f := range fact.Fields {
+		fields[f] = true
+	}
+	c.raw[tn] = fields
+	return fields
+}
+
+// fieldOf resolves a selector to (owning named struct type, field name).
+func (c *checker) fieldOf(sel *ast.SelectorExpr) (*types.TypeName, string, bool) {
+	s, ok := c.pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, "", false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, "", false
+	}
+	return named.Obj(), sel.Sel.Name, true
+}
+
+// --- walk -------------------------------------------------------------
+
+func (c *checker) checkFile(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			c.checkPlainAccess(n)
+		case *ast.FuncDecl:
+			c.checkSignature(n.Recv, n.Type)
+		case *ast.FuncLit:
+			c.checkSignature(nil, n.Type)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// A blank-discarded value is never read again: not a copy
+				// anything can observe.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				c.checkCopyExpr(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				c.checkCopyExpr(v, "declaration")
+			}
+		case *ast.RangeStmt:
+			c.checkRangeCopy(n)
+		case *ast.CallExpr:
+			if isRawAtomicCall(c.pass, n) {
+				return true
+			}
+			if _, ok := c.pass.Info.Types[n.Fun]; ok && c.pass.Info.Types[n.Fun].IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				c.checkCopyExpr(arg, "argument")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				c.checkCopyExpr(res, "return value")
+			}
+		}
+		return true
+	})
+}
+
+// checkPlainAccess flags x.f when f is atomically accessed and this
+// selector is not itself inside a raw atomic call.
+func (c *checker) checkPlainAccess(sel *ast.SelectorExpr) {
+	if c.atomArg[sel] {
+		return
+	}
+	tn, field, ok := c.fieldOf(sel)
+	if !ok {
+		return
+	}
+	if fields := c.atomicFields(tn); fields != nil && fields[field] {
+		c.pass.Reportf(sel.Pos(),
+			"atomicfield: plain access of %s.%s, which is accessed with sync/atomic operations; use the matching atomic call",
+			tn.Name(), field)
+	}
+}
+
+// checkSignature flags by-value receivers, parameters, and results of
+// atomic-bearing types.
+func (c *checker) checkSignature(recv *ast.FieldList, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := c.pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if carrier := c.nocopy(tv.Type); carrier != "" {
+				c.pass.Reportf(field.Type.Pos(),
+					"atomicfield: %s passes %s by value, copying its atomic field %s; use a pointer",
+					kind, typeString(tv.Type), carrier)
+			}
+		}
+	}
+	flag(recv, "receiver")
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// checkCopyExpr flags expressions whose evaluation copies an existing
+// atomic-bearing value: identifiers, field selections, dereferences,
+// and index expressions. Composite literals and calls construct fresh
+// values and are allowed.
+func (c *checker) checkCopyExpr(e ast.Expr, context string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := c.pass.Info.Types[ast.Unparen(e)]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if carrier := c.nocopy(tv.Type); carrier != "" {
+		c.pass.Reportf(e.Pos(),
+			"atomicfield: %s copies a %s by value, duplicating its atomic field %s; use a pointer",
+			context, typeString(tv.Type), carrier)
+	}
+}
+
+// checkRangeCopy flags range clauses whose element copies an
+// atomic-bearing value.
+func (c *checker) checkRangeCopy(r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	id, ok := r.Value.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := c.pass.Info.Defs[id]
+	if obj == nil {
+		if obj = c.pass.Info.Uses[id]; obj == nil {
+			return
+		}
+	}
+	if carrier := c.nocopy(obj.Type()); carrier != "" {
+		c.pass.Reportf(r.Value.Pos(),
+			"atomicfield: range copies %s values, duplicating atomic field %s; range over indices or pointers",
+			typeString(obj.Type()), carrier)
+	}
+}
+
+// --- nocopy classification --------------------------------------------
+
+// nocopy reports why t must not be copied: the path to the first
+// sync/atomic-typed field it contains by value ("" if copyable).
+func (c *checker) nocopy(t types.Type) string {
+	if c.nocopyMemo == nil {
+		c.nocopyMemo = map[types.Type]string{}
+	}
+	if why, ok := c.nocopyMemo[t]; ok {
+		return why
+	}
+	c.nocopyMemo[t] = "" // cycle guard: assume copyable while computing
+	why := c.nocopyPath(t, map[types.Type]bool{})
+	c.nocopyMemo[t] = why
+	return why
+}
+
+func (c *checker) nocopyPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return "(" + obj.Name() + ")"
+		}
+		return c.nocopyPath(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if why := c.nocopyPath(f.Type(), seen); why != "" {
+				if strings.HasPrefix(why, "(") || strings.HasPrefix(why, "[") {
+					return f.Name() + why
+				}
+				return f.Name() + "." + why
+			}
+		}
+	case *types.Array:
+		if why := c.nocopyPath(t.Elem(), seen); why != "" {
+			return "[...]" + why
+		}
+	}
+	return ""
+}
+
+// isRawAtomicCall recognizes sync/atomic package-level operations
+// (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isRawAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // atomic.Int64 methods are the sanctioned accessors
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeString renders t compactly for diagnostics (package-qualified by
+// base name only).
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

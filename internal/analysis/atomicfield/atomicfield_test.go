@@ -1,0 +1,17 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/atomicfield"
+)
+
+// TestAtomicfield analyzes the metrics package first so its usage-derived
+// AtomicFieldsFact is in the store when the client package is checked.
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		"dsks/internal/metrics",
+		"dsks/client",
+	)
+}

@@ -1,0 +1,103 @@
+// Package client exercises atomicfield across a package boundary: the
+// AtomicFieldsFact exported by the metrics package flags plain accesses
+// here, and the structural nocopy rule flags every copying construct.
+package client
+
+import (
+	"sync/atomic"
+
+	"dsks/internal/metrics"
+)
+
+// --- rule 1: plain access of atomically-accessed fields ---------------
+
+// ReadPlain races with the atomic writers in the metrics package.
+func ReadPlain(c *metrics.Counters) uint64 {
+	return c.Hits // want `plain access of Counters\.Hits`
+}
+
+// WritePlain races the same way on the store side.
+func WritePlain(c *metrics.Counters) {
+	c.Misses = 0 // want `plain access of Counters\.Misses`
+}
+
+// GoodAtomic uses the matching atomic call: no diagnostic.
+func GoodAtomic(c *metrics.Counters) uint64 {
+	return atomic.LoadUint64(&c.Hits)
+}
+
+// GoodUntracked reads a field nothing accesses atomically.
+func GoodUntracked(c *metrics.Counters) string {
+	return c.Name
+}
+
+// SuppressedPlain is a real mixed access muted with a reasoned ignore.
+func SuppressedPlain(c *metrics.Counters) uint64 {
+	//lint:ignore atomicfield single-threaded shutdown path, writers are joined
+	return c.Hits
+}
+
+// --- rule 2: copies of atomic-bearing values --------------------------
+
+// wrapper embeds a Gauge by value, so it is non-copyable too.
+type wrapper struct {
+	g metrics.Gauge
+	n int
+}
+
+// Value copies the wrapper (and its atomic word) on every call.
+func (w wrapper) Value() int64 { // want `receiver passes client\.wrapper by value, copying its atomic field g\.Current\(Int64\)`
+	return w.g.Current.Load()
+}
+
+// GoodValue reads through a pointer receiver: no copy.
+func (w *wrapper) GoodValue() int64 {
+	return w.g.Current.Load()
+}
+
+// Dup copies a Gauge out of a dereference.
+func Dup(g *metrics.Gauge) {
+	cp := *g // want `assignment copies a metrics\.Gauge by value, duplicating its atomic field Current\(Int64\)`
+	_ = cp
+}
+
+// DupSnapshot shows the transitive propagation through nested structs.
+func DupSnapshot(s *metrics.Snapshot) {
+	local := *s // want `assignment copies a metrics\.Snapshot by value, duplicating its atomic field G\.Current\(Int64\)`
+	_ = local
+}
+
+// consume takes a Snapshot by value: flagged at the signature.
+func consume(s metrics.Snapshot) int { // want `parameter passes metrics\.Snapshot by value`
+	return s.N
+}
+
+// Pass copies the Snapshot again at the call site.
+func Pass(s *metrics.Snapshot) int {
+	return consume(*s) // want `argument copies a metrics\.Snapshot by value`
+}
+
+// Sum ranges over Gauge values, copying each element.
+func Sum(gs []metrics.Gauge) int64 {
+	var total int64
+	for _, g := range gs { // want `range copies metrics\.Gauge values`
+		total += g.Current.Load()
+	}
+	return total
+}
+
+// GoodSum ranges by index: no copies.
+func GoodSum(gs []metrics.Gauge) int64 {
+	var total int64
+	for i := range gs {
+		total += gs[i].Current.Load()
+	}
+	return total
+}
+
+// SuppressedCopy is a real copy muted with a reasoned ignore.
+func SuppressedCopy(g *metrics.Gauge) {
+	//lint:ignore atomicfield fixture snapshot taken during single-threaded init
+	cp := *g
+	_ = cp
+}

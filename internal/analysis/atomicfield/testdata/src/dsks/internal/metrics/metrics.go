@@ -1,0 +1,40 @@
+// Package metrics stubs the counter types whose fields are accessed
+// atomically: raw-atomic usage here becomes an AtomicFieldsFact the
+// client package's checks consume.
+package metrics
+
+import "sync/atomic"
+
+// Counters is updated with raw sync/atomic calls on its exported words.
+type Counters struct {
+	Hits   uint64
+	Misses uint64
+	Name   string
+}
+
+// Hit bumps the hit counter atomically.
+func (c *Counters) Hit() { atomic.AddUint64(&c.Hits, 1) }
+
+// Miss bumps the miss counter atomically.
+func (c *Counters) Miss() { atomic.AddUint64(&c.Misses, 1) }
+
+// HitCount reads the hit counter atomically.
+func (c *Counters) HitCount() uint64 { return atomic.LoadUint64(&c.Hits) }
+
+// Reset mixes a plain write in with the atomic accesses above.
+func (c *Counters) Reset() {
+	c.Hits = 0 // want `plain access of Counters\.Hits`
+	atomic.StoreUint64(&c.Misses, 0)
+}
+
+// Gauge carries a declared atomic field: values must not be copied.
+type Gauge struct {
+	Current atomic.Int64
+	Label   string
+}
+
+// Snapshot contains a Gauge by value: transitively non-copyable.
+type Snapshot struct {
+	G Gauge
+	N int
+}

@@ -1,0 +1,20 @@
+package commitorder_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/commitorder"
+)
+
+// TestCommitorder analyzes the stub module dependencies-first so the
+// database package's OpsFacts (PublishVersion, WaitCommitted) are in
+// the store when the client package is checked.
+func TestCommitorder(t *testing.T) {
+	analysistest.Run(t, "testdata", commitorder.Analyzer,
+		"dsks/internal/wal",
+		"dsks/internal/storage",
+		"dsks",
+		"dsks/client",
+	)
+}

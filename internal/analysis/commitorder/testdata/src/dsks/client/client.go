@@ -1,0 +1,144 @@
+// Package client exercises commitorder: in-order commits stay silent,
+// inversions and latched durability waits are reported, and helper ops
+// arrive through cross-package OpsFacts.
+package client
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dsks"
+	"dsks/internal/storage"
+	"dsks/internal/wal"
+)
+
+// engine mirrors the database's commit state so the protocol operations
+// can be exercised directly.
+type engine struct {
+	mu    sync.Mutex
+	log   *wal.Log
+	pool  *storage.BufferPool
+	roots atomic.Pointer[dsks.Roots]
+}
+
+// --- in-order commits (no diagnostics) --------------------------------
+
+// GoodCommit performs one full mutation in protocol order.
+func GoodCommit(e *engine, b *storage.WriteBatch, next *dsks.Roots, rec wal.Record) error {
+	e.mu.Lock()
+	lsn, err := e.log.Append(rec)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.pool.Publish(b)
+	e.roots.Store(next)
+	e.mu.Unlock()
+	return e.log.WaitDurable(lsn)
+}
+
+// GoodBackToBack runs two complete commits in sequence: the second
+// Append starts a fresh mutation, not an inversion.
+func GoodBackToBack(e *engine, b *storage.WriteBatch, next *dsks.Roots, rec wal.Record) error {
+	if err := GoodCommit(e, b, next, rec); err != nil {
+		return err
+	}
+	return GoodCommit(e, b, next, rec)
+}
+
+// GoodViaHelpers commits through the database's fact-carrying helpers.
+func GoodViaHelpers(db *dsks.DB, e *engine, b *storage.WriteBatch, next *dsks.Roots, rec wal.Record) error {
+	lsn, err := e.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	db.PublishVersion(b, next)
+	return db.WaitCommitted(lsn)
+}
+
+// GoodRecovery is the startup shape: install initial roots from idle,
+// then replay publishes records with no Appends — each Publish starts a
+// new mutation, none of it is an inversion.
+func GoodRecovery(db *dsks.DB, e *engine, b *storage.WriteBatch, boot, next *dsks.Roots) {
+	db.InstallRoots(boot)
+	e.pool.Publish(b)
+	e.roots.Store(next)
+	e.pool.Publish(b)
+	e.roots.Store(next)
+}
+
+// GoodUnlogged publishes without a WAL attached: no Append, no
+// violation.
+func GoodUnlogged(e *engine, b *storage.WriteBatch, next *dsks.Roots) {
+	e.pool.Publish(b)
+	e.roots.Store(next)
+}
+
+// --- protocol violations ----------------------------------------------
+
+// BadStoreBeforePublish makes the logged mutation's LSN reachable
+// before its pages are installed.
+func BadStoreBeforePublish(e *engine, b *storage.WriteBatch, next *dsks.Roots, rec wal.Record) {
+	e.log.Append(rec)
+	e.roots.Store(next) // want `roots\.Store before pool\.Publish for the mutation logged at line`
+	e.pool.Publish(b)
+}
+
+// BadHelperStoreEarly trips the same violation through a cross-package
+// helper: InstallRoots's OpsFact says it stores the roots.
+func BadHelperStoreEarly(db *dsks.DB, e *engine, b *storage.WriteBatch, next *dsks.Roots, rec wal.Record) {
+	e.log.Append(rec)
+	db.InstallRoots(next) // want `roots\.Store \(via InstallRoots\) before pool\.Publish`
+	e.pool.Publish(b)
+}
+
+// BadAppendAfterPublish logs a new mutation while the previous one's
+// pages are published but never made visible.
+func BadAppendAfterPublish(e *engine, b *storage.WriteBatch, rec wal.Record) error {
+	e.pool.Publish(b)
+	if _, err := e.log.Append(rec); err != nil { // want `wal\.Append after pool\.Publish .* with no intervening roots\.Store`
+		return err
+	}
+	return nil
+}
+
+// --- durability waits under the latch ---------------------------------
+
+// BadWaitDirect fsync-waits while holding the latch.
+func BadWaitDirect(e *engine, lsn uint64) error {
+	e.mu.Lock()
+	err := e.log.WaitDurable(lsn) // want `WaitDurable/Sync while e\.mu is held`
+	e.mu.Unlock()
+	return err
+}
+
+// BadWaitDeferred holds through a deferred Unlock: still latched at the
+// wait.
+func BadWaitDeferred(e *engine, db *dsks.DB, lsn uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return db.WaitCommitted(lsn) // want `WaitDurable/Sync \(via WaitCommitted\) while e\.mu is held`
+}
+
+// BadSyncUnderLatch fsyncs a log file under the latch.
+func BadSyncUnderLatch(e *engine, f *storage.LogFile) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return f.Sync() // want `WaitDurable/Sync while e\.mu is held`
+}
+
+// GoodWaitAfterUnlock waits only once the latch is released.
+func GoodWaitAfterUnlock(e *engine, lsn uint64) error {
+	e.mu.Lock()
+	e.mu.Unlock()
+	return e.log.WaitDurable(lsn)
+}
+
+// SuppressedWait is a real violation muted with a reasoned ignore; the
+// run must report nothing here.
+func SuppressedWait(e *engine, lsn uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:ignore commitorder single-writer startup path with no concurrent committers
+	return e.log.WaitDurable(lsn)
+}

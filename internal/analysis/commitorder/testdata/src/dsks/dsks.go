@@ -1,0 +1,56 @@
+// Package dsks stubs the database's commit helpers: their OpsFacts
+// (PublishVersion performs Publish then RootsStore, WaitCommitted
+// performs the durability wait) flow to the client package's call sites.
+package dsks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dsks/internal/storage"
+	"dsks/internal/wal"
+)
+
+// Roots is one published version's root set.
+type Roots struct {
+	lsn uint64
+}
+
+// DB is the database handle.
+type DB struct {
+	mu    sync.Mutex
+	wal   *wal.Log
+	pool  *storage.BufferPool
+	roots atomic.Pointer[Roots]
+}
+
+// PublishVersion installs a mutation: pages first, then the root swap.
+func (db *DB) PublishVersion(b *storage.WriteBatch, next *Roots) {
+	db.pool.Publish(b)
+	db.roots.Store(next)
+}
+
+// WaitCommitted blocks until lsn is durable.
+func (db *DB) WaitCommitted(lsn uint64) error {
+	return db.wal.WaitDurable(lsn)
+}
+
+// InstallRoots swaps the published root set only — a startup/recovery
+// primitive whose OpsFact is just the root store.
+func (db *DB) InstallRoots(next *Roots) {
+	db.roots.Store(next)
+}
+
+// Insert is the protocol done right: log, apply, publish under the
+// latch; wait for durability after releasing it.
+func (db *DB) Insert(b *storage.WriteBatch, next *Roots, rec wal.Record) error {
+	db.mu.Lock()
+	lsn, err := db.wal.Append(rec)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.PublishVersion(b, next)
+	db.mu.Unlock()
+	return db.wal.WaitDurable(lsn)
+}

@@ -1,0 +1,17 @@
+// Package storage stubs the buffer pool and log file commitorder ranks.
+package storage
+
+// WriteBatch is one mutation's copy-on-write page set.
+type WriteBatch struct{}
+
+// BufferPool serves page versions.
+type BufferPool struct{}
+
+// Publish installs a batch's pages (rank 2).
+func (p *BufferPool) Publish(w *WriteBatch) {}
+
+// LogFile is an appendable, fsyncable file.
+type LogFile struct{}
+
+// Sync fsyncs the file (rank 4).
+func (f *LogFile) Sync() error { return nil }

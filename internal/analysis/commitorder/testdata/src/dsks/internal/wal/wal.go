@@ -1,0 +1,22 @@
+// Package wal stubs the write-ahead log operations commitorder ranks.
+package wal
+
+// Record is one logged mutation.
+type Record struct {
+	Type int
+	LSN  uint64
+}
+
+// Log is the write-ahead log.
+type Log struct {
+	next uint64
+}
+
+// Append writes a record (rank 1).
+func (l *Log) Append(r Record) (uint64, error) {
+	l.next++
+	return l.next, nil
+}
+
+// WaitDurable blocks until lsn is fsynced (rank 4).
+func (l *Log) WaitDurable(lsn uint64) error { return nil }

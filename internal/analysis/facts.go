@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// A Fact is an observation one analyzer exports about a package-level
+// object (or a whole package) for analyses of downstream packages to
+// consume: "this function closes its view parameter", "this type must
+// not be copied". Facts flow along the import graph — the runner
+// analyzes a package's in-module dependencies first, so by the time a
+// pass runs, every fact its imports exported is available.
+//
+// Facts must be serializable: the store gob-encodes each fact at export
+// time and decodes a fresh copy at import time, exactly as the real
+// go/analysis framework serializes facts beside export data. A fact type
+// must therefore be a pointer to a struct with exported fields and no
+// position-dependent state (token.Pos does not survive the trip across
+// type-checker universes; use names and line-independent data).
+type Fact interface {
+	// AFact is a marker method so fact types are self-documenting.
+	AFact()
+}
+
+// A FactStore holds the facts exported so far in one analysis run,
+// keyed by analyzer and by a position-independent object key. Packages
+// may be analyzed concurrently (the runner only guarantees dependency
+// order), so the store is safe for concurrent use.
+//
+// Facts are stored in serialized (gob) form and decoded on import: the
+// round trip both enforces serializability and decouples the producing
+// package's type-checker universe from the consuming one's.
+type FactStore struct {
+	mu sync.Mutex
+	// facts maps analyzer name → object key → encoded fact.
+	facts map[string]map[string][]byte
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[string]map[string][]byte{}}
+}
+
+// ObjectKey returns the position-independent key identifying obj across
+// type-checker universes: the declaring package path plus the object's
+// qualified name (methods include their receiver type). Objects without
+// a package (builtins) have no key.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		// FullName renders methods as "(pkg.Recv).Name" and package
+		// functions as "pkg.Name" — stable across universes.
+		return fn.FullName(), true
+	}
+	return obj.Pkg().Path() + "." + obj.Name(), true
+}
+
+// packageKey is the store key for a package-level fact.
+func packageKey(path string) string { return "pkg:" + path }
+
+// factKey scopes an object key by the fact's concrete type: one
+// analyzer may export several fact types about the same object (gob
+// would otherwise happily decode one into the other, fields silently
+// dropped, and a lookup for a fact type never exported would "succeed").
+func factKey(key string, fact Fact) string {
+	return fmt.Sprintf("%s#%T", key, fact)
+}
+
+// export encodes fact and records it under (analyzer, fact type, key),
+// replacing any previous fact of the same type on the same key.
+func (s *FactStore) export(analyzer, key string, fact Fact) error {
+	key = factKey(key, fact)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return fmt.Errorf("encoding %s fact for %s: %w", analyzer, key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.facts == nil {
+		s.facts = map[string]map[string][]byte{}
+	}
+	m := s.facts[analyzer]
+	if m == nil {
+		m = map[string][]byte{}
+		s.facts[analyzer] = m
+	}
+	m[key] = buf.Bytes()
+	return nil
+}
+
+// imp decodes the fact recorded under (analyzer, key) into ptr,
+// reporting whether one was found.
+func (s *FactStore) imp(analyzer, key string, ptr Fact) (bool, error) {
+	key = factKey(key, ptr)
+	s.mu.Lock()
+	enc, ok := s.facts[analyzer][key]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(enc)).Decode(ptr); err != nil {
+		return false, fmt.Errorf("decoding %s fact for %s: %w", analyzer, key, err)
+	}
+	return true, nil
+}
+
+// Keys returns the sorted object keys holding facts for the named
+// analyzer (observability: dsks-lint -debug dumps them).
+func (s *FactStore) Keys(analyzer string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.facts[analyzer]))
+	for k := range s.facts[analyzer] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ExportObjectFact records fact about obj for downstream passes of the
+// same analyzer. Facts on objects without a package are dropped.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	key, ok := ObjectKey(obj)
+	if !ok || p.facts == nil {
+		return
+	}
+	if err := p.facts.export(p.Analyzer.Name, key, fact); err != nil {
+		p.factErr = err
+	}
+}
+
+// ImportObjectFact decodes the fact this analyzer exported about obj
+// into ptr (which must be a pointer of the exported fact's type),
+// reporting whether one exists. Facts are visible once the exporting
+// package's pass completed — the runner's dependency order guarantees
+// that for all imports of the current package, and for objects of the
+// current package once its own fact-computation sweep ran.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	key, ok := ObjectKey(obj)
+	if !ok || p.facts == nil {
+		return false
+	}
+	found, err := p.facts.imp(p.Analyzer.Name, key, ptr)
+	if err != nil {
+		p.factErr = err
+	}
+	return found
+}
+
+// ExportPackageFact records fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil || p.Pkg == nil {
+		return
+	}
+	if err := p.facts.export(p.Analyzer.Name, packageKey(p.Pkg.Path()), fact); err != nil {
+		p.factErr = err
+	}
+}
+
+// ImportPackageFact decodes the fact this analyzer exported about the
+// package with the given import path into ptr, reporting whether one
+// exists.
+func (p *Pass) ImportPackageFact(path string, ptr Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	found, err := p.facts.imp(p.Analyzer.Name, packageKey(path), ptr)
+	if err != nil {
+		p.factErr = err
+	}
+	return found
+}

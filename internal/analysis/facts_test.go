@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type closesFact struct{ Indices []int }
+
+func (*closesFact) AFact() {}
+
+type markerFact struct{}
+
+func (*markerFact) AFact() {}
+
+func testFunc(name string) *types.Func {
+	pkg := types.NewPackage("dsks/internal/testpkg", "testpkg")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, name, sig)
+}
+
+func passWithStore(store *FactStore) *Pass {
+	return &Pass{
+		Analyzer: &Analyzer{Name: "facttest"},
+		Pkg:      types.NewPackage("dsks/internal/consumer", "consumer"),
+		facts:    store,
+	}
+}
+
+// TestFactRoundTrip exports a fact about an object in one "pass" and
+// imports it from another universe's pass: the gob round trip must
+// reproduce the payload via the position-independent key.
+func TestFactRoundTrip(t *testing.T) {
+	store := NewFactStore()
+	producer := passWithStore(store)
+	fn := testFunc("CloseQuietly")
+	producer.ExportObjectFact(fn, &closesFact{Indices: []int{0, 2}})
+
+	consumer := passWithStore(store)
+	// A distinct *types.Func with the same full name models the other
+	// type-checker universe a downstream package sees.
+	var got closesFact
+	if !consumer.ImportObjectFact(testFunc("CloseQuietly"), &got) {
+		t.Fatal("fact not found across universes")
+	}
+	if len(got.Indices) != 2 || got.Indices[0] != 0 || got.Indices[1] != 2 {
+		t.Errorf("round-tripped fact = %+v", got)
+	}
+	if producer.factErr != nil || consumer.factErr != nil {
+		t.Errorf("fact errors: %v / %v", producer.factErr, consumer.factErr)
+	}
+}
+
+// TestFactTypeScoping is the regression for the fact-collision bug: two
+// fact TYPES exported by one analyzer about the same object must not
+// satisfy each other's lookups (gob would silently decode across
+// mismatched struct shapes).
+func TestFactTypeScoping(t *testing.T) {
+	store := NewFactStore()
+	pass := passWithStore(store)
+	fn := testFunc("Search")
+	pass.ExportObjectFact(fn, &closesFact{Indices: []int{1}})
+
+	var marker markerFact
+	if pass.ImportObjectFact(testFunc("Search"), &marker) {
+		t.Error("lookup for a never-exported fact type succeeded")
+	}
+	var closes closesFact
+	if !pass.ImportObjectFact(testFunc("Search"), &closes) {
+		t.Error("lookup for the exported fact type failed")
+	}
+}
+
+// TestPackageFacts round-trips a package-level fact.
+func TestPackageFacts(t *testing.T) {
+	store := NewFactStore()
+	producer := passWithStore(store)
+	producer.ExportPackageFact(&closesFact{Indices: []int{7}})
+
+	consumer := passWithStore(store)
+	var got closesFact
+	if !consumer.ImportPackageFact("dsks/internal/consumer", &got) {
+		t.Fatal("package fact not found")
+	}
+	if len(got.Indices) != 1 || got.Indices[0] != 7 {
+		t.Errorf("package fact = %+v", got)
+	}
+	if consumer.ImportPackageFact("dsks/internal/other", &got) {
+		t.Error("package fact leaked to a different path")
+	}
+}

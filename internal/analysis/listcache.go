@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file memoizes `go list -e -json -export -deps` output. Resolving
+// export data is by far the slowest part of loading: every analyzer
+// self-test process prefetches the same standard-library exports, and
+// dsks-lint itself lists the module once per invocation. Two layers:
+//
+//   - An in-process cache (same dir + patterns → same bytes), so one
+//     process never runs the identical go list twice. This covers
+//     analysistest loading several packages of one testdata tree.
+//   - An on-disk cache under os.TempDir()/dsks-lint-listcache, used only
+//     for loads entirely outside the current module (standard-library
+//     prefetches): their export data changes only with the toolchain,
+//     which is part of the cache key. Module-internal loads are never
+//     disk-cached — their exports change with every source edit.
+//
+// Disk entries are validated before use: if any export file they name
+// has been pruned from the build cache, the entry is discarded and the
+// live command runs again.
+
+var listCache struct {
+	sync.Mutex
+	mem map[string][]byte
+}
+
+// goList runs (or recalls) `go list -e -json -export -deps` for the
+// given patterns in dir. diskCacheable marks loads whose output is
+// stable for a given toolchain (no module-internal packages).
+func goList(dir string, patterns []string, diskCacheable bool) ([]byte, error) {
+	key := listKey(dir, patterns)
+
+	listCache.Lock()
+	if out, ok := listCache.mem[key]; ok {
+		listCache.Unlock()
+		return out, nil
+	}
+	listCache.Unlock()
+
+	var cachePath string
+	if diskCacheable {
+		cachePath = filepath.Join(os.TempDir(), "dsks-lint-listcache", key+".json")
+		if out, err := os.ReadFile(cachePath); err == nil && exportsExist(out) {
+			memoize(key, out)
+			return out, nil
+		}
+	}
+
+	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	memoize(key, out)
+	if cachePath != "" {
+		writeCacheFile(cachePath, out)
+	}
+	return out, nil
+}
+
+// listKey derives the cache key: toolchain version, working directory
+// and the sorted pattern list.
+func listKey(dir string, patterns []string) string {
+	sorted := append([]string(nil), patterns...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", runtime.Version(), dir)
+	for _, p := range sorted {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func memoize(key string, out []byte) {
+	listCache.Lock()
+	if listCache.mem == nil {
+		listCache.mem = map[string][]byte{}
+	}
+	listCache.mem[key] = out
+	listCache.Unlock()
+}
+
+// exportsExist re-validates a disk-cached listing: every export file it
+// names must still exist (the build cache may have been pruned).
+func exportsExist(out []byte) bool {
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			return true
+		} else if err != nil {
+			return false
+		}
+		if e.Export != "" {
+			if _, err := os.Stat(e.Export); err != nil {
+				return false
+			}
+		}
+	}
+}
+
+// writeCacheFile persists a listing atomically; failures are ignored
+// (the cache is best-effort).
+func writeCacheFile(path string, out []byte) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	_ = os.Rename(name, path)
+}

@@ -12,8 +12,9 @@ import (
 	"go/types"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sync"
 )
 
 // A Package is one type-checked package ready for analysis.
@@ -22,7 +23,12 @@ type Package struct {
 	Path string
 	// Dir is the directory holding the package's sources.
 	Dir string
-	// Fset, Files, Types and Info mirror the fields of a Pass.
+	// Imports are the import paths of the package's direct dependencies,
+	// used by the Runner to schedule fact-producing passes deps-first.
+	Imports []string
+	// Fset, Files, Types and Info mirror the fields of a Pass. Each
+	// package loaded by Load carries its own FileSet so packages can be
+	// parsed and type-checked in parallel.
 	Fset  *token.FileSet
 	Files []*ast.File
 	Types *types.Package
@@ -35,25 +41,26 @@ type listEntry struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Incomplete bool
 	Error      *struct{ Err string }
 }
 
 // Load resolves patterns with the go command (run in dir) and returns the
-// matched packages parsed and type-checked from source. Imports — both
+// matched packages parsed and type-checked from source, in dependency
+// order (every package follows the packages it imports). Imports — both
 // standard-library and intra-module — are satisfied from the compiler
 // export data that `go list -export` produces, so loading works offline
 // and needs nothing beyond the Go toolchain.
+//
+// Packages are parsed and type-checked in parallel across GOMAXPROCS
+// workers; each gets a private FileSet and importer, so no loading state
+// is shared between them.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	out, err := goList(dir, patterns, false)
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, err
 	}
 	exports := map[string]string{}
 	var targets []listEntry
@@ -75,32 +82,56 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, e)
 		}
 	}
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	var pkgs []*Package
-	for _, t := range targets {
-		var files []*ast.File
-		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %w", name, err)
-			}
-			files = append(files, f)
-		}
-		pkg, info, err := check(t.ImportPath, fset, files, imp)
+
+	// `go list -deps` emits dependencies before dependents, so filling
+	// pkgs by target index preserves dependency order for the Runner.
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t listEntry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = loadOne(t, exports)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+			return nil, err
 		}
-		pkgs = append(pkgs, &Package{
-			Path:  t.ImportPath,
-			Dir:   t.Dir,
-			Fset:  fset,
-			Files: files,
-			Types: pkg,
-			Info:  info,
-		})
 	}
 	return pkgs, nil
+}
+
+// loadOne parses and type-checks one listed package against export data.
+func loadOne(t listEntry, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := check(t.ImportPath, fset, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:    t.ImportPath,
+		Dir:     t.Dir,
+		Imports: t.Imports,
+		Fset:    fset,
+		Files:   files,
+		Types:   pkg,
+		Info:    info,
+	}, nil
 }
 
 // check type-checks one package's parsed files, recording full type info.

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Runner applies a set of analyzers to a set of packages, honoring the
+// import graph: a package is analyzed only after every loaded package it
+// imports, so facts exported by dependency passes (see FactStore) are
+// always available to dependents. Packages with no unanalyzed
+// dependencies run concurrently, up to GOMAXPROCS at a time; the
+// analyzers of one package run sequentially on its goroutine.
+type Runner struct {
+	// Facts is the run-wide fact store. A nil Facts gets a fresh store.
+	Facts *FactStore
+
+	mu      sync.Mutex
+	timings map[string]time.Duration
+}
+
+// Run analyzes every package with every analyzer and returns the merged,
+// position-sorted findings. The input package order must be dependency-
+// consistent only in content, not sequence — scheduling derives from
+// each Package's Imports list.
+func (r *Runner) Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	if r.Facts == nil {
+		r.Facts = NewFactStore()
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	// done closes when a package's analyses have all completed.
+	done := make(map[string]chan struct{}, len(pkgs))
+	for _, p := range pkgs {
+		done[p.Path] = make(chan struct{})
+	}
+
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		findings []Finding
+		firstErr error
+	)
+	for _, p := range pkgs {
+		wg.Add(1)
+		go func(p *Package) {
+			defer wg.Done()
+			defer close(done[p.Path])
+			// Wait for every loaded dependency. The import graph is
+			// acyclic (the type checker enforced that), so this cannot
+			// deadlock.
+			for _, imp := range p.Imports {
+				if ch, ok := done[imp]; ok {
+					<-ch
+				}
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
+			for _, a := range analyzers {
+				start := time.Now()
+				fs, err := RunAnalyzerFacts(p, a, r.Facts)
+				r.addTiming(a.Name, time.Since(start))
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				findings = append(findings, fs...)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// addTiming accumulates per-analyzer wall time across packages.
+func (r *Runner) addTiming(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timings == nil {
+		r.timings = map[string]time.Duration{}
+	}
+	r.timings[name] += d
+}
+
+// Timings returns the cumulative per-analyzer wall time of the run,
+// formatted one analyzer per line, slowest first (dsks-lint -debug).
+func (r *Runner) Timings() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type entry struct {
+		name string
+		d    time.Duration
+	}
+	entries := make([]entry, 0, len(r.timings))
+	for name, d := range r.timings {
+		entries = append(entries, entry{name, d})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].d > entries[j].d })
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = fmt.Sprintf("%-12s %s", e.name, e.d.Round(time.Microsecond))
+	}
+	return out
+}
+
+// SortFindings orders findings by file, line, column, then analyzer.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+}

@@ -11,10 +11,11 @@ import (
 	"io"
 	"io/fs"
 	"os"
-	"os/exec"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // LoadTestdata loads one package from a GOPATH-style testdata tree
@@ -23,62 +24,179 @@ import (
 // dsks/internal/storage — and fall back to real export data obtained
 // with `go list -export` for standard-library packages.
 func LoadTestdata(root, path string) (*Package, error) {
-	src := filepath.Join(root, "src")
-	ld := &treeLoader{
-		fset:    token.NewFileSet(),
-		src:     src,
-		cache:   map[string]*types.Package{},
-		exports: map[string]string{},
-	}
-	if err := ld.prefetchExports(); err != nil {
-		return nil, err
-	}
-	ld.gc = exportImporter(ld.fset, ld.exports)
-	dir := filepath.Join(src, filepath.FromSlash(path))
-	files, err := ld.parseDir(dir)
+	pkgs, err := LoadTestdataTree(root, path)
 	if err != nil {
 		return nil, err
 	}
-	pkg, info, err := check(path, ld.fset, files, ld)
+	return pkgs[len(pkgs)-1], nil
+}
+
+// LoadTestdataTree loads the package at path from a GOPATH-style
+// testdata tree together with every in-tree package it (transitively)
+// imports, returned dependencies-first with the requested package last.
+// Every returned package carries full syntax and type info, so
+// fact-producing analyzers can be run over the dependencies before the
+// package under test (see analysistest.Run).
+//
+// Trees are memoized per root within the process: loading several
+// packages of one tree parses and type-checks each package once.
+func LoadTestdataTree(root, path string) ([]*Package, error) {
+	abs, err := filepath.Abs(root)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking testdata package %s: %w", path, err)
+		return nil, err
 	}
-	return &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: pkg, Info: info}, nil
+	ld := treeLoaderFor(abs)
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	if err := ld.init(); err != nil {
+		return nil, err
+	}
+	if _, err := ld.load(path); err != nil {
+		return nil, err
+	}
+	return ld.treeOf(path)
+}
+
+// treeLoaders memoizes one loader per testdata root.
+var treeLoaders struct {
+	sync.Mutex
+	m map[string]*treeLoader
+}
+
+func treeLoaderFor(absRoot string) *treeLoader {
+	treeLoaders.Lock()
+	defer treeLoaders.Unlock()
+	if treeLoaders.m == nil {
+		treeLoaders.m = map[string]*treeLoader{}
+	}
+	ld, ok := treeLoaders.m[absRoot]
+	if !ok {
+		ld = &treeLoader{src: filepath.Join(absRoot, "src")}
+		treeLoaders.m[absRoot] = ld
+	}
+	return ld
 }
 
 // treeLoader resolves imports for a testdata tree: source packages under
 // src/, everything else through compiler export data.
 type treeLoader struct {
-	fset    *token.FileSet
-	src     string
-	cache   map[string]*types.Package
-	exports map[string]string
-	gc      types.Importer
+	mu       sync.Mutex
+	src      string
+	fset     *token.FileSet
+	pkgs     map[string]*Package // fully loaded in-tree packages
+	external map[string]*types.Package
+	exports  map[string]string
+	gc       types.Importer
+	loading  map[string]bool // import-cycle guard
+	initErr  error
+	inited   bool
+}
+
+// init prefetches export data for the tree's external imports once.
+func (ld *treeLoader) init() error {
+	if ld.inited {
+		return ld.initErr
+	}
+	ld.inited = true
+	ld.fset = token.NewFileSet()
+	ld.pkgs = map[string]*Package{}
+	ld.external = map[string]*types.Package{}
+	ld.exports = map[string]string{}
+	ld.loading = map[string]bool{}
+	ld.initErr = ld.prefetchExports()
+	if ld.initErr == nil {
+		ld.gc = exportImporter(ld.fset, ld.exports)
+	}
+	return ld.initErr
+}
+
+// load parses and type-checks the in-tree package at path (and,
+// recursively through Import, its in-tree dependencies).
+func (ld *treeLoader) load(path string) (*Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through testdata package %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	files, err := ld.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	sort.Strings(imports)
+	pkg, info, err := check(path, ld.fset, files, ld)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Imports: imports, Fset: ld.fset, Files: files, Types: pkg, Info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// treeOf returns path's in-tree dependency closure in dependency order,
+// with path itself last.
+func (ld *treeLoader) treeOf(path string) ([]*Package, error) {
+	var (
+		out     []*Package
+		visited = map[string]bool{}
+		visit   func(string) error
+	)
+	visit = func(p string) error {
+		if visited[p] {
+			return nil
+		}
+		visited[p] = true
+		pkg, ok := ld.pkgs[p]
+		if !ok {
+			return nil // external import: no syntax to analyze
+		}
+		for _, imp := range pkg.Imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		out = append(out, pkg)
+		return nil
+	}
+	if err := visit(path); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Import implements types.Importer.
 func (ld *treeLoader) Import(path string) (*types.Package, error) {
-	if p, ok := ld.cache[path]; ok {
+	if p, ok := ld.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if p, ok := ld.external[path]; ok {
 		return p, nil
 	}
 	dir := filepath.Join(ld.src, filepath.FromSlash(path))
 	if st, err := os.Stat(dir); err == nil && st.IsDir() {
-		files, err := ld.parseDir(dir)
+		p, err := ld.load(path)
 		if err != nil {
 			return nil, err
 		}
-		pkg, _, err := check(path, ld.fset, files, ld)
-		if err != nil {
-			return nil, fmt.Errorf("type-checking testdata import %s: %w", path, err)
-		}
-		ld.cache[path] = pkg
-		return pkg, nil
+		return p.Types, nil
 	}
 	p, err := ld.gc.Import(path)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errNotInTree, err)
 	}
-	ld.cache[path] = p
+	ld.external[path] = p
 	return p, nil
 }
 
@@ -108,7 +226,10 @@ func (ld *treeLoader) parseDir(dir string) ([]*ast.File, error) {
 
 // prefetchExports scans every import spec under the tree, and resolves
 // the paths that no source directory covers with one `go list -export`
-// invocation, recording their export-data files.
+// invocation, recording their export-data files. The listing is
+// memoized on disk when no requested path could belong to this module
+// (standard-library exports change only with the toolchain, which is
+// part of the cache key).
 func (ld *treeLoader) prefetchExports() error {
 	external := map[string]bool{}
 	err := filepath.WalkDir(ld.src, func(p string, d fs.DirEntry, err error) error {
@@ -141,16 +262,21 @@ func (ld *treeLoader) prefetchExports() error {
 	if len(external) == 0 {
 		return nil
 	}
-	args := []string{"list", "-e", "-json", "-export", "-deps"}
+	paths := make([]string, 0, len(external))
+	cacheable := true
 	for p := range external {
-		args = append(args, p)
+		paths = append(paths, p)
+		// Module-internal packages (the module is named "dsks") have
+		// exports that change with every source edit; never disk-cache a
+		// listing that includes one.
+		if p == "dsks" || strings.HasPrefix(p, "dsks/") {
+			cacheable = false
+		}
 	}
-	cmd := exec.Command("go", args...)
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	sort.Strings(paths)
+	out, err := goList(".", paths, cacheable)
 	if err != nil {
-		return fmt.Errorf("go list for testdata imports: %v\n%s", err, stderr.String())
+		return fmt.Errorf("go list for testdata imports: %w", err)
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {

@@ -1,0 +1,199 @@
+// Package client exercises the viewclose leak analysis: acquisitions
+// that reach Close (directly, deferred, or through a fact-carrying
+// helper), transfers of ownership, and the leaks in between.
+package client
+
+import (
+	"context"
+	"fmt"
+
+	"dsks"
+	"dsks/helper"
+	"dsks/internal/storage"
+)
+
+func work() error { return nil }
+
+// --- clean lifecycles -------------------------------------------------
+
+// Good is the canonical idiom: error check, then deferred Close.
+func Good(ctx context.Context, db *dsks.DB, q string) (int, error) {
+	v, err := db.View(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	return v.Search(q), nil
+}
+
+// GoodExplicit closes on every path without defer.
+func GoodExplicit(ctx context.Context, db *dsks.DB, q string) (int, error) {
+	v, err := db.View(ctx)
+	if err != nil {
+		return 0, err
+	}
+	n := v.Search(q)
+	v.Close()
+	return n, nil
+}
+
+// GoodHelperClose releases through a helper whose fact says it closes.
+func GoodHelperClose(ctx context.Context, db *dsks.DB) error {
+	v, err := db.View(ctx)
+	if err != nil {
+		return err
+	}
+	defer helper.CloseQuietly(v)
+	return work()
+}
+
+// GoodAlias closes through a second name bound to the same view.
+func GoodAlias(ctx context.Context, db *dsks.DB) error {
+	v, err := db.View(ctx)
+	if err != nil {
+		return err
+	}
+	w := v
+	defer w.Close()
+	return nil
+}
+
+// --- ownership transfers (no diagnostics) -----------------------------
+
+// Open returns the acquired view: ownership moves to the caller.
+func Open(ctx context.Context, db *dsks.DB) (*dsks.View, error) {
+	v, err := db.View(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// TransferToRegistry hands the view to a helper whose fact says it
+// stores its parameter.
+func TransferToRegistry(ctx context.Context, db *dsks.DB, r *helper.Registry) error {
+	v, err := db.View(ctx)
+	if err != nil {
+		return err
+	}
+	r.Keep(v)
+	return nil
+}
+
+// TransferToStream hands ownership through a receiver-storing method.
+func TransferToStream(ctx context.Context, db *dsks.DB, s *dsks.Stream) error {
+	v, err := db.View(ctx)
+	if err != nil {
+		return err
+	}
+	v.Stream(s)
+	return nil
+}
+
+// EscapeUnknown passes the view to unanalyzed code: tracking ends
+// conservatively, no report.
+func EscapeUnknown(ctx context.Context, db *dsks.DB) {
+	v, _ := db.View(ctx)
+	fmt.Println(v)
+}
+
+// --- leaks ------------------------------------------------------------
+
+// LeakEarlyReturn closes too late: the limit==0 path returns while the
+// view is held.
+func LeakEarlyReturn(ctx context.Context, db *dsks.DB, limit int) error {
+	v, err := db.View(ctx) // want `view v acquired here does not reach v\.Close on the path returning at line`
+	if err != nil {
+		return err
+	}
+	if limit == 0 {
+		return nil
+	}
+	defer v.Close()
+	return nil
+}
+
+// LeakNoClose never closes at all.
+func LeakNoClose(ctx context.Context, db *dsks.DB, q string) (int, error) {
+	v, err := db.View(ctx) // want `view v acquired here does not reach v\.Close`
+	if err != nil {
+		return 0, err
+	}
+	return v.Search(q), nil
+}
+
+// LeakDiscard throws the handle away at the acquisition itself.
+func LeakDiscard(ctx context.Context, db *dsks.DB) {
+	_, _ = db.View(ctx) // want `the acquired view is discarded`
+}
+
+// LeakThroughNeutral passes the view to a helper that neither closes nor
+// keeps it (its fact says so), then returns without closing: the fact's
+// precision keeps the leak visible.
+func LeakThroughNeutral(ctx context.Context, db *dsks.DB) error {
+	v, err := db.View(ctx) // want `view v acquired here does not reach v\.Close`
+	if err != nil {
+		return err
+	}
+	helper.Count(v, "q")
+	return nil
+}
+
+// LeakFromOpenHelper acquires through a helper carrying AcquiresFact:
+// the caller owns the result and leaks it just the same.
+func LeakFromOpenHelper(ctx context.Context, db *dsks.DB) error {
+	v, err := helper.OpenView(ctx, db) // want `view v acquired here does not reach v\.Close`
+	if err != nil {
+		return err
+	}
+	_ = v.LSN()
+	return nil
+}
+
+// SuppressedLeak is a real leak muted by the suppression mechanism; the
+// run must report nothing here.
+func SuppressedLeak(ctx context.Context, db *dsks.DB) error {
+	//lint:ignore viewclose fixture view lives for the whole process
+	v, err := db.View(ctx)
+	if err != nil {
+		return err
+	}
+	_ = v.LSN()
+	return nil
+}
+
+// --- epoch pins -------------------------------------------------------
+
+// PinGood pairs the pin with an unpin on both outcomes.
+func PinGood(e *storage.Epochs, lsn uint64) error {
+	e.Pin(lsn)
+	if err := work(); err != nil {
+		e.Unpin(lsn)
+		return err
+	}
+	e.Unpin(lsn)
+	return nil
+}
+
+// PinHelperRelease unpins through a helper carrying UnpinsFact.
+func PinHelperRelease(e *storage.Epochs, lsn uint64) error {
+	e.Pin(lsn)
+	if err := work(); err != nil {
+		helper.Release(e, lsn)
+		return err
+	}
+	helper.Release(e, lsn)
+	return nil
+}
+
+// PinLeak pins, then can fail out without ever unpinning.
+func PinLeak(e *storage.Epochs, lsn uint64) error {
+	e.Pin(lsn) // want `Epochs\.Pin with no matching Unpin`
+	return work()
+}
+
+// PinSuppressed is the same leak muted with a reasoned ignore.
+func PinSuppressed(e *storage.Epochs, lsn uint64) error {
+	e.Pin(lsn) //lint:ignore viewclose fixture pin released by test teardown
+	return work()
+}

@@ -1,0 +1,38 @@
+// Package dsks stubs the database surface viewclose recognizes: DB.View
+// acquires, View.Close releases, View.Stream stores its receiver.
+package dsks
+
+import "context"
+
+// DB is the database handle.
+type DB struct{}
+
+// View is a pinned read view.
+type View struct {
+	lsn uint64
+}
+
+// Stream retains a view for iterator-driven consumption.
+type Stream struct {
+	v *View
+}
+
+// View acquires a read view the caller must Close.
+func (db *DB) View(ctx context.Context) (*View, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &View{}, nil
+}
+
+// Close releases the view's epoch pin.
+func (v *View) Close() error { return nil }
+
+// LSN reports the view's snapshot LSN.
+func (v *View) LSN() uint64 { return v.lsn }
+
+// Search runs a query against the view.
+func (v *View) Search(q string) int { return len(q) }
+
+// Stream hands the view to s, which owns it from now on.
+func (v *View) Stream(s *Stream) { s.v = v }

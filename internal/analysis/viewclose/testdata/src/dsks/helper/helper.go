@@ -1,0 +1,43 @@
+// Package helper exercises cross-package facts: each function's
+// disposition of its view parameter (closes / stores / neither) is
+// exported as a ParamFact and consulted by the client package's checks.
+package helper
+
+import (
+	"context"
+
+	"dsks"
+	"dsks/internal/storage"
+)
+
+// CloseQuietly closes v: callers passing a view here have released it.
+func CloseQuietly(v *dsks.View) {
+	if v != nil {
+		v.Close()
+	}
+}
+
+// Registry retains views: passing one to Keep transfers ownership.
+type Registry struct {
+	views []*dsks.View
+}
+
+// Keep stores v beyond the call.
+func (r *Registry) Keep(v *dsks.View) {
+	r.views = append(r.views, v)
+}
+
+// Count uses v without closing or keeping it: callers still own it.
+func Count(v *dsks.View, q string) int {
+	return v.Search(q)
+}
+
+// OpenView acquires a fresh view the caller owns (AcquiresFact).
+func OpenView(ctx context.Context, db *dsks.DB) (*dsks.View, error) {
+	return db.View(ctx)
+}
+
+// Release unpins lsn (UnpinsFact): callers' pins are paired through it.
+func Release(e *storage.Epochs, lsn uint64) {
+	e.Unpin(lsn)
+}

@@ -1,0 +1,22 @@
+// Package storage stubs the epoch registry for the Pin/Unpin pairing
+// rule.
+package storage
+
+// Epochs tracks reader pins per LSN.
+type Epochs struct {
+	pins map[uint64]int
+}
+
+// Pin registers a reader at lsn; false when lsn folded away already.
+func (e *Epochs) Pin(lsn uint64) bool {
+	if e.pins == nil {
+		e.pins = map[uint64]int{}
+	}
+	e.pins[lsn]++
+	return true
+}
+
+// Unpin releases one reader registration at lsn.
+func (e *Epochs) Unpin(lsn uint64) {
+	e.pins[lsn]--
+}

@@ -1,0 +1,945 @@
+// Package viewclose proves the MVCC read-view lifecycle: every pinned
+// acquisition — a `v, err := db.View(ctx)` call, or a call to a helper
+// that returns a freshly acquired view — must reach `v.Close()` on every
+// path out of the acquiring function, or explicitly transfer ownership.
+// A leaked view pins its LSN in the epoch registry forever: the fold
+// horizon stalls at that LSN and the page-version overlay grows without
+// bound under every subsequent mutation (see docs/CONCURRENCY.md).
+//
+// The analysis is lostcancel-style and flow-aware: after the acquiring
+// assignment, statements are walked with per-branch state. `defer
+// v.Close()` releases for every later return (and for panics);
+// `v.Close()` releases for the code after it; the early-error idiom
+//
+//	v, err := db.View(ctx)
+//	if err != nil { return err }   // acquisition failed: nothing to close
+//	defer v.Close()
+//
+// is understood via the error result of the acquiring call. A `return`
+// reached while the view is unreleased is a leak, reported at the
+// acquisition.
+//
+// Ownership can move instead of closing, and facts make that judgment
+// interprocedural across packages: for every analyzed function the
+// analyzer exports a ParamFact recording which view-typed parameters
+// (receiver included) it closes and which it stores beyond the call.
+// Passing a tracked view to a closer counts as the release; passing it
+// to a storer (or returning it, assigning it to a field, capturing it in
+// a function literal, sending it on a channel) transfers ownership and
+// ends tracking; passing it to an analyzed function that does neither
+// keeps tracking alive — the leak is still caught at the return. Calls
+// into unanalyzed code conservatively end tracking without a report.
+//
+// The same lifecycle governs the raw epoch registry: a function that
+// calls storage.Epochs.Pin and can subsequently return a non-nil error
+// must call Unpin somewhere (directly or through a helper carrying an
+// UnpinsFact) — an error return after a successful pin with no unpin in
+// sight is exactly the leak db.View's retry loop must avoid.
+package viewclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dsks/internal/analysis"
+)
+
+// Analyzer reports read views and epoch pins that can leak.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewclose",
+	Doc: "every acquired dsks read view (db.View or a helper returning a " +
+		"fresh view) must reach Close on all paths out of the acquiring " +
+		"function or transfer ownership (returned, stored, or passed to a " +
+		"function whose fact says it closes or keeps it); an Epochs.Pin " +
+		"followed by a possible error return needs a matching Unpin. A " +
+		"leaked view pins the fold horizon and grows version chains " +
+		"without bound.",
+	Run: run,
+}
+
+// ParamFact records, for one function, which of its view-typed inputs it
+// closes and which it stores beyond the call. Indices are parameter
+// positions; RecvIndex denotes the method receiver.
+type ParamFact struct {
+	Closes []int
+	Stores []int
+}
+
+// AFact marks ParamFact as a fact.
+func (*ParamFact) AFact() {}
+
+// RecvIndex is the pseudo-index of a method receiver in a ParamFact.
+const RecvIndex = -1
+
+// AcquiresFact marks a function whose return value includes a freshly
+// acquired view the caller now owns.
+type AcquiresFact struct{}
+
+// AFact marks AcquiresFact as a fact.
+func (*AcquiresFact) AFact() {}
+
+// UnpinsFact marks a function that releases an epoch pin (calls
+// Epochs.Unpin directly or through another unpinning helper).
+type UnpinsFact struct{}
+
+// AFact marks UnpinsFact as a fact.
+func (*UnpinsFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	decls := funcDecls(pass)
+	exportFacts(pass, decls)
+	for _, fd := range decls {
+		checkViews(pass, fd)
+		checkPins(pass, fd)
+	}
+	return nil
+}
+
+// funcDecls returns the package's function declarations with bodies.
+func funcDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// --- fact computation -------------------------------------------------
+
+// exportFacts computes ParamFact/AcquiresFact/UnpinsFact for every
+// function of the package. Same-package helper chains (f passes its view
+// to g, g closes) are resolved by iterating to a fixpoint: facts only
+// ever grow, so the loop terminates.
+func exportFacts(pass *analysis.Pass, decls []*ast.FuncDecl) {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if computeParamFact(pass, fd, fn) {
+				changed = true
+			}
+			if computeAcquires(pass, fd, fn) {
+				changed = true
+			}
+			if computeUnpins(pass, fd, fn) {
+				changed = true
+			}
+		}
+	}
+}
+
+// computeParamFact classifies fd's view-typed inputs, exporting a
+// ParamFact when any are closed or stored. Reports whether the exported
+// fact changed.
+func computeParamFact(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	// Collect the view-typed inputs: receiver (RecvIndex) and parameters.
+	inputs := map[types.Object]int{}
+	if recv := sig.Recv(); recv != nil && isViewType(recv.Type()) {
+		if obj := recvObject(pass, fd); obj != nil {
+			inputs[obj] = RecvIndex
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isViewType(p.Type()) {
+			inputs[p] = i
+		}
+	}
+	if len(inputs) == 0 {
+		return false
+	}
+	closes := map[int]bool{}
+	stores := map[int]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// p.Close() — direct release of an input.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if idx, ok := trackedInput(pass, inputs, sel.X); ok && isViewClose(pass, n) {
+					closes[idx] = true
+					return true
+				}
+				// p.M(...) — consult M's receiver fact.
+				if idx, ok := trackedInput(pass, inputs, sel.X); ok {
+					switch calleeDisposition(pass, n, RecvIndex) {
+					case dispCloses:
+						closes[idx] = true
+					case dispStores, dispUnknown:
+						stores[idx] = true
+					}
+					return true
+				}
+			}
+			// p passed as an argument.
+			for ai, arg := range n.Args {
+				if idx, ok := trackedInput(pass, inputs, arg); ok {
+					switch calleeDisposition(pass, n, ai) {
+					case dispCloses:
+						closes[idx] = true
+					case dispStores, dispUnknown:
+						stores[idx] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if idx, ok := trackedInput(pass, inputs, res); ok {
+					stores[idx] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing an input anywhere (a field, an index, another
+			// variable) retains it beyond this call frame.
+			for _, rhs := range n.Rhs {
+				if idx, ok := trackedInput(pass, inputs, rhs); ok {
+					stores[idx] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if idx, ok := trackedInput(pass, inputs, e); ok {
+					stores[idx] = true
+				}
+			}
+		case *ast.SendStmt:
+			if idx, ok := trackedInput(pass, inputs, n.Value); ok {
+				stores[idx] = true
+			}
+		}
+		return true
+	})
+	if len(closes) == 0 && len(stores) == 0 {
+		// Export the empty fact too: it tells callers the function was
+		// analyzed and neither closes nor keeps the view, so their
+		// tracking may continue past the call.
+		return exportIfChanged(pass, fn, &ParamFact{})
+	}
+	return exportIfChanged(pass, fn, &ParamFact{Closes: sortedIndices(closes), Stores: sortedIndices(stores)})
+}
+
+// exportIfChanged exports fact unless an identical one is present.
+func exportIfChanged(pass *analysis.Pass, fn *types.Func, fact *ParamFact) bool {
+	var prev ParamFact
+	if pass.ImportObjectFact(fn, &prev) && equalInts(prev.Closes, fact.Closes) && equalInts(prev.Stores, fact.Stores) {
+		return false
+	}
+	pass.ExportObjectFact(fn, fact)
+	return true
+}
+
+// computeAcquires exports AcquiresFact on functions that return a view
+// they acquired themselves.
+func computeAcquires(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !resultsIncludeView(sig) {
+		return false
+	}
+	if isViewOpen(fn) {
+		return false // the primitive itself is recognized by name
+	}
+	acquires := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isAcquisition(pass, call) {
+			acquires = true
+		}
+		return !acquires
+	})
+	if !acquires {
+		return false
+	}
+	var prev AcquiresFact
+	if pass.ImportObjectFact(fn, &prev) {
+		return false
+	}
+	pass.ExportObjectFact(fn, &AcquiresFact{})
+	return true
+}
+
+// computeUnpins exports UnpinsFact on functions that release epoch pins.
+func computeUnpins(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func) bool {
+	unpins := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isEpochsCall(pass, call, "Unpin") {
+			unpins = true
+		}
+		if callee := analysis.CalleeFunc(pass.Info, call); callee != nil {
+			var f UnpinsFact
+			if pass.ImportObjectFact(callee, &f) {
+				unpins = true
+			}
+		}
+		return !unpins
+	})
+	if !unpins {
+		return false
+	}
+	var prev UnpinsFact
+	if pass.ImportObjectFact(fn, &prev) {
+		return false
+	}
+	pass.ExportObjectFact(fn, &UnpinsFact{})
+	return true
+}
+
+// --- view leak analysis -----------------------------------------------
+
+// acq is one tracked acquisition within a function.
+type acq struct {
+	pos      token.Pos
+	name     string
+	errObj   types.Object // the error result of the acquiring call, if any
+	reported bool
+}
+
+// pathStatus is the per-path lifecycle state of one acquisition.
+type pathStatus int
+
+const (
+	held pathStatus = iota
+	released
+	escaped
+	failed // the acquiring call's error branch: nothing was acquired
+)
+
+// walker carries the per-function analysis state.
+type walker struct {
+	pass *analysis.Pass
+	env  map[types.Object]*acq
+	acqs []*acq
+}
+
+// state maps each acquisition to its status along the current path.
+type state map[*acq]pathStatus
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func checkViews(pass *analysis.Pass, fd *ast.FuncDecl) {
+	w := &walker{pass: pass, env: map[types.Object]*acq{}}
+	st := state{}
+	w.stmts(fd.Body.List, st)
+	// Falling off the end of the body is a return too.
+	for _, a := range w.acqs {
+		if st[a] == held {
+			w.leak(a, fd.Body.Rbrace)
+		}
+	}
+}
+
+// stmts walks a statement sequence, updating st in place; branch bodies
+// get clones so a release inside one arm never satisfies the other.
+func (w *walker) stmts(stmts []ast.Stmt, st state) {
+	for _, s := range stmts {
+		w.stmt(s, st)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if w.acquisitionAssign(s, st) {
+			return
+		}
+		w.assign(s, st)
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.DeferStmt:
+		// A deferred release covers every later return and any panic.
+		w.call(s.Call, st)
+	case *ast.ReturnStmt:
+		w.ret(s, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		thenSt, elseSt := st.clone(), st.clone()
+		w.errBranch(s.Cond, thenSt, elseSt)
+		w.expr(s.Cond, st)
+		w.stmts(s.Body.List, thenSt)
+		if s.Else != nil {
+			w.stmt(s.Else, elseSt)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, st)
+		}
+		w.stmts(s.Body.List, st.clone())
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		w.stmts(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.GoStmt:
+		w.call(s.Call, st)
+	case *ast.SendStmt:
+		if a := w.tracked(s.Value); a != nil {
+			st[a] = escaped
+		}
+		w.expr(s.Chan, st)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	default:
+		// Any other statement form: scan for calls and escapes.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, st)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// acquisitionAssign registers `v, err := db.View(ctx)`-shaped
+// assignments (and single-result acquirer calls), reporting a discarded
+// acquisition immediately. Returns true when the statement was one.
+func (w *walker) acquisitionAssign(s *ast.AssignStmt, st state) bool {
+	if len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || !isAcquisition(w.pass, call) {
+		return false
+	}
+	// Arguments of the acquiring call are evaluated normally.
+	for _, arg := range call.Args {
+		w.expr(arg, st)
+	}
+	viewIdent, _ := s.Lhs[0].(*ast.Ident)
+	if viewIdent == nil || viewIdent.Name == "_" {
+		w.pass.Reportf(call.Pos(),
+			"viewclose: the acquired view is discarded; it pins its LSN until Close and can never be closed")
+		return true
+	}
+	a := &acq{pos: call.Pos(), name: viewIdent.Name}
+	if len(s.Lhs) == 2 {
+		if errIdent, ok := s.Lhs[1].(*ast.Ident); ok && errIdent.Name != "_" {
+			a.errObj = identObj(w.pass, errIdent)
+		}
+	}
+	if obj := identObj(w.pass, viewIdent); obj != nil {
+		// Rebinding a name over a still-held earlier acquisition would
+		// lose the only handle; flag the earlier one.
+		if old := w.env[obj]; old != nil && st[old] == held {
+			w.leak(old, s.Pos())
+		}
+		w.env[obj] = a
+	}
+	w.acqs = append(w.acqs, a)
+	st[a] = held
+	return true
+}
+
+// assign handles non-acquiring assignments: aliasing keeps tracking,
+// storing into anything but a fresh local transfers ownership.
+func (w *walker) assign(s *ast.AssignStmt, st state) {
+	for i, rhs := range s.Rhs {
+		a := w.tracked(rhs)
+		if a == nil {
+			w.expr(rhs, st)
+			continue
+		}
+		if i < len(s.Lhs) {
+			if lhs, ok := s.Lhs[i].(*ast.Ident); ok {
+				if lhs.Name == "_" {
+					continue
+				}
+				if obj := identObj(w.pass, lhs); obj != nil {
+					w.env[obj] = a // alias: both names reach the same view
+					continue
+				}
+			}
+		}
+		st[a] = escaped // stored into a field, index, or dereference
+	}
+	for _, lhs := range s.Lhs {
+		if _, ok := lhs.(*ast.Ident); !ok {
+			w.expr(lhs, st)
+		}
+	}
+}
+
+// ret checks a return statement: returning a tracked view transfers
+// ownership; returning while one is held (and its acquisition did not
+// fail on this path) is a leak.
+func (w *walker) ret(s *ast.ReturnStmt, st state) {
+	for _, res := range s.Results {
+		if a := w.tracked(res); a != nil {
+			st[a] = escaped
+			continue
+		}
+		w.expr(res, st)
+	}
+	for _, a := range w.acqs {
+		if st[a] == held {
+			w.leak(a, s.Pos())
+		}
+	}
+}
+
+// leak reports an acquisition leaking at pos, once per acquisition.
+func (w *walker) leak(a *acq, pos token.Pos) {
+	if a.reported {
+		return
+	}
+	a.reported = true
+	line := w.pass.Fset.Position(pos).Line
+	w.pass.Reportf(a.pos,
+		"viewclose: view %s acquired here does not reach %s.Close on the path returning at line %d; defer %s.Close() after the error check",
+		a.name, a.name, line, a.name)
+}
+
+// errBranch recognizes `if err != nil` / `if err == nil` over the error
+// result of an acquiring call and marks the acquisition failed in the
+// arm where the error is non-nil — returning there leaks nothing.
+func (w *walker) errBranch(cond ast.Expr, thenSt, elseSt state) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var errExpr ast.Expr
+	switch {
+	case isNil(bin.Y):
+		errExpr = bin.X
+	case isNil(bin.X):
+		errExpr = bin.Y
+	default:
+		return
+	}
+	id, ok := errExpr.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := identObj(w.pass, id)
+	if obj == nil {
+		return
+	}
+	for _, a := range w.acqs {
+		if a.errObj != obj {
+			continue
+		}
+		switch bin.Op {
+		case token.NEQ: // err != nil: then-arm is the failure path
+			if thenSt[a] == held {
+				thenSt[a] = failed
+			}
+		case token.EQL: // err == nil: else-arm is the failure path
+			if elseSt[a] == held {
+				elseSt[a] = failed
+			}
+		}
+	}
+}
+
+// expr scans one expression for lifecycle events.
+func (w *walker) expr(e ast.Expr, st state) {
+	switch e := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		w.call(e, st)
+	case *ast.Ident:
+		// A bare use in an unrecognized context: give up tracking
+		// conservatively rather than risk a false leak report.
+		if a := w.env[identObj(w.pass, e)]; a != nil && st[a] == held {
+			st[a] = escaped
+		}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := v.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if a := w.tracked(v); a != nil {
+				st[a] = escaped
+				continue
+			}
+			w.expr(v, st)
+		}
+	case *ast.FuncLit:
+		// A closure capturing the view keeps it alive arbitrarily long.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if a := w.env[identObj(w.pass, id)]; a != nil {
+					st[a] = escaped
+				}
+			}
+			return true
+		})
+	case *ast.UnaryExpr:
+		if a := w.tracked(e.X); a != nil {
+			st[a] = escaped
+			return
+		}
+		w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		// Comparisons (v == nil) are harmless reads, not escapes.
+		if _, ok := e.X.(*ast.Ident); !ok {
+			w.expr(e.X, st)
+		}
+		if _, ok := e.Y.(*ast.Ident); !ok {
+			w.expr(e.Y, st)
+		}
+	case *ast.ParenExpr:
+		w.expr(e.X, st)
+	case *ast.SelectorExpr:
+		// v.field reads are harmless; deeper expressions may not be.
+		if _, ok := e.X.(*ast.Ident); !ok {
+			w.expr(e.X, st)
+		}
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.IndexExpr:
+		w.expr(e.X, st)
+		w.expr(e.Index, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, st)
+		w.expr(e.Value, st)
+	}
+}
+
+// call applies a call's effect on every tracked view it touches.
+func (w *walker) call(call *ast.CallExpr, st state) {
+	// v.Close() — the canonical release.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if a := w.tracked(sel.X); a != nil {
+			if isViewClose(w.pass, call) {
+				if st[a] == held {
+					st[a] = released
+				}
+				return
+			}
+			switch calleeDisposition(w.pass, call, RecvIndex) {
+			case dispCloses:
+				if st[a] == held {
+					st[a] = released
+				}
+			case dispStores, dispUnknown:
+				st[a] = escaped
+			}
+			w.callArgs(call, st)
+			return
+		}
+		w.expr(sel.X, st)
+	}
+	w.callArgs(call, st)
+}
+
+// callArgs applies per-argument dispositions for tracked views passed to
+// the call, and scans the remaining arguments normally.
+func (w *walker) callArgs(call *ast.CallExpr, st state) {
+	for i, arg := range call.Args {
+		w.argEffect(call, arg, i, st)
+	}
+}
+
+// argEffect applies the callee's disposition of argument i.
+func (w *walker) argEffect(call *ast.CallExpr, arg ast.Expr, i int, st state) {
+	a := w.tracked(arg)
+	if a == nil {
+		w.expr(arg, st)
+		return
+	}
+	if i < 0 {
+		return // already handled as the receiver
+	}
+	switch calleeDisposition(w.pass, call, i) {
+	case dispCloses:
+		if st[a] == held {
+			st[a] = released
+		}
+	case dispStores, dispUnknown:
+		st[a] = escaped
+	case dispNeutral:
+		// The callee was analyzed and neither closes nor keeps the
+		// view: tracking continues, a later return can still leak.
+	}
+}
+
+// tracked resolves an expression to a tracked acquisition, or nil.
+func (w *walker) tracked(e ast.Expr) *acq {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return w.env[identObj(w.pass, id)]
+}
+
+// --- epoch pin analysis -----------------------------------------------
+
+// checkPins enforces the Pin/Unpin pairing: a function that pins an
+// epoch and can return a non-nil error afterwards must unpin somewhere.
+func checkPins(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var pins []*ast.CallExpr
+	unpins := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isEpochsCall(pass, call, "Pin") {
+			pins = append(pins, call)
+		}
+		if isEpochsCall(pass, call, "Unpin") {
+			unpins = true
+		}
+		if callee := analysis.CalleeFunc(pass.Info, call); callee != nil {
+			var f UnpinsFact
+			if pass.ImportObjectFact(callee, &f) {
+				unpins = true
+			}
+		}
+		return true
+	})
+	if len(pins) == 0 || unpins {
+		return
+	}
+	for _, pin := range pins {
+		if line := errorReturnAfter(pass, fd, pin.End()); line > 0 {
+			pass.Reportf(pin.Pos(),
+				"viewclose: Epochs.Pin with no matching Unpin, but the error return at line %d can abandon the pin; unpin on the failure path",
+				line)
+		}
+	}
+}
+
+// errorReturnAfter finds a return after pos whose final result is a
+// non-nil error expression, returning its line (0 if none).
+func errorReturnAfter(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos) int {
+	line := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < pos || len(ret.Results) == 0 || line != 0 {
+			return line == 0
+		}
+		last := ret.Results[len(ret.Results)-1]
+		if isNil(last) {
+			return true
+		}
+		if tv, ok := pass.Info.Types[last]; ok && isErrorType(tv.Type) {
+			line = pass.Fset.Position(ret.Pos()).Line
+		}
+		return line == 0
+	})
+	return line
+}
+
+// --- recognizers ------------------------------------------------------
+
+// disposition classifies what a callee does with a view input.
+type disposition int
+
+const (
+	dispNeutral disposition = iota // analyzed: uses without closing or keeping
+	dispCloses                     // releases the view
+	dispStores                     // keeps the view: ownership transfers
+	dispUnknown                    // unanalyzed code: assume it keeps it
+)
+
+// calleeDisposition looks up the callee's ParamFact entry for input
+// index i (RecvIndex for the receiver).
+func calleeDisposition(pass *analysis.Pass, call *ast.CallExpr, i int) disposition {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return dispUnknown
+	}
+	if fn.Name() == "Close" && analysis.ReceiverTypeName(fn) == "View" {
+		if i == RecvIndex {
+			return dispCloses
+		}
+	}
+	var fact ParamFact
+	if !pass.ImportObjectFact(fn, &fact) {
+		return dispUnknown
+	}
+	for _, idx := range fact.Closes {
+		if idx == i {
+			return dispCloses
+		}
+	}
+	for _, idx := range fact.Stores {
+		if idx == i {
+			return dispStores
+		}
+	}
+	return dispNeutral
+}
+
+// isAcquisition reports whether call acquires a fresh view: db.View, or
+// a helper carrying an AcquiresFact.
+func isAcquisition(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return false
+	}
+	if isViewOpen(fn) {
+		return true
+	}
+	var fact AcquiresFact
+	return pass.ImportObjectFact(fn, &fact)
+}
+
+// isViewOpen reports whether fn is the dsks.DB View method.
+func isViewOpen(fn *types.Func) bool {
+	return fn.Name() == "View" &&
+		analysis.ReceiverTypeName(fn) == "DB" &&
+		analysis.InPackage(fn, "dsks")
+}
+
+// isViewClose reports whether call is Close on a dsks.View.
+func isViewClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	return fn != nil && fn.Name() == "Close" &&
+		analysis.ReceiverTypeName(fn) == "View" &&
+		analysis.InPackage(fn, "dsks")
+}
+
+// isViewType reports whether t is dsks.View or a pointer to it.
+func isViewType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "View" && obj.Pkg() != nil &&
+		analysis.PathHasSuffix(obj.Pkg().Path(), "dsks")
+}
+
+// resultsIncludeView reports whether sig returns a view.
+func resultsIncludeView(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isViewType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isEpochsCall reports whether call is the named method on
+// storage.Epochs.
+func isEpochsCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	return fn != nil && fn.Name() == name &&
+		analysis.ReceiverTypeName(fn) == "Epochs" &&
+		analysis.InPackage(fn, "internal/storage")
+}
+
+// trackedInput resolves e to a declared input index from inputs.
+func trackedInput(pass *analysis.Pass, inputs map[types.Object]int, e ast.Expr) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := identObj(pass, id)
+	if obj == nil {
+		return 0, false
+	}
+	idx, ok := inputs[obj]
+	return idx, ok
+}
+
+// recvObject returns the object of fd's receiver identifier.
+func recvObject(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// identObj resolves an identifier to its object (use or definition).
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// sortedIndices returns the keys of m in ascending order.
+func sortedIndices(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// equalInts reports slice equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

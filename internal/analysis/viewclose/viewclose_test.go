@@ -1,0 +1,21 @@
+package viewclose_test
+
+import (
+	"testing"
+
+	"dsks/internal/analysis/analysistest"
+	"dsks/internal/analysis/viewclose"
+)
+
+// TestViewclose runs the analyzer over the whole stub module: the dsks
+// and helper packages are analyzed first so their facts (Close/store
+// dispositions, acquirers, unpinners) are in the store when the client
+// package — where all the want annotations live — is checked.
+func TestViewclose(t *testing.T) {
+	analysistest.Run(t, "testdata", viewclose.Analyzer,
+		"dsks",
+		"dsks/internal/storage",
+		"dsks/helper",
+		"dsks/client",
+	)
+}

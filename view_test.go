@@ -149,6 +149,84 @@ func TestViewClosedErrors(t *testing.T) {
 	}
 }
 
+// TestViewCloseDeterministic closes one view from many goroutines at
+// once and checks the lifecycle stays deterministic: the pin is
+// released exactly once (the race detector would flag a double-unpin),
+// every query method — including the ranked, kNN, and collective
+// entry points not covered above — fails with ErrViewClosed
+// afterwards, and the database remains fully usable.
+func TestViewCloseDeterministic(t *testing.T) {
+	db := viewTestDB(t, dsks.Options{Index: dsks.IndexIF})
+	ctx := context.Background()
+
+	v, err := db.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	knn := dsks.KNNQuery{Pos: viewTestQuery.Pos, Terms: []dsks.TermID{0}, K: 2, MaxDist: 1e9}
+	ranked := dsks.RankedQuery{Pos: viewTestQuery.Pos, Terms: []dsks.TermID{0}, K: 2, Alpha: 0.5, DeltaMax: 1e9}
+	coll := dsks.CollectiveQuery{Pos: viewTestQuery.Pos, Terms: []dsks.TermID{0, 1}, DeltaMax: 1e9}
+	dq := dsks.DivQuery{SKQuery: viewTestQuery, K: 2, Lambda: 0.5}
+
+	// Each entry point works on the open view, so a post-close failure
+	// below can only come from the closed check, not the query itself.
+	if _, err := v.SearchKNN(ctx, knn); err != nil {
+		t.Fatalf("SearchKNN on open view: %v", err)
+	}
+	if _, err := v.SearchRanked(ctx, ranked); err != nil {
+		t.Fatalf("SearchRanked on open view: %v", err)
+	}
+	if _, err := v.SearchCollective(ctx, coll); err != nil {
+		t.Fatalf("SearchCollective on open view: %v", err)
+	}
+	if _, err := v.SearchDiversifiedWith(ctx, dsks.AlgoSEQ, dq); err != nil {
+		t.Fatalf("SearchDiversifiedWith on open view: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Close()
+		}()
+	}
+	wg.Wait()
+
+	if _, err := v.SearchKNN(ctx, knn); !errors.Is(err, dsks.ErrViewClosed) {
+		t.Fatalf("SearchKNN on closed view: err = %v, want ErrViewClosed", err)
+	}
+	if _, err := v.SearchRanked(ctx, ranked); !errors.Is(err, dsks.ErrViewClosed) {
+		t.Fatalf("SearchRanked on closed view: err = %v, want ErrViewClosed", err)
+	}
+	if _, err := v.SearchCollective(ctx, coll); !errors.Is(err, dsks.ErrViewClosed) {
+		t.Fatalf("SearchCollective on closed view: err = %v, want ErrViewClosed", err)
+	}
+	if _, err := v.SearchDiversifiedWith(ctx, dsks.AlgoSEQ, dq); !errors.Is(err, dsks.ErrViewClosed) {
+		t.Fatalf("SearchDiversifiedWith on closed view: err = %v, want ErrViewClosed", err)
+	}
+
+	// The racing Close calls released the single pin without corrupting
+	// the epoch table: mutations still commit and a fresh view observes
+	// them at a later LSN.
+	id, err := db.Insert(dsks.Position{Edge: 1, Offset: 0}, []dsks.TermID{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+	if after.LSN() <= v.LSN() {
+		t.Fatalf("post-close view LSN = %d, want > %d", after.LSN(), v.LSN())
+	}
+	if err := db.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestReaderStarvation runs a mutation storm against concurrent view
 // readers and proves each result is consistent with exactly one
 // published LSN. The protocol: the single mutator holds a test-side
