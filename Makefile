@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke bench-mixed
+.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke shard-smoke bench-mixed bench-shard
 
 all: build test lint
 
@@ -70,6 +70,26 @@ chaos-smoke:
 bench-mixed:
 	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
 	./scripts/bench-mixed.sh $(CURDIR)/bin/dsks-serve BENCH_mixed.json
+
+# shard-smoke mirrors the CI job: boot dsks-serve with the road network
+# sharded 4 ways behind the scatter-gather router (partial-result policy,
+# per-shard WALs), hammer the mixed read/write mix -strict, take one
+# shard down via shard-targeted chaos and assert coherent degradation
+# (206 partials naming the failed shard, healthy-shard inserts still
+# acked, never a half-merged body), then heal and require full recovery
+# (docs/SHARDING.md).
+shard-smoke:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/shard-smoke.sh $(CURDIR)/bin/dsks-serve
+
+# bench-shard mirrors the CI job: run the same read-only mix against
+# 1-, 2- and 4-shard servers over the same dataset, accumulate the data
+# points in BENCH_shard.json, and assert the 4-shard router sustains
+# >= 2.5x the single-shard read QPS at equal-or-better p99
+# (docs/SHARDING.md).
+bench-shard:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/bench-shard.sh $(CURDIR)/bin/dsks-serve BENCH_shard.json
 
 # wal-smoke mirrors the CI job: boot a WAL-backed server, kill -9 it
 # mid-insert-storm, reboot on the same log, and assert every acknowledged

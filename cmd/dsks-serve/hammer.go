@@ -51,6 +51,8 @@ var (
 	hammerBench     *string
 	hammerBenchMutC *int
 	hammerBenchMax  *float64
+	hammerReport    *string
+	hammerReportLbl *string
 )
 
 // hammerFlags registers the load-driver flags.
@@ -68,6 +70,8 @@ func hammerFlags(fs *flag.FlagSet) {
 	hammerBench = fs.String("bench-mixed", "", "hammer: run the read-under-write benchmark, writing the JSON report to this file")
 	hammerBenchMutC = fs.Int("bench-mutators", 2, "bench-mixed: concurrent insert-storm workers during the mixed phase")
 	hammerBenchMax = fs.Float64("bench-max-ratio", 0, "bench-mixed: exit non-zero when mixed read p99 exceeds this multiple of the baseline (0 = report only)")
+	hammerReport = fs.String("report", "", "hammer: upsert this run's throughput and latency under -report-label in this JSON file")
+	hammerReportLbl = fs.String("report-label", "", "hammer: key for the -report entry (e.g. shards=4)")
 }
 
 // hammerResult is one request's outcome.
@@ -444,8 +448,11 @@ func hammerMixReqs(preset string, scale int, seed int64) ([]hammerReq, error) {
 				q.Pos.Edge, q.Pos.Offset, terms(q.Terms), q.DeltaMax)
 		},
 		"knn": func(q dsks.WorkloadQuery) string {
-			return fmt.Sprintf("/v1/knn?edge=%d&offset=%g&terms=%s&k=5",
-				q.Pos.Edge, q.Pos.Offset, terms(q.Terms))
+			// The workload's δmax bounds the expansion: unbounded kNN legs
+			// on an edge-disjoint shard must walk far past their few owned
+			// objects, and the bound is what the router prunes shards with.
+			return fmt.Sprintf("/v1/knn?edge=%d&offset=%g&terms=%s&k=5&maxDist=%g",
+				q.Pos.Edge, q.Pos.Offset, terms(q.Terms), q.DeltaMax)
 		},
 		"ranked": func(q dsks.WorkloadQuery) string {
 			return fmt.Sprintf("/v1/ranked?edge=%d&offset=%g&terms=%s&deltaMax=%g&k=5&alpha=0.5",
@@ -561,8 +568,16 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		fmt.Printf("  shed with 429: %d (Retry-After present on %d)\n", shed429, retryAfter)
 	}
 
-	// The server's own view, for the cache counters.
+	// The server's own view: cache counters, and — when the target is the
+	// scatter-gather router — the per-shard request spread and routing
+	// pruning rate.
 	var varz struct {
+		Shards []struct {
+			LSN         uint64 `json:"lsn"`
+			LiveObjects int    `json:"liveObjects"`
+			Requests    int64  `json:"requests"`
+			Errors      int64  `json:"errors"`
+		} `json:"shards"`
 		Metrics struct {
 			Counters map[string]int64 `json:"Counters"`
 		} `json:"metrics"`
@@ -575,7 +590,39 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 				varz.Metrics.Counters["server_cache_hits_total"],
 				varz.Metrics.Counters["server_cache_misses_total"],
 				varz.Metrics.Counters["server_cache_stale_evictions_total"])
+			if len(varz.Shards) > 0 {
+				legs := varz.Metrics.Counters["router_fanout_legs_total"]
+				pruned := varz.Metrics.Counters["router_pruned_legs_total"]
+				fmt.Printf("  router: %d shards, %d fan-out legs run, %d pruned (%.0f%% of routed)\n",
+					len(varz.Shards), legs, pruned,
+					100*float64(pruned)/float64(max64(legs+pruned, 1)))
+				for i, sh := range varz.Shards {
+					fmt.Printf("    shard %d: lsn %d, %d objects, %d requests, %d errors\n",
+						i, sh.LSN, sh.LiveObjects, sh.Requests, sh.Errors)
+				}
+			}
 		}
+	}
+
+	if *hammerReport != "" {
+		entry := reportEntry{
+			Requests:   n,
+			Seconds:    elapsed.Seconds(),
+			QPS:        float64(n) / elapsed.Seconds(),
+			P50Micros:  pct(lats, 0.50).Microseconds(),
+			P95Micros:  pct(lats, 0.95).Microseconds(),
+			P99Micros:  pct(lats, 0.99).Microseconds(),
+			MaxMicros:  lats[n-1].Microseconds(),
+			Errors:     five + statuses[0],
+			CacheHits:  hits,
+			Shards:     len(varz.Shards),
+			FanoutLegs: varz.Metrics.Counters["router_fanout_legs_total"],
+			PrunedLegs: varz.Metrics.Counters["router_pruned_legs_total"],
+		}
+		if err := upsertReport(*hammerReport, *hammerReportLbl, entry); err != nil {
+			return err
+		}
+		fmt.Printf("  report: %q upserted into %s\n", *hammerReportLbl, *hammerReport)
 	}
 
 	if *hammerStrict {
@@ -603,6 +650,51 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		}
 	}
 	return nil
+}
+
+// reportEntry is one labeled hammer run in the -report JSON file: the
+// shard-scaling benchmark upserts one entry per shard count so a single
+// file accumulates the 1/2/4-shard data points.
+type reportEntry struct {
+	Requests   int     `json:"requests"`
+	Seconds    float64 `json:"seconds"`
+	QPS        float64 `json:"qps"`
+	P50Micros  int64   `json:"p50Micros"`
+	P95Micros  int64   `json:"p95Micros"`
+	P99Micros  int64   `json:"p99Micros"`
+	MaxMicros  int64   `json:"maxMicros"`
+	Errors     int     `json:"errors"`
+	CacheHits  int     `json:"cacheHits"`
+	Shards     int     `json:"shards,omitempty"`
+	FanoutLegs int64   `json:"fanoutLegs,omitempty"`
+	PrunedLegs int64   `json:"prunedLegs,omitempty"`
+}
+
+// upsertReport merges one labeled entry into the JSON report file,
+// preserving entries from earlier runs.
+func upsertReport(path, label string, entry reportEntry) error {
+	if label == "" {
+		return fmt.Errorf("-report needs -report-label")
+	}
+	entries := map[string]reportEntry{}
+	if body, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(body, &entries); err != nil {
+			return fmt.Errorf("existing report %s is not a label map: %w", path, err)
+		}
+	}
+	entries[label] = entry
+	body, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // benchPhase aggregates the read side of one benchmark phase.

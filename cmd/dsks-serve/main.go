@@ -11,6 +11,12 @@
 //
 //	dsks-serve -addr :8080 -db ./snap
 //
+// Shard the road network 4 ways and serve through the scatter-gather
+// router (queries fan out to the routed shards and merge; -db reopens a
+// sharded snapshot written by the set's SaveTo):
+//
+//	dsks-serve -addr :8080 -preset SYN -scale 200 -shards 4
+//
 // Replay a synthetic query mix against a running server (the load
 // driver reports throughput, latency percentiles and cache behavior):
 //
@@ -31,6 +37,7 @@ import (
 
 	"dsks"
 	"dsks/internal/server"
+	"dsks/internal/shard"
 )
 
 func main() {
@@ -69,6 +76,10 @@ func run() error {
 		breakN    = flag.Int("break-after", 5, "consecutive storage errors before the circuit breaker opens")
 		breakerTO = flag.Duration("breaker-cooldown", time.Second, "open-circuit cooldown before a half-open probe")
 
+		shards     = flag.Int("shards", 1, "shard the road network N ways and serve through the scatter-gather router")
+		partialRes = flag.Bool("partial-results", false, "sharded: answer with merged survivors (HTTP 206) when a shard fails, instead of failing the query")
+		fanoutLim  = flag.Int("fanout", 0, "sharded: concurrently running fan-out legs per request (0 = all routed shards)")
+
 		hammer = flag.Bool("hammer", false, "run the load driver against -target instead of serving")
 	)
 	hammerFlags(flag.CommandLine)
@@ -89,17 +100,7 @@ func run() error {
 		return runHammer(*preset, *scale, *seed)
 	}
 
-	db, desc, err := openDB(*dbDir, *preset, *scale, *seed, opts)
-	if err != nil {
-		return err
-	}
-	if *faultSpec != "" {
-		if err := db.SetFaultSpec(*faultSpec); err != nil {
-			return fmt.Errorf("-fault: %w", err)
-		}
-		fmt.Printf("dsks-serve: fault injection active: %s\n", *faultSpec)
-	}
-	srv := server.New(db, server.Config{
+	cfg := server.Config{
 		Addr:            *addr,
 		MaxInflight:     *maxIn,
 		QueueDepth:      *queue,
@@ -110,7 +111,52 @@ func run() error {
 		BreakAfter:      *breakN,
 		BreakerCooldown: *breakerTO,
 		EnableChaos:     *chaos,
-	})
+	}
+
+	// The backend: one database, or an N-way shard set behind the router.
+	var (
+		srv          *server.Server
+		desc         string
+		closeBackend func() error
+		durable      func() string
+	)
+	if *shards > 1 {
+		set, d, err := openSet(*dbDir, *preset, *scale, *seed, *shards, shard.Options{
+			DB: opts, Partial: *partialRes, FanoutLimit: *fanoutLim,
+		})
+		if err != nil {
+			return err
+		}
+		if *faultSpec != "" {
+			if err := set.SetFaultSpec(*faultSpec); err != nil {
+				return fmt.Errorf("-fault: %w", err)
+			}
+			fmt.Printf("dsks-serve: fault injection active on every shard: %s\n", *faultSpec)
+		}
+		policy := "first-error-wins"
+		if *partialRes {
+			policy = "partial-results"
+		}
+		srv = server.NewRouter(set, cfg)
+		desc = fmt.Sprintf("%s over %d shards (%s)", d, set.Shards(), policy)
+		closeBackend = set.Close
+		durable = func() string { return fmt.Sprintf("durable LSNs %v", set.DurableLSNs()) }
+	} else {
+		db, d, err := openDB(*dbDir, *preset, *scale, *seed, opts)
+		if err != nil {
+			return err
+		}
+		if *faultSpec != "" {
+			if err := db.SetFaultSpec(*faultSpec); err != nil {
+				return fmt.Errorf("-fault: %w", err)
+			}
+			fmt.Printf("dsks-serve: fault injection active: %s\n", *faultSpec)
+		}
+		srv = server.New(db, cfg)
+		desc = d
+		closeBackend = db.Close
+		durable = func() string { return fmt.Sprintf("durable LSN %d", db.DurableLSN()) }
+	}
 	errc, err := srv.Start()
 	if err != nil {
 		return err
@@ -118,7 +164,7 @@ func run() error {
 	fmt.Printf("dsks-serve: serving %s on %s (index %s, max-inflight %d, queue %d, cache %d)\n",
 		desc, srv.Addr(), opts.Index, *maxIn, *queue, *cache)
 	if *walDir != "" {
-		fmt.Printf("dsks-serve: write-ahead log in %s (durable LSN %d)\n", *walDir, db.DurableLSN())
+		fmt.Printf("dsks-serve: write-ahead log in %s (%s)\n", *walDir, durable())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,13 +184,35 @@ func run() error {
 	if err := <-errc; err != nil {
 		return err
 	}
-	// Flush and close the write-ahead log so the final group commit is on
-	// disk before the process reports a clean exit.
-	if err := db.Close(); err != nil {
-		return fmt.Errorf("closing database: %w", err)
+	// Flush and close the write-ahead log(s) so the final group commit is
+	// on disk before the process reports a clean exit.
+	if err := closeBackend(); err != nil {
+		return fmt.Errorf("closing backend: %w", err)
 	}
 	fmt.Println("dsks-serve: drained cleanly")
 	return nil
+}
+
+// openSet opens a sharded snapshot (its manifest fixes the shard count),
+// or partitions the generated preset dataset n ways.
+func openSet(dir, preset string, scale int, seed int64, n int, opts shard.Options) (*shard.Set, string, error) {
+	if dir != "" {
+		set, err := shard.OpenSetPath(dir, opts)
+		if err != nil {
+			return nil, "", fmt.Errorf("opening sharded snapshot %s: %w", dir, err)
+		}
+		return set, "snapshot " + dir, nil
+	}
+	ds, err := dsks.GeneratePreset(dsks.Preset(preset), scale, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	set, err := shard.Open(ds.Graph, ds.Objects, ds.VocabSize, n, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%s/%d seed %d (%d objects)", preset, scale, seed, set.LiveObjects())
+	return set, desc, nil
 }
 
 // openDB opens the snapshot directory, or generates the preset dataset.

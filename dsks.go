@@ -800,10 +800,29 @@ func (s *Stream) finish(err error) {
 // is indeterminate: it was never acknowledged and never published, but
 // the log record exists, so a restart replays it.
 func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
+	id, lsn, err := db.InsertAsync(pos, terms)
+	if err != nil {
+		return 0, err
+	}
+	if werr := db.WaitDurable(lsn); werr != nil {
+		return id, fmt.Errorf("dsks: insert of object %d applied but not durable: %w", id, werr)
+	}
+	return id, nil
+}
+
+// InsertAsync is Insert without the durability wait: it appends the WAL
+// record, applies and publishes the mutation, and returns the assigned
+// object ID plus the commit LSN immediately — before the record is
+// fsynced. Callers that need the Insert acknowledgment contract follow
+// up with WaitDurable(lsn) once they have released any latches of their
+// own; this is the same append-under-latch, sync-outside split the DB
+// itself uses internally, exposed for layers (like a shard router) that
+// must record bookkeeping against the assigned ID before blocking.
+func (db *DB) InsertAsync(pos Position, terms []TermID) (ObjectID, uint64, error) {
 	db.mu.Lock()
 	if err := db.checkInsert(pos, terms); err != nil {
 		db.mu.Unlock()
-		return 0, err
+		return 0, 0, err
 	}
 	pos = db.sys.DS.Graph.Clamp(pos)
 	lsn := db.roots.Load().lsn + 1
@@ -823,7 +842,7 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 		var err error
 		if lsn, err = db.wal.Append(rec); err != nil {
 			db.mu.Unlock()
-			return 0, fmt.Errorf("dsks: logging insert: %w", err)
+			return 0, 0, fmt.Errorf("dsks: logging insert: %w", err)
 		}
 		// The record exists whether or not the apply below succeeds, so
 		// snapshots must claim it — replaying it over a state that
@@ -833,15 +852,22 @@ func (db *DB) Insert(pos Position, terms []TermID) (ObjectID, error) {
 	id, err := db.applyInsertAt(lsn, pos, terms)
 	db.mu.Unlock()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	db.reclaim()
-	if db.wal != nil {
-		if werr := db.wal.WaitDurable(lsn); werr != nil {
-			return id, fmt.Errorf("dsks: insert of object %d applied but not durable: %w", id, werr)
-		}
+	return id, lsn, nil
+}
+
+// WaitDurable blocks until the WAL record at lsn is fsynced (group
+// commit may batch it with neighbors). Without an attached WAL every
+// mutation is as durable as it will ever get, and WaitDurable returns
+// nil immediately. It must not be called while holding a latch — it
+// waits on a disk sync.
+func (db *DB) WaitDurable(lsn uint64) error {
+	if db.wal == nil {
+		return nil
 	}
-	return id, nil
+	return db.wal.WaitDurable(lsn)
 }
 
 // checkInsert validates an insert without changing anything; callers
@@ -1034,6 +1060,29 @@ func (db *DB) applyRemoveAt(lsn uint64, id ObjectID) error {
 // count too). Prefer LSN (or View.LSN), which names the exact published
 // version a reader observes.
 func (db *DB) Version() uint64 { return db.version.Load() }
+
+// Graph exposes the road network the database was opened with. The
+// graph is immutable once frozen; callers (the shard router replicates
+// it across shard databases) must not modify it.
+func (db *DB) Graph() *Graph { return db.sys.DS.Graph }
+
+// ObjectCount is the total number of object IDs the database has ever
+// allocated, tombstones included (compare LiveObjects). IDs below it are
+// addressable by Object.
+func (db *DB) ObjectCount() int { return db.sys.DS.Objects.Len() }
+
+// Object reports an allocated object's position and terms, and whether
+// it is still live; ok is false for IDs that were never allocated. The
+// shard router uses it to rebuild its ID maps after a WAL replay moved a
+// shard past the state the router last saw.
+func (db *DB) Object(id ObjectID) (pos Position, terms []TermID, live, ok bool) {
+	col := db.sys.DS.Objects
+	if id < 0 || int(id) >= col.Len() {
+		return Position{}, nil, false, false
+	}
+	o := col.Get(id)
+	return o.Pos, append([]TermID(nil), o.Terms...), !col.Removed(id), true
+}
 
 // LSN returns the commit LSN of the current published version: the WAL
 // LSN of the last applied mutation (databases without a WAL count

@@ -4,6 +4,12 @@
 // that wrap a sentinel with %w. Bare fmt.Errorf calls at exported
 // return sites produce opaque errors that break callers' error
 // handling, and are flagged.
+//
+// The scatter-gather router (internal/shard) is held to the same
+// contract: the serving layer routes on its sentinels — ErrShardDown
+// and ErrPartialResult decide between a clean 5xx, a 206 partial body,
+// and breaker accounting — so an opaque error from a Set or MultiView
+// entry point silently turns a survivable partial into a hard failure.
 package errsentinel
 
 import (
@@ -18,15 +24,17 @@ import (
 // of the root dsks package.
 var Analyzer = &analysis.Analyzer{
 	Name: "errsentinel",
-	Doc: "Exported functions of the root dsks package must not return " +
-		"fmt.Errorf values that fail to wrap a sentinel with %w; use one " +
-		"of the declared sentinels (dsks.go, internal/core/errors.go) so " +
-		"errors.Is keeps working across the API boundary.",
+	Doc: "Exported functions of the root dsks package and of the shard " +
+		"router (internal/shard) must not return fmt.Errorf values that " +
+		"fail to wrap a sentinel with %w; use one of the declared " +
+		"sentinels (dsks.go, internal/core/errors.go, internal/shard/" +
+		"set.go — ErrShardDown, ErrPartialResult) so errors.Is keeps " +
+		"working across the API boundary.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Path() != "dsks" {
+	if p := pass.Pkg.Path(); p != "dsks" && !strings.HasSuffix(p, "dsks/internal/shard") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrSentinel(t *testing.T) {
-	analysistest.Run(t, "testdata", errsentinel.Analyzer, "dsks")
+	analysistest.Run(t, "testdata", errsentinel.Analyzer, "dsks", "dsks/internal/shard")
 }

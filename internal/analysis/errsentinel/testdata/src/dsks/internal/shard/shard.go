@@ -1,0 +1,68 @@
+// Package shard mirrors the router's error contract: the serving layer
+// routes on these sentinels (ErrShardDown → clean 5xx + breaker,
+// ErrPartialResult → 206 partial body, breaker-neutral), so every
+// exported fan-out entry point must keep them matchable with errors.Is.
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrShardDown marks a fan-out leg whose shard could not answer.
+	ErrShardDown = errors.New("shard: shard unavailable")
+	// ErrPartialResult marks a merged answer missing >=1 shard's legs.
+	ErrPartialResult = errors.New("shard: partial result")
+)
+
+// Search merges the surviving legs; the partial-result sentinel must
+// wrap through so the handler can answer 206 instead of 500.
+func Search(failed []int) error {
+	if len(failed) > 0 {
+		return fmt.Errorf("%w: %d shards unavailable", ErrPartialResult, len(failed))
+	}
+	return nil
+}
+
+// Insert routes one mutation to its owning shard. The bare fmt.Errorf
+// hides ErrShardDown from the handler: the breaker never trips and the
+// client sees an unmatchable 500.
+func Insert(shard int, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("shard %d rejected the insert: %v", shard, cause) // want `errsentinel: fmt.Errorf at an exported return site`
+	}
+	return nil
+}
+
+// Remove wraps both the down sentinel and the typed cause (double-%w):
+// errors.Is(err, ErrShardDown) and errors.As both keep working.
+func Remove(shard int, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w: shard %d: %w", ErrShardDown, shard, cause)
+	}
+	return nil
+}
+
+// gatherLeg is unexported: its errors stay inside the router, which
+// wraps them before they cross the API boundary.
+func gatherLeg(shard int) error {
+	return fmt.Errorf("leg %d timed out", shard)
+}
+
+// Gather only answers for its own return sites, not the per-leg
+// closures it fans out.
+func Gather(n int) error {
+	leg := func(i int) error {
+		return fmt.Errorf("leg %d: no route", i)
+	}
+	for i := 0; i < n; i++ {
+		if err := leg(i); err != nil {
+			return fmt.Errorf("%w: %w", ErrShardDown, err)
+		}
+	}
+	if err := gatherLeg(0); err != nil {
+		return fmt.Errorf("%w: probe: %w", ErrShardDown, err)
+	}
+	return nil
+}

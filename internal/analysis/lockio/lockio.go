@@ -22,10 +22,21 @@
 //
 // It also covers the durability layer: a write-ahead-log fsync
 // (storage.LogFile.Sync, or the wal.Log calls that wait on one —
-// WaitDurable, Checkpoint, Close) must never run under a latch. The
+// WaitDurable, Checkpoint, Close — and DB.WaitDurable, which blocks on
+// the group commit the same way) must never run under a latch. The
 // mutation protocol appends under the DB write latch (a buffered write,
-// allowed) but releases it before blocking on group commit; holding the
-// latch across the fsync would serialize every reader behind the disk.
+// allowed; DB.InsertAsync is that protocol's entry point) but releases
+// it before blocking on group commit; holding the latch across the
+// fsync would serialize every reader behind the disk.
+//
+// The scatter-gather router (internal/shard) inherits the whole
+// discipline at one remove: Set.Insert and Set.Remove fan a mutation
+// out to a shard database and wait for its WAL durability, Set.SaveTo
+// snapshots every shard, and the MultiView query methods scatter to N
+// pinned views that each run network expansion and page I/O — so none
+// of them may run under a locally-held latch either. The router's own
+// insert latch is the worked example: it is held across the buffered
+// InsertAsync + mapping publish, and released before WaitDurable.
 //
 // The analysis is intraprocedural and flow-aware along straight-line
 // code: Lock/RLock adds the mutex to the held set, Unlock/RUnlock
@@ -227,6 +238,27 @@ func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	}
 	if desc, ok := dbEntryPoint(fn); ok {
 		return desc, true
+	}
+	if analysis.InPackage(fn, "dsks") && analysis.ReceiverTypeName(fn) == "DB" &&
+		fn.Name() == "WaitDurable" {
+		// The blocking half of the InsertAsync/WaitDurable split: waits on
+		// the WAL group commit. (InsertAsync itself is the buffered half,
+		// legal under a latch — that is the insert protocol.)
+		return "database WaitDurable (waits for fsync)", true
+	}
+	if analysis.InPackage(fn, "internal/shard") {
+		switch analysis.ReceiverTypeName(fn) {
+		case "Set":
+			switch fn.Name() {
+			case "Insert", "Remove", "SaveTo":
+				return "shard-set " + fn.Name() + " fan-out", true
+			}
+		case "MultiView":
+			if strings.HasPrefix(fn.Name(), "Search") || fn.Name() == "NetworkDistance" {
+				return "scatter-gather " + fn.Name() + " query", true
+			}
+		}
+		return "", false
 	}
 	if analysis.InPackage(fn, "internal/wal") && analysis.ReceiverTypeName(fn) == "Log" {
 		// Log.Append is a buffered write and is legal under the DB latch

@@ -10,5 +10,5 @@ import (
 func TestLockIO(t *testing.T) {
 	analysistest.Run(t, "testdata", lockio.Analyzer,
 		"dsks", "dsks/internal/storage", "dsks/internal/edgestore",
-		"dsks/internal/server", "dsks/internal/wal")
+		"dsks/internal/server", "dsks/internal/wal", "dsks/internal/shard")
 }

@@ -66,6 +66,21 @@ func (db *DB) Remove(id ObjectID) error {
 	return nil
 }
 
+// InsertAsync is the buffered half of the insert protocol: append +
+// apply + publish, no fsync wait — legal under a latch.
+func (db *DB) InsertAsync(pos Position, terms []TermID) (ObjectID, uint64, error) {
+	_ = pos
+	_ = terms
+	return 0, 1, nil
+}
+
+// WaitDurable blocks until the WAL group commit covers lsn: the
+// blocking half, never legal under a latch.
+func (db *DB) WaitDurable(lsn uint64) error {
+	_ = lsn
+	return nil
+}
+
 func (db *DB) Version() uint64 { return 0 }
 
 // View opens a read view; it is an atomic root-set load plus an epoch

@@ -1,0 +1,141 @@
+// Package shard stubs the scatter-gather router surface: Set mutation
+// fan-out (each leg waits on a shard WAL's group commit), MultiView
+// query fan-out (each leg runs network expansion and page I/O on its
+// shard), and the InsertAsync/WaitDurable split that the router's own
+// insert latch relies on. None of the blocking entry points may run
+// while a locally-acquired latch is held.
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"dsks"
+)
+
+// Set is the reduced shard-set stub: mutations fan out to a shard
+// database and wait for its WAL durability, SaveTo snapshots every
+// shard — all blocking entry points.
+type Set struct {
+	dbs []*dsks.DB
+}
+
+func (s *Set) Insert(pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, uint64, error) {
+	_ = pos
+	_ = terms
+	return 0, 1, nil
+}
+
+func (s *Set) Remove(id dsks.ObjectID) error {
+	_ = id
+	return nil
+}
+
+func (s *Set) SaveTo(dir string) error {
+	_ = dir
+	return nil
+}
+
+// View pins one read view per shard; like DB.View it is an atomic pin,
+// legal under a latch.
+func (s *Set) View(ctx context.Context) (*MultiView, error) {
+	_ = ctx
+	return &MultiView{}, nil
+}
+
+// MultiView is the reduced pinned fan-out view: every query method
+// scatters to N per-shard views and merges.
+type MultiView struct{}
+
+func (mv *MultiView) Close() {}
+
+func (mv *MultiView) Search(ctx context.Context, q dsks.SKQuery) (dsks.Result, error) {
+	_ = ctx
+	_ = q
+	return dsks.Result{}, nil
+}
+
+func (mv *MultiView) NetworkDistance(a, b dsks.Position) float64 {
+	_ = a
+	_ = b
+	return 0
+}
+
+// router mirrors the serving router's bookkeeping: a mutex-guarded map
+// of per-shard stats next to the fan-out entry points.
+type router struct {
+	mu    sync.Mutex
+	set   *Set
+	stats map[int]int64
+}
+
+// BadInsert holds the router latch across the mutation fan-out: the
+// fan-out waits on a shard WAL fsync, so every other request piles up
+// on mu for the full group-commit interval.
+func (r *router) BadInsert(pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, _, err := r.set.Insert(pos, terms) // want `lockio: shard-set Insert fan-out while r.mu is held`
+	r.stats[0]++
+	return id, err
+}
+
+// BadSnapshot holds the latch across the all-shards snapshot — every
+// shard's page file is flushed and fsynced while mu serializes the
+// world behind it.
+func (r *router) BadSnapshot(dir string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.set.SaveTo(dir) // want `lockio: shard-set SaveTo fan-out while r.mu is held`
+}
+
+// BadQuery holds the latch across a scatter-gather query: N shard legs
+// of network expansion and page I/O run while mu is held.
+func (r *router) BadQuery(ctx context.Context, mv *MultiView, q dsks.SKQuery) (dsks.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, err := mv.Search(ctx, q) // want `lockio: scatter-gather Search query while r.mu is held`
+	r.stats[1]++
+	return res, err
+}
+
+// BadWait holds a shard's insert latch across WaitDurable: the blocking
+// half of the insert protocol must run after the latch is released.
+func (r *router) BadWait(db *dsks.DB, pos dsks.Position, terms []dsks.TermID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, lsn, err := db.InsertAsync(pos, terms)
+	if err != nil {
+		return err
+	}
+	return db.WaitDurable(lsn) // want `lockio: database WaitDurable \(waits for fsync\) while r.mu is held`
+}
+
+// GoodInsert is the real router insert protocol: the latch covers only
+// the buffered InsertAsync and the mapping publish, and is released
+// before blocking on the shard's group commit.
+func (r *router) GoodInsert(db *dsks.DB, pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, error) {
+	r.mu.Lock()
+	id, lsn, err := db.InsertAsync(pos, terms)
+	if err == nil {
+		r.stats[0]++
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, db.WaitDurable(lsn)
+}
+
+// GoodQuery pins the fan-out view under the latch (legal: an atomic pin
+// per shard), releases it, and scatters latch-free.
+func (r *router) GoodQuery(ctx context.Context, q dsks.SKQuery) (dsks.Result, error) {
+	r.mu.Lock()
+	mv, err := r.set.View(ctx)
+	r.mu.Unlock()
+	if err != nil {
+		return dsks.Result{}, err
+	}
+	defer mv.Close()
+	return mv.Search(ctx, q)
+}

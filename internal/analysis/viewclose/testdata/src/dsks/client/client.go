@@ -97,6 +97,73 @@ func EscapeUnknown(ctx context.Context, db *dsks.DB) {
 	fmt.Println(v)
 }
 
+// --- fan-out loops ----------------------------------------------------
+
+// fanout mirrors the shard router's MultiView: one pinned view per
+// shard, collected before any is read.
+type fanout struct {
+	views []*dsks.View
+}
+
+// GoodFanoutPin is the router's pin loop: each view acquired inside the
+// loop body is stored into the fan-out slice (ownership transfers to
+// the container, whose Close closes them all) or closed via the
+// container on the error path. The loop-body state must flow back out:
+// the return after the loop leaks nothing.
+func GoodFanoutPin(ctx context.Context, dbs []*dsks.DB) (*fanout, error) {
+	f := &fanout{views: make([]*dsks.View, len(dbs))}
+	for i, db := range dbs {
+		v, err := db.View(ctx)
+		if err != nil {
+			return nil, err
+		}
+		f.views[i] = v
+	}
+	return f, nil
+}
+
+// GoodLoopClose closes each iteration's view before the next.
+func GoodLoopClose(ctx context.Context, dbs []*dsks.DB, q string) (int, error) {
+	total := 0
+	for _, db := range dbs {
+		v, err := db.View(ctx)
+		if err != nil {
+			return 0, err
+		}
+		total += v.Search(q)
+		v.Close()
+	}
+	return total, nil
+}
+
+// LeakInLoop acquires per iteration and neither closes nor stores: the
+// loop-created acquisition must still be visible to the return after
+// the loop.
+func LeakInLoop(ctx context.Context, dbs []*dsks.DB) error {
+	for _, db := range dbs {
+		v, err := db.View(ctx) // want `view v acquired here does not reach v\.Close`
+		if err != nil {
+			return err
+		}
+		_ = v.LSN()
+	}
+	return nil
+}
+
+// LeakInBranch acquires inside one arm of a conditional and falls
+// through: the branch-created acquisition leaks at the function's
+// return, not silently out of scope.
+func LeakInBranch(ctx context.Context, db *dsks.DB, warm bool) error {
+	if warm {
+		v, err := db.View(ctx) // want `view v acquired here does not reach v\.Close`
+		if err != nil {
+			return err
+		}
+		_ = v.LSN()
+	}
+	return work()
+}
+
 // --- leaks ------------------------------------------------------------
 
 // LeakEarlyReturn closes too late: the limit==0 path returns while the

@@ -381,8 +381,10 @@ func (w *walker) stmt(s ast.Stmt, st state) {
 		w.errBranch(s.Cond, thenSt, elseSt)
 		w.expr(s.Cond, st)
 		w.stmts(s.Body.List, thenSt)
+		w.absorbNew(st, thenSt)
 		if s.Else != nil {
 			w.stmt(s.Else, elseSt)
+			w.absorbNew(st, elseSt)
 		}
 	case *ast.BlockStmt:
 		w.stmts(s.List, st)
@@ -393,10 +395,14 @@ func (w *walker) stmt(s ast.Stmt, st state) {
 		if s.Cond != nil {
 			w.expr(s.Cond, st)
 		}
-		w.stmts(s.Body.List, st.clone())
+		bodySt := st.clone()
+		w.stmts(s.Body.List, bodySt)
+		w.absorbNew(st, bodySt)
 	case *ast.RangeStmt:
 		w.expr(s.X, st)
-		w.stmts(s.Body.List, st.clone())
+		bodySt := st.clone()
+		w.stmts(s.Body.List, bodySt)
+		w.absorbNew(st, bodySt)
 	case *ast.SwitchStmt:
 		if s.Init != nil {
 			w.stmt(s.Init, st)
@@ -406,13 +412,17 @@ func (w *walker) stmt(s ast.Stmt, st state) {
 		}
 		for _, c := range s.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				w.stmts(cc.Body, st.clone())
+				caseSt := st.clone()
+				w.stmts(cc.Body, caseSt)
+				w.absorbNew(st, caseSt)
 			}
 		}
 	case *ast.TypeSwitchStmt:
 		for _, c := range s.Body.List {
 			if cc, ok := c.(*ast.CaseClause); ok {
-				w.stmts(cc.Body, st.clone())
+				caseSt := st.clone()
+				w.stmts(cc.Body, caseSt)
+				w.absorbNew(st, caseSt)
 			}
 		}
 	case *ast.GoStmt:
@@ -519,6 +529,23 @@ func (w *walker) ret(s *ast.ReturnStmt, st state) {
 	for _, a := range w.acqs {
 		if st[a] == held {
 			w.leak(a, s.Pos())
+		}
+	}
+}
+
+// absorbNew copies into the surrounding state the final status of
+// acquisitions that were created inside a branch or loop body: the
+// body's clone is the only state that ever saw them, and without this
+// the checks at the enclosing returns would read the zero value (held)
+// and report a phantom leak — the shard router's per-shard view pin
+// loop (acquire in the loop, store into the fan-out slice) is the
+// motivating shape. Statuses of acquisitions the outer state already
+// tracks are left alone: a release inside one branch must not satisfy
+// the paths that bypass it.
+func (w *walker) absorbNew(outer, body state) {
+	for a, status := range body {
+		if _, ok := outer[a]; !ok {
+			outer[a] = status
 		}
 	}
 }

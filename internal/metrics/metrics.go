@@ -24,11 +24,15 @@ const (
 	KindRanked      QueryKind = "ranked"
 	KindCollective  QueryKind = "collective"
 	KindStream      QueryKind = "stream"
+	// KindMerge tracks the scatter-gather router's merge phase: the time
+	// from the last fan-out leg returning to the merged result being
+	// ready (internal/shard).
+	KindMerge QueryKind = "merge"
 )
 
 // Kinds lists every tracked query kind in display order.
 func Kinds() []QueryKind {
-	return []QueryKind{KindSearch, KindDiversified, KindKNN, KindRanked, KindCollective, KindStream}
+	return []QueryKind{KindSearch, KindDiversified, KindKNN, KindRanked, KindCollective, KindStream, KindMerge}
 }
 
 // numBuckets covers latencies from 1ns to ~9.2s-per-bucket-boundary with

@@ -7,14 +7,16 @@ import (
 )
 
 // Query-result cache: an LRU over serialized responses, keyed by the
-// canonical encoding of the query and versioned by the commit LSN of the
-// read view the response was computed against. Because each request runs
+// canonical encoding of the query and versioned by the opaque version
+// token of the read view the response was computed against — the commit
+// LSN of a single database, or the joined per-shard LSN vector of a
+// shard set. Because each request runs
 // entirely inside one pinned MVCC view, a cached body is *exactly* the
 // answer the database gives at that LSN — not merely conservatively
 // fresh: the view the handler opens fixes the snapshot before the cache
 // lookup, the query, and the store, so a mutation landing mid-query
-// publishes a higher LSN and simply bypasses the entry. Lookups at a
-// different LSN evict the entry and count as misses, which is the
+// publishes a higher token and simply bypasses the entry. Lookups at a
+// different token evict the entry and count as misses, which is the
 // invalidation rule: Insert/Remove publish new LSNs, so post-mutation
 // queries can never be answered from pre-mutation state.
 //
@@ -25,7 +27,7 @@ import (
 // cacheEntry is one cached response body.
 type cacheEntry struct {
 	key     string
-	version uint64
+	version string
 	body    []byte
 }
 
@@ -59,9 +61,9 @@ func newResultCache(capacity int, hits, misses, stale *atomic.Int64) *resultCach
 }
 
 // get returns the cached body for key if it was computed at the given
-// view LSN. An entry from a different LSN is evicted and the lookup
-// counts as a (stale) miss.
-func (c *resultCache) get(key string, version uint64) ([]byte, bool) {
+// version token. An entry from a different token is evicted and the
+// lookup counts as a (stale) miss.
+func (c *resultCache) get(key string, version string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
@@ -82,9 +84,9 @@ func (c *resultCache) get(key string, version uint64) ([]byte, bool) {
 	return ent.body, true
 }
 
-// put stores a response body computed at the given view LSN, evicting
-// the least-recently-used entry beyond capacity.
-func (c *resultCache) put(key string, version uint64, body []byte) {
+// put stores a response body computed at the given version token,
+// evicting the least-recently-used entry beyond capacity.
+func (c *resultCache) put(key string, version string, body []byte) {
 	if c.cap == 0 {
 		return
 	}

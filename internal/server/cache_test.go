@@ -14,16 +14,16 @@ func newTestCache(capacity int) (*resultCache, *atomic.Int64, *atomic.Int64, *at
 
 func TestCacheLRUEviction(t *testing.T) {
 	c, hits, misses, _ := newTestCache(2)
-	c.put("a", 0, []byte("A"))
-	c.put("b", 0, []byte("B"))
-	if _, ok := c.get("a", 0); !ok { // refresh a: b becomes LRU
+	c.put("a", "0", []byte("A"))
+	c.put("b", "0", []byte("B"))
+	if _, ok := c.get("a", "0"); !ok { // refresh a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", 0, []byte("C")) // evicts b
-	if _, ok := c.get("b", 0); ok {
+	c.put("c", "0", []byte("C")) // evicts b
+	if _, ok := c.get("b", "0"); ok {
 		t.Fatal("b not evicted")
 	}
-	if _, ok := c.get("c", 0); !ok {
+	if _, ok := c.get("c", "0"); !ok {
 		t.Fatal("c missing")
 	}
 	if c.len() != 2 {
@@ -36,19 +36,19 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheVersionInvalidation(t *testing.T) {
 	c, hits, misses, stale := newTestCache(8)
-	c.put("q", 3, []byte("old"))
-	if _, ok := c.get("q", 4); ok {
+	c.put("q", "3", []byte("old"))
+	if _, ok := c.get("q", "4"); ok {
 		t.Fatal("stale entry served across a version bump")
 	}
 	if stale.Load() != 1 || misses.Load() != 1 {
 		t.Fatalf("stale=%d misses=%d, want 1/1", stale.Load(), misses.Load())
 	}
 	// The stale entry was evicted: even the old version misses now.
-	if _, ok := c.get("q", 3); ok {
+	if _, ok := c.get("q", "3"); ok {
 		t.Fatal("stale entry not evicted")
 	}
-	c.put("q", 4, []byte("new"))
-	if body, ok := c.get("q", 4); !ok || string(body) != "new" {
+	c.put("q", "4", []byte("new"))
+	if body, ok := c.get("q", "4"); !ok || string(body) != "new" {
 		t.Fatalf("refilled entry: %q %v", body, ok)
 	}
 	if hits.Load() != 1 {
@@ -58,8 +58,8 @@ func TestCacheVersionInvalidation(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c, _, misses, _ := newTestCache(0)
-	c.put("q", 0, []byte("x"))
-	if _, ok := c.get("q", 0); ok {
+	c.put("q", "0", []byte("x"))
+	if _, ok := c.get("q", "0"); ok {
 		t.Fatal("capacity-0 cache stored an entry")
 	}
 	if misses.Load() != 1 {

@@ -12,17 +12,25 @@ import (
 
 	"dsks"
 	"dsks/internal/obj"
+	"dsks/internal/shard"
 )
 
 // The /v1 endpoints. Every query endpoint shares one flow: parse → open
-// a read view (pinning the current commit LSN) → canonical cache key →
-// cache lookup keyed on the view's LSN (hits bypass admission entirely) →
-// admission (bounded queue, 429 + Retry-After when full) → deadline-bound
-// query against the view → serialize, fill cache, respond. Because the
-// whole query runs against the pinned snapshot, the stored entry is
-// *exactly* consistent with its LSN — a mutation landing mid-query
-// publishes a higher LSN and simply misses the entry, it can never make
-// a cached body look fresher or staler than it is.
+// a read view (pinning the current version token: a commit LSN, or the
+// per-shard LSN vector) → canonical cache key → cache lookup keyed on
+// the token (hits bypass admission entirely) → admission (bounded queue,
+// 429 + Retry-After when full) → deadline-bound query against the view →
+// serialize, fill cache, respond. Because the whole query runs against
+// the pinned snapshot, the stored entry is *exactly* consistent with its
+// token — a mutation landing mid-query publishes a higher one and simply
+// misses the entry, it can never make a cached body look fresher or
+// staler than it is.
+//
+// Behind a sharded backend a query may come back partial (the set's
+// partial-result policy): the merged survivors are served as 206 with
+// the failed legs' detail in the envelope, never cached (the answer is
+// not the one this token promises), and neutral for the breaker — one
+// dead shard must not shed the healthy ones.
 
 // errBadRequest marks client errors (malformed or invalid queries).
 var errBadRequest = errors.New("bad request")
@@ -201,6 +209,10 @@ type collectivePayload struct {
 }
 
 // queryResponse is the shared response envelope of the query endpoints.
+// The shard fields (lsns onward) appear only behind a sharded backend:
+// the pinned per-shard LSN vector, the legs actually queried after
+// routing pruning, and — on a 206 — the partial flag with the failed
+// legs' detail.
 type queryResponse struct {
 	Kind          string             `json:"kind"`
 	Candidates    []candidatePayload `json:"candidates,omitempty"`
@@ -210,6 +222,20 @@ type queryResponse struct {
 	Distance      *float64           `json:"distance,omitempty"`
 	ElapsedMicros int64              `json:"elapsedMicros"`
 	DiskReads     int64              `json:"diskReads"`
+	LSNs          []uint64           `json:"lsns,omitempty"`
+	Queried       []int              `json:"queriedShards,omitempty"`
+	Pruned        int                `json:"prunedShards,omitempty"`
+	Partial       bool               `json:"partial,omitempty"`
+	ShardErrors   []shard.ShardError `json:"shardErrors,omitempty"`
+}
+
+// stampMeta folds a sharded view's scatter metadata into the envelope.
+func (q *queryResponse) stampMeta(m shard.Meta) {
+	q.LSNs = m.LSNs
+	q.Queried = m.Queried
+	q.Pruned = m.Pruned
+	q.Partial = m.Partial
+	q.ShardErrors = m.Errors
 }
 
 // candidates converts a result slice to the wire shape.
@@ -231,8 +257,11 @@ func envelope(kind string, res dsks.Result) *queryResponse {
 }
 
 // runner executes one parsed query against a pinned read view under an
-// admitted, deadline-bound context and returns the response payload.
-type runner func(ctx context.Context, v *dsks.View, req *queryRequest) (any, error)
+// admitted, deadline-bound context and returns the response payload. A
+// runner may return BOTH a payload and an error wrapping
+// shard.ErrPartialResult: the merged survivors of a partly failed
+// fan-out, which queryEndpoint serves as 206.
+type runner func(ctx context.Context, v QueryView, req *queryRequest) (any, error)
 
 // queryEndpoint wraps a runner in the shared serving flow.
 func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
@@ -248,11 +277,12 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 			return
 		}
 
-		// Open the read view first: it pins the commit LSN the whole
+		// Open the read view first: it pins the version token the whole
 		// request is served at — the cache lookup, the query, and the
 		// stored entry all agree on that one snapshot. Opening never
-		// blocks on writers (an atomic root-set load plus an epoch pin).
-		v, err := s.db.View(r.Context())
+		// blocks on writers (an atomic root-set load plus an epoch pin
+		// per shard).
+		v, err := s.backend.View(r.Context())
 		if err != nil {
 			s.writeQueryError(w, err)
 			return
@@ -260,7 +290,7 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 		defer v.Close()
 
 		key := kind + "|" + req.cacheKey()
-		version := v.LSN()
+		version := v.VersionToken()
 		if body, ok := s.cache.get(key, version); ok {
 			w.Header().Set("X-Dsks-Cache", "hit")
 			w.Header().Set("Content-Type", "application/json")
@@ -289,7 +319,8 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 		defer s.lim.release()
 
 		payload, err := run(ctx, v, req)
-		if err != nil {
+		partial := err != nil && errors.Is(err, shard.ErrPartialResult) && payload != nil
+		if err != nil && !partial {
 			if statusFor(err) == http.StatusInternalServerError {
 				s.health.recordStorageError(probe)
 			} else {
@@ -298,15 +329,32 @@ func (s *Server) queryEndpoint(kind string, run runner) http.HandlerFunc {
 			s.writeQueryError(w, err)
 			return
 		}
-		s.health.recordSuccess(probe)
+		if mv, ok := v.(shardMeta); ok {
+			if resp, ok := payload.(*queryResponse); ok {
+				resp.stampMeta(mv.Meta())
+			}
+		}
+		if partial {
+			// A partial answer is coherent but incomplete: served with
+			// 206 and the failed legs' detail, never cached, and neutral
+			// for the breaker (the healthy shards did serve).
+			s.health.recordNeutral(probe)
+		} else {
+			s.health.recordSuccess(probe)
+		}
 		body, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		body = append(body, '\n')
-		s.cache.put(key, version, body)
 		w.Header().Set("Content-Type", "application/json")
+		if partial {
+			w.WriteHeader(http.StatusPartialContent)
+			_, _ = w.Write(body)
+			return
+		}
+		s.cache.put(key, version, body)
 		_, _ = w.Write(body)
 	}
 }
@@ -339,11 +387,15 @@ const statusClientClosedRequest = 499
 
 // statusFor maps an engine error to its HTTP status. The 500 class is
 // exactly the storage-class failures (injected faults, detected page
-// corruption, anything unclassified) that drive the health breaker;
-// everything else is a client-attributable or capability error and is
-// neutral for health purposes.
+// corruption, a shard down, anything unclassified) that drive the health
+// breaker; everything else is a client-attributable or capability error
+// and is neutral for health purposes. Partial results normally never
+// reach this mapping (queryEndpoint serves them as 206 with a body); the
+// case is the coherent fallback.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, shard.ErrPartialResult):
+		return http.StatusPartialContent
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, dsks.ErrUnknownEdge),
 		errors.Is(err, dsks.ErrTermOutOfRange):
@@ -370,23 +422,29 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	writeError(w, status, err.Error())
 }
 
+// partialOK reports whether err still comes with a servable merged
+// result (nil, or the sharded partial-result policy).
+func partialOK(err error) bool {
+	return err == nil || errors.Is(err, shard.ErrPartialResult)
+}
+
 // runSearch serves /v1/search.
-func (s *Server) runSearch(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+func (s *Server) runSearch(ctx context.Context, v QueryView, req *queryRequest) (any, error) {
 	q := dsks.SKQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax}
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
 	res, err := v.Search(ctx, q)
-	if err != nil {
+	if !partialOK(err) {
 		return nil, err
 	}
 	out := envelope("search", res)
 	out.Candidates = candidates(res.Candidates)
-	return out, nil
+	return out, err
 }
 
 // runDiversified serves /v1/diversified.
-func (s *Server) runDiversified(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+func (s *Server) runDiversified(ctx context.Context, v QueryView, req *queryRequest) (any, error) {
 	q := dsks.DivQuery{
 		SKQuery: dsks.SKQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax},
 		K:       req.K,
@@ -403,33 +461,33 @@ func (s *Server) runDiversified(ctx context.Context, v *dsks.View, req *queryReq
 	default:
 		return nil, badRequest(fmt.Errorf("unknown algo %q (want COM or SEQ)", req.Algo))
 	}
-	res, err := v.SearchDiversifiedWith(ctx, algo, q)
-	if err != nil {
+	res, err := v.SearchDiversified(ctx, algo, q)
+	if !partialOK(err) {
 		return nil, err
 	}
 	out := envelope("diversified", res)
 	out.Candidates = candidates(res.Candidates)
 	out.F = res.F
-	return out, nil
+	return out, err
 }
 
 // runKNN serves /v1/knn.
-func (s *Server) runKNN(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+func (s *Server) runKNN(ctx context.Context, v QueryView, req *queryRequest) (any, error) {
 	q := dsks.KNNQuery{Pos: req.pos(), Terms: req.Terms, K: req.K, MaxDist: req.MaxDist}
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
 	res, err := v.SearchKNN(ctx, q)
-	if err != nil {
+	if !partialOK(err) {
 		return nil, err
 	}
 	out := envelope("knn", res)
 	out.Candidates = candidates(res.Candidates)
-	return out, nil
+	return out, err
 }
 
 // runRanked serves /v1/ranked.
-func (s *Server) runRanked(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+func (s *Server) runRanked(ctx context.Context, v QueryView, req *queryRequest) (any, error) {
 	q := dsks.RankedQuery{
 		Pos: req.pos(), Terms: req.Terms, K: req.K,
 		Alpha: req.Alpha, DeltaMax: req.DeltaMax,
@@ -438,7 +496,7 @@ func (s *Server) runRanked(ctx context.Context, v *dsks.View, req *queryRequest)
 		return nil, badRequest(err)
 	}
 	res, err := v.SearchRanked(ctx, q)
-	if err != nil {
+	if !partialOK(err) {
 		return nil, err
 	}
 	out := envelope("ranked", res)
@@ -449,17 +507,17 @@ func (s *Server) runRanked(ctx context.Context, v *dsks.View, req *queryRequest)
 			Dist: rr.Dist, Matched: rr.Matched, Score: rr.Score,
 		}
 	}
-	return out, nil
+	return out, err
 }
 
 // runCollective serves /v1/collective.
-func (s *Server) runCollective(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+func (s *Server) runCollective(ctx context.Context, v QueryView, req *queryRequest) (any, error) {
 	q := dsks.CollectiveQuery{Pos: req.pos(), Terms: req.Terms, DeltaMax: req.DeltaMax}
 	if err := q.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
 	res, err := v.SearchCollective(ctx, q)
-	if err != nil {
+	if !partialOK(err) {
 		return nil, err
 	}
 	out := envelope("collective", res)
@@ -471,12 +529,12 @@ func (s *Server) runCollective(ctx context.Context, v *dsks.View, req *queryRequ
 			Uncovered: res.Collective.Uncovered,
 		}
 	}
-	return out, nil
+	return out, err
 }
 
 // runDistance serves /v1/distance: the exact network distance between two
 // positions, 404 when no path connects them.
-func (s *Server) runDistance(ctx context.Context, v *dsks.View, req *queryRequest) (any, error) {
+func (s *Server) runDistance(ctx context.Context, v QueryView, req *queryRequest) (any, error) {
 	d, err := v.NetworkDistance(ctx, req.pos(), req.posB())
 	if err != nil {
 		return nil, err
@@ -510,12 +568,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.lim.release()
-	id, err := s.db.Insert(dsks.Position{Edge: dsks.EdgeID(req.Edge), Offset: req.Offset}, req.Terms)
+	id, lsn, err := s.backend.Insert(dsks.Position{Edge: dsks.EdgeID(req.Edge), Offset: req.Offset}, req.Terms)
 	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "lsn": s.db.LSN(), "version": s.db.Version()})
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "lsn": lsn, "version": s.backend.Version()})
 }
 
 // removeRequest is the /v1/remove body.
@@ -542,9 +600,10 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.lim.release()
-	if err := s.db.Remove(req.ID); err != nil {
+	lsn, err := s.backend.Remove(req.ID)
+	if err != nil {
 		s.writeQueryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": req.ID, "lsn": s.db.LSN(), "version": s.db.Version()})
+	writeJSON(w, http.StatusOK, map[string]any{"removed": req.ID, "lsn": lsn, "version": s.backend.Version()})
 }

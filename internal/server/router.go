@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"dsks"
+	"dsks/internal/shard"
+)
+
+// The serving layer is generic over its query engine: a Backend is either
+// one *dsks.DB (New) or an N-way shard.Set behind the scatter-gather
+// router (NewRouter). Handlers never touch the engine directly — every
+// query runs against a QueryView pinned for the whole request, every
+// mutation goes through the Backend, and the result cache keys on the
+// view's opaque version token (a single commit LSN, or the joined
+// per-shard LSN vector). The sharded backend additionally surfaces
+// per-shard state through the sharded interface (per-shard /varz section,
+// shard-targeted chaos) and partial-result metadata through shardMeta.
+
+// Backend abstracts the query engine the server fronts.
+type Backend interface {
+	// View pins a consistent read snapshot for one request.
+	View(ctx context.Context) (QueryView, error)
+	// Insert adds one object; the returned token is the backend's
+	// mutation clock (commit LSN, or the router's sequence number) and is
+	// monotone across acknowledged mutations.
+	Insert(pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, uint64, error)
+	// Remove tombstones one object, returning the same clock.
+	Remove(id dsks.ObjectID) (uint64, error)
+	LSN() uint64
+	Version() uint64
+	DurableLSN() uint64
+	LiveObjects() int
+	Metrics() *dsks.MetricsRegistry
+	Snapshot() dsks.MetricsSnapshot
+	SetFaultSpec(spec string) error
+	ClearFaults()
+	ResetIO() error
+}
+
+// QueryView is one pinned read snapshot: the query surface of a
+// *dsks.View or a shard.MultiView.
+type QueryView interface {
+	Search(ctx context.Context, q dsks.SKQuery) (dsks.Result, error)
+	SearchDiversified(ctx context.Context, algo dsks.Algo, q dsks.DivQuery) (dsks.Result, error)
+	SearchKNN(ctx context.Context, q dsks.KNNQuery) (dsks.Result, error)
+	SearchRanked(ctx context.Context, q dsks.RankedQuery) (dsks.Result, error)
+	SearchCollective(ctx context.Context, q dsks.CollectiveQuery) (dsks.Result, error)
+	NetworkDistance(ctx context.Context, a, b dsks.Position) (float64, error)
+	// VersionToken is the snapshot identity the result cache keys on. Two
+	// views with equal tokens serve byte-identical answers.
+	VersionToken() string
+	Close()
+}
+
+// sharded is the optional backend surface of a shard set: the per-shard
+// /varz section and shard-targeted fault injection.
+type sharded interface {
+	Shards() int
+	ShardVarz() []ShardVarz
+	SetShardFaultSpec(i int, spec string) error
+}
+
+// shardMeta is the optional view surface carrying scatter-gather
+// metadata (per-shard LSN vector, routed/pruned legs, partial-result
+// detail) for the response envelope.
+type shardMeta interface {
+	Meta() shard.Meta
+}
+
+// ShardVarz is one shard's row in the /varz shards section.
+type ShardVarz struct {
+	LSN         uint64 `json:"lsn"`
+	DurableLSN  uint64 `json:"durableLSN"`
+	LiveObjects int    `json:"liveObjects"`
+	Requests    int64  `json:"requests"`
+	Errors      int64  `json:"errors"`
+}
+
+// dbBackend serves one unsharded database.
+type dbBackend struct{ db *dsks.DB }
+
+func (b dbBackend) View(ctx context.Context) (QueryView, error) {
+	v, err := b.db.View(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return dbView{v}, nil
+}
+
+// Insert acks the database's commit LSN after the mutation, preserving
+// the pre-Backend wire behavior (the LSN is at least the insert's own).
+func (b dbBackend) Insert(pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, uint64, error) {
+	id, err := b.db.Insert(pos, terms)
+	return id, b.db.LSN(), err
+}
+
+func (b dbBackend) Remove(id dsks.ObjectID) (uint64, error) {
+	err := b.db.Remove(id)
+	return b.db.LSN(), err
+}
+
+func (b dbBackend) LSN() uint64                    { return b.db.LSN() }
+func (b dbBackend) Version() uint64                { return b.db.Version() }
+func (b dbBackend) DurableLSN() uint64             { return b.db.DurableLSN() }
+func (b dbBackend) LiveObjects() int               { return b.db.LiveObjects() }
+func (b dbBackend) Metrics() *dsks.MetricsRegistry { return b.db.Metrics() }
+func (b dbBackend) Snapshot() dsks.MetricsSnapshot { return b.db.Snapshot() }
+func (b dbBackend) SetFaultSpec(spec string) error { return b.db.SetFaultSpec(spec) }
+func (b dbBackend) ClearFaults()                   { b.db.ClearFaults() }
+func (b dbBackend) ResetIO() error                 { return b.db.ResetIO() }
+
+// dbView adapts *dsks.View to QueryView.
+type dbView struct{ v *dsks.View }
+
+func (w dbView) Search(ctx context.Context, q dsks.SKQuery) (dsks.Result, error) {
+	return w.v.Search(ctx, q)
+}
+
+func (w dbView) SearchDiversified(ctx context.Context, algo dsks.Algo, q dsks.DivQuery) (dsks.Result, error) {
+	return w.v.SearchDiversifiedWith(ctx, algo, q)
+}
+
+func (w dbView) SearchKNN(ctx context.Context, q dsks.KNNQuery) (dsks.Result, error) {
+	return w.v.SearchKNN(ctx, q)
+}
+
+func (w dbView) SearchRanked(ctx context.Context, q dsks.RankedQuery) (dsks.Result, error) {
+	return w.v.SearchRanked(ctx, q)
+}
+
+func (w dbView) SearchCollective(ctx context.Context, q dsks.CollectiveQuery) (dsks.Result, error) {
+	return w.v.SearchCollective(ctx, q)
+}
+
+func (w dbView) NetworkDistance(ctx context.Context, a, b dsks.Position) (float64, error) {
+	return w.v.NetworkDistance(ctx, a, b)
+}
+
+func (w dbView) VersionToken() string { return strconv.FormatUint(w.v.LSN(), 10) }
+func (w dbView) Close()               { w.v.Close() }
+
+// setBackend serves a sharded set through the scatter-gather router.
+type setBackend struct{ set *shard.Set }
+
+func (b setBackend) View(ctx context.Context) (QueryView, error) {
+	mv, err := b.set.View(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return setView{mv}, nil
+}
+
+func (b setBackend) Insert(pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, uint64, error) {
+	return b.set.Insert(pos, terms)
+}
+
+func (b setBackend) Remove(id dsks.ObjectID) (uint64, error) { return b.set.Remove(id) }
+
+// LSN and Version are the router's mutation clock: one monotone token
+// over the whole set (the per-shard LSN vector is in /varz and every
+// query envelope).
+func (b setBackend) LSN() uint64     { return b.set.Seq() }
+func (b setBackend) Version() uint64 { return b.set.Seq() }
+
+// DurableLSN is the floor of the per-shard durable LSNs — the
+// conservative scalar for display; the full vector is in ShardVarz.
+func (b setBackend) DurableLSN() uint64 {
+	var min uint64
+	for i, lsn := range b.set.DurableLSNs() {
+		if i == 0 || lsn < min {
+			min = lsn
+		}
+	}
+	return min
+}
+
+func (b setBackend) LiveObjects() int               { return b.set.LiveObjects() }
+func (b setBackend) Metrics() *dsks.MetricsRegistry { return b.set.Metrics() }
+func (b setBackend) Snapshot() dsks.MetricsSnapshot { return b.set.Snapshot() }
+func (b setBackend) SetFaultSpec(spec string) error { return b.set.SetFaultSpec(spec) }
+func (b setBackend) ClearFaults()                   { b.set.ClearFaults() }
+func (b setBackend) ResetIO() error                 { return b.set.ResetIO() }
+
+func (b setBackend) Shards() int { return b.set.Shards() }
+
+func (b setBackend) SetShardFaultSpec(i int, spec string) error {
+	return b.set.SetShardFaultSpec(i, spec)
+}
+
+func (b setBackend) ShardVarz() []ShardVarz {
+	reg := b.set.Metrics()
+	out := make([]ShardVarz, b.set.Shards())
+	for i := range out {
+		db := b.set.DB(i)
+		out[i] = ShardVarz{
+			LSN:         db.LSN(),
+			DurableLSN:  db.DurableLSN(),
+			LiveObjects: db.LiveObjects(),
+			Requests:    reg.Counter("shard" + strconv.Itoa(i) + "_requests_total").Load(),
+			Errors:      reg.Counter("shard" + strconv.Itoa(i) + "_errors_total").Load(),
+		}
+	}
+	return out
+}
+
+// setView adapts *shard.MultiView to QueryView. The algo hint of
+// diversified queries is ignored: the router always merges per-shard
+// candidate unions and runs its own diversification greedy, which is the
+// COM/SEQ-equivalent objective over the full union.
+type setView struct{ mv *shard.MultiView }
+
+func (w setView) Search(ctx context.Context, q dsks.SKQuery) (dsks.Result, error) {
+	return w.mv.Search(ctx, q)
+}
+
+func (w setView) SearchDiversified(ctx context.Context, _ dsks.Algo, q dsks.DivQuery) (dsks.Result, error) {
+	return w.mv.SearchDiversified(ctx, q)
+}
+
+func (w setView) SearchKNN(ctx context.Context, q dsks.KNNQuery) (dsks.Result, error) {
+	return w.mv.SearchKNN(ctx, q)
+}
+
+func (w setView) SearchRanked(ctx context.Context, q dsks.RankedQuery) (dsks.Result, error) {
+	return w.mv.SearchRanked(ctx, q)
+}
+
+func (w setView) SearchCollective(ctx context.Context, q dsks.CollectiveQuery) (dsks.Result, error) {
+	return w.mv.SearchCollective(ctx, q)
+}
+
+func (w setView) NetworkDistance(ctx context.Context, a, b dsks.Position) (float64, error) {
+	return w.mv.NetworkDistance(ctx, a, b)
+}
+
+// VersionToken joins the pinned per-shard LSN vector: two multi-views
+// with the same vector were pinned over identical per-shard states and
+// serve identical merged answers.
+func (w setView) VersionToken() string {
+	var b strings.Builder
+	for i, lsn := range w.mv.LSNs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(lsn, 10))
+	}
+	return b.String()
+}
+
+func (w setView) Close()           { w.mv.Close() }
+func (w setView) Meta() shard.Meta { return w.mv.Meta() }
+
+// NewRouter builds a server over an N-way shard set: the same HTTP API
+// as New, with queries scattered to the routed shards and merged, the
+// result cache keyed by the per-shard LSN vector, a per-shard section in
+// /varz, and partial results (when the set's policy allows them) served
+// as 206 with per-leg error detail — never cached, neutral for the
+// breaker (a single dead shard must not shed the healthy ones).
+func NewRouter(set *shard.Set, cfg Config) *Server {
+	return newServer(setBackend{set}, cfg)
+}

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dsks"
+	"dsks/internal/shard"
+)
+
+// decode unmarshals a recorded response body regardless of its status
+// (get only decodes 200s; partial results come back as 206).
+func decode(t *testing.T, rec *httptest.ResponseRecorder, out any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, rec.Body.String())
+	}
+}
+
+// routerFixture boots a NewRouter server over a 4-shard set and returns
+// the handler plus a wide search URL whose δmax ball spans every shard.
+func routerFixture(t *testing.T, partial bool, cfg Config) (http.Handler, string, *shard.Set) {
+	t.Helper()
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := shard.Open(ds.Graph, ds.Objects, ds.VocabSize, 4, shard.Options{
+		DB:      dsks.Options{Index: dsks.IndexSIF},
+		Partial: partial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = set.Close() })
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: 1, Keywords: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := fmt.Sprintf("/v1/search?edge=%d&offset=%g&terms=%d&deltaMax=20000",
+		ws[0].Pos.Edge, ws[0].Pos.Offset, ws[0].Terms[0])
+	return NewRouter(set, cfg).Handler(), url, set
+}
+
+func TestRouterServesShardedQueries(t *testing.T) {
+	h, url, set := routerFixture(t, false, Config{})
+	var res struct {
+		Candidates []struct {
+			ID int64 `json:"id"`
+		} `json:"candidates"`
+		LSNs    []uint64 `json:"lsns"`
+		Queried []int    `json:"queriedShards"`
+		Partial bool     `json:"partial"`
+	}
+	rec := get(t, h, url, &res)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sharded search: status %d: %s", rec.Code, rec.Body)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("sharded search returned no candidates")
+	}
+	if len(res.LSNs) != set.Shards() {
+		t.Fatalf("envelope lsns %v, want %d entries", res.LSNs, set.Shards())
+	}
+	if len(res.Queried) == 0 || res.Partial {
+		t.Fatalf("envelope meta: queried %v partial %v", res.Queried, res.Partial)
+	}
+
+	// The second identical request is a cache hit at the same LSN vector.
+	rec = get(t, h, url, &res)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Dsks-Cache") != "hit" {
+		t.Fatalf("repeat: status %d cache %q", rec.Code, rec.Header().Get("X-Dsks-Cache"))
+	}
+
+	// A mutation bumps the router clock and invalidates the cache.
+	var ack struct {
+		ID  *int64 `json:"id"`
+		LSN uint64 `json:"lsn"`
+	}
+	pos, terms := insertableObject(t, set)
+	rec = post(t, h, "/v1/insert", map[string]any{"edge": pos.Edge, "offset": pos.Offset, "terms": terms})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert: status %d: %s", rec.Code, rec.Body)
+	}
+	decode(t, rec, &ack)
+	if ack.ID == nil || ack.LSN == 0 {
+		t.Fatalf("insert ack = %+v", ack)
+	}
+	rec = get(t, h, url, &res)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Dsks-Cache") != "miss" {
+		t.Fatalf("post-insert: status %d cache %q", rec.Code, rec.Header().Get("X-Dsks-Cache"))
+	}
+
+	// Remove acks a later clock value.
+	var rack struct {
+		LSN uint64 `json:"lsn"`
+	}
+	rec = post(t, h, "/v1/remove", map[string]any{"id": *ack.ID})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove: status %d: %s", rec.Code, rec.Body)
+	}
+	decode(t, rec, &rack)
+	if rack.LSN <= ack.LSN {
+		t.Fatalf("remove lsn %d not after insert lsn %d", rack.LSN, ack.LSN)
+	}
+}
+
+// insertableObject picks a position and terms that every shard database
+// accepts (a real edge with in-vocabulary terms).
+func insertableObject(t *testing.T, set *shard.Set) (dsks.Position, []dsks.TermID) {
+	t.Helper()
+	return dsks.Position{Edge: 0, Offset: 0.5}, []dsks.TermID{0}
+}
+
+func TestRouterShardVarz(t *testing.T) {
+	h, url, set := routerFixture(t, false, Config{})
+	if rec := get(t, h, url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("warmup: status %d", rec.Code)
+	}
+	var varz struct {
+		Shards []struct {
+			LSN         uint64 `json:"lsn"`
+			LiveObjects int    `json:"liveObjects"`
+			Requests    int64  `json:"requests"`
+		} `json:"shards"`
+		Metrics struct {
+			Counters map[string]int64 `json:"Counters"`
+		} `json:"metrics"`
+	}
+	if rec := get(t, h, "/varz", &varz); rec.Code != http.StatusOK {
+		t.Fatalf("varz: status %d", rec.Code)
+	}
+	if len(varz.Shards) != set.Shards() {
+		t.Fatalf("varz shards = %d rows, want %d", len(varz.Shards), set.Shards())
+	}
+	live, reqs := 0, int64(0)
+	for _, sh := range varz.Shards {
+		live += sh.LiveObjects
+		reqs += sh.Requests
+	}
+	if live != set.LiveObjects() {
+		t.Fatalf("varz live objects sum %d, want %d", live, set.LiveObjects())
+	}
+	if reqs == 0 {
+		t.Fatal("no per-shard requests counted after a fan-out")
+	}
+	if varz.Metrics.Counters[shard.CounterFanoutLegs] == 0 {
+		t.Fatal("router fan-out counter missing from varz")
+	}
+}
+
+// TestRouterPartialResult206: with the partial policy, one downed shard
+// turns the answer into a coherent 206 — partial flag, the failed leg's
+// detail, never cached — and recovery restores cacheable 200s.
+func TestRouterPartialResult206(t *testing.T) {
+	h, url, set := routerFixture(t, true, Config{EnableChaos: true, CacheSize: -1})
+
+	if rec := get(t, h, url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthy: status %d", rec.Code)
+	}
+
+	// Down shard 1 only, through the HTTP chaos endpoint.
+	rec := post(t, h, "/v1/chaos", map[string]any{"spec": "read:every=1", "shard": 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shard chaos: status %d: %s", rec.Code, rec.Body)
+	}
+
+	var res struct {
+		Candidates  []struct{} `json:"candidates"`
+		Partial     bool       `json:"partial"`
+		ShardErrors []struct {
+			Shard int    `json:"shard"`
+			Err   string `json:"error"`
+		} `json:"shardErrors"`
+	}
+	rec = get(t, h, url, nil)
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("degraded: status %d, want 206: %s", rec.Code, rec.Body)
+	}
+	decode(t, rec, &res)
+	if !res.Partial || len(res.ShardErrors) != 1 || res.ShardErrors[0].Shard != 1 {
+		t.Fatalf("degraded envelope: partial %v errors %+v", res.Partial, res.ShardErrors)
+	}
+	// The 206 body was not cached: the same request misses again.
+	rec = get(t, h, url, nil)
+	if rec.Code != http.StatusPartialContent || rec.Header().Get("X-Dsks-Cache") != "miss" {
+		t.Fatalf("repeat degraded: status %d cache %q", rec.Code, rec.Header().Get("X-Dsks-Cache"))
+	}
+
+	// Heal and verify full 200s come back.
+	if rec := post(t, h, "/v1/chaos", map[string]any{"spec": ""}); rec.Code != http.StatusOK {
+		t.Fatalf("clear chaos: status %d", rec.Code)
+	}
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, h, url, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered: status %d", rec.Code)
+	}
+	res.Partial, res.ShardErrors = false, nil
+	decode(t, rec, &res)
+	if res.Partial {
+		t.Fatal("recovered answer still flagged partial")
+	}
+}
+
+// TestRouterFirstErrorWins500: the default policy maps a downed shard to
+// one coherent 500, driving the breaker like any storage failure.
+func TestRouterFirstErrorWins500(t *testing.T) {
+	h, url, set := routerFixture(t, false, Config{EnableChaos: true, CacheSize: -1})
+	if rec := get(t, h, url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthy: status %d", rec.Code)
+	}
+	rec := post(t, h, "/v1/chaos", map[string]any{"spec": "read:every=1", "shard": 2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shard chaos: status %d: %s", rec.Code, rec.Body)
+	}
+	rec = get(t, h, url, nil)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("degraded: status %d, want 500: %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, h, "/v1/chaos", map[string]any{"spec": ""}); rec.Code != http.StatusOK {
+		t.Fatalf("clear chaos: status %d", rec.Code)
+	}
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, h, url, nil); rec.Code != http.StatusOK {
+		t.Fatalf("recovered: status %d", rec.Code)
+	}
+}
+
+// TestRouterShardChaosRejectedUnsharded: the shard field is a client
+// error on a single-database server.
+func TestRouterShardChaosRejectedUnsharded(t *testing.T) {
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dsks.OpenDataset(ds, dsks.Options{Index: dsks.IndexSIF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	h := New(db, Config{EnableChaos: true}).Handler()
+	rec := post(t, h, "/v1/chaos", map[string]any{"spec": "read:every=1", "shard": 0})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unsharded shard chaos: status %d, want 400", rec.Code)
+	}
+}

@@ -1,14 +1,15 @@
-// Package server is the production query-serving layer over a *dsks.DB:
-// an HTTP/JSON API exposing every query family plus mutations, with
-// admission control (a bounded concurrency limiter that sheds load with
-// 429 + Retry-After), per-request deadlines plumbed into the Search*Ctx
-// engine so rejected and expired queries stop doing disk reads, an
-// invalidation-correct LRU result cache keyed by the MVCC read view's
-// commit LSN (every query runs inside a pinned view, so cached entries
-// are exactly consistent with their LSN), panic isolation per request,
-// and live observability
+// Package server is the production query-serving layer: an HTTP/JSON
+// API exposing every query family plus mutations over a Backend — one
+// *dsks.DB (New) or an N-way shard.Set behind the scatter-gather router
+// (NewRouter) — with admission control (a bounded concurrency limiter
+// that sheds load with 429 + Retry-After), per-request deadlines plumbed
+// into the engine so rejected and expired queries stop doing disk reads,
+// an invalidation-correct LRU result cache keyed by the read view's
+// version token (a commit LSN, or the per-shard LSN vector — every query
+// runs inside a pinned view, so cached entries are exactly consistent
+// with their token), panic isolation per request, and live observability
 // (/healthz, /varz JSON, /metricsz Prometheus text) rendered from the
-// engine's own metrics registry. Everything is standard library only,
+// backend's own metrics registry. Everything is standard library only,
 // like the rest of the repository.
 package server
 
@@ -104,16 +105,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves spatial keyword queries over HTTP. Create with New, wire
-// the Handler into an http.Server (or use Start/Shutdown), and share one
-// Server per DB — the admission limiter and cache are per-Server.
+// Server serves spatial keyword queries over HTTP. Create with New (one
+// database) or NewRouter (a shard set), wire the Handler into an
+// http.Server (or use Start/Shutdown), and share one Server per backend —
+// the admission limiter and cache are per-Server.
 type Server struct {
-	db     *dsks.DB
-	cfg    Config
-	lim    *limiter
-	cache  *resultCache
-	health *breaker
-	mux    *http.ServeMux
+	backend Backend
+	cfg     Config
+	lim     *limiter
+	cache   *resultCache
+	health  *breaker
+	mux     *http.ServeMux
 
 	started time.Time
 	http    *http.Server
@@ -131,10 +133,18 @@ type Server struct {
 
 // New builds a server over an open database.
 func New(db *dsks.DB, cfg Config) *Server {
+	return newServer(dbBackend{db}, cfg)
+}
+
+// newServer wires the serving machinery over any backend. The serving
+// counters fold into the backend's own metrics registry — the engine's
+// for a single database, the router's for a shard set — so /varz and
+// /metricsz render them alongside that backend's aggregates.
+func newServer(backend Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	reg := db.Metrics()
+	reg := backend.Metrics()
 	s := &Server{
-		db:          db,
+		backend:     backend,
 		cfg:         cfg,
 		lim:         newLimiter(cfg.MaxInflight, cfg.QueueDepth),
 		started:     time.Now(),
@@ -246,20 +256,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{
 		"status":  st.String(),
 		"uptime":  time.Since(s.started).String(),
-		"lsn":     s.db.LSN(),
-		"version": s.db.Version(),
+		"lsn":     s.backend.LSN(),
+		"version": s.backend.Version(),
 	})
 }
 
-// chaosRequest is the /v1/chaos body.
+// chaosRequest is the /v1/chaos body. Shard, when present on a sharded
+// backend, targets the spec at that single shard — the lever the shard
+// smoke test uses to take one shard down while its siblings keep serving.
 type chaosRequest struct {
-	Spec string `json:"spec"`
+	Spec  string `json:"spec"`
+	Shard *int   `json:"shard,omitempty"`
 }
 
 // handleChaos serves POST /v1/chaos (only wired when Config.EnableChaos):
 // a non-empty spec installs a deterministic fault-injection campaign on
-// the database's storage layer, an empty spec clears it. The breaker is
-// left to discover the faults on its own — that is the point.
+// the backend's storage layer, an empty spec clears it everywhere. The
+// breaker is left to discover the faults on its own — that is the point.
 func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -271,26 +284,41 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Spec == "" {
-		s.db.ClearFaults()
+		s.backend.ClearFaults()
 		writeJSON(w, http.StatusOK, map[string]any{"chaos": "cleared"})
 		return
 	}
-	if err := s.db.SetFaultSpec(req.Spec); err != nil {
+	if req.Shard != nil {
+		sb, ok := s.backend.(sharded)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "shard-targeted chaos needs a sharded backend")
+			return
+		}
+		if err := sb.SetShardFaultSpec(*req.Shard, req.Spec); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else if err := s.backend.SetFaultSpec(req.Spec); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	// Cool the buffer pools so the campaign bites immediately: faults
 	// live on the page stores, and a fully warm pool would never reach
 	// them. Chaos runs give up the paper's I/O accounting anyway.
-	if err := s.db.ResetIO(); err != nil {
+	if err := s.backend.ResetIO(); err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("cooling buffer pools: %v", err))
+		return
+	}
+	if req.Shard != nil {
+		writeJSON(w, http.StatusOK, map[string]any{"chaos": req.Spec, "shard": *req.Shard})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"chaos": req.Spec})
 }
 
 // varzPayload is the /varz document: the serving state plus the full
-// metrics snapshot.
+// metrics snapshot. Shards is present only behind NewRouter: one row per
+// shard with its commit/durable LSNs, live objects and fan-out counters.
 type varzPayload struct {
 	Uptime      string               `json:"uptime"`
 	DBVersion   uint64               `json:"dbVersion"`
@@ -304,17 +332,18 @@ type varzPayload struct {
 	CacheCap    int                  `json:"cacheCap"`
 	MaxInflight int                  `json:"maxInflight"`
 	QueueDepth  int                  `json:"queueDepth"`
+	Shards      []ShardVarz          `json:"shards,omitempty"`
 	Metrics     dsks.MetricsSnapshot `json:"metrics"`
 }
 
 // handleVarz serves the JSON metrics snapshot.
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, varzPayload{
+	payload := varzPayload{
 		Uptime:      time.Since(s.started).String(),
-		DBVersion:   s.db.Version(),
-		DBLSN:       s.db.LSN(),
-		LiveObjects: s.db.LiveObjects(),
-		DurableLSN:  s.db.DurableLSN(),
+		DBVersion:   s.backend.Version(),
+		DBLSN:       s.backend.LSN(),
+		LiveObjects: s.backend.LiveObjects(),
+		DurableLSN:  s.backend.DurableLSN(),
 		Health:      s.health.currentState().String(),
 		Inflight:    s.lim.inflight(),
 		Queued:      s.lim.waiting(),
@@ -322,14 +351,18 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		CacheCap:    s.cfg.CacheSize,
 		MaxInflight: s.cfg.MaxInflight,
 		QueueDepth:  s.cfg.QueueDepth,
-		Metrics:     s.db.Snapshot(),
-	})
+		Metrics:     s.backend.Snapshot(),
+	}
+	if sb, ok := s.backend.(sharded); ok {
+		payload.Shards = sb.ShardVarz()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // handleMetricsz serves the Prometheus text rendering of the registry.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := metrics.WritePrometheus(w, s.db.Snapshot()); err != nil {
+	if err := metrics.WritePrometheus(w, s.backend.Snapshot()); err != nil {
 		// The connection is gone mid-write; nothing sensible to send.
 		return
 	}

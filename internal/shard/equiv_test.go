@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"dsks"
+)
+
+// equivFixture builds the same dataset twice: once behind an unsharded
+// database and once behind an n-way shard set.
+func equivFixture(t *testing.T, n int, opts dsks.Options) (*dsks.DB, *Set, *dsks.Dataset) {
+	t.Helper()
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := dsks.OpenDataset(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = single.Close() })
+
+	// The set needs its own collection: OpenDataset retains and mutates
+	// the dataset's, so regenerate for an identical, independent copy.
+	ds2, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Open(ds2.Graph, ds2.Objects, ds2.VocabSize, n, Options{DB: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = set.Close() })
+	return single, set, ds
+}
+
+// sortCandidates normalizes a candidate list to the router's merge
+// order; the unsharded engine emits non-decreasing distance with
+// expansion-order tie breaks, so ties must be normalized before a
+// position-wise comparison.
+func sortCandidates(cs []dsks.Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Dist != cs[j].Dist {
+			return cs[i].Dist < cs[j].Dist
+		}
+		return cs[i].Ref.ID < cs[j].Ref.ID
+	})
+}
+
+// requireSameCandidates asserts the two lists agree: identical distance
+// sequences, and identical IDs everywhere except positions whose sort
+// key ties (a truncated tie group may legitimately resolve differently).
+func requireSameCandidates(t *testing.T, tag string, want, got []dsks.Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d candidates, want %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(want[i].Dist-got[i].Dist) > 1e-9 {
+			t.Fatalf("%s: candidate %d dist %v, want %v", tag, i, got[i].Dist, want[i].Dist)
+		}
+		if want[i].Ref.ID == got[i].Ref.ID {
+			continue
+		}
+		// An ID mismatch is only legal inside a distance tie.
+		tied := (i > 0 && want[i-1].Dist == want[i].Dist) ||
+			(i+1 < len(want) && want[i+1].Dist == want[i].Dist)
+		if !tied {
+			t.Fatalf("%s: candidate %d is object %d, want %d (dist %v)",
+				tag, i, got[i].Ref.ID, want[i].Ref.ID, want[i].Dist)
+		}
+	}
+}
+
+func workloadQueries(t *testing.T, ds *dsks.Dataset, n int, seed int64) []dsks.WorkloadQuery {
+	t.Helper()
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: n, Keywords: 2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// TestShardSingleNodeEquivalence is the shard/single-node property test:
+// the same query mix against a 4-shard set and an unsharded database
+// over the same dataset must produce identical boolean, kNN and ranked
+// results, and diversification objective values within the greedy's
+// tie-break tolerance.
+func TestShardSingleNodeEquivalence(t *testing.T) {
+	single, set, ds := equivFixture(t, 4, dsks.Options{Index: dsks.IndexSIF})
+	ctx := context.Background()
+	ws := workloadQueries(t, ds, 25, 11)
+
+	check := func(phase string) {
+		t.Helper()
+		mv, err := set.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mv.Close()
+		sv, err := single.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sv.Close()
+
+		for qi, w := range ws {
+			skq := dsks.SKQuery{Pos: w.Pos, Terms: w.Terms, DeltaMax: w.DeltaMax}
+
+			// Boolean range search: identical candidate sets.
+			sres, err := sv.Search(ctx, skq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mres, err := mv.Search(ctx, skq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortCandidates(sres.Candidates)
+			requireSameCandidates(t, phase+": search "+itoa(qi), sres.Candidates, mres.Candidates)
+
+			// kNN: identical distance profile, ties tolerated at the cut.
+			knn := dsks.KNNQuery{Pos: w.Pos, Terms: w.Terms, K: 5}
+			skres, err := sv.SearchKNN(ctx, knn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkres, err := mv.SearchKNN(ctx, knn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortCandidates(skres.Candidates)
+			requireSameCandidates(t, phase+": knn "+itoa(qi), skres.Candidates, mkres.Candidates)
+
+			// Ranked: identical (score, dist) sequences, tie-tolerant IDs.
+			rq := dsks.RankedQuery{Pos: w.Pos, Terms: w.Terms, K: 5, Alpha: 0.5, DeltaMax: w.DeltaMax}
+			srres, err := sv.SearchRanked(ctx, rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mrres, err := mv.SearchRanked(ctx, rq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortRanked(srres.Ranked)
+			sortRanked(mrres.Ranked)
+			requireSameRanked(t, phase+": ranked "+itoa(qi), srres.Ranked, mrres.Ranked)
+
+			// Diversified: objective values within greedy tie tolerance.
+			dq := dsks.DivQuery{SKQuery: skq, K: 4, Lambda: 0.5}
+			sdres, err := sv.SearchDiversified(ctx, dq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mdres, err := mv.SearchDiversified(ctx, dq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sdres.Candidates) != len(mdres.Candidates) {
+				t.Fatalf("%s: diversified %d chose %d objects, want %d",
+					phase, qi, len(mdres.Candidates), len(sdres.Candidates))
+			}
+			tol := 1e-6 * math.Max(1, math.Abs(sdres.F))
+			if math.Abs(sdres.F-mdres.F) > tol {
+				t.Fatalf("%s: diversified %d objective %v, want %v", phase, qi, mdres.F, sdres.F)
+			}
+		}
+	}
+
+	check("initial")
+
+	// Mutate both sides identically: the sharded set must assign the
+	// same object IDs an unsharded database does, so results stay
+	// ID-comparable after inserts and removes.
+	ws2 := workloadQueries(t, ds, 10, 99)
+	firstFresh := dsks.ObjectID(ds.Objects.Len())
+	for i, w := range ws2 {
+		terms := w.Terms
+		sid, err := single.Insert(w.Pos, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid, _, err := set.Insert(w.Pos, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid != mid {
+			t.Fatalf("insert %d: set assigned ID %d, single node %d", i, mid, sid)
+		}
+	}
+	// Remove a few originals and one fresh insert.
+	victims := []dsks.ObjectID{3, 17, firstFresh}
+	for _, id := range victims {
+		if err := single.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := set.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check("after mutations")
+
+	// Double-remove classifies identically.
+	if err := single.Remove(victims[0]); err == nil {
+		t.Fatal("single-node double remove accepted")
+	}
+	if _, err := set.Remove(victims[0]); err == nil {
+		t.Fatal("sharded double remove accepted")
+	}
+}
+
+// sortRanked applies the router's merge order so tie groups line up on
+// both sides before the position-wise comparison.
+func sortRanked(rs []dsks.RankedResult) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].Ref.ID < rs[j].Ref.ID
+	})
+}
+
+func requireSameRanked(t *testing.T, tag string, want, got []dsks.RankedResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(want[i].Score-got[i].Score) > 1e-9 || math.Abs(want[i].Dist-got[i].Dist) > 1e-9 {
+			t.Fatalf("%s: rank %d (score %v, dist %v), want (%v, %v)",
+				tag, i, got[i].Score, got[i].Dist, want[i].Score, want[i].Dist)
+		}
+		if want[i].Ref.ID == got[i].Ref.ID {
+			continue
+		}
+		tied := (i > 0 && want[i-1].Score == want[i].Score) ||
+			(i+1 < len(want) && want[i+1].Score == want[i].Score)
+		if !tied {
+			t.Fatalf("%s: rank %d is object %d, want %d", tag, i, got[i].Ref.ID, want[i].Ref.ID)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"dsks"
+)
+
+func testSet(t *testing.T, n int, opts Options) (*Set, *dsks.Dataset) {
+	t.Helper()
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Open(ds.Graph, ds.Objects, ds.VocabSize, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = set.Close() })
+	return set, ds
+}
+
+// wideQuery builds a query whose δmax ball spans every shard so the
+// fan-out has legs to fail.
+func wideQuery(t *testing.T, ds *dsks.Dataset) dsks.SKQuery {
+	t.Helper()
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: 1, Keywords: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dsks.SKQuery{Pos: ws[0].Pos, Terms: ws[0].Terms, DeltaMax: 20000}
+}
+
+func TestFanoutFirstErrorWins(t *testing.T) {
+	set, ds := testSet(t, 4, Options{DB: dsks.Options{Index: dsks.IndexSIF}})
+	q := wideQuery(t, ds)
+	ctx := context.Background()
+
+	mv, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv.Close()
+	if _, err := mv.Search(ctx, q); err != nil {
+		t.Fatalf("healthy fan-out: %v", err)
+	}
+	if m := mv.Meta(); len(m.Queried) != 4 || m.Partial {
+		t.Fatalf("healthy meta = %+v, want 4 full legs", m)
+	}
+
+	// Take one shard down: permanent read faults on shard 2 only.
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.SetShardFaultSpec(2, "read:every=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer set.ClearFaults()
+	mv2, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv2.Close()
+	_, err = mv2.Search(ctx, q)
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("degraded fan-out err = %v, want ErrShardDown", err)
+	}
+	if errors.Is(err, ErrPartialResult) {
+		t.Fatal("first-error-wins policy produced a partial result")
+	}
+
+	// Recovery: clearing the faults restores full answers.
+	set.ClearFaults()
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	mv3, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv3.Close()
+	if _, err := mv3.Search(ctx, q); err != nil {
+		t.Fatalf("recovered fan-out: %v", err)
+	}
+}
+
+func TestFanoutPartialResultPolicy(t *testing.T) {
+	set, ds := testSet(t, 4, Options{DB: dsks.Options{Index: dsks.IndexSIF}, Partial: true})
+	q := wideQuery(t, ds)
+	ctx := context.Background()
+
+	// Baseline: full answer, remember the candidate count.
+	mv, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := mv.Search(ctx, q)
+	mv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.SetShardFaultSpec(1, "read:every=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer set.ClearFaults()
+
+	mv2, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv2.Close()
+	res, err := mv2.Search(ctx, q)
+	if !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("partial policy err = %v, want ErrPartialResult", err)
+	}
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatal("partial error should still classify the failed leg as shard-down")
+	}
+	m := mv2.Meta()
+	if !m.Partial || len(m.Errors) != 1 || m.Errors[0].Shard != 1 {
+		t.Fatalf("partial meta = %+v, want shard 1 failed", m)
+	}
+	if len(res.Candidates) >= len(full.Candidates) {
+		t.Fatalf("partial result has %d candidates, full had %d — nothing was actually missing",
+			len(res.Candidates), len(full.Candidates))
+	}
+	// The survivors must be a subset of the full answer (coherent, never
+	// half-merged garbage).
+	fullIDs := map[dsks.ObjectID]bool{}
+	for _, c := range full.Candidates {
+		fullIDs[c.Ref.ID] = true
+	}
+	for _, c := range res.Candidates {
+		if !fullIDs[c.Ref.ID] {
+			t.Fatalf("partial result contains object %d the full answer lacks", c.Ref.ID)
+		}
+	}
+	if set.Metrics().Counter(CounterPartial).Load() == 0 {
+		t.Error("partial counter stayed zero")
+	}
+}
+
+// TestFanoutClientErrorsFailWhole: a bad query is the client's fault on
+// every leg — both policies reject it outright, with the same sentinel
+// the unsharded engine uses.
+func TestFanoutClientErrorsFailWhole(t *testing.T) {
+	for _, partial := range []bool{false, true} {
+		set, ds := testSet(t, 2, Options{DB: dsks.Options{Index: dsks.IndexSIF}, Partial: partial})
+		ctx := context.Background()
+		mv, err := set.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := wideQuery(t, ds)
+		q.Pos.Edge = dsks.EdgeID(ds.Graph.NumEdges() + 5)
+		if _, err := mv.Search(ctx, q); !errors.Is(err, dsks.ErrUnknownEdge) {
+			t.Fatalf("partial=%v: unknown edge err = %v", partial, err)
+		}
+		q2 := wideQuery(t, ds)
+		q2.Terms = []dsks.TermID{dsks.TermID(ds.VocabSize + 3)}
+		if _, err := mv.Search(ctx, q2); !errors.Is(err, dsks.ErrTermOutOfRange) {
+			t.Fatalf("partial=%v: bad term err = %v", partial, err)
+		}
+		if _, err := mv.Search(ctx, dsks.SKQuery{Pos: wideQuery(t, ds).Pos, DeltaMax: 100}); err == nil ||
+			errors.Is(err, ErrPartialResult) {
+			t.Fatalf("partial=%v: empty terms err = %v", partial, err)
+		}
+		canceled, cancel := context.WithCancel(ctx)
+		cancel()
+		if _, err := mv.Search(canceled, wideQuery(t, ds)); !errors.Is(err, dsks.ErrCanceled) {
+			t.Fatalf("partial=%v: canceled ctx err = %v", partial, err)
+		}
+		mv.Close()
+		if _, err := mv.Search(ctx, wideQuery(t, ds)); !errors.Is(err, dsks.ErrViewClosed) {
+			t.Fatalf("partial=%v: closed view err = %v", partial, err)
+		}
+		_ = set.Close()
+	}
+}
+
+// TestFanoutPanicIsolation: a panicking leg maps to ErrShardDown and the
+// MultiView (and all sibling views) still closes cleanly.
+func TestFanoutPanicIsolation(t *testing.T) {
+	set, _ := testSet(t, 4, Options{DB: dsks.Options{Index: dsks.IndexSIF}})
+	ctx := context.Background()
+	mv, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv.Close()
+	legs := mv.fanout(ctx, []int{0, 1, 2, 3}, func(ctx context.Context, v *dsks.View) (dsks.Result, error) {
+		if v == mv.views[2] {
+			panic("leg exploded")
+		}
+		return dsks.Result{}, nil
+	})
+	_, err = mv.gather([]int{0, 1, 2, 3}, legs)
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("panicked leg err = %v, want ErrShardDown", err)
+	}
+	// The views remain owned and closable; queries still work after the
+	// panic (nothing was torn down behind the view's back).
+	if _, err := mv.views[0].Search(ctx, dsks.SKQuery{Pos: dsks.Position{Edge: 0}, Terms: []dsks.TermID{0}, DeltaMax: 10}); err != nil {
+		t.Fatalf("sibling view broken after panic: %v", err)
+	}
+}
+
+// TestShardConcurrentMutationsAndQueries drives inserts and scatter
+// queries concurrently: no candidate may ever surface with an unmapped
+// (negative) global ID — the insert protocol publishes the mapping
+// before the object becomes visible.
+func TestShardConcurrentMutationsAndQueries(t *testing.T) {
+	set, ds := testSet(t, 4, Options{DB: dsks.Options{Index: dsks.IndexSIF}})
+	ctx := context.Background()
+	q := wideQuery(t, ds)
+
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: 120, Keywords: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ws); i += 3 {
+				if _, _, err := set.Insert(ws[i].Pos, ws[i].Terms); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				mv, err := set.View(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := mv.Search(ctx, q)
+				mv.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, c := range res.Candidates {
+					if c.Ref.ID < 0 {
+						t.Errorf("candidate surfaced with unmapped ID %d", c.Ref.ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := set.Seq(); got != uint64(len(ws)) {
+		t.Fatalf("mutation clock = %d after %d inserts", got, len(ws))
+	}
+}
+
+func TestSetSaveAndReopen(t *testing.T) {
+	set, ds := testSet(t, 3, Options{DB: dsks.Options{Index: dsks.IndexSIF}})
+	ctx := context.Background()
+	q := wideQuery(t, ds)
+
+	mv, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mv.Search(ctx, q)
+	mv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := set.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenSetPath(dir, Options{DB: dsks.Options{Index: dsks.IndexSIF}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reopened.Close() }()
+	if reopened.Shards() != 3 || reopened.LiveObjects() != set.LiveObjects() {
+		t.Fatalf("reopened set: %d shards, %d objects (want %d, %d)",
+			reopened.Shards(), reopened.LiveObjects(), 3, set.LiveObjects())
+	}
+	mv2, err := reopened.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv2.Close()
+	got, err := mv2.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameCandidates(t, "reopened", want.Candidates, got.Candidates)
+}

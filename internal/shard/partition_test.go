@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"testing"
+
+	"dsks"
+	"dsks/internal/graph"
+)
+
+func testGraph(t *testing.T) *dsks.Graph {
+	t.Helper()
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Graph
+}
+
+func TestSplitEdgeDisjointAndBalanced(t *testing.T) {
+	g := testGraph(t)
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		p, err := Split(g, n)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", n, err)
+		}
+		if p.Shards != n || len(p.Owner) != g.NumEdges() || len(p.NodeGroup) != g.NumNodes() {
+			t.Fatalf("Split(%d): wrong shapes", n)
+		}
+		// Every edge has exactly one owner, matching its reference node's
+		// group, and the per-region edge counts add up to the edge count.
+		total := 0
+		for i, r := range p.Regions {
+			if r.Edges > 0 && r.MBR.IsEmpty() {
+				t.Fatalf("Split(%d): region %d has %d edges but an empty MBR", n, i, r.Edges)
+			}
+			total += r.Edges
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("Split(%d): regions cover %d of %d edges", n, total, g.NumEdges())
+		}
+		counts := make([]int, n)
+		for e := 0; e < g.NumEdges(); e++ {
+			owner := p.Owner[e]
+			if owner < 0 || int(owner) >= n {
+				t.Fatalf("Split(%d): edge %d owned by %d", n, e, owner)
+			}
+			if owner != p.NodeGroup[g.Edge(graph.EdgeID(e)).N1] {
+				t.Fatalf("Split(%d): edge %d not owned by its reference node's group", n, e)
+			}
+			counts[owner]++
+		}
+		// Node groups are balanced within one node (recursive proportional
+		// bisection).
+		nodeCounts := make([]int, n)
+		for _, grp := range p.NodeGroup {
+			nodeCounts[grp]++
+		}
+		lo, hi := g.NumNodes(), 0
+		for _, c := range nodeCounts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("Split(%d): node group sizes range [%d, %d], want spread <= 1", n, lo, hi)
+		}
+	}
+}
+
+func TestSplitCutVertices(t *testing.T) {
+	g := testGraph(t)
+	p, err := Split(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cuts) == 0 {
+		t.Fatal("4-way split of a connected network has no cut vertices")
+	}
+	inCuts := make(map[graph.NodeID]bool, len(p.Cuts))
+	for _, c := range p.Cuts {
+		if len(c.Shards) < 2 {
+			t.Fatalf("cut vertex %d touches %d shards", c.Node, len(c.Shards))
+		}
+		if c.Loc != g.Node(c.Node).Loc {
+			t.Fatalf("cut vertex %d location mismatch", c.Node)
+		}
+		inCuts[c.Node] = true
+	}
+	// Exhaustive check against the definition.
+	for nd := 0; nd < g.NumNodes(); nd++ {
+		id := graph.NodeID(nd)
+		owners := map[int32]bool{}
+		for _, e := range g.Adjacent(id) {
+			owners[p.Owner[e]] = true
+		}
+		if (len(owners) >= 2) != inCuts[id] {
+			t.Fatalf("node %d: cut-vertex classification wrong (owners %d, listed %v)", nd, len(owners), inCuts[id])
+		}
+	}
+}
+
+func TestSplitLowerBoundSound(t *testing.T) {
+	g := testGraph(t)
+	p, err := Split(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinCostRatio <= 0 {
+		t.Fatalf("MinCostRatio = %v", p.MinCostRatio)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(graph.EdgeID(e))
+		if edge.Length > 0 && edge.Weight/edge.Length < p.MinCostRatio-1e-12 {
+			t.Fatalf("edge %d ratio %v below MinCostRatio %v", e, edge.Weight/edge.Length, p.MinCostRatio)
+		}
+	}
+	// Every edge midpoint must have lower bound zero to its own shard
+	// (the point is inside the region MBR).
+	for e := 0; e < g.NumEdges(); e += 97 {
+		id := graph.EdgeID(e)
+		pt := g.EdgeCenter(id)
+		lb, ok := p.LowerBound(int(p.Owner[e]), pt)
+		if !ok || lb != 0 {
+			t.Fatalf("edge %d center: lower bound to own shard = %v, %v", e, lb, ok)
+		}
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	g := testGraph(t)
+	for _, n := range []int{0, -1, g.NumNodes() + 1} {
+		if _, err := Split(g, n); err == nil {
+			t.Errorf("Split(%d) accepted", n)
+		}
+	}
+	if _, err := Split(nil, 2); err == nil {
+		t.Error("Split(nil) accepted")
+	}
+}

@@ -1,0 +1,572 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dsks"
+	"dsks/internal/ccam"
+	"dsks/internal/metrics"
+)
+
+// Sentinel errors of the shard layer.
+var (
+	// ErrShardDown reports a fan-out leg that failed for a reason local
+	// to one shard — a storage fault, a poisoned WAL, a panic. Errors
+	// wrap both ErrShardDown and the underlying cause.
+	ErrShardDown = errors.New("shard: shard unavailable")
+	// ErrPartialResult reports a scatter-gather answer assembled from a
+	// strict subset of the routed shards (partial-result policy only).
+	// The merged result accompanying it is coherent but may be missing
+	// candidates owned by the failed shards.
+	ErrPartialResult = errors.New("shard: partial result")
+	// ErrBadShardCount reports an unusable shard count or graph.
+	ErrBadShardCount = errors.New("shard: bad shard count")
+	// ErrBadManifest reports a shard-set manifest that is malformed or
+	// inconsistent with the shard databases next to it.
+	ErrBadManifest = errors.New("shard: invalid shard-set manifest")
+	// ErrClosed reports an operation on a closed shard set.
+	ErrClosed = errors.New("shard: set closed")
+)
+
+// Router counter names in the set's metrics registry.
+const (
+	CounterFanoutLegs = "router_fanout_legs_total"
+	CounterPrunedLegs = "router_pruned_legs_total"
+	CounterPartial    = "router_partial_total"
+	CounterInserts    = "router_inserts_total"
+	CounterRemoves    = "router_removes_total"
+)
+
+// Options configures a shard set.
+type Options struct {
+	// DB is the template for every shard database. WALDir and DiskDir,
+	// when set, are treated as parent directories: shard i uses
+	// <dir>/shard-<i>.
+	DB dsks.Options
+	// Partial selects the partial-result fan-out policy: a query whose
+	// legs partly fail returns the merged survivors together with an
+	// error wrapping ErrPartialResult, instead of failing outright
+	// (first-error-wins, the default).
+	Partial bool
+	// FanoutLimit bounds the number of concurrently running legs per
+	// request; 0 means "all routed shards at once".
+	FanoutLimit int
+}
+
+// home locates a global object inside the set. shard < 0 marks a burned
+// ID (an insert that failed after reservation).
+type home struct {
+	shard int32
+	local dsks.ObjectID
+}
+
+// shardState is one shard's database plus its slice of the ID maps.
+type shardState struct {
+	db *dsks.DB
+	// insMu serializes inserts into this shard so the local ID the
+	// collection will assign is known before the insert is published —
+	// the global↔local mapping is recorded while insMu is still held,
+	// and the durability wait happens after it is released (the same
+	// append-under-latch, fsync-outside protocol the WAL itself uses).
+	insMu sync.Mutex
+	// nextLocal is the local ID the shard's collection assigns next;
+	// guarded by insMu.
+	nextLocal dsks.ObjectID
+	// globals maps local object IDs to global ones; guarded by Set.mu.
+	globals []dsks.ObjectID
+	// reqs / errs count fan-out legs sent to / failed on this shard.
+	reqs *atomic.Int64
+	errs *atomic.Int64
+}
+
+// Set is an N-way sharded database: one dsks.DB per partition group, all
+// sharing the (replicated, immutable) road network, plus the routing
+// state — the partition summary, the global↔local object ID maps and the
+// per-shard term-presence bitmaps.
+type Set struct {
+	g     *dsks.Graph
+	vocab int
+	part  *Partition
+	// net serves cross-shard network distances for the router's final
+	// diversification greedy; it reads the in-memory graph directly, so
+	// it costs no page I/O.
+	net      ccam.Network
+	shards   []shardState
+	partial  bool
+	fanout   int
+	template dsks.Options
+
+	reg        *metrics.Registry
+	legsTotal  *atomic.Int64
+	pruneTotal *atomic.Int64
+	partTotal  *atomic.Int64
+
+	// seq is the router's mutation clock: every acknowledged mutation
+	// gets the next value, giving clients one monotone LSN-like token
+	// over the whole set even though the per-shard LSNs advance
+	// independently.
+	seq atomic.Uint64
+
+	// mu guards homes, every shard's globals slice and termBits. All
+	// critical sections are pure memory operations.
+	mu       sync.RWMutex
+	homes    []home
+	termBits [][]uint64
+
+	closed atomic.Bool
+}
+
+// Open partitions the road network n ways and opens one database per
+// shard over the objects it owns. Tombstoned objects of the input
+// collection are skipped; the global IDs of the survivors are their
+// positions in collection order, so a fresh (tombstone-free) collection
+// yields the same IDs an unsharded dsks.Open would assign.
+func Open(g *dsks.Graph, objects *dsks.Collection, vocabSize, n int, opts Options) (*Set, error) {
+	part, err := Split(g, n)
+	if err != nil {
+		return nil, err
+	}
+	s := newSet(g, vocabSize, part, opts)
+
+	cols := make([]*dsks.Collection, n)
+	for i := range cols {
+		cols[i] = dsks.NewCollection()
+	}
+	for id := 0; id < objects.Len(); id++ {
+		oid := dsks.ObjectID(id)
+		if objects.Removed(oid) {
+			continue
+		}
+		o := objects.Get(oid)
+		owner := int(part.Owner[o.Pos.Edge])
+		local := cols[owner].Add(o.Pos, append([]dsks.TermID(nil), o.Terms...))
+		s.record(owner, local, o.Terms)
+	}
+
+	for i := range s.shards {
+		db, err := dsks.Open(g, cols[i], vocabSize, s.shardOptions(i))
+		if err != nil {
+			s.closeOpened(i)
+			return nil, fmt.Errorf("shard: opening shard %d: %w", i, err)
+		}
+		s.shards[i].db = db
+		s.shards[i].nextLocal = dsks.ObjectID(cols[i].Len())
+		s.reconcile(i)
+	}
+	return s, nil
+}
+
+// reconcile registers objects shard i's database holds beyond the
+// router's bookkeeping — the tail a WAL replay applied during open.
+// Replayed objects get fresh global IDs in deterministic (shard, local)
+// order; the pre-crash global numbering of unsnapshotted mutations is
+// not recoverable from per-shard logs (the interleaving lived only in
+// the router), so a restart renumbers them.
+func (s *Set) reconcile(i int) {
+	sh := &s.shards[i]
+	for int(sh.nextLocal) < sh.db.ObjectCount() {
+		local := sh.nextLocal
+		_, terms, _, ok := sh.db.Object(local)
+		if !ok {
+			break
+		}
+		s.record(i, local, terms)
+		sh.nextLocal++
+	}
+}
+
+// newSet builds the routing state common to Open and OpenSetPath.
+func newSet(g *dsks.Graph, vocabSize int, part *Partition, opts Options) *Set {
+	reg := metrics.NewRegistry()
+	s := &Set{
+		g:          g,
+		vocab:      vocabSize,
+		part:       part,
+		net:        &ccam.InMemory{G: g},
+		shards:     make([]shardState, part.Shards),
+		partial:    opts.Partial,
+		fanout:     opts.FanoutLimit,
+		template:   opts.DB,
+		reg:        reg,
+		legsTotal:  reg.Counter(CounterFanoutLegs),
+		pruneTotal: reg.Counter(CounterPrunedLegs),
+		partTotal:  reg.Counter(CounterPartial),
+		termBits:   make([][]uint64, part.Shards),
+	}
+	words := (vocabSize + 63) / 64
+	for i := range s.shards {
+		s.termBits[i] = make([]uint64, words)
+		s.shards[i].reqs = reg.Counter(fmt.Sprintf("shard%d_requests_total", i))
+		s.shards[i].errs = reg.Counter(fmt.Sprintf("shard%d_errors_total", i))
+	}
+	return s
+}
+
+// shardOptions derives shard i's database options from the template:
+// per-shard subdirectories for every path-valued option.
+func (s *Set) shardOptions(i int) dsks.Options {
+	o := s.template
+	sub := fmt.Sprintf("shard-%d", i)
+	if o.WALDir != "" {
+		o.WALDir = filepath.Join(o.WALDir, sub)
+		_ = os.MkdirAll(o.WALDir, 0o755)
+	}
+	if o.DiskDir != "" {
+		o.DiskDir = filepath.Join(o.DiskDir, sub)
+		_ = os.MkdirAll(o.DiskDir, 0o755)
+	}
+	return o
+}
+
+// record notes a (shard, local) → global assignment and folds the terms
+// into the shard's presence bitmap. Callers must not hold s.mu.
+func (s *Set) record(owner int, local dsks.ObjectID, terms []dsks.TermID) dsks.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	global := dsks.ObjectID(len(s.homes))
+	s.homes = append(s.homes, home{shard: int32(owner), local: local})
+	sh := &s.shards[owner]
+	for int(local) >= len(sh.globals) {
+		sh.globals = append(sh.globals, -1)
+	}
+	sh.globals[local] = global
+	bits := s.termBits[owner]
+	for _, t := range terms {
+		if t >= 0 && int(t) < s.vocab {
+			bits[t/64] |= 1 << (uint(t) % 64)
+		}
+	}
+	return global
+}
+
+// closeOpened closes the first n shard databases (error cleanup).
+func (s *Set) closeOpened(n int) {
+	for i := 0; i < n; i++ {
+		if s.shards[i].db != nil {
+			_ = s.shards[i].db.Close()
+		}
+	}
+}
+
+// Shards is the shard count N.
+func (s *Set) Shards() int { return len(s.shards) }
+
+// Partition exposes the split and its boundary summary.
+func (s *Set) Partition() *Partition { return s.part }
+
+// Graph is the replicated road network.
+func (s *Set) Graph() *dsks.Graph { return s.g }
+
+// VocabSize is the shared vocabulary size.
+func (s *Set) VocabSize() int { return s.vocab }
+
+// DB exposes shard i's database (tests and tooling).
+func (s *Set) DB(i int) *dsks.DB { return s.shards[i].db }
+
+// Metrics is the router's own registry: fan-out/prune/partial counters,
+// per-shard request and error counters, and merge-phase latency under
+// kind "merge". Per-shard engine metrics live on each shard's DB.
+func (s *Set) Metrics() *metrics.Registry { return s.reg }
+
+// Snapshot captures the router registry.
+func (s *Set) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
+
+// Seq is the router's mutation clock (see Insert).
+func (s *Set) Seq() uint64 { return s.seq.Load() }
+
+// LSNs is the current per-shard commit LSN vector.
+func (s *Set) LSNs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].db.LSN()
+	}
+	return out
+}
+
+// DurableLSNs is the per-shard durable LSN vector.
+func (s *Set) DurableLSNs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].db.DurableLSN()
+	}
+	return out
+}
+
+// LiveObjects sums the live object counts over the shards.
+func (s *Set) LiveObjects() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].db.LiveObjects()
+	}
+	return total
+}
+
+// Close closes every shard database. The first error wins but every
+// shard is attempted.
+func (s *Set) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for i := range s.shards {
+		if s.shards[i].db == nil {
+			continue
+		}
+		if err := s.shards[i].db.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard: closing shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// SetFaultSpec arms the same fault specification on every shard.
+func (s *Set) SetFaultSpec(spec string) error {
+	for i := range s.shards {
+		if err := s.shards[i].db.SetFaultSpec(spec); err != nil {
+			return fmt.Errorf("shard: arming faults on shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SetShardFaultSpec arms a fault specification on one shard only —
+// the lever the shard smoke test uses to take a single shard down.
+func (s *Set) SetShardFaultSpec(i int, spec string) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("shard: %w: no shard %d", ErrBadShardCount, i)
+	}
+	return s.shards[i].db.SetFaultSpec(spec)
+}
+
+// ClearFaults disarms fault injection on every shard.
+func (s *Set) ClearFaults() {
+	for i := range s.shards {
+		s.shards[i].db.ClearFaults()
+	}
+}
+
+// ResetIO cools every shard's buffer pools and I/O counters.
+func (s *Set) ResetIO() error {
+	var first error
+	for i := range s.shards {
+		if err := s.shards[i].db.ResetIO(); err != nil && first == nil {
+			first = fmt.Errorf("shard: resetting shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// checkMutation mirrors the per-shard databases' validation so a bad
+// mutation is rejected before a global ID is reserved: without this, a
+// failed insert would burn an ID and the set's ID sequence would drift
+// from an unsharded database fed the same history.
+func (s *Set) checkMutation(pos dsks.Position, terms []dsks.TermID) error {
+	if pos.Edge < 0 || int(pos.Edge) >= s.g.NumEdges() {
+		return fmt.Errorf("shard: insert on edge %d: %w", pos.Edge, dsks.ErrUnknownEdge)
+	}
+	for _, t := range terms {
+		if t < 0 || int(t) >= s.vocab {
+			return fmt.Errorf("shard: term %d with vocabulary of %d: %w", t, s.vocab, dsks.ErrTermOutOfRange)
+		}
+	}
+	return nil
+}
+
+// Insert routes the object to the shard owning its edge and returns the
+// global object ID plus the router's mutation sequence number (monotone
+// over the whole set; per-shard LSNs advance independently and are
+// reported per query in the result envelope).
+//
+// Protocol: the shard's insert latch serializes inserts into that shard;
+// the insert is applied and published and the global↔local mapping
+// recorded while the latch is held (pure memory plus a buffered WAL
+// append — no fsync), then the latch is released and the durability wait
+// runs outside it.
+func (s *Set) Insert(pos dsks.Position, terms []dsks.TermID) (dsks.ObjectID, uint64, error) {
+	if s.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	if err := s.checkMutation(pos, terms); err != nil {
+		return 0, 0, err
+	}
+	owner := int(s.part.Owner[pos.Edge])
+	sh := &s.shards[owner]
+
+	sh.insMu.Lock()
+	local, lsn, err := sh.db.InsertAsync(pos, terms)
+	if err != nil {
+		sh.insMu.Unlock()
+		return 0, 0, fmt.Errorf("shard: insert into shard %d: %w: %w", owner, ErrShardDown, err)
+	}
+	if local != sh.nextLocal {
+		// Defensive: something other than this Set mutated the shard.
+		sh.insMu.Unlock()
+		return 0, 0, fmt.Errorf("shard: shard %d assigned local ID %d where the router expected %d: %w",
+			owner, local, sh.nextLocal, ErrShardDown)
+	}
+	sh.nextLocal++
+	global := s.record(owner, local, terms)
+	sh.insMu.Unlock()
+
+	seq := s.seq.Add(1)
+	if werr := sh.db.WaitDurable(lsn); werr != nil {
+		return global, seq, fmt.Errorf("shard: insert of object %d applied on shard %d but not durable: %w: %w",
+			global, owner, ErrShardDown, werr)
+	}
+	return global, seq, nil
+}
+
+// Remove tombstones the object in its home shard.
+func (s *Set) Remove(id dsks.ObjectID) (uint64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	s.mu.RLock()
+	var h home
+	ok := id >= 0 && int(id) < len(s.homes)
+	if ok {
+		h = s.homes[int(id)]
+		ok = h.shard >= 0
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("shard: remove object %d: %w", id, dsks.ErrUnknownObject)
+	}
+	if err := s.shards[h.shard].db.Remove(h.local); err != nil {
+		if errors.Is(err, dsks.ErrUnknownObject) {
+			return 0, err
+		}
+		return 0, fmt.Errorf("shard: remove on shard %d: %w: %w", h.shard, ErrShardDown, err)
+	}
+	return s.seq.Add(1), nil
+}
+
+// globalOf translates a shard-local object ID to its global ID. The fast
+// path is one read-locked map lookup. A miss can only mean the lookup
+// raced the sliver between an insert's publish and its mapping record;
+// both happen under the shard's insert latch, so acquiring and releasing
+// that latch once guarantees the mapping is visible on the retry.
+func (s *Set) globalOf(shardIdx int, local dsks.ObjectID) dsks.ObjectID {
+	if g, ok := s.lookupGlobal(shardIdx, local); ok {
+		return g
+	}
+	sh := &s.shards[shardIdx]
+	sh.insMu.Lock()
+	//lint:ignore SA2001 the critical section is intentionally empty: the
+	// latch acquisition orders this reader after the racing insert's
+	// mapping record (see the function comment).
+	sh.insMu.Unlock()
+	if g, ok := s.lookupGlobal(shardIdx, local); ok {
+		return g
+	}
+	return -1
+}
+
+func (s *Set) lookupGlobal(shardIdx int, local dsks.ObjectID) (dsks.ObjectID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh := &s.shards[shardIdx]
+	if local < 0 || int(local) >= len(sh.globals) {
+		return -1, false
+	}
+	g := sh.globals[local]
+	return g, g >= 0
+}
+
+// routed lists the shards a query with the given position, radius and
+// terms must visit. Distance pruning uses the partition's sound lower
+// bound networkDist >= MinCostRatio·euclid against each region MBR; term
+// pruning uses the per-shard presence bitmaps — with allTerms set (the
+// boolean/diversified/kNN AND semantics) a shard missing any query term
+// is skipped, otherwise (ranked/collective OR semantics) only a shard
+// missing every term is. Bits are set on insert and never cleared on
+// remove, so the bitmap is conservative: it can cost a wasted leg, never
+// a missed candidate.
+func (s *Set) routed(pos dsks.Position, radius float64, terms []dsks.TermID, allTerms bool) []int {
+	pt := s.g.PointAt(pos.Edge, pos.Offset)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.shards))
+	for i := range s.shards {
+		lb, nonEmpty := s.part.LowerBound(i, pt)
+		if !nonEmpty {
+			continue
+		}
+		if radius > 0 && lb > radius {
+			continue
+		}
+		if len(terms) > 0 && !s.termsPresentLocked(i, terms, allTerms) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// termsPresentLocked reports whether shard i can contain a match for the
+// query terms; callers hold s.mu.
+func (s *Set) termsPresentLocked(i int, terms []dsks.TermID, allTerms bool) bool {
+	bits := s.termBits[i]
+	any := false
+	for _, t := range terms {
+		if t < 0 || int(t) >= s.vocab {
+			// Out-of-range terms are the shards' problem to reject;
+			// don't let the bitmap mask the error.
+			return true
+		}
+		present := bits[t/64]&(1<<(uint(t)%64)) != 0
+		if allTerms && !present {
+			return false
+		}
+		any = any || present
+	}
+	if allTerms {
+		return true
+	}
+	return any
+}
+
+// guard mirrors dsks.View's query validation: the edge must exist and
+// every term must be inside the vocabulary, classified with the same
+// sentinels.
+func (s *Set) guard(pos dsks.Position, terms []dsks.TermID) error {
+	if pos.Edge < 0 || int(pos.Edge) >= s.g.NumEdges() {
+		return fmt.Errorf("shard: query on edge %d: %w", pos.Edge, dsks.ErrUnknownEdge)
+	}
+	for _, t := range terms {
+		if t < 0 || int(t) >= s.vocab {
+			return fmt.Errorf("shard: query term %d with vocabulary of %d: %w", t, s.vocab, dsks.ErrTermOutOfRange)
+		}
+	}
+	return nil
+}
+
+// View pins one read view per shard — all pinned before any result is
+// read, so a request sees one consistent per-shard LSN vector (reported
+// in the result envelope). Close closes every per-shard view.
+func (s *Set) View(ctx context.Context) (*MultiView, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	mv := &MultiView{
+		set:   s,
+		views: make([]*dsks.View, len(s.shards)),
+		lsns:  make([]uint64, len(s.shards)),
+	}
+	for i := range s.shards {
+		v, err := s.shards[i].db.View(ctx)
+		if err != nil {
+			mv.Close()
+			return nil, fmt.Errorf("shard: pinning view on shard %d: %w: %w", i, ErrShardDown, err)
+		}
+		mv.views[i] = v
+		mv.lsns[i] = v.LSN()
+	}
+	return mv, nil
+}

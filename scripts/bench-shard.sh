@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Shard-scaling benchmark (run by `make bench-shard` and the CI
+# bench-shard job): boot dsks-serve at 1, 2 and 4 shards over the same
+# dataset — result cache disabled so every read walks storage, synthetic
+# per-miss I/O latency so modeled work dominates — and replay the same
+# read-only mix against each. The hammer upserts one labeled entry per
+# shard count into BENCH_shard.json; the gate at the end asserts the
+# 4-shard router sustains >= 2.5x the single-shard read QPS at
+# equal-or-better p99.
+#
+# The dataset is the NA analogue (sparse road network, dense objects):
+# sharding divides the object/posting I/O — each shard indexes only its
+# owned objects, the router prunes shards whose region lies outside the
+# δmax ball, and the surviving legs run in parallel — while the
+# replicated network is small enough to stay buffered. The kNN entries
+# carry the workload's δmax as maxDist: unbounded kNN is the known
+# anti-pattern for edge-disjoint sharding (every shard must expand far
+# past its sparse objects to find k matches), which docs/SHARDING.md
+# discusses.
+set -u
+
+BIN="${1:?usage: bench-shard.sh <path-to-dsks-serve> [out.json]}"
+OUT="${2:-BENCH_shard.json}"
+
+rm -f "$OUT"
+for N in 1 2 4; do
+    ADDR="127.0.0.1:$((18090 + N))"
+    "$BIN" -addr "$ADDR" -preset NA -scale 500 -index SIF -shards "$N" \
+        -max-inflight 32 -queue-depth 256 -iolat 1ms -cache-size -1 &
+    SERVER=$!
+    trap 'kill "$SERVER" 2>/dev/null' EXIT
+    if ! "$BIN" -hammer -target "http://$ADDR" -preset NA -scale 500 \
+        -n 1500 -c 8 -distinct 64 \
+        -mix "search:4,diversified:2,knn:2,ranked:1" \
+        -report "$OUT" -report-label "shards=$N"; then
+        echo "bench-shard: hammer failed at $N shards" >&2
+        exit 1
+    fi
+    kill -TERM "$SERVER"
+    wait "$SERVER"
+    CODE=$?
+    trap - EXIT
+    if [ "$CODE" -ne 0 ]; then
+        echo "bench-shard: $N-shard server exited $CODE after SIGTERM, want 0" >&2
+        exit 1
+    fi
+done
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+rep = json.load(open(sys.argv[1]))
+one, four = rep["shards=1"], rep["shards=4"]
+speedup = four["qps"] / one["qps"]
+print(f"bench-shard: 1-shard {one['qps']:.0f} qps (p99 {one['p99Micros']}us), "
+      f"4-shard {four['qps']:.0f} qps (p99 {four['p99Micros']}us) — {speedup:.2f}x")
+if one["errors"] or four["errors"]:
+    sys.exit(f"bench-shard: read errors ({one['errors']} at 1 shard, {four['errors']} at 4)")
+if speedup < 2.5:
+    sys.exit(f"bench-shard: 4-shard speedup {speedup:.2f}x below the 2.5x gate")
+if four["p99Micros"] > one["p99Micros"]:
+    sys.exit(f"bench-shard: 4-shard p99 {four['p99Micros']}us worse than "
+             f"1-shard {one['p99Micros']}us — the speedup is not at equal p99")
+EOF
+if [ $? -ne 0 ]; then
+    exit 1
+fi
+echo "bench-shard: ok (report in $OUT)"

@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# Sharded-serving smoke test (run by `make shard-smoke` and the CI
+# shard-smoke job): boot dsks-serve with the road network sharded 4 ways
+# behind the scatter-gather router (partial-result policy, per-shard
+# write-ahead logs, chaos endpoint enabled), then
+#   - hammer the full mixed read/write mix with -strict: no 5xx, LSN
+#     monotone across acked mutations, coherent merged answers,
+#   - take ONE shard down mid-run through the shard-targeted chaos
+#     endpoint — first read faults on shard 1 (every query answer must be
+#     200, a 206 partial naming the failed shard, or a clean 5xx — always
+#     intact JSON, never a half-merged body), then WAL-sync faults on the
+#     same shard (inserts routed there fail cleanly while inserts on the
+#     healthy shards still ack id+lsn),
+#   - heal the faults and assert read service returns in full (the
+#     poisoned WAL stays closed by design: a log that failed a sync must
+#     never acknowledge again, so shard 1 stays write-degraded),
+#   - restart the server on the same per-shard WAL directories (replaying
+#     every acknowledged mutation) and require a second -strict mixed
+#     hammer to pass and a final clean drain (exit 0).
+set -u
+
+BIN="${1:?usage: shard-smoke.sh <path-to-dsks-serve>}"
+ADDR="127.0.0.1:18086"
+WALDIR="$(mktemp -d)"
+trap 'rm -rf "$WALDIR"' EXIT
+
+"$BIN" -addr "$ADDR" -preset SYN -scale 500 -index SIF \
+    -shards 4 -partial-results -enable-chaos \
+    -wal "$WALDIR" -breaker-cooldown 500ms &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null; rm -rf "$WALDIR"' EXIT
+
+# Phase 1: healthy mixed load, strict assertions.
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 500 \
+    -n 600 -c 6 -distinct 32 \
+    -mix "search:4,diversified:2,knn:2,ranked:1,insert:2,remove:1" -strict; then
+    echo "shard-smoke: healthy strict hammer failed" >&2
+    exit 1
+fi
+
+# A query URL that spans shards (wide delta), for the degraded probes.
+QUERY="/v1/search?edge=3&offset=0.4&terms=1&deltaMax=20000"
+
+# Phase 2a: shard 1's reads fault — wide queries degrade to 206 partials.
+if ! curl -sf -o /dev/null -X POST "http://$ADDR/v1/chaos" \
+    -d '{"spec": "read:every=1", "shard": 1}'; then
+    echo "shard-smoke: arming shard-1 read faults failed" >&2
+    exit 1
+fi
+
+partials=0 insert_ok=0 bad=0
+for i in $(seq 1 40); do
+    body="$(curl -s -w '\n%{http_code}' "http://$ADDR$QUERY")"
+    code="${body##*$'\n'}"
+    json="${body%$'\n'*}"
+    case "$code" in
+    200 | 206 | 500 | 503) ;;
+    *)
+        echo "shard-smoke: degraded query returned status $code" >&2
+        bad=1
+        ;;
+    esac
+    if ! printf '%s' "$json" | python3 -c 'import json,sys; json.load(sys.stdin)' 2>/dev/null; then
+        echo "shard-smoke: degraded query returned invalid JSON (status $code): $json" >&2
+        bad=1
+    fi
+    if [ "$code" = 206 ]; then
+        partials=$((partials + 1))
+        if ! printf '%s' "$json" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+assert v.get("partial") is True, "206 without partial flag"
+assert any(e.get("shard") == 1 for e in v.get("shardErrors", [])), "206 without shard-1 error detail"
+'; then
+            echo "shard-smoke: 206 body missing partial metadata: $json" >&2
+            bad=1
+        fi
+    fi
+done
+# Phase 2b: kill shard 1's WAL instead (sync faults replace the read
+# faults). Inserts route by edge owner: legs landing on healthy shards
+# must still ack (id + lsn), legs on shard 1 must fail cleanly, never
+# corrupt.
+if ! curl -sf -o /dev/null -X POST "http://$ADDR/v1/chaos" \
+    -d '{"spec": "sync:every=1", "shard": 1}'; then
+    echo "shard-smoke: arming shard-1 WAL-sync faults failed" >&2
+    exit 1
+fi
+for edge in 0 50 100 150 200 250 300 350; do
+    body="$(curl -s -w '\n%{http_code}' -X POST "http://$ADDR/v1/insert" \
+        -d "{\"edge\": $edge, \"offset\": 0.5, \"terms\": [0]}")"
+    code="${body##*$'\n'}"
+    json="${body%$'\n'*}"
+    case "$code" in
+    200)
+        if printf '%s' "$json" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+assert v["id"] >= 0 and v["lsn"] > 0
+' 2>/dev/null; then
+            insert_ok=$((insert_ok + 1))
+        else
+            echo "shard-smoke: degraded insert acked without id/lsn: $json" >&2
+            bad=1
+        fi
+        ;;
+    500 | 503) ;;
+    *)
+        echo "shard-smoke: degraded insert returned status $code: $json" >&2
+        bad=1
+        ;;
+    esac
+done
+echo "shard-smoke: degraded phase: $partials partial (206) answers, $insert_ok healthy-shard inserts acked"
+if [ "$partials" -eq 0 ]; then
+    echo "shard-smoke: no 206 partial observed with shard 1 down" >&2
+    bad=1
+fi
+if [ "$insert_ok" -eq 0 ]; then
+    echo "shard-smoke: no insert survived on the healthy shards" >&2
+    bad=1
+fi
+if [ "$bad" -ne 0 ]; then
+    exit 1
+fi
+
+# Phase 3: heal the read path and require full 200 reads back (the
+# router re-pins fresh per-shard views; recovery must reach storage, not
+# just the cache). Shard 1's WAL is still dead: a read-only strict
+# hammer must pass, write service needs the restart below.
+if ! curl -sf -o /dev/null -X POST "http://$ADDR/v1/chaos" -d '{"spec": ""}'; then
+    echo "shard-smoke: clearing faults failed" >&2
+    exit 1
+fi
+recovered=0
+for i in $(seq 1 60); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR$QUERY")"
+    if [ "$code" = 200 ]; then
+        recovered=1
+        break
+    fi
+    sleep 0.5
+done
+if [ "$recovered" -ne 1 ]; then
+    echo "shard-smoke: no 200 within 30s of clearing faults" >&2
+    exit 1
+fi
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 500 \
+    -n 400 -c 6 -distinct 32 \
+    -mix "search:4,diversified:2,knn:2,ranked:1" -strict; then
+    echo "shard-smoke: post-heal read-only strict hammer failed" >&2
+    exit 1
+fi
+
+# Phase 4: restart on the same WAL directories. The old process may exit
+# non-zero (closing the poisoned WAL reports the sticky sync error —
+# honest, not clean); the replacement must replay every acknowledged
+# mutation and serve the full mixed load again.
+kill -TERM "$SERVER"
+wait "$SERVER" || echo "shard-smoke: old server reported the poisoned WAL on close (expected)"
+"$BIN" -addr "$ADDR" -preset SYN -scale 500 -index SIF \
+    -shards 4 -partial-results -enable-chaos \
+    -wal "$WALDIR" -breaker-cooldown 500ms &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null; rm -rf "$WALDIR"' EXIT
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 500 \
+    -n 400 -c 6 -distinct 32 \
+    -mix "search:4,diversified:2,knn:2,ranked:1,insert:2,remove:1" -strict; then
+    echo "shard-smoke: post-restart strict hammer failed" >&2
+    exit 1
+fi
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+CODE=$?
+trap 'rm -rf "$WALDIR"' EXIT
+if [ "$CODE" -ne 0 ]; then
+    echo "shard-smoke: restarted server exited $CODE after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "shard-smoke: ok (coherent degradation with one shard down, WAL-replay restart, clean drain)"
