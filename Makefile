@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke shard-smoke bench-mixed bench-shard
+.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke shard-smoke replica-smoke bench-mixed bench-shard
 
 all: build test lint
 
@@ -81,6 +81,16 @@ bench-mixed:
 shard-smoke:
 	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
 	./scripts/shard-smoke.sh $(CURDIR)/bin/dsks-serve
+
+# replica-smoke mirrors the CI job: boot 4 shards with one WAL-shipped
+# read replica each, verify the replicas converge after an insert storm,
+# kill one shard's primary storage mid-read-hammer and require ZERO 5xx
+# and ZERO 206 (failover, not degradation), then heal and assert the
+# primary is reclaimed and fresh writes replicate (docs/SHARDING.md,
+# docs/ROBUSTNESS.md).
+replica-smoke:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/replica-smoke.sh $(CURDIR)/bin/dsks-serve
 
 # bench-shard mirrors the CI job: run the same read-only mix against
 # 1-, 2- and 4-shard servers over the same dataset, accumulate the data

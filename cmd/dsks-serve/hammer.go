@@ -44,6 +44,7 @@ var (
 	hammerDistinct  *int
 	hammerMix       *string
 	hammerStrict    *bool
+	hammerColdOK    *bool
 	hammerWant429   *bool
 	hammerTimeout   *time.Duration
 	hammerChaos     *bool
@@ -62,7 +63,8 @@ func hammerFlags(fs *flag.FlagSet) {
 	hammerC = fs.Int("c", 8, "hammer: concurrent workers")
 	hammerDistinct = fs.Int("distinct", 32, "hammer: distinct queries in the mix (repeats exercise the cache)")
 	hammerMix = fs.String("mix", "search:4,diversified:3,knn:2,ranked:1", "hammer: endpoint mix as kind:weight pairs (kinds include insert and remove)")
-	hammerStrict = fs.Bool("strict", false, "hammer: exit non-zero on any 5xx or a cold cache")
+	hammerStrict = fs.Bool("strict", false, "hammer: exit non-zero on any 5xx, a 206 partial, or a cold cache")
+	hammerColdOK = fs.Bool("allow-cold-cache", false, "hammer: strict runs tolerate zero cache hits (for servers with the cache disabled)")
 	hammerWant429 = fs.Bool("expect-429", false, "hammer: exit non-zero unless load shedding (429 + Retry-After) was observed")
 	hammerTimeout = fs.Duration("client-timeout", 30*time.Second, "hammer: per-request client timeout")
 	hammerChaos = fs.Bool("chaos", false, "hammer: run the chaos campaign (server must be started with -enable-chaos)")
@@ -635,9 +637,15 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		if monoViolations > 0 {
 			return fmt.Errorf("strict: %d mutation acks with a non-increasing commit LSN", monoViolations)
 		}
+		// A 206 means a shard leg failed and the router settled for the
+		// survivors; with replicas configured, failover should have turned
+		// it into a full answer, so strict runs treat partials as failures.
+		if statuses[http.StatusPartialContent] > 0 {
+			return fmt.Errorf("strict: %d partial (206) responses", statuses[http.StatusPartialContent])
+		}
 		// Mutation mixes invalidate the result cache on every acked write,
 		// so a cold cache is expected there; only query-only runs must hit.
-		if hits == 0 && acked == 0 {
+		if hits == 0 && acked == 0 && !*hammerColdOK {
 			return fmt.Errorf("strict: no cache hits observed over %d requests", n)
 		}
 	}

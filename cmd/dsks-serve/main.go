@@ -79,6 +79,10 @@ func run() error {
 		shards     = flag.Int("shards", 1, "shard the road network N ways and serve through the scatter-gather router")
 		partialRes = flag.Bool("partial-results", false, "sharded: answer with merged survivors (HTTP 206) when a shard fails, instead of failing the query")
 		fanoutLim  = flag.Int("fanout", 0, "sharded: concurrently running fan-out legs per request (0 = all routed shards)")
+		replicas   = flag.Int("replicas", 0, "sharded: WAL-shipped read replicas per shard (requires -wal); reads fail over to them when a primary dies")
+		hedgeAfter = flag.Duration("hedge-after", 25*time.Millisecond, "sharded: race a replica against a primary leg slower than this (0 disables hedging)")
+		maxStale   = flag.Uint64("max-staleness", 4096, "sharded: max log records a failover replica may lag behind the pinned primary LSN (0 = unbounded)")
+		legRetries = flag.Int("leg-retries", 2, "sharded: transient-error retries per fan-out leg before failing over")
 
 		hammer = flag.Bool("hammer", false, "run the load driver against -target instead of serving")
 	)
@@ -121,8 +125,14 @@ func run() error {
 		durable      func() string
 	)
 	if *shards > 1 {
+		if *replicas > 0 && *walDir == "" {
+			return fmt.Errorf("-replicas %d needs -wal: the write-ahead log is the replication shipping medium", *replicas)
+		}
 		set, d, err := openSet(*dbDir, *preset, *scale, *seed, *shards, shard.Options{
 			DB: opts, Partial: *partialRes, FanoutLimit: *fanoutLim,
+			Replicas: *replicas, HedgeAfter: *hedgeAfter,
+			MaxStaleness: *maxStale, LegRetries: *legRetries,
+			Seed: uint64(*seed),
 		})
 		if err != nil {
 			return err
@@ -136,6 +146,9 @@ func run() error {
 		policy := "first-error-wins"
 		if *partialRes {
 			policy = "partial-results"
+		}
+		if *replicas > 0 {
+			policy += fmt.Sprintf(", %d replicas/shard, hedge %s, staleness bound %d", *replicas, *hedgeAfter, *maxStale)
 		}
 		srv = server.NewRouter(set, cfg)
 		desc = fmt.Sprintf("%s over %d shards (%s)", d, set.Shards(), policy)

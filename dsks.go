@@ -870,6 +870,60 @@ func (db *DB) WaitDurable(lsn uint64) error {
 	return db.wal.WaitDurable(lsn)
 }
 
+// WALRecord is one logged mutation, re-exported for replication: a
+// primary's log yields WALRecords through TailWAL and a follower
+// applies them with ApplyShipped.
+type WALRecord = wal.Record
+
+// WALTailer follows a write-ahead log record by record across segment
+// rotations; see TailWAL.
+type WALTailer = wal.Tailer
+
+// TailWAL returns a tailer over the database's attached write-ahead log
+// that yields every durable record past fromLSN in order. The tailer
+// reads the segment files directly and never blocks the writer; it
+// yields only fsynced records, so a follower can never apply a mutation
+// a primary crash could take back. Databases without an attached log
+// have nothing to ship and fail with an error matching ErrWALClosed.
+func (db *DB) TailWAL(fromLSN uint64) (*WALTailer, error) {
+	if db.wal == nil {
+		return nil, fmt.Errorf("dsks: tailing a database without a write-ahead log: %w", ErrWALClosed)
+	}
+	return db.wal.TailFrom(fromLSN), nil
+}
+
+// ApplyShipped applies one replicated log record to a follower
+// database. It is the apply half of WAL shipping: a read replica tails
+// its primary's log (TailWAL) and feeds each record here, converging on
+// the primary's state commit by commit. Every applied record publishes
+// a new version exactly like a local mutation — concurrent views are
+// never blocked and stay pinned at the version they opened.
+//
+// The follower must not have a write-ahead log of its own (two logs
+// would fight over the LSN clock), and records must arrive in LSN order
+// with no gaps. Replay re-validates everything the primary validated
+// and verifies inserts reassign exactly the object ID the log recorded;
+// any divergence fails with an error matching ErrBadWAL and leaves the
+// follower at its previous version.
+func (db *DB) ApplyShipped(r WALRecord) error {
+	db.mu.Lock()
+	if db.wal != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: shipped record applied to a database with its own log", ErrBadWAL)
+	}
+	if want := db.roots.Load().lsn + 1; r.LSN != want {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: shipped record at LSN %d where %d was expected", ErrBadWAL, r.LSN, want)
+	}
+	err := db.applyRecord(r)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	db.reclaim()
+	return nil
+}
+
 // checkInsert validates an insert without changing anything; callers
 // hold the write latch.
 func (db *DB) checkInsert(pos Position, terms []TermID) error {

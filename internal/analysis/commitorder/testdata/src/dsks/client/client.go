@@ -67,6 +67,17 @@ func GoodRecovery(db *dsks.DB, e *engine, b *storage.WriteBatch, boot, next *dsk
 	e.roots.Store(next)
 }
 
+// GoodReplicaApply is the read replica's tail-and-apply loop: each
+// shipped record re-runs the replay path — publish, then store — with no
+// local Append anywhere (a replica never writes its own log), so every
+// iteration is a fresh in-order mutation, not an inversion of the last.
+func GoodReplicaApply(e *engine, batches []*storage.WriteBatch, next *dsks.Roots) {
+	for _, b := range batches {
+		e.pool.Publish(b)
+		e.roots.Store(next)
+	}
+}
+
 // GoodUnlogged publishes without a WAL attached: no Append, no
 // violation.
 func GoodUnlogged(e *engine, b *storage.WriteBatch, next *dsks.Roots) {

@@ -14,6 +14,10 @@ var (
 	ErrShardDown = errors.New("shard: shard unavailable")
 	// ErrPartialResult marks a merged answer missing >=1 shard's legs.
 	ErrPartialResult = errors.New("shard: partial result")
+	// ErrReplicaLagging marks a replica behind the staleness bound.
+	ErrReplicaLagging = errors.New("shard: replica lagging")
+	// ErrShardUnavailable marks a shard with no serveable leg at all.
+	ErrShardUnavailable = errors.New("shard: no serveable replica")
 )
 
 // Search merges the surviving legs; the partial-result sentinel must
@@ -40,6 +44,26 @@ func Insert(shard int, cause error) error {
 func Remove(shard int, cause error) error {
 	if cause != nil {
 		return fmt.Errorf("%w: shard %d: %w", ErrShardDown, shard, cause)
+	}
+	return nil
+}
+
+// FreshestReplica picks a failover leg. When every replica trails the
+// staleness bound the error must stay matchable as BOTH sentinels
+// (double-%w): the router retries on ErrReplicaLagging and the handler
+// classifies ErrShardUnavailable for the breaker.
+func FreshestReplica(lag uint64, bound uint64) error {
+	if lag > bound {
+		return fmt.Errorf("%w: %w: behind by %d (bound %d)", ErrShardUnavailable, ErrReplicaLagging, lag, bound)
+	}
+	return nil
+}
+
+// PinReplica flattens the lag sentinel with %v: errors.Is stops
+// matching and the failover loop treats a recoverable lag as terminal.
+func PinReplica(lag uint64, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("replica behind by %d: %v", lag, cause) // want `errsentinel: fmt.Errorf at an exported return site`
 	}
 	return nil
 }

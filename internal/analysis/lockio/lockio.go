@@ -307,7 +307,10 @@ func dbEntryPoint(fn *types.Func) (string, bool) {
 	case "DB":
 		switch {
 		case strings.HasPrefix(name, "Search"), strings.HasPrefix(name, "Stream"),
-			name == "Insert", name == "Remove":
+			name == "Insert", name == "Remove", name == "ApplyShipped":
+			// ApplyShipped is the replication apply path: it takes the
+			// engine latch itself and re-runs the replay-path index
+			// mutation, so a replica loop must never call it under one.
 			return "database " + name + " call", true
 		}
 	case "View":

@@ -81,6 +81,19 @@ func (db *DB) WaitDurable(lsn uint64) error {
 	return nil
 }
 
+// WALRecord stubs the shipped log record a replica applies.
+type WALRecord struct {
+	LSN uint64
+}
+
+// ApplyShipped applies one shipped WAL record through the replay path.
+// It takes the engine latch internally and mutates index pages, so it is
+// as blocking as Insert — never legal under a caller's latch.
+func (db *DB) ApplyShipped(rec WALRecord) error {
+	_ = rec
+	return nil
+}
+
 func (db *DB) Version() uint64 { return 0 }
 
 // View opens a read view; it is an atomic root-set load plus an epoch

@@ -127,6 +127,40 @@ func (r *router) GoodInsert(db *dsks.DB, pos dsks.Position, terms []dsks.TermID)
 	return id, db.WaitDurable(lsn)
 }
 
+// replica mirrors the read replica's tail-and-apply loop: a mutex
+// guarding the sticky error next to the apply path.
+type replica struct {
+	mu      sync.Mutex
+	applied uint64
+	serr    error
+}
+
+// BadApply holds the replica's own latch across ApplyShipped: the apply
+// takes the engine latch and mutates index pages, so the status latch
+// stalls every observer for the whole apply.
+func (r *replica) BadApply(db *dsks.DB, rec dsks.WALRecord) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := db.ApplyShipped(rec); err != nil { // want `lockio: database ApplyShipped call while r.mu is held`
+		r.serr = err
+		return err
+	}
+	r.applied = rec.LSN
+	return nil
+}
+
+// GoodApply is the real tail-loop shape: the apply runs latch-free, and
+// the latch covers only the sticky-error publication.
+func (r *replica) GoodApply(db *dsks.DB, rec dsks.WALRecord) error {
+	if err := db.ApplyShipped(rec); err != nil {
+		r.mu.Lock()
+		r.serr = err
+		r.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // GoodQuery pins the fan-out view under the latch (legal: an atomic pin
 // per shard), releases it, and scatters latch-free.
 func (r *router) GoodQuery(ctx context.Context, q dsks.SKQuery) (dsks.Result, error) {

@@ -164,6 +164,38 @@ func LeakInBranch(ctx context.Context, db *dsks.DB, warm bool) error {
 	return work()
 }
 
+// --- replica failover legs --------------------------------------------
+
+// GoodReplicaLeg is the router's failover-leg shape: pin the replica's
+// view, defer the close, then gate on the staleness bound — the lagging
+// path releases the pin like any other return.
+func GoodReplicaLeg(ctx context.Context, replica *dsks.DB, want uint64, q string) (int, error) {
+	v, err := replica.View(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	if v.LSN() < want {
+		return 0, work()
+	}
+	return v.Search(q), nil
+}
+
+// LeakReplicaLeg defers the close only after the staleness gate: every
+// lagging replica leg returns with the view still pinned, so a degraded
+// shard pins an epoch per query until the fold stalls.
+func LeakReplicaLeg(ctx context.Context, replica *dsks.DB, want uint64, q string) (int, error) {
+	v, err := replica.View(ctx) // want `view v acquired here does not reach v\.Close on the path returning at line`
+	if err != nil {
+		return 0, err
+	}
+	if v.LSN() < want {
+		return 0, nil
+	}
+	defer v.Close()
+	return v.Search(q), nil
+}
+
 // --- leaks ------------------------------------------------------------
 
 // LeakEarlyReturn closes too late: the limit==0 path returns while the

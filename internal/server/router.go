@@ -60,6 +60,9 @@ type QueryView interface {
 type sharded interface {
 	Shards() int
 	ShardVarz() []ShardVarz
+	// ShardHealth is the per-shard availability vector
+	// ("primary"|"replica"|"down"), reported on /healthz and /varz.
+	ShardHealth() []string
 	SetShardFaultSpec(i int, spec string) error
 }
 
@@ -77,6 +80,10 @@ type ShardVarz struct {
 	LiveObjects int    `json:"liveObjects"`
 	Requests    int64  `json:"requests"`
 	Errors      int64  `json:"errors"`
+	// Health is the shard's failover state ("primary"|"replica"|"down");
+	// Replicas lists its read replicas' applied LSNs and lag.
+	Health   string              `json:"health,omitempty"`
+	Replicas []shard.ReplicaVarz `json:"replicas,omitempty"`
 }
 
 // dbBackend serves one unsharded database.
@@ -201,10 +208,14 @@ func (b setBackend) ShardVarz() []ShardVarz {
 			LiveObjects: db.LiveObjects(),
 			Requests:    reg.Counter("shard" + strconv.Itoa(i) + "_requests_total").Load(),
 			Errors:      reg.Counter("shard" + strconv.Itoa(i) + "_errors_total").Load(),
+			Health:      b.set.ShardHealth(i),
+			Replicas:    b.set.ShardReplicas(i),
 		}
 	}
 	return out
 }
+
+func (b setBackend) ShardHealth() []string { return b.set.Health() }
 
 // setView adapts *shard.MultiView to QueryView. The algo hint of
 // diversified queries is ignored: the router always merges per-shard

@@ -253,12 +253,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.BreakerCooldown.Seconds()+0.5)))
 	}
-	writeJSON(w, status, map[string]any{
+	body := map[string]any{
 		"status":  st.String(),
 		"uptime":  time.Since(s.started).String(),
 		"lsn":     s.backend.LSN(),
 		"version": s.backend.Version(),
-	})
+	}
+	if sb, ok := s.backend.(sharded); ok {
+		// Per-shard failover state ("primary"|"replica"|"down"): a shard
+		// can lose its primary and keep serving from replicas without
+		// the server-wide breaker noticing — surface it here.
+		body["shards"] = sb.ShardHealth()
+	}
+	writeJSON(w, status, body)
 }
 
 // chaosRequest is the /v1/chaos body. Shard, when present on a sharded

@@ -1,0 +1,62 @@
+package shard
+
+import "time"
+
+// Backoff computes capped exponential retry delays with deterministic,
+// seed-derived jitter. Both consumers of waiting in this package use
+// it: a fan-out leg retrying a transient shard error, and a replica's
+// tail loop polling its primary's log for new durable records.
+//
+// The jitter is a pure function of (Seed, attempt) — no global
+// randomness, no clock reads — so a configured seed reproduces the
+// exact retry schedule run after run. The spread follows the
+// "equal jitter" rule: attempt n waits somewhere in [exp/2, exp) where
+// exp = Base<<n capped at Cap, enough to de-synchronize concurrent legs
+// without ever waiting past the cap or less than half the target.
+type Backoff struct {
+	// Base is the uncapped delay of attempt 0; zero or negative
+	// disables waiting entirely (every delay is 0).
+	Base time.Duration
+	// Cap bounds every delay; zero or negative means Base (no growth).
+	Cap time.Duration
+	// Seed keys the jitter. Derive it from configuration (and a stable
+	// per-consumer salt), never from the clock.
+	Seed uint64
+}
+
+// Delay returns how long to wait before retry attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	lim := b.Cap
+	if lim <= 0 {
+		lim = b.Base
+	}
+	exp := b.Base
+	for i := 0; i < attempt && exp < lim; i++ {
+		exp <<= 1
+		if exp <= 0 { // overflowed time.Duration
+			exp = lim
+			break
+		}
+	}
+	if exp > lim {
+		exp = lim
+	}
+	half := exp / 2
+	if half <= 0 {
+		return exp
+	}
+	h := splitmix64(b.Seed ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	return half + time.Duration(h%uint64(half))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed integer
+// hash whose output is a pure function of its input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffZeroBaseNeverWaits(t *testing.T) {
+	b := Backoff{Seed: 7}
+	for i := 0; i < 10; i++ {
+		if d := b.Delay(i); d != 0 {
+			t.Fatalf("Delay(%d) with zero base = %v, want 0", i, d)
+		}
+	}
+}
+
+func TestBackoffBoundsAndCap(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 50 * time.Millisecond, Seed: 42}
+	for attempt := 0; attempt < 64; attempt++ {
+		d := b.Delay(attempt)
+		// exp = Base<<attempt, saturating at Cap.
+		exp := b.Base
+		for i := 0; i < attempt && exp < b.Cap; i++ {
+			exp <<= 1
+		}
+		if exp > b.Cap {
+			exp = b.Cap
+		}
+		if d < exp/2 || d >= exp {
+			t.Fatalf("Delay(%d) = %v, want in [%v, %v)", attempt, d, exp/2, exp)
+		}
+	}
+}
+
+func TestBackoffCapDefaultsToBase(t *testing.T) {
+	b := Backoff{Base: 8 * time.Millisecond, Seed: 3}
+	for attempt := 0; attempt < 32; attempt++ {
+		d := b.Delay(attempt)
+		if d < b.Base/2 || d >= b.Base {
+			t.Fatalf("Delay(%d) without a cap = %v, want in [%v, %v)", attempt, d, b.Base/2, b.Base)
+		}
+	}
+}
+
+func TestBackoffOverflowSaturatesAtCap(t *testing.T) {
+	b := Backoff{Base: time.Hour, Cap: 2 * time.Hour, Seed: 1}
+	for _, attempt := range []int{0, 1, 40, 62, 63, 1000} {
+		if d := b.Delay(attempt); d >= b.Cap || d < 0 {
+			t.Fatalf("Delay(%d) = %v, want in [0, %v)", attempt, d, b.Cap)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 11}
+	b := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 11}
+	c := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 12}
+	differs := false
+	for i := 0; i < 20; i++ {
+		if a.Delay(i) != b.Delay(i) {
+			t.Fatalf("Delay(%d) not reproducible for equal seeds", i)
+		}
+		if a.Delay(i) != c.Delay(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("two different seeds produced identical 20-delay schedules")
+	}
+}

@@ -165,5 +165,20 @@ func OpenSetPath(dir string, opts Options) (*Set, error) {
 	for i := range s.shards {
 		s.reconcile(i)
 	}
+	if err := s.checkReplication(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	// Replicas re-seed from the same per-shard snapshots (no WAL of
+	// their own, so they reopen at the snapshot's recorded LSN) and tail
+	// the primary's log from there — replaying through the tailer the
+	// same records the primary replayed at open.
+	for i := range s.shards {
+		if err := s.startReplicas(i, nil, filepath.Join(dir, fmt.Sprintf("shard-%d", i))); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	s.launchReplicas()
 	return s, nil
 }

@@ -1,0 +1,460 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dsks"
+	"dsks/internal/wal"
+)
+
+// replicatedSet opens an n-way set with r WAL-shipped replicas per shard.
+func replicatedSet(t *testing.T, n, r int, opts Options) (*Set, *dsks.Dataset) {
+	t.Helper()
+	opts.DB.Index = dsks.IndexSIF
+	opts.DB.WALDir = t.TempDir()
+	opts.Replicas = r
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Open(ds.Graph, ds.Objects, ds.VocabSize, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = set.Close() })
+	return set, ds
+}
+
+// waitReplicasConverged polls until every replica's AppliedLSN reaches
+// its primary's commit LSN (callers quiesce writes first).
+func waitReplicasConverged(t *testing.T, set *Set) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		behind := false
+		for i := range set.shards {
+			lsn := set.shards[i].db.LSN()
+			for _, rep := range set.shards[i].replicas {
+				if err := rep.Err(); err != nil {
+					t.Fatalf("replica %d of shard %d died: %v", rep.idx, i, err)
+				}
+				if rep.AppliedLSN() < lsn {
+					behind = true
+				}
+			}
+		}
+		if !behind {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas did not converge: primaries %v, replicas %v",
+				set.LSNs(), set.Health())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// insertStorm drives the workload's inserts through the router from
+// several goroutines.
+func insertStorm(t *testing.T, set *Set, ds *dsks.Dataset, n int) {
+	t.Helper()
+	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: n, Keywords: 2, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ws); i += 3 {
+				if _, _, err := set.Insert(ws[i].Pos, ws[i].Terms); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestReplicasConvergeAndAnswerIdentically(t *testing.T) {
+	set, ds := replicatedSet(t, 3, 2, Options{Seed: 9})
+	ctx := context.Background()
+	q := wideQuery(t, ds)
+
+	insertStorm(t, set, ds, 90)
+	waitReplicasConverged(t, set)
+
+	// At equal LSNs, every replica must answer bit-identically to its
+	// primary — they applied the same records through the same replay
+	// path.
+	for i := range set.shards {
+		pv, err := set.shards[i].db.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pv.Search(ctx, q)
+		pv.Close()
+		if err != nil {
+			t.Fatalf("shard %d primary: %v", i, err)
+		}
+		for _, rep := range set.shards[i].replicas {
+			if got, lsn := rep.AppliedLSN(), set.shards[i].db.LSN(); got != lsn {
+				t.Fatalf("replica %d of shard %d at LSN %d, primary at %d", rep.idx, i, got, lsn)
+			}
+			rv, err := rep.View(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rv.Search(ctx, q)
+			rv.Close()
+			if err != nil {
+				t.Fatalf("shard %d replica %d: %v", i, rep.idx, err)
+			}
+			requireSameCandidates(t, "replica answer", want.Candidates, got.Candidates)
+		}
+		if varz := set.ShardReplicas(i); len(varz) != 2 || varz[0].Lag != 0 {
+			t.Fatalf("shard %d replica varz = %+v, want 2 converged rows", i, varz)
+		}
+	}
+	if h := set.Health(); len(h) != 3 || h[0] != HealthPrimary {
+		t.Fatalf("healthy set reports %v", h)
+	}
+}
+
+func TestReplicaFailoverServesFullResults(t *testing.T) {
+	set, ds := replicatedSet(t, 3, 1, Options{
+		Seed: 4, DownAfter: 2, DownCooldown: 50 * time.Millisecond,
+	})
+	ctx := context.Background()
+	q := wideQuery(t, ds)
+	insertStorm(t, set, ds, 30)
+	waitReplicasConverged(t, set)
+
+	mv, err := set.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mv.Search(ctx, q)
+	mv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill shard 0's primary storage: every leg on it fails, and the
+	// replica must absorb the reads with zero degradation — full answers,
+	// not partials or errors.
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.SetShardFaultSpec(0, "read:every=1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mv, err := set.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mv.Search(ctx, q)
+		meta := mv.Meta()
+		mv.Close()
+		if err != nil {
+			t.Fatalf("query %d under a dead primary: %v", i, err)
+		}
+		if meta.Partial {
+			t.Fatalf("query %d degraded to a partial result", i)
+		}
+		requireSameCandidates(t, "failover answer", want.Candidates, got.Candidates)
+	}
+	if got := set.Metrics().Counter(CounterFailovers).Load(); got == 0 {
+		t.Fatal("failovers_total stayed zero under a dead primary")
+	}
+	if h := set.ShardHealth(0); h != HealthReplica {
+		t.Fatalf("shard 0 health = %q after repeated primary failures, want %q", h, HealthReplica)
+	}
+
+	// Heal the primary; after the cooldown a probe leg reclaims it.
+	set.ClearFaults()
+	if err := set.ResetIO(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for set.ShardHealth(0) != HealthPrimary {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 0 stuck in %q after healing", set.ShardHealth(0))
+		}
+		time.Sleep(20 * time.Millisecond)
+		mv, err := set.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mv.Search(ctx, q); err != nil {
+			mv.Close()
+			t.Fatalf("query during heal: %v", err)
+		}
+		mv.Close()
+	}
+}
+
+func TestReplicaHedgedReads(t *testing.T) {
+	set, ds := replicatedSet(t, 2, 1, Options{Seed: 8, HedgeAfter: time.Nanosecond})
+	ctx := context.Background()
+	q := wideQuery(t, ds)
+	insertStorm(t, set, ds, 20)
+	waitReplicasConverged(t, set)
+
+	// With a hedging delay of a nanosecond, the timer beats nearly every
+	// primary leg: replica legs race and the first answer wins. Every
+	// query must still succeed with a full answer.
+	for i := 0; i < 50; i++ {
+		mv, err := set.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mv.Search(ctx, q)
+		mv.Close()
+		if err != nil {
+			t.Fatalf("hedged query %d: %v", i, err)
+		}
+		if len(res.Candidates) == 0 {
+			t.Fatalf("hedged query %d returned no candidates", i)
+		}
+	}
+	if got := set.Metrics().Counter(CounterHedgedReads).Load(); got == 0 {
+		t.Fatal("hedged_reads_total stayed zero with a nanosecond hedge delay")
+	}
+}
+
+func TestFreshestReplicaStalenessBound(t *testing.T) {
+	healthy := &Replica{target: func() uint64 { return 9 }}
+	healthy.applied.Store(5)
+	dead := &Replica{serr: errors.New("poisoned"), target: func() uint64 { return 9 }}
+	dead.applied.Store(9) // fresher, but terminal — must never be picked
+	s := &Set{maxStale: 2, shards: make([]shardState, 1)}
+	s.shards[0].replicas = []*Replica{healthy, dead}
+
+	if rep, err := s.freshestReplica(0, 7); err != nil || rep != healthy {
+		t.Fatalf("within the bound: (%v, %v), want the healthy replica", rep, err)
+	}
+	_, err := s.freshestReplica(0, 10)
+	if !errors.Is(err, ErrReplicaLagging) || !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("past the bound err = %v, want ErrReplicaLagging and ErrShardUnavailable", err)
+	}
+
+	// maxStale 0 means unbounded.
+	s.maxStale = 0
+	if rep, err := s.freshestReplica(0, 1<<40); err != nil || rep != healthy {
+		t.Fatalf("unbounded: (%v, %v), want the healthy replica", rep, err)
+	}
+
+	// No live replica at all: unavailable, but not "lagging".
+	s.shards[0].replicas = []*Replica{dead}
+	_, err = s.freshestReplica(0, 1)
+	if !errors.Is(err, ErrShardUnavailable) || errors.Is(err, ErrReplicaLagging) {
+		t.Fatalf("no live replica err = %v, want bare ErrShardUnavailable", err)
+	}
+}
+
+func TestShardHealthStateMachine(t *testing.T) {
+	cur := time.Unix(1000, 0)
+	h := newShardHealth(2, time.Minute)
+	h.now = func() time.Time { return cur }
+
+	if probe, ok := h.allowPrimary(); probe || !ok {
+		t.Fatalf("healthy allowPrimary = (%v, %v), want (false, true)", probe, ok)
+	}
+	if h.recordFailure() {
+		t.Fatal("first failure tripped the breaker")
+	}
+	if !h.recordFailure() {
+		t.Fatal("second failure did not trip with downAfter=2")
+	}
+	if !h.isDown() {
+		t.Fatal("not down after tripping")
+	}
+	if _, ok := h.allowPrimary(); ok {
+		t.Fatal("primary admitted during cooldown")
+	}
+
+	// Cooldown over: exactly one probe is admitted.
+	cur = cur.Add(time.Minute)
+	if probe, ok := h.allowPrimary(); !probe || !ok {
+		t.Fatalf("post-cooldown allowPrimary = (%v, %v), want a probe", probe, ok)
+	}
+	if _, ok := h.allowPrimary(); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// The probe fails: the cooldown clock restarts.
+	h.recordFailure()
+	if _, ok := h.allowPrimary(); ok {
+		t.Fatal("primary admitted right after a failed probe")
+	}
+	cur = cur.Add(time.Minute)
+	if probe, ok := h.allowPrimary(); !probe || !ok {
+		t.Fatal("no probe after the restarted cooldown")
+	}
+	h.recordSuccess()
+	if h.isDown() {
+		t.Fatal("still down after a successful probe")
+	}
+	if probe, ok := h.allowPrimary(); probe || !ok {
+		t.Fatalf("healed allowPrimary = (%v, %v), want (false, true)", probe, ok)
+	}
+}
+
+// TestReplicaPoisonedTailStopsCleanly: a corrupt record in the shipping
+// stream kills the tail loop with a sticky error; the replica keeps
+// serving reads at its last applied version and reports its lag, and the
+// failover path (freshestReplica) refuses it.
+func TestReplicaPoisonedTailStopsCleanly(t *testing.T) {
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	// The replica's base must be cloned before the primary opens: the
+	// primary keeps (and mutates) the collection it is given.
+	base := cloneCollection(ds.Objects)
+	primary, err := dsks.Open(ds.Graph, ds.Objects, ds.VocabSize,
+		dsks.Options{Index: dsks.IndexSIF, WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+
+	ws, err := dsks.GenerateWorkload(base, ds.VocabSize, dsks.WorkloadConfig{
+		NumQueries: 5, Keywords: 2, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if _, err := primary.Insert(w.Pos, w.Terms); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Poison the shipping stream: flip a byte inside the first record.
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s: %v", walDir, err)
+	}
+	blob, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[12] ^= 0x40
+	if err := os.WriteFile(segs[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rdb, err := dsks.Open(ds.Graph, base, ds.VocabSize, dsks.Options{Index: dsks.IndexSIF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := primary.TailWAL(rdb.LSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := newReplica(0, 0, rdb, tail, primary.DurableLSN,
+		Backoff{Base: time.Millisecond, Cap: 4 * time.Millisecond, Seed: 1}, func() {})
+	rep.start()
+	defer rep.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never surfaced the corrupt tail")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(rep.Err(), wal.ErrCorrupt) {
+		t.Fatalf("replica error = %v, want wal.ErrCorrupt", rep.Err())
+	}
+	if got := rep.AppliedLSN(); got != 0 {
+		t.Fatalf("poisoned replica applied LSN %d, want 0", got)
+	}
+	if lag := rep.Lag(); lag != uint64(len(ws)) {
+		t.Fatalf("poisoned replica lag = %d, want %d", lag, len(ws))
+	}
+
+	// Still serving at its last good version.
+	v, err := rep.View(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Search(context.Background(), wideQuery(t, ds)); err != nil {
+		t.Fatalf("poisoned replica stopped serving: %v", err)
+	}
+	v.Close()
+}
+
+func TestOpenRejectsReplicasWithoutWAL(t *testing.T) {
+	ds, err := dsks.GeneratePreset(dsks.PresetSYN, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(ds.Graph, ds.Objects, ds.VocabSize, 2,
+		Options{DB: dsks.Options{Index: dsks.IndexSIF}, Replicas: 1})
+	if !errors.Is(err, dsks.ErrBadOptions) {
+		t.Fatalf("Open with replicas but no WAL = %v, want ErrBadOptions", err)
+	}
+}
+
+func TestSetSaveReopenWithReplicas(t *testing.T) {
+	set, ds := replicatedSet(t, 2, 1, Options{Seed: 3})
+	ctx := context.Background()
+	q := wideQuery(t, ds)
+	insertStorm(t, set, ds, 20)
+
+	dir := t.TempDir()
+	if err := set.SaveTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenSetPath(dir, Options{
+		DB:       dsks.Options{Index: dsks.IndexSIF, WALDir: t.TempDir()},
+		Replicas: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reopened.Close() }()
+	insertStorm(t, reopened, ds, 15)
+	waitReplicasConverged(t, reopened)
+
+	for i := range reopened.shards {
+		pv, err := reopened.shards[i].db.View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pv.Search(ctx, q)
+		pv.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := reopened.shards[i].replicas[0].View(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rv.Search(ctx, q)
+		rv.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameCandidates(t, "reopened replica", want.Candidates, got.Candidates)
+	}
+}

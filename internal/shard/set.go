@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsks"
 	"dsks/internal/ccam"
@@ -57,6 +58,29 @@ type Options struct {
 	// FanoutLimit bounds the number of concurrently running legs per
 	// request; 0 means "all routed shards at once".
 	FanoutLimit int
+	// Replicas is the number of WAL-shipped read replicas per shard
+	// (R). Replicas require DB.WALDir — the log is the shipping medium.
+	Replicas int
+	// MaxStaleness bounds how far (in log records) behind the pinned
+	// primary LSN a failover replica may serve a read; 0 means
+	// unbounded.
+	MaxStaleness uint64
+	// HedgeAfter races a replica against a primary leg that has not
+	// answered within this delay, taking whichever finishes first; 0
+	// disables hedging.
+	HedgeAfter time.Duration
+	// LegRetries is how many times a fan-out leg retries a transient
+	// shard error on the primary (capped exponential backoff with
+	// deterministic jitter) before failing over; negative disables
+	// retries.
+	LegRetries int
+	// DownAfter is how many consecutive shard-class failures mark a
+	// primary down (default 3); DownCooldown gates recovery probes
+	// (default 1s).
+	DownAfter    int
+	DownCooldown time.Duration
+	// Seed keys every deterministic jitter schedule in the set.
+	Seed uint64
 }
 
 // home locates a global object inside the set. shard < 0 marks a burned
@@ -83,6 +107,11 @@ type shardState struct {
 	// reqs / errs count fan-out legs sent to / failed on this shard.
 	reqs *atomic.Int64
 	errs *atomic.Int64
+	// replicas are the shard's WAL-shipped read replicas (possibly
+	// empty); health is the primary's availability state machine. Both
+	// are fixed at open time.
+	replicas []*Replica
+	health   *shardHealth
 }
 
 // Set is an N-way sharded database: one dsks.DB per partition group, all
@@ -102,10 +131,22 @@ type Set struct {
 	fanout   int
 	template dsks.Options
 
+	// Replication / failover configuration (see Options).
+	nreplicas  int
+	maxStale   uint64
+	hedgeAfter time.Duration
+	legRetries int
+	seed       uint64
+
 	reg        *metrics.Registry
 	legsTotal  *atomic.Int64
 	pruneTotal *atomic.Int64
 	partTotal  *atomic.Int64
+	retryTotal *atomic.Int64
+	hedgeTotal *atomic.Int64
+	failTotal  *atomic.Int64
+	repApplied *atomic.Int64
+	repLag     *atomic.Int64
 
 	// seq is the router's mutation clock: every acknowledged mutation
 	// gets the next value, giving clients one monotone LSN-like token
@@ -133,6 +174,9 @@ func Open(g *dsks.Graph, objects *dsks.Collection, vocabSize, n int, opts Option
 		return nil, err
 	}
 	s := newSet(g, vocabSize, part, opts)
+	if err := s.checkReplication(); err != nil {
+		return nil, err
+	}
 
 	cols := make([]*dsks.Collection, n)
 	for i := range cols {
@@ -150,6 +194,13 @@ func Open(g *dsks.Graph, objects *dsks.Collection, vocabSize, n int, opts Option
 	}
 
 	for i := range s.shards {
+		// Replica bases must be cloned BEFORE the primary opens: opening
+		// replays the shard's WAL tail into cols[i], and the replicas
+		// re-apply exactly those records through the tailer instead.
+		var seeds []*dsks.Collection
+		for j := 0; j < s.nreplicas; j++ {
+			seeds = append(seeds, cloneCollection(cols[i]))
+		}
 		db, err := dsks.Open(g, cols[i], vocabSize, s.shardOptions(i))
 		if err != nil {
 			s.closeOpened(i)
@@ -158,8 +209,23 @@ func Open(g *dsks.Graph, objects *dsks.Collection, vocabSize, n int, opts Option
 		s.shards[i].db = db
 		s.shards[i].nextLocal = dsks.ObjectID(cols[i].Len())
 		s.reconcile(i)
+		if err := s.startReplicas(i, seeds, ""); err != nil {
+			s.closeOpened(i + 1)
+			return nil, err
+		}
 	}
+	s.launchReplicas()
 	return s, nil
+}
+
+// checkReplication validates the replication options: the WAL is the
+// shipping medium, so replicas without a log directory cannot exist.
+func (s *Set) checkReplication() error {
+	if s.nreplicas > 0 && s.template.WALDir == "" {
+		return fmt.Errorf("shard: %d replicas per shard need DB.WALDir (the WAL is the shipping medium): %w",
+			s.nreplicas, dsks.ErrBadOptions)
+	}
+	return nil
 }
 
 // reconcile registers objects shard i's database holds beyond the
@@ -193,17 +259,33 @@ func newSet(g *dsks.Graph, vocabSize int, part *Partition, opts Options) *Set {
 		partial:    opts.Partial,
 		fanout:     opts.FanoutLimit,
 		template:   opts.DB,
+		nreplicas:  opts.Replicas,
+		maxStale:   opts.MaxStaleness,
+		hedgeAfter: opts.HedgeAfter,
+		legRetries: opts.LegRetries,
+		seed:       opts.Seed,
 		reg:        reg,
 		legsTotal:  reg.Counter(CounterFanoutLegs),
 		pruneTotal: reg.Counter(CounterPrunedLegs),
 		partTotal:  reg.Counter(CounterPartial),
+		retryTotal: reg.Counter(CounterLegRetries),
+		hedgeTotal: reg.Counter(CounterHedgedReads),
+		failTotal:  reg.Counter(CounterFailovers),
+		repApplied: reg.Counter(GaugeReplicaApplied),
+		repLag:     reg.Counter(GaugeReplicaLag),
 		termBits:   make([][]uint64, part.Shards),
+	}
+	if s.nreplicas < 0 {
+		s.nreplicas = 0
 	}
 	words := (vocabSize + 63) / 64
 	for i := range s.shards {
 		s.termBits[i] = make([]uint64, words)
 		s.shards[i].reqs = reg.Counter(fmt.Sprintf("shard%d_requests_total", i))
 		s.shards[i].errs = reg.Counter(fmt.Sprintf("shard%d_errors_total", i))
+		if s.nreplicas > 0 {
+			s.shards[i].health = newShardHealth(opts.DownAfter, opts.DownCooldown)
+		}
 	}
 	return s
 }
@@ -219,6 +301,19 @@ func (s *Set) shardOptions(i int) dsks.Options {
 	}
 	if o.DiskDir != "" {
 		o.DiskDir = filepath.Join(o.DiskDir, sub)
+		_ = os.MkdirAll(o.DiskDir, 0o755)
+	}
+	return o
+}
+
+// replicaOptions derives replica j-of-shard-i's database options: no
+// WAL of its own (the primary's log is the single source of truth) and
+// a private disk directory so two pools never share page files.
+func (s *Set) replicaOptions(i, j int) dsks.Options {
+	o := s.template
+	o.WALDir = ""
+	if o.DiskDir != "" {
+		o.DiskDir = filepath.Join(o.DiskDir, fmt.Sprintf("shard-%d-replica-%d", i, j))
 		_ = os.MkdirAll(o.DiskDir, 0o755)
 	}
 	return o
@@ -245,9 +340,13 @@ func (s *Set) record(owner int, local dsks.ObjectID, terms []dsks.TermID) dsks.O
 	return global
 }
 
-// closeOpened closes the first n shard databases (error cleanup).
+// closeOpened closes the first n shards' databases and replicas (error
+// cleanup).
 func (s *Set) closeOpened(n int) {
 	for i := 0; i < n; i++ {
+		for _, r := range s.shards[i].replicas {
+			_ = r.Close()
+		}
 		if s.shards[i].db != nil {
 			_ = s.shards[i].db.Close()
 		}
@@ -315,6 +414,14 @@ func (s *Set) Close() error {
 	}
 	var first error
 	for i := range s.shards {
+		// Replicas first: their tail loops read the primary's log files,
+		// and stopping them before the log closes keeps the shutdown
+		// order deterministic.
+		for j, r := range s.shards[i].replicas {
+			if err := r.Close(); err != nil && first == nil {
+				first = fmt.Errorf("shard: closing replica %d of shard %d: %w", j, i, err)
+			}
+		}
 		if s.shards[i].db == nil {
 			continue
 		}
@@ -549,7 +656,10 @@ func (s *Set) guard(pos dsks.Position, terms []dsks.TermID) error {
 
 // View pins one read view per shard — all pinned before any result is
 // read, so a request sees one consistent per-shard LSN vector (reported
-// in the result envelope). Close closes every per-shard view.
+// in the result envelope). With replicas configured, a shard whose
+// primary cannot be pinned falls back to its freshest live replica
+// within the staleness bound; the request then runs that shard's legs
+// on the replica view. Close closes every per-shard view.
 func (s *Set) View(ctx context.Context) (*MultiView, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -558,15 +668,42 @@ func (s *Set) View(ctx context.Context) (*MultiView, error) {
 		set:   s,
 		views: make([]*dsks.View, len(s.shards)),
 		lsns:  make([]uint64, len(s.shards)),
+		srcs:  make([]int8, len(s.shards)),
 	}
 	for i := range s.shards {
+		mv.srcs[i] = srcPrimary
 		v, err := s.shards[i].db.View(ctx)
 		if err != nil {
-			mv.Close()
-			return nil, fmt.Errorf("shard: pinning view on shard %d: %w: %w", i, ErrShardDown, err)
+			// The pin itself failed (closed shard, done context): try a
+			// replica pinned against the primary's last published LSN.
+			rep, rerr := s.replicaFallback(i, s.shards[i].db.LSN())
+			if rerr != nil {
+				mv.Close()
+				return nil, fmt.Errorf("shard: pinning view on shard %d: %w: %w: %w", i, ErrShardDown, err, rerr)
+			}
+			rv, rerr := rep.View(ctx)
+			if rerr != nil {
+				mv.Close()
+				return nil, fmt.Errorf("shard: pinning replica view on shard %d: %w: %w", i, ErrShardDown, rerr)
+			}
+			s.failTotal.Add(1)
+			mv.views[i] = rv
+			mv.lsns[i] = rv.LSN()
+			mv.srcs[i] = int8(rep.idx)
+			continue
 		}
 		mv.views[i] = v
 		mv.lsns[i] = v.LSN()
 	}
 	return mv, nil
+}
+
+// replicaFallback is freshestReplica behind the "are there replicas at
+// all" guard (pin-time fallback must not invent ErrShardUnavailable on
+// an unreplicated set).
+func (s *Set) replicaFallback(i int, want uint64) (*Replica, error) {
+	if len(s.shards[i].replicas) == 0 {
+		return nil, fmt.Errorf("shard: shard %d: %w: no replicas configured", i, ErrShardUnavailable)
+	}
+	return s.freshestReplica(i, want)
 }

@@ -39,10 +39,20 @@ type Meta struct {
 // one consistent per-shard LSN vector. Like dsks.View it serves exactly
 // one request at a time — methods must not be called concurrently on the
 // same MultiView.
+// srcPrimary marks a leg pinned on its shard's primary; non-negative
+// values are the index of the replica pinned instead (primary was
+// unpinnable at View time).
+const srcPrimary int8 = -1
+
 type MultiView struct {
-	set    *Set
-	views  []*dsks.View
-	lsns   []uint64
+	set   *Set
+	views []*dsks.View
+	lsns  []uint64
+	// srcs records, per shard, which database the pinned view belongs
+	// to (srcPrimary or a replica index); nil on sets built before
+	// replication existed only in tests that construct MultiView by
+	// hand.
+	srcs   []int8
 	meta   Meta
 	closed atomic.Bool
 }
@@ -150,7 +160,7 @@ func (mv *MultiView) fanout(ctx context.Context, targets []int,
 			}
 			defer func() { <-sem }()
 			s.shards[si].reqs.Add(1)
-			res, err := run(fctx, mv.views[si])
+			res, err := mv.runLeg(fctx, si, run)
 			legs[k].res, legs[k].err = res, err
 			if err != nil {
 				s.shards[si].errs.Add(1)
@@ -163,6 +173,174 @@ func (mv *MultiView) fanout(ctx context.Context, targets []int,
 	}
 	wg.Wait()
 	return legs
+}
+
+// legFunc runs one query against one pinned view.
+type legFunc func(ctx context.Context, v *dsks.View) (dsks.Result, error)
+
+// Per-leg retry backoff: small enough to fit several attempts inside a
+// request timeout, jittered so concurrent legs don't retry in lockstep.
+const (
+	legRetryBase = 2 * time.Millisecond
+	legRetryCap  = 50 * time.Millisecond
+)
+
+// runLeg executes one fan-out leg under the failover protocol:
+//
+//   - a leg already pinned on a replica (the primary was unpinnable at
+//     View time), or a shard with no replicas, just runs its view;
+//   - a primary marked down serves from the freshest replica within the
+//     staleness bound, except for one recovery probe per cooldown
+//     window, which tries the primary (and heals it on success);
+//   - a healthy primary runs with capped-backoff retries on transient
+//     errors; if it outlives the hedging delay, a replica leg races it
+//     and the first answer wins; if it fails for good, the leg fails
+//     over to a replica before giving up.
+//
+// Health accounting mirrors the server breaker: only shard-class errors
+// count against the primary — client-class errors (bad query, canceled
+// context) are the request's fault and stay neutral.
+func (mv *MultiView) runLeg(ctx context.Context, si int, run legFunc) (dsks.Result, error) {
+	s := mv.set
+	st := &s.shards[si]
+	if (mv.srcs != nil && mv.srcs[si] != srcPrimary) || len(st.replicas) == 0 {
+		return run(ctx, mv.views[si])
+	}
+	probe, ok := st.health.allowPrimary()
+	if !ok {
+		s.failTotal.Add(1)
+		return mv.replicaLeg(ctx, si, run)
+	}
+	retries := s.legRetries
+	if probe {
+		// A probe decides health as fast as possible: no retries.
+		retries = 0
+	}
+	return mv.racePrimary(ctx, si, run, retries)
+}
+
+// legOutcome is one side's result in the primary/replica race.
+type legOutcome struct {
+	res     dsks.Result
+	err     error
+	primary bool
+}
+
+// racePrimary runs the primary leg (with retries) and, when hedging
+// fires or the primary fails, a replica leg, returning whichever
+// answers first. The losing side is canceled through the shared
+// context; its outcome drains into the buffered channel.
+func (mv *MultiView) racePrimary(ctx context.Context, si int, run legFunc, retries int) (dsks.Result, error) {
+	s := mv.set
+	st := &s.shards[si]
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan legOutcome, 2)
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- legOutcome{err: fmt.Errorf("shard: shard %d: %w: panic: %v", si, ErrShardDown, r), primary: true}
+			}
+		}()
+		bo := Backoff{Base: legRetryBase, Cap: legRetryCap, Seed: s.seed ^ splitmix64(uint64(si))}
+		for attempt := 0; ; attempt++ {
+			res, err := run(pctx, mv.views[si])
+			if err == nil || clientClass(err) || attempt >= retries {
+				ch <- legOutcome{res: res, err: err, primary: true}
+				return
+			}
+			s.retryTotal.Add(1)
+			t := time.NewTimer(bo.Delay(attempt))
+			select {
+			case <-pctx.Done():
+				t.Stop()
+				ch <- legOutcome{err: err, primary: true}
+				return
+			case <-t.C:
+			}
+		}
+	}()
+
+	var hedgeC <-chan time.Time
+	if s.hedgeAfter > 0 {
+		ht := time.NewTimer(s.hedgeAfter)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	launched := false
+	launch := func() {
+		launched = true
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ch <- legOutcome{err: fmt.Errorf("shard: shard %d replica leg: %w: panic: %v", si, ErrShardDown, r)}
+				}
+			}()
+			res, err := mv.replicaLeg(pctx, si, run)
+			ch <- legOutcome{res: res, err: err}
+		}()
+	}
+
+	var pErr, rErr error
+	pDone, rDone := false, false
+	for {
+		select {
+		case out := <-ch:
+			if out.primary {
+				pDone = true
+				if out.err == nil {
+					st.health.recordSuccess()
+					return out.res, nil
+				}
+				if clientClass(out.err) {
+					return out.res, out.err
+				}
+				st.health.recordFailure()
+				pErr = out.err
+				if !launched {
+					s.failTotal.Add(1)
+					launch()
+				}
+			} else {
+				rDone = true
+				if out.err == nil {
+					return out.res, nil
+				}
+				rErr = out.err
+			}
+			if pDone && (rDone || !launched) {
+				if rErr != nil {
+					return dsks.Result{}, fmt.Errorf("%w; failover: %w", pErr, rErr)
+				}
+				return dsks.Result{}, pErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !launched {
+				s.hedgeTotal.Add(1)
+				launch()
+			}
+		}
+	}
+}
+
+// replicaLeg serves one leg from the shard's freshest live replica
+// within the staleness bound of the LSN this request pinned. The
+// replica view is pinned here and closed on every path — it lives
+// exactly as long as the leg.
+func (mv *MultiView) replicaLeg(ctx context.Context, si int, run legFunc) (dsks.Result, error) {
+	s := mv.set
+	rep, err := s.freshestReplica(si, mv.lsns[si])
+	if err != nil {
+		return dsks.Result{}, err
+	}
+	rv, err := rep.View(ctx)
+	if err != nil {
+		return dsks.Result{}, fmt.Errorf("shard: pinning replica %d of shard %d: %w", rep.idx, si, err)
+	}
+	defer rv.Close()
+	return run(ctx, rv)
 }
 
 // gather applies the failure policy to a fan-out's legs. It returns the

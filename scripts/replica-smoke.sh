@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Replica-failover smoke test (run by `make replica-smoke` and the CI
+# replica-smoke job): boot dsks-serve sharded 4 ways with one WAL-shipped
+# read replica per shard and the result cache disabled (every read hits
+# storage, so failover is actually exercised), then
+#   - drive an insert-heavy mixed hammer and assert every replica
+#     converges to its primary's commit LSN (appliedLSN == lsn, lag 0),
+#   - kill shard 0's primary storage mid-read-hammer through the
+#     shard-targeted chaos endpoint and require ZERO 5xx and ZERO 206:
+#     with replicas the router must fail over, not degrade — plus
+#     failovers_total > 0 and shard 0 reporting health "replica",
+#   - heal, and assert a probe leg reclaims the primary (health back to
+#     "primary") and fresh writes converge to the replicas again,
+#   - finish with a full mixed strict hammer and a clean drain (exit 0).
+set -u
+
+BIN="${1:?usage: replica-smoke.sh <path-to-dsks-serve>}"
+ADDR="127.0.0.1:18087"
+WALDIR="$(mktemp -d)"
+trap 'rm -rf "$WALDIR"' EXIT
+
+"$BIN" -addr "$ADDR" -preset SYN -scale 500 -index SIF \
+    -shards 4 -replicas 1 -partial-results -enable-chaos \
+    -wal "$WALDIR" -cache-size -1 \
+    -hedge-after 25ms -max-staleness 100000 -leg-retries 2 \
+    -breaker-cooldown 500ms &
+SERVER=$!
+trap 'kill "$SERVER" 2>/dev/null; rm -rf "$WALDIR"' EXIT
+
+# wait_converged polls /varz until every replica's appliedLSN matches its
+# shard's commit LSN (quiesced writes), failing after ~30s.
+wait_converged() {
+    for i in $(seq 1 60); do
+        if curl -s "http://$ADDR/varz" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+shards = v.get("shards") or []
+assert shards, "no shards section"
+for s in shards:
+    for r in s.get("replicas") or [{"appliedLSN": -1, "lag": -1}]:
+        assert not r.get("error"), "replica error: %s" % r["error"]
+        assert r["appliedLSN"] == s["lsn"] and r["lag"] == 0, "lagging"
+' 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.5
+    done
+    echo "replica-smoke: replicas did not converge within 30s" >&2
+    curl -s "http://$ADDR/varz" | head -c 2000 >&2
+    return 1
+}
+
+# Phase 1: insert-heavy mixed load (strict), then full convergence. The
+# cache is disabled server-side, so strict runs carry -allow-cold-cache.
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 500 \
+    -n 500 -c 6 -distinct 32 \
+    -mix "search:2,insert:4,remove:1" -strict -allow-cold-cache; then
+    echo "replica-smoke: insert-storm strict hammer failed" >&2
+    exit 1
+fi
+if ! wait_converged; then
+    exit 1
+fi
+echo "replica-smoke: replicas converged after the insert storm"
+
+# Phase 2: shard 0's primary storage dies; a read-only strict hammer must
+# see full 200 service — zero 5xx AND zero 206 — because every leg that
+# lands on shard 0 fails over to its converged replica.
+if ! curl -sf -o /dev/null -X POST "http://$ADDR/v1/chaos" \
+    -d '{"spec": "read:every=1", "shard": 0}'; then
+    echo "replica-smoke: arming shard-0 read faults failed" >&2
+    exit 1
+fi
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 500 \
+    -n 600 -c 6 -distinct 32 \
+    -mix "search:4,diversified:2,knn:2,ranked:1" -strict -allow-cold-cache; then
+    echo "replica-smoke: strict read hammer failed with shard 0 down (5xx or 206 leaked)" >&2
+    exit 1
+fi
+if ! curl -s "http://$ADDR/varz" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+c = v["metrics"]["Counters"]
+assert c.get("failovers_total", 0) > 0, "no failovers counted"
+assert v["shards"][0]["health"] == "replica", "shard 0 health %r" % v["shards"][0]["health"]
+'; then
+    echo "replica-smoke: failover not reflected in /varz (failovers_total, shard-0 health)" >&2
+    exit 1
+fi
+if ! curl -s "http://$ADDR/healthz" | python3 -c '
+import json, sys
+v = json.load(sys.stdin)
+assert v["shards"] == ["replica", "primary", "primary", "primary"], v["shards"]
+'; then
+    echo "replica-smoke: /healthz shard vector wrong with shard 0 on replica" >&2
+    exit 1
+fi
+echo "replica-smoke: zero-downtime failover held (no 5xx, no 206, shard 0 on replica)"
+
+# Phase 3: heal. After the down-cooldown a probe leg must reclaim the
+# primary; keep sending wide queries to feed the probe.
+if ! curl -sf -o /dev/null -X POST "http://$ADDR/v1/chaos" -d '{"spec": ""}'; then
+    echo "replica-smoke: clearing faults failed" >&2
+    exit 1
+fi
+QUERY="/v1/search?edge=3&offset=0.4&terms=1&deltaMax=20000"
+reclaimed=0
+for i in $(seq 1 60); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR$QUERY")"
+    if [ "$code" != 200 ]; then
+        echo "replica-smoke: query during heal returned $code" >&2
+        exit 1
+    fi
+    if curl -s "http://$ADDR/healthz" | python3 -c '
+import json, sys
+assert json.load(sys.stdin)["shards"][0] == "primary"
+' 2>/dev/null; then
+        reclaimed=1
+        break
+    fi
+    sleep 0.5
+done
+if [ "$reclaimed" -ne 1 ]; then
+    echo "replica-smoke: shard 0 never reclaimed its primary after healing" >&2
+    exit 1
+fi
+echo "replica-smoke: primary reclaimed after heal"
+
+# Phase 4: fresh writes replicate again, and the full mixed strict hammer
+# passes end to end.
+if ! "$BIN" -hammer -target "http://$ADDR" -preset SYN -scale 500 \
+    -n 400 -c 6 -distinct 32 \
+    -mix "search:4,diversified:2,knn:2,ranked:1,insert:2,remove:1" -strict -allow-cold-cache; then
+    echo "replica-smoke: post-heal mixed strict hammer failed" >&2
+    exit 1
+fi
+if ! wait_converged; then
+    exit 1
+fi
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+CODE=$?
+trap 'rm -rf "$WALDIR"' EXIT
+if [ "$CODE" -ne 0 ]; then
+    echo "replica-smoke: server exited $CODE after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "replica-smoke: ok (replicas converged, zero-downtime failover, primary reclaimed, clean drain)"
