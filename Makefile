@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke shard-smoke replica-smoke bench-mixed bench-shard
+.PHONY: all build test race lint lint-report fuzz-smoke serve serve-smoke chaos-smoke wal-smoke shard-smoke replica-smoke bench-mixed bench-shard bench-oracle
 
 all: build test lint
 
@@ -100,6 +100,15 @@ replica-smoke:
 bench-shard:
 	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
 	./scripts/bench-shard.sh $(CURDIR)/bin/dsks-serve BENCH_shard.json
+
+# bench-oracle mirrors the CI job: replay the same diversified-heavy mix
+# against a server without and with the ALT landmark oracle, accumulate
+# both data points in BENCH_oracle.json, and assert the oracle cuts
+# Dijkstra settled-node work >= 3x at equal-or-better p99
+# (docs/DISTANCE.md).
+bench-oracle:
+	$(GO) build -o $(CURDIR)/bin/dsks-serve ./cmd/dsks-serve
+	./scripts/bench-oracle.sh $(CURDIR)/bin/dsks-serve BENCH_oracle.json
 
 # wal-smoke mirrors the CI job: boot a WAL-backed server, kill -9 it
 # mid-insert-storm, reboot on the same log, and assert every acknowledged

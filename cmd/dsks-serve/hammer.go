@@ -54,6 +54,7 @@ var (
 	hammerBenchMax  *float64
 	hammerReport    *string
 	hammerReportLbl *string
+	hammerDelta     *float64
 )
 
 // hammerFlags registers the load-driver flags.
@@ -62,6 +63,7 @@ func hammerFlags(fs *flag.FlagSet) {
 	hammerN = fs.Int("n", 1000, "hammer: total requests")
 	hammerC = fs.Int("c", 8, "hammer: concurrent workers")
 	hammerDistinct = fs.Int("distinct", 32, "hammer: distinct queries in the mix (repeats exercise the cache)")
+	hammerDelta = fs.Float64("delta", 0, "hammer: δmax per query keyword (0 = dataset default; wider radii stress the pairwise distance engine)")
 	hammerMix = fs.String("mix", "search:4,diversified:3,knn:2,ranked:1", "hammer: endpoint mix as kind:weight pairs (kinds include insert and remove)")
 	hammerStrict = fs.Bool("strict", false, "hammer: exit non-zero on any 5xx, a 206 partial, or a cold cache")
 	hammerColdOK = fs.Bool("allow-cold-cache", false, "hammer: strict runs tolerate zero cache hits (for servers with the cache disabled)")
@@ -426,6 +428,7 @@ func hammerMixReqs(preset string, scale int, seed int64) ([]hammerReq, error) {
 	}
 	ws, err := dsks.GenerateWorkload(ds.Objects, ds.VocabSize, dsks.WorkloadConfig{
 		NumQueries: distinct, Keywords: 2, Seed: seed + 1,
+		DeltaMaxPerKeyword: *hammerDelta,
 	})
 	if err != nil {
 		return nil, err
@@ -582,6 +585,9 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 		} `json:"shards"`
 		Metrics struct {
 			Counters map[string]int64 `json:"Counters"`
+			Queries  map[string]struct {
+				PairDistCalcs int64 `json:"PairDistCalcs"`
+			} `json:"Queries"`
 		} `json:"metrics"`
 	}
 	if resp, err := client.Get(base + "/varz"); err == nil {
@@ -592,6 +598,12 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 				varz.Metrics.Counters["server_cache_hits_total"],
 				varz.Metrics.Counters["server_cache_misses_total"],
 				varz.Metrics.Counters["server_cache_stale_evictions_total"])
+			if c := varz.Metrics.Counters; c["oracle_lb_prunes_total"] > 0 ||
+				c["oracle_ub_hits_total"] > 0 || c["oracle_astar_pops_saved_total"] > 0 {
+				fmt.Printf("  oracle: %d lower-bound prunes, %d upper-bound hits, %d A* pops saved (%d nodes settled)\n",
+					c["oracle_lb_prunes_total"], c["oracle_ub_hits_total"],
+					c["oracle_astar_pops_saved_total"], c["dist_settled_total"])
+			}
 			if len(varz.Shards) > 0 {
 				legs := varz.Metrics.Counters["router_fanout_legs_total"]
 				pruned := varz.Metrics.Counters["router_pruned_legs_total"]
@@ -607,19 +619,28 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 	}
 
 	if *hammerReport != "" {
+		var pairCalcs int64
+		for _, q := range varz.Metrics.Queries {
+			pairCalcs += q.PairDistCalcs
+		}
 		entry := reportEntry{
-			Requests:   n,
-			Seconds:    elapsed.Seconds(),
-			QPS:        float64(n) / elapsed.Seconds(),
-			P50Micros:  pct(lats, 0.50).Microseconds(),
-			P95Micros:  pct(lats, 0.95).Microseconds(),
-			P99Micros:  pct(lats, 0.99).Microseconds(),
-			MaxMicros:  lats[n-1].Microseconds(),
-			Errors:     five + statuses[0],
-			CacheHits:  hits,
-			Shards:     len(varz.Shards),
-			FanoutLegs: varz.Metrics.Counters["router_fanout_legs_total"],
-			PrunedLegs: varz.Metrics.Counters["router_pruned_legs_total"],
+			Requests:        n,
+			Seconds:         elapsed.Seconds(),
+			QPS:             float64(n) / elapsed.Seconds(),
+			P50Micros:       pct(lats, 0.50).Microseconds(),
+			P95Micros:       pct(lats, 0.95).Microseconds(),
+			P99Micros:       pct(lats, 0.99).Microseconds(),
+			MaxMicros:       lats[n-1].Microseconds(),
+			Errors:          five + statuses[0],
+			CacheHits:       hits,
+			Shards:          len(varz.Shards),
+			FanoutLegs:      varz.Metrics.Counters["router_fanout_legs_total"],
+			PrunedLegs:      varz.Metrics.Counters["router_pruned_legs_total"],
+			PairDistCalcs:   pairCalcs,
+			DistSettled:     varz.Metrics.Counters["dist_settled_total"],
+			OracleLBPrunes:  varz.Metrics.Counters["oracle_lb_prunes_total"],
+			OracleUBHits:    varz.Metrics.Counters["oracle_ub_hits_total"],
+			OraclePopsSaved: varz.Metrics.Counters["oracle_astar_pops_saved_total"],
 		}
 		if err := upsertReport(*hammerReport, *hammerReportLbl, entry); err != nil {
 			return err
@@ -661,21 +682,31 @@ func report(client *http.Client, base string, results []hammerResult, elapsed ti
 }
 
 // reportEntry is one labeled hammer run in the -report JSON file: the
-// shard-scaling benchmark upserts one entry per shard count so a single
-// file accumulates the 1/2/4-shard data points.
+// shard-scaling benchmark upserts one entry per shard count, the oracle
+// benchmark one entry per oracle setting, so a single file accumulates
+// the data points of one comparison. The distance-work fields come from
+// the server's /varz after the run: PairDistCalcs counts pairwise
+// distance evaluations, DistSettled the nodes settled by the distance
+// engine's Dijkstra/A* sweeps, and the oracle counters how much of that
+// work the ALT landmarks avoided.
 type reportEntry struct {
-	Requests   int     `json:"requests"`
-	Seconds    float64 `json:"seconds"`
-	QPS        float64 `json:"qps"`
-	P50Micros  int64   `json:"p50Micros"`
-	P95Micros  int64   `json:"p95Micros"`
-	P99Micros  int64   `json:"p99Micros"`
-	MaxMicros  int64   `json:"maxMicros"`
-	Errors     int     `json:"errors"`
-	CacheHits  int     `json:"cacheHits"`
-	Shards     int     `json:"shards,omitempty"`
-	FanoutLegs int64   `json:"fanoutLegs,omitempty"`
-	PrunedLegs int64   `json:"prunedLegs,omitempty"`
+	Requests        int     `json:"requests"`
+	Seconds         float64 `json:"seconds"`
+	QPS             float64 `json:"qps"`
+	P50Micros       int64   `json:"p50Micros"`
+	P95Micros       int64   `json:"p95Micros"`
+	P99Micros       int64   `json:"p99Micros"`
+	MaxMicros       int64   `json:"maxMicros"`
+	Errors          int     `json:"errors"`
+	CacheHits       int     `json:"cacheHits"`
+	Shards          int     `json:"shards,omitempty"`
+	FanoutLegs      int64   `json:"fanoutLegs,omitempty"`
+	PrunedLegs      int64   `json:"prunedLegs,omitempty"`
+	PairDistCalcs   int64   `json:"pairDistCalcs,omitempty"`
+	DistSettled     int64   `json:"distSettled,omitempty"`
+	OracleLBPrunes  int64   `json:"oracleLBPrunes,omitempty"`
+	OracleUBHits    int64   `json:"oracleUBHits,omitempty"`
+	OraclePopsSaved int64   `json:"oraclePopsSaved,omitempty"`
 }
 
 // upsertReport merges one labeled entry into the JSON report file,

@@ -69,6 +69,8 @@ func run() error {
 		walInterval = flag.Duration("wal-sync-interval", 0, "group commit: fsync at least this often while mutations wait (0 = library default)")
 		walStrict   = flag.Bool("wal-strict", false, "fsync every mutation individually (no group commit)")
 
+		oracle    = flag.Bool("oracle", false, "build the ALT landmark distance oracle at startup (accelerates diversified queries)")
+		landmarks = flag.Int("landmarks", 0, "landmark count for -oracle (0 = library default)")
 		checksums = flag.Bool("checksums", false, "verify per-page CRC32C checksums on every buffer miss")
 		faultSpec = flag.String("fault", "", "install a fault-injection spec at startup (see internal/fault)")
 		chaos     = flag.Bool("enable-chaos", false, "expose POST /v1/chaos for runtime fault injection (testing only)")
@@ -94,6 +96,9 @@ func run() error {
 		IOLatency:       *iolat,
 		BufferFraction:  *buffer,
 		Checksums:       *checksums,
+		Oracle:          *oracle,
+		Landmarks:       *landmarks,
+		OracleSeed:      uint64(*seed),
 		WALDir:          *walDir,
 		WALSyncEvery:    *walEvery,
 		WALSyncInterval: *walInterval,

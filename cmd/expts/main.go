@@ -50,6 +50,7 @@ var figures = map[string]func(experiments.Config) (*experiments.Result, error){
 	"ablation-compaction":  experiments.AblationCompaction,
 	"ablation-selectivity": experiments.AblationSelectivity,
 	"ablation-c1":          experiments.AblationC1,
+	"ablation-oracle":      experiments.AblationOracle,
 }
 
 // figureOrder renders "all" deterministically.
@@ -58,7 +59,7 @@ var figureOrder = []string{
 	"16a", "16b", "16c", "16d",
 	"buffer", "quality", "throughput",
 	"ablation-pruning", "ablation-partition", "ablation-dijkstra", "ablation-compaction",
-	"ablation-selectivity", "ablation-c1",
+	"ablation-selectivity", "ablation-c1", "ablation-oracle",
 }
 
 func main() {

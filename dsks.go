@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dsks/internal/alt"
 	"dsks/internal/core"
 	"dsks/internal/dataset"
 	"dsks/internal/fault"
@@ -158,6 +159,12 @@ var (
 	// ErrBadSnapshot reports a saved database directory that OpenPath
 	// cannot restore (unknown format version, corrupt or mismatched files).
 	ErrBadSnapshot = errors.New("dsks: invalid database snapshot")
+	// ErrBadOracle reports a persisted landmark-oracle file that failed
+	// validation (truncation, corruption, or a landmark count/seed that
+	// contradicts the snapshot). It never surfaces from OpenPath — a bad
+	// oracle file is discarded and the oracle rebuilt from the graph —
+	// but internal load paths and tests match against it.
+	ErrBadOracle = alt.ErrBadOracle
 	// ErrCorruptPage reports a disk page whose bytes failed checksum
 	// verification (with Options.Checksums enabled): the storage layer
 	// detected silent corruption and refused to serve the page.
@@ -261,6 +268,22 @@ type Options struct {
 	// WALStrictSync fsyncs before every acknowledgment instead of group
 	// committing: maximum durability, one fsync per mutation.
 	WALStrictSync bool
+	// Oracle builds the landmark (ALT) distance oracle at open time and
+	// routes diversified queries through the landmark-assisted distance
+	// engine: triangle-inequality bounds prune or pinch most pairwise
+	// distances and goal-directed A* shrinks the rest, with results
+	// bit-identical to the unassisted engine (docs/DISTANCE.md). SaveTo
+	// persists the oracle with the snapshot, and OpenPath re-enables it
+	// automatically for snapshots that carry one.
+	Oracle bool
+	// Landmarks is the oracle's landmark count (0 = the default 16;
+	// at most 512). More landmarks mean tighter bounds and a bigger
+	// oracle; see docs/DISTANCE.md for tuning.
+	Landmarks int
+	// OracleSeed seeds the deterministic landmark selection (0 = seed 1).
+	// The same graph, landmark count and seed always pick the same
+	// landmarks, so rebuilt and loaded oracles agree.
+	OracleSeed uint64
 }
 
 // validate rejects option values that cannot configure a database.
@@ -284,6 +307,9 @@ func (o Options) validate() error {
 	}
 	if o.WALSyncInterval < 0 {
 		return fmt.Errorf("%w: WALSyncInterval must be non-negative, got %v", ErrBadOptions, o.WALSyncInterval)
+	}
+	if o.Landmarks < 0 || o.Landmarks > alt.MaxLandmarks {
+		return fmt.Errorf("%w: Landmarks must be in [0, %d], got %d", ErrBadOptions, alt.MaxLandmarks, o.Landmarks)
 	}
 	return nil
 }
@@ -347,12 +373,14 @@ type DB struct {
 // recovers by opening the same graph and collection again); an
 // untrustworthy log fails with an error matching ErrBadWAL.
 func Open(g *Graph, objects *Collection, vocabSize int, opts Options) (*DB, error) {
-	return openDB(g, objects, vocabSize, opts, 0)
+	return openDB(g, objects, vocabSize, opts, 0, "")
 }
 
-// openDB is Open plus the write-ahead-log linkage: walFrom is the LSN the
-// opened state already includes (a snapshot's recorded LSN, or zero).
-func openDB(g *Graph, objects *Collection, vocabSize int, opts Options, walFrom uint64) (*DB, error) {
+// openDB is Open plus the write-ahead-log linkage (walFrom is the LSN the
+// opened state already includes — a snapshot's recorded LSN, or zero) and
+// the snapshot-restore linkage (oraclePath is a persisted oracle file to
+// load instead of rebuilding, or empty).
+func openDB(g *Graph, objects *Collection, vocabSize int, opts Options, walFrom uint64, oraclePath string) (*DB, error) {
 	if g == nil || objects == nil {
 		return nil, fmt.Errorf("%w: nil graph or collection", ErrBadOptions)
 	}
@@ -369,6 +397,10 @@ func openDB(g *Graph, objects *Collection, vocabSize int, opts Options, walFrom 
 		DiskDir:          opts.DiskDir,
 		SelectivityOrder: opts.SelectivityOrder,
 		Checksums:        opts.Checksums,
+		Oracle:           opts.Oracle,
+		OracleLandmarks:  opts.Landmarks,
+		OracleSeed:       opts.OracleSeed,
+		OracleFile:       oraclePath,
 	}
 	if opts.QueryLog != nil {
 		hOpts.SIFPLog = sig.NewRealLog(opts.QueryLog)
@@ -485,6 +517,21 @@ func (db *DB) Close() error {
 // Metrics returns the database's metrics registry. Queries record into it
 // automatically; Reset zeroes the aggregates.
 func (db *DB) Metrics() *MetricsRegistry { return db.sys.Metrics }
+
+// DistanceOracle is the read interface of the database's landmark
+// distance oracle (see Options.Oracle and docs/DISTANCE.md).
+type DistanceOracle = core.LandmarkOracle
+
+// DistanceOracle returns the database's landmark oracle, or nil when the
+// database runs without one. The oracle depends only on the (immutable)
+// road network, so the returned handle stays valid across mutations; the
+// shard router attaches it to its cross-shard merge engine.
+func (db *DB) DistanceOracle() DistanceOracle {
+	if db.sys.Oracle == nil {
+		return nil
+	}
+	return db.sys.Oracle
+}
 
 // Snapshot captures the metrics registry: per-kind query counts, latency
 // quantiles (p50/p95/p99), work counters, and buffer-pool hit rates.

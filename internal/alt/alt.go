@@ -1,0 +1,401 @@
+// Package alt implements a landmark-based (ALT) distance oracle over the
+// road network, the precomputed assist behind core.DistEngine's pairwise
+// diversification distances. A small set of landmarks is chosen by
+// deterministic farthest-point traversal from a configured seed; one full
+// Dijkstra sweep per landmark records the exact network distance from the
+// landmark to every node; and the per-node distance vectors are stored
+// node-major on pages of an internal/storage buffer pool, so oracle reads
+// participate in the buffer budget, the per-page checksums and the
+// IOStats accounting like every other disk-resident structure.
+//
+// The triangle inequality turns the vectors into distance bounds between
+// arbitrary positions a and b:
+//
+//	maxₗ |d(l,a) − d(l,b)|  ≤  d(a,b)  ≤  minₗ (d(l,a) + d(l,b))
+//
+// and the lower bound doubles as a consistent A* potential toward a fixed
+// target. docs/DISTANCE.md derives both and argues why query results stay
+// bit-identical with the oracle on or off.
+//
+// The oracle depends only on the network topology — object inserts and
+// removes never invalidate it — and persists as the optional "oracle"
+// file of a database snapshot (see Load/WriteTo); any mismatch or
+// corruption there fails with an error wrapping ErrBadOracle, which the
+// open path treats as "rebuild from the graph", never as a fatal error.
+package alt
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"dsks/internal/graph"
+	"dsks/internal/storage"
+)
+
+// ErrBadOracle reports a persisted oracle file that cannot be trusted:
+// bad magic or version, a landmark count or node count that contradicts
+// the configuration, a truncated payload, or a checksum mismatch. Callers
+// fall back to rebuilding the oracle from the graph (or running without
+// one) — a bad oracle file must never fail an otherwise healthy snapshot.
+var ErrBadOracle = errors.New("alt: bad oracle")
+
+const (
+	// fileMagic spells "ALT1" in little-endian.
+	fileMagic = 0x31544C41
+	// fileVersion is the serialization format WriteTo produces.
+	fileVersion = 1
+	// headerSize is the fixed header: magic u32, version u32, landmarks
+	// u32, crc32c u32, numNodes u64, seed u64.
+	headerSize = 32
+
+	// DefaultLandmarks is the landmark count when the configuration
+	// leaves it zero. Sixteen vectors keep one node's row at 128 bytes
+	// (32 rows per page) while giving the bounds enough directions to be
+	// tight on road-like networks.
+	DefaultLandmarks = 16
+
+	// MaxLandmarks keeps one node's distance row within a single page.
+	MaxLandmarks = storage.PageSize / 8
+)
+
+// crcTable is the Castagnoli polynomial, matching the snapshot manifest
+// and the page checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Config parameterizes oracle construction.
+type Config struct {
+	// Landmarks is the number of landmark vectors (default
+	// DefaultLandmarks, capped at the node count and MaxLandmarks).
+	Landmarks int
+	// Seed drives the deterministic farthest-point landmark selection
+	// through a splitmix64 mix; the same graph, landmark count and seed
+	// always select the same landmarks. Zero means "accept any persisted
+	// seed" on Load and "seed 1" on Build.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Landmarks <= 0 {
+		c.Landmarks = DefaultLandmarks
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Oracle is a built (or loaded) landmark distance oracle. The landmark
+// list and the node→page directory are memory-resident metadata, like
+// ccam's; the distance vectors live on pages and every NodeVec goes
+// through the buffer pool.
+type Oracle struct {
+	pool      *storage.BufferPool
+	landmarks []graph.NodeID
+	pages     []storage.PageID // vector pages, node-major
+	numNodes  int
+	perPage   int // node rows per page
+	seed      uint64
+}
+
+// NumLandmarks returns the landmark count.
+func (o *Oracle) NumLandmarks() int { return len(o.landmarks) }
+
+// NumNodes returns the node count the oracle was built over.
+func (o *Oracle) NumNodes() int { return o.numNodes }
+
+// Seed returns the selection seed the oracle was built with.
+func (o *Oracle) Seed() uint64 { return o.seed }
+
+// Landmarks returns a copy of the selected landmark nodes.
+func (o *Oracle) Landmarks() []graph.NodeID {
+	out := make([]graph.NodeID, len(o.landmarks))
+	copy(out, o.landmarks)
+	return out
+}
+
+// SizeBytes returns the page footprint of the distance vectors.
+func (o *Oracle) SizeBytes() int64 {
+	return int64(len(o.pages)) * storage.PageSize
+}
+
+// NodeVec reads node n's landmark distance row into dst, which must have
+// length NumLandmarks. dst[i] is the exact network distance between
+// landmark i and node n (+Inf when disconnected). The read goes through
+// the buffer pool, so it can block on page I/O and must not run under a
+// held latch.
+func (o *Oracle) NodeVec(ctx context.Context, n graph.NodeID, dst []float64) error {
+	if n < 0 || int(n) >= o.numNodes {
+		return fmt.Errorf("%w: node %d outside oracle's %d nodes", ErrBadOracle, n, o.numNodes)
+	}
+	if len(dst) != len(o.landmarks) {
+		return fmt.Errorf("%w: destination holds %d entries, oracle has %d landmarks", ErrBadOracle, len(dst), len(o.landmarks))
+	}
+	p, err := o.pool.GetCtx(ctx, o.pages[int(n)/o.perPage])
+	if err != nil {
+		return err
+	}
+	off := (int(n) % o.perPage) * len(o.landmarks) * 8
+	for i := range dst {
+		dst[i] = p.Float64(off + 8*i)
+	}
+	return nil
+}
+
+// splitmix64 is the SplitMix64 finalizer, the project's standard way to
+// derive deterministic pseudo-random streams from a configured seed
+// (internal/shard uses the same mix for backoff jitter).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Build constructs the oracle for g: deterministic farthest-point landmark
+// selection seeded by cfg.Seed, one full Dijkstra sweep per landmark, and
+// the node-major page layout written through pool.
+func Build(g *graph.Graph, pool *storage.BufferPool, cfg Config) (*Oracle, error) {
+	cfg = cfg.withDefaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("%w: cannot build over an empty graph", ErrBadOracle)
+	}
+	if cfg.Landmarks > MaxLandmarks {
+		return nil, fmt.Errorf("%w: %d landmarks exceed the per-page maximum %d", ErrBadOracle, cfg.Landmarks, MaxLandmarks)
+	}
+	l := cfg.Landmarks
+	if l > n {
+		l = n
+	}
+
+	landmarks, vectors := selectLandmarks(g, l, cfg.Seed)
+	o := &Oracle{
+		pool:      pool,
+		landmarks: landmarks,
+		numNodes:  n,
+		seed:      cfg.Seed,
+	}
+	if err := o.layOut(func(node, lm int) float64 { return vectors[lm][node] }); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// selectLandmarks runs the deterministic farthest-point traversal: the
+// first landmark is the node farthest from a seed-chosen start, each
+// subsequent one maximizes the minimum distance to those already chosen
+// (an unreached node — another component — counts as infinitely far, so
+// disconnected components get covered first). Ties break toward the
+// lowest node ID. Every landmark's selection sweep is also its distance
+// vector, so selection costs exactly one extra sweep.
+func selectLandmarks(g *graph.Graph, l int, seed uint64) ([]graph.NodeID, [][]float64) {
+	n := g.NumNodes()
+	start := graph.NodeID(splitmix64(seed) % uint64(n))
+	first := farthest(g.DistancesFromNode(start, math.Inf(1)), nil)
+
+	landmarks := make([]graph.NodeID, 0, l)
+	vectors := make([][]float64, 0, l)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	next := first
+	for len(landmarks) < l {
+		sweep := g.DistancesFromNode(next, math.Inf(1))
+		landmarks = append(landmarks, next)
+		vectors = append(vectors, sweep)
+		for i, d := range sweep {
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+		if len(landmarks) == l {
+			break
+		}
+		next = farthest(minDist, landmarks)
+		if minDist[next] == 0 {
+			break // every remaining node coincides with a landmark
+		}
+	}
+	return landmarks, vectors
+}
+
+// farthest returns the node maximizing dist, skipping taken nodes;
+// +Inf (unreached) beats every finite distance, and ties break toward
+// the lowest ID. With every candidate at 0 it returns the first free
+// node, keeping the traversal total even on degenerate graphs.
+func farthest(dist []float64, taken []graph.NodeID) graph.NodeID {
+	isTaken := make(map[graph.NodeID]bool, len(taken))
+	for _, t := range taken {
+		isTaken[t] = true
+	}
+	best := graph.NodeID(-1)
+	bestDist := math.Inf(-1)
+	for i, d := range dist {
+		id := graph.NodeID(i)
+		if isTaken[id] {
+			continue
+		}
+		if best == -1 || d > bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best
+}
+
+// layOut writes the node-major vector pages: each page holds perPage
+// consecutive node rows of NumLandmarks float64s.
+func (o *Oracle) layOut(value func(node, lm int) float64) error {
+	l := len(o.landmarks)
+	o.perPage = storage.PageSize / (l * 8)
+	numPages := (o.numNodes + o.perPage - 1) / o.perPage
+	o.pages = make([]storage.PageID, numPages)
+	for pg := 0; pg < numPages; pg++ {
+		page, err := o.pool.Allocate()
+		if err != nil {
+			return fmt.Errorf("alt: allocating vector page: %w", err)
+		}
+		o.pages[pg] = page.ID()
+		lo := pg * o.perPage
+		hi := lo + o.perPage
+		if hi > o.numNodes {
+			hi = o.numNodes
+		}
+		for node := lo; node < hi; node++ {
+			off := (node - lo) * l * 8
+			for lm := 0; lm < l; lm++ {
+				page.PutFloat64(off+8*lm, value(node, lm))
+			}
+		}
+		o.pool.MarkDirty(page.ID())
+	}
+	if err := o.pool.Flush(); err != nil {
+		return fmt.Errorf("alt: flushing vector pages: %w", err)
+	}
+	return nil
+}
+
+// WriteTo serializes the oracle: the fixed header (magic, version,
+// landmark count, payload CRC32C, node count, seed) followed by the
+// landmark IDs and the node-major distance vectors. The payload checksum
+// makes the file self-validating, so snapshot opens can distinguish "this
+// oracle is damaged, rebuild it" from "this snapshot is damaged" without
+// involving the manifest.
+func (o *Oracle) WriteTo(ctx context.Context, w io.Writer) error {
+	l := len(o.landmarks)
+	payload := make([]byte, 8*l+8*o.numNodes*l)
+	for i, lm := range o.landmarks {
+		binary.LittleEndian.PutUint64(payload[8*i:], uint64(lm))
+	}
+	row := make([]float64, l)
+	at := 8 * l
+	for n := 0; n < o.numNodes; n++ {
+		if err := o.NodeVec(ctx, graph.NodeID(n), row); err != nil {
+			return fmt.Errorf("alt: reading node %d vector: %w", n, err)
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(payload[at:], math.Float64bits(v))
+			at += 8
+		}
+	}
+
+	header := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(header[0:], fileMagic)
+	binary.LittleEndian.PutUint32(header[4:], fileVersion)
+	binary.LittleEndian.PutUint32(header[8:], uint32(l))
+	binary.LittleEndian.PutUint32(header[12:], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint64(header[16:], uint64(o.numNodes))
+	binary.LittleEndian.PutUint64(header[24:], o.seed)
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Load restores an oracle serialized with WriteTo, validating everything
+// before a single page is written: magic, version, the landmark count and
+// seed against cfg (zero cfg values accept what the file declares), the
+// node count against wantNodes, the payload length and CRC32C, the
+// landmark IDs, and every distance value (non-negative or +Inf). Any
+// failure returns an error wrapping ErrBadOracle and leaves the pool
+// untouched, so the caller can rebuild into it from the graph instead.
+func Load(r io.Reader, wantNodes int, pool *storage.BufferPool, cfg Config) (*Oracle, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %w", ErrBadOracle, err)
+	}
+	if m := binary.LittleEndian.Uint32(header[0:]); m != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadOracle, m)
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadOracle, v)
+	}
+	l := int(binary.LittleEndian.Uint32(header[8:]))
+	wantCRC := binary.LittleEndian.Uint32(header[12:])
+	numNodes := int(binary.LittleEndian.Uint64(header[16:]))
+	seed := binary.LittleEndian.Uint64(header[24:])
+	if l < 1 || l > MaxLandmarks {
+		return nil, fmt.Errorf("%w: landmark count %d outside [1, %d]", ErrBadOracle, l, MaxLandmarks)
+	}
+	want := cfg.Landmarks
+	if want <= 0 {
+		want = 0 // accept what the file declares
+	} else if want > numNodes {
+		want = numNodes // Build caps at the node count; Load must agree
+	}
+	if want > 0 && l != want {
+		return nil, fmt.Errorf("%w: file has %d landmarks, configuration wants %d", ErrBadOracle, l, want)
+	}
+	if cfg.Seed != 0 && seed != cfg.Seed {
+		return nil, fmt.Errorf("%w: file seed %d, configuration wants %d", ErrBadOracle, seed, cfg.Seed)
+	}
+	if numNodes != wantNodes {
+		return nil, fmt.Errorf("%w: file covers %d nodes, graph has %d", ErrBadOracle, numNodes, wantNodes)
+	}
+
+	payload := make([]byte, 8*l+8*numNodes*l)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %w", ErrBadOracle, err)
+	}
+	if n, _ := r.Read(make([]byte, 1)); n != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after payload", ErrBadOracle)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrBadOracle, got, wantCRC)
+	}
+
+	landmarks := make([]graph.NodeID, l)
+	for i := range landmarks {
+		id := binary.LittleEndian.Uint64(payload[8*i:])
+		if id >= uint64(numNodes) {
+			return nil, fmt.Errorf("%w: landmark %d names node %d of %d", ErrBadOracle, i, id, numNodes)
+		}
+		landmarks[i] = graph.NodeID(id)
+	}
+	vecs := payload[8*l:]
+	for i := 0; i < numNodes*l; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(vecs[8*i:]))
+		if math.IsNaN(v) || v < 0 {
+			return nil, fmt.Errorf("%w: distance entry %d is %v", ErrBadOracle, i, v)
+		}
+	}
+
+	o := &Oracle{
+		pool:      pool,
+		landmarks: landmarks,
+		numNodes:  numNodes,
+		seed:      seed,
+	}
+	if err := o.layOut(func(node, lm int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(vecs[8*(node*l+lm):]))
+	}); err != nil {
+		return nil, err
+	}
+	return o, nil
+}

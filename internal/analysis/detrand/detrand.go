@@ -2,8 +2,10 @@
 // pipeline: the synthetic datasets, workloads and experiment drivers
 // must derive every random stream from a configured seed and must not
 // consult the wall clock, or the paper's tables stop being reproducible
-// run to run. It applies to internal/dataset, internal/experiments, and
-// the root package's synth.go.
+// run to run. It applies to internal/dataset, internal/experiments,
+// internal/alt (landmark selection must replay identically from the
+// oracle's configured seed, or a rebuilt oracle diverges from the
+// snapshot it replaces), and the root package's synth.go.
 //
 // Latency measurements inside internal/experiments are the one
 // legitimate use of time.Now; annotate each with
@@ -21,16 +23,17 @@ import (
 // Analyzer flags nondeterminism sources in the deterministic packages.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
-	Doc: "Dataset generation, workload generation and experiment drivers " +
-		"must seed math/rand from configuration (constants or config " +
-		"fields) and must not call time.Now or the process-seeded " +
-		"package-level math/rand functions.",
+	Doc: "Dataset generation, workload generation, experiment drivers " +
+		"and ALT landmark selection must seed math/rand from " +
+		"configuration (constants or config fields) and must not call " +
+		"time.Now or the process-seeded package-level math/rand functions.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	pkgTarget := analysis.PathHasSuffix(pass.Pkg.Path(), "internal/experiments") ||
-		analysis.PathHasSuffix(pass.Pkg.Path(), "internal/dataset")
+		analysis.PathHasSuffix(pass.Pkg.Path(), "internal/dataset") ||
+		analysis.PathHasSuffix(pass.Pkg.Path(), "internal/alt")
 	for _, f := range pass.Files {
 		if !pkgTarget && !isRootSynth(pass, f) {
 			continue

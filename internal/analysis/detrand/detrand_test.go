@@ -9,5 +9,5 @@ import (
 
 func TestDetRand(t *testing.T) {
 	analysistest.Run(t, "testdata", detrand.Analyzer,
-		"dsks/internal/dataset", "dsks")
+		"dsks/internal/dataset", "dsks/internal/alt", "dsks")
 }

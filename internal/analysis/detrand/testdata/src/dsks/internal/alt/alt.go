@@ -1,0 +1,44 @@
+// Package alt stubs the landmark oracle builder: landmark selection
+// must replay bit-identically from the oracle's configured seed, so the
+// only randomness allowed is a config-seeded generator (the real
+// package uses splitmix64 over Config.Seed, which involves no calls at
+// all).
+package alt
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Config struct {
+	Landmarks int
+	Seed      uint64
+}
+
+// splitmix64 is the pure seed mixer the real package uses: no analyzer
+// findings, because nothing here consults a nondeterministic source.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SelectStart derives the farthest-point start node from configuration.
+func SelectStart(cfg Config, n int) int {
+	if rng := rand.New(rand.NewSource(int64(cfg.Seed))); cfg.Landmarks > n {
+		return rng.Intn(n) // config-derived source: ok
+	}
+	return int(splitmix64(cfg.Seed) % uint64(n))
+}
+
+// SelectStartBad reseeds from the clock and the process-global source:
+// a rebuilt oracle would pick different landmarks than the snapshot.
+func SelectStartBad(n int) int {
+	seed := time.Now().UnixNano()              // want `detrand: time.Now in a deterministic package`
+	rng := rand.New(rand.NewSource(seed))      // ok: the identifier itself is deterministic-shaped; the clock read above is the finding
+	if jitter := rand.Intn(n); jitter%2 == 0 { // want `detrand: package-level math/rand.Intn uses the process-global source`
+		return jitter
+	}
+	return rng.Intn(n)
+}

@@ -10,6 +10,12 @@
 // and ErrPartialResult decide between a clean 5xx, a 206 partial body,
 // and breaker accounting — so an opaque error from a Set or MultiView
 // entry point silently turns a survivable partial into a hard failure.
+//
+// The landmark oracle (internal/alt) is held to it too: OpenPath's
+// degrade-to-rebuild path matches ErrBadOracle with errors.Is to tell a
+// damaged oracle file (rebuild and keep serving) from a real I/O
+// failure, so an unwrapped load error would turn a recoverable snapshot
+// into an open failure.
 package errsentinel
 
 import (
@@ -24,17 +30,20 @@ import (
 // of the root dsks package.
 var Analyzer = &analysis.Analyzer{
 	Name: "errsentinel",
-	Doc: "Exported functions of the root dsks package and of the shard " +
-		"router (internal/shard) must not return fmt.Errorf values that " +
-		"fail to wrap a sentinel with %w; use one of the declared " +
-		"sentinels (dsks.go, internal/core/errors.go, internal/shard/" +
-		"set.go — ErrShardDown, ErrPartialResult) so errors.Is keeps " +
-		"working across the API boundary.",
+	Doc: "Exported functions of the root dsks package, the shard router " +
+		"(internal/shard) and the landmark oracle (internal/alt) must " +
+		"not return fmt.Errorf values that fail to wrap a sentinel with " +
+		"%w; use one of the declared sentinels (dsks.go, internal/core/" +
+		"errors.go, internal/shard/set.go — ErrShardDown, " +
+		"ErrPartialResult — or internal/alt's ErrBadOracle) so errors.Is " +
+		"keeps working across the API boundary.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	if p := pass.Pkg.Path(); p != "dsks" && !strings.HasSuffix(p, "dsks/internal/shard") {
+	if p := pass.Pkg.Path(); p != "dsks" &&
+		!strings.HasSuffix(p, "dsks/internal/shard") &&
+		!strings.HasSuffix(p, "dsks/internal/alt") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -8,5 +8,6 @@ import (
 )
 
 func TestErrSentinel(t *testing.T) {
-	analysistest.Run(t, "testdata", errsentinel.Analyzer, "dsks", "dsks/internal/shard")
+	analysistest.Run(t, "testdata", errsentinel.Analyzer,
+		"dsks", "dsks/internal/shard", "dsks/internal/alt")
 }

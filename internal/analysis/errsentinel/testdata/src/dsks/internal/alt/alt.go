@@ -1,0 +1,46 @@
+// Package alt mirrors the landmark oracle's error contract: OpenPath's
+// degrade-to-rebuild path matches ErrBadOracle with errors.Is to tell a
+// damaged oracle file (rebuild, keep serving) from a real I/O failure,
+// so every exported load/build entry point must keep it matchable.
+package alt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadOracle marks an oracle file that failed validation.
+var ErrBadOracle = errors.New("alt: bad oracle")
+
+// Load validates an oracle header; the sentinel must wrap through so
+// the snapshot opener can fall back to rebuilding instead of failing.
+func Load(magic uint32) error {
+	if magic != 0x31544C41 {
+		return fmt.Errorf("%w: magic %#x", ErrBadOracle, magic)
+	}
+	return nil
+}
+
+// Build flattens the sentinel with %v: errors.Is stops matching and a
+// recoverable corrupt file turns into a hard open failure.
+func Build(landmarks int) error {
+	if landmarks <= 0 {
+		return fmt.Errorf("cannot build an oracle with %d landmarks", landmarks) // want `errsentinel: fmt.Errorf at an exported return site`
+	}
+	return nil
+}
+
+// validatePayload is unexported: its errors are wrapped by the exported
+// callers before they cross the API boundary.
+func validatePayload(n int) error {
+	return fmt.Errorf("payload truncated at byte %d", n)
+}
+
+// Verify wraps the unexported cause under the sentinel (double-%w), so
+// both errors.Is(err, ErrBadOracle) and the cause stay matchable.
+func Verify(n int) error {
+	if err := validatePayload(n); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadOracle, err)
+	}
+	return nil
+}

@@ -29,6 +29,13 @@
 // it before blocking on group commit; holding the latch across the
 // fsync would serialize every reader behind the disk.
 //
+// The landmark oracle (internal/alt) is page-resident, so its distance
+// vector reads are I/O too: Oracle.NodeVec pins a page through the
+// buffer pool (a possible miss plus the IOLatency sleep) and WriteTo
+// streams every page into the snapshot, so neither may run under a
+// locally-held latch — SaveTo serializes the oracle before taking the
+// engine latch for exactly this reason.
+//
 // The scatter-gather router (internal/shard) inherits the whole
 // discipline at one remove: Set.Insert and Set.Remove fan a mutation
 // out to a shard database and wait for its WAL durability, Set.SaveTo
@@ -58,11 +65,12 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "lockio",
 	Doc: "Page I/O (storage File read/write, BufferPool operations that " +
-		"can touch the file or sleep for IOLatency, and dsks.DB/dsks.View " +
-		"query and mutation entry points) must not happen while a " +
-		"sync.Mutex/RWMutex acquired in the enclosing function is held; " +
-		"and view-scoped query paths (dsks.View methods) must acquire no " +
-		"latch at all — they read an immutable pinned MVCC snapshot.",
+		"can touch the file or sleep for IOLatency, landmark-oracle page " +
+		"reads, and dsks.DB/dsks.View query and mutation entry points) " +
+		"must not happen while a sync.Mutex/RWMutex acquired in the " +
+		"enclosing function is held; and view-scoped query paths " +
+		"(dsks.View methods) must acquire no latch at all — they read an " +
+		"immutable pinned MVCC snapshot.",
 	Run: run,
 }
 
@@ -257,6 +265,18 @@ func blockingIO(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 			if strings.HasPrefix(fn.Name(), "Search") || fn.Name() == "NetworkDistance" {
 				return "scatter-gather " + fn.Name() + " query", true
 			}
+		}
+		return "", false
+	}
+	if analysis.InPackage(fn, "internal/alt") && analysis.ReceiverTypeName(fn) == "Oracle" {
+		// The landmark oracle is page-resident: NodeVec pins a page through
+		// the buffer pool (a possible miss + IOLatency sleep) and WriteTo
+		// streams every page; neither may run under a latch — the snapshot
+		// writer serializes the oracle before taking the engine latch for
+		// exactly this reason.
+		switch fn.Name() {
+		case "NodeVec", "WriteTo":
+			return "oracle " + fn.Name() + " page read", true
 		}
 		return "", false
 	}

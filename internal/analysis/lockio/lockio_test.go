@@ -10,5 +10,6 @@ import (
 func TestLockIO(t *testing.T) {
 	analysistest.Run(t, "testdata", lockio.Analyzer,
 		"dsks", "dsks/internal/storage", "dsks/internal/edgestore",
-		"dsks/internal/server", "dsks/internal/wal", "dsks/internal/shard")
+		"dsks/internal/server", "dsks/internal/wal", "dsks/internal/shard",
+		"dsks/internal/alt")
 }

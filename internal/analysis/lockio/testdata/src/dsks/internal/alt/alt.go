@@ -1,0 +1,59 @@
+// Package alt stubs the page-resident landmark oracle: NodeVec pins a
+// page through the buffer pool (a possible miss plus the IOLatency
+// sleep) and WriteTo streams every page, so neither may run while a
+// locally-acquired latch is held.
+package alt
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+type NodeID int64
+
+type Oracle struct{}
+
+func (o *Oracle) NodeVec(ctx context.Context, n NodeID, dst []float64) error { return nil }
+
+func (o *Oracle) WriteTo(ctx context.Context, w io.Writer) error { return nil }
+
+// vecCache memoizes per-node landmark vectors behind its own mutex.
+type vecCache struct {
+	mu     sync.Mutex
+	vecs   map[NodeID][]float64
+	oracle *Oracle
+}
+
+// BadFill reads the oracle page under the cache latch: one buffer miss
+// stalls every concurrent distance computation.
+func (c *vecCache) BadFill(ctx context.Context, n NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := make([]float64, 16)
+	if err := c.oracle.NodeVec(ctx, n, v); err != nil { // want `lockio: oracle NodeVec page read while c.mu is held`
+		return err
+	}
+	c.vecs[n] = v
+	return nil
+}
+
+// GoodFill reads the page first and publishes under the latch.
+func (c *vecCache) GoodFill(ctx context.Context, n NodeID) error {
+	v := make([]float64, 16)
+	if err := c.oracle.NodeVec(ctx, n, v); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.vecs[n] = v
+	c.mu.Unlock()
+	return nil
+}
+
+// BadSave streams the oracle's pages while holding the engine latch —
+// the bug SaveTo avoids by serializing the oracle before latching.
+func BadSave(ctx context.Context, mu *sync.RWMutex, o *Oracle, w io.Writer) error {
+	mu.RLock()
+	defer mu.RUnlock()
+	return o.WriteTo(ctx, w) // want `lockio: oracle WriteTo page read while mu is held`
+}

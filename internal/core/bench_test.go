@@ -2,13 +2,16 @@ package core_test
 
 import (
 	"context"
-
+	"strconv"
 	"testing"
 
+	"dsks/internal/alt"
+	"dsks/internal/ccam"
 	"dsks/internal/core"
 	"dsks/internal/dataset"
 	"dsks/internal/harness"
 	"dsks/internal/obj"
+	"dsks/internal/storage"
 )
 
 func benchWorld(b *testing.B) (*harness.System, []dataset.Query) {
@@ -107,6 +110,43 @@ func BenchmarkDistEngine(b *testing.B) {
 		if _, err := eng.Dist(a, c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchDistOn measures DistEngine.Dist over net: pairwise distances
+// between cycling object positions, the access pattern of the
+// diversification θ matrix.
+func benchDistOn(b *testing.B, sys *harness.System, net ccam.Network) {
+	col := sys.DS.Objects
+	eng := core.NewDistEngine(context.Background(), net, 3000, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := col.Get(obj.ID(i % col.Len())).Pos
+		c := col.Get(obj.ID((i * 7) % col.Len())).Pos
+		if _, err := eng.Dist(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistOracle compares the oracle-assisted engine against the
+// blind one at a small and a large landmark count: more landmarks
+// tighten the triangle bounds (more LB prunes and UB pinches, fewer A*
+// pops) at the price of a longer position-vector computation per point.
+func BenchmarkDistOracle(b *testing.B) {
+	sys, _ := benchWorld(b)
+	b.Run("off", func(b *testing.B) {
+		benchDistOn(b, sys, sys.Net)
+	})
+	for _, l := range []int{4, 32} {
+		pool := storage.NewBufferPool(storage.NewPageFile(), 1024, nil)
+		o, err := alt.Build(sys.DS.Graph, pool, alt.Config{Landmarks: l, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("l="+strconv.Itoa(l), func(b *testing.B) {
+			benchDistOn(b, sys, core.WithOracle(sys.Net, o, core.OracleCounters{}))
+		})
 	}
 }
 

@@ -20,12 +20,33 @@ import (
 // The bound is sound for diversification: two objects within DeltaMax of
 // the query are within 2·DeltaMax of each other (through the query), so a
 // search bounded by 2·DeltaMax always finds the exact distance.
+//
+// When the network carries a landmark oracle (core.WithOracle over an
+// internal/alt oracle), three assists kick in, none of which changes the
+// diversification results (docs/DISTANCE.md has the soundness argument):
+//
+//  1. the triangle lower bound maxₗ|d(l,a)−d(l,b)| exceeds the bound →
+//     the pair is beyond 2·DeltaMax, where the objective clamps every
+//     distance to the same θ, so no traversal runs at all;
+//  2. the upper bound minₗ(d(l,a)+d(l,b)) meets the lower bound → the
+//     distance is pinched exactly, again with no traversal;
+//  3. the remaining traversals become goal-directed A*, using the
+//     landmark potential toward the target, which settles a fraction of
+//     the nodes the blind bounded Dijkstra would while producing the
+//     same distance.
 type DistEngine struct {
 	ctx   context.Context // query-scoped: the engine lives for one query
 	net   ccam.Network
 	bound float64
 	cache map[graph.Position][]nodeDist
 	stats *SearchStats
+
+	oracle    LandmarkOracle
+	counters  OracleCounters
+	posVecs   map[graph.Position][]float64 // per-position landmark vectors
+	nodeVecs  map[graph.NodeID][]float64   // per-node landmark vectors (page reads amortized)
+	astarRuns map[graph.Position]int       // A* runs per source, for the table cutover
+	vecBuf    []float64                    // scratch row for oracle reads
 }
 
 type nodeDist struct {
@@ -33,24 +54,54 @@ type nodeDist struct {
 	dist float64
 }
 
+// astarTableCutover is how many goal-directed A* runs a single source
+// position gets before the engine switches to building its full bounded
+// table. With the upper-bound-seeded stop rule each A* run settles only
+// the nodes whose f beats the oracle upper bound — typically one or two
+// nodes, a sliver of the 2·DeltaMax ball — so per-target searches beat
+// one blind sweep even when a source is paired against every other
+// candidate of a large matrix. The cutover is therefore a backstop
+// against degenerate fan-out, not an amortization strategy.
+const astarTableCutover = 1024
+
 // NewDistEngine creates an engine with the given search bound (use
 // 2·DeltaMax for diversified queries). ctx governs every traversal the
-// engine runs; stats may be nil.
+// engine runs; stats may be nil. If net was wrapped by WithOracle, the
+// engine unwraps it and runs landmark-assisted.
 func NewDistEngine(ctx context.Context, net ccam.Network, bound float64, stats *SearchStats) *DistEngine {
 	if stats == nil {
 		stats = &SearchStats{}
 	}
-	return &DistEngine{
+	d := &DistEngine{
 		ctx:   ctx,
 		net:   net,
 		bound: bound,
 		cache: make(map[graph.Position][]nodeDist),
 		stats: stats,
 	}
+	if an, ok := net.(*assistedNetwork); ok {
+		d.net = an.Network
+		d.counters = an.counters
+		if an.oracle != nil {
+			d.oracle = an.oracle
+			d.posVecs = make(map[graph.Position][]float64)
+			d.nodeVecs = make(map[graph.NodeID][]float64)
+			d.astarRuns = make(map[graph.Position]int)
+			d.vecBuf = make([]float64, an.oracle.NumLandmarks())
+		}
+	}
+	return d
 }
 
 // Reset drops the per-query cache.
-func (d *DistEngine) Reset() { d.cache = make(map[graph.Position][]nodeDist) }
+func (d *DistEngine) Reset() {
+	d.cache = make(map[graph.Position][]nodeDist)
+	if d.oracle != nil {
+		d.posVecs = make(map[graph.Position][]float64)
+		d.nodeVecs = make(map[graph.NodeID][]float64)
+		d.astarRuns = make(map[graph.Position]int)
+	}
+}
 
 // Dist returns the exact network distance between a and b, or +Inf when it
 // exceeds the engine's bound.
@@ -69,13 +120,22 @@ func (d *DistEngine) Dist(a, b graph.Position) (float64, error) {
 			return 0, nil
 		}
 	}
-	// Prefer a cached source.
-	src, dst := a, b
-	if _, ok := d.cache[a]; !ok {
-		if _, ok2 := d.cache[b]; ok2 {
-			src, dst = b, a
-		}
+	// Prefer a cached source: a table lookup costs nothing and is exact.
+	if _, ok := d.cache[a]; ok {
+		return d.viaTable(a, b, direct)
 	}
+	if _, ok := d.cache[b]; ok {
+		return d.viaTable(b, a, direct)
+	}
+	if d.oracle != nil {
+		return d.assisted(a, b, direct)
+	}
+	return d.viaTable(a, b, direct)
+}
+
+// viaTable resolves the src→dst distance through src's bounded
+// node-distance table (computing it if needed), the unassisted path.
+func (d *DistEngine) viaTable(src, dst graph.Position, direct float64) (float64, error) {
 	dists, err := d.fromSource(src)
 	if err != nil {
 		return 0, err
@@ -93,6 +153,263 @@ func (d *DistEngine) Dist(a, b graph.Position) (float64, error) {
 		via = math.Min(via, dn2+(info.Weight-w1))
 	}
 	return math.Min(direct, via), nil
+}
+
+// assisted resolves a→b with the landmark oracle: lower-bound prune,
+// upper-bound pinch, then goal-directed A* (or the full table once the
+// source has seen astarTableCutover targets).
+func (d *DistEngine) assisted(a, b graph.Position, direct float64) (float64, error) {
+	va, err := d.posVec(a)
+	if err != nil {
+		return 0, err
+	}
+	vb, err := d.posVec(b)
+	if err != nil {
+		return 0, err
+	}
+	lb, ub := oracleBounds(va, vb)
+	if lb > d.bound {
+		// The true network distance is at least lb > 2·DeltaMax. Beyond
+		// the bound the unassisted path reports either +Inf or some
+		// finite value > bound, and every consumer clamps both to the
+		// same θ (DivParams.Div), so returning the direct distance (≥
+		// the true distance ≥ lb here, or +Inf off-edge) is
+		// indistinguishable from traversing.
+		d.stats.OracleLBPrunes++
+		addCounter(d.counters.LBPrunes, 1)
+		return direct, nil
+	}
+	if ub == lb {
+		// Pinched: some landmark lies on a shortest a–b path, so the
+		// upper bound is the exact distance (and it is ≤ d.bound here,
+		// where the engine's contract requires exactness).
+		d.stats.OracleUBHits++
+		addCounter(d.counters.UBHits, 1)
+		return math.Min(direct, ub), nil
+	}
+	if d.astarRuns[a] >= astarTableCutover {
+		return d.viaTable(a, b, direct)
+	}
+	d.astarRuns[a]++
+	via, err := d.astar(a, vb, b, ub)
+	if err != nil {
+		return 0, err
+	}
+	return math.Min(direct, via), nil
+}
+
+// nodeVec returns (reading and caching if needed) node n's landmark
+// vector. The engine-level cache turns the per-node page read — buffer
+// pool latch, possible miss latency — into a one-time cost per query,
+// which matters because A* consults the vector of every node it labels.
+func (d *DistEngine) nodeVec(n graph.NodeID) ([]float64, error) {
+	if v, ok := d.nodeVecs[n]; ok {
+		return v, nil
+	}
+	v := make([]float64, d.oracle.NumLandmarks())
+	if err := d.oracle.NodeVec(d.ctx, n, v); err != nil {
+		return nil, mapCtxErr(err)
+	}
+	d.nodeVecs[n] = v
+	return v, nil
+}
+
+// posVec returns (computing and caching if needed) position p's landmark
+// vector: vp[l] = min over p's end nodes of d(l, node) + offset cost,
+// which is the exact landmark distance to the position itself.
+func (d *DistEngine) posVec(p graph.Position) ([]float64, error) {
+	if v, ok := d.posVecs[p]; ok {
+		return v, nil
+	}
+	info, err := d.net.EdgeInfo(p.Edge)
+	if err != nil {
+		return nil, err
+	}
+	w1 := offsetCost(info.Weight, info.Length, p.Offset)
+	v1, err := d.nodeVec(info.N1)
+	if err != nil {
+		return nil, err
+	}
+	v2, err := d.nodeVec(info.N2)
+	if err != nil {
+		return nil, err
+	}
+	w2 := info.Weight - w1
+	v := make([]float64, len(v1))
+	for i := range v {
+		v[i] = math.Min(v1[i]+w1, v2[i]+w2)
+	}
+	d.posVecs[p] = v
+	return v, nil
+}
+
+// oracleBounds turns two position vectors into triangle-inequality
+// bounds: lb = maxₗ|va[l]−vb[l]| ≤ d(a,b) ≤ minₗ(va[l]+vb[l]) = ub.
+// A landmark unreachable from both positions bounds nothing (the
+// difference would be Inf−Inf) and is skipped; a landmark reachable from
+// exactly one side proves the positions are in different components, so
+// lb becomes +Inf — which is the exact distance.
+func oracleBounds(va, vb []float64) (lb, ub float64) {
+	ub = math.Inf(1)
+	for i := range va {
+		x, y := va[i], vb[i]
+		if s := x + y; s < ub {
+			ub = s
+		}
+		if math.IsInf(x, 1) && math.IsInf(y, 1) {
+			continue
+		}
+		if diff := math.Abs(x - y); diff > lb {
+			lb = diff
+		}
+	}
+	return lb, ub
+}
+
+// astarEntry orders the A* frontier by f = g + potential; g rides along
+// for the staleness check.
+type astarEntry struct {
+	node graph.NodeID
+	g, f float64
+}
+
+type astarPQ []astarEntry
+
+func (h astarPQ) Len() int            { return len(h) }
+func (h astarPQ) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h astarPQ) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *astarPQ) Push(x interface{}) { *h = append(*h, x.(astarEntry)) }
+func (h *astarPQ) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// astar runs the goal-directed bounded search from src toward dst, using
+// the landmark potential π(n) = maxₗ|vn[l]−vdst[l]| (a lower bound on
+// d(n, dst), consistent by the triangle inequality). Tentative labels are
+// pruned at the engine bound exactly like the blind Dijkstra's, a node
+// whose label later improves is re-expanded (so the result never depends
+// on floating-point slack in the potential), and the search stops once
+// the cheapest frontier f cannot beat the best target value — which is
+// why it settles only a sliver of the bounded ball.
+//
+// best is seeded with the oracle upper bound when it lies within the
+// engine bound: ub ≥ d(src,dst) always, and if the true distance is
+// smaller the optimal path's f values are all ≤ d < ub, so the stop rule
+// cannot fire before the exact distance is found; if d == ub the bound
+// is already the answer. Beyond the engine bound the seed is skipped so
+// the engine still reports +Inf exactly like the blind table.
+func (d *DistEngine) astar(src graph.Position, vdst []float64, dst graph.Position, ub float64) (float64, error) {
+	d.stats.SourceDijkstra++
+	ainfo, err := d.net.EdgeInfo(src.Edge)
+	if err != nil {
+		return 0, err
+	}
+	binfo, err := d.net.EdgeInfo(dst.Edge)
+	if err != nil {
+		return 0, err
+	}
+	w1a := offsetCost(ainfo.Weight, ainfo.Length, src.Offset)
+	w1b := offsetCost(binfo.Weight, binfo.Length, dst.Offset)
+	w2b := binfo.Weight - w1b
+
+	pot := func(n graph.NodeID) (float64, error) {
+		vn, err := d.nodeVec(n)
+		if err != nil {
+			return 0, err
+		}
+		p := 0.0
+		for i, x := range vn {
+			y := vdst[i]
+			if math.IsInf(x, 1) && math.IsInf(y, 1) {
+				continue
+			}
+			if diff := math.Abs(x - y); diff > p {
+				p = diff
+			}
+		}
+		return p, nil
+	}
+
+	best := math.Inf(1)
+	if ub <= d.bound {
+		best = ub
+	}
+	dist := make(map[graph.NodeID]float64)
+	pq := &astarPQ{}
+	relax := func(n graph.NodeID, g float64) error {
+		// g alone is a lower bound on any src→dst path through n, so a
+		// label that cannot beat best (which never goes below the true
+		// distance) is dead on arrival.
+		if g > d.bound || g >= best {
+			return nil
+		}
+		if cur, ok := dist[n]; !ok || g < cur {
+			dist[n] = g
+			p, err := pot(n)
+			if err != nil {
+				return err
+			}
+			heap.Push(pq, astarEntry{node: n, g: g, f: g + p})
+		}
+		return nil
+	}
+	if err := relax(ainfo.N1, w1a); err != nil {
+		return 0, err
+	}
+	if err := relax(ainfo.N2, ainfo.Weight-w1a); err != nil {
+		return 0, err
+	}
+	settled := make(map[graph.NodeID]bool)
+	var settledCount int64
+	for pq.Len() > 0 {
+		if (*pq)[0].f >= best {
+			break
+		}
+		if err := ctxErr(d.ctx); err != nil {
+			return 0, err
+		}
+		cur := heap.Pop(pq).(astarEntry)
+		if cur.g > dist[cur.node] {
+			continue // stale
+		}
+		if !settled[cur.node] {
+			settled[cur.node] = true
+			settledCount++
+		}
+		if cur.node == binfo.N1 {
+			if c := cur.g + w1b; c < best {
+				best = c
+			}
+		}
+		if cur.node == binfo.N2 {
+			if c := cur.g + w2b; c < best {
+				best = c
+			}
+		}
+		adj, err := d.net.Adjacency(d.ctx, cur.node)
+		if err != nil {
+			return 0, mapCtxErr(err)
+		}
+		for _, a := range adj {
+			if err := relax(a.Other, cur.g+a.Weight); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Every labeled node has a path ≤ bound, so the blind bounded
+	// Dijkstra would have settled all of them; the unsettled remainder
+	// is work the potential provably saved.
+	if saved := int64(len(dist)) - settledCount; saved > 0 {
+		d.stats.OraclePopsSaved += saved
+		addCounter(d.counters.PopsSaved, saved)
+	}
+	d.stats.DistSettled += settledCount
+	addCounter(d.counters.Settled, settledCount)
+	return best, nil
 }
 
 // fromSource returns (computing and caching if needed) the bounded
@@ -122,6 +439,7 @@ func (d *DistEngine) fromSource(p graph.Position) ([]nodeDist, error) {
 	relax(info.N1, w1)
 	relax(info.N2, info.Weight-w1)
 	settled := make(map[graph.NodeID]bool)
+	var settledCount int64
 	for pq.Len() > 0 {
 		if err := ctxErr(d.ctx); err != nil {
 			return nil, err
@@ -131,6 +449,7 @@ func (d *DistEngine) fromSource(p graph.Position) ([]nodeDist, error) {
 			continue
 		}
 		settled[cur.node] = true
+		settledCount++
 		adj, err := d.net.Adjacency(d.ctx, cur.node)
 		if err != nil {
 			return nil, mapCtxErr(err)
@@ -139,6 +458,8 @@ func (d *DistEngine) fromSource(p graph.Position) ([]nodeDist, error) {
 			relax(a.Other, cur.dist+a.Weight)
 		}
 	}
+	d.stats.DistSettled += settledCount
+	addCounter(d.counters.Settled, settledCount)
 	out := make([]nodeDist, 0, len(dist))
 	for n, dd := range dist {
 		out = append(out, nodeDist{node: n, dist: dd})

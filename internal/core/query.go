@@ -79,8 +79,15 @@ type SearchStats struct {
 	Candidates     int64 // objects satisfying the spatial keyword constraint
 	PairDistCalcs  int64 // pairwise network distance evaluations
 	SourceDijkstra int64 // bounded Dijkstra runs of the distance engine
+	DistSettled    int64 // nodes settled by the distance engine's traversals
 	Pruned         int64 // objects eliminated by the diversity pruning
 	EarlyTerminate bool  // whether COM cut the expansion short
+
+	// Landmark-oracle effectiveness (docs/DISTANCE.md); all zero when
+	// the engine runs unassisted.
+	OracleLBPrunes  int64 // pairs short-circuited by the triangle lower bound
+	OracleUBHits    int64 // pairs resolved by upper bound == lower bound
+	OraclePopsSaved int64 // in-bound nodes A* provably left unsettled
 }
 
 // Add accumulates other into s.
@@ -90,6 +97,10 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.Candidates += other.Candidates
 	s.PairDistCalcs += other.PairDistCalcs
 	s.SourceDijkstra += other.SourceDijkstra
+	s.DistSettled += other.DistSettled
 	s.Pruned += other.Pruned
 	s.EarlyTerminate = s.EarlyTerminate || other.EarlyTerminate
+	s.OracleLBPrunes += other.OracleLBPrunes
+	s.OracleUBHits += other.OracleUBHits
+	s.OraclePopsSaved += other.OraclePopsSaved
 }

@@ -215,6 +215,86 @@ func AblationDijkstra(cfg Config) (*Result, error) {
 	return r, nil
 }
 
+// AblationOracle measures the landmark distance oracle (docs/DISTANCE.md)
+// on the diversification hot path: the same COM workload with the
+// distance engine blind vs landmark-assisted. Results are bit-identical
+// by construction (enforced here), so the only deltas are latency and
+// traversal work — settled nodes per query is the headline number.
+func AblationOracle(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Ablation: landmark distance oracle (NA)",
+		"variant", "avg query ms", "settled/query", "LB prunes", "UB hits", "A* pops saved")
+	ds, err := dataset.GeneratePreset(dataset.PresetNA, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		opts harness.Options
+	}{
+		{"blind engine", harness.Options{IOLatency: cfg.IOLatency}},
+		{"oracle l=16", harness.Options{
+			IOLatency: cfg.IOLatency,
+			Oracle:    true, OracleLandmarks: 16, OracleSeed: uint64(cfg.Seed) + 1,
+		}},
+		{"oracle l=64", harness.Options{
+			IOLatency: cfg.IOLatency,
+			Oracle:    true, OracleLandmarks: 64, OracleSeed: uint64(cfg.Seed) + 1,
+		}},
+	}
+	var baseline []float64 // per-query F of the blind run, for the identity check
+	for vi, v := range variants {
+		sys, err := harness.Build(ds, []harness.IndexKind{harness.KindSIF}, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		// Wide radii are the oracle's regime: at the default δmax the
+		// bounded ball holds a handful of nodes and there is nothing to
+		// save (see docs/DISTANCE.md).
+		ws, err := dataset.GenerateWorkload(ds.Objects, ds.VocabSize, dataset.WorkloadConfig{
+			NumQueries: cfg.Queries, Keywords: 3, Seed: cfg.Seed + 73,
+			DeltaMaxPerKeyword: 2500,
+		})
+		if err != nil {
+			return nil, err
+		}
+		loader, err := sys.Loader(harness.KindSIF)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.ResetIO(); err != nil {
+			return nil, err
+		}
+		var elapsed time.Duration
+		var stats core.SearchStats
+		for qi, wq := range ws {
+			q := harness.DivQueryOf(wq, 10, 0.8)
+			//lint:ignore detrand wall-clock latency measurement, not a data source
+			start := time.Now()
+			res, err := core.SearchCOM(context.Background(), sys.SearchNet(), loader, q)
+			if err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+			stats.Add(res.Stats)
+			if vi == 0 {
+				baseline = append(baseline, res.F)
+			} else if res.F != baseline[qi] {
+				return nil, fmt.Errorf("oracle changed query %d: F=%v, blind F=%v",
+					qi, res.F, baseline[qi])
+			}
+		}
+		n := float64(len(ws))
+		avg := elapsed / time.Duration(len(ws))
+		r.addRow(v.name, ms(avg), f1(float64(stats.DistSettled)/n),
+			i64(stats.OracleLBPrunes), i64(stats.OracleUBHits), i64(stats.OraclePopsSaved))
+		r.series(v.name).Append(0, msf(avg))
+		r.series("settled/"+v.name).Append(0, float64(stats.DistSettled)/n)
+	}
+	r.Table.Fprint(cfg.Out)
+	return r, nil
+}
+
 // AblationCompaction measures the KD-tree signature compaction: compacted
 // vs flat bitmap size on every dataset analogue.
 func AblationCompaction(cfg Config) (*Result, error) {

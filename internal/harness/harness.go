@@ -10,10 +10,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync/atomic"
 	"time"
 
+	"dsks/internal/alt"
 	"dsks/internal/ccam"
 	"dsks/internal/core"
 	"dsks/internal/dataset"
@@ -29,6 +31,17 @@ import (
 
 // IndexKind names one of the object index structures of the evaluation.
 type IndexKind string
+
+// Names of the distance-oracle counters on /varz and /metricsz
+// (docs/DISTANCE.md). dist_settled_total counts with or without an
+// oracle, so the oracle's settled-work reduction reads directly off the
+// same counter across two runs.
+const (
+	CounterOracleLBPrunes  = "oracle_lb_prunes_total"
+	CounterOracleUBHits    = "oracle_ub_hits_total"
+	CounterOraclePopsSaved = "oracle_astar_pops_saved_total"
+	CounterDistSettled     = "dist_settled_total"
+)
 
 // The four structures of Section 5, plus the group-based SIF-G baseline.
 const (
@@ -79,6 +92,23 @@ type Options struct {
 	// the read with storage.ErrCorruptPage. Off by default so the
 	// paper's byte-exact I/O accounting is unchanged.
 	Checksums bool
+	// Oracle builds (or loads) the landmark distance oracle and routes
+	// diversified queries through the landmark-assisted distance engine
+	// (docs/DISTANCE.md). Off by default: results are bit-identical
+	// either way, but the paper's baseline cost accounting assumes the
+	// unassisted engine.
+	Oracle bool
+	// OracleLandmarks is the landmark count (default alt.DefaultLandmarks,
+	// max alt.MaxLandmarks).
+	OracleLandmarks int
+	// OracleSeed seeds the deterministic landmark selection (0 = seed 1).
+	OracleSeed uint64
+	// OracleFile, when set with Oracle, is a persisted oracle to load
+	// instead of rebuilding. A file that is missing, truncated, corrupt
+	// or built with a different landmark count/seed is discarded and the
+	// oracle is rebuilt from the graph (System.OracleRebuilt reports
+	// that) — a bad oracle file never fails the build.
+	OracleFile string
 }
 
 func (o Options) withDefaults() Options {
@@ -106,8 +136,23 @@ type System struct {
 	DS  *dataset.Dataset
 	Net *ccam.File
 
+	// Oracle is the landmark distance oracle, nil unless Options.Oracle
+	// was set; OracleRebuilt reports that a configured OracleFile could
+	// not be used and the oracle was rebuilt from the graph instead.
+	Oracle        *alt.Oracle
+	OracleRebuilt bool
+
+	// searchNet is Net plus the oracle attachment (core.WithOracle);
+	// diversified searches run over it so their distance engines pick up
+	// the landmark assists and the dist_settled counter. It is always
+	// set — without an oracle it carries the counters alone.
+	searchNet ccam.Network
+
 	netStats *storage.IOStats
 	netPool  *storage.BufferPool
+
+	oracleStats *storage.IOStats
+	oraclePool  *storage.BufferPool
 
 	objStats map[IndexKind]*storage.IOStats
 	objPools map[IndexKind]*storage.BufferPool
@@ -205,6 +250,47 @@ func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error
 	}
 	if err := shrinkPool(s.netPool, frames); err != nil {
 		return nil, err
+	}
+
+	// Landmark distance oracle: its own page file and pool, so oracle
+	// reads show up in IOStats and the buffer accounting like any other
+	// structure. A persisted file that fails validation (alt.ErrBadOracle
+	// covers truncation, corruption and config mismatches) is discarded
+	// and the oracle rebuilt from the graph — degrade, never fail.
+	if opts.Oracle {
+		oracleStats := &storage.IOStats{}
+		oracleFile, err := newPageStore(opts, "oracle")
+		if err != nil {
+			return nil, err
+		}
+		pool := storage.NewBufferPool(oracleFile, 1<<20, oracleStats)
+		cfg := alt.Config{Landmarks: opts.OracleLandmarks, Seed: opts.OracleSeed}
+		var oracle *alt.Oracle
+		if opts.OracleFile != "" {
+			if f, ferr := os.Open(opts.OracleFile); ferr == nil {
+				o, lerr := alt.Load(f, ds.Graph.NumNodes(), pool, cfg)
+				f.Close()
+				if lerr == nil {
+					oracle = o
+				}
+			}
+		}
+		if oracle == nil {
+			start := time.Now()
+			o, err := alt.Build(ds.Graph, pool, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("harness: building landmark oracle: %w", err)
+			}
+			s.BuildTime["oracle"] = time.Since(start)
+			oracle = o
+			s.OracleRebuilt = opts.OracleFile != ""
+		}
+		s.Oracle = oracle
+		s.oracleStats = oracleStats
+		s.oraclePool = pool
+		if err := shrinkPool(pool, frames); err != nil {
+			return nil, err
+		}
 	}
 
 	coder := invindex.GraphZCoder{G: ds.Graph}
@@ -350,21 +436,49 @@ func Build(ds *dataset.Dataset, kinds []IndexKind, opts Options) (*System, error
 	}
 	if opts.IOLatency > 0 {
 		s.netPool.SetIOLatency(opts.IOLatency)
+		if s.oraclePool != nil {
+			s.oraclePool.SetIOLatency(opts.IOLatency)
+		}
 	}
 	if opts.Checksums {
 		s.SetChecksums(true)
 	}
 	s.Metrics.RegisterPool("network", poolFunc(s.netStats))
+	if s.oracleStats != nil {
+		s.Metrics.RegisterPool("oracle", poolFunc(s.oracleStats))
+	}
 	for kind, st := range s.objStats {
 		s.Metrics.RegisterPool(string(kind), poolFunc(st))
 	}
+	// The oracle attachment the diversified searches run over. Built
+	// even without an oracle so dist_settled_total counts the baseline's
+	// traversal work too — that is the denominator of the oracle's
+	// headline metric.
+	var lo core.LandmarkOracle
+	if s.Oracle != nil {
+		lo = s.Oracle
+	}
+	s.searchNet = core.WithOracle(s.Net, lo, core.OracleCounters{
+		LBPrunes:  s.Metrics.Counter(CounterOracleLBPrunes),
+		UBHits:    s.Metrics.Counter(CounterOracleUBHits),
+		PopsSaved: s.Metrics.Counter(CounterOraclePopsSaved),
+		Settled:   s.Metrics.Counter(CounterDistSettled),
+	})
 	return s, nil
 }
+
+// SearchNet returns the network the diversified searches run over: the
+// CCAM file plus the oracle attachment (which is counters-only when no
+// oracle is built).
+func (s *System) SearchNet() ccam.Network { return s.searchNet }
 
 // Pools returns every buffer pool of the system: the network pool first,
 // then one per built object index (iteration order unspecified).
 func (s *System) Pools() []*storage.BufferPool {
 	pools := []*storage.BufferPool{s.netPool}
+	if s.oraclePool != nil {
+		pools = append(pools, s.oraclePool)
+	}
 	for _, p := range s.objPools {
 		pools = append(pools, p)
 	}
@@ -441,6 +555,12 @@ func (s *System) ResetIO() error {
 	if err := s.netPool.DropAll(); err != nil {
 		return err
 	}
+	if s.oraclePool != nil {
+		s.oracleStats.Reset()
+		if err := s.oraclePool.DropAll(); err != nil {
+			return err
+		}
+	}
 	for kind, st := range s.objStats {
 		st.Reset()
 		if err := s.objPools[kind].DropAll(); err != nil {
@@ -454,6 +574,9 @@ func (s *System) ResetIO() error {
 // across a workload with warm caches, as the paper's workloads run).
 func (s *System) ResetCounters() {
 	s.netStats.Reset()
+	if s.oracleStats != nil {
+		s.oracleStats.Reset()
+	}
 	for _, st := range s.objStats {
 		st.Reset()
 	}
@@ -463,6 +586,9 @@ func (s *System) ResetCounters() {
 // the given index.
 func (s *System) DiskReads(kind IndexKind) int64 {
 	total := s.netStats.Snapshot().DiskRead
+	if s.oracleStats != nil {
+		total += s.oracleStats.Snapshot().DiskRead
+	}
 	if st, ok := s.objStats[kind]; ok {
 		total += st.Snapshot().DiskRead
 	}
@@ -550,9 +676,9 @@ func (s *System) RunDivOn(ctx context.Context, kind IndexKind, loader index.Load
 	var res core.DivResult
 	switch algo {
 	case AlgoSEQ:
-		res, err = core.SearchSEQ(ctx, s.Net, loader, q)
+		res, err = core.SearchSEQ(ctx, s.searchNet, loader, q)
 	case AlgoCOM:
-		res, err = core.SearchCOM(ctx, s.Net, loader, q)
+		res, err = core.SearchCOM(ctx, s.searchNet, loader, q)
 	default:
 		return QueryResult{}, fmt.Errorf("harness: unknown algorithm %q", algo)
 	}

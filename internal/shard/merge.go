@@ -120,7 +120,7 @@ func (mv *MultiView) SearchDiversified(ctx context.Context, q dsks.DivQuery) (ds
 	res := mv.mergeCandidates(legs, 0)
 	cands := res.Candidates
 	params := core.DivParams{K: q.K, Lambda: q.Lambda, DeltaMax: q.DeltaMax}
-	dist := core.NewDistEngine(ctx, mv.set.net, 2*q.DeltaMax, &res.Stats)
+	dist := core.NewDistEngine(ctx, mv.set.searchNet, 2*q.DeltaMax, &res.Stats)
 
 	n := len(cands)
 	matrix := make([]float64, n*n)

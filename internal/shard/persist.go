@@ -165,6 +165,7 @@ func OpenSetPath(dir string, opts Options) (*Set, error) {
 	for i := range s.shards {
 		s.reconcile(i)
 	}
+	s.initSearchNet()
 	if err := s.checkReplication(); err != nil {
 		s.Close()
 		return nil, err

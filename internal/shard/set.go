@@ -12,6 +12,8 @@ import (
 
 	"dsks"
 	"dsks/internal/ccam"
+	"dsks/internal/core"
+	"dsks/internal/harness"
 	"dsks/internal/metrics"
 )
 
@@ -125,11 +127,16 @@ type Set struct {
 	// net serves cross-shard network distances for the router's final
 	// diversification greedy; it reads the in-memory graph directly, so
 	// it costs no page I/O.
-	net      ccam.Network
-	shards   []shardState
-	partial  bool
-	fanout   int
-	template dsks.Options
+	net ccam.Network
+	// searchNet is net plus the landmark-oracle attachment for the
+	// router-side merge engine (set by initSearchNet once the shards are
+	// open): every shard shares the full network and the same oracle
+	// configuration, so shard 0's oracle serves the router too.
+	searchNet ccam.Network
+	shards    []shardState
+	partial   bool
+	fanout    int
+	template  dsks.Options
 
 	// Replication / failover configuration (see Options).
 	nreplicas  int
@@ -214,8 +221,30 @@ func Open(g *dsks.Graph, objects *dsks.Collection, vocabSize, n int, opts Option
 			return nil, err
 		}
 	}
+	s.initSearchNet()
 	s.launchReplicas()
 	return s, nil
+}
+
+// initSearchNet builds the network the router-side merge engine runs
+// over: the in-memory graph plus shard 0's landmark oracle (the shards
+// all open the full network with the same oracle configuration, so their
+// oracles are identical) and the router registry's oracle counters. With
+// oracles disabled this still attaches the counters, so a sharded /varz
+// reports the router's dist_settled_total either way.
+func (s *Set) initSearchNet() {
+	var o core.LandmarkOracle
+	if len(s.shards) > 0 && s.shards[0].db != nil {
+		if do := s.shards[0].db.DistanceOracle(); do != nil {
+			o = do
+		}
+	}
+	s.searchNet = core.WithOracle(s.net, o, core.OracleCounters{
+		LBPrunes:  s.reg.Counter(harness.CounterOracleLBPrunes),
+		UBHits:    s.reg.Counter(harness.CounterOracleUBHits),
+		PopsSaved: s.reg.Counter(harness.CounterOraclePopsSaved),
+		Settled:   s.reg.Counter(harness.CounterDistSettled),
+	})
 }
 
 // checkReplication validates the replication options: the WAL is the
@@ -374,7 +403,31 @@ func (s *Set) DB(i int) *dsks.DB { return s.shards[i].db }
 func (s *Set) Metrics() *metrics.Registry { return s.reg }
 
 // Snapshot captures the router registry.
-func (s *Set) Snapshot() metrics.Snapshot { return s.reg.Snapshot() }
+func (s *Set) Snapshot() metrics.Snapshot {
+	snap := s.reg.Snapshot()
+	// The distance-oracle counter family lives in each shard's own
+	// registry (and, for the router's merge engine, in s.reg); fold the
+	// shard contributions in so a sharded /varz reports oracle
+	// effectiveness for the whole set, like a single node does.
+	for i := range s.shards {
+		db := s.shards[i].db
+		if db == nil {
+			continue
+		}
+		sub := db.Snapshot()
+		for _, name := range []string{
+			harness.CounterOracleLBPrunes,
+			harness.CounterOracleUBHits,
+			harness.CounterOraclePopsSaved,
+			harness.CounterDistSettled,
+		} {
+			if v := sub.Counters[name]; v != 0 {
+				snap.Counters[name] += v
+			}
+		}
+	}
+	return snap
+}
 
 // Seq is the router's mutation clock (see Insert).
 func (s *Set) Seq() uint64 { return s.seq.Load() }

@@ -2,6 +2,8 @@ package dsks
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -50,6 +52,14 @@ type dbMeta struct {
 	// reinstates the tombstoned IDs between them (format 3).
 	Allocated  int        `json:"allocated,omitempty"`
 	Tombstones []ObjectID `json:"tombstones,omitempty"`
+	// OracleLandmarks and OracleSeed record the landmark distance oracle
+	// the database ran with (zero when none): OpenPath re-enables the
+	// oracle, loading the snapshot's "oracle" file when it validates and
+	// rebuilding from the graph when it does not. The oracle file is
+	// self-checksummed and deliberately outside the manifest's verified
+	// set — damage to it degrades to a rebuild, never to ErrBadSnapshot.
+	OracleLandmarks int    `json:"oracleLandmarks,omitempty"`
+	OracleSeed      uint64 `json:"oracleSeed,omitempty"`
 }
 
 const (
@@ -95,6 +105,7 @@ var saveHookPoints = []string{
 	"write-graph",
 	"write-objects",
 	"write-meta",
+	"write-oracle",
 	"write-manifest",
 	"sync-staging",
 	"rename-prev",
@@ -195,7 +206,18 @@ func syncDir(path string) error {
 // (they are at or below the snapshot's recorded LSN, so they are
 // skipped).
 func (db *DB) SaveTo(dir string) error {
-	walLSN, err := db.saveSnapshot(dir)
+	// Serialize the oracle before taking the read latch: its page reads
+	// can block on I/O, and it depends only on the frozen network
+	// topology, which no mutation can change.
+	var oracleBytes []byte
+	if o := db.sys.Oracle; o != nil {
+		var buf bytes.Buffer
+		if err := o.WriteTo(context.Background(), &buf); err != nil {
+			return fmt.Errorf("dsks: serializing oracle: %w", err)
+		}
+		oracleBytes = buf.Bytes()
+	}
+	walLSN, err := db.saveSnapshot(dir, oracleBytes)
 	if err != nil {
 		return err
 	}
@@ -211,7 +233,7 @@ func (db *DB) SaveTo(dir string) error {
 // applied LSN it captured; the log checkpoint happens in SaveTo, after
 // the latch is released (an fsync-heavy compaction must not block
 // mutators).
-func (db *DB) saveSnapshot(dir string) (walLSN uint64, err error) {
+func (db *DB) saveSnapshot(dir string, oracleBytes []byte) (walLSN uint64, err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	walLSN = db.appliedLSN
@@ -287,6 +309,10 @@ func (db *DB) saveSnapshot(dir string) (walLSN uint64, err error) {
 		Allocated:  col.Len(),
 		Tombstones: col.Tombstones(),
 	}
+	if o := db.sys.Oracle; o != nil {
+		meta.OracleLandmarks = o.NumLandmarks()
+		meta.OracleSeed = o.Seed()
+	}
 	ent, err = writeSnapshotFile(filepath.Join(tmp, "meta.json"), func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -296,6 +322,24 @@ func (db *DB) saveSnapshot(dir string) (walLSN uint64, err error) {
 		return 0, fail(err)
 	}
 	files["meta.json"] = ent
+
+	if err := fireSaveHook("write-oracle"); err != nil {
+		return 0, fail(err)
+	}
+	if oracleBytes != nil {
+		// The oracle file rides in the manifest's file map for visibility
+		// but stays off the verified list (snapshotFiles): it carries its
+		// own header checksum, and a damaged oracle must degrade to a
+		// rebuild, not fail the snapshot.
+		ent, err = writeSnapshotFile(filepath.Join(tmp, "oracle"), func(w io.Writer) error {
+			_, werr := w.Write(oracleBytes)
+			return werr
+		})
+		if err != nil {
+			return 0, fail(err)
+		}
+		files["oracle"] = ent
+	}
 
 	if err := fireSaveHook("write-manifest"); err != nil {
 		return 0, fail(err)
@@ -518,7 +562,25 @@ func OpenPath(dir string, opts Options) (*DB, error) {
 	if opts.Index == "" {
 		opts.Index = meta.Index
 	}
-	return openDB(g, col, vocab, opts, meta.WALLSN)
+	// Re-enable the oracle for snapshots that carried one (or when the
+	// caller asks for it): the persisted configuration wins unless opts
+	// overrides it, and the snapshot's oracle file is offered for loading
+	// — if it is missing, truncated, corrupt or mismatched, openDB's
+	// harness rebuilds the oracle from the graph instead.
+	oraclePath := ""
+	if meta.OracleLandmarks > 0 && !opts.Oracle {
+		opts.Oracle = true
+		if opts.Landmarks == 0 {
+			opts.Landmarks = meta.OracleLandmarks
+		}
+		if opts.OracleSeed == 0 {
+			opts.OracleSeed = meta.OracleSeed
+		}
+	}
+	if opts.Oracle {
+		oraclePath = filepath.Join(dir, "oracle")
+	}
+	return openDB(g, col, vocab, opts, meta.WALLSN, oraclePath)
 }
 
 // restoreIDSpace rebuilds the collection with its original object IDs.

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# ALT-oracle benchmark (run by `make bench-oracle` and the CI
+# bench-oracle job): boot the same single-node server twice over the same
+# dataset — once without the landmark oracle, once with it — and replay
+# an identical diversified-heavy read mix against each. The hammer
+# upserts one labeled entry per setting into BENCH_oracle.json, carrying
+# the server's /varz distance-work counters (pairwise distance
+# evaluations, Dijkstra/A* settled nodes, oracle prune/hit counts); the
+# gate at the end asserts the oracle cuts settled-node work by >= 3x and
+# does not worsen p99 on the diversified-heavy mix.
+#
+# The mix is deliberately diversified-heavy: the diversification greedy's
+# pairwise θ matrix is where the paper's hot path spends its Dijkstras,
+# and the oracle's triangle bounds target exactly those point-to-point
+# distances. The radius is widened (-delta) past the dataset default:
+# at δmax = 1000 the 2·δmax ball holds a handful of nodes and there is
+# nothing to save, while wide diversified queries — the regime the
+# oracle exists for — make the blind engine sweep hundreds of nodes per
+# candidate. The result cache is disabled so repeats recompute, and no
+# synthetic I/O latency is injected — the settled-node work under test is
+# CPU-bound graph traversal, not modeled disk time.
+set -u
+
+BIN="${1:?usage: bench-oracle.sh <path-to-dsks-serve> [out.json]}"
+OUT="${2:-BENCH_oracle.json}"
+
+rm -f "$OUT"
+for MODE in off on; do
+    ADDR="127.0.0.1:$((18120 + $([ "$MODE" = on ] && echo 1 || echo 0)))"
+    ORACLE_FLAGS=""
+    if [ "$MODE" = on ]; then
+        ORACLE_FLAGS="-oracle -landmarks 64"
+    fi
+    # shellcheck disable=SC2086 — ORACLE_FLAGS is a flag list on purpose.
+    "$BIN" -addr "$ADDR" -preset NA -scale 500 -index SIF $ORACLE_FLAGS \
+        -max-inflight 32 -queue-depth 256 -cache-size -1 &
+    SERVER=$!
+    trap 'kill "$SERVER" 2>/dev/null' EXIT
+    if ! "$BIN" -hammer -target "http://$ADDR" -preset NA -scale 500 \
+        -n 1200 -c 8 -distinct 64 -delta 8000 \
+        -mix "diversified:6,search:2,ranked:1" \
+        -report "$OUT" -report-label "oracle=$MODE"; then
+        echo "bench-oracle: hammer failed with oracle $MODE" >&2
+        exit 1
+    fi
+    kill -TERM "$SERVER"
+    wait "$SERVER"
+    CODE=$?
+    trap - EXIT
+    if [ "$CODE" -ne 0 ]; then
+        echo "bench-oracle: oracle-$MODE server exited $CODE after SIGTERM, want 0" >&2
+        exit 1
+    fi
+done
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+rep = json.load(open(sys.argv[1]))
+off, on = rep["oracle=off"], rep["oracle=on"]
+if off["errors"] or on["errors"]:
+    sys.exit(f"bench-oracle: read errors ({off['errors']} off, {on['errors']} on)")
+if not off.get("distSettled"):
+    sys.exit("bench-oracle: oracle-off run reported no settled-node work "
+             "(dist_settled_total missing from /varz?)")
+settled_ratio = off["distSettled"] / max(on.get("distSettled", 0), 1)
+print(f"bench-oracle: oracle off {off['qps']:.0f} qps (p99 {off['p99Micros']}us, "
+      f"{off['distSettled']} settled), oracle on {on['qps']:.0f} qps "
+      f"(p99 {on['p99Micros']}us, {on.get('distSettled', 0)} settled) — "
+      f"{settled_ratio:.1f}x less Dijkstra work, "
+      f"{on.get('oracleLBPrunes', 0)} LB prunes / {on.get('oracleUBHits', 0)} UB hits / "
+      f"{on.get('oraclePopsSaved', 0)} A* pops saved")
+if settled_ratio < 3.0:
+    sys.exit(f"bench-oracle: settled-node reduction {settled_ratio:.2f}x below the 3x gate")
+if on["p99Micros"] > off["p99Micros"]:
+    sys.exit(f"bench-oracle: oracle-on p99 {on['p99Micros']}us worse than "
+             f"oracle-off {off['p99Micros']}us — the pruning is not paying for itself")
+EOF
+if [ $? -ne 0 ]; then
+    exit 1
+fi
+echo "bench-oracle: ok (report in $OUT)"
